@@ -1,0 +1,416 @@
+package mvptree_test
+
+// One benchmark per table/figure of the paper (Figures 4–11, the
+// headline claims, and the ablation/extension studies from DESIGN.md),
+// each driving the same experiment definitions as cmd/mvpbench at a
+// reduced scale, plus micro-benchmarks of the core operations.
+//
+// Figure benchmarks attach their headline measurements as custom
+// benchmark metrics (distcomps/query), so `go test -bench .` regenerates
+// the numbers EXPERIMENTS.md discusses. Run cmd/mvpbench for the
+// paper-scale versions.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree"
+	"mvptree/internal/bench"
+	"mvptree/internal/experiments"
+)
+
+// benchConfig is the reduced scale used by the figure benchmarks.
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Queries = 20
+	cfg.TreeSeeds = []uint64{101, 202}
+	return cfg
+}
+
+// reportCells attaches one metric per (structure, sweep value) pair.
+func reportCells(b *testing.B, tbl *bench.Table) {
+	b.Helper()
+	last := tbl.Values[len(tbl.Values)-1]
+	for _, name := range tbl.Structures {
+		for _, v := range []float64{tbl.Values[0], last} {
+			cell, err := tbl.Cell(v, name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(cell.AvgDistComps, name+"@"+formatValue(tbl.Label, v))
+		}
+	}
+}
+
+func formatValue(label string, v float64) string {
+	s := label + "="
+	switch {
+	case v == float64(int64(v)):
+		return s + itoa(int64(v))
+	default:
+		// one decimal is enough for the swept radii
+		whole := int64(v)
+		frac := int64((v - float64(whole)) * 100)
+		if frac < 0 {
+			frac = -frac
+		}
+		return s + itoa(whole) + "." + itoa(frac)
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkFig4UniformHistogram(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		h := experiments.Fig4(cfg)
+		b.ReportMetric(h.Mean(), "mean-distance")
+	}
+}
+
+func BenchmarkFig5ClusteredHistogram(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		h := experiments.Fig5(cfg)
+		b.ReportMetric(h.Quantile(0.99)-h.Quantile(0.01), "distance-span")
+	}
+}
+
+func BenchmarkFig6ImageHistogramL1(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		h := experiments.Fig6(cfg)
+		b.ReportMetric(float64(len(h.Peaks(5, 0.05))), "peaks")
+	}
+}
+
+func BenchmarkFig7ImageHistogramL2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		h := experiments.Fig7(cfg)
+		b.ReportMetric(float64(len(h.Peaks(5, 0.05))), "peaks")
+	}
+}
+
+func BenchmarkFig8UniformVectors(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkFig9ClusteredVectors(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkFig10ImagesL1(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkFig11ImagesL2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkClaimsHeadline(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		claims, err := experiments.Claims(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cl := range claims {
+			if cl.A == "mvpt(3,80)" {
+				b.ReportMetric(cl.SavingsPc, cl.Workload+"-savings%@r="+formatValue("", cl.Radius)[1:])
+			}
+		}
+	}
+}
+
+func BenchmarkAblationPathLength(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkAblationLeafCapacity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationK(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkAblationSecondVantage(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationSV2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkKNNStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.KNNStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkStructureStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.StructureStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+func BenchmarkWordStudy(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.WordStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportCells(b, tbl)
+	}
+}
+
+// Micro-benchmarks of the core operations in wall-clock terms.
+
+func benchVectors(n, dim int) ([][]float64, [][]float64) {
+	rng := rand.New(rand.NewPCG(42, 42))
+	return mvptree.UniformVectors(rng, n, dim), mvptree.UniformVectors(rng, 64, dim)
+}
+
+func BenchmarkBuildMVP(b *testing.B) {
+	items, _ := benchVectors(10000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mvptree.New(items, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 80, PathLength: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildVP(b *testing.B) {
+	items, _ := benchVectors(10000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mvptree.NewVP(items, mvptree.L2, mvptree.VPOptions{Order: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeMVP(b *testing.B) {
+	items, queries := benchVectors(10000, 20)
+	tree, err := mvptree.New(items, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 80, PathLength: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Range(queries[i%len(queries)], 0.3)
+	}
+}
+
+func BenchmarkRangeVP(b *testing.B) {
+	items, queries := benchVectors(10000, 20)
+	tree, err := mvptree.NewVP(items, mvptree.L2, mvptree.VPOptions{Order: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Range(queries[i%len(queries)], 0.3)
+	}
+}
+
+func BenchmarkRangeLinear(b *testing.B) {
+	items, queries := benchVectors(10000, 20)
+	scan := mvptree.NewLinear(items, mvptree.L2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scan.Range(queries[i%len(queries)], 0.3)
+	}
+}
+
+func BenchmarkKNNMVP(b *testing.B) {
+	items, queries := benchVectors(10000, 20)
+	tree, err := mvptree.New(items, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 80, PathLength: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.KNN(queries[i%len(queries)], 10)
+	}
+}
+
+func BenchmarkKNNVP(b *testing.B) {
+	items, queries := benchVectors(10000, 20)
+	tree, err := mvptree.NewVP(items, mvptree.L2, mvptree.VPOptions{Order: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.KNN(queries[i%len(queries)], 10)
+	}
+}
+
+func BenchmarkEditDistance(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	words := mvptree.Words(rng, 256, mvptree.WordOptions{MinLen: 8, MaxLen: 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mvptree.EditDistance(words[i%256], words[(i+1)%256])
+	}
+}
+
+func BenchmarkImageL1(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	imgs := mvptree.SyntheticImages(rng, 16, mvptree.ImageOptions{Width: 64, Height: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mvptree.ImageL1(imgs[i%16], imgs[(i+1)%16])
+	}
+}
+
+func BenchmarkBuildMVPParallel(b *testing.B) {
+	items, _ := benchVectors(10000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mvptree.New(items, mvptree.L2, mvptree.Options{
+			Partitions: 3, LeafCapacity: 80, PathLength: 5, Workers: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildGeneral3Vantage(b *testing.B) {
+	items, _ := benchVectors(10000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mvptree.NewGeneral(items, mvptree.L2, mvptree.GeneralOptions{
+			Vantages: 3, Partitions: 2, LeafCapacity: 80, PathLength: 5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeGeneral3Vantage(b *testing.B) {
+	items, queries := benchVectors(10000, 20)
+	tree, err := mvptree.NewGeneral(items, mvptree.L2, mvptree.GeneralOptions{
+		Vantages: 3, Partitions: 2, LeafCapacity: 80, PathLength: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Range(queries[i%len(queries)], 0.3)
+	}
+}
+
+func BenchmarkSaveLoadMVP(b *testing.B) {
+	items, _ := benchVectors(5000, 20)
+	tree, err := mvptree.New(items, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 80, PathLength: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := mvptree.SaveTree(&buf, tree, mvptree.EncodeVector); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mvptree.LoadTree(&buf, mvptree.L2, mvptree.DecodeVector); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicInsert(b *testing.B) {
+	items, _ := benchVectors(10000, 20)
+	store, err := mvptree.NewDynamic(items, mvptree.L2, mvptree.DynamicOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Insert(mvptree.UniformVectors(rng, 1, 20)[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

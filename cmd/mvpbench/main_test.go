@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// A tiny run of each experiment family through the real CLI path.
+	for _, id := range []string{"fig4", "fig8", "claims", "words", "ablation-v"} {
+		var sb strings.Builder
+		err := run(&sb, []string{
+			"-experiment", id, "-quick",
+			"-n", "800", "-queries", "5", "-seeds", "1", "-pairs", "20000",
+			"-imgcount", "60", "-imgdim", "16",
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "== ") || !strings.Contains(out, "completed in") {
+			t.Errorf("%s: output missing frame:\n%s", id, out)
+		}
+		if id == "fig8" && !strings.Contains(out, "mvpt(3,80)") {
+			t.Errorf("fig8 output missing structure column:\n%s", out)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-experiment", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-bogus"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestDescribeCoversAllIDs(t *testing.T) {
+	ids := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
+		"knn", "structures", "words", "build", "approx", "filters"}
+	for _, id := range ids {
+		if describe(id) == id {
+			t.Errorf("describe(%q) has no description", id)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{
+		"-experiment", "fig8", "-csv", "-quick",
+		"-n", "500", "-queries", "3", "-seeds", "1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "r,") {
+		t.Errorf("CSV output missing header:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Errorf("CSV output contains human framing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5 radii
+		t.Errorf("CSV has %d lines:\n%s", len(lines), out)
+	}
+	sb.Reset()
+	if err := run(&sb, []string{"-experiment", "fig4", "-csv", "-quick", "-n", "300", "-pairs", "5000"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "bucket,count\n") {
+		t.Errorf("histogram CSV:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,76 @@
+package mvptree
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"mvptree/internal/dataset"
+	"mvptree/internal/histogram"
+	"mvptree/internal/metric"
+	"mvptree/internal/pgm"
+)
+
+// Workload generators and analysis helpers, re-exported from the
+// internal dataset and histogram packages. All generators are
+// deterministic given their *rand.Rand.
+
+// UniformVectors returns n vectors drawn uniformly from [0,1)^dim — the
+// paper's uniform workload (§5.1.A).
+func UniformVectors(rng *rand.Rand, n, dim int) [][]float64 {
+	return dataset.UniformVectors(rng, n, dim)
+}
+
+// ClusteredVectors returns n vectors generated in perturbation-chain
+// clusters of clusterSize with amplitude eps — the paper's clustered
+// workload (§5.1.A).
+func ClusteredVectors(rng *rand.Rand, n, dim, clusterSize int, eps float64) [][]float64 {
+	return dataset.ClusteredVectors(rng, n, dim, clusterSize, eps)
+}
+
+// ImageOptions configure SyntheticImages.
+type ImageOptions = dataset.ImageOptions
+
+// SyntheticImages returns n gray-level phantom images with the bimodal
+// pairwise-distance distribution of the paper's MRI workload (§5.1.B);
+// see DESIGN.md for the substitution rationale.
+func SyntheticImages(rng *rand.Rand, n int, opts ImageOptions) []*Image {
+	return dataset.SyntheticImages(rng, n, opts)
+}
+
+// WordOptions configure Words.
+type WordOptions = dataset.WordOptions
+
+// Words returns a synthetic word corpus for edit-distance search.
+func Words(rng *rand.Rand, n int, opts WordOptions) []string {
+	return dataset.Words(rng, n, opts)
+}
+
+// SampleQueries draws q items from a dataset without replacement, the
+// paper's image-query protocol.
+func SampleQueries[T any](rng *rand.Rand, items []T, q int) []T {
+	return dataset.SampleQueries(rng, items, q)
+}
+
+// Histogram is a fixed-bucket-width distance histogram (Figures 4–7).
+type Histogram = histogram.Histogram
+
+// NewHistogram returns an empty histogram with the given bucket width.
+func NewHistogram(bucketWidth float64) *Histogram { return histogram.New(bucketWidth) }
+
+// PairwiseHistogram records all unordered pairwise distances of items.
+func PairwiseHistogram[T any](items []T, fn DistanceFunc[T], bucketWidth float64) *Histogram {
+	return histogram.Pairwise(items, metric.DistanceFunc[T](fn), bucketWidth)
+}
+
+// SampledPairwiseHistogram records the distances of pairs sampled
+// uniformly, for datasets with too many pairs to enumerate.
+func SampledPairwiseHistogram[T any](rng *rand.Rand, items []T, fn DistanceFunc[T], bucketWidth float64, pairs int) *Histogram {
+	return histogram.PairwiseSampled(rng, items, metric.DistanceFunc[T](fn), bucketWidth, pairs)
+}
+
+// EncodePGM writes an image as binary PGM (P5), the storage format of
+// the paper's image collection.
+func EncodePGM(w io.Writer, im *Image) error { return pgm.Encode(w, im) }
+
+// DecodePGM reads a binary (P5) or ASCII (P2) PGM image.
+func DecodePGM(r io.Reader) (*Image, error) { return pgm.Decode(r) }

@@ -1,0 +1,36 @@
+package mvptree
+
+import (
+	"io"
+
+	"mvptree/internal/dynamic"
+	"mvptree/internal/metric"
+)
+
+// DynamicStore is a mutable similarity index: an mvp-tree plus an
+// overflow buffer and tombstones, rebuilt when updates accumulate. It
+// addresses the open problem the paper closes with (§6) — insertions
+// and deletions without unbalancing the tree — at amortized O(log n)
+// distance computations per update. See internal/dynamic for the
+// scheme's details.
+type DynamicStore[T any] = dynamic.Store[T]
+
+// DynamicOptions configure a DynamicStore.
+type DynamicOptions = dynamic.Options
+
+// NewDynamic builds a dynamic store over the initial items.
+func NewDynamic[T any](items []T, dist DistanceFunc[T], opts DynamicOptions) (*DynamicStore[T], error) {
+	return dynamic.New(items, metric.DistanceFunc[T](dist), opts)
+}
+
+// SaveDynamic compacts the store (a rebuild: tombstones dropped, the
+// overflow buffer folded into the tree) and writes it to w.
+func SaveDynamic[T any](w io.Writer, s *DynamicStore[T], enc ItemEncoder[T]) error {
+	return s.Save(w, dynamic.ItemEncoder[T](enc))
+}
+
+// LoadDynamic reads a store written by SaveDynamic; dist must be the
+// metric it was built with.
+func LoadDynamic[T any](r io.Reader, dist DistanceFunc[T], dec ItemDecoder[T]) (*DynamicStore[T], error) {
+	return dynamic.Load(r, metric.DistanceFunc[T](dist), dynamic.ItemDecoder[T](dec))
+}

@@ -1,0 +1,125 @@
+package mvptree_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mvptree"
+)
+
+// The basic flow: build an mvp-tree over a metric dataset, answer range
+// and k-nearest-neighbor queries, and read the cost meter.
+func ExampleNew() {
+	rng := rand.New(rand.NewPCG(1, 2))
+	vectors := mvptree.UniformVectors(rng, 2000, 12)
+
+	tree, err := mvptree.New(vectors, mvptree.L2, mvptree.Options{
+		Partitions:   3,
+		LeafCapacity: 40,
+		PathLength:   5,
+		Seed:         7,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	q := vectors[0]
+	near := tree.Range(q, 0.4)
+	nn := tree.KNN(q, 3)
+	fmt.Println("indexed:", tree.Len())
+	fmt.Println("in range:", len(near) > 0)
+	fmt.Println("nearest is the query itself:", nn[0].Dist == 0)
+	fmt.Println("cheaper than linear scan:", tree.Counter().Count() > 0)
+	// Output:
+	// indexed: 2000
+	// in range: true
+	// nearest is the query itself: true
+	// cheaper than linear scan: true
+}
+
+// Any type works with any metric distance function: here, strings under
+// edit distance.
+func ExampleNewBK() {
+	words := []string{"paper", "taper", "tiger", "pager", "viper", "wiper"}
+	tree, err := mvptree.NewBK(words, mvptree.EditDistance)
+	if err != nil {
+		panic(err)
+	}
+	for _, w := range tree.Range("payer", 1) {
+		fmt.Println(w)
+	}
+	// Unordered output:
+	// paper
+	// pager
+}
+
+// Validating a hand-written metric before trusting an index with it.
+func ExampleCheckAxioms() {
+	squared := func(a, b []float64) float64 {
+		d := a[0] - b[0]
+		return d * d // violates the triangle inequality
+	}
+	sample := [][]float64{{0}, {1}, {2}}
+	err := mvptree.CheckAxioms(squared, sample, 0)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+// Farthest-object queries, the §2 variants.
+func ExampleTree_KFarthest() {
+	points := [][]float64{{0}, {1}, {5}, {9}}
+	tree, err := mvptree.New(points, mvptree.L2, mvptree.Options{LeafCapacity: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	for _, nb := range tree.KFarthest([]float64{0}, 2) {
+		fmt.Println(nb.Dist)
+	}
+	// Output:
+	// 9
+	// 5
+}
+
+// Per-query instrumentation: how much work each filtering stage did.
+func ExampleTree_RangeWithStats() {
+	rng := rand.New(rand.NewPCG(3, 4))
+	vectors := mvptree.UniformVectors(rng, 3000, 16)
+	tree, err := mvptree.New(vectors, mvptree.L2, mvptree.Options{
+		Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	_, stats := tree.RangeWithStats(vectors[0], 0.3)
+	fmt.Println("accounting holds:", stats.Candidates == stats.FilteredByD+stats.FilteredByPath+stats.Computed)
+	fmt.Println("most candidates filtered for free:", stats.Computed*2 < stats.Candidates)
+	// Output:
+	// accounting holds: true
+	// most candidates filtered for free: true
+}
+
+// A mutable index: the paper's open problem, solved with amortized
+// rebuilds.
+func ExampleNewDynamic() {
+	rng := rand.New(rand.NewPCG(5, 6))
+	store, err := mvptree.NewDynamic(mvptree.UniformVectors(rng, 500, 8), mvptree.L2, mvptree.DynamicOptions{})
+	if err != nil {
+		panic(err)
+	}
+	item := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := store.Insert(item); err != nil {
+		panic(err)
+	}
+	fmt.Println("found after insert:", len(store.Range(item, 0)) == 1)
+	n, err := store.Delete(item)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deleted:", n)
+	fmt.Println("found after delete:", len(store.Range(item, 0)) == 1)
+	// Output:
+	// found after insert: true
+	// deleted: 1
+	// found after delete: false
+}

@@ -1,0 +1,101 @@
+// Catalog: a living similarity catalog. Demonstrates the two
+// production features layered over the paper's static tree: persistence
+// (build once, save, reload with zero distance computations) and dynamic
+// updates (the paper's §6 open problem — inserts and deletes with
+// amortized O(log n) cost via buffer + tombstones + rebuild).
+//
+// The scenario: a catalog of feature vectors (say, product embeddings)
+// that is built in a batch job, shipped to servers as a file, and then
+// kept fresh online as items come and go.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+
+	"mvptree"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(33, 33))
+	catalog := mvptree.UniformVectors(rng, 20000, 16)
+
+	// --- Batch job: build and persist. -------------------------------
+	tree, err := mvptree.New(catalog, mvptree.L2, mvptree.Options{
+		Partitions: 3, LeafCapacity: 80, PathLength: 5,
+		Workers: 4, // parallel construction; identical tree
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch build: %d items, %d distance computations, height %d\n",
+		tree.Len(), tree.Counter().Count(), tree.Height())
+
+	path := filepath.Join(os.TempDir(), "catalog.mvpt")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mvptree.SaveTree(f, tree, mvptree.EncodeVector); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("saved to %s (%d bytes)\n", path, info.Size())
+
+	// --- Server startup: reload without recomputing anything. --------
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := mvptree.LoadTree(rf, mvptree.L2, mvptree.DecodeVector)
+	rf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded: %d items, %d distance computations spent loading\n",
+		reloaded.Len(), reloaded.Counter().Count())
+
+	q := catalog[42]
+	before := reloaded.Counter().Count()
+	nn := reloaded.KNN(q, 5)
+	fmt.Printf("knn on reloaded tree: top dist %.3f..%.3f, %d computations\n",
+		nn[0].Dist, nn[4].Dist, reloaded.Counter().Count()-before)
+
+	// --- Online phase: the catalog changes. --------------------------
+	store, err := mvptree.NewDynamic(catalog, mvptree.L2, mvptree.DynamicOptions{
+		Tree: mvptree.Options{Partitions: 3, LeafCapacity: 80, PathLength: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildCost := store.DistanceCount()
+
+	newItem := mvptree.UniformVectors(rng, 1, 16)[0]
+	for i := 0; i < 8000; i++ {
+		if err := store.Insert(mvptree.UniformVectors(rng, 1, 16)[0]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := store.Insert(newItem); err != nil {
+		log.Fatal(err)
+	}
+	removed, err := store.Delete(catalog[7])
+	if err != nil {
+		log.Fatal(err)
+	}
+	updateCost := store.DistanceCount() - buildCost
+	fmt.Printf("online: +8001 inserts, -%d delete → %d items, %.1f distance computations per update, %d rebuilds\n",
+		removed, store.Len(), float64(updateCost)/8002, store.Rebuilds()-1)
+
+	got := store.Range(newItem, 0)
+	fmt.Printf("new item findable: %v; deleted item findable: %v\n",
+		len(got) == 1, len(store.Range(catalog[7], 0)) > 0)
+
+	os.Remove(path)
+}

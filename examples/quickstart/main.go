@@ -1,0 +1,67 @@
+// Quickstart: build an mvp-tree over high-dimensional vectors, run a
+// range query and a k-nearest-neighbor query, and compare the number of
+// distance computations against a linear scan — the paper's cost
+// measure.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"mvptree"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(1, 1))
+
+	// 10,000 random 20-dimensional vectors, the paper's uniform
+	// workload at a fifth of its size.
+	vectors := mvptree.UniformVectors(rng, 10000, 20)
+
+	// The mvp-tree: m=3 partitions per vantage point (fanout 9),
+	// large leaves (k=80), and p=5 pre-computed distances per leaf
+	// point — the paper's best configuration.
+	tree, err := mvptree.New(vectors, mvptree.L2, mvptree.Options{
+		Partitions:   3,
+		LeafCapacity: 80,
+		PathLength:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildCost := tree.Counter().Count()
+	fmt.Printf("built mvp-tree over %d vectors: %d distance computations, height %d\n",
+		tree.Len(), buildCost, tree.Height())
+
+	query := mvptree.UniformVectors(rng, 1, 20)[0]
+
+	// Range query: everything within distance 0.3 of the query.
+	before := tree.Counter().Count()
+	near := tree.Range(query, 0.3)
+	rangeCost := tree.Counter().Count() - before
+	fmt.Printf("range r=0.3: %d results using %d distance computations (linear scan: %d)\n",
+		len(near), rangeCost, tree.Len())
+
+	// k-nearest-neighbor query.
+	before = tree.Counter().Count()
+	nn := tree.KNN(query, 5)
+	knnCost := tree.Counter().Count() - before
+	fmt.Printf("knn k=5: %d distance computations; nearest at d=%.4f\n", knnCost, nn[0].Dist)
+
+	// The same queries on a vp-tree, for the paper's comparison.
+	vp, err := mvptree.NewVP(vectors, mvptree.L2, mvptree.VPOptions{Order: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vpBuild := vp.Counter().Count()
+	before = vp.Counter().Count()
+	vpNear := vp.Range(query, 0.3)
+	vpCost := vp.Counter().Count() - before
+	fmt.Printf("vp-tree:     %d results using %d distance computations (build %d)\n",
+		len(vpNear), vpCost, vpBuild)
+	if vpCost > 0 {
+		fmt.Printf("mvp-tree saves %.1f%% of distance computations on this query\n",
+			100*(1-float64(rangeCost)/float64(vpCost)))
+	}
+}

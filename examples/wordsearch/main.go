@@ -1,0 +1,125 @@
+// Wordsearch: best-match searching in a word file under edit distance —
+// the original Burkhard–Keller application [BK73] and the paper's
+// example of a non-spatial metric domain (§3.1). Builds a BK-tree and an
+// mvp-tree over the same dictionary and answers "did you mean ...?"
+// queries with both, comparing distance computations.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"strings"
+
+	"mvptree"
+)
+
+func main() {
+	dictPath := flag.String("dict", "", "dictionary file, one word per line (synthetic if empty)")
+	n := flag.Int("n", 20000, "synthetic dictionary size")
+	radius := flag.Float64("r", 2, "maximum edit distance for suggestions")
+	flag.Parse()
+
+	var words []string
+	if *dictPath != "" {
+		var err error
+		words, err = readWords(*dictPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		rng := rand.New(rand.NewPCG(11, 11))
+		words = mvptree.Words(rng, *n, mvptree.WordOptions{MinLen: 4, MaxLen: 12, MisspellingsPer: 1})
+	}
+	fmt.Printf("dictionary: %d words\n", len(words))
+
+	bk, err := mvptree.NewBK(words, mvptree.EditDistance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mvp, err := mvptree.New(words, mvptree.EditDistance, mvptree.Options{
+		Partitions: 2, LeafCapacity: 20, PathLength: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bk-tree built with %d distance computations, mvp-tree with %d\n",
+		bk.Counter().Count(), mvp.Counter().Count())
+
+	queries := flag.Args()
+	if len(queries) == 0 {
+		// Default demonstration: misspell a few dictionary words.
+		rng := rand.New(rand.NewPCG(12, 12))
+		for i := 0; i < 3; i++ {
+			w := words[rng.IntN(len(words))]
+			b := []byte(w)
+			b[rng.IntN(len(b))] = byte('a' + rng.IntN(26))
+			queries = append(queries, string(b))
+		}
+	}
+
+	for _, q := range queries {
+		q = strings.ToLower(strings.TrimSpace(q))
+		if q == "" {
+			continue
+		}
+		bkBefore := bk.Counter().Count()
+		suggestions := bk.Range(q, *radius)
+		bkCost := bk.Counter().Count() - bkBefore
+
+		mvpBefore := mvp.Counter().Count()
+		mvpResults := mvp.Range(q, *radius)
+		mvpCost := mvp.Counter().Count() - mvpBefore
+
+		fmt.Printf("\n%q → %d suggestions within distance %g\n", q, len(suggestions), *radius)
+		fmt.Printf("  bk-tree:  %6d distance computations\n", bkCost)
+		fmt.Printf("  mvp-tree: %6d distance computations (results agree: %v)\n",
+			mvpCost, len(mvpResults) == len(suggestions))
+		fmt.Printf("  linear:   %6d distance computations\n", len(words))
+		for i, s := range rankByDistance(q, suggestions) {
+			if i >= 8 {
+				fmt.Printf("    ... %d more\n", len(suggestions)-8)
+				break
+			}
+			fmt.Printf("    %s (d=%.0f)\n", s, mvptree.EditDistance(q, s))
+		}
+	}
+}
+
+// rankByDistance orders suggestions by edit distance from the query
+// (then lexicographically), without extra metric calls counted against
+// the indexes.
+func rankByDistance(q string, words []string) []string {
+	out := append([]string(nil), words...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			di, dj := mvptree.EditDistance(q, out[j]), mvptree.EditDistance(q, out[j-1])
+			if di < dj || (di == dj && out[j] < out[j-1]) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+func readWords(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var words []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		w := strings.ToLower(strings.TrimSpace(sc.Text()))
+		if w != "" {
+			words = append(words, w)
+		}
+	}
+	return words, sc.Err()
+}

@@ -1,0 +1,36 @@
+package mvptree
+
+import (
+	"io"
+
+	"mvptree/internal/gmvp"
+	"mvptree/internal/metric"
+)
+
+// GeneralTree is the generalized multi-vantage-point tree: any number v
+// of vantage points per node, fanout mᵛ. It realizes the paper's §4.2
+// remark that "more than 2 vantage points can be kept in one node";
+// v = 2 coincides with Tree, v = 1 with a bucketed m-way vp-tree that
+// retains PATH distances.
+type GeneralTree[T any] = gmvp.Tree[T]
+
+// GeneralOptions configure a GeneralTree: Vantages (v), Partitions (m),
+// LeafCapacity and PathLength.
+type GeneralOptions = gmvp.Options
+
+// NewGeneral builds a generalized mvp-tree with a fresh internal
+// Counter.
+func NewGeneral[T any](items []T, dist DistanceFunc[T], opts GeneralOptions) (*GeneralTree[T], error) {
+	return gmvp.New(items, metric.NewCounter(dist), opts)
+}
+
+// SaveGeneralTree writes a generalized tree to w in the same
+// CRC-protected envelope as SaveTree.
+func SaveGeneralTree[T any](w io.Writer, t *GeneralTree[T], enc ItemEncoder[T]) error {
+	return t.Save(w, gmvp.ItemEncoder[T](enc))
+}
+
+// LoadGeneralTree reads a tree written by SaveGeneralTree.
+func LoadGeneralTree[T any](r io.Reader, dist DistanceFunc[T], dec ItemDecoder[T]) (*GeneralTree[T], error) {
+	return gmvp.Load(r, metric.NewCounter(dist), gmvp.ItemDecoder[T](dec))
+}

@@ -1,0 +1,3 @@
+module mvptree
+
+go 1.24

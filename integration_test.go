@@ -1,0 +1,121 @@
+package mvptree_test
+
+// End-to-end integration across modules: generate a workload, build
+// every structure, cross-check all query variants, persist and reload,
+// then continue with dynamic updates — the full lifecycle a downstream
+// user would run, exercised in one test.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree"
+)
+
+func TestFullLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 1))
+	dataset := mvptree.ClusteredVectors(rng, 2000, 10, 100, 0.15)
+	queries := mvptree.UniformVectors(rng, 8, 10)
+
+	// Stage 1: build the paper's configuration.
+	tree, err := mvptree.New(dataset, mvptree.L2, mvptree.Options{
+		Partitions: 3, LeafCapacity: 40, PathLength: 5, Workers: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := mvptree.NewLinear(dataset, mvptree.L2)
+
+	// Stage 2: all query variants agree with brute force.
+	for _, q := range queries {
+		r := 0.6
+		if got, want := len(tree.Range(q, r)), len(scan.Range(q, r)); got != want {
+			t.Fatalf("Range: %d vs %d", got, want)
+		}
+		if got, want := len(tree.RangeFarther(q, 2.0)), len(scan.RangeFarther(q, 2.0)); got != want {
+			t.Fatalf("RangeFarther: %d vs %d", got, want)
+		}
+		nn, fn := tree.KNN(q, 7), scan.KNN(q, 7)
+		for i := range nn {
+			if nn[i].Dist != fn[i].Dist {
+				t.Fatalf("KNN dist[%d]: %g vs %g", i, nn[i].Dist, fn[i].Dist)
+			}
+		}
+		kf, lf := tree.KFarthest(q, 3), scan.KFarthest(q, 3)
+		for i := range kf {
+			if kf[i].Dist != lf[i].Dist {
+				t.Fatalf("KFarthest dist[%d]: %g vs %g", i, kf[i].Dist, lf[i].Dist)
+			}
+		}
+		if got, _ := tree.KNNBudgeted(q, 7, 1<<40); got[6].Dist != fn[6].Dist {
+			t.Fatal("KNNBudgeted(∞) differs from exact")
+		}
+		if _, s := tree.RangeWithStats(q, r); s.Candidates != s.FilteredByD+s.FilteredByPath+s.Computed {
+			t.Fatalf("stats accounting: %+v", s)
+		}
+	}
+
+	// Stage 3: persist and reload; identical behaviour, zero cost.
+	var buf bytes.Buffer
+	if err := mvptree.SaveTree(&buf, tree, mvptree.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mvptree.LoadTree(&buf, mvptree.L2, mvptree.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Counter().Count() != 0 {
+		t.Fatalf("reload cost %d distance computations", loaded.Counter().Count())
+	}
+	for _, q := range queries {
+		a, b := tree.KNN(q, 5), loaded.KNN(q, 5)
+		for i := range a {
+			if a[i].Dist != b[i].Dist {
+				t.Fatal("reloaded tree answers differently")
+			}
+		}
+	}
+
+	// Stage 4: the collection evolves — switch to the dynamic store.
+	store, err := mvptree.NewDynamic(dataset, mvptree.L2, mvptree.DynamicOptions{
+		Tree: mvptree.Options{Partitions: 3, LeafCapacity: 40, PathLength: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := mvptree.UniformVectors(rng, 700, 10)
+	for _, v := range extra {
+		if err := store.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removedTotal := 0
+	for i := 0; i < 50; i++ {
+		n, err := store.Delete(dataset[i*7])
+		if err != nil {
+			t.Fatal(err)
+		}
+		removedTotal += n
+	}
+	if store.Len() != 2000+700-removedTotal {
+		t.Fatalf("Len = %d after churn", store.Len())
+	}
+	// Final agreement check against a fresh model of the same state.
+	model := append([][]float64{}, extra...)
+	deleted := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		deleted[i*7] = true
+	}
+	for i, v := range dataset {
+		if !deleted[i] {
+			model = append(model, v)
+		}
+	}
+	modelScan := mvptree.NewLinear(model, mvptree.L2)
+	for _, q := range queries {
+		if got, want := len(store.Range(q, 0.6)), len(modelScan.Range(q, 0.6)); got != want {
+			t.Fatalf("post-churn Range: %d vs %d", got, want)
+		}
+	}
+}

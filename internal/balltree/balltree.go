@@ -1,0 +1,230 @@
+// Package balltree implements the second method of Burkhard & Keller
+// [BK73], as the paper describes it in §3.2: "they partition the space
+// into a number of sets of keys. For each set, they arbitrarily pick a
+// center key, and calculate the radius which is the maximum distance
+// between the center and any other key in the set. The keys in a set
+// are partitioned into other sets recursively creating a multi-way
+// tree. Each node in the tree keeps the centers and the radii for the
+// sets of keys indexed below." It is the ancestor of ball trees and
+// M-trees.
+//
+// The paper notes the partitioning strategy "was not discussed and was
+// left as a parameter"; this implementation assigns each key to its
+// closest center (centers picked greedily far apart, as in GNAT), which
+// keeps radii small — the quantity the center/radius bound prunes on.
+package balltree
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Options configure construction.
+type Options struct {
+	// Fanout is the number of sets each node's keys are partitioned
+	// into. Default 8.
+	Fanout int
+	// LeafCapacity is the maximum bucket size. Default 16.
+	LeafCapacity int
+	// Seed seeds center selection.
+	Seed uint64
+}
+
+// Tree is a center/radius multi-way tree over a fixed item set.
+type Tree[T any] struct {
+	root      *node[T]
+	dist      *metric.Counter[T]
+	size      int
+	buildCost int64
+}
+
+var _ index.Index[int] = (*Tree[int])(nil)
+
+// node holds, per child set, its center (a real data point, stored in
+// the child), and the set's radius — the maximum distance from the
+// center to any key of the set, exactly [BK73]'s invariant.
+type node[T any] struct {
+	centers  []T
+	radii    []float64
+	children []*node[T]
+	leaf     bool
+	items    []T
+}
+
+// New builds a tree over items using the counted metric dist.
+func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	if opts.Fanout == 0 {
+		opts.Fanout = 8
+	}
+	if opts.LeafCapacity == 0 {
+		opts.LeafCapacity = 16
+	}
+	if opts.Fanout < 2 {
+		return nil, errors.New("balltree: Fanout must be at least 2")
+	}
+	if opts.LeafCapacity < 1 {
+		return nil, errors.New("balltree: LeafCapacity must be at least 1")
+	}
+	t := &Tree[T]{dist: dist, size: len(items)}
+	work := make([]T, len(items))
+	copy(work, items)
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x62616c6c))
+	before := dist.Count()
+	t.root = t.build(work, rng, &opts)
+	t.buildCost = dist.Count() - before
+	return t, nil
+}
+
+func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
+	if len(work) == 0 {
+		return nil
+	}
+	if len(work) <= opts.LeafCapacity || len(work) <= opts.Fanout {
+		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
+		copy(leaf.items, work)
+		return leaf
+	}
+	k := opts.Fanout
+	// Greedy far-apart centers: random first, then repeatedly the key
+	// farthest from all chosen centers.
+	centerIdx := make([]int, 0, k)
+	minDist := make([]float64, len(work))
+	first := rng.IntN(len(work))
+	centerIdx = append(centerIdx, first)
+	for i := range work {
+		minDist[i] = t.dist.Distance(work[i], work[first])
+	}
+	for len(centerIdx) < k {
+		far := 0
+		for i := range work {
+			if minDist[i] > minDist[far] {
+				far = i
+			}
+		}
+		centerIdx = append(centerIdx, far)
+		for i := range work {
+			if d := t.dist.Distance(work[i], work[far]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	isCenter := make(map[int]bool, k)
+	n := &node[T]{centers: make([]T, k), radii: make([]float64, k)}
+	for j, ci := range centerIdx {
+		n.centers[j] = work[ci]
+		isCenter[ci] = true
+	}
+	// Assign each remaining key to its closest center and track radii.
+	sets := make([][]T, k)
+	for i, it := range work {
+		if isCenter[i] {
+			continue
+		}
+		bestJ, bestD := 0, 0.0
+		for j := range n.centers {
+			d := t.dist.Distance(it, n.centers[j])
+			if j == 0 || d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		sets[bestJ] = append(sets[bestJ], it)
+		if bestD > n.radii[bestJ] {
+			n.radii[bestJ] = bestD
+		}
+	}
+	n.children = make([]*node[T], k)
+	for j := range sets {
+		n.children[j] = t.build(sets[j], rng, opts)
+	}
+	return n
+}
+
+// Len reports the number of indexed items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Counter returns the counted metric the tree measures distances with.
+func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// BuildCost reports construction distance computations.
+func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+
+// Range returns every indexed item within distance r of q. A set with
+// center c and radius ρ is skipped when d(q,c) − ρ > r: by the triangle
+// inequality every key x of the set has d(q,x) ≥ d(q,c) − d(c,x) ≥
+// d(q,c) − ρ.
+func (t *Tree[T]) Range(q T, r float64) []T {
+	if r < 0 {
+		return nil
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if t.dist.Distance(q, it) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	for j, c := range n.centers {
+		d := t.dist.Distance(q, c)
+		if d <= r {
+			*out = append(*out, c)
+		}
+		if d-n.radii[j] <= r {
+			t.rangeNode(n.children[j], q, r, out)
+		}
+	}
+}
+
+// KNN returns the k nearest indexed items by best-first traversal on
+// the lower bound max(0, d(q,c) − ρ).
+func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for {
+		n, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				best.Push(it, t.dist.Distance(q, it))
+			}
+			continue
+		}
+		for j, c := range n.centers {
+			d := t.dist.Distance(q, c)
+			best.Push(c, d)
+			if n.children[j] == nil {
+				continue
+			}
+			lb := d - n.radii[j]
+			if lb < bound {
+				lb = bound
+			}
+			if best.Accepts(lb) {
+				queue.PushNode(n.children[j], lb)
+			}
+		}
+	}
+	return best.Sorted()
+}

@@ -1,0 +1,138 @@
+package balltree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(131, 1))
+	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
+	for _, opts := range []Options{
+		{Seed: 7},
+		{Fanout: 3, LeafCapacity: 4, Seed: 7},
+		{Fanout: 16, LeafCapacity: 32, Seed: 7},
+	} {
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckRange(t, "ball", tree, w, []float64{0, 0.1, 0.3, 0.6, 1.0, 2.0})
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(132, 1))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Fanout: 5, LeafCapacity: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckKNN(t, "ball", tree, w, []int{1, 2, 5, 17, 300, 1000})
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(133, 1))
+	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckRange(t, "ball-clumped", tree, w, []float64{0, 0.01, 0.05, 0.5, 3})
+	testutil.CheckKNN(t, "ball-clumped", tree, w, []int{1, 3, 10})
+	testutil.CheckContainsAllOnce(t, "ball-clumped", tree, w, 1e6)
+}
+
+func TestRadiusInvariant(t *testing.T) {
+	// [BK73]'s defining invariant: every key of a set lies within the
+	// set's recorded radius of its center.
+	rng := rand.New(rand.NewPCG(134, 1))
+	w := testutil.NewVectorWorkload(rng, 600, 6, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Fanout: 4, LeafCapacity: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func(n *node[int])
+	var collect func(n *node[int], f func(int))
+	collect = func(n *node[int], f func(int)) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				f(it)
+			}
+			return
+		}
+		for j, c := range n.centers {
+			f(c)
+			collect(n.children[j], f)
+		}
+	}
+	check = func(n *node[int]) {
+		if n == nil || n.leaf {
+			return
+		}
+		for j := range n.centers {
+			collect(n.children[j], func(it int) {
+				if d := w.Dist(it, n.centers[j]); d > n.radii[j]+1e-12 {
+					t.Fatalf("key at distance %g from center, radius %g", d, n.radii[j])
+				}
+			})
+			check(n.children[j])
+		}
+	}
+	check(tree.root)
+}
+
+func TestTinyAndEdgeCases(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	for n := 0; n <= 10; n++ {
+		items := make([][]float64, n)
+		for i := range items {
+			items[i] = []float64{float64(i)}
+		}
+		tree, err := New(items, dist, Options{Fanout: 3, LeafCapacity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != n {
+			t.Errorf("n=%d: Len() = %d", n, tree.Len())
+		}
+		if got := tree.Range([]float64{0}, 100); len(got) != n {
+			t.Errorf("n=%d: full range = %d items", n, len(got))
+		}
+	}
+	for _, opts := range []Options{{Fanout: 1}, {LeafCapacity: -1}} {
+		if _, err := New([][]float64{{1}, {2}}, dist, opts); err == nil {
+			t.Errorf("invalid options %+v accepted", opts)
+		}
+	}
+}
+
+func TestPrunesOnClusteredData(t *testing.T) {
+	// Tight clusters are the ball tree's best case: small radii.
+	rng := rand.New(rand.NewPCG(135, 1))
+	w := testutil.NewClumpedWorkload(rng, 3000, 6, 15, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Fanout: 8, LeafCapacity: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, q := range w.Queries {
+		c.Reset()
+		tree.Range(q, 0.05)
+		total += c.Count()
+	}
+	if avg := float64(total) / float64(len(w.Queries)); avg > float64(w.Truth.Len())/2 {
+		t.Errorf("avg cost %.0f ≥ n/2; ball tree not pruning on clustered data", avg)
+	}
+}

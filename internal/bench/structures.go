@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+
+	"mvptree/internal/balltree"
+	"mvptree/internal/bktree"
+	"mvptree/internal/ghtree"
+	"mvptree/internal/gmvp"
+	"mvptree/internal/gnat"
+	"mvptree/internal/index"
+	"mvptree/internal/laesa"
+	"mvptree/internal/linear"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/vptree"
+)
+
+// The constructors below adapt each index package to the harness and fix
+// the naming convention the paper uses in its figures: vpt(m),
+// mvpt(m,k).
+
+// VPT returns a vp-tree structure of the given order, named vpt(m) as in
+// the paper's figures.
+func VPT[T any](order int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("vpt(%d)", order),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return vptree.New(items, dist, vptree.Options{Order: order, Seed: seed})
+		},
+	}
+}
+
+// MVPT returns an mvp-tree structure with m partitions per vantage
+// point, leaf capacity k and path length p, named mvpt(m,k) as in the
+// paper's figures (the paper suppresses p in the name since it is
+// constant per figure).
+func MVPT[T any](m, k, p int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("mvpt(%d,%d)", m, k),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return mvp.New(items, dist, mvp.Options{Partitions: m, LeafCapacity: k, PathLength: p, Seed: seed})
+		},
+	}
+}
+
+// MVPTRandomSV2 is MVPT with the second vantage point chosen randomly
+// from the outermost shell instead of farthest-first — the abl-sv2
+// ablation.
+func MVPTRandomSV2[T any](m, k, p int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("mvpt(%d,%d)-rnd2", m, k),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return mvp.New(items, dist, mvp.Options{
+				Partitions: m, LeafCapacity: k, PathLength: p,
+				RandomSecondVantage: true, Seed: seed,
+			})
+		},
+	}
+}
+
+// GHT returns a gh-tree structure.
+func GHT[T any](leafCapacity int) Structure[T] {
+	return Structure[T]{
+		Name: "ght",
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return ghtree.New(items, dist, ghtree.Options{LeafCapacity: leafCapacity, Seed: seed})
+		},
+	}
+}
+
+// GNAT returns a GNAT structure with the given degree.
+func GNAT[T any](degree int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("gnat(%d)", degree),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return gnat.New(items, dist, gnat.Options{Degree: degree, Seed: seed})
+		},
+	}
+}
+
+// LAESA returns a pivot-table structure with the given pivot count.
+func LAESA[T any](pivots int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("laesa(%d)", pivots),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return laesa.New(items, dist, laesa.Options{Pivots: pivots, Seed: seed})
+		},
+	}
+}
+
+// BKT returns a BK-tree structure (discrete metrics only).
+func BKT[T any]() Structure[T] {
+	return Structure[T]{
+		Name: "bkt",
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return bktree.New(items, dist)
+		},
+	}
+}
+
+// Linear returns the brute-force baseline.
+func Linear[T any]() Structure[T] {
+	return Structure[T]{
+		Name: "linear",
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return linear.New(items, dist), nil
+		},
+	}
+}
+
+// GMVPT returns a generalized mvp-tree with v vantage points per node,
+// named gmvpt(v,m,k).
+func GMVPT[T any](v, m, k, p int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("gmvpt(%d,%d,%d)", v, m, k),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return gmvp.New(items, dist, gmvp.Options{
+				Vantages: v, Partitions: m, LeafCapacity: k, PathLength: p, Seed: seed,
+			})
+		},
+	}
+}
+
+// dfsAdapter swaps a vp-tree's KNN for the [Chi94] depth-first variant.
+type dfsAdapter[T any] struct{ *vptree.Tree[T] }
+
+func (a dfsAdapter[T]) KNN(q T, k int) []index.Neighbor[T] {
+	return a.Tree.KNNDepthFirst(q, k)
+}
+
+// VPTDepthFirst returns a vp-tree whose kNN queries use the
+// decreasing-radius depth-first search of [Chi94] instead of the
+// best-first traversal, named vpt(m)-dfs.
+func VPTDepthFirst[T any](order int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("vpt(%d)-dfs", order),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			t, err := vptree.New(items, dist, vptree.Options{Order: order, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return dfsAdapter[T]{t}, nil
+		},
+	}
+}
+
+// BallTree returns the center/radius multi-way tree of [BK73]'s second
+// method, named ball(fanout).
+func BallTree[T any](fanout int) Structure[T] {
+	return Structure[T]{
+		Name: fmt.Sprintf("ball(%d)", fanout),
+		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
+			return balltree.New(items, dist, balltree.Options{Fanout: fanout, Seed: seed})
+		},
+	}
+}

@@ -1,0 +1,157 @@
+// Package bktree implements the Burkhard–Keller tree [BK73], the first
+// method the paper reviews (§3.2): a hierarchical multi-way
+// decomposition for metrics that take discrete (integer) values, such as
+// edit distance or Hamming distance.
+//
+// Each node holds one item; children are keyed by the integer distance
+// from the node's item, so all keys at distance d from the node's item
+// live under child d. Range search with radius r at a node whose item is
+// at distance d from the query needs only the children keyed d−r … d+r,
+// by the triangle inequality.
+//
+// Unlike the other structures in this repository, the BK-tree is
+// naturally incremental: Insert is exposed alongside bulk construction.
+package bktree
+
+import (
+	"errors"
+	"math"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Tree is a Burkhard–Keller tree over items under a discrete metric.
+type Tree[T any] struct {
+	root *node[T]
+	dist *metric.Counter[T]
+	size int
+}
+
+var _ index.Index[string] = (*Tree[string])(nil)
+
+type node[T any] struct {
+	item     T
+	children map[int]*node[T]
+}
+
+// New builds a BK-tree by inserting items in order. The metric must
+// return non-negative integer values; New returns an error on the first
+// non-integer distance it computes.
+func New[T any](items []T, dist *metric.Counter[T]) (*Tree[T], error) {
+	t := &Tree[T]{dist: dist}
+	for _, it := range items {
+		if err := t.Insert(it); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Insert adds one item to the tree.
+func (t *Tree[T]) Insert(item T) error {
+	if t.root == nil {
+		t.root = &node[T]{item: item}
+		t.size++
+		return nil
+	}
+	n := t.root
+	for {
+		d := t.dist.Distance(item, n.item)
+		di := int(d)
+		if float64(di) != d || d < 0 {
+			return errors.New("bktree: metric returned a non-integer distance")
+		}
+		if di == 0 {
+			// Duplicate (distance zero): store under child 0 so it is
+			// still retrievable; a chain of identical items forms.
+			if n.children == nil {
+				n.children = make(map[int]*node[T])
+			}
+			if c, ok := n.children[0]; ok {
+				n = c
+				continue
+			}
+			n.children[0] = &node[T]{item: item}
+			t.size++
+			return nil
+		}
+		if n.children == nil {
+			n.children = make(map[int]*node[T])
+		}
+		c, ok := n.children[di]
+		if !ok {
+			n.children[di] = &node[T]{item: item}
+			t.size++
+			return nil
+		}
+		n = c
+	}
+}
+
+// Len reports the number of indexed items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Counter returns the counted metric the tree measures distances with.
+func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// Range returns every indexed item within distance r of q.
+func (t *Tree[T]) Range(q T, r float64) []T {
+	if r < 0 || t.root == nil {
+		return nil
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+	d := t.dist.Distance(q, n.item)
+	if d <= r {
+		*out = append(*out, n.item)
+	}
+	if n.children == nil {
+		return
+	}
+	lo := int(math.Ceil(d - r))
+	hi := int(math.Floor(d + r))
+	for key, c := range n.children {
+		if key >= lo && key <= hi {
+			t.rangeNode(c, q, r, out)
+		}
+	}
+}
+
+// KNN returns the k nearest indexed items by best-first traversal: a
+// child keyed key under a node at distance d from the query has lower
+// bound |d − key|.
+func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for {
+		n, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break
+		}
+		d := t.dist.Distance(q, n.item)
+		best.Push(n.item, d)
+		for key, c := range n.children {
+			lb := math.Abs(d - float64(key))
+			if lb < bound {
+				lb = bound
+			}
+			if best.Accepts(lb) {
+				queue.PushNode(c, lb)
+			}
+		}
+	}
+	return best.Sorted()
+}

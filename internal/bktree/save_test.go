@@ -1,0 +1,98 @@
+package bktree
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"mvptree/internal/codec"
+	"mvptree/internal/metric"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := metric.NewCounter(metric.Edit)
+	orig, err := New(words, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, codec.EncodeString); err != nil {
+		t.Fatal(err)
+	}
+	c2 := metric.NewCounter(metric.Edit)
+	loaded, err := Load(&buf, c2, codec.DecodeString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", loaded.Len(), orig.Len())
+	}
+	if c2.Count() != 0 {
+		t.Errorf("loading computed %d distances", c2.Count())
+	}
+	for _, q := range []string{"book", "fish", "zzz"} {
+		for _, r := range []float64{0, 1, 2} {
+			a := append([]string(nil), orig.Range(q, r)...)
+			b := append([]string(nil), loaded.Range(q, r)...)
+			sort.Strings(a)
+			sort.Strings(b)
+			if len(a) != len(b) {
+				t.Fatalf("Range(%q, %g): %d vs %d results", q, r, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("Range(%q, %g) differs after reload", q, r)
+				}
+			}
+		}
+	}
+	// The loaded tree remains insertable.
+	if err := loaded.Insert("bop"); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Range("bop", 0); len(got) != 1 {
+		t.Errorf("inserted item not found after reload: %v", got)
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	c := metric.NewCounter(metric.Edit)
+	orig, err := New(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, codec.EncodeString); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, c, codec.DecodeString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 || loaded.Range("x", 3) != nil {
+		t.Error("empty tree misbehaves after reload")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	c := metric.NewCounter(metric.Edit)
+	orig, err := New(words, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, codec.EncodeString); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, i := range []int{10, len(valid) / 2, len(valid) - 3} {
+		data := append([]byte(nil), valid...)
+		data[i] ^= 0x3C
+		if _, err := Load(bytes.NewReader(data), c, codec.DecodeString); err == nil {
+			t.Errorf("byte %d flipped: Load succeeded", i)
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk")), c, codec.DecodeString); err == nil {
+		t.Error("junk accepted")
+	}
+}

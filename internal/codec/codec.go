@@ -1,0 +1,55 @@
+// Package codec provides item encoders/decoders for the persistence
+// layer: vectors, strings and gray-level images — the three item types
+// of the paper's workloads.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mvptree/internal/pgm"
+)
+
+// EncodeVector serializes a float64 vector as little-endian IEEE-754
+// words.
+func EncodeVector(v []float64) ([]byte, error) {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out, nil
+}
+
+// DecodeVector reverses EncodeVector.
+func DecodeVector(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("codec: vector encoding has %d bytes, not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// EncodeString serializes a string as its bytes.
+func EncodeString(s string) ([]byte, error) { return []byte(s), nil }
+
+// DecodeString reverses EncodeString.
+func DecodeString(b []byte) (string, error) { return string(b), nil }
+
+// EncodeImage serializes a gray-level image as binary PGM.
+func EncodeImage(im *pgm.Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := pgm.Encode(&buf, im); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeImage reverses EncodeImage.
+func DecodeImage(b []byte) (*pgm.Image, error) {
+	return pgm.Decode(bytes.NewReader(b))
+}

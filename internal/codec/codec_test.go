@@ -1,0 +1,84 @@
+package codec
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"mvptree/internal/pgm"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		b, err := EncodeVector(v)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeVector(b)
+		if err != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			same := got[i] == v[i] || (math.IsNaN(got[i]) && math.IsNaN(v[i]))
+			if !same {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorDecodeRejectsBadLength(t *testing.T) {
+	if _, err := DecodeVector(make([]byte, 7)); err == nil {
+		t.Error("7-byte vector accepted")
+	}
+	if got, err := DecodeVector(nil); err != nil || len(got) != 0 {
+		t.Errorf("empty vector: %v, %v", got, err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		b, err := EncodeString(s)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeString(b)
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 4))
+	im := pgm.NewImage(9, 7)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(rng.IntN(256))
+	}
+	b, err := EncodeImage(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 9 || got.Height != 7 {
+		t.Fatalf("dims %dx%d", got.Width, got.Height)
+	}
+	if pgm.L1(im, got) != 0 {
+		t.Error("image changed in round trip")
+	}
+}
+
+func TestImageDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeImage([]byte("not a pgm")); err == nil {
+		t.Error("garbage image accepted")
+	}
+}

@@ -1,0 +1,259 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/pgm"
+)
+
+func TestUniformVectorsShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 1))
+	vs := UniformVectors(rng, 1000, 20)
+	if len(vs) != 1000 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	var sum float64
+	for _, v := range vs {
+		if len(v) != 20 {
+			t.Fatalf("dim = %d", len(v))
+		}
+		for _, x := range v {
+			if x < 0 || x >= 1 {
+				t.Fatalf("coordinate %g outside [0,1)", x)
+			}
+			sum += x
+		}
+	}
+	mean := sum / float64(1000*20)
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("coordinate mean = %g, want ≈ 0.5", mean)
+	}
+}
+
+func TestUniformVectorsDistanceConcentration(t *testing.T) {
+	// §5.1.A: for 20-d uniform vectors pairwise L2 distances
+	// concentrate around ~1.75 in [1, 2.5] — the Figure 4 shape.
+	rng := rand.New(rand.NewPCG(82, 1))
+	vs := UniformVectors(rng, 400, 20)
+	var within, total int
+	var sum float64
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			d := metric.L2(vs[i], vs[j])
+			sum += d
+			total++
+			if d >= 1 && d <= 2.5 {
+				within++
+			}
+		}
+	}
+	if frac := float64(within) / float64(total); frac < 0.99 {
+		t.Errorf("only %.3f of pairwise distances in [1, 2.5]", frac)
+	}
+	if mean := sum / float64(total); math.Abs(mean-1.75) > 0.15 {
+		t.Errorf("mean pairwise distance %g, paper reports ≈ 1.75", mean)
+	}
+}
+
+func TestClusteredVectorsStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 1))
+	const n, dim, cs = 600, 20, 100
+	vs := ClusteredVectors(rng, n, dim, cs, 0.15)
+	if len(vs) != n {
+		t.Fatalf("len = %d", len(vs))
+	}
+	// Distances within a cluster must be smaller on average than
+	// across clusters (clusters are generated around distinct seeds).
+	intra, inter := 0.0, 0.0
+	ni, nx := 0, 0
+	for s := 0; s < 300; s++ {
+		i, j := rng.IntN(n), rng.IntN(n)
+		if i == j {
+			continue
+		}
+		d := metric.L2(vs[i], vs[j])
+		if i/cs == j/cs {
+			intra += d
+			ni++
+		} else {
+			inter += d
+			nx++
+		}
+	}
+	if ni == 0 || nx == 0 {
+		t.Fatal("sampling failed to cover both intra and inter pairs")
+	}
+	if intra/float64(ni) >= inter/float64(nx) {
+		t.Errorf("mean intra-cluster distance %.3f ≥ inter-cluster %.3f",
+			intra/float64(ni), inter/float64(nx))
+	}
+}
+
+func TestClusteredVectorsWiderSpreadThanUniform(t *testing.T) {
+	// Figure 5 vs Figure 4: the clustered distribution has a wider
+	// range of pairwise distances. Compare standard deviations.
+	rng := rand.New(rand.NewPCG(84, 1))
+	uni := UniformVectors(rng, 300, 20)
+	clu := ClusteredVectors(rng, 300, 20, 50, 0.15)
+	sd := func(vs [][]float64) float64 {
+		var ds []float64
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				ds = append(ds, metric.L2(vs[i], vs[j]))
+			}
+		}
+		var mean float64
+		for _, d := range ds {
+			mean += d
+		}
+		mean /= float64(len(ds))
+		var v float64
+		for _, d := range ds {
+			v += (d - mean) * (d - mean)
+		}
+		return math.Sqrt(v / float64(len(ds)))
+	}
+	if su, sc := sd(uni), sd(clu); sc <= su {
+		t.Errorf("clustered stddev %.3f ≤ uniform stddev %.3f; want wider", sc, su)
+	}
+}
+
+func TestClusteredVectorsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 1))
+	vs := ClusteredVectors(rng, 250, 5, 100, 0.1)
+	if len(vs) != 250 {
+		t.Errorf("len = %d, want exactly 250 (truncated last cluster)", len(vs))
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(86, 1))
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := SampleQueries(rng, items, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, g := range got {
+		if seen[g] {
+			t.Errorf("duplicate sample %d", g)
+		}
+		seen[g] = true
+	}
+	all := SampleQueries(rng, items, 100)
+	if len(all) != len(items) {
+		t.Errorf("oversized request returned %d items", len(all))
+	}
+}
+
+func TestWordsBasic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(87, 1))
+	ws := Words(rng, 500, WordOptions{})
+	if len(ws) != 500 {
+		t.Fatalf("len = %d", len(ws))
+	}
+	for _, w := range ws {
+		if len(w) < 3 || len(w) > 10 {
+			t.Fatalf("word %q length outside [3,10]", w)
+		}
+		for i := 0; i < len(w); i++ {
+			if w[i] < 'a' || w[i] > 'z' {
+				t.Fatalf("word %q contains %q", w, w[i])
+			}
+		}
+	}
+}
+
+func TestWordsMisspellingsAreNear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(88, 1))
+	ws := Words(rng, 300, WordOptions{MisspellingsPer: 2})
+	// Corpus layout: base, variant, variant, base, ... Every variant is
+	// within edit distance 2 of its base.
+	for i := 0; i+2 < len(ws); i += 3 {
+		for t2 := 1; t2 <= 2; t2++ {
+			if d := metric.Edit(ws[i], ws[i+t2]); d > 2 {
+				t.Fatalf("variant %q of %q at edit distance %g", ws[i+t2], ws[i], d)
+			}
+		}
+	}
+}
+
+func TestWordsInvalidBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(89, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid length bounds accepted")
+		}
+	}()
+	Words(rng, 10, WordOptions{MinLen: 5, MaxLen: 2})
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := UniformVectors(rand.New(rand.NewPCG(90, 1)), 10, 4)
+	b := UniformVectors(rand.New(rand.NewPCG(90, 1)), 10, 4)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("UniformVectors not deterministic for equal seeds")
+			}
+		}
+	}
+}
+
+func TestLoadPGMDir(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewPCG(95, 1))
+	want := SyntheticImages(rng, 4, ImageOptions{Width: 10, Height: 10, Subjects: 2})
+	for i, im := range want {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("im%d.pgm", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pgm.Encode(f, im); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignore me"), 0o644)
+
+	got, err := LoadPGMDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("loaded %d images", len(got))
+	}
+	for i := range got {
+		if pgm.L1(got[i], want[i]) != 0 {
+			t.Errorf("image %d changed in round trip", i)
+		}
+	}
+}
+
+func TestLoadPGMDirErrors(t *testing.T) {
+	if _, err := LoadPGMDir("/does/not/exist"); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadPGMDir(empty); err == nil {
+		t.Error("empty dir accepted")
+	}
+	mixed := t.TempDir()
+	rng := rand.New(rand.NewPCG(96, 1))
+	a := SyntheticImages(rng, 1, ImageOptions{Width: 8, Height: 8})[0]
+	b := SyntheticImages(rng, 1, ImageOptions{Width: 9, Height: 9})[0]
+	for name, im := range map[string]*pgm.Image{"a.pgm": a, "b.pgm": b} {
+		f, _ := os.Create(filepath.Join(mixed, name))
+		pgm.Encode(f, im)
+		f.Close()
+	}
+	if _, err := LoadPGMDir(mixed); err == nil {
+		t.Error("mixed-size dir accepted")
+	}
+}

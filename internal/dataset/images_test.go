@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/histogram"
+	"mvptree/internal/pgm"
+)
+
+func TestSyntheticImagesBasic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 1))
+	imgs := SyntheticImages(rng, 40, ImageOptions{Width: 32, Height: 32, Subjects: 4})
+	if len(imgs) != 40 {
+		t.Fatalf("len = %d", len(imgs))
+	}
+	for _, im := range imgs {
+		if im.Width != 32 || im.Height != 32 {
+			t.Fatalf("dims %dx%d", im.Width, im.Height)
+		}
+	}
+	// Images must not be blank: the head must light up a nontrivial
+	// fraction of pixels.
+	for i, im := range imgs {
+		bright := 0
+		for _, p := range im.Pix {
+			if p > 60 {
+				bright++
+			}
+		}
+		if frac := float64(bright) / float64(len(im.Pix)); frac < 0.1 {
+			t.Fatalf("image %d has only %.2f bright fraction", i, frac)
+		}
+	}
+}
+
+func TestSyntheticImagesSubjectStructure(t *testing.T) {
+	// Instances of the same subject (indices ≡ mod Subjects) must be
+	// mutually closer than instances of different subjects.
+	rng := rand.New(rand.NewPCG(92, 1))
+	const subjects = 5
+	imgs := SyntheticImages(rng, 50, ImageOptions{Width: 32, Height: 32, Subjects: subjects})
+	var intra, inter float64
+	var ni, nx int
+	for i := 0; i < len(imgs); i++ {
+		for j := i + 1; j < len(imgs); j++ {
+			d := pgm.L1(imgs[i], imgs[j])
+			if i%subjects == j%subjects {
+				intra += d
+				ni++
+			} else {
+				inter += d
+				nx++
+			}
+		}
+	}
+	mi, mx := intra/float64(ni), inter/float64(nx)
+	if mi*2 >= mx {
+		t.Errorf("mean intra-subject L1 = %.0f, inter = %.0f; want clear separation", mi, mx)
+	}
+}
+
+func TestSyntheticImagesBimodalDistances(t *testing.T) {
+	// The defining property of the paper's image workload (Figs 6–7):
+	// the pairwise-distance histogram has (at least) two peaks — one
+	// near zero for same-subject pairs, one far out for cross-subject
+	// pairs.
+	rng := rand.New(rand.NewPCG(93, 1))
+	imgs := SyntheticImages(rng, 80, ImageOptions{Width: 32, Height: 32, Subjects: 8})
+	h := histogram.Pairwise(imgs, pgm.L1, 2000)
+	peaks := h.Peaks(5, 0.05)
+	if len(peaks) < 2 {
+		t.Errorf("pairwise L1 histogram has %d peaks, want ≥ 2 (bimodal)", len(peaks))
+	}
+}
+
+func TestSyntheticImagesDeterministic(t *testing.T) {
+	a := SyntheticImages(rand.New(rand.NewPCG(94, 1)), 5, ImageOptions{Width: 16, Height: 16})
+	b := SyntheticImages(rand.New(rand.NewPCG(94, 1)), 5, ImageOptions{Width: 16, Height: 16})
+	for i := range a {
+		for j := range a[i].Pix {
+			if a[i].Pix[j] != b[i].Pix[j] {
+				t.Fatal("SyntheticImages not deterministic for equal seeds")
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mvptree/internal/pgm"
+)
+
+// LoadPGMDir reads every .pgm file in dir (sorted by name, so dataset
+// order is stable) and verifies that all images share one size. It
+// exists so the image experiments can run against a real collection —
+// e.g. the paper's MRI scans, if available — instead of the synthetic
+// substitute: `mvpbench -imgdir scans/`.
+func LoadPGMDir(dir string) ([]*pgm.Image, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".pgm") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dataset: no .pgm files in %s", dir)
+	}
+	sort.Strings(names)
+	imgs := make([]*pgm.Image, 0, len(names))
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		im, err := pgm.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(imgs) > 0 && (im.Width != imgs[0].Width || im.Height != imgs[0].Height) {
+			return nil, fmt.Errorf("%s: size %dx%d differs from %dx%d",
+				path, im.Width, im.Height, imgs[0].Width, imgs[0].Height)
+		}
+		imgs = append(imgs, im)
+	}
+	return imgs, nil
+}

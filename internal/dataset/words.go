@@ -1,0 +1,81 @@
+package dataset
+
+import "math/rand/v2"
+
+// WordOptions configure the synthetic word-corpus generator used by the
+// edit-distance experiments (the "best-match file searching" setting of
+// [BK73]).
+type WordOptions struct {
+	// MinLen and MaxLen bound word lengths. Defaults 3 and 10.
+	MinLen, MaxLen int
+	// Alphabet is the character set. Default "abcdefghijklmnopqrstuvwxyz".
+	Alphabet string
+	// MisspellingsPer adds, for each base word, this many near
+	// variants at edit distance 1–2 (simulating typos, the classic
+	// BK-tree workload). Default 0.
+	MisspellingsPer int
+}
+
+func (o *WordOptions) setDefaults() {
+	if o.MinLen == 0 {
+		o.MinLen = 3
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 10
+	}
+	if o.Alphabet == "" {
+		o.Alphabet = "abcdefghijklmnopqrstuvwxyz"
+	}
+}
+
+// Words returns n words. With MisspellingsPer = t, the corpus consists
+// of ⌈n/(t+1)⌉ random base words each followed by t perturbed variants
+// (truncated to exactly n entries).
+func Words(rng *rand.Rand, n int, opts WordOptions) []string {
+	opts.setDefaults()
+	if opts.MinLen < 1 || opts.MaxLen < opts.MinLen {
+		panic("dataset: invalid word length bounds")
+	}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		base := randomWord(rng, &opts)
+		out = append(out, base)
+		for t := 0; t < opts.MisspellingsPer && len(out) < n; t++ {
+			out = append(out, perturbWord(rng, base, &opts))
+		}
+	}
+	return out
+}
+
+func randomWord(rng *rand.Rand, opts *WordOptions) string {
+	n := opts.MinLen + rng.IntN(opts.MaxLen-opts.MinLen+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = opts.Alphabet[rng.IntN(len(opts.Alphabet))]
+	}
+	return string(b)
+}
+
+// perturbWord applies one or two random single-character edits.
+func perturbWord(rng *rand.Rand, w string, opts *WordOptions) string {
+	edits := 1 + rng.IntN(2)
+	b := []byte(w)
+	for e := 0; e < edits; e++ {
+		switch op := rng.IntN(3); {
+		case op == 0 && len(b) > opts.MinLen: // delete
+			i := rng.IntN(len(b))
+			b = append(b[:i], b[i+1:]...)
+		case op == 1 && len(b) < opts.MaxLen: // insert
+			i := rng.IntN(len(b) + 1)
+			c := opts.Alphabet[rng.IntN(len(opts.Alphabet))]
+			b = append(b[:i], append([]byte{c}, b[i:]...)...)
+		default: // substitute
+			if len(b) == 0 {
+				continue
+			}
+			i := rng.IntN(len(b))
+			b[i] = opts.Alphabet[rng.IntN(len(opts.Alphabet))]
+		}
+	}
+	return string(b)
+}

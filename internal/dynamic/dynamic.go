@@ -1,0 +1,236 @@
+// Package dynamic addresses the open problem the paper closes with
+// (§6): "handling update operations (insertion and deletion) without
+// major restructuring, and without violating the balanced structure of
+// the tree". It wraps the static mvp-tree in the classic amortized
+// scheme:
+//
+//   - insertions accumulate in an overflow buffer that every query scans
+//     linearly alongside the tree;
+//   - deletions tombstone their targets (delete-by-value: every stored
+//     item at distance zero from the argument);
+//   - when buffered plus tombstoned items exceed a fraction of the live
+//     set, the tree is rebuilt from scratch over the live items.
+//
+// The rebuild costs O(n log n) distance computations but is triggered
+// only after Ω(n) updates, so updates cost amortized O(log n) distance
+// computations while every query still runs against a balanced mvp-tree
+// plus a small linear tail — the balance guarantee the paper asks for.
+//
+// Internally the store indexes small integer IDs and resolves them to
+// items through its own table, which is what makes tombstoning possible
+// over arbitrary (non-comparable) item types.
+package dynamic
+
+import (
+	"errors"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+)
+
+// Options configure a dynamic store.
+type Options struct {
+	// Tree configures the underlying mvp-trees built at each rebuild.
+	Tree mvp.Options
+	// RebuildFraction triggers a rebuild when
+	// (buffered + tombstoned) > RebuildFraction × live items.
+	// Default 0.25. Lower values keep queries closer to pure-tree
+	// speed at the price of more frequent rebuilds.
+	RebuildFraction float64
+}
+
+// queryID is the reserved ID the distance function resolves to the
+// in-flight query item.
+const queryID = -1
+
+// Store is a dynamic similarity index over a mutable item set.
+type Store[T any] struct {
+	opts Options
+
+	items []T    // backing table; IDs index into it
+	alive []bool // tombstones
+	live  int    // number of alive items
+
+	tree     *mvp.Tree[int] // over the IDs present at the last rebuild
+	treeIDs  int            // how many IDs the tree covers: IDs < treeIDs
+	treeDead int            // tombstoned IDs inside the tree
+	buffer   []int          // IDs inserted since the last rebuild
+
+	query    T // resolved by queryID during a search
+	dist     *metric.Counter[int]
+	itemDist metric.DistanceFunc[T]
+	rebuilds int
+	seq      uint64 // construction seed sequence
+}
+
+var _ index.Index[int] = (*Store[int])(nil) // Store[T] satisfies Index[T]
+
+// New builds a dynamic store over the initial items.
+func New[T any](items []T, dist metric.DistanceFunc[T], opts Options) (*Store[T], error) {
+	if opts.RebuildFraction == 0 {
+		opts.RebuildFraction = 0.25
+	}
+	if opts.RebuildFraction <= 0 {
+		return nil, errors.New("dynamic: RebuildFraction must be positive")
+	}
+	s := &Store[T]{opts: opts, itemDist: dist}
+	s.dist = metric.NewCounter(func(a, b int) float64 {
+		return dist(s.resolve(a), s.resolve(b))
+	})
+	s.items = append(s.items, items...)
+	s.alive = make([]bool, len(items))
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	s.live = len(items)
+	if err := s.rebuild(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store[T]) resolve(id int) T {
+	if id == queryID {
+		return s.query
+	}
+	return s.items[id]
+}
+
+// Len reports the number of live items.
+func (s *Store[T]) Len() int { return s.live }
+
+// DistanceCount reports the total metric invocations made by the store,
+// including rebuilds.
+func (s *Store[T]) DistanceCount() int64 { return s.dist.Count() }
+
+// Rebuilds reports how many times the underlying tree has been rebuilt
+// (the initial construction counts as one).
+func (s *Store[T]) Rebuilds() int { return s.rebuilds }
+
+// Buffered reports the current overflow-buffer size (diagnostics).
+func (s *Store[T]) Buffered() int { return len(s.buffer) }
+
+// Insert adds one item. Amortized cost: O(log n) distance computations.
+func (s *Store[T]) Insert(item T) error {
+	id := len(s.items)
+	s.items = append(s.items, item)
+	s.alive = append(s.alive, true)
+	s.live++
+	s.buffer = append(s.buffer, id)
+	return s.maybeRebuild()
+}
+
+// Delete removes every live item at distance zero from item
+// (delete-by-value, the only identity a metric space offers) and
+// reports how many were removed.
+func (s *Store[T]) Delete(item T) (int, error) {
+	removed := 0
+	s.query = item
+	for _, id := range s.tree.Range(queryID, 0) {
+		if s.alive[id] {
+			s.alive[id] = false
+			s.treeDead++
+			s.live--
+			removed++
+		}
+	}
+	kept := s.buffer[:0]
+	for _, id := range s.buffer {
+		if s.alive[id] && s.dist.Distance(queryID, id) == 0 {
+			s.alive[id] = false
+			s.live--
+			removed++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.buffer = kept
+	if err := s.maybeRebuild(); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+func (s *Store[T]) maybeRebuild() error {
+	if float64(len(s.buffer)+s.treeDead) <= s.opts.RebuildFraction*float64(max(s.live, 1)) {
+		return nil
+	}
+	return s.rebuild()
+}
+
+// rebuild compacts the backing table to the live items and constructs a
+// fresh balanced tree over all of them.
+func (s *Store[T]) rebuild() error {
+	compact := make([]T, 0, s.live)
+	for id, a := range s.alive {
+		if a {
+			compact = append(compact, s.items[id])
+		}
+	}
+	s.items = compact
+	s.alive = make([]bool, len(compact))
+	ids := make([]int, len(compact))
+	for i := range compact {
+		s.alive[i] = true
+		ids[i] = i
+	}
+	opts := s.opts.Tree
+	opts.Seed = s.opts.Tree.Seed + s.seq
+	s.seq++
+	tree, err := mvp.New(ids, s.dist, opts)
+	if err != nil {
+		return err
+	}
+	s.tree = tree
+	s.treeIDs = len(compact)
+	s.treeDead = 0
+	s.buffer = s.buffer[:0]
+	s.rebuilds++
+	return nil
+}
+
+// Range returns every live item within distance r of q.
+func (s *Store[T]) Range(q T, r float64) []T {
+	if r < 0 {
+		return nil
+	}
+	s.query = q
+	var out []T
+	for _, id := range s.tree.Range(queryID, r) {
+		if s.alive[id] {
+			out = append(out, s.items[id])
+		}
+	}
+	for _, id := range s.buffer {
+		if s.alive[id] && s.dist.Distance(queryID, id) <= r {
+			out = append(out, s.items[id])
+		}
+	}
+	return out
+}
+
+// KNN returns the k live items nearest to q in ascending distance
+// order.
+func (s *Store[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || s.live == 0 {
+		return nil
+	}
+	s.query = q
+	// The tree may return tombstoned items; ask for enough extras to
+	// guarantee k live ones among the answers.
+	fromTree := s.tree.KNN(queryID, k+s.treeDead)
+	best := heapx.NewKBest[T](k)
+	for _, nb := range fromTree {
+		if s.alive[nb.Item] {
+			best.Push(s.items[nb.Item], nb.Dist)
+		}
+	}
+	for _, id := range s.buffer {
+		if s.alive[id] {
+			best.Push(s.items[id], s.dist.Distance(queryID, id))
+		}
+	}
+	return best.Sorted()
+}

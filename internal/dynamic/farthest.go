@@ -1,0 +1,49 @@
+package dynamic
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+)
+
+// Farthest-object queries over the dynamic store: the tree answers for
+// its live members, the overflow buffer is scanned, tombstones are
+// filtered.
+
+// RangeFarther returns every live item at distance ≥ r from q.
+func (s *Store[T]) RangeFarther(q T, r float64) []T {
+	s.query = q
+	var out []T
+	for _, id := range s.tree.RangeFarther(queryID, r) {
+		if s.alive[id] {
+			out = append(out, s.items[id])
+		}
+	}
+	for _, id := range s.buffer {
+		if s.alive[id] && s.dist.Distance(queryID, id) >= r {
+			out = append(out, s.items[id])
+		}
+	}
+	return out
+}
+
+// KFarthest returns the k live items farthest from q in descending
+// distance order.
+func (s *Store[T]) KFarthest(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || s.live == 0 {
+		return nil
+	}
+	s.query = q
+	fromTree := s.tree.KFarthest(queryID, k+s.treeDead)
+	best := heapx.NewKLargest[T](k)
+	for _, nb := range fromTree {
+		if s.alive[nb.Item] {
+			best.Push(s.items[nb.Item], nb.Dist)
+		}
+	}
+	for _, id := range s.buffer {
+		if s.alive[id] {
+			best.Push(s.items[id], s.dist.Distance(queryID, id))
+		}
+	}
+	return best.Sorted()
+}

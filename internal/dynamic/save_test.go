@@ -1,0 +1,148 @@
+package dynamic
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/codec"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 5))
+	initial := make([][]float64, 400)
+	for i := range initial {
+		initial[i] = randVec(rng, 6)
+	}
+	s, err := New(initial, metric.L2, Options{
+		Tree: mvp.Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the store so Save has something to compact.
+	for i := 0; i < 60; i++ {
+		if err := s.Insert(randVec(rng, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Delete(initial[3]); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	if s.Buffered() != 0 {
+		t.Errorf("Save did not compact: %d buffered", s.Buffered())
+	}
+	loaded, err := Load(&buf, metric.L2, codec.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DistanceCount() != 0 {
+		t.Errorf("loading computed %d distances", loaded.DistanceCount())
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", loaded.Len(), s.Len())
+	}
+	for qi := 0; qi < 8; qi++ {
+		q := randVec(rng, 6)
+		a, b := s.Range(q, 0.5), loaded.Range(q, 0.5)
+		if len(a) != len(b) {
+			t.Fatalf("Range: %d vs %d results", len(a), len(b))
+		}
+		na, nb := s.KNN(q, 5), loaded.KNN(q, 5)
+		for i := range na {
+			if na[i].Dist != nb[i].Dist {
+				t.Fatalf("KNN differs after reload")
+			}
+		}
+	}
+	// The loaded store remains fully dynamic.
+	v := randVec(rng, 6)
+	if err := loaded.Insert(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Range(v, 0); len(got) != 1 {
+		t.Errorf("insert after reload not found")
+	}
+	if n, err := loaded.Delete(v); err != nil || n != 1 {
+		t.Errorf("delete after reload: %d, %v", n, err)
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	s, err := New[[]float64](nil, metric.L2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, metric.L2, codec.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Errorf("Len = %d", loaded.Len())
+	}
+	if err := loaded.Insert([]float64{1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Errorf("post-insert Len = %d", loaded.Len())
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(102, 5))
+	initial := make([][]float64, 50)
+	for i := range initial {
+		initial[i] = randVec(rng, 3)
+	}
+	s, err := New(initial, metric.L2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, i := range []int{5, len(valid) / 2, len(valid) - 3} {
+		data := append([]byte(nil), valid...)
+		data[i] ^= 0x11
+		if _, err := Load(bytes.NewReader(data), metric.L2, codec.DecodeVector); err == nil {
+			t.Errorf("byte %d flipped: Load succeeded", i)
+		}
+	}
+}
+
+func TestOptionsSurviveReload(t *testing.T) {
+	s, err := New([][]float64{{1}, {2}, {3}}, metric.L2, Options{
+		Tree:            mvp.Options{Partitions: 4, LeafCapacity: 7, PathLength: 3, Seed: 5},
+		RebuildFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, metric.L2, codec.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.opts.RebuildFraction != 0.5 {
+		t.Errorf("RebuildFraction = %g", loaded.opts.RebuildFraction)
+	}
+	if o := loaded.opts.Tree; o.Partitions != 4 || o.LeafCapacity != 7 || o.PathLength != 3 {
+		t.Errorf("tree options = %+v", o)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mvptree/internal/bench"
+)
+
+// Claim is one headline comparison in the form the paper states its
+// results: "structure A makes X% fewer distance computations than
+// structure B at query range r".
+type Claim struct {
+	Workload  string
+	A, B      string
+	Radius    float64
+	SavingsPc float64
+}
+
+// Claims evaluates the paper's §1/§5.2 headline statements on both
+// vector workloads: mvpt(3,9) and mvpt(3,80) versus the better vp-tree,
+// at the smallest and largest swept radii. The paper reports 20–80%
+// savings at small ranges shrinking to 10–30% at the largest.
+func Claims(c Config) ([]Claim, error) {
+	var claims []Claim
+	for _, wk := range []struct {
+		name  string
+		run   func(Config) (*bench.Table, error)
+		radii []float64
+	}{
+		{"uniform", Fig8, Fig8Radii},
+		{"clustered", Fig9, Fig9Radii},
+	} {
+		tbl, err := wk.run(c)
+		if err != nil {
+			return nil, err
+		}
+		bestVP := betterOf(tbl, "vpt(2)", "vpt(3)")
+		for _, mvpName := range []string{"mvpt(3,9)", "mvpt(3,80)"} {
+			sav, err := tbl.SavingsPercent(mvpName, bestVP)
+			if err != nil {
+				return nil, err
+			}
+			claims = append(claims,
+				Claim{wk.name, mvpName, bestVP, wk.radii[0], sav[0]},
+				Claim{wk.name, mvpName, bestVP, wk.radii[len(wk.radii)-1], sav[len(sav)-1]},
+			)
+		}
+	}
+	return claims, nil
+}
+
+// betterOf returns whichever of the two structures made fewer distance
+// computations summed over the sweep.
+func betterOf(t *bench.Table, a, b string) string {
+	var ta, tb float64
+	for _, v := range t.Values {
+		ca, errA := t.Cell(v, a)
+		cb, errB := t.Cell(v, b)
+		if errA != nil || errB != nil {
+			return a
+		}
+		ta += ca.AvgDistComps
+		tb += cb.AvgDistComps
+	}
+	if tb < ta {
+		return b
+	}
+	return a
+}
+
+// WriteClaims prints claims in the paper's phrasing.
+func WriteClaims(w io.Writer, claims []Claim) error {
+	var sb strings.Builder
+	for _, cl := range claims {
+		fmt.Fprintf(&sb, "%-10s r=%-5.3g %-11s makes %6.1f%% fewer distance computations than %s\n",
+			cl.Workload, cl.Radius, cl.A, cl.SavingsPc, cl.B)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

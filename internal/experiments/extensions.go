@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mvptree/internal/bench"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+)
+
+// The experiments below go beyond the paper's figures: ablations of the
+// mvp-tree's design choices (DESIGN.md rows abl-p, abl-k, abl-sv2) and
+// extension studies (kNN, the related structures of §3.2, and the
+// BK-tree word workload).
+
+// AblationPValues are the retained-path lengths swept by AblationP.
+var AblationPValues = []int{0, 2, 5, 8, 12}
+
+// AblationP quantifies Observation 2 (the pre-computed PATH distances):
+// the same mvpt(3,80) tree with increasing p, on the uniform vector
+// workload over the Figure 8 radii.
+func AblationP(c Config) (*bench.Table, error) {
+	var structures []bench.Structure[[]float64]
+	for _, p := range AblationPValues {
+		p := p
+		structures = append(structures, bench.Structure[[]float64]{
+			Name: fmt.Sprintf("mvpt-p=%d", p),
+			Build: func(items [][]float64, dist *metric.Counter[[]float64], seed uint64) (index.Index[[]float64], error) {
+				pl := p
+				if pl == 0 {
+					pl = -1 // mvp.Options: -1 requests a genuine zero
+				}
+				return mvp.New(items, dist, mvp.Options{
+					Partitions: 3, LeafCapacity: 80, PathLength: pl, Seed: seed,
+				})
+			},
+		})
+	}
+	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
+		structures, Fig8Radii, c.TreeSeeds)
+}
+
+// AblationKValues are the leaf capacities swept by AblationK.
+var AblationKValues = []int{5, 9, 20, 40, 80, 160}
+
+// AblationK quantifies the paper's "keep k large" recommendation (§4.2):
+// mvpt(3,k) for growing k, uniform vectors, Figure 8 radii.
+func AblationK(c Config) (*bench.Table, error) {
+	var structures []bench.Structure[[]float64]
+	for _, k := range AblationKValues {
+		structures = append(structures, bench.MVPT[[]float64](3, k, 5))
+	}
+	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
+		structures, Fig8Radii, c.TreeSeeds)
+}
+
+// AblationSV2 quantifies the farthest-point choice of the second vantage
+// point (§4.2) against picking it randomly from the outermost shell.
+func AblationSV2(c Config) (*bench.Table, error) {
+	structures := []bench.Structure[[]float64]{
+		bench.MVPT[[]float64](3, 80, 5),
+		bench.MVPTRandomSV2[[]float64](3, 80, 5),
+	}
+	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
+		structures, Fig8Radii, c.TreeSeeds)
+}
+
+// KNNKs are the neighbor counts swept by KNNStudy.
+var KNNKs = []int{1, 5, 10}
+
+// KNNStudy compares all tree structures on k-nearest-neighbor queries
+// over the uniform vector workload (the paper's "nearest neighbor query"
+// variation, §2).
+func KNNStudy(c Config) (*bench.Table, error) {
+	structures := append(VectorStructures(),
+		bench.VPTDepthFirst[[]float64](2), // [Chi94] traversal, same tree as vpt(2)
+		bench.GHT[[]float64](8),
+		bench.GNAT[[]float64](8),
+		bench.LAESA[[]float64](32),
+	)
+	return bench.RunKNN(c.UniformVectors(), c.VectorQueries(), metric.L2,
+		structures, KNNKs, c.TreeSeeds)
+}
+
+// StructureStudy compares the related structures the paper reviews in
+// §3.2 — gh-tree, GNAT, LAESA — against vp- and mvp-trees and the linear
+// scan on the uniform vector workload.
+func StructureStudy(c Config) (*bench.Table, error) {
+	structures := []bench.Structure[[]float64]{
+		bench.Linear[[]float64](),
+		bench.VPT[[]float64](2),
+		bench.MVPT[[]float64](3, 80, 5),
+		bench.GHT[[]float64](8),
+		bench.GNAT[[]float64](8),
+		bench.BallTree[[]float64](8),
+		bench.LAESA[[]float64](32),
+	}
+	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
+		structures, Fig8Radii, c.TreeSeeds)
+}
+
+// WordRadii are the edit-distance query radii swept by WordStudy.
+var WordRadii = []float64{1, 2, 3}
+
+// WordStudy runs the [BK73] workload: best-match searching in a word
+// file under edit distance, comparing the BK-tree against vp-trees,
+// mvp-trees and the linear scan.
+func WordStudy(c Config) (*bench.Table, error) {
+	words := c.Words()
+	queries := c.WordQueries(words)
+	structures := []bench.Structure[string]{
+		bench.Linear[string](),
+		bench.BKT[string](),
+		bench.VPT[string](3),
+		bench.MVPT[string](2, 20, 4),
+	}
+	return bench.RunRange(words, queries, metric.Edit, structures, WordRadii, c.TreeSeeds)
+}
+
+// VantageStudy sweeps the number of vantage points per node at roughly
+// constant fanout (the §4.2 "more than 2 vantage points" remark):
+// gmvpt(1,9) is an m-way vp-tree with buckets and PATH, gmvpt(2,3) is
+// the paper's mvp-tree, gmvpt(3,2) trades thinner binary shells for a
+// third shared vantage point.
+func VantageStudy(c Config) (*bench.Table, error) {
+	structures := []bench.Structure[[]float64]{
+		bench.GMVPT[[]float64](1, 9, 80, 5),
+		bench.GMVPT[[]float64](2, 3, 80, 5),
+		bench.GMVPT[[]float64](3, 2, 80, 5),
+		bench.MVPT[[]float64](3, 80, 5), // reference implementation of v=2
+	}
+	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
+		structures, Fig8Radii, c.TreeSeeds)
+}
+
+// BuildStudy measures construction cost (distance computations) for
+// every structure on the uniform vector workload — the preprocessing
+// trade-off the paper discusses when comparing against GNAT ([Bri95]:
+// "the preprocessing step of GNAT is more expensive than the vp-tree").
+func BuildStudy(c Config) (*bench.Table, error) {
+	structures := []bench.Structure[[]float64]{
+		bench.VPT[[]float64](2),
+		bench.VPT[[]float64](3),
+		bench.MVPT[[]float64](3, 9, 5),
+		bench.MVPT[[]float64](3, 80, 5),
+		bench.GHT[[]float64](8),
+		bench.GNAT[[]float64](8),
+		bench.LAESA[[]float64](32),
+	}
+	// A single token radius: only the BuildCost column matters here.
+	return bench.RunRange(c.UniformVectors(), c.VectorQueries()[:1], metric.L2,
+		structures, []float64{0.1}, c.TreeSeeds)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math/rand/v2"
+
+	"mvptree/internal/dataset"
+)
+
+// wordCount scales the word corpus with the vector workload size so
+// QuickConfig stays quick.
+func (c *Config) wordCount() int {
+	n := c.N / 5
+	if n < 200 {
+		n = 200
+	}
+	return n
+}
+
+// Words generates the edit-distance corpus for WordStudy: base words
+// plus near-misspellings, the classic [BK73] best-match file.
+func (c *Config) Words() []string {
+	rng := rand.New(rand.NewPCG(c.DataSeed, 8))
+	return dataset.Words(rng, c.wordCount(), dataset.WordOptions{MisspellingsPer: 2})
+}
+
+// WordQueries samples query words from the corpus and perturbs fresh
+// ones, so queries include both exact members and strangers.
+func (c *Config) WordQueries(words []string) []string {
+	rng := rand.New(rand.NewPCG(c.DataSeed, 9))
+	q := c.Queries
+	if q > len(words) {
+		q = len(words)
+	}
+	out := dataset.SampleQueries(rng, words, q/2)
+	out = append(out, dataset.Words(rng, q-len(out), dataset.WordOptions{})...)
+	return out
+}

@@ -1,0 +1,210 @@
+// Package ghtree implements the generalized hyperplane tree of Uhlmann
+// [Uhl91], the second structure introduced alongside the vp-tree and
+// reviewed by the paper in §3.2.
+//
+// Each internal node holds two pivot points; the remaining points are
+// split by which pivot they are closer to (a generalized hyperplane
+// rather than a spherical cut). A subtree can be pruned when the query
+// ball cannot cross the hyperplane: if d(q,p1) − d(q,p2) > 2r, no point
+// closer to p1 than to p2 can be within r of q.
+package ghtree
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Options configure construction of a gh-tree.
+type Options struct {
+	// LeafCapacity is the maximum number of points in a leaf bucket.
+	// Default 1.
+	LeafCapacity int
+	// Seed seeds pivot selection.
+	Seed uint64
+}
+
+// Tree is a generalized hyperplane tree over a fixed item set.
+type Tree[T any] struct {
+	root      *node[T]
+	dist      *metric.Counter[T]
+	size      int
+	buildCost int64
+}
+
+var _ index.Index[int] = (*Tree[int])(nil)
+
+type node[T any] struct {
+	p1, p2      T
+	hasP2       bool
+	left, right *node[T] // closer to p1 / closer to p2
+	leaf        bool
+	items       []T
+}
+
+// New builds a gh-tree over items using the counted metric dist.
+func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	if opts.LeafCapacity == 0 {
+		opts.LeafCapacity = 1
+	}
+	if opts.LeafCapacity < 1 {
+		return nil, errors.New("ghtree: LeafCapacity must be at least 1")
+	}
+	t := &Tree[T]{dist: dist, size: len(items)}
+	work := make([]T, len(items))
+	copy(work, items)
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x676874726565))
+	before := dist.Count()
+	t.root = t.build(work, rng, opts.LeafCapacity)
+	t.buildCost = dist.Count() - before
+	return t, nil
+}
+
+func (t *Tree[T]) build(work []T, rng *rand.Rand, leafCap int) *node[T] {
+	if len(work) == 0 {
+		return nil
+	}
+	if len(work) <= leafCap {
+		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
+		copy(leaf.items, work)
+		return leaf
+	}
+	n := &node[T]{}
+	// First pivot random; second pivot the farthest point from the
+	// first, which tends to produce well-separated hyperplanes.
+	i1 := rng.IntN(len(work))
+	work[i1], work[len(work)-1] = work[len(work)-1], work[i1]
+	n.p1 = work[len(work)-1]
+	rest := work[:len(work)-1]
+	if len(rest) == 0 {
+		return n
+	}
+	d1 := make([]float64, len(rest))
+	far := 0
+	for i, it := range rest {
+		d1[i] = t.dist.Distance(n.p1, it)
+		if d1[i] > d1[far] {
+			far = i
+		}
+	}
+	last := len(rest) - 1
+	rest[far], rest[last] = rest[last], rest[far]
+	d1[far], d1[last] = d1[last], d1[far]
+	n.p2, n.hasP2 = rest[last], true
+	rest, d1 = rest[:last], d1[:last]
+
+	var left, right []T
+	for i, it := range rest {
+		if d1[i] <= t.dist.Distance(n.p2, it) {
+			left = append(left, it)
+		} else {
+			right = append(right, it)
+		}
+	}
+	n.left = t.build(left, rng, leafCap)
+	n.right = t.build(right, rng, leafCap)
+	return n
+}
+
+// Len reports the number of indexed items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Counter returns the counted metric the tree measures distances with.
+func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// BuildCost reports the number of distance computations made during
+// construction.
+func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+
+// Range returns every indexed item within distance r of q.
+func (t *Tree[T]) Range(q T, r float64) []T {
+	if r < 0 {
+		return nil
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if t.dist.Distance(q, it) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	d1 := t.dist.Distance(q, n.p1)
+	if d1 <= r {
+		*out = append(*out, n.p1)
+	}
+	if !n.hasP2 {
+		return
+	}
+	d2 := t.dist.Distance(q, n.p2)
+	if d2 <= r {
+		*out = append(*out, n.p2)
+	}
+	// Hyperplane pruning: points on the p1 side satisfy
+	// d(x,p1) ≤ d(x,p2); the query ball reaches that side only if
+	// (d1 − d2)/2 ≤ r. Symmetrically for the p2 side.
+	if (d1-d2)/2 <= r {
+		t.rangeNode(n.left, q, r, out)
+	}
+	if (d2-d1)/2 <= r {
+		t.rangeNode(n.right, q, r, out)
+	}
+}
+
+// KNN returns the k nearest indexed items by best-first traversal using
+// the hyperplane lower bound max(0, (dNear − dFar)/2).
+func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for {
+		n, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				best.Push(it, t.dist.Distance(q, it))
+			}
+			continue
+		}
+		d1 := t.dist.Distance(q, n.p1)
+		best.Push(n.p1, d1)
+		if !n.hasP2 {
+			continue
+		}
+		d2 := t.dist.Distance(q, n.p2)
+		best.Push(n.p2, d2)
+		if n.left != nil {
+			lb := max(bound, (d1-d2)/2)
+			if best.Accepts(lb) {
+				queue.PushNode(n.left, lb)
+			}
+		}
+		if n.right != nil {
+			lb := max(bound, (d2-d1)/2)
+			if best.Accepts(lb) {
+				queue.PushNode(n.right, lb)
+			}
+		}
+	}
+	return best.Sorted()
+}

@@ -1,0 +1,75 @@
+package ghtree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 1))
+	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
+	for _, opts := range []Options{{Seed: 7}, {LeafCapacity: 8, Seed: 7}} {
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckRange(t, "ght", tree, w, []float64{0, 0.1, 0.3, 0.6, 1.0, 2.0})
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(32, 1))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{LeafCapacity: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckKNN(t, "ght", tree, w, []int{1, 2, 5, 17, 300, 1000})
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 1))
+	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckRange(t, "ght-clumped", tree, w, []float64{0, 0.01, 0.05, 0.5, 3})
+	testutil.CheckKNN(t, "ght-clumped", tree, w, []int{1, 3, 10})
+	testutil.CheckContainsAllOnce(t, "ght-clumped", tree, w, 1e6)
+}
+
+func TestTinyAndEdgeCases(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	for n := 0; n <= 5; n++ {
+		items := make([][]float64, n)
+		for i := range items {
+			items[i] = []float64{float64(i)}
+		}
+		tree, err := New(items, dist, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != n {
+			t.Errorf("n=%d: Len() = %d", n, tree.Len())
+		}
+		if got := tree.Range([]float64{0}, 100); len(got) != n {
+			t.Errorf("n=%d: full range = %d items", n, len(got))
+		}
+		if got := tree.Range([]float64{0}, -1); got != nil {
+			t.Errorf("n=%d: negative radius returned %v", n, got)
+		}
+		if got := tree.KNN([]float64{0}, 0); got != nil {
+			t.Errorf("n=%d: KNN(0) returned %v", n, got)
+		}
+	}
+	if _, err := New([][]float64{{1}}, dist, Options{LeafCapacity: -1}); err == nil {
+		t.Error("negative LeafCapacity accepted")
+	}
+}

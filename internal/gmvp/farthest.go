@@ -1,0 +1,208 @@
+package gmvp
+
+import (
+	"math"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+)
+
+// Farthest-object queries for the generalized tree, mirroring
+// internal/mvp: shells are pruned by the distance upper bound dq + hi,
+// taken wholesale when their lower bound already clears the range, and
+// leaf candidates are resolved by the stored-distance bounds before any
+// real computation.
+
+// RangeFarther returns every indexed item at distance ≥ r from q.
+func (t *Tree[T]) RangeFarther(q T, r float64) []T {
+	if t.root == nil {
+		return nil
+	}
+	var out []T
+	if r <= 0 {
+		collectAll(t.root, &out)
+		return out
+	}
+	qpath := make([]float64, 0, t.p)
+	t.rangeFartherNode(t.root, q, r, qpath, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeFartherNode(n *node[T], q T, r float64, qpath []float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	dq := make([]float64, len(n.vantages))
+	for j, v := range n.vantages {
+		dq[j] = t.dist.Distance(q, v)
+		if dq[j] >= r {
+			*out = append(*out, v)
+		}
+		if len(qpath) < t.p {
+			qpath = append(qpath, dq[j])
+		}
+	}
+	if n.isLeaf() {
+		for i, it := range n.items {
+			lb, ub := t.leafBounds(n, i, dq, qpath)
+			switch {
+			case ub < r:
+				// Provably too close.
+			case lb >= r:
+				*out = append(*out, it)
+			default:
+				if t.dist.Distance(q, it) >= r {
+					*out = append(*out, it)
+				}
+			}
+		}
+		return
+	}
+	t.rangeFartherSplit(n.top, q, r, dq, qpath, 0, out)
+}
+
+// rangeFartherSplit walks a cascade; gap carries the best (largest)
+// shell lower bound seen on the path so far.
+func (t *Tree[T]) rangeFartherSplit(sp *split[T], q T, r float64, dq, qpath []float64, gap float64, out *[]T) {
+	d := dq[sp.level]
+	count := len(sp.cutoffs) + 1
+	for g := 0; g < count; g++ {
+		lo, hi := shellBounds(sp.cutoffs, g)
+		if d+hi < r {
+			continue // whole region provably too close
+		}
+		regionGap := gap
+		switch {
+		case d < lo:
+			if x := lo - d; x > regionGap {
+				regionGap = x
+			}
+		case d > hi:
+			if x := d - hi; x > regionGap {
+				regionGap = x
+			}
+		}
+		if sp.subs != nil {
+			if regionGap >= r {
+				forEachChild(sp.subs[g], func(c *node[T]) { collectAll(c, out) })
+				continue
+			}
+			t.rangeFartherSplit(sp.subs[g], q, r, dq, qpath, regionGap, out)
+			continue
+		}
+		if c := sp.children[g]; c != nil {
+			if regionGap >= r {
+				collectAll(c, out)
+				continue
+			}
+			t.rangeFartherNode(c, q, r, qpath, out)
+		}
+	}
+}
+
+// leafBounds returns triangle-inequality lower and upper bounds on
+// d(q, items[i]) from the stored leaf distances and PATH prefix.
+func (t *Tree[T]) leafBounds(n *node[T], i int, dq, qpath []float64) (lb, ub float64) {
+	ub = math.Inf(1) // until an anchor tightens it; leaves have ≥1 vantage when items exist
+	for j := range n.dists {
+		if b := abs(dq[j] - n.dists[j][i]); b > lb {
+			lb = b
+		}
+		if b := dq[j] + n.dists[j][i]; b < ub {
+			ub = b
+		}
+	}
+	path := n.paths[i]
+	for l := 0; l < len(path) && l < len(qpath); l++ {
+		if b := abs(qpath[l] - path[l]); b > lb {
+			lb = b
+		}
+		if b := qpath[l] + path[l]; b < ub {
+			ub = b
+		}
+	}
+	return lb, ub
+}
+
+// collectAll appends every data point of a subtree with no distance
+// computations.
+func collectAll[T any](n *node[T], out *[]T) {
+	if n == nil {
+		return
+	}
+	*out = append(*out, n.vantages...)
+	if n.isLeaf() {
+		*out = append(*out, n.items...)
+		return
+	}
+	forEachChild(n.top, func(c *node[T]) { collectAll(c, out) })
+}
+
+// KFarthest returns the k items farthest from q in descending distance
+// order.
+func (t *Tree[T]) KFarthest(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKLargest[T](k)
+	var queue heapx.NodeQueue[knnPending[T]]
+	queue.PushNode(knnPending[T]{t.root, make([]float64, 0, t.p)}, 0)
+	for {
+		pn, negUB, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(-negUB) {
+			break
+		}
+		n, qpath := pn.n, pn.qpath
+		dq := make([]float64, len(n.vantages))
+		for j, v := range n.vantages {
+			dq[j] = t.dist.Distance(q, v)
+			best.Push(v, dq[j])
+		}
+		if len(qpath) < t.p {
+			ext := make([]float64, len(qpath), t.p)
+			copy(ext, qpath)
+			for _, d := range dq {
+				if len(ext) < t.p {
+					ext = append(ext, d)
+				}
+			}
+			qpath = ext
+		}
+		if n.isLeaf() {
+			for i, it := range n.items {
+				if _, ub := t.leafBounds(n, i, dq, qpath); best.Accepts(ub) {
+					best.Push(it, t.dist.Distance(q, it))
+				}
+			}
+			continue
+		}
+		t.kFarthestSplit(n.top, dq, qpath, math.Inf(1), best, &queue)
+	}
+	return best.Sorted()
+}
+
+// kFarthestSplit walks a cascade accumulating upper bounds (the minimum
+// of dq+hi over levels) and enqueues surviving child nodes.
+func (t *Tree[T]) kFarthestSplit(sp *split[T], dq, qpath []float64, ub float64,
+	best *heapx.KLargest[T], queue *heapx.NodeQueue[knnPending[T]]) {
+	d := dq[sp.level]
+	count := len(sp.cutoffs) + 1
+	for g := 0; g < count; g++ {
+		_, hi := shellBounds(sp.cutoffs, g)
+		regionUB := ub
+		if b := d + hi; b < regionUB {
+			regionUB = b
+		}
+		if !best.Accepts(regionUB) {
+			continue
+		}
+		if sp.subs != nil {
+			t.kFarthestSplit(sp.subs[g], dq, qpath, regionUB, best, queue)
+		} else if c := sp.children[g]; c != nil {
+			queue.PushNode(knnPending[T]{c, qpath}, -regionUB)
+		}
+	}
+}

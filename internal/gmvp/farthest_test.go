@@ -1,0 +1,74 @@
+package gmvp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeFartherMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 7))
+	w := testutil.NewVectorWorkload(rng, 400, 8, 8, metric.L2)
+	radii := []float64{0, 0.3, 0.8, 1.2, 2.0, 10}
+	for _, opts := range optionMatrix {
+		tree, _ := buildWorkloadTree(t, w, opts)
+		testutil.CheckRangeFarther(t, "gmvpt", tree, w, radii)
+	}
+}
+
+func TestKFarthestMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 7))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 6, metric.L2)
+	for _, opts := range optionMatrix {
+		tree, _ := buildWorkloadTree(t, w, opts)
+		testutil.CheckKFarthest(t, "gmvpt", tree, w, []int{1, 2, 5, 17, 300, 1000})
+	}
+}
+
+func TestRangeFartherFastPath(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 7))
+	w := testutil.NewVectorWorkload(rng, 1500, 8, 1, metric.L2)
+	tree, c := buildWorkloadTree(t, w, Options{Vantages: 2, Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 3})
+	c.Reset()
+	if got := tree.RangeFarther(w.Queries[0], 0); len(got) != 1500 || c.Count() != 0 {
+		t.Errorf("RangeFarther(0): %d items, %d computations", len(got), c.Count())
+	}
+	c.Reset()
+	got := tree.RangeFarther(w.Queries[0], 1e-9)
+	if len(got) != 1500 {
+		t.Fatalf("RangeFarther(tiny) = %d items", len(got))
+	}
+	if c.Count() > 200 {
+		t.Errorf("RangeFarther(tiny) used %d computations; wholesale fast path broken", c.Count())
+	}
+}
+
+func TestShapeAccounting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 7))
+	for _, opts := range optionMatrix {
+		for _, n := range []int{0, 1, 5, 333, 1000} {
+			w := testutil.NewVectorWorkload(rng, n, 6, 1, metric.L2)
+			tree, _ := buildWorkloadTree(t, w, opts)
+			s := tree.Shape()
+			if s.VantagePoints+s.LeafItems != n {
+				t.Errorf("opts %+v n=%d: %d vantage points + %d leaf items != n",
+					opts, n, s.VantagePoints, s.LeafItems)
+			}
+			if s.MaxPathLen > tree.PathLength() {
+				t.Errorf("MaxPathLen %d exceeds p %d", s.MaxPathLen, tree.PathLength())
+			}
+		}
+	}
+}
+
+func TestHeightShrinksWithFanout(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 7))
+	w := testutil.NewVectorWorkload(rng, 3000, 6, 1, metric.L2)
+	small, _ := buildWorkloadTree(t, w, Options{Vantages: 1, Partitions: 2, LeafCapacity: 5, PathLength: 4, Seed: 2})
+	big, _ := buildWorkloadTree(t, w, Options{Vantages: 3, Partitions: 3, LeafCapacity: 5, PathLength: 4, Seed: 2})
+	if big.Height() >= small.Height() {
+		t.Errorf("fanout 27 height %d ≥ fanout 2 height %d", big.Height(), small.Height())
+	}
+}

@@ -1,0 +1,486 @@
+// Package gmvp generalizes the mvp-tree to any number v of vantage
+// points per node. The paper notes (§4.2): "the mvp-tree construction
+// can be modified easily so that more than 2 vantage points can be kept
+// in one node"; this package is that modification, with the paper's
+// tree as the special case v = 2 (and the bucketed m-way vp-tree with
+// PATH filtering as v = 1).
+//
+// Each node chooses v vantage points in sequence — the first at random,
+// each next one the point farthest from its predecessor — and applies
+// them as a cascade: vantage 1 splits the node's points into m
+// equal-cardinality shells, vantage 2 splits every shell into m, and so
+// on, giving fanout m^v with only v vantage points. As in the mvp-tree,
+// every vantage distance computed during construction is retained for
+// leaf points up to the PATH cap p and reused as a query-time filter.
+package gmvp
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Options configure construction.
+type Options struct {
+	// Vantages is v, the number of vantage points per node; fanout is
+	// Partitions^Vantages. Default 2 (the paper's mvp-tree).
+	Vantages int
+	// Partitions is m, the partitions per vantage point. Default 3.
+	Partitions int
+	// LeafCapacity is the maximum number of data points in a leaf in
+	// addition to the leaf's vantage points. Default 80.
+	LeafCapacity int
+	// PathLength is p, the retained ancestor-distance prefix per leaf
+	// point; -1 requests a genuine zero (0 means default). Default 5.
+	PathLength int
+	// Seed seeds vantage-point selection.
+	Seed uint64
+}
+
+func (o *Options) setDefaults() {
+	if o.Vantages == 0 {
+		o.Vantages = 2
+	}
+	if o.Partitions == 0 {
+		o.Partitions = 3
+	}
+	if o.LeafCapacity == 0 {
+		o.LeafCapacity = 80
+	}
+	switch {
+	case o.PathLength == 0:
+		o.PathLength = 5
+	case o.PathLength < 0:
+		o.PathLength = 0
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Vantages < 1 {
+		return errors.New("gmvp: Vantages must be at least 1")
+	}
+	if o.Partitions < 2 {
+		return errors.New("gmvp: Partitions must be at least 2")
+	}
+	if o.LeafCapacity < 1 {
+		return errors.New("gmvp: LeafCapacity must be at least 1")
+	}
+	return nil
+}
+
+// Tree is a generalized multi-vantage-point tree.
+type Tree[T any] struct {
+	root      *node[T]
+	dist      *metric.Counter[T]
+	size      int
+	v, m, k   int
+	p         int
+	buildCost int64
+}
+
+var _ index.Index[int] = (*Tree[int])(nil)
+
+// node is a leaf or an internal node. Internal nodes hold exactly v
+// vantage points and a cascade of splits; leaves hold up to v vantage
+// points and a bucket of items with their stored distances.
+type node[T any] struct {
+	vantages []T
+
+	// Internal node: the cascade. top partitions by vantages[0]; its
+	// sub-splits partition by vantages[1], and so on; the final level
+	// holds child nodes.
+	top *split[T]
+
+	// Leaf node: dists[j][i] = d(items[i], vantages[j]); paths[i] is
+	// the retained ancestor PATH prefix.
+	items []T
+	dists [][]float64
+	paths [][]float64
+}
+
+func (n *node[T]) isLeaf() bool { return n.top == nil }
+
+// split partitions one region of a node's points by the distance to
+// vantages[level]. Region g covers the closed interval
+// [cutoffs[g-1], cutoffs[g]] (0 and +Inf at the ends). Exactly one of
+// subs (next cascade level) or children (actual subtrees) is non-nil.
+type split[T any] struct {
+	level    int
+	cutoffs  []float64
+	subs     []*split[T]
+	children []*node[T]
+}
+
+// entry carries an item and its accumulating PATH during construction.
+type entry[T any] struct {
+	item T
+	path []float64
+}
+
+// New builds a generalized mvp-tree over items using the counted metric
+// dist.
+func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	opts.setDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree[T]{
+		dist: dist,
+		size: len(items),
+		v:    opts.Vantages,
+		m:    opts.Partitions,
+		k:    opts.LeafCapacity,
+		p:    opts.PathLength,
+	}
+	entries := make([]entry[T], len(items))
+	for i, it := range items {
+		entries[i] = entry[T]{item: it}
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x676d7670))
+	before := dist.Count()
+	t.root = t.build(entries, rng)
+	t.buildCost = dist.Count() - before
+	return t, nil
+}
+
+// Len reports the number of indexed items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Counter returns the counted metric the tree measures distances with.
+func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// BuildCost reports construction distance computations.
+func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+
+// Vantages, Partitions, LeafCapacity and PathLength report the
+// parameters in effect.
+func (t *Tree[T]) Vantages() int     { return t.v }
+func (t *Tree[T]) Partitions() int   { return t.m }
+func (t *Tree[T]) LeafCapacity() int { return t.k }
+func (t *Tree[T]) PathLength() int   { return t.p }
+
+// build constructs the subtree over entries.
+func (t *Tree[T]) build(entries []entry[T], rng *rand.Rand) *node[T] {
+	if len(entries) == 0 {
+		return nil
+	}
+	if len(entries) <= t.k+t.v {
+		return t.buildLeaf(entries, rng)
+	}
+	return t.buildInternal(entries, rng)
+}
+
+// chooseVantages picks up to v vantage points from entries: the first
+// uniformly at random, each subsequent one the remaining point farthest
+// from its predecessor. It returns the vantage items, the per-vantage
+// distance slices over the surviving entries, and the surviving entries
+// themselves (with PATH prefixes extended, capped at p).
+func (t *Tree[T]) chooseVantages(entries []entry[T], rng *rand.Rand, v int) (vantages []T, dists [][]float64, rest []entry[T]) {
+	rest = entries
+	for j := 0; j < v && len(rest) > 0; j++ {
+		var pick int
+		if j == 0 {
+			pick = rng.IntN(len(rest))
+		} else {
+			prev := dists[j-1] // distances to the previous vantage
+			pick = 0
+			for i := range prev {
+				if prev[i] > prev[pick] {
+					pick = i
+				}
+			}
+		}
+		// Move the picked point to the end, mirroring the swap in every
+		// earlier vantage's distance slice, then truncate it away.
+		last := len(rest) - 1
+		rest[pick], rest[last] = rest[last], rest[pick]
+		for jj := range dists {
+			dists[jj][pick], dists[jj][last] = dists[jj][last], dists[jj][pick]
+			dists[jj] = dists[jj][:last]
+		}
+		vantage := rest[last].item
+		vantages = append(vantages, vantage)
+		rest = rest[:last]
+
+		ds := make([]float64, len(rest))
+		for i := range rest {
+			ds[i] = t.dist.Distance(rest[i].item, vantage)
+			if len(rest[i].path) < t.p {
+				rest[i].path = append(rest[i].path, ds[i])
+			}
+		}
+		dists = append(dists, ds)
+	}
+	return vantages, dists, rest
+}
+
+func (t *Tree[T]) buildLeaf(entries []entry[T], rng *rand.Rand) *node[T] {
+	n := &node[T]{}
+	vantages, dists, rest := t.chooseVantages(entries, rng, t.v)
+	n.vantages = vantages
+	if len(rest) == 0 {
+		return n
+	}
+	n.items = make([]T, len(rest))
+	n.paths = make([][]float64, len(rest))
+	for i := range rest {
+		n.items[i] = rest[i].item
+		n.paths[i] = rest[i].path
+	}
+	// Note: chooseVantages already appended the leaf vantage distances
+	// to each item's PATH (up to p); the leaf additionally stores them
+	// all exactly, like the paper's D1/D2 arrays.
+	n.dists = dists
+	return n
+}
+
+func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand) *node[T] {
+	n := &node[T]{}
+	vantages, dists, rest := t.chooseVantages(entries, rng, t.v)
+	n.vantages = vantages
+	ids := make([]int, len(rest))
+	for i := range ids {
+		ids[i] = i
+	}
+	n.top = t.buildSplit(rest, dists, ids, 0, rng)
+	return n
+}
+
+// buildSplit partitions the region holding the points rest[ids] by the
+// distance slice dists[level], recursing down the cascade and finally
+// into child subtrees.
+func (t *Tree[T]) buildSplit(rest []entry[T], dists [][]float64, ids []int, level int, rng *rand.Rand) *split[T] {
+	ds := dists[level]
+	sort.Slice(ids, func(a, b int) bool { return ds[ids[a]] < ds[ids[b]] })
+	sp := &split[T]{level: level}
+	groups := equalGroups(len(ids), t.m)
+	last := level == len(dists)-1
+	if !last {
+		sp.subs = make([]*split[T], len(groups))
+	} else {
+		sp.children = make([]*node[T], len(groups))
+	}
+	sp.cutoffs = make([]float64, len(groups)-1)
+	for g, grp := range groups {
+		if g < len(groups)-1 {
+			sp.cutoffs[g] = (ds[ids[grp.hi-1]] + ds[ids[grp.hi]]) / 2
+		}
+		region := ids[grp.lo:grp.hi]
+		if !last {
+			sp.subs[g] = t.buildSplit(rest, dists, region, level+1, rng)
+			continue
+		}
+		child := make([]entry[T], len(region))
+		for i, id := range region {
+			child[i] = rest[id]
+		}
+		sp.children[g] = t.build(child, rng)
+	}
+	return sp
+}
+
+// rankRange is a half-open rank interval.
+type rankRange struct{ lo, hi int }
+
+// equalGroups splits n ranks into at most m near-equal groups.
+func equalGroups(n, m int) []rankRange {
+	if n == 0 {
+		return nil
+	}
+	if m > n {
+		m = n
+	}
+	groups := make([]rankRange, m)
+	base, extra := n/m, n%m
+	lo := 0
+	for g := 0; g < m; g++ {
+		hi := lo + base
+		if g < extra {
+			hi++
+		}
+		groups[g] = rankRange{lo, hi}
+		lo = hi
+	}
+	return groups
+}
+
+// shellBounds returns the closed interval of region g.
+func shellBounds(cutoffs []float64, g int) (lo, hi float64) {
+	lo, hi = 0, math.Inf(1)
+	if g > 0 {
+		lo = cutoffs[g-1]
+	}
+	if g < len(cutoffs) {
+		hi = cutoffs[g]
+	}
+	return lo, hi
+}
+
+// Range returns every indexed item within distance r of q.
+func (t *Tree[T]) Range(q T, r float64) []T {
+	if r < 0 || t.root == nil {
+		return nil
+	}
+	var out []T
+	qpath := make([]float64, 0, t.p)
+	t.rangeNode(t.root, q, r, qpath, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	dq := make([]float64, len(n.vantages))
+	for j, v := range n.vantages {
+		dq[j] = t.dist.Distance(q, v)
+		if dq[j] <= r {
+			*out = append(*out, v)
+		}
+		if len(qpath) < t.p {
+			qpath = append(qpath, dq[j])
+		}
+	}
+	if n.isLeaf() {
+	items:
+		for i, it := range n.items {
+			for j := range n.dists {
+				if d := n.dists[j][i]; d < dq[j]-r || d > dq[j]+r {
+					continue items
+				}
+			}
+			path := n.paths[i]
+			for l := 0; l < len(path) && l < len(qpath); l++ {
+				if path[l] < qpath[l]-r || path[l] > qpath[l]+r {
+					continue items
+				}
+			}
+			if t.dist.Distance(q, it) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	t.rangeSplit(n.top, q, r, dq, qpath, out)
+}
+
+func (t *Tree[T]) rangeSplit(sp *split[T], q T, r float64, dq, qpath []float64, out *[]T) {
+	d := dq[sp.level]
+	count := len(sp.cutoffs) + 1
+	for g := 0; g < count; g++ {
+		lo, hi := shellBounds(sp.cutoffs, g)
+		if d+r < lo || d-r > hi {
+			continue
+		}
+		if sp.subs != nil {
+			t.rangeSplit(sp.subs[g], q, r, dq, qpath, out)
+		} else if sp.children[g] != nil {
+			t.rangeNode(sp.children[g], q, r, qpath, out)
+		}
+	}
+}
+
+// KNN returns the k nearest indexed items by best-first traversal.
+func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[knnPending[T]]
+	queue.PushNode(knnPending[T]{t.root, make([]float64, 0, t.p)}, 0)
+	for {
+		pn, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break
+		}
+		n, qpath := pn.n, pn.qpath
+		dq := make([]float64, len(n.vantages))
+		for j, v := range n.vantages {
+			dq[j] = t.dist.Distance(q, v)
+			best.Push(v, dq[j])
+		}
+		if len(qpath) < t.p {
+			ext := make([]float64, len(qpath), t.p)
+			copy(ext, qpath)
+			for _, d := range dq {
+				if len(ext) < t.p {
+					ext = append(ext, d)
+				}
+			}
+			qpath = ext
+		}
+		if n.isLeaf() {
+			for i, it := range n.items {
+				lb := 0.0
+				for j := range n.dists {
+					if b := abs(dq[j] - n.dists[j][i]); b > lb {
+						lb = b
+					}
+				}
+				path := n.paths[i]
+				for l := 0; l < len(path) && l < len(qpath); l++ {
+					if b := abs(qpath[l] - path[l]); b > lb {
+						lb = b
+					}
+				}
+				if best.Accepts(lb) {
+					best.Push(it, t.dist.Distance(q, it))
+				}
+			}
+			continue
+		}
+		t.knnSplit(n.top, dq, qpath, bound, best, &queue)
+	}
+	return best.Sorted()
+}
+
+// knnPending is one enqueued subtree in the best-first kNN traversal.
+type knnPending[T any] struct {
+	n     *node[T]
+	qpath []float64
+}
+
+// knnSplit walks a cascade accumulating interval-gap lower bounds and
+// enqueues surviving child nodes.
+func (t *Tree[T]) knnSplit(sp *split[T], dq, qpath []float64, bound float64,
+	best *heapx.KBest[T], queue *heapx.NodeQueue[knnPending[T]]) {
+	d := dq[sp.level]
+	count := len(sp.cutoffs) + 1
+	for g := 0; g < count; g++ {
+		lo, hi := shellBounds(sp.cutoffs, g)
+		lb := bound
+		switch {
+		case d < lo:
+			if gap := lo - d; gap > lb {
+				lb = gap
+			}
+		case d > hi:
+			if gap := d - hi; gap > lb {
+				lb = gap
+			}
+		}
+		if !best.Accepts(lb) {
+			continue
+		}
+		if sp.subs != nil {
+			t.knnSplit(sp.subs[g], dq, qpath, lb, best, queue)
+		} else if sp.children[g] != nil {
+			queue.PushNode(knnPending[T]{sp.children[g], qpath}, lb)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,78 @@
+package gmvp
+
+// Property-based testing: random (v, m, k, p) configurations over
+// random workloads must agree with the linear scan.
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mvptree/internal/linear"
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+type quickParams struct {
+	V, M, K, P uint8
+	N          uint16
+	Dim        uint8
+	Seed       uint64
+	Radius     float64
+}
+
+func TestQuickRandomConfigurations(t *testing.T) {
+	check := func(p quickParams) bool {
+		v := int(p.V)%4 + 1     // 1..4
+		m := int(p.M)%3 + 2     // 2..4
+		k := int(p.K)%60 + 1    // 1..60
+		pl := int(p.P)%9 - 1    // -1..7
+		n := int(p.N)%300 + 1   // 1..300
+		dim := int(p.Dim)%8 + 1 // 1..8
+		r := p.Radius
+		if r < 0 {
+			r = -r
+		}
+		if r != r || r > 1e12 {
+			r = 1
+		}
+		for r > 10 {
+			r /= 10
+		}
+		rng := rand.New(rand.NewPCG(p.Seed, 77))
+		w := testutil.NewVectorWorkload(rng, n, dim, 3, metric.L2)
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, Options{
+			Vantages: v, Partitions: m, LeafCapacity: k, PathLength: pl, Seed: p.Seed,
+		})
+		if err != nil {
+			t.Logf("New(v=%d m=%d k=%d p=%d): %v", v, m, k, pl, err)
+			return false
+		}
+		truth := linear.New(w.Items, metric.NewCounter(w.Dist))
+		for _, q := range w.Queries {
+			got := append([]int(nil), tree.Range(q, r)...)
+			want := append([]int(nil), truth.Range(q, r)...)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Logf("v=%d m=%d k=%d p=%d n=%d r=%g: %d vs %d results", v, m, k, pl, n, r, len(got), len(want))
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package gmvp
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/wire"
+)
+
+// Persistence for the generalized tree, in the same CRC-protected
+// envelope as internal/mvp: items travel through caller-supplied
+// encode/decode functions; vantage points, cutoff cascades, stored
+// distances and PATH prefixes are written verbatim so loading performs
+// zero distance computations.
+
+// ItemEncoder serializes one item.
+type ItemEncoder[T any] func(T) ([]byte, error)
+
+// ItemDecoder deserializes one item.
+type ItemDecoder[T any] func([]byte) (T, error)
+
+const saveMagic = "GMVPTREE1"
+
+const (
+	tagNil      = 0
+	tagLeaf     = 1
+	tagInternal = 2
+	kindSubs    = 0
+	kindChild   = 1
+)
+
+// Save writes the tree to w.
+func (t *Tree[T]) Save(w io.Writer, enc ItemEncoder[T]) error {
+	var payload bytes.Buffer
+	pw := wire.NewWriter(&payload)
+	pw.Int(t.v)
+	pw.Int(t.m)
+	pw.Int(t.k)
+	pw.Int(t.p)
+	pw.Int(t.size)
+	if err := saveNode(pw, t.root, enc); err != nil {
+		return err
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+	ww := wire.NewWriter(w)
+	ww.Bytes([]byte(saveMagic))
+	ww.Bytes(payload.Bytes())
+	ww.Uvarint(uint64(crc32.ChecksumIEEE(payload.Bytes())))
+	return ww.Flush()
+}
+
+func saveNode[T any](w *wire.Writer, n *node[T], enc ItemEncoder[T]) error {
+	if n == nil {
+		w.Byte(tagNil)
+		return w.Err()
+	}
+	item := func(it T) error {
+		b, err := enc(it)
+		if err != nil {
+			return fmt.Errorf("gmvp: encoding item: %w", err)
+		}
+		w.Bytes(b)
+		return w.Err()
+	}
+	writeVantages := func() error {
+		w.Int(len(n.vantages))
+		for _, v := range n.vantages {
+			if err := item(v); err != nil {
+				return err
+			}
+		}
+		return w.Err()
+	}
+	if n.isLeaf() {
+		w.Byte(tagLeaf)
+		if err := writeVantages(); err != nil {
+			return err
+		}
+		w.Int(len(n.items))
+		for i, it := range n.items {
+			if err := item(it); err != nil {
+				return err
+			}
+			w.Int(len(n.dists))
+			for j := range n.dists {
+				w.Float(n.dists[j][i])
+			}
+			w.Floats(n.paths[i])
+		}
+		return w.Err()
+	}
+	w.Byte(tagInternal)
+	if err := writeVantages(); err != nil {
+		return err
+	}
+	return saveSplit(w, n.top, enc)
+}
+
+func saveSplit[T any](w *wire.Writer, sp *split[T], enc ItemEncoder[T]) error {
+	w.Int(sp.level)
+	w.Floats(sp.cutoffs)
+	if sp.subs != nil {
+		w.Byte(kindSubs)
+		w.Int(len(sp.subs))
+		for _, sub := range sp.subs {
+			if err := saveSplit(w, sub, enc); err != nil {
+				return err
+			}
+		}
+		return w.Err()
+	}
+	w.Byte(kindChild)
+	w.Int(len(sp.children))
+	for _, c := range sp.children {
+		if err := saveNode(w, c, enc); err != nil {
+			return err
+		}
+	}
+	return w.Err()
+}
+
+// maxLoadDepth guards against corrupt streams.
+const maxLoadDepth = 96
+
+// Load reads a tree written by Save, verifying the checksum. dist must
+// wrap the same metric the tree was built with.
+func Load[T any](r io.Reader, dist *metric.Counter[T], dec ItemDecoder[T]) (*Tree[T], error) {
+	outer := wire.NewReader(r)
+	if string(outer.Bytes()) != saveMagic {
+		return nil, fmt.Errorf("gmvp: bad magic (not a gmvp-tree stream)")
+	}
+	payload := outer.Bytes()
+	sum := outer.Uvarint()
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(crc32.ChecksumIEEE(payload)) != sum {
+		return nil, fmt.Errorf("gmvp: checksum mismatch (corrupt stream)")
+	}
+	rr := wire.NewReader(bytes.NewReader(payload))
+	t := &Tree[T]{dist: dist}
+	t.v = rr.Int()
+	t.m = rr.Int()
+	t.k = rr.Int()
+	t.p = rr.Int()
+	t.size = rr.Int()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if t.v < 1 || t.m < 2 || t.k < 1 || t.p < 0 || t.size < 0 {
+		return nil, fmt.Errorf("gmvp: corrupt header (v=%d m=%d k=%d p=%d n=%d)", t.v, t.m, t.k, t.p, t.size)
+	}
+	root, err := loadNode(rr, dec, t.v, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+func loadNode[T any](r *wire.Reader, dec ItemDecoder[T], v, depth int) (*node[T], error) {
+	if depth > maxLoadDepth {
+		return nil, fmt.Errorf("gmvp: tree deeper than %d levels (corrupt stream)", maxLoadDepth)
+	}
+	item := func() (T, error) {
+		b := r.Bytes()
+		if err := r.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		it, err := dec(b)
+		if err != nil {
+			var zero T
+			return zero, fmt.Errorf("gmvp: decoding item: %w", err)
+		}
+		return it, nil
+	}
+	readVantages := func(n *node[T]) error {
+		count := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if count > v {
+			return fmt.Errorf("gmvp: node claims %d vantage points, tree allows %d", count, v)
+		}
+		n.vantages = make([]T, count)
+		var err error
+		for i := 0; i < count; i++ {
+			if n.vantages[i], err = item(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch tag := r.Byte(); tag {
+	case tagNil:
+		return nil, r.Err()
+	case tagLeaf:
+		n := &node[T]{}
+		if err := readVantages(n); err != nil {
+			return nil, err
+		}
+		count := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if count > 0 {
+			n.items = make([]T, count)
+			n.paths = make([][]float64, count)
+			var err error
+			for i := 0; i < count; i++ {
+				if n.items[i], err = item(); err != nil {
+					return nil, err
+				}
+				cols := r.Int()
+				if err := r.Err(); err != nil {
+					return nil, err
+				}
+				if i == 0 {
+					if cols > v {
+						return nil, fmt.Errorf("gmvp: leaf claims %d distance columns", cols)
+					}
+					n.dists = make([][]float64, cols)
+					for j := range n.dists {
+						n.dists[j] = make([]float64, count)
+					}
+				} else if cols != len(n.dists) {
+					return nil, fmt.Errorf("gmvp: inconsistent distance columns (corrupt stream)")
+				}
+				for j := 0; j < cols; j++ {
+					n.dists[j][i] = r.Float()
+				}
+				n.paths[i] = r.Floats()
+			}
+		}
+		return n, r.Err()
+	case tagInternal:
+		n := &node[T]{}
+		if err := readVantages(n); err != nil {
+			return nil, err
+		}
+		top, err := loadSplit(r, dec, v, depth)
+		if err != nil {
+			return nil, err
+		}
+		n.top = top
+		return n, nil
+	default:
+		return nil, fmt.Errorf("gmvp: unknown node tag %d (corrupt stream)", tag)
+	}
+}
+
+func loadSplit[T any](r *wire.Reader, dec ItemDecoder[T], v, depth int) (*split[T], error) {
+	if depth > maxLoadDepth {
+		return nil, fmt.Errorf("gmvp: cascade deeper than %d levels (corrupt stream)", maxLoadDepth)
+	}
+	sp := &split[T]{}
+	sp.level = r.Int()
+	sp.cutoffs = r.Floats()
+	kind := r.Byte()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if sp.level >= v {
+		return nil, fmt.Errorf("gmvp: split level %d ≥ v = %d (corrupt stream)", sp.level, v)
+	}
+	switch kind {
+	case kindSubs:
+		sp.subs = make([]*split[T], count)
+		var err error
+		for i := 0; i < count; i++ {
+			if sp.subs[i], err = loadSplit(r, dec, v, depth+1); err != nil {
+				return nil, err
+			}
+		}
+	case kindChild:
+		sp.children = make([]*node[T], count)
+		var err error
+		for i := 0; i < count; i++ {
+			if sp.children[i], err = loadNode(r, dec, v, depth+1); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("gmvp: unknown split kind %d (corrupt stream)", kind)
+	}
+	return sp, nil
+}

@@ -1,0 +1,123 @@
+package gmvp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func encodeID(id int) ([]byte, error) {
+	return []byte{byte(id), byte(id >> 8)}, nil
+}
+
+func decodeID(b []byte) (int, error) {
+	if len(b) != 2 {
+		return 0, errors.New("bad id encoding")
+	}
+	return int(b[0]) | int(b[1])<<8, nil
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 7))
+	w := testutil.NewVectorWorkload(rng, 600, 8, 8, metric.L2)
+	for _, opts := range optionMatrix {
+		c := metric.NewCounter(w.Dist)
+		orig, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf, encodeID); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		loaded, err := Load(&buf, c, decodeID)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if loaded.Len() != orig.Len() || loaded.Vantages() != orig.Vantages() ||
+			loaded.Partitions() != orig.Partitions() || loaded.PathLength() != orig.PathLength() {
+			t.Fatal("parameters changed across save/load")
+		}
+		testutil.CheckRange(t, "loaded-gmvpt", loaded, w, []float64{0, 0.2, 0.6, 1.5})
+		testutil.CheckKNN(t, "loaded-gmvpt", loaded, w, []int{1, 5, 50})
+		testutil.CheckRangeFarther(t, "loaded-gmvpt", loaded, w, []float64{0.5, 1.5})
+	}
+}
+
+func TestSaveLoadIdenticalQueryCosts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 7))
+	w := testutil.NewVectorWorkload(rng, 400, 6, 6, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	orig, err := New(w.Items, c, Options{Vantages: 3, Partitions: 2, LeafCapacity: 10, PathLength: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	c2 := metric.NewCounter(w.Dist)
+	loaded, err := Load(&buf, c2, decodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		c.Reset()
+		orig.Range(q, 0.4)
+		c2.Reset()
+		loaded.Range(q, 0.4)
+		if c.Count() != c2.Count() {
+			t.Fatalf("query cost differs after reload: %d vs %d", c.Count(), c2.Count())
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 7))
+	w := testutil.NewVectorWorkload(rng, 100, 4, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	orig, err := New(w.Items, c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, i := range []int{15, len(valid) / 2, len(valid) - 5} {
+		data := append([]byte(nil), valid...)
+		data[i] ^= 0x5A
+		if _, err := Load(bytes.NewReader(data), c, decodeID); err == nil {
+			t.Errorf("byte %d flipped: Load succeeded", i)
+		}
+	}
+	if _, err := Load(bytes.NewReader(nil), c, decodeID); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestSaveLoadEmptyAndTiny(t *testing.T) {
+	dist := metric.NewCounter(metric.Discrete[int]())
+	for n := 0; n <= 5; n++ {
+		orig, err := New(testutil.IDs(n), dist, Options{Vantages: 2, Partitions: 2, LeafCapacity: 2, PathLength: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf, encodeID); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		loaded, err := Load(&buf, dist, decodeID)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := loaded.Range(0, 2); len(got) != n {
+			t.Errorf("n=%d: loaded full range = %d items", n, len(got))
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package gmvp
+
+// Stats describes the shape of a built tree.
+type Stats struct {
+	Nodes         int
+	Leaves        int
+	VantagePoints int
+	LeafItems     int
+	Height        int
+	MaxPathLen    int
+}
+
+// Height reports the height of the tree in node levels below the root.
+func (t *Tree[T]) Height() int { return nodeHeight(t.root) }
+
+func nodeHeight[T any](n *node[T]) int {
+	if n == nil || n.isLeaf() {
+		return 0
+	}
+	h := 0
+	forEachChild(n.top, func(c *node[T]) {
+		if ch := nodeHeight(c); ch > h {
+			h = ch
+		}
+	})
+	return h + 1
+}
+
+// Shape walks the tree and reports its Stats.
+func (t *Tree[T]) Shape() Stats {
+	var s Stats
+	walkShape(t.root, &s)
+	s.Height = t.Height()
+	return s
+}
+
+func walkShape[T any](n *node[T], s *Stats) {
+	if n == nil {
+		return
+	}
+	s.Nodes++
+	s.VantagePoints += len(n.vantages)
+	if n.isLeaf() {
+		s.Leaves++
+		s.LeafItems += len(n.items)
+		for _, p := range n.paths {
+			if len(p) > s.MaxPathLen {
+				s.MaxPathLen = len(p)
+			}
+		}
+		return
+	}
+	forEachChild(n.top, func(c *node[T]) { walkShape(c, s) })
+}
+
+// forEachChild visits every child node reachable through a cascade.
+func forEachChild[T any](sp *split[T], f func(*node[T])) {
+	if sp == nil {
+		return
+	}
+	for _, sub := range sp.subs {
+		forEachChild(sub, f)
+	}
+	for _, c := range sp.children {
+		if c != nil {
+			f(c)
+		}
+	}
+}

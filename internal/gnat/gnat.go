@@ -1,0 +1,355 @@
+// Package gnat implements Brin's Geometric Near-neighbor Access Tree
+// [Bri95], reviewed by the paper in §3.2 as the closest contemporary
+// competitor to vp-trees.
+//
+// Each node holds k split points chosen to be far apart; every remaining
+// point joins the dataset of its closest split point. The node records,
+// for every (split point i, dataset j) pair, the minimum and maximum
+// distance from split point i to the points of dataset j ("ranges").
+// Search computes distances from the query to split points one at a time
+// and discards any dataset whose range around any split point cannot
+// intersect the query ball, often eliminating datasets without ever
+// touching their split point.
+package gnat
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Options configure construction of a GNAT.
+type Options struct {
+	// Degree is the number of split points per node, k in [Bri95].
+	// Default 8.
+	Degree int
+	// LeafCapacity is the maximum number of points stored in a leaf
+	// bucket. Default 16.
+	LeafCapacity int
+	// CandidateFactor controls split-point sampling: Degree ×
+	// CandidateFactor random candidates are drawn and a greedy
+	// max-min-distance subset of size Degree is kept, as in [Bri95].
+	// Default 3.
+	CandidateFactor int
+	// Adaptive, when true, gives every child node a degree
+	// proportional to its dataset's share of the parent's points,
+	// clamped to [MinDegree, MaxDegree] — [Bri95]: "the number of
+	// split points, k, is parametrized and is chosen to be a different
+	// value for each data set depending on its cardinality".
+	Adaptive bool
+	// MinDegree and MaxDegree clamp adaptive degrees. Defaults 2 and
+	// 4 × Degree.
+	MinDegree, MaxDegree int
+	// Seed seeds sampling.
+	Seed uint64
+}
+
+func (o *Options) setDefaults() {
+	if o.Degree == 0 {
+		o.Degree = 8
+	}
+	if o.LeafCapacity == 0 {
+		o.LeafCapacity = 16
+	}
+	if o.CandidateFactor == 0 {
+		o.CandidateFactor = 3
+	}
+	if o.MinDegree == 0 {
+		o.MinDegree = 2
+	}
+	if o.MaxDegree == 0 {
+		o.MaxDegree = 4 * o.Degree
+	}
+}
+
+// Tree is a GNAT over a fixed item set.
+type Tree[T any] struct {
+	root      *node[T]
+	dist      *metric.Counter[T]
+	size      int
+	buildCost int64
+}
+
+var _ index.Index[int] = (*Tree[int])(nil)
+
+type node[T any] struct {
+	splits   []T
+	lo, hi   [][]float64 // lo[i][j], hi[i][j]: range of d(splits[i], dataset j)
+	children []*node[T]
+	leaf     bool
+	items    []T
+}
+
+// New builds a GNAT over items using the counted metric dist.
+func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	opts.setDefaults()
+	if opts.Degree < 2 {
+		return nil, errors.New("gnat: Degree must be at least 2")
+	}
+	if opts.LeafCapacity < 1 {
+		return nil, errors.New("gnat: LeafCapacity must be at least 1")
+	}
+	if opts.CandidateFactor < 1 {
+		return nil, errors.New("gnat: CandidateFactor must be at least 1")
+	}
+	if opts.Adaptive && (opts.MinDegree < 2 || opts.MaxDegree < opts.MinDegree) {
+		return nil, errors.New("gnat: adaptive degree bounds must satisfy 2 <= MinDegree <= MaxDegree")
+	}
+	t := &Tree[T]{dist: dist, size: len(items)}
+	work := make([]T, len(items))
+	copy(work, items)
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x676e6174))
+	before := dist.Count()
+	t.root = t.build(work, rng, &opts, opts.Degree)
+	t.buildCost = dist.Count() - before
+	return t, nil
+}
+
+func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options, degree int) *node[T] {
+	if len(work) == 0 {
+		return nil
+	}
+	if len(work) <= opts.LeafCapacity || len(work) <= degree {
+		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
+		copy(leaf.items, work)
+		return leaf
+	}
+	k := degree
+	splits := t.chooseSplits(work, k, rng, opts.CandidateFactor)
+	n := &node[T]{splits: make([]T, k)}
+	inSplit := make(map[int]bool, k)
+	for i, wi := range splits {
+		n.splits[i] = work[wi]
+		inSplit[wi] = true
+	}
+
+	datasets := make([][]T, k)
+	for wi, it := range work {
+		if inSplit[wi] {
+			continue
+		}
+		bestJ, bestD := 0, 0.0
+		for j := range n.splits {
+			d := t.dist.Distance(it, n.splits[j])
+			if j == 0 || d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		datasets[bestJ] = append(datasets[bestJ], it)
+	}
+
+	// Ranges: lo/hi of d(split i, x) over each dataset j *including*
+	// split point j itself, as in [Bri95] — pruning dataset j also
+	// prunes split point j, so the range must cover it. This is the
+	// second pass of distance computations [Bri95] pays for at
+	// construction ("more expensive preprocessing than the vp-tree").
+	n.lo = make([][]float64, k)
+	n.hi = make([][]float64, k)
+	for i := range n.lo {
+		n.lo[i] = make([]float64, k)
+		n.hi[i] = make([]float64, k)
+		for j := range datasets {
+			lo := t.dist.Distance(n.splits[i], n.splits[j])
+			hi := lo
+			for _, x := range datasets[j] {
+				d := t.dist.Distance(n.splits[i], x)
+				if d < lo {
+					lo = d
+				}
+				if d > hi {
+					hi = d
+				}
+			}
+			n.lo[i][j], n.hi[i][j] = lo, hi
+		}
+	}
+
+	n.children = make([]*node[T], k)
+	total := 0
+	for j := range datasets {
+		total += len(datasets[j])
+	}
+	for j := range datasets {
+		childDeg := opts.Degree
+		if opts.Adaptive && total > 0 {
+			// Proportional to the dataset's share, averaging Degree.
+			childDeg = int(float64(opts.Degree*k)*float64(len(datasets[j]))/float64(total) + 0.5)
+			childDeg = max(opts.MinDegree, min(opts.MaxDegree, childDeg))
+		}
+		n.children[j] = t.build(datasets[j], rng, opts, childDeg)
+	}
+	return n
+}
+
+// chooseSplits returns indices into work of k split points: sample
+// k·factor candidates, keep a greedy max-min-distance subset.
+func (t *Tree[T]) chooseSplits(work []T, k int, rng *rand.Rand, factor int) []int {
+	candN := min(len(work), k*factor)
+	cands := rng.Perm(len(work))[:candN]
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, cands[0])
+	minDist := make([]float64, candN) // distance to nearest chosen split
+	for i, c := range cands {
+		minDist[i] = t.dist.Distance(work[c], work[chosen[0]])
+	}
+	for len(chosen) < k {
+		best, bestD := -1, -1.0
+		for i, c := range cands {
+			if containsInt(chosen, c) {
+				continue
+			}
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen = append(chosen, cands[best])
+		for i, c := range cands {
+			if d := t.dist.Distance(work[c], work[cands[best]]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return chosen
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of indexed items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Counter returns the counted metric the tree measures distances with.
+func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// BuildCost reports the number of distance computations made during
+// construction.
+func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+
+// Range returns every indexed item within distance r of q, following
+// [Bri95]'s search: split points are consumed one at a time and each
+// distance prunes sibling datasets through the stored ranges.
+func (t *Tree[T]) Range(q T, r float64) []T {
+	if r < 0 {
+		return nil
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if t.dist.Distance(q, it) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	k := len(n.splits)
+	alive := make([]bool, k)
+	for j := range alive {
+		alive[j] = true
+	}
+	visited := make([]bool, k)
+	for {
+		// Pick an unvisited split point whose dataset is still alive.
+		i := -1
+		for j := 0; j < k; j++ {
+			if alive[j] && !visited[j] {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			break
+		}
+		visited[i] = true
+		d := t.dist.Distance(q, n.splits[i])
+		if d <= r {
+			*out = append(*out, n.splits[i])
+		}
+		for j := 0; j < k; j++ {
+			if !alive[j] {
+				continue
+			}
+			if d+r < n.lo[i][j] || d-r > n.hi[i][j] {
+				alive[j] = false
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		if alive[j] {
+			t.rangeNode(n.children[j], q, r, out)
+		}
+	}
+}
+
+// KNN returns the k nearest indexed items via best-first traversal. The
+// lower bound of a child dataset is the tightest interval gap over all
+// split points whose query distance was computed.
+func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for {
+		n, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				best.Push(it, t.dist.Distance(q, it))
+			}
+			continue
+		}
+		nk := len(n.splits)
+		lbs := make([]float64, nk)
+		for j := range lbs {
+			lbs[j] = bound
+		}
+		for i := 0; i < nk; i++ {
+			d := t.dist.Distance(q, n.splits[i])
+			best.Push(n.splits[i], d)
+			for j := 0; j < nk; j++ {
+				gap := 0.0
+				switch {
+				case d < n.lo[i][j]:
+					gap = n.lo[i][j] - d
+				case d > n.hi[i][j]:
+					gap = d - n.hi[i][j]
+				}
+				if gap > lbs[j] {
+					lbs[j] = gap
+				}
+			}
+		}
+		for j := 0; j < nk; j++ {
+			if n.children[j] != nil && best.Accepts(lbs[j]) {
+				queue.PushNode(n.children[j], lbs[j])
+			}
+		}
+	}
+	return best.Sorted()
+}

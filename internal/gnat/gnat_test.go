@@ -1,0 +1,120 @@
+package gnat
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 1))
+	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
+	for _, opts := range []Options{
+		{Seed: 7},
+		{Degree: 4, LeafCapacity: 4, Seed: 7},
+		{Degree: 16, LeafCapacity: 32, Seed: 7},
+	} {
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckRange(t, "gnat", tree, w, []float64{0, 0.1, 0.3, 0.6, 1.0, 2.0})
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Degree: 5, LeafCapacity: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckKNN(t, "gnat", tree, w, []int{1, 2, 5, 17, 300, 1000})
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 1))
+	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckRange(t, "gnat-clumped", tree, w, []float64{0, 0.01, 0.05, 0.5, 3})
+	testutil.CheckKNN(t, "gnat-clumped", tree, w, []int{1, 3, 10})
+	testutil.CheckContainsAllOnce(t, "gnat-clumped", tree, w, 1e6)
+}
+
+func TestTinyAndEdgeCases(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	for n := 0; n <= 10; n++ {
+		items := make([][]float64, n)
+		for i := range items {
+			items[i] = []float64{float64(i)}
+		}
+		tree, err := New(items, dist, Options{Degree: 3, LeafCapacity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Len() != n {
+			t.Errorf("n=%d: Len() = %d", n, tree.Len())
+		}
+		if got := tree.Range([]float64{0}, 100); len(got) != n {
+			t.Errorf("n=%d: full range = %d items, want %d", n, len(got), n)
+		}
+	}
+	for _, opts := range []Options{{Degree: 1}, {LeafCapacity: -1}, {CandidateFactor: -2}} {
+		if _, err := New([][]float64{{1}, {2}, {3}}, dist, opts); err == nil {
+			t.Errorf("invalid options %+v accepted", opts)
+		}
+	}
+}
+
+func TestBuildIsMoreExpensiveThanSearchStructure(t *testing.T) {
+	// [Bri95]: GNAT preprocessing is more expensive than the vp-tree's
+	// O(n log n); sanity check that BuildCost is superlinear but sane.
+	rng := rand.New(rand.NewPCG(44, 1))
+	w := testutil.NewVectorWorkload(rng, 1000, 6, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Degree: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.BuildCost() < int64(len(w.Items)) {
+		t.Errorf("BuildCost %d below n", tree.BuildCost())
+	}
+	if tree.BuildCost() > int64(len(w.Items))*int64(len(w.Items)) {
+		t.Errorf("BuildCost %d exceeds n², table construction is wrong", tree.BuildCost())
+	}
+}
+
+func TestAdaptiveDegreeCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(45, 1))
+	for name, w := range map[string]*testutil.Workload{
+		"uniform": testutil.NewVectorWorkload(rng, 600, 6, 8, metric.L2),
+		"clumped": testutil.NewClumpedWorkload(rng, 600, 5, 8, metric.L2),
+	} {
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, Options{Degree: 6, Adaptive: true, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		testutil.CheckRange(t, "gnat-adaptive-"+name, tree, w, []float64{0, 0.1, 0.4, 1.0})
+		testutil.CheckKNN(t, "gnat-adaptive-"+name, tree, w, []int{1, 5, 20})
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	items := [][]float64{{1}, {2}, {3}}
+	if _, err := New(items, dist, Options{Adaptive: true, MinDegree: 1, MaxDegree: 3}); err == nil {
+		t.Error("MinDegree 1 accepted")
+	}
+	if _, err := New(items, dist, Options{Adaptive: true, MinDegree: 5, MaxDegree: 3}); err == nil {
+		t.Error("MinDegree > MaxDegree accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package heapx provides the two small priority queues used by the
+// k-nearest-neighbor search algorithms: a bounded max-heap that keeps the
+// k best (smallest-distance) candidates seen so far, and a min-heap of
+// pending search nodes ordered by lower-bound distance for best-first
+// traversal.
+package heapx
+
+import "mvptree/internal/index"
+
+// KBest keeps the k smallest-distance neighbors seen so far. It is a
+// max-heap on distance so the current worst candidate is inspectable in
+// O(1) and replaceable in O(log k).
+type KBest[T any] struct {
+	k     int
+	items []index.Neighbor[T]
+}
+
+// NewKBest returns a KBest that retains at most k neighbors. k must be
+// positive or NewKBest panics.
+func NewKBest[T any](k int) *KBest[T] {
+	if k <= 0 {
+		panic("heapx: NewKBest requires k > 0")
+	}
+	return &KBest[T]{k: k, items: make([]index.Neighbor[T], 0, k)}
+}
+
+// Len reports how many neighbors are currently held (≤ k).
+func (h *KBest[T]) Len() int { return len(h.items) }
+
+// Full reports whether k neighbors are held.
+func (h *KBest[T]) Full() bool { return len(h.items) == h.k }
+
+// Bound returns the current pruning bound: the k-th best distance if the
+// heap is full, or +Inf-like sentinel behaviour via ok=false otherwise.
+func (h *KBest[T]) Bound() (worst float64, ok bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.items[0].Dist, true
+}
+
+// Accepts reports whether a candidate at distance d would be kept.
+func (h *KBest[T]) Accepts(d float64) bool {
+	if !h.Full() {
+		return true
+	}
+	return d < h.items[0].Dist
+}
+
+// Push offers a candidate; it is kept only if it is among the k best.
+func (h *KBest[T]) Push(item T, d float64) {
+	if len(h.items) < h.k {
+		h.items = append(h.items, index.Neighbor[T]{Item: item, Dist: d})
+		h.up(len(h.items) - 1)
+		return
+	}
+	if d >= h.items[0].Dist {
+		return
+	}
+	h.items[0] = index.Neighbor[T]{Item: item, Dist: d}
+	h.down(0)
+}
+
+// Sorted removes and returns all held neighbors ordered by ascending
+// distance. The heap is empty afterwards.
+func (h *KBest[T]) Sorted() []index.Neighbor[T] {
+	out := make([]index.Neighbor[T], len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = h.items[0]
+		last := len(h.items) - 1
+		h.items[0] = h.items[last]
+		h.items = h.items[:last]
+		if last > 0 {
+			h.down(0)
+		}
+	}
+	return out
+}
+
+func (h *KBest[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[i].Dist <= h.items[parent].Dist {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *KBest[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.items[l].Dist > h.items[big].Dist {
+			big = l
+		}
+		if r < n && h.items[r].Dist > h.items[big].Dist {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}
+
+// NodeQueue is a min-heap of pending search nodes keyed by a lower bound
+// on the distance from the query to anything inside the node. Best-first
+// kNN search pops the most promising node first and stops once the best
+// lower bound exceeds the current k-th neighbor distance.
+type NodeQueue[N any] struct {
+	nodes  []N
+	bounds []float64
+}
+
+// PushNode adds a node with the given lower bound.
+func (q *NodeQueue[N]) PushNode(n N, bound float64) {
+	q.nodes = append(q.nodes, n)
+	q.bounds = append(q.bounds, bound)
+	i := len(q.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.bounds[i] >= q.bounds[parent] {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// PopNode removes and returns the node with the smallest lower bound.
+// ok is false when the queue is empty.
+func (q *NodeQueue[N]) PopNode() (n N, bound float64, ok bool) {
+	if len(q.nodes) == 0 {
+		return n, 0, false
+	}
+	n, bound = q.nodes[0], q.bounds[0]
+	last := len(q.nodes) - 1
+	q.swap(0, last)
+	q.nodes = q.nodes[:last]
+	q.bounds = q.bounds[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && q.bounds[l] < q.bounds[small] {
+			small = l
+		}
+		if r < last && q.bounds[r] < q.bounds[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.swap(i, small)
+		i = small
+	}
+	return n, bound, true
+}
+
+// Len reports the number of pending nodes.
+func (q *NodeQueue[N]) Len() int { return len(q.nodes) }
+
+func (q *NodeQueue[N]) swap(i, j int) {
+	q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i]
+	q.bounds[i], q.bounds[j] = q.bounds[j], q.bounds[i]
+}

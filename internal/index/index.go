@@ -1,0 +1,28 @@
+// Package index defines the interface shared by all distance-based index
+// structures in this repository, together with common result types.
+package index
+
+// Neighbor is one item of a k-nearest-neighbor result with its distance
+// from the query.
+type Neighbor[T any] struct {
+	Item T
+	Dist float64
+}
+
+// Index is a similarity-search index over a fixed set of items in a
+// metric space. All implementations in this repository are static: they
+// are bulk-built from a slice of items and answer queries, matching the
+// paper's setting (dynamic updates are listed there as an open problem).
+type Index[T any] interface {
+	// Range returns every indexed item within distance r of q
+	// (inclusive), in unspecified order.
+	Range(q T, r float64) []T
+
+	// KNN returns the k indexed items nearest to q, ordered by
+	// ascending distance. If fewer than k items are indexed it returns
+	// all of them. Ties at the k-th distance are broken arbitrarily.
+	KNN(q T, k int) []Neighbor[T]
+
+	// Len reports the number of indexed items.
+	Len() int
+}

@@ -1,0 +1,172 @@
+// Package laesa implements a pivot-table index in the spirit of Shasha &
+// Wang's pre-computed distance technique [SW90], which the paper reviews
+// in §3.2. The full [SW90] table stores all O(n²) pairwise distances;
+// that is exactly what the paper calls "overwhelming for larger
+// domains", so — like the LAESA family that followed — this
+// implementation stores the distances from every item to a fixed set of
+// p pivots, an O(n·p) table.
+//
+// A query computes its distance to each pivot, derives for every item
+// the lower bound max_j |d(q, pivot_j) − table[j][item]| and computes a
+// real distance only for items whose bound does not already exclude
+// them. This makes the filtering power of pre-computed distances — the
+// same mechanism the mvp-tree moves into its leaves — measurable in
+// isolation.
+package laesa
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Options configure construction of the pivot table.
+type Options struct {
+	// Pivots is the number of pivot items, the p of the table.
+	// Default 16 (capped at the number of items).
+	Pivots int
+	// Seed seeds pivot selection (maximum-minimum-distance greedy
+	// selection from a random start).
+	Seed uint64
+}
+
+// Table is a pivot-table index over a fixed item set.
+type Table[T any] struct {
+	items     []T
+	pivots    []T
+	table     [][]float64 // table[j][i] = d(pivots[j], items[i])
+	qbuf      []float64   // scratch: query-to-pivot distances
+	dist      *metric.Counter[T]
+	buildCost int64
+}
+
+var _ index.Index[int] = (*Table[int])(nil)
+
+// New builds the pivot table over items using the counted metric dist.
+func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Table[T], error) {
+	if opts.Pivots == 0 {
+		opts.Pivots = 16
+	}
+	if opts.Pivots < 1 {
+		return nil, errors.New("laesa: Pivots must be at least 1")
+	}
+	p := min(opts.Pivots, len(items))
+	t := &Table[T]{
+		items: make([]T, len(items)),
+		dist:  dist,
+	}
+	copy(t.items, items)
+	if len(items) == 0 {
+		return t, nil
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x6c61657361))
+	before := dist.Count()
+
+	// Greedy max-min pivot selection: start random, then repeatedly
+	// take the item farthest from all chosen pivots. The first pass of
+	// distances doubles as the first table row.
+	t.pivots = make([]T, 0, p)
+	t.table = make([][]float64, 0, p)
+	minDist := make([]float64, len(items)) // to nearest chosen pivot
+	cur := rng.IntN(len(items))
+	for j := 0; j < p; j++ {
+		pv := t.items[cur]
+		t.pivots = append(t.pivots, pv)
+		row := make([]float64, len(items))
+		far, farD := cur, -1.0
+		for i := range t.items {
+			row[i] = dist.Distance(pv, t.items[i])
+			if j == 0 || row[i] < minDist[i] {
+				minDist[i] = row[i]
+			}
+			if minDist[i] > farD {
+				far, farD = i, minDist[i]
+			}
+		}
+		t.table = append(t.table, row)
+		cur = far
+	}
+	t.qbuf = make([]float64, p)
+	t.buildCost = dist.Count() - before
+	return t, nil
+}
+
+// Len reports the number of indexed items.
+func (t *Table[T]) Len() int { return len(t.items) }
+
+// Counter returns the counted metric the table measures distances with.
+func (t *Table[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// Pivots reports the number of pivots actually used.
+func (t *Table[T]) Pivots() int { return len(t.pivots) }
+
+// BuildCost reports the number of distance computations made during
+// construction (pivots × n).
+func (t *Table[T]) BuildCost() int64 { return t.buildCost }
+
+// queryPivots fills qbuf with the query's distances to all pivots.
+func (t *Table[T]) queryPivots(q T) {
+	for j, pv := range t.pivots {
+		t.qbuf[j] = t.dist.Distance(q, pv)
+	}
+}
+
+// lowerBound returns max_j |qbuf[j] − table[j][i]|, a lower bound on
+// d(q, items[i]) by the triangle inequality.
+func (t *Table[T]) lowerBound(i int) float64 {
+	var lb float64
+	for j := range t.pivots {
+		d := t.qbuf[j] - t.table[j][i]
+		if d < 0 {
+			d = -d
+		}
+		if d > lb {
+			lb = d
+		}
+	}
+	return lb
+}
+
+// Range returns every indexed item within distance r of q.
+func (t *Table[T]) Range(q T, r float64) []T {
+	if r < 0 || len(t.items) == 0 {
+		return nil
+	}
+	t.queryPivots(q)
+	var out []T
+	for i, it := range t.items {
+		if t.lowerBound(i) > r {
+			continue
+		}
+		if t.dist.Distance(q, it) <= r {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// KNN returns the k nearest indexed items: candidates are visited in
+// ascending lower-bound order and the scan stops as soon as the next
+// lower bound cannot beat the current k-th distance.
+func (t *Table[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || len(t.items) == 0 {
+		return nil
+	}
+	t.queryPivots(q)
+	var queue heapx.NodeQueue[int]
+	for i := range t.items {
+		queue.PushNode(i, t.lowerBound(i))
+	}
+	best := heapx.NewKBest[T](k)
+	for {
+		i, lb, ok := queue.PopNode()
+		if !ok || !best.Accepts(lb) {
+			break
+		}
+		best.Push(t.items[i], t.dist.Distance(q, t.items[i]))
+	}
+	return best.Sorted()
+}

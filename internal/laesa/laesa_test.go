@@ -1,0 +1,97 @@
+package laesa
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 1))
+	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
+	for _, opts := range []Options{{Pivots: 1, Seed: 7}, {Pivots: 8, Seed: 7}, {Pivots: 64, Seed: 7}} {
+		c := metric.NewCounter(w.Dist)
+		tbl, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckRange(t, "laesa", tbl, w, []float64{0, 0.1, 0.3, 0.6, 1.0, 2.0})
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(62, 1))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tbl, err := New(w.Items, c, Options{Pivots: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckKNN(t, "laesa", tbl, w, []int{1, 2, 5, 17, 300, 1000})
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 1))
+	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tbl, err := New(w.Items, c, Options{Pivots: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckRange(t, "laesa-clumped", tbl, w, []float64{0, 0.01, 0.05, 0.5, 3})
+	testutil.CheckKNN(t, "laesa-clumped", tbl, w, []int{1, 3, 10})
+	testutil.CheckContainsAllOnce(t, "laesa-clumped", tbl, w, 1e6)
+}
+
+func TestPivotsCappedAtN(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	tbl, err := New([][]float64{{1}, {2}, {3}}, dist, Options{Pivots: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Pivots() != 3 {
+		t.Errorf("Pivots() = %d, want 3", tbl.Pivots())
+	}
+	if tbl.BuildCost() != 9 {
+		t.Errorf("BuildCost = %d, want 9 (3 pivots × 3 items)", tbl.BuildCost())
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	tbl, err := New(nil, dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 || tbl.Range([]float64{0}, 5) != nil || tbl.KNN([]float64{0}, 2) != nil {
+		t.Error("empty table misbehaves")
+	}
+	if _, err := New([][]float64{{1}}, dist, Options{Pivots: -1}); err == nil {
+		t.Error("negative Pivots accepted")
+	}
+}
+
+func TestMorePivotsFilterMore(t *testing.T) {
+	rng := rand.New(rand.NewPCG(64, 1))
+	w := testutil.NewVectorWorkload(rng, 3000, 6, 20, metric.L2)
+	cost := func(p int) int64 {
+		c := metric.NewCounter(w.Dist)
+		tbl, err := New(w.Items, c, Options{Pivots: p, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, q := range w.Queries {
+			c.Reset()
+			tbl.Range(q, 0.2)
+			total += c.Count()
+		}
+		return total
+	}
+	few, many := cost(2), cost(32)
+	if many >= few {
+		t.Errorf("32 pivots cost %d ≥ 2 pivots cost %d; pivot filtering broken", many, few)
+	}
+}

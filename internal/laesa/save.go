@@ -1,0 +1,118 @@
+package laesa
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/wire"
+)
+
+// Persistence for pivot tables. The table is the expensive part —
+// pivots × n distance computations — so reloading it is the whole
+// point.
+
+// ItemEncoder serializes one item.
+type ItemEncoder[T any] func(T) ([]byte, error)
+
+// ItemDecoder deserializes one item.
+type ItemDecoder[T any] func([]byte) (T, error)
+
+const saveMagic = "LAESA1"
+
+// Save writes the table to w. The metric is not serialized.
+func (t *Table[T]) Save(w io.Writer, enc ItemEncoder[T]) error {
+	var payload bytes.Buffer
+	pw := wire.NewWriter(&payload)
+	writeItems := func(items []T) error {
+		pw.Int(len(items))
+		for _, it := range items {
+			b, err := enc(it)
+			if err != nil {
+				return fmt.Errorf("laesa: encoding item: %w", err)
+			}
+			pw.Bytes(b)
+		}
+		return pw.Err()
+	}
+	if err := writeItems(t.items); err != nil {
+		return err
+	}
+	if err := writeItems(t.pivots); err != nil {
+		return err
+	}
+	for _, row := range t.table {
+		pw.Floats(row)
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+	ww := wire.NewWriter(w)
+	ww.Bytes([]byte(saveMagic))
+	ww.Bytes(payload.Bytes())
+	ww.Uvarint(uint64(crc32.ChecksumIEEE(payload.Bytes())))
+	return ww.Flush()
+}
+
+// Load reads a table written by Save. dist must wrap the same metric
+// the table was built with.
+func Load[T any](r io.Reader, dist *metric.Counter[T], dec ItemDecoder[T]) (*Table[T], error) {
+	outer := wire.NewReader(r)
+	if string(outer.Bytes()) != saveMagic {
+		return nil, fmt.Errorf("laesa: bad magic (not a pivot-table stream)")
+	}
+	payload := outer.Bytes()
+	sum := outer.Uvarint()
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(crc32.ChecksumIEEE(payload)) != sum {
+		return nil, fmt.Errorf("laesa: checksum mismatch (corrupt stream)")
+	}
+	rr := wire.NewReader(bytes.NewReader(payload))
+	readItems := func() ([]T, error) {
+		count := rr.Int()
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		out := make([]T, count)
+		for i := range out {
+			b := rr.Bytes()
+			if err := rr.Err(); err != nil {
+				return nil, err
+			}
+			it, err := dec(b)
+			if err != nil {
+				return nil, fmt.Errorf("laesa: decoding item: %w", err)
+			}
+			out[i] = it
+		}
+		return out, nil
+	}
+	t := &Table[T]{dist: dist}
+	var err error
+	if t.items, err = readItems(); err != nil {
+		return nil, err
+	}
+	if t.pivots, err = readItems(); err != nil {
+		return nil, err
+	}
+	if len(t.pivots) > len(t.items) {
+		return nil, fmt.Errorf("laesa: %d pivots for %d items (corrupt stream)", len(t.pivots), len(t.items))
+	}
+	t.table = make([][]float64, len(t.pivots))
+	for j := range t.table {
+		row := rr.Floats()
+		if err := rr.Err(); err != nil {
+			return nil, err
+		}
+		if len(row) != len(t.items) {
+			return nil, fmt.Errorf("laesa: table row %d has %d entries for %d items", j, len(row), len(t.items))
+		}
+		t.table[j] = row
+	}
+	t.qbuf = make([]float64, len(t.pivots))
+	return t, nil
+}

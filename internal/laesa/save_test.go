@@ -1,0 +1,94 @@
+package laesa
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/codec"
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 8))
+	vecs := testutil.RandomVectors(rng, 400, 6)
+	c := metric.NewCounter(metric.L2)
+	orig, err := New(vecs, c, Options{Pivots: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	c2 := metric.NewCounter(metric.L2)
+	loaded, err := Load(&buf, c2, codec.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Count() != 0 {
+		t.Errorf("loading computed %d distances (table rebuild is the thing to avoid)", c2.Count())
+	}
+	if loaded.Len() != orig.Len() || loaded.Pivots() != orig.Pivots() {
+		t.Fatal("shape changed across save/load")
+	}
+	for qi := 0; qi < 5; qi++ {
+		q := vecs[qi*13]
+		for _, r := range []float64{0.1, 0.4, 1.0} {
+			a, b := orig.Range(q, r), loaded.Range(q, r)
+			if len(a) != len(b) {
+				t.Fatalf("Range(r=%g): %d vs %d", r, len(a), len(b))
+			}
+		}
+		// Query costs must match exactly: same pivots, same table.
+		c.Reset()
+		orig.Range(q, 0.3)
+		c2.Reset()
+		loaded.Range(q, 0.3)
+		if c.Count() != c2.Count() {
+			t.Fatalf("query cost differs after reload: %d vs %d", c.Count(), c2.Count())
+		}
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	c := metric.NewCounter(metric.L2)
+	orig, err := New(nil, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, c, codec.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 || loaded.Range([]float64{0}, 1) != nil {
+		t.Error("empty table misbehaves after reload")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(72, 8))
+	vecs := testutil.RandomVectors(rng, 50, 3)
+	c := metric.NewCounter(metric.L2)
+	orig, err := New(vecs, c, Options{Pivots: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, i := range []int{8, len(valid) / 2, len(valid) - 2} {
+		data := append([]byte(nil), valid...)
+		data[i] ^= 0x77
+		if _, err := Load(bytes.NewReader(data), c, codec.DecodeVector); err == nil {
+			t.Errorf("byte %d flipped: Load succeeded", i)
+		}
+	}
+}

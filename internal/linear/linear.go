@@ -1,0 +1,57 @@
+// Package linear implements brute-force similarity search by scanning
+// every indexed item. It is the ground truth the tree structures are
+// validated against and the worst-case baseline in the benchmarks: a
+// range query always costs exactly n distance computations.
+package linear
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Scan is a linear-scan index over a fixed item set.
+type Scan[T any] struct {
+	items []T
+	dist  *metric.Counter[T]
+}
+
+var _ index.Index[int] = (*Scan[int])(nil)
+
+// New returns a Scan over items measuring distances through dist. The
+// item slice is copied.
+func New[T any](items []T, dist *metric.Counter[T]) *Scan[T] {
+	s := &Scan[T]{items: make([]T, len(items)), dist: dist}
+	copy(s.items, items)
+	return s
+}
+
+// Len reports the number of indexed items.
+func (s *Scan[T]) Len() int { return len(s.items) }
+
+// Counter returns the counted metric the scan measures distances with.
+func (s *Scan[T]) Counter() *metric.Counter[T] { return s.dist }
+
+// Range returns every item within distance r of q, computing exactly
+// Len() distances.
+func (s *Scan[T]) Range(q T, r float64) []T {
+	var out []T
+	for _, it := range s.items {
+		if s.dist.Distance(q, it) <= r {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// KNN returns the k items nearest to q in ascending distance order.
+func (s *Scan[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || len(s.items) == 0 {
+		return nil
+	}
+	h := heapx.NewKBest[T](k)
+	for _, it := range s.items {
+		h.Push(it, s.dist.Distance(q, it))
+	}
+	return h.Sorted()
+}

@@ -1,0 +1,89 @@
+package linear
+
+import (
+	"testing"
+
+	"mvptree/internal/metric"
+)
+
+func TestRangeExactCost(t *testing.T) {
+	items := [][]float64{{0}, {1}, {2}, {3}}
+	c := metric.NewCounter(metric.L2)
+	s := New(items, c)
+	if s.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", s.Len())
+	}
+	c.Reset()
+	got := s.Range([]float64{1.4}, 0.5)
+	if c.Count() != 4 {
+		t.Errorf("Range cost = %d, want exactly n = 4", c.Count())
+	}
+	if len(got) != 1 || got[0][0] != 1 {
+		t.Errorf("Range = %v, want [[1]]", got)
+	}
+}
+
+func TestRangeBoundaryInclusive(t *testing.T) {
+	c := metric.NewCounter(metric.L2)
+	s := New([][]float64{{0}, {2}}, c)
+	if got := s.Range([]float64{0}, 2); len(got) != 2 {
+		t.Errorf("Range(0, 2) = %v; boundary must be inclusive", got)
+	}
+}
+
+func TestKNNOrderingAndBounds(t *testing.T) {
+	items := [][]float64{{5}, {1}, {3}, {2}, {4}}
+	c := metric.NewCounter(metric.L2)
+	s := New(items, c)
+	nn := s.KNN([]float64{0}, 3)
+	want := []float64{1, 2, 3}
+	if len(nn) != 3 {
+		t.Fatalf("KNN returned %d items", len(nn))
+	}
+	for i, n := range nn {
+		if n.Dist != want[i] {
+			t.Errorf("KNN[%d].Dist = %g, want %g", i, n.Dist, want[i])
+		}
+	}
+	if got := s.KNN([]float64{0}, 100); len(got) != 5 {
+		t.Errorf("KNN(k>n) returned %d, want 5", len(got))
+	}
+	if got := s.KNN([]float64{0}, 0); got != nil {
+		t.Errorf("KNN(0) = %v", got)
+	}
+}
+
+func TestItemsCopied(t *testing.T) {
+	items := [][]float64{{0}}
+	c := metric.NewCounter(metric.L2)
+	s := New(items, c)
+	items[0] = []float64{99} // mutating the caller's slice header must not matter
+	if got := s.Range([]float64{0}, 0.1); len(got) != 1 {
+		t.Errorf("index affected by caller mutation: %v", got)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	c := metric.NewCounter(metric.L2)
+	s := New(nil, c)
+	if s.Len() != 0 || s.Range([]float64{0}, 1) != nil || s.KNN([]float64{0}, 2) != nil {
+		t.Error("empty scan misbehaves")
+	}
+}
+
+func TestFarthestQueries(t *testing.T) {
+	items := [][]float64{{0}, {1}, {5}, {9}}
+	c := metric.NewCounter(metric.L2)
+	s := New(items, c)
+	far := s.RangeFarther([]float64{0}, 5)
+	if len(far) != 2 {
+		t.Errorf("RangeFarther = %v, want the two items at distance ≥ 5", far)
+	}
+	kf := s.KFarthest([]float64{0}, 2)
+	if len(kf) != 2 || kf[0].Dist != 9 || kf[1].Dist != 5 {
+		t.Errorf("KFarthest = %v", kf)
+	}
+	if got := s.KFarthest([]float64{0}, 0); got != nil {
+		t.Errorf("KFarthest(0) = %v", got)
+	}
+}

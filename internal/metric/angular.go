@@ -1,0 +1,83 @@
+package metric
+
+import (
+	"math"
+	"sort"
+)
+
+// Angular returns the angle in radians between two non-zero vectors:
+// arccos of their cosine similarity. On unit vectors (or, generally, on
+// rays through the origin) it is a metric — the spherical geodesic
+// distance — which makes it the correct way to use "cosine similarity"
+// with distance-based indexes: 1−cos itself violates the triangle
+// inequality, the angle does not.
+//
+// Angular is scale-invariant, so for non-normalized inputs it is a
+// pseudometric: distinct parallel vectors are at distance 0. That
+// coarsens results (parallel items become interchangeable) but never
+// breaks index correctness. It panics on zero vectors, which have no
+// direction.
+func Angular(a, b []float64) float64 {
+	checkLen(a, b)
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		panic("metric: Angular is undefined for zero vectors")
+	}
+	cos := dot / math.Sqrt(na*nb)
+	// Clamp rounding noise outside [-1, 1] before arccos.
+	if cos > 1 {
+		cos = 1
+	} else if cos < -1 {
+		cos = -1
+	}
+	return math.Acos(cos)
+}
+
+// Jaccard returns the Jaccard distance 1 − |A∩B| / |A∪B| between two
+// sets represented as sorted, duplicate-free string slices (use
+// NormalizeSet to prepare arbitrary slices). It is a metric on sets;
+// the distance of two empty sets is 0. Typical uses are shingled
+// documents and tag sets.
+func Jaccard(a, b []string) float64 {
+	inter, union := 0, 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		union++
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union += len(a) - i + len(b) - j
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// NormalizeSet sorts and deduplicates a string slice in place, returning
+// the set form Jaccard expects.
+func NormalizeSet(s []string) []string {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Strings(s)
+	out := s[:1]
+	for _, x := range s[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

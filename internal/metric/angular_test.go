@@ -1,0 +1,124 @@
+package metric
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAngularKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{1, 0}, []float64{1, 0}, 0},
+		{[]float64{1, 0}, []float64{0, 1}, math.Pi / 2},
+		{[]float64{1, 0}, []float64{-1, 0}, math.Pi},
+		{[]float64{1, 0}, []float64{2, 0}, 0}, // scale-invariant
+		{[]float64{1, 1}, []float64{1, 0}, math.Pi / 4},
+	}
+	for _, c := range cases {
+		if got := Angular(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Angular(%v, %v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngularZeroVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Angular on zero vector did not panic")
+		}
+	}()
+	Angular([]float64{0, 0}, []float64{1, 0})
+}
+
+func TestAngularAxiomsOnSphere(t *testing.T) {
+	rng := rand.New(rand.NewPCG(121, 1))
+	sample := make([][]float64, 12)
+	for i := range sample {
+		v := randVec(rng, 6)
+		var norm float64
+		for _, x := range v {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		for j := range v {
+			v[j] /= norm
+		}
+		sample[i] = v
+	}
+	if err := CheckAxioms(Angular, sample, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularClampsRounding(t *testing.T) {
+	// Parallel vectors whose dot product rounds above 1 must yield 0,
+	// not NaN.
+	a := []float64{0.1, 0.1, 0.1}
+	if got := Angular(a, a); got != 0 || math.IsNaN(got) {
+		t.Errorf("Angular(a, a) = %g", got)
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 1},
+		{[]string{"a", "b"}, []string{"a", "b"}, 0},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1 - 1.0/3},
+		{[]string{"a"}, []string{"b"}, 1},
+		{[]string{"a", "b", "c", "d"}, []string{"c", "d", "e"}, 1 - 2.0/5},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Jaccard(%v, %v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardAxioms(t *testing.T) {
+	sample := [][]string{
+		nil,
+		{"a"},
+		{"a", "b"},
+		{"b", "c", "d"},
+		{"a", "b", "c", "d"},
+		{"e"},
+		{"a", "e"},
+	}
+	if err := CheckAxioms(Jaccard, sample, 1e-12); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeSet(t *testing.T) {
+	got := NormalizeSet([]string{"c", "a", "b", "a", "c", "c"})
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("NormalizeSet = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizeSet = %v", got)
+		}
+	}
+	if out := NormalizeSet(nil); out != nil {
+		t.Errorf("NormalizeSet(nil) = %v", out)
+	}
+}
+
+func TestJaccardBoundsQuick(t *testing.T) {
+	f := func(a, b []string) bool {
+		d := Jaccard(NormalizeSet(a), NormalizeSet(b))
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,14 @@
+package metric
+
+// Discrete returns the discrete (0/1) metric for any comparable type:
+// 0 if the items are equal, 1 otherwise. It is the simplest metric and is
+// used by tests to exercise index structures on degenerate distance
+// distributions (every non-identical pair is equidistant).
+func Discrete[T comparable]() DistanceFunc[T] {
+	return func(a, b T) float64 {
+		if a == b {
+			return 0
+		}
+		return 1
+	}
+}

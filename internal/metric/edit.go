@@ -1,0 +1,48 @@
+package metric
+
+// Edit returns the Levenshtein edit distance between two strings: the
+// minimum number of single-character insertions, deletions and
+// substitutions needed to turn a into b. Edit distance is a metric and is
+// the canonical example of a non-spatial metric domain in the paper
+// (§3.1, text databases). Distances are always non-negative integers,
+// which also makes Edit suitable for the discrete-distance BK-tree.
+//
+// The strings are compared byte-wise; for the ASCII corpora used in this
+// repository that coincides with character-wise comparison.
+func Edit(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	// Ensure b is the shorter string so the DP rows stay small.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return float64(len(a))
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitution or match
+			if d := prev[j] + 1; d < m { // deletion from a
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insertion into a
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[len(b)])
+}

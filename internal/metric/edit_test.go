@@ -1,0 +1,84 @@
+package metric
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEditKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"intention", "execution", 5},
+		{"same", "same", 0},
+		{"ab", "ba", 2}, // plain Levenshtein has no transposition
+		{"book", "back", 2},
+	}
+	for _, c := range cases {
+		if got := Edit(c.a, c.b); got != c.want {
+			t.Errorf("Edit(%q, %q) = %g, want %g", c.a, c.b, got, c.want)
+		}
+		if got := Edit(c.b, c.a); got != c.want {
+			t.Errorf("Edit(%q, %q) = %g, want %g (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEditAxioms(t *testing.T) {
+	sample := []string{"", "a", "ab", "abc", "abd", "xabc", "hello", "help", "world", "word"}
+	if err := CheckAxioms(Edit, sample, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditBounds(t *testing.T) {
+	// Property: max(|a|,|b|) - common prefix matches cannot be beaten,
+	// and the distance is always between abs(len diff) and max len.
+	f := func(a, b string) bool {
+		d := Edit(a, b)
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= float64(lo) && d <= float64(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditSingleOps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	const letters = "abcdefgh"
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.IntN(12)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = letters[rng.IntN(len(letters))]
+		}
+		orig := string(s)
+		// One substitution with a guaranteed-different letter.
+		pos := rng.IntN(n)
+		sub := []byte(orig)
+		sub[pos] = sub[pos]%8 + 'i' // maps a..h to distinct i..p
+		if got := Edit(orig, string(sub)); got != 1 {
+			t.Fatalf("Edit(%q, %q) = %g after one substitution, want 1", orig, sub, got)
+		}
+		// One deletion.
+		del := orig[:pos] + orig[pos+1:]
+		if got := Edit(orig, del); got != 1 {
+			t.Fatalf("Edit(%q, %q) = %g after one deletion, want 1", orig, del, got)
+		}
+	}
+}

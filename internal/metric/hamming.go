@@ -1,0 +1,34 @@
+package metric
+
+// Hamming returns the Hamming distance between two strings extended to
+// unequal lengths: the number of positions (up to the shorter length)
+// where the bytes differ, plus the difference in length. The extension
+// keeps the function a metric: it equals the edit distance restricted to
+// substitutions plus appends, and the triangle inequality holds because
+// each term satisfies it independently.
+func Hamming(a, b string) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	d := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	d += len(a) - n + len(b) - n
+	return float64(d)
+}
+
+// HammingBits returns the number of differing bits between two uint64
+// values, a metric on 64-bit fingerprints.
+func HammingBits(a, b uint64) float64 {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return float64(n)
+}

@@ -1,0 +1,68 @@
+package metric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHammingKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "xyz", 3},
+		{"abc", "abcd", 1},
+		{"", "abcd", 4},
+		{"karolin", "kathrin", 3},
+	}
+	for _, c := range cases {
+		if got := Hamming(c.a, c.b); got != c.want {
+			t.Errorf("Hamming(%q, %q) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHammingAxioms(t *testing.T) {
+	sample := []string{"", "a", "b", "ab", "ba", "aaa", "aba", "abab", "zzzz"}
+	if err := CheckAxioms(Hamming, sample, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDominatesEdit(t *testing.T) {
+	// Edit distance is a lower bound of this extended Hamming distance
+	// (every Hamming operation is also an edit operation).
+	f := func(a, b string) bool { return Edit(a, b) <= Hamming(a, b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingBits(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want float64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, ^uint64(0), 64},
+		{0b1010, 0b0101, 4},
+	}
+	for _, c := range cases {
+		if got := HammingBits(c.a, c.b); got != c.want {
+			t.Errorf("HammingBits(%#x, %#x) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHammingBitsTriangleQuick(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		return HammingBits(a, b) <= HammingBits(a, c)+HammingBits(c, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

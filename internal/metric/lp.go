@@ -1,0 +1,137 @@
+package metric
+
+import "math"
+
+// L1 returns the Manhattan (city block) distance between two vectors.
+// It panics if the vectors have different lengths.
+func L1(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// L2 returns the Euclidean distance between two vectors.
+// It panics if the vectors have different lengths.
+func L2(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// LInf returns the Chebyshev (maximum) distance between two vectors.
+// It panics if the vectors have different lengths.
+func LInf(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// Lp returns the Minkowski distance of order p as a DistanceFunc.
+// p must be >= 1 for the result to be a metric; Lp panics otherwise.
+// Lp(1) and Lp(2) are equivalent to L1 and L2 but slower; prefer the
+// specialized functions.
+func Lp(p float64) DistanceFunc[[]float64] {
+	if p < 1 {
+		panic("metric: Lp requires p >= 1")
+	}
+	if math.IsInf(p, 1) {
+		return LInf
+	}
+	return func(a, b []float64) float64 {
+		checkLen(a, b)
+		var s float64
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// WeightedLp returns a weighted Minkowski distance of order p, where the
+// absolute difference at dimension i is multiplied by w[i] before
+// accumulation. All weights must be positive and p >= 1, or WeightedLp
+// panics. The paper (§5.1.B) describes the weighted-L1 variant for
+// emphasizing image regions; the weighted form is a metric because it is
+// the Lp distance after a fixed per-axis rescaling.
+func WeightedLp(p float64, w []float64) DistanceFunc[[]float64] {
+	if p < 1 {
+		panic("metric: WeightedLp requires p >= 1")
+	}
+	for _, x := range w {
+		if x <= 0 {
+			panic("metric: WeightedLp requires positive weights")
+		}
+	}
+	weights := make([]float64, len(w))
+	copy(weights, w)
+	inf := math.IsInf(p, 1)
+	return func(a, b []float64) float64 {
+		checkLen(a, b)
+		if len(a) != len(weights) {
+			panic("metric: vector length does not match weight length")
+		}
+		var s float64
+		for i := range a {
+			d := math.Abs(a[i]-b[i]) * weights[i]
+			if inf {
+				if d > s {
+					s = d
+				}
+			} else {
+				s += math.Pow(d, p)
+			}
+		}
+		if inf {
+			return s
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// Scaled returns fn with every distance multiplied by factor. factor must
+// be positive or Scaled panics. Scaling a metric by a positive constant
+// preserves all metric axioms; the paper normalizes image distances by
+// 1/10000 (L1) and 1/100 (L2) this way.
+func Scaled[T any](fn DistanceFunc[T], factor float64) DistanceFunc[T] {
+	if factor <= 0 || math.IsInf(factor, 0) || math.IsNaN(factor) {
+		panic("metric: Scaled requires a positive finite factor")
+	}
+	return func(a, b T) float64 { return fn(a, b) * factor }
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic("metric: vectors have different lengths")
+	}
+}
+
+// Canberra returns the Canberra distance: the sum over dimensions of
+// |aᵢ − bᵢ| / (|aᵢ| + |bᵢ|), with 0/0 terms counting zero. It is a
+// metric, bounded by the dimensionality, and heavily weights
+// differences near zero — useful when small coordinates carry meaning.
+// It panics if the vectors have different lengths.
+func Canberra(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		num := math.Abs(a[i] - b[i])
+		if num == 0 {
+			continue
+		}
+		s += num / (math.Abs(a[i]) + math.Abs(b[i]))
+	}
+	return s
+}

@@ -1,0 +1,57 @@
+// Package metric defines metric distance functions for similarity search
+// and the instrumentation used throughout this repository to count how
+// many times a distance function is invoked.
+//
+// A metric distance function d satisfies, for all x, y, z:
+//
+//	d(x, y) == d(y, x)                  (symmetry)
+//	0 < d(x, y) < +Inf  for x != y      (positivity)
+//	d(x, x) == 0                        (identity)
+//	d(x, y) <= d(x, z) + d(z, y)        (triangle inequality)
+//
+// Distance-based index structures rely only on these axioms; they never
+// inspect coordinates. Because the paper's cost model is "number of
+// distance computations per query", every index in this repository calls
+// the metric exclusively through a Counter.
+package metric
+
+// DistanceFunc computes the distance between two items of type T. It must
+// satisfy the metric axioms documented in the package comment for the
+// index structures built on top of it to return correct results.
+type DistanceFunc[T any] func(a, b T) float64
+
+// Counter wraps a DistanceFunc and counts invocations. It is the cost
+// meter used by every index structure and benchmark in this repository.
+//
+// Counter is not safe for concurrent use; each index owns its own
+// Counter and searches on one index must not run concurrently when
+// counts are being read.
+type Counter[T any] struct {
+	fn    DistanceFunc[T]
+	count int64
+}
+
+// NewCounter returns a Counter wrapping fn.
+func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] {
+	return &Counter[T]{fn: fn}
+}
+
+// Distance computes fn(a, b) and increments the invocation count.
+func (c *Counter[T]) Distance(a, b T) float64 {
+	c.count++
+	return c.fn(a, b)
+}
+
+// Count reports the number of Distance calls since the last Reset.
+func (c *Counter[T]) Count() int64 { return c.count }
+
+// Add records n distance computations performed outside Distance — used
+// by parallel construction, which evaluates the raw function on worker
+// goroutines and settles the count once afterwards.
+func (c *Counter[T]) Add(n int64) { c.count += n }
+
+// Reset sets the invocation count back to zero.
+func (c *Counter[T]) Reset() { c.count = 0 }
+
+// Func returns the wrapped distance function, uncounted.
+func (c *Counter[T]) Func() DistanceFunc[T] { return c.fn }

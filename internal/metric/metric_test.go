@@ -1,0 +1,101 @@
+package metric
+
+import "testing"
+
+func TestCounterCounts(t *testing.T) {
+	c := NewCounter(L2)
+	if c.Count() != 0 {
+		t.Fatalf("fresh counter count = %d, want 0", c.Count())
+	}
+	a, b := []float64{0, 0}, []float64{3, 4}
+	if got := c.Distance(a, b); got != 5 {
+		t.Errorf("counted distance = %g, want 5", got)
+	}
+	c.Distance(a, a)
+	c.Distance(b, b)
+	if c.Count() != 3 {
+		t.Errorf("count = %d, want 3", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Errorf("count after reset = %d, want 0", c.Count())
+	}
+}
+
+func TestCounterFuncIsUncounted(t *testing.T) {
+	c := NewCounter(L1)
+	fn := c.Func()
+	fn([]float64{0}, []float64{1})
+	if c.Count() != 0 {
+		t.Errorf("raw Func() call was counted: count = %d", c.Count())
+	}
+}
+
+func TestDiscreteMetric(t *testing.T) {
+	d := Discrete[int]()
+	if d(3, 3) != 0 || d(3, 4) != 1 {
+		t.Error("discrete metric wrong on ints")
+	}
+	s := Discrete[string]()
+	if s("x", "x") != 0 || s("x", "y") != 1 {
+		t.Error("discrete metric wrong on strings")
+	}
+	if err := CheckAxioms(d, []int{1, 2, 3, 4, 1}, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckAxiomsDetectsViolations(t *testing.T) {
+	sample := []int{0, 1, 2, 3}
+	bad := map[string]DistanceFunc[int]{
+		"identity": func(a, b int) float64 {
+			return 1 // d(x,x) != 0
+		},
+		"symmetry": func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return float64(a - b + 10) // asymmetric
+		},
+		"positivity": func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return -1
+		},
+		"triangle": func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			d := a - b
+			if d < 0 {
+				d = -d
+			}
+			return float64(d * d) // squared distance violates triangle
+		},
+	}
+	for axiom, fn := range bad {
+		err := CheckAxioms(fn, sample, 0)
+		if err == nil {
+			t.Errorf("CheckAxioms missed %s violation", axiom)
+			continue
+		}
+		ae, ok := err.(*AxiomError)
+		if !ok {
+			t.Errorf("error is %T, want *AxiomError", err)
+			continue
+		}
+		if ae.Axiom != axiom {
+			t.Errorf("CheckAxioms reported %q for a %s violation", ae.Axiom, axiom)
+		}
+	}
+}
+
+func TestCheckAxiomsEmptyAndSingle(t *testing.T) {
+	if err := CheckAxioms(Discrete[int](), nil, 0); err != nil {
+		t.Errorf("empty sample: %v", err)
+	}
+	if err := CheckAxioms(Discrete[int](), []int{7}, 0); err != nil {
+		t.Errorf("single sample: %v", err)
+	}
+}

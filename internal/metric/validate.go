@@ -1,0 +1,64 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// AxiomError describes a violation of a metric axiom found by CheckAxioms.
+type AxiomError struct {
+	Axiom  string // "symmetry", "identity", "positivity" or "triangle"
+	Detail string
+}
+
+func (e *AxiomError) Error() string {
+	return fmt.Sprintf("metric: %s violated: %s", e.Axiom, e.Detail)
+}
+
+// CheckAxioms exhaustively verifies the metric axioms over a sample of
+// items, with a small floating-point tolerance eps for the triangle
+// inequality (use 0 for integer-valued metrics). It checks all pairs for
+// symmetry, identity and positivity and all ordered triples for the
+// triangle inequality, so it is O(n³) in the sample size; intended for
+// tests and for validating user-supplied distance functions on a sample
+// before building an index.
+//
+// Positivity is only checked as non-negativity plus finiteness, because
+// CheckAxioms cannot know whether two distinct sample items are "equal"
+// in the metric's eyes (a pseudometric with d(x,y)=0 for x≠y still yields
+// correct—if unhelpfully coarse—index behaviour).
+func CheckAxioms[T any](fn DistanceFunc[T], sample []T, eps float64) error {
+	n := len(sample)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d[i][j] = fn(sample[i], sample[j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d[i][i] != 0 {
+			return &AxiomError{"identity", fmt.Sprintf("d(x,x) = %g for sample %d", d[i][i], i)}
+		}
+		for j := 0; j < n; j++ {
+			if math.IsNaN(d[i][j]) || math.IsInf(d[i][j], 0) || d[i][j] < 0 {
+				return &AxiomError{"positivity", fmt.Sprintf("d(%d,%d) = %g", i, j, d[i][j])}
+			}
+			if d[i][j] != d[j][i] {
+				return &AxiomError{"symmetry", fmt.Sprintf("d(%d,%d) = %g but d(%d,%d) = %g", i, j, d[i][j], j, i, d[j][i])}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if d[i][j] > d[i][k]+d[k][j]+eps {
+					return &AxiomError{"triangle", fmt.Sprintf(
+						"d(%d,%d) = %g > d(%d,%d) + d(%d,%d) = %g + %g",
+						i, j, d[i][j], i, k, k, j, d[i][k], d[k][j])}
+				}
+			}
+		}
+	}
+	return nil
+}

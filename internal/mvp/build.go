@@ -1,0 +1,230 @@
+package mvp
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+)
+
+// build recursively constructs the subtree over entries, following the
+// paper's construction algorithm (§4.2) generalized from m=2 to any m.
+// Each entry's path slice accumulates distances to the vantage points of
+// the internal nodes above it, capped at p entries; leaves retain the
+// accumulated paths.
+func (t *Tree[T]) build(entries []entry[T], rng *rand.Rand, opts *Options) *node[T] {
+	switch {
+	case len(entries) == 0:
+		return nil
+	case len(entries) <= t.k+2:
+		return t.buildLeaf(entries, rng)
+	default:
+		return t.buildInternal(entries, rng, opts)
+	}
+}
+
+// buildLeaf implements step 2 of the paper's algorithm: pick the first
+// vantage point arbitrarily, the second as the farthest point from the
+// first, and store exact distances D1, D2 for the remaining points.
+func (t *Tree[T]) buildLeaf(entries []entry[T], rng *rand.Rand) *node[T] {
+	n := &node[T]{}
+	// First vantage point: arbitrary (seeded-random, like the paper's
+	// implementation).
+	vi := rng.IntN(len(entries))
+	entries[vi], entries[len(entries)-1] = entries[len(entries)-1], entries[vi]
+	n.sv1, n.hasSV1 = entries[len(entries)-1].item, true
+	rest := entries[:len(entries)-1]
+	if len(rest) == 0 {
+		return n
+	}
+
+	d1 := make([]float64, len(rest))
+	t.measure(n.sv1, len(rest), func(i int) T { return rest[i].item }, d1)
+	far := 0
+	for i := range rest {
+		if d1[i] > d1[far] {
+			far = i
+		}
+	}
+	// Second vantage point: the farthest point from the first (§4.2:
+	// "we chose the second vantage point in a leaf node to be the
+	// farthest point from the first vantage point of that leaf node").
+	last := len(rest) - 1
+	rest[far], rest[last] = rest[last], rest[far]
+	d1[far], d1[last] = d1[last], d1[far]
+	n.sv2, n.hasSV2 = rest[last].item, true
+	rest, d1 = rest[:last], d1[:last]
+	if len(rest) == 0 {
+		return n
+	}
+
+	n.items = make([]T, len(rest))
+	n.d1 = d1
+	n.d2 = make([]float64, len(rest))
+	n.paths = make([][]float64, len(rest))
+	for i := range rest {
+		n.items[i] = rest[i].item
+		n.d2[i] = t.dist.Distance(rest[i].item, n.sv2)
+		n.paths[i] = rest[i].path
+	}
+	return n
+}
+
+// buildInternal implements step 3 of the paper's algorithm generalized
+// to m partitions per vantage point: the first vantage point splits the
+// set into m equal shells; one second vantage point (from the outermost
+// shell) splits every shell into m more.
+func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand, opts *Options) *node[T] {
+	n := &node[T]{}
+	vi := rng.IntN(len(entries))
+	entries[vi], entries[len(entries)-1] = entries[len(entries)-1], entries[vi]
+	n.sv1, n.hasSV1 = entries[len(entries)-1].item, true
+	rest := entries[:len(entries)-1]
+
+	// Distances to sv1; retain in PATH while below the cap.
+	d1 := make([]float64, len(rest))
+	t.measure(n.sv1, len(rest), func(i int) T { return rest[i].item }, d1)
+	for i := range rest {
+		if len(rest[i].path) < t.p {
+			rest[i].path = append(rest[i].path, d1[i])
+		}
+	}
+
+	ord := sortedOrder(d1)
+	groups, cut1 := splitEqual(d1, ord, t.m)
+	n.cut1 = cut1
+
+	// Second vantage point: from the outermost shell — the farthest
+	// point from sv1 by default, or a random member for the ablation.
+	outer := groups[len(groups)-1]
+	var pick int // rank within ord
+	if opts.RandomSecondVantage {
+		pick = outer.lo + rng.IntN(outer.hi-outer.lo)
+	} else {
+		pick = outer.hi - 1 // ranks are sorted by d1: the farthest point
+	}
+	svIdx := ord[pick]
+	n.sv2, n.hasSV2 = rest[svIdx].item, true
+	// Remove the picked rank from the order (and from its group).
+	copy(ord[pick:], ord[pick+1:])
+	ord = ord[:len(ord)-1]
+	groups[len(groups)-1].hi--
+
+	// Distances to sv2 for every remaining point, across all shells.
+	d2 := make([]float64, len(rest))
+	dOrd := make([]float64, len(ord))
+	t.measure(n.sv2, len(ord), func(i int) T { return rest[ord[i]].item }, dOrd)
+	for k, i := range ord {
+		d2[i] = dOrd[k]
+		if len(rest[i].path) < t.p {
+			rest[i].path = append(rest[i].path, d2[i])
+		}
+	}
+
+	n.cut2 = make([][]float64, len(groups))
+	n.children = make([][]*node[T], len(groups))
+	for g, grp := range groups {
+		shell := ord[grp.lo:grp.hi]
+		// Order the shell's points by distance to sv2 and split again.
+		sort.Slice(shell, func(a, b int) bool { return d2[shell[a]] < d2[shell[b]] })
+		subGroups, cut2 := splitEqualRanks(d2, shell, t.m)
+		n.cut2[g] = cut2
+		n.children[g] = make([]*node[T], len(subGroups))
+		for h, sub := range subGroups {
+			child := make([]entry[T], sub.hi-sub.lo)
+			for i := sub.lo; i < sub.hi; i++ {
+				child[i-sub.lo] = rest[shell[i]]
+			}
+			n.children[g][h] = t.build(child, rng, opts)
+		}
+		if len(n.children[g]) == 0 {
+			// An empty shell (possible when sv2 came from a shell of
+			// size one): keep a placeholder so cut2/children stay
+			// index-aligned with cut1 shells.
+			n.children[g] = []*node[T]{nil}
+		}
+	}
+	return n
+}
+
+// rankRange is a half-open interval of ranks into a sorted order.
+type rankRange struct{ lo, hi int }
+
+// sortedOrder returns the permutation that sorts d ascending.
+func sortedOrder(d []float64) []int {
+	ord := make([]int, len(d))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return d[ord[a]] < d[ord[b]] })
+	return ord
+}
+
+// splitEqual splits the sorted order ord over distances d into at most m
+// equal-cardinality groups and returns the groups' rank ranges together
+// with the cutoff values between consecutive groups. A cutoff is the
+// midpoint between the last distance of one group and the first of the
+// next, so every group's distances lie within its closed shell.
+func splitEqual(d []float64, ord []int, m int) ([]rankRange, []float64) {
+	return splitEqualRanks(d, ord, m)
+}
+
+// splitEqualRanks is splitEqual for an order slice that may be a
+// sub-slice (ranks local to the slice).
+func splitEqualRanks(d []float64, ord []int, m int) ([]rankRange, []float64) {
+	n := len(ord)
+	if n == 0 {
+		return nil, nil
+	}
+	if m > n {
+		m = n
+	}
+	groups := make([]rankRange, m)
+	cutoffs := make([]float64, m-1)
+	base, extra := n/m, n%m
+	lo := 0
+	for g := 0; g < m; g++ {
+		hi := lo + base
+		if g < extra {
+			hi++
+		}
+		groups[g] = rankRange{lo, hi}
+		if g < m-1 {
+			cutoffs[g] = (d[ord[hi-1]] + d[ord[hi]]) / 2
+		}
+		lo = hi
+	}
+	return groups, cutoffs
+}
+
+// parallelThreshold is the minimum batch size worth fanning out to
+// worker goroutines; below it the scheduling overhead dominates.
+const parallelThreshold = 512
+
+// measure fills out[i] with the distance from item(i) to v for
+// i ∈ [0, n). With Workers > 1 and a large enough batch the raw metric
+// runs on worker goroutines and the counter is settled once at the end;
+// otherwise it runs sequentially through the counter. Either way the
+// resulting distances and the final count are identical.
+func (t *Tree[T]) measure(v T, n int, item func(int) T, out []float64) {
+	if t.workers <= 1 || n < parallelThreshold {
+		for i := 0; i < n; i++ {
+			out[i] = t.dist.Distance(item(i), v)
+		}
+		return
+	}
+	raw := t.dist.Func()
+	chunk := (n + t.workers - 1) / t.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = raw(item(i), v)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	t.dist.Add(int64(n))
+}

@@ -1,0 +1,238 @@
+package mvp
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+)
+
+// The paper (§2) lists, among the similarity-query variants, queries for
+// objects *farther* than a range and for the k *farthest* objects. Both
+// are supported here with the same machinery as near-neighbor search,
+// with the triangle-inequality bounds reversed: a shell [lo, hi] around
+// a vantage point at distance d from the query bounds the distance of
+// its members to the query within [gap, d+hi], where gap is the interval
+// distance. Pre-computed leaf distances additionally allow accepting a
+// point without computing its distance when its lower bound already
+// clears the range.
+
+// RangeFarther returns every indexed item at distance ≥ r from q.
+func (t *Tree[T]) RangeFarther(q T, r float64) []T {
+	if t.root == nil {
+		return nil
+	}
+	var out []T
+	if r <= 0 {
+		collectAll(t.root, &out)
+		return out
+	}
+	qpath := make([]float64, 0, t.p)
+	t.rangeFartherNode(t.root, q, r, qpath, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeFartherNode(n *node[T], q T, r float64, qpath []float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.isLeaf() {
+		t.rangeFartherLeaf(n, q, r, qpath, out)
+		return
+	}
+	d1 := t.dist.Distance(q, n.sv1)
+	if d1 >= r {
+		*out = append(*out, n.sv1)
+	}
+	d2 := t.dist.Distance(q, n.sv2)
+	if d2 >= r {
+		*out = append(*out, n.sv2)
+	}
+	if len(qpath) < t.p {
+		qpath = append(qpath, d1)
+		if len(qpath) < t.p {
+			qpath = append(qpath, d2)
+		}
+	}
+	for g, row := range n.children {
+		lo1, hi1 := shellBounds(n.cut1, g)
+		if d1+hi1 < r {
+			continue // every point in the shell is provably too close
+		}
+		for h, c := range row {
+			if c == nil {
+				continue
+			}
+			lo2, hi2 := shellBounds(n.cut2[g], h)
+			if d2+hi2 < r {
+				continue
+			}
+			// If the whole sub-shell is provably far enough, take it
+			// wholesale without any further distance computations.
+			if intervalGap(d1, lo1, hi1) >= r || intervalGap(d2, lo2, hi2) >= r {
+				collectAll(c, out)
+				continue
+			}
+			t.rangeFartherNode(c, q, r, qpath, out)
+		}
+	}
+}
+
+func (t *Tree[T]) rangeFartherLeaf(n *node[T], q T, r float64, qpath []float64, out *[]T) {
+	if !n.hasSV1 {
+		return
+	}
+	d1 := t.dist.Distance(q, n.sv1)
+	if d1 >= r {
+		*out = append(*out, n.sv1)
+	}
+	var d2 float64
+	if n.hasSV2 {
+		d2 = t.dist.Distance(q, n.sv2)
+		if d2 >= r {
+			*out = append(*out, n.sv2)
+		}
+	}
+	for i, it := range n.items {
+		lb, ub := t.leafBounds(n, i, d1, d2, qpath)
+		switch {
+		case ub < r:
+			// Provably too close.
+		case lb >= r:
+			// Provably far enough: no distance computation needed.
+			*out = append(*out, it)
+		default:
+			if t.dist.Distance(q, it) >= r {
+				*out = append(*out, it)
+			}
+		}
+	}
+}
+
+// leafBounds returns lower and upper triangle-inequality bounds on the
+// distance from the query to leaf item i, using the stored D1/D2 and
+// PATH distances together with the query's qpath.
+func (t *Tree[T]) leafBounds(n *node[T], i int, d1, d2 float64, qpath []float64) (lb, ub float64) {
+	lb = abs(d1 - n.d1[i])
+	ub = d1 + n.d1[i]
+	if n.hasSV2 {
+		if b := abs(d2 - n.d2[i]); b > lb {
+			lb = b
+		}
+		if b := d2 + n.d2[i]; b < ub {
+			ub = b
+		}
+	}
+	path := n.paths[i]
+	for l := 0; l < len(path) && l < len(qpath); l++ {
+		if b := abs(qpath[l] - path[l]); b > lb {
+			lb = b
+		}
+		if b := qpath[l] + path[l]; b < ub {
+			ub = b
+		}
+	}
+	return lb, ub
+}
+
+// collectAll appends every data point in the subtree without any
+// distance computations.
+func collectAll[T any](n *node[T], out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.hasSV1 {
+		*out = append(*out, n.sv1)
+	}
+	if n.hasSV2 {
+		*out = append(*out, n.sv2)
+	}
+	if n.isLeaf() {
+		*out = append(*out, n.items...)
+		return
+	}
+	for _, row := range n.children {
+		for _, c := range row {
+			collectAll(c, out)
+		}
+	}
+}
+
+// KFarthest returns the k indexed items farthest from q in descending
+// distance order, by best-first traversal on distance upper bounds.
+func (t *Tree[T]) KFarthest(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKLargest[T](k)
+	type pending struct {
+		n     *node[T]
+		qpath []float64
+	}
+	// NodeQueue is a min-heap; store the negated upper bound so the
+	// most promising (largest upper bound) subtree pops first.
+	var queue heapx.NodeQueue[pending]
+	queue.PushNode(pending{t.root, make([]float64, 0, t.p)}, 0)
+	for {
+		pn, negUB, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(-negUB) {
+			break
+		}
+		n, qpath := pn.n, pn.qpath
+		if n.isLeaf() {
+			t.kFarthestLeaf(n, q, qpath, best)
+			continue
+		}
+		d1 := t.dist.Distance(q, n.sv1)
+		best.Push(n.sv1, d1)
+		d2 := t.dist.Distance(q, n.sv2)
+		best.Push(n.sv2, d2)
+		if len(qpath) < t.p {
+			ext := make([]float64, len(qpath), t.p)
+			copy(ext, qpath)
+			ext = append(ext, d1)
+			if len(ext) < t.p {
+				ext = append(ext, d2)
+			}
+			qpath = ext
+		}
+		for g, row := range n.children {
+			_, hi1 := shellBounds(n.cut1, g)
+			ub1 := d1 + hi1
+			if !best.Accepts(ub1) {
+				continue
+			}
+			for h, c := range row {
+				if c == nil {
+					continue
+				}
+				_, hi2 := shellBounds(n.cut2[g], h)
+				ub := min(ub1, d2+hi2)
+				if best.Accepts(ub) {
+					queue.PushNode(pending{c, qpath}, -ub)
+				}
+			}
+		}
+	}
+	return best.Sorted()
+}
+
+func (t *Tree[T]) kFarthestLeaf(n *node[T], q T, qpath []float64, best *heapx.KLargest[T]) {
+	if !n.hasSV1 {
+		return
+	}
+	d1 := t.dist.Distance(q, n.sv1)
+	best.Push(n.sv1, d1)
+	var d2 float64
+	if n.hasSV2 {
+		d2 = t.dist.Distance(q, n.sv2)
+		best.Push(n.sv2, d2)
+	}
+	for i, it := range n.items {
+		_, ub := t.leafBounds(n, i, d1, d2, qpath)
+		if best.Accepts(ub) {
+			best.Push(it, t.dist.Distance(q, it))
+		}
+	}
+}

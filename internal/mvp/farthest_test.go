@@ -1,0 +1,115 @@
+package mvp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeFartherMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 2))
+	w := testutil.NewVectorWorkload(rng, 400, 8, 10, metric.L2)
+	radii := []float64{0, 0.3, 0.8, 1.2, 2.0, 10}
+	for _, opts := range optionMatrix {
+		tree, _ := buildWorkloadTree(t, w, opts)
+		testutil.CheckRangeFarther(t, "mvpt", tree, w, radii)
+	}
+}
+
+func TestKFarthestMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(32, 2))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 8, metric.L2)
+	for _, opts := range optionMatrix {
+		tree, _ := buildWorkloadTree(t, w, opts)
+		testutil.CheckKFarthest(t, "mvpt", tree, w, []int{1, 2, 5, 17, 300, 1000})
+	}
+}
+
+func TestRangeFartherComplement(t *testing.T) {
+	// Range(q, r) and RangeFarther(q, r+ε) partition the dataset when
+	// no point lies in (r, r+ε]; with ε→0 they overlap exactly on
+	// points at distance r. Check the partition property on a grid.
+	rng := rand.New(rand.NewPCG(33, 2))
+	w := testutil.NewVectorWorkload(rng, 500, 5, 5, metric.L2)
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Seed: 9})
+	for _, q := range w.Queries {
+		for _, r := range []float64{0.2, 0.5, 1.0} {
+			near := tree.Range(q, r)
+			seen := map[int]int{}
+			for _, it := range near {
+				seen[it]++
+			}
+			far := tree.RangeFarther(q, r)
+			for _, it := range far {
+				seen[it]++
+			}
+			// Points exactly at distance r appear in both sets; all
+			// others exactly once.
+			total := 0
+			for it, c := range seen {
+				switch c {
+				case 1:
+					total++
+				case 2:
+					if w.Dist(q, it) != r {
+						t.Fatalf("item %d double-counted but not at distance r", it)
+					}
+					total++
+				default:
+					t.Fatalf("item %d appeared %d times", it, c)
+				}
+			}
+			if total != len(w.Items) {
+				t.Fatalf("near ∪ far covers %d of %d items at r=%g", total, len(w.Items), r)
+			}
+		}
+	}
+}
+
+func TestRangeFartherUsesFewDistancesAtTinyRadius(t *testing.T) {
+	// With r ≤ tiny, nearly every subtree is provably far, so the
+	// collect-all fast path answers with almost no computations.
+	rng := rand.New(rand.NewPCG(34, 2))
+	w := testutil.NewVectorWorkload(rng, 2000, 8, 1, metric.L2)
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 3})
+	c.Reset()
+	got := tree.RangeFarther(w.Queries[0], 1e-9)
+	if len(got) != 2000 {
+		t.Fatalf("RangeFarther(tiny) = %d items", len(got))
+	}
+	if c.Count() > 200 {
+		t.Errorf("RangeFarther(tiny) used %d distance computations; fast path broken", c.Count())
+	}
+	// r ≤ 0 must use zero computations.
+	c.Reset()
+	if got := tree.RangeFarther(w.Queries[0], 0); len(got) != 2000 || c.Count() != 0 {
+		t.Errorf("RangeFarther(0): %d items, %d computations", len(got), c.Count())
+	}
+}
+
+func TestKFarthestEdgeCases(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	tree, err := New([][]float64{{1}, {5}, {9}}, dist, Options{LeafCapacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.KFarthest([]float64{0}, 0); got != nil {
+		t.Errorf("KFarthest(k=0) = %v", got)
+	}
+	got := tree.KFarthest([]float64{0}, 2)
+	if len(got) != 2 || got[0].Dist != 9 || got[1].Dist != 5 {
+		t.Errorf("KFarthest = %v", got)
+	}
+	empty, err := New(nil, dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.KFarthest([]float64{0}, 3); got != nil {
+		t.Errorf("empty KFarthest = %v", got)
+	}
+	if got := empty.RangeFarther([]float64{0}, 1); got != nil {
+		t.Errorf("empty RangeFarther = %v", got)
+	}
+}

@@ -1,0 +1,199 @@
+package mvp
+
+// White-box structural invariant checks: the stored cutoffs, D1/D2
+// arrays and PATH prefixes must all agree with freshly recomputed
+// distances, for every node of trees built over varied workloads.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+// checkNode recursively verifies subtree invariants. ancestors holds the
+// vantage points of the nodes above, in PATH order (sv1 then sv2 per
+// level); raw is the uncounted distance function.
+func checkNode(t *testing.T, tr *Tree[int], n *node[int], raw metric.DistanceFunc[int], ancestors []int) {
+	t.Helper()
+	if n == nil {
+		return
+	}
+	if n.isLeaf() {
+		for i, it := range n.items {
+			if got := raw(it, n.sv1); got != n.d1[i] {
+				t.Fatalf("leaf D1[%d] = %g, recomputed %g", i, n.d1[i], got)
+			}
+			if got := raw(it, n.sv2); got != n.d2[i] {
+				t.Fatalf("leaf D2[%d] = %g, recomputed %g", i, n.d2[i], got)
+			}
+			path := n.paths[i]
+			if len(path) > tr.p {
+				t.Fatalf("leaf PATH length %d exceeds p = %d", len(path), tr.p)
+			}
+			if want := min(tr.p, len(ancestors)); len(path) != want {
+				t.Fatalf("leaf PATH length %d, want %d (p=%d, %d ancestors)",
+					len(path), want, tr.p, len(ancestors))
+			}
+			for l, stored := range path {
+				if got := raw(it, ancestors[l]); got != stored {
+					t.Fatalf("leaf PATH[%d] = %g, recomputed %g", l, stored, got)
+				}
+			}
+		}
+		return
+	}
+
+	if len(n.cut2) != len(n.children) {
+		t.Fatalf("internal node: %d cut2 rows for %d child rows", len(n.cut2), len(n.children))
+	}
+	next := append(append([]int(nil), ancestors...), n.sv1, n.sv2)
+	for g, row := range n.children {
+		lo1, hi1 := shellBounds(n.cut1, g)
+		for h, c := range row {
+			lo2, hi2 := shellBounds(n.cut2[g], h)
+			forEachPoint(c, func(pt int) {
+				d1 := raw(pt, n.sv1)
+				if d1 < lo1 || d1 > hi1 {
+					t.Fatalf("point %d in shell %d has d1 = %g outside [%g, %g]", pt, g, d1, lo1, hi1)
+				}
+				d2 := raw(pt, n.sv2)
+				if d2 < lo2 || d2 > hi2 {
+					t.Fatalf("point %d in sub-shell (%d,%d) has d2 = %g outside [%g, %g]", pt, g, h, d2, lo2, hi2)
+				}
+			})
+			checkNode(t, tr, c, raw, next)
+		}
+	}
+}
+
+func forEachPoint(n *node[int], f func(int)) {
+	if n == nil {
+		return
+	}
+	if n.hasSV1 {
+		f(n.sv1)
+	}
+	if n.hasSV2 {
+		f(n.sv2)
+	}
+	if n.isLeaf() {
+		for _, it := range n.items {
+			f(it)
+		}
+		return
+	}
+	for _, row := range n.children {
+		for _, c := range row {
+			forEachPoint(c, f)
+		}
+	}
+}
+
+func TestStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	workloads := map[string]*testutil.Workload{
+		"uniform": testutil.NewVectorWorkload(rng, 600, 8, 1, metric.L2),
+		"clumped": testutil.NewClumpedWorkload(rng, 600, 5, 1, metric.L2),
+		"l1":      testutil.NewVectorWorkload(rng, 300, 12, 1, metric.L1),
+	}
+	for name, w := range workloads {
+		for _, opts := range optionMatrix {
+			c := metric.NewCounter(w.Dist)
+			tree, err := New(w.Items, c, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			checkNode(t, tree, tree.root, w.Dist, nil)
+		}
+	}
+}
+
+func TestSecondVantageIsFarthestInLeaf(t *testing.T) {
+	// §4.2: in leaves the second vantage point is the farthest point
+	// from the first. Build a pure-leaf tree and check directly.
+	data := [][]float64{{0}, {1}, {2}, {3}, {10}}
+	ids := testutil.IDs(len(data))
+	dist := testutil.IDDistance(data, metric.L2)
+	c := metric.NewCounter(dist)
+	tree, err := New(ids, c, Options{Partitions: 2, LeafCapacity: 10, PathLength: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tree.root
+	if !n.isLeaf() {
+		t.Fatal("expected a single leaf")
+	}
+	// Whatever sv1 is, sv2 must maximize distance from it.
+	want := 0.0
+	for _, id := range ids {
+		if d := dist(id, n.sv1); d > want {
+			want = d
+		}
+	}
+	if got := dist(n.sv2, n.sv1); got != want {
+		t.Errorf("sv2 at distance %g from sv1, farthest is %g", got, want)
+	}
+}
+
+func TestInternalSecondVantageFromOutermostShell(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	w := testutil.NewVectorWorkload(rng, 500, 6, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 5, PathLength: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tree.root
+	if n.isLeaf() {
+		t.Fatal("root unexpectedly a leaf")
+	}
+	// sv2 must lie in the outermost shell of sv1's partition: its
+	// distance to sv1 must be ≥ the last cutoff.
+	d := w.Dist(n.sv2, n.sv1)
+	if last := n.cut1[len(n.cut1)-1]; d < last {
+		t.Errorf("sv2 at distance %g from sv1, outermost shell starts at %g", d, last)
+	}
+}
+
+func TestValidateAcceptsHealthyTrees(t *testing.T) {
+	rng := rand.New(rand.NewPCG(25, 22))
+	w := testutil.NewVectorWorkload(rng, 400, 6, 1, metric.L2)
+	for _, opts := range optionMatrix {
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Errorf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+func TestValidateDetectsWrongMetric(t *testing.T) {
+	// The persistence footgun: load a tree with a different metric.
+	rng := rand.New(rand.NewPCG(26, 22))
+	w := testutil.NewVectorWorkload(rng, 200, 6, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reload the tree under a metric that disagrees with the one it
+	// was built with.
+	var buf bytes.Buffer
+	if err := tree.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	wrong := metric.NewCounter(func(a, b int) float64 { return w.Dist(a, b) * 2 })
+	loaded, err := Load(&buf, wrong, decodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(); err == nil {
+		t.Error("Validate accepted a tree loaded with the wrong metric")
+	}
+}

@@ -1,0 +1,120 @@
+package mvp
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+)
+
+// KNNWithStats is KNN plus the same per-query filtering breakdown that
+// RangeWithStats reports: how many leaf candidates the stored D1/D2
+// distances excluded on their own, how many additionally needed a PATH
+// entry, and how many real distance computations remained.
+func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	var s SearchStats
+	if k <= 0 || t.root == nil {
+		return nil, s
+	}
+	best := heapx.NewKBest[T](k)
+	type pending struct {
+		n     *node[T]
+		qpath []float64
+	}
+	var queue heapx.NodeQueue[pending]
+	queue.PushNode(pending{t.root, make([]float64, 0, t.p)}, 0)
+	for {
+		pn, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break
+		}
+		n, qpath := pn.n, pn.qpath
+		s.NodesVisited++
+		if n.isLeaf() {
+			s.LeavesVisited++
+			t.knnLeafStats(n, q, qpath, best, &s)
+			continue
+		}
+		d1 := t.dist.Distance(q, n.sv1)
+		best.Push(n.sv1, d1)
+		d2 := t.dist.Distance(q, n.sv2)
+		best.Push(n.sv2, d2)
+		s.VantagePoints += 2
+		if len(qpath) < t.p {
+			ext := make([]float64, len(qpath), t.p)
+			copy(ext, qpath)
+			ext = append(ext, d1)
+			if len(ext) < t.p {
+				ext = append(ext, d2)
+			}
+			qpath = ext
+		}
+		for g, row := range n.children {
+			lo1, hi1 := shellBounds(n.cut1, g)
+			lb1 := intervalGap(d1, lo1, hi1)
+			if !best.Accepts(max(lb1, bound)) {
+				s.ShellsPruned += len(row)
+				continue
+			}
+			for h, c := range row {
+				if c == nil {
+					continue
+				}
+				lo2, hi2 := shellBounds(n.cut2[g], h)
+				lb := max(bound, lb1, intervalGap(d2, lo2, hi2))
+				if best.Accepts(lb) {
+					queue.PushNode(pending{c, qpath}, lb)
+				} else {
+					s.ShellsPruned++
+				}
+			}
+		}
+	}
+	out := best.Sorted()
+	s.Results = len(out)
+	return out, s
+}
+
+func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBest[T], s *SearchStats) {
+	if !n.hasSV1 {
+		return
+	}
+	d1 := t.dist.Distance(q, n.sv1)
+	best.Push(n.sv1, d1)
+	s.VantagePoints++
+	var d2 float64
+	if n.hasSV2 {
+		d2 = t.dist.Distance(q, n.sv2)
+		best.Push(n.sv2, d2)
+		s.VantagePoints++
+	}
+	for i, it := range n.items {
+		s.Candidates++
+		// The D1/D2 bound first; a PATH entry only gets credit when it
+		// tightens the bound past the acceptance threshold on its own.
+		lbD := abs(d1 - n.d1[i])
+		if n.hasSV2 {
+			if b := abs(d2 - n.d2[i]); b > lbD {
+				lbD = b
+			}
+		}
+		if !best.Accepts(lbD) {
+			s.FilteredByD++
+			continue
+		}
+		lb := lbD
+		path := n.paths[i]
+		for l := 0; l < len(path) && l < len(qpath); l++ {
+			if b := abs(qpath[l] - path[l]); b > lb {
+				lb = b
+			}
+		}
+		if !best.Accepts(lb) {
+			s.FilteredByPath++
+			continue
+		}
+		s.Computed++
+		best.Push(it, t.dist.Distance(q, it))
+	}
+}

@@ -1,0 +1,96 @@
+package mvp
+
+// Property-based testing: random tree configurations over random
+// workloads must always agree with the linear scan.
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mvptree/internal/linear"
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+// quickParams is a randomly generated tree/workload configuration.
+type quickParams struct {
+	M, K, P     uint8
+	N           uint16
+	Dim         uint8
+	Seed        uint64
+	Radius      float64
+	RandomSV2   bool
+	ClumpedData bool
+}
+
+func TestQuickRandomConfigurations(t *testing.T) {
+	check := func(p quickParams) bool {
+		m := int(p.M)%4 + 2      // 2..5
+		k := int(p.K)%100 + 1    // 1..100
+		pl := int(p.P)%9 - 1     // -1..7
+		n := int(p.N)%400 + 1    // 1..400
+		dim := int(p.Dim)%12 + 1 // 1..12
+		r := abs(p.Radius)       // any non-negative radius
+		if r != r || r > 1e12 {
+			r = 1 // NaN/huge radii are exercised by dedicated tests
+		}
+		for r > 10 {
+			r /= 10
+		}
+		rng := rand.New(rand.NewPCG(p.Seed, 99))
+		var w *testutil.Workload
+		if p.ClumpedData {
+			w = testutil.NewClumpedWorkload(rng, n, dim, 3, metric.L2)
+		} else {
+			w = testutil.NewVectorWorkload(rng, n, dim, 3, metric.L2)
+		}
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, Options{
+			Partitions: m, LeafCapacity: k, PathLength: pl,
+			RandomSecondVantage: p.RandomSV2, Seed: p.Seed,
+		})
+		if err != nil {
+			t.Logf("New(m=%d k=%d p=%d): %v", m, k, pl, err)
+			return false
+		}
+		truth := linear.New(w.Items, metric.NewCounter(w.Dist))
+		for _, q := range w.Queries {
+			got := append([]int(nil), tree.Range(q, r)...)
+			want := append([]int(nil), truth.Range(q, r)...)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Logf("m=%d k=%d p=%d n=%d dim=%d r=%g: got %d results, want %d",
+					m, k, pl, n, dim, r, len(got), len(want))
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Logf("result sets differ at %d", i)
+					return false
+				}
+			}
+			// kNN spot check.
+			nn := tree.KNN(q, 3)
+			tn := truth.KNN(q, 3)
+			if len(nn) != len(tn) {
+				return false
+			}
+			for i := range nn {
+				if d := nn[i].Dist - tn[i].Dist; d > 1e-9 || d < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+package mvp
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/wire"
+)
+
+// Persistence: a built mvp-tree can be written to a stream and loaded
+// back without recomputing any distances — worthwhile precisely because
+// construction is the expensive part (O(n log n) metric invocations on
+// costly domains). Items are serialized through caller-supplied
+// encode/decode functions; everything else (cutoffs, D1/D2, PATH
+// arrays, shape) is stored verbatim.
+
+// ItemEncoder serializes one item.
+type ItemEncoder[T any] func(T) ([]byte, error)
+
+// ItemDecoder deserializes one item.
+type ItemDecoder[T any] func([]byte) (T, error)
+
+const saveMagic = "MVPTREE1"
+
+// Save writes the tree to w as a CRC-protected payload. The distance
+// function is not serialized; Load must be given the same metric or
+// queries will be silently wrong.
+func (t *Tree[T]) Save(w io.Writer, enc ItemEncoder[T]) error {
+	var payload bytes.Buffer
+	pw := wire.NewWriter(&payload)
+	pw.Int(t.m)
+	pw.Int(t.k)
+	pw.Int(t.p)
+	pw.Int(t.size)
+	if err := t.saveNode(pw, t.root, enc); err != nil {
+		return err
+	}
+	if err := pw.Flush(); err != nil {
+		return err
+	}
+	ww := wire.NewWriter(w)
+	ww.Bytes([]byte(saveMagic))
+	ww.Bytes(payload.Bytes())
+	ww.Uvarint(uint64(crc32.ChecksumIEEE(payload.Bytes())))
+	return ww.Flush()
+}
+
+const (
+	tagNil      = 0
+	tagLeaf     = 1
+	tagInternal = 2
+)
+
+func (t *Tree[T]) saveNode(w *wire.Writer, n *node[T], enc ItemEncoder[T]) error {
+	if n == nil {
+		w.Byte(tagNil)
+		return w.Err()
+	}
+	item := func(it T) error {
+		b, err := enc(it)
+		if err != nil {
+			return fmt.Errorf("mvp: encoding item: %w", err)
+		}
+		w.Bytes(b)
+		return w.Err()
+	}
+	if n.isLeaf() {
+		w.Byte(tagLeaf)
+		w.Bool(n.hasSV1)
+		w.Bool(n.hasSV2)
+		if n.hasSV1 {
+			if err := item(n.sv1); err != nil {
+				return err
+			}
+		}
+		if n.hasSV2 {
+			if err := item(n.sv2); err != nil {
+				return err
+			}
+		}
+		w.Int(len(n.items))
+		for i, it := range n.items {
+			if err := item(it); err != nil {
+				return err
+			}
+			w.Float(n.d1[i])
+			w.Float(n.d2[i])
+			w.Floats(n.paths[i])
+		}
+		return w.Err()
+	}
+	w.Byte(tagInternal)
+	if err := item(n.sv1); err != nil {
+		return err
+	}
+	if err := item(n.sv2); err != nil {
+		return err
+	}
+	w.Floats(n.cut1)
+	w.Int(len(n.children))
+	for g, row := range n.children {
+		w.Floats(n.cut2[g])
+		w.Int(len(row))
+		for _, c := range row {
+			if err := t.saveNode(w, c, enc); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Err()
+}
+
+// Load reads a tree written by Save, verifying the payload checksum.
+// dist must wrap the same metric the tree was built with.
+func Load[T any](r io.Reader, dist *metric.Counter[T], dec ItemDecoder[T]) (*Tree[T], error) {
+	outer := wire.NewReader(r)
+	if string(outer.Bytes()) != saveMagic {
+		return nil, fmt.Errorf("mvp: bad magic (not an mvp-tree stream)")
+	}
+	payload := outer.Bytes()
+	sum := outer.Uvarint()
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+	if uint64(crc32.ChecksumIEEE(payload)) != sum {
+		return nil, fmt.Errorf("mvp: checksum mismatch (corrupt stream)")
+	}
+	rr := wire.NewReader(bytes.NewReader(payload))
+	t := &Tree[T]{dist: dist}
+	t.m = rr.Int()
+	t.k = rr.Int()
+	t.p = rr.Int()
+	t.size = rr.Int()
+	if err := rr.Err(); err != nil {
+		return nil, err
+	}
+	if t.m < 2 || t.k < 1 || t.p < 0 || t.size < 0 {
+		return nil, fmt.Errorf("mvp: corrupt header (m=%d k=%d p=%d n=%d)", t.m, t.k, t.p, t.size)
+	}
+	root, err := loadNode(rr, dec, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// maxLoadDepth guards against corrupt streams describing pathologically
+// deep recursion.
+const maxLoadDepth = 64
+
+func loadNode[T any](r *wire.Reader, dec ItemDecoder[T], depth int) (*node[T], error) {
+	if depth > maxLoadDepth {
+		return nil, fmt.Errorf("mvp: tree deeper than %d levels (corrupt stream)", maxLoadDepth)
+	}
+	item := func() (T, error) {
+		b := r.Bytes()
+		if err := r.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		it, err := dec(b)
+		if err != nil {
+			var zero T
+			return zero, fmt.Errorf("mvp: decoding item: %w", err)
+		}
+		return it, nil
+	}
+	switch tag := r.Byte(); tag {
+	case tagNil:
+		return nil, r.Err()
+	case tagLeaf:
+		n := &node[T]{}
+		n.hasSV1 = r.Bool()
+		n.hasSV2 = r.Bool()
+		var err error
+		if n.hasSV1 {
+			if n.sv1, err = item(); err != nil {
+				return nil, err
+			}
+		}
+		if n.hasSV2 {
+			if n.sv2, err = item(); err != nil {
+				return nil, err
+			}
+		}
+		count := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if count > 0 {
+			n.items = make([]T, count)
+			n.d1 = make([]float64, count)
+			n.d2 = make([]float64, count)
+			n.paths = make([][]float64, count)
+			for i := 0; i < count; i++ {
+				if n.items[i], err = item(); err != nil {
+					return nil, err
+				}
+				n.d1[i] = r.Float()
+				n.d2[i] = r.Float()
+				n.paths[i] = r.Floats()
+			}
+		}
+		return n, r.Err()
+	case tagInternal:
+		n := &node[T]{hasSV1: true, hasSV2: true}
+		var err error
+		if n.sv1, err = item(); err != nil {
+			return nil, err
+		}
+		if n.sv2, err = item(); err != nil {
+			return nil, err
+		}
+		n.cut1 = r.Floats()
+		rows := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if rows == 0 {
+			return nil, fmt.Errorf("mvp: internal node with no children (corrupt stream)")
+		}
+		n.cut2 = make([][]float64, rows)
+		n.children = make([][]*node[T], rows)
+		for g := 0; g < rows; g++ {
+			n.cut2[g] = r.Floats()
+			cols := r.Int()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			n.children[g] = make([]*node[T], cols)
+			for h := 0; h < cols; h++ {
+				if n.children[g][h], err = loadNode(r, dec, depth+1); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return n, r.Err()
+	default:
+		return nil, fmt.Errorf("mvp: unknown node tag %d (corrupt stream)", tag)
+	}
+}

@@ -1,0 +1,175 @@
+package mvp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/codec"
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func encodeID(id int) ([]byte, error) {
+	return []byte{byte(id), byte(id >> 8), byte(id >> 16)}, nil
+}
+
+func decodeID(b []byte) (int, error) {
+	if len(b) != 3 {
+		return 0, errors.New("bad id encoding")
+	}
+	return int(b[0]) | int(b[1])<<8 | int(b[2])<<16, nil
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 3))
+	w := testutil.NewVectorWorkload(rng, 700, 8, 10, metric.L2)
+	for _, opts := range optionMatrix {
+		orig, c := buildWorkloadTree(t, w, opts)
+		var buf bytes.Buffer
+		if err := orig.Save(&buf, encodeID); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		loaded, err := Load(&buf, c, decodeID)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if loaded.Len() != orig.Len() {
+			t.Fatalf("Len = %d, want %d", loaded.Len(), orig.Len())
+		}
+		if loaded.Partitions() != orig.Partitions() || loaded.LeafCapacity() != orig.LeafCapacity() ||
+			loaded.PathLength() != orig.PathLength() {
+			t.Fatal("parameters changed across save/load")
+		}
+		// The loaded tree must answer every query identically and
+		// satisfy all structural invariants.
+		testutil.CheckRange(t, "loaded-mvpt", loaded, w, []float64{0, 0.2, 0.6, 1.5})
+		testutil.CheckKNN(t, "loaded-mvpt", loaded, w, []int{1, 5, 50})
+		checkNode(t, loaded, loaded.root, w.Dist, nil)
+	}
+}
+
+func TestSaveLoadIdenticalQueryCosts(t *testing.T) {
+	// Loading must reproduce the exact same structure: identical
+	// distance computations per query, not just identical answers.
+	rng := rand.New(rand.NewPCG(72, 3))
+	w := testutil.NewVectorWorkload(rng, 500, 6, 8, metric.L2)
+	orig, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 9, PathLength: 5, Seed: 3})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	c2 := metric.NewCounter(w.Dist)
+	loaded, err := Load(&buf, c2, decodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		c.Reset()
+		orig.Range(q, 0.4)
+		c2.Reset()
+		loaded.Range(q, 0.4)
+		if c.Count() != c2.Count() {
+			t.Fatalf("query cost differs after reload: %d vs %d", c.Count(), c2.Count())
+		}
+	}
+}
+
+func TestSaveLoadEmptyAndTiny(t *testing.T) {
+	dist := metric.NewCounter(metric.Discrete[int]())
+	for n := 0; n <= 4; n++ {
+		orig, err := New(testutil.IDs(n), dist, Options{LeafCapacity: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf, encodeID); err != nil {
+			t.Fatalf("n=%d: Save: %v", n, err)
+		}
+		loaded, err := Load(&buf, dist, decodeID)
+		if err != nil {
+			t.Fatalf("n=%d: Load: %v", n, err)
+		}
+		if got := loaded.Range(0, 2); len(got) != n {
+			t.Errorf("n=%d: loaded full range = %d items", n, len(got))
+		}
+	}
+}
+
+func TestLoadRejectsCorruptStreams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(73, 3))
+	w := testutil.NewVectorWorkload(rng, 100, 4, 1, metric.L2)
+	orig, c := buildWorkloadTree(t, w, Options{Seed: 1})
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte{8}, []byte("NOTMVPTR")...),
+		"truncated":   valid[:len(valid)/2],
+		"one byte":    valid[:1],
+		"flipped tag": flipByte(valid, len(valid)-1),
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data), c, decodeID); err == nil {
+			t.Errorf("%s: Load succeeded on corrupt data", name)
+		}
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}
+
+func TestEncoderErrorsPropagate(t *testing.T) {
+	dist := metric.NewCounter(metric.Discrete[int]())
+	tree, err := New(testutil.IDs(10), dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	boom := errors.New("boom")
+	if err := tree.Save(&buf, func(int) ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Errorf("Save error = %v, want wrapped boom", err)
+	}
+	// Decoder failure on load.
+	buf.Reset()
+	if err := tree.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, dist, func([]byte) (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Errorf("Load error = %v, want wrapped boom", err)
+	}
+}
+
+func TestSaveLoadVectorsViaCodec(t *testing.T) {
+	rng := rand.New(rand.NewPCG(74, 3))
+	vecs := testutil.RandomVectors(rng, 300, 6)
+	c := metric.NewCounter(metric.L2)
+	orig, err := New(vecs, c, Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, metric.NewCounter(metric.L2), codec.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vecs[7]
+	a := orig.KNN(q, 5)
+	b := loaded.KNN(q, 5)
+	for i := range a {
+		if a[i].Dist != b[i].Dist {
+			t.Fatalf("KNN differs after reload: %v vs %v", a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package mvp
+
+// SearchStats breaks a range search down into the paper's filtering
+// stages, making Observation 2 (the power of the pre-computed
+// distances) directly measurable per query.
+type SearchStats struct {
+	// NodesVisited and LeavesVisited count tree nodes entered.
+	NodesVisited  int
+	LeavesVisited int
+	// ShellsPruned counts (shell, sub-shell) child slots excluded by
+	// the cutoff tests of search steps 3.2/3.3.
+	ShellsPruned int
+	// Candidates counts leaf data points considered.
+	Candidates int
+	// FilteredByD counts candidates excluded by the leaf's exact
+	// D1/D2 distances (search step 2.2, first half).
+	FilteredByD int
+	// FilteredByPath counts candidates excluded by a retained PATH
+	// distance (step 2.2, second half) — the filter only the mvp-tree
+	// has.
+	FilteredByPath int
+	// Computed counts real distance computations against leaf data
+	// points; VantagePoints counts those against vantage points. Their
+	// sum equals the Counter delta for the query.
+	Computed      int
+	VantagePoints int
+	// Results is the answer-set size.
+	Results int
+}
+
+// Range returns every indexed item within distance r of q, implementing
+// the paper's similarity-search algorithm (§4.3) generalized to m
+// partitions per vantage point. While descending, the query's own
+// distances to the first p vantage points are recorded in qpath and used
+// at the leaves to filter points through their stored PATH arrays before
+// any real distance computation.
+func (t *Tree[T]) Range(q T, r float64) []T {
+	out, _ := t.RangeWithStats(q, r)
+	return out
+}
+
+// RangeWithStats is Range plus a per-query breakdown of the filtering
+// stages.
+func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	var s SearchStats
+	if r < 0 || t.root == nil {
+		return nil, s
+	}
+	var out []T
+	qpath := make([]float64, 0, t.p)
+	t.rangeNode(t.root, q, r, qpath, &out, &s)
+	s.Results = len(out)
+	return out, s
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]T, s *SearchStats) {
+	if n == nil {
+		return
+	}
+	s.NodesVisited++
+	if n.isLeaf() {
+		t.rangeLeaf(n, q, r, qpath, out, s)
+		return
+	}
+
+	// Step 3.1: one distance computation per vantage point serves every
+	// child shell (this is the mvp-tree's first saving over the vp-tree).
+	d1 := t.dist.Distance(q, n.sv1)
+	s.VantagePoints++
+	if d1 <= r {
+		*out = append(*out, n.sv1)
+	}
+	d2 := t.dist.Distance(q, n.sv2)
+	s.VantagePoints++
+	if d2 <= r {
+		*out = append(*out, n.sv2)
+	}
+	if len(qpath) < t.p {
+		qpath = append(qpath, d1)
+		if len(qpath) < t.p {
+			qpath = append(qpath, d2)
+		}
+	}
+
+	// Steps 3.2/3.3 generalized: visit shell (g, h) only if the query
+	// ball intersects both its sv1 shell and its sv2 sub-shell.
+	for g, row := range n.children {
+		lo1, hi1 := shellBounds(n.cut1, g)
+		if d1+r < lo1 || d1-r > hi1 {
+			s.ShellsPruned += len(row)
+			continue
+		}
+		for h, c := range row {
+			if c == nil {
+				continue
+			}
+			lo2, hi2 := shellBounds(n.cut2[g], h)
+			if d2+r < lo2 || d2-r > hi2 {
+				s.ShellsPruned++
+				continue
+			}
+			t.rangeNode(c, q, r, qpath, out, s)
+		}
+	}
+}
+
+// rangeLeaf implements step 2 of the search algorithm: filter each leaf
+// point through its exact distances to the leaf vantage points (D1, D2)
+// and through its PATH prefix, computing the real distance only for
+// survivors.
+func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, qpath []float64, out *[]T, s *SearchStats) {
+	s.LeavesVisited++
+	if !n.hasSV1 {
+		return
+	}
+	d1 := t.dist.Distance(q, n.sv1)
+	s.VantagePoints++
+	if d1 <= r {
+		*out = append(*out, n.sv1)
+	}
+	var d2 float64
+	if n.hasSV2 {
+		d2 = t.dist.Distance(q, n.sv2)
+		s.VantagePoints++
+		if d2 <= r {
+			*out = append(*out, n.sv2)
+		}
+	}
+items:
+	for i, it := range n.items {
+		s.Candidates++
+		// |d(Q,SV) − d(Si,SV)| > r ⟹ d(Q,Si) > r by the triangle
+		// inequality; likewise for every retained PATH entry.
+		if n.d1[i] < d1-r || n.d1[i] > d1+r {
+			s.FilteredByD++
+			continue
+		}
+		if n.d2[i] < d2-r || n.d2[i] > d2+r {
+			s.FilteredByD++
+			continue
+		}
+		path := n.paths[i]
+		for l := 0; l < len(path) && l < len(qpath); l++ {
+			if path[l] < qpath[l]-r || path[l] > qpath[l]+r {
+				s.FilteredByPath++
+				continue items
+			}
+		}
+		s.Computed++
+		if t.dist.Distance(q, it) <= r {
+			*out = append(*out, it)
+		}
+	}
+}

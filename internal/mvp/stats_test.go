@@ -1,0 +1,126 @@
+package mvp
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeWithStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 3))
+	w := testutil.NewVectorWorkload(rng, 2000, 10, 10, metric.L2)
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 9})
+	for _, q := range w.Queries {
+		for _, r := range []float64{0.1, 0.4, 0.9} {
+			c.Reset()
+			out, s := tree.RangeWithStats(q, r)
+			// The stats must reconcile exactly with the cost meter and
+			// the result set.
+			if got := int64(s.Computed + s.VantagePoints); got != c.Count() {
+				t.Fatalf("r=%g: stats count %d distance computations, counter says %d", r, got, c.Count())
+			}
+			if s.Results != len(out) {
+				t.Fatalf("r=%g: Results = %d, len(out) = %d", r, s.Results, len(out))
+			}
+			if s.Candidates != s.FilteredByD+s.FilteredByPath+s.Computed {
+				t.Fatalf("r=%g: candidate accounting %d != %d+%d+%d",
+					r, s.Candidates, s.FilteredByD, s.FilteredByPath, s.Computed)
+			}
+			if s.LeavesVisited > s.NodesVisited {
+				t.Fatalf("r=%g: more leaves than nodes visited", r)
+			}
+		}
+	}
+}
+
+func TestPathFilterActuallyFires(t *testing.T) {
+	// On the paper's workload shape the PATH filter must exclude a
+	// nontrivial share of candidates at small radii.
+	rng := rand.New(rand.NewPCG(62, 3))
+	w := testutil.NewVectorWorkload(rng, 4000, 20, 20, metric.L2)
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 5})
+	var total SearchStats
+	for _, q := range w.Queries {
+		_, s := tree.RangeWithStats(q, 0.2)
+		total.Candidates += s.Candidates
+		total.FilteredByD += s.FilteredByD
+		total.FilteredByPath += s.FilteredByPath
+		total.Computed += s.Computed
+	}
+	if total.FilteredByPath == 0 {
+		t.Error("PATH filter never fired on the paper workload")
+	}
+	if total.Computed*2 > total.Candidates {
+		t.Errorf("filters passed %d of %d candidates at r=0.2; filtering too weak",
+			total.Computed, total.Candidates)
+	}
+}
+
+func TestStatsZeroOnDegenerateQueries(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	tree, err := New([][]float64{{1}, {2}}, dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, s := tree.RangeWithStats([]float64{0}, -1); out != nil || s != (SearchStats{}) {
+		t.Errorf("negative radius: out=%v stats=%+v", out, s)
+	}
+	empty, err := New(nil, dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, s := empty.RangeWithStats([]float64{0}, 1); out != nil || s != (SearchStats{}) {
+		t.Errorf("empty tree: out=%v stats=%+v", out, s)
+	}
+}
+
+func TestKNNWithStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 3))
+	w := testutil.NewVectorWorkload(rng, 2000, 10, 10, metric.L2)
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 9})
+	for _, q := range w.Queries {
+		for _, k := range []int{1, 5, 25} {
+			c.Reset()
+			out, s := tree.KNNWithStats(q, k)
+			if got := int64(s.Computed + s.VantagePoints); got != c.Count() {
+				t.Fatalf("k=%d: stats count %d, counter %d", k, got, c.Count())
+			}
+			if s.Results != len(out) {
+				t.Fatalf("k=%d: Results = %d, len = %d", k, s.Results, len(out))
+			}
+			if s.Candidates != s.FilteredByD+s.FilteredByPath+s.Computed {
+				t.Fatalf("k=%d: candidate accounting broken: %+v", k, s)
+			}
+			// Results must match the plain KNN.
+			want := tree.KNN(q, k)
+			if len(out) != len(want) {
+				t.Fatalf("k=%d: %d vs %d results", k, len(out), len(want))
+			}
+			for i := range out {
+				if out[i].Dist != want[i].Dist {
+					t.Fatalf("k=%d: dist[%d] differs", k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNWithStatsEdgeCases(t *testing.T) {
+	dist := metric.NewCounter(metric.L2)
+	empty, err := New(nil, dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, s := empty.KNNWithStats([]float64{0}, 3); out != nil || s != (SearchStats{}) {
+		t.Errorf("empty: %v, %+v", out, s)
+	}
+	tree, err := New([][]float64{{1}}, dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, s := tree.KNNWithStats([]float64{0}, 0); out != nil || s != (SearchStats{}) {
+		t.Errorf("k=0: %v, %+v", out, s)
+	}
+}

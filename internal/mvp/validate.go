@@ -1,0 +1,99 @@
+package mvp
+
+import "fmt"
+
+// Validate recomputes every stored distance and partition bound in the
+// tree and verifies the structural invariants the search algorithms
+// rely on: leaf D1/D2 arrays and PATH prefixes equal to fresh metric
+// evaluations, and every point inside its shells' closed intervals.
+//
+// A failure means either the tree was built with a different metric
+// than the one now wired in (the classic persistence mistake — Load
+// cannot detect it) or the metric is not deterministic. Validate costs
+// O(n·(log n + p)) distance computations through the tree's Counter; it
+// is a diagnostic, not something to run per query.
+func (t *Tree[T]) Validate() error {
+	return t.validateNode(t.root, nil)
+}
+
+func (t *Tree[T]) validateNode(n *node[T], ancestors []T) error {
+	if n == nil {
+		return nil
+	}
+	if n.isLeaf() {
+		for i, it := range n.items {
+			if got := t.dist.Distance(it, n.sv1); got != n.d1[i] {
+				return fmt.Errorf("mvp: leaf D1[%d] = %g, metric now yields %g (wrong metric for this tree?)", i, n.d1[i], got)
+			}
+			if got := t.dist.Distance(it, n.sv2); got != n.d2[i] {
+				return fmt.Errorf("mvp: leaf D2[%d] = %g, metric now yields %g", i, n.d2[i], got)
+			}
+			path := n.paths[i]
+			if len(path) > t.p {
+				return fmt.Errorf("mvp: PATH length %d exceeds p = %d", len(path), t.p)
+			}
+			if want := min(t.p, len(ancestors)); len(path) != want {
+				return fmt.Errorf("mvp: PATH length %d, want %d", len(path), want)
+			}
+			for l, stored := range path {
+				if got := t.dist.Distance(it, ancestors[l]); got != stored {
+					return fmt.Errorf("mvp: PATH[%d] = %g, metric now yields %g", l, stored, got)
+				}
+			}
+		}
+		return nil
+	}
+	if len(n.cut2) != len(n.children) {
+		return fmt.Errorf("mvp: internal node has %d cut2 rows for %d child rows", len(n.cut2), len(n.children))
+	}
+	next := append(append([]T(nil), ancestors...), n.sv1, n.sv2)
+	for g, row := range n.children {
+		lo1, hi1 := shellBounds(n.cut1, g)
+		for h, c := range row {
+			lo2, hi2 := shellBounds(n.cut2[g], h)
+			var bad error
+			t.forEachPoint(c, func(pt T) {
+				if bad != nil {
+					return
+				}
+				if d := t.dist.Distance(pt, n.sv1); d < lo1 || d > hi1 {
+					bad = fmt.Errorf("mvp: point at distance %g from first vantage point outside shell [%g, %g]", d, lo1, hi1)
+					return
+				}
+				if d := t.dist.Distance(pt, n.sv2); d < lo2 || d > hi2 {
+					bad = fmt.Errorf("mvp: point at distance %g from second vantage point outside sub-shell [%g, %g]", d, lo2, hi2)
+				}
+			})
+			if bad != nil {
+				return bad
+			}
+			if err := t.validateNode(c, next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Tree[T]) forEachPoint(n *node[T], f func(T)) {
+	if n == nil {
+		return
+	}
+	if n.hasSV1 {
+		f(n.sv1)
+	}
+	if n.hasSV2 {
+		f(n.sv2)
+	}
+	if n.isLeaf() {
+		for _, it := range n.items {
+			f(it)
+		}
+		return
+	}
+	for _, row := range n.children {
+		for _, c := range row {
+			t.forEachPoint(c, f)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package pgm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures the PGM decoder never panics or hangs on arbitrary
+// input, and that anything it accepts round-trips losslessly.
+func FuzzDecode(f *testing.F) {
+	im := NewImage(3, 2)
+	im.Pix = []uint8{0, 1, 2, 253, 254, 255}
+	var bin, ascii bytes.Buffer
+	if err := Encode(&bin, im); err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeASCII(&ascii, im); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bin.Bytes())
+	f.Add(ascii.Bytes())
+	f.Add([]byte("P5\n1 1\n255\nx"))
+	f.Add([]byte("P2\n# comment\n2 1\n255\n0 255\n"))
+	f.Add([]byte("P6\nnot a graymap"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if im.Width <= 0 || im.Height <= 0 || len(im.Pix) != im.Width*im.Height {
+			t.Fatalf("accepted image with inconsistent shape: %dx%d, %d pixels",
+				im.Width, im.Height, len(im.Pix))
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, im); err != nil {
+			t.Fatalf("re-encoding accepted image: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decoding re-encoded image: %v", err)
+		}
+		if !bytes.Equal(back.Pix, im.Pix) {
+			t.Fatal("accepted image does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package pgm provides gray-level images and Netpbm PGM (portable
+// graymap) encoding and decoding. The paper's image experiments (§5.1.B)
+// store MRI head scans as binary PGM with one byte per pixel; this
+// package round-trips exactly that format (P5) and, for convenience, the
+// ASCII variant (P2).
+package pgm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Image is an 8-bit gray-level image with row-major pixels.
+type Image struct {
+	Width  int
+	Height int
+	Pix    []uint8 // len == Width*Height
+}
+
+// NewImage returns a black image of the given size. It panics if either
+// dimension is not positive.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("pgm: image dimensions must be positive")
+	}
+	return &Image{Width: w, Height: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y). No bounds checking beyond the slice's.
+func (im *Image) At(x, y int) uint8 { return im.Pix[y*im.Width+x] }
+
+// Set sets the pixel at (x, y).
+func (im *Image) Set(x, y int, v uint8) { im.Pix[y*im.Width+x] = v }
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.Width, im.Height)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// L1 returns the pixel-wise L1 distance between two images: the sum of
+// absolute intensity differences (paper §5.1.B: images treated as
+// 65536-dimensional vectors). It panics if the dimensions differ.
+func L1(a, b *Image) float64 {
+	checkDims(a, b)
+	var s int64
+	for i := range a.Pix {
+		d := int64(a.Pix[i]) - int64(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return float64(s)
+}
+
+// L2 returns the pixel-wise Euclidean distance between two images. It
+// panics if the dimensions differ.
+func L2(a, b *Image) float64 {
+	checkDims(a, b)
+	var s int64
+	for i := range a.Pix {
+		d := int64(a.Pix[i]) - int64(b.Pix[i])
+		s += d * d
+	}
+	return math.Sqrt(float64(s))
+}
+
+func checkDims(a, b *Image) {
+	if a.Width != b.Width || a.Height != b.Height {
+		panic("pgm: image dimensions differ")
+	}
+}
+
+// Histogram256 returns the 256-bucket intensity histogram of the image,
+// the representation the paper suggests for gray-level image similarity
+// without cross-talk (§5.1.B): "the histograms will simply be treated as
+// if they are 256-dimensional vectors, and then an Lp metric can be
+// used".
+func (im *Image) Histogram256() []float64 {
+	h := make([]float64, 256)
+	for _, p := range im.Pix {
+		h[p]++
+	}
+	return h
+}
+
+// Encode writes the image as binary PGM (P5, maxval 255).
+func Encode(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.Width, im.Height); err != nil {
+		return err
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EncodeASCII writes the image as ASCII PGM (P2, maxval 255).
+func EncodeASCII(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P2\n%d %d\n255\n", im.Width, im.Height); err != nil {
+		return err
+	}
+	for y := 0; y < im.Height; y++ {
+		for x := 0; x < im.Width; x++ {
+			sep := " "
+			if x == im.Width-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(bw, "%d%s", im.At(x, y), sep); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a PGM image in either binary (P5) or ASCII (P2) form.
+// Only maxval ≤ 255 single-byte images are supported.
+func Decode(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := nextToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("pgm: reading magic: %w", err)
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("pgm: unsupported magic %q", magic)
+	}
+	w, err := nextInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("pgm: reading width: %w", err)
+	}
+	h, err := nextInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("pgm: reading height: %w", err)
+	}
+	maxval, err := nextInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("pgm: reading maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("pgm: invalid dimensions %dx%d", w, h)
+	}
+	if w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("pgm: dimensions %dx%d too large", w, h)
+	}
+	if maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("pgm: unsupported maxval %d", maxval)
+	}
+	im := NewImage(w, h)
+	if magic == "P5" {
+		// Exactly one whitespace byte separates the header from the
+		// raster; nextInt has already consumed it.
+		if _, err := io.ReadFull(br, im.Pix); err != nil {
+			return nil, fmt.Errorf("pgm: reading raster: %w", err)
+		}
+		return im, nil
+	}
+	for i := range im.Pix {
+		v, err := nextInt(br)
+		if err != nil {
+			return nil, fmt.Errorf("pgm: reading pixel %d: %w", i, err)
+		}
+		if v < 0 || v > maxval {
+			return nil, fmt.Errorf("pgm: pixel value %d out of range", v)
+		}
+		im.Pix[i] = uint8(v)
+	}
+	return im, nil
+}
+
+// nextToken returns the next whitespace-delimited token, skipping
+// '#'-to-end-of-line comments, and consumes the single whitespace byte
+// that terminates it.
+func nextToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func nextInt(br *bufio.Reader) (int, error) {
+	tok, err := nextToken(br)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	if len(tok) == 0 {
+		return 0, errors.New("empty token")
+	}
+	for _, c := range []byte(tok) {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid integer %q", tok)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, fmt.Errorf("integer %q too large", tok)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,190 @@
+package pgm
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func randomImage(rng *rand.Rand, w, h int) *Image {
+	im := NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(rng.IntN(256))
+	}
+	return im
+}
+
+func TestRoundTripBinary(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 1))
+	for _, dims := range [][2]int{{1, 1}, {3, 7}, {64, 64}, {17, 5}} {
+		im := randomImage(rng, dims[0], dims[1])
+		var buf bytes.Buffer
+		if err := Encode(&buf, im); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if got.Width != im.Width || got.Height != im.Height {
+			t.Fatalf("dims %dx%d, want %dx%d", got.Width, got.Height, im.Width, im.Height)
+		}
+		if !bytes.Equal(got.Pix, im.Pix) {
+			t.Fatal("pixels differ after binary round trip")
+		}
+	}
+}
+
+func TestRoundTripASCII(t *testing.T) {
+	rng := rand.New(rand.NewPCG(72, 1))
+	im := randomImage(rng, 9, 4)
+	var buf bytes.Buffer
+	if err := EncodeASCII(&buf, im); err != nil {
+		t.Fatalf("EncodeASCII: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(got.Pix, im.Pix) {
+		t.Fatal("pixels differ after ASCII round trip")
+	}
+}
+
+func TestDecodeWithComments(t *testing.T) {
+	src := "P2\n# a comment\n2 2\n# another\n255\n0 64\n128 255\n"
+	im, err := Decode(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	want := []uint8{0, 64, 128, 255}
+	if !bytes.Equal(im.Pix, want) {
+		t.Errorf("Pix = %v, want %v", im.Pix, want)
+	}
+}
+
+func TestDecodeBinaryRasterStartingWithWhitespaceByte(t *testing.T) {
+	// A raster whose first pixel is 0x20 (the ASCII space) must not be
+	// eaten by header parsing.
+	im := NewImage(2, 1)
+	im.Pix[0], im.Pix[1] = ' ', '\n'
+	var buf bytes.Buffer
+	if err := Encode(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, im.Pix) {
+		t.Errorf("Pix = %v, want %v", got.Pix, im.Pix)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":      "P6\n2 2\n255\n....",
+		"truncated":      "P5\n4 4\n255\nxx",
+		"zero width":     "P5\n0 2\n255\n",
+		"huge maxval":    "P5\n1 1\n65535\n\x00\x00",
+		"negative-ish":   "P5\n-1 2\n255\n",
+		"garbage number": "P2\n2 2\n255\n1 2 3 four\n",
+		"empty":          "",
+	}
+	for name, src := range cases {
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestImageDistances(t *testing.T) {
+	a := NewImage(2, 2)
+	b := NewImage(2, 2)
+	b.Pix = []uint8{3, 0, 4, 0}
+	if got := L1(a, b); got != 7 {
+		t.Errorf("L1 = %g, want 7", got)
+	}
+	if got := L2(a, b); got != 5 {
+		t.Errorf("L2 = %g, want 5", got)
+	}
+	if got := L2(a, a); got != 0 {
+		t.Errorf("L2(a,a) = %g", got)
+	}
+}
+
+func TestImageDistanceDimsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("L1 on mismatched dims did not panic")
+		}
+	}()
+	L1(NewImage(2, 2), NewImage(2, 3))
+}
+
+func TestL1DominatesL2(t *testing.T) {
+	// ‖x‖₂ ≤ ‖x‖₁ always.
+	rng := rand.New(rand.NewPCG(73, 1))
+	for i := 0; i < 50; i++ {
+		a := randomImage(rng, 8, 8)
+		b := randomImage(rng, 8, 8)
+		if L2(a, b) > L1(a, b)+1e-9 {
+			t.Fatal("L2 exceeded L1")
+		}
+	}
+}
+
+func TestHistogram256(t *testing.T) {
+	im := NewImage(4, 1)
+	im.Pix = []uint8{0, 0, 255, 7}
+	h := im.Histogram256()
+	if len(h) != 256 || h[0] != 2 || h[255] != 1 || h[7] != 1 {
+		t.Errorf("Histogram256 = h[0]=%g h[7]=%g h[255]=%g", h[0], h[7], h[255])
+	}
+	var total float64
+	for _, v := range h {
+		total += v
+	}
+	if total != 4 {
+		t.Errorf("histogram mass = %g, want 4", total)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := NewImage(2, 2)
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 0 {
+		t.Error("Clone shares pixel storage")
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	im := NewImage(3, 2)
+	im.Set(2, 1, 42)
+	if im.At(2, 1) != 42 || im.Pix[5] != 42 {
+		t.Error("Set/At row-major addressing wrong")
+	}
+}
+
+func TestL2IsMetricOnSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(74, 1))
+	imgs := make([]*Image, 6)
+	for i := range imgs {
+		imgs[i] = randomImage(rng, 6, 6)
+	}
+	for i := range imgs {
+		for j := range imgs {
+			for k := range imgs {
+				if L2(imgs[i], imgs[j]) > L2(imgs[i], imgs[k])+L2(imgs[k], imgs[j])+1e-9 {
+					t.Fatal("image L2 violates triangle inequality")
+				}
+			}
+			if math.Abs(L2(imgs[i], imgs[j])-L2(imgs[j], imgs[i])) != 0 {
+				t.Fatal("image L2 asymmetric")
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package testutil
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"mvptree/internal/index"
+)
+
+// FarthestSearcher is the optional interface for the farthest-object
+// query variants of the paper's §2.
+type FarthestSearcher[T any] interface {
+	RangeFarther(q T, r float64) []T
+	KFarthest(q T, k int) []index.Neighbor[T]
+}
+
+// CheckRangeFarther verifies that idx's RangeFarther answers match the
+// linear-scan ground truth for every (query, radius) pair.
+func CheckRangeFarther(t *testing.T, name string, idx FarthestSearcher[int], w *Workload, radii []float64) {
+	t.Helper()
+	for _, q := range w.Queries {
+		for _, r := range radii {
+			got := append([]int(nil), idx.RangeFarther(q, r)...)
+			want := append([]int(nil), w.Truth.RangeFarther(q, r)...)
+			sort.Ints(got)
+			sort.Ints(want)
+			if !equalInts(got, want) {
+				t.Errorf("%s: RangeFarther(q=%d, r=%g) = %d items, want %d", name, q, r, len(got), len(want))
+				return
+			}
+		}
+	}
+}
+
+// CheckKFarthest verifies KFarthest against linear scan: same length,
+// descending distances, identical distance multiset and truthful
+// reported distances.
+func CheckKFarthest(t *testing.T, name string, idx FarthestSearcher[int], w *Workload, ks []int) {
+	t.Helper()
+	for _, q := range w.Queries {
+		for _, k := range ks {
+			got := idx.KFarthest(q, k)
+			want := w.Truth.KFarthest(q, k)
+			if len(got) != len(want) {
+				t.Errorf("%s: KFarthest(q=%d, k=%d) returned %d items, want %d", name, q, k, len(got), len(want))
+				return
+			}
+			for i, nb := range got {
+				if td := w.Dist(q, nb.Item); math.Abs(td-nb.Dist) > 1e-9 {
+					t.Errorf("%s: KFarthest(q=%d, k=%d)[%d] reports dist %g, true %g", name, q, k, i, nb.Dist, td)
+					return
+				}
+				if i > 0 && got[i-1].Dist < nb.Dist-1e-12 {
+					t.Errorf("%s: KFarthest(q=%d, k=%d) not descending at %d", name, q, k, i)
+					return
+				}
+				if math.Abs(nb.Dist-want[i].Dist) > 1e-9 {
+					t.Errorf("%s: KFarthest(q=%d, k=%d)[%d].Dist = %g, want %g", name, q, k, i, nb.Dist, want[i].Dist)
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package testutil provides the shared correctness harness used by the
+// tests of every index structure: randomized workload generators and
+// equivalence checks against the linear-scan ground truth.
+//
+// Workloads index item IDs (ints) into a shared dataset; the distance
+// function closes over the dataset. Indexing small comparable IDs makes
+// result-set comparison exact and keeps the harness structure-agnostic.
+package testutil
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"mvptree/internal/index"
+	"mvptree/internal/linear"
+	"mvptree/internal/metric"
+)
+
+// RandomVectors returns n vectors drawn uniformly from [0,1)^dim.
+func RandomVectors(rng *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ClumpedVectors returns n vectors forming tight clumps: a harder case
+// for equal-cardinality partitioning because many pairwise distances are
+// nearly identical and duplicates occur.
+func ClumpedVectors(rng *rand.Rand, n, dim, clumps int) [][]float64 {
+	centers := RandomVectors(rng, clumps, dim)
+	out := make([][]float64, n)
+	for i := range out {
+		c := centers[rng.IntN(clumps)]
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = c[j] + (rng.Float64()-0.5)*0.02
+		}
+		out[i] = v
+	}
+	// Inject exact duplicates.
+	for i := 0; i < n/10; i++ {
+		out[rng.IntN(n)] = out[rng.IntN(n)]
+	}
+	return out
+}
+
+// IDs returns the slice [0, 1, ..., n-1].
+func IDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// IDDistance lifts a vector metric to a metric over item IDs in data.
+// Query IDs may exceed len(data) by indexing into queries: pass
+// data = append(dataset, queryPoints...) and use IDs ≥ len(dataset) as
+// query IDs.
+func IDDistance(data [][]float64, fn metric.DistanceFunc[[]float64]) metric.DistanceFunc[int] {
+	return func(a, b int) float64 { return fn(data[a], data[b]) }
+}
+
+// Workload bundles a dataset of item IDs with query IDs and ground truth.
+type Workload struct {
+	Items   []int
+	Queries []int
+	Dist    metric.DistanceFunc[int]
+	Truth   *linear.Scan[int]
+}
+
+// NewVectorWorkload builds a workload of n uniform dim-dimensional
+// vectors and q query points under the given vector metric.
+func NewVectorWorkload(rng *rand.Rand, n, dim, q int, fn metric.DistanceFunc[[]float64]) *Workload {
+	data := RandomVectors(rng, n+q, dim)
+	return newWorkload(data, n, q, fn)
+}
+
+// NewClumpedWorkload is NewVectorWorkload over clumped, duplicate-heavy
+// data.
+func NewClumpedWorkload(rng *rand.Rand, n, dim, q int, fn metric.DistanceFunc[[]float64]) *Workload {
+	data := ClumpedVectors(rng, n+q, dim, 5)
+	return newWorkload(data, n, q, fn)
+}
+
+func newWorkload(data [][]float64, n, q int, fn metric.DistanceFunc[[]float64]) *Workload {
+	dist := IDDistance(data, fn)
+	w := &Workload{
+		Items:   IDs(n),
+		Queries: make([]int, q),
+		Dist:    dist,
+	}
+	for i := range w.Queries {
+		w.Queries[i] = n + i
+	}
+	w.Truth = linear.New(w.Items, metric.NewCounter(dist))
+	return w
+}
+
+// CheckRange verifies that idx answers every (query, radius) pair with
+// exactly the same item set as the linear-scan ground truth.
+func CheckRange(t *testing.T, name string, idx index.Index[int], w *Workload, radii []float64) {
+	t.Helper()
+	for _, q := range w.Queries {
+		for _, r := range radii {
+			got := append([]int(nil), idx.Range(q, r)...)
+			want := append([]int(nil), w.Truth.Range(q, r)...)
+			sort.Ints(got)
+			sort.Ints(want)
+			if !equalInts(got, want) {
+				t.Errorf("%s: Range(q=%d, r=%g) = %v, want %v", name, q, r, got, want)
+				return
+			}
+		}
+	}
+}
+
+// CheckKNN verifies that idx's KNN answers match linear scan: same
+// length, ascending distances, identical distance multiset (ties may be
+// broken differently), and every reported distance is the item's true
+// distance.
+func CheckKNN(t *testing.T, name string, idx index.Index[int], w *Workload, ks []int) {
+	t.Helper()
+	for _, q := range w.Queries {
+		for _, k := range ks {
+			got := idx.KNN(q, k)
+			want := w.Truth.KNN(q, k)
+			if len(got) != len(want) {
+				t.Errorf("%s: KNN(q=%d, k=%d) returned %d items, want %d", name, q, k, len(got), len(want))
+				return
+			}
+			for i, nb := range got {
+				if td := w.Dist(q, nb.Item); math.Abs(td-nb.Dist) > 1e-9 {
+					t.Errorf("%s: KNN(q=%d, k=%d)[%d] reports dist %g, true %g", name, q, k, i, nb.Dist, td)
+					return
+				}
+				if i > 0 && got[i-1].Dist > nb.Dist+1e-12 {
+					t.Errorf("%s: KNN(q=%d, k=%d) not ascending at %d", name, q, k, i)
+					return
+				}
+				if math.Abs(nb.Dist-want[i].Dist) > 1e-9 {
+					t.Errorf("%s: KNN(q=%d, k=%d)[%d].Dist = %g, want %g", name, q, k, i, nb.Dist, want[i].Dist)
+					return
+				}
+			}
+		}
+	}
+}
+
+// CheckContainsAllOnce verifies that a full-space range query returns
+// each indexed item exactly once (no item lost or duplicated by the
+// partitioning).
+func CheckContainsAllOnce(t *testing.T, name string, idx index.Index[int], w *Workload, bigR float64) {
+	t.Helper()
+	if len(w.Queries) == 0 {
+		return
+	}
+	got := append([]int(nil), idx.Range(w.Queries[0], bigR)...)
+	sort.Ints(got)
+	if !equalInts(got, w.Items) {
+		t.Errorf("%s: full-range query returned %d items, want all %d exactly once", name, len(got), len(w.Items))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,54 @@
+package vector
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the vector parser never panics and that accepted
+// vectors re-format to something that parses back to the same values.
+func FuzzParse(f *testing.F) {
+	f.Add("1 2 3")
+	f.Add("-1.5e10 0.0001")
+	f.Add("")
+	f.Add("NaN Inf -Inf")
+	f.Add("1,2,3")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(Format(v))
+		if err != nil {
+			t.Fatalf("accepted vector does not re-parse: %v", err)
+		}
+		if len(back) != len(v) {
+			t.Fatalf("length changed: %d → %d", len(v), len(back))
+		}
+		for i := range v {
+			same := back[i] == v[i] || (math.IsNaN(back[i]) && math.IsNaN(v[i]))
+			if !same {
+				t.Fatalf("coordinate %d changed: %g → %g", i, v[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzReadAll ensures the file reader is total over arbitrary text.
+func FuzzReadAll(f *testing.F) {
+	f.Add("1 2\n3 4\n")
+	f.Add("# comment\n\n1\n")
+	f.Add("1 2\n3\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		vs, err := ReadAll(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		for _, v := range vs {
+			if len(vs) > 0 && len(v) != len(vs[0]) {
+				t.Fatal("accepted ragged vectors")
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+// Package vector provides plain-text I/O for dense float64 vectors: one
+// vector per line, coordinates separated by whitespace, '#' comments and
+// blank lines ignored. The format is what cmd/datagen writes and
+// cmd/mvpquery reads.
+package vector
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format renders a vector as space-separated coordinates.
+func Format(v []float64) string {
+	var sb strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	return sb.String()
+}
+
+// Parse parses a line of space-separated coordinates.
+func Parse(s string) ([]float64, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("vector: empty input")
+	}
+	v := make([]float64, len(fields))
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vector: coordinate %d: %w", i, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+// WriteAll writes vectors one per line.
+func WriteAll(w io.Writer, vs [][]float64) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range vs {
+		if _, err := bw.WriteString(Format(v)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAll reads vectors one per line, skipping blank lines and lines
+// starting with '#'. All vectors must have the same dimensionality.
+func ReadAll(r io.Reader) ([][]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out [][]float64
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		v, err := Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if len(out) > 0 && len(v) != len(out[0]) {
+			return nil, fmt.Errorf("line %d: dimension %d, want %d", line, len(v), len(out[0]))
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

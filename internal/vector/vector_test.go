@@ -1,0 +1,81 @@
+package vector
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(v []float64) bool {
+		if len(v) == 0 {
+			return true
+		}
+		for _, x := range v {
+			if math.IsNaN(x) {
+				return true // NaN never round-trips by ==
+			}
+		}
+		got, err := Parse(Format(v))
+		if err != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "   ", "1.0 banana", "1 2 3x"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestReadAllSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# header\n1 2 3\n\n  \n4 5 6\n# trailing\n"
+	vs, err := ReadAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0][0] != 1 || vs[1][2] != 6 {
+		t.Errorf("ReadAll = %v", vs)
+	}
+}
+
+func TestReadAllDimensionMismatch(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("1 2\n1 2 3\n")); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	vs := [][]float64{{1.5, -2.25}, {0, 1e-17}, {3, 4}}
+	var sb strings.Builder
+	if err := WriteAll(&sb, vs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vs) {
+		t.Fatalf("got %d vectors", len(got))
+	}
+	for i := range vs {
+		for j := range vs[i] {
+			if got[i][j] != vs[i][j] {
+				t.Errorf("[%d][%d] = %g, want %g", i, j, got[i][j], vs[i][j])
+			}
+		}
+	}
+}

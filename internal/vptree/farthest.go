@@ -1,0 +1,116 @@
+package vptree
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+)
+
+// Farthest-object queries (paper §2): the triangle-inequality bounds of
+// the spherical shells are used in reverse. For a vantage point at
+// distance d from the query, a shell [lo, hi] bounds its members'
+// distances to the query within [gap(d, lo, hi), d+hi].
+
+// RangeFarther returns every indexed item at distance ≥ r from q.
+func (t *Tree[T]) RangeFarther(q T, r float64) []T {
+	if t.root == nil {
+		return nil
+	}
+	var out []T
+	if r <= 0 {
+		collectAll(t.root, &out)
+		return out
+	}
+	t.rangeFartherNode(t.root, q, r, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeFartherNode(n *node[T], q T, r float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if t.dist.Distance(q, it) >= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	d := t.dist.Distance(q, n.vantage)
+	if d >= r {
+		*out = append(*out, n.vantage)
+	}
+	for g, c := range n.children {
+		lo, hi := shellBounds(n.cutoffs, g)
+		if d+hi < r {
+			continue // whole shell provably too close
+		}
+		gap := 0.0
+		switch {
+		case d < lo:
+			gap = lo - d
+		case d > hi:
+			gap = d - hi
+		}
+		if gap >= r {
+			collectAll(c, out) // whole shell provably far enough
+			continue
+		}
+		t.rangeFartherNode(c, q, r, out)
+	}
+}
+
+func collectAll[T any](n *node[T], out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		*out = append(*out, n.items...)
+		return
+	}
+	*out = append(*out, n.vantage)
+	for _, c := range n.children {
+		collectAll(c, out)
+	}
+}
+
+// KFarthest returns the k indexed items farthest from q in descending
+// distance order.
+func (t *Tree[T]) KFarthest(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKLargest[T](k)
+	// NodeQueue is a min-heap; negated upper bounds make it pop the
+	// subtree with the largest upper bound first.
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for {
+		n, negUB, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(-negUB) {
+			break
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				best.Push(it, t.dist.Distance(q, it))
+			}
+			continue
+		}
+		d := t.dist.Distance(q, n.vantage)
+		best.Push(n.vantage, d)
+		for g, c := range n.children {
+			if c == nil {
+				continue
+			}
+			_, hi := shellBounds(n.cutoffs, g)
+			ub := d + hi
+			if best.Accepts(ub) {
+				queue.PushNode(c, -ub)
+			}
+		}
+	}
+	return best.Sorted()
+}

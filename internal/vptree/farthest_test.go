@@ -1,0 +1,63 @@
+package vptree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func TestRangeFartherMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 2))
+	w := testutil.NewVectorWorkload(rng, 400, 8, 10, metric.L2)
+	radii := []float64{0, 0.3, 0.8, 1.2, 2.0, 10}
+	for _, opts := range []Options{
+		{Order: 2, Seed: 7},
+		{Order: 3, LeafCapacity: 4, Seed: 7},
+	} {
+		c := metric.NewCounter(w.Dist)
+		tree, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckRangeFarther(t, "vpt", tree, w, radii)
+	}
+}
+
+func TestKFarthestMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 2))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 8, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Order: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckKFarthest(t, "vpt", tree, w, []int{1, 2, 5, 17, 300, 1000})
+}
+
+func TestRangeFartherFastPath(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 2))
+	w := testutil.NewVectorWorkload(rng, 1000, 8, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Order: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if got := tree.RangeFarther(w.Queries[0], 0); len(got) != 1000 || c.Count() != 0 {
+		t.Errorf("RangeFarther(0): %d items, %d computations", len(got), c.Count())
+	}
+}
+
+func TestFarthestOnClumpedData(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 2))
+	w := testutil.NewClumpedWorkload(rng, 400, 5, 6, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	tree, err := New(w.Items, c, Options{Order: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testutil.CheckRangeFarther(t, "vpt-clumped", tree, w, []float64{0.01, 0.5, 1.5})
+	testutil.CheckKFarthest(t, "vpt-clumped", tree, w, []int{1, 5, 50})
+}

@@ -1,0 +1,76 @@
+package vptree
+
+import (
+	"sort"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+)
+
+// KNNDepthFirst answers a k-nearest-neighbor query with the
+// decreasing-radius depth-first strategy of Chiueh [Chi94], the vp-tree
+// modification the paper cites in §3.2: the search descends the tree
+// visiting the most promising shell first, keeps the k best candidates
+// found so far, and uses the current k-th distance as a shrinking
+// search radius to prune the remaining shells.
+//
+// It returns exactly the same neighbors as KNN (both are exact); the
+// two differ only in traversal order and therefore in the number of
+// distance computations. Best-first (KNN) is never worse in distance
+// computations but keeps a priority queue; depth-first recursion has no
+// auxiliary structure beyond the result heap, which is why [Chi94]
+// favored it.
+func (t *Tree[T]) KNNDepthFirst(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKBest[T](k)
+	t.knnDFS(t.root, q, best)
+	return best.Sorted()
+}
+
+func (t *Tree[T]) knnDFS(n *node[T], q T, best *heapx.KBest[T]) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			best.Push(it, t.dist.Distance(q, it))
+		}
+		return
+	}
+	d := t.dist.Distance(q, n.vantage)
+	best.Push(n.vantage, d)
+
+	// Visit children in ascending lower-bound order so the radius
+	// shrinks as fast as possible before the less promising shells are
+	// reconsidered.
+	type cand struct {
+		c  *node[T]
+		lb float64
+	}
+	cands := make([]cand, 0, len(n.children))
+	for g, c := range n.children {
+		if c == nil {
+			continue
+		}
+		lo, hi := shellBounds(n.cutoffs, g)
+		lb := 0.0
+		switch {
+		case d < lo:
+			lb = lo - d
+		case d > hi:
+			lb = d - hi
+		}
+		cands = append(cands, cand{c, lb})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].lb < cands[b].lb })
+	for _, cd := range cands {
+		// Re-test against the *current* radius: earlier siblings may
+		// have shrunk it below this shell's bound.
+		if !best.Accepts(cd.lb) {
+			continue
+		}
+		t.knnDFS(cd.c, q, best)
+	}
+}

@@ -1,0 +1,144 @@
+package vptree
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func encodeID(id int) ([]byte, error) {
+	return []byte{byte(id), byte(id >> 8)}, nil
+}
+
+func decodeID(b []byte) (int, error) {
+	if len(b) != 2 {
+		return 0, errors.New("bad id encoding")
+	}
+	return int(b[0]) | int(b[1])<<8, nil
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(81, 3))
+	w := testutil.NewVectorWorkload(rng, 600, 8, 8, metric.L2)
+	for _, opts := range []Options{
+		{Order: 2, Seed: 7},
+		{Order: 4, LeafCapacity: 6, Seed: 7},
+	} {
+		c := metric.NewCounter(w.Dist)
+		orig, err := New(w.Items, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf, encodeID); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		loaded, err := Load(&buf, c, decodeID)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if loaded.Len() != orig.Len() {
+			t.Fatalf("Len = %d, want %d", loaded.Len(), orig.Len())
+		}
+		testutil.CheckRange(t, "loaded-vpt", loaded, w, []float64{0, 0.2, 0.6, 1.5})
+		testutil.CheckKNN(t, "loaded-vpt", loaded, w, []int{1, 5, 50})
+	}
+}
+
+func TestSaveLoadIdenticalQueryCosts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(82, 3))
+	w := testutil.NewVectorWorkload(rng, 400, 6, 6, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	orig, err := New(w.Items, c, Options{Order: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	c2 := metric.NewCounter(w.Dist)
+	loaded, err := Load(&buf, c2, decodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		c.Reset()
+		orig.Range(q, 0.4)
+		c2.Reset()
+		loaded.Range(q, 0.4)
+		if c.Count() != c2.Count() {
+			t.Fatalf("query cost differs after reload: %d vs %d", c.Count(), c2.Count())
+		}
+	}
+}
+
+func TestLoadRejectsCorruptStreams(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 3))
+	w := testutil.NewVectorWorkload(rng, 80, 4, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	orig, err := New(w.Items, c, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte{7}, []byte("NOTVPTR")...),
+		"truncated": valid[:len(valid)/3],
+	} {
+		if _, err := Load(bytes.NewReader(data), c, decodeID); err == nil {
+			t.Errorf("%s: Load succeeded on corrupt data", name)
+		}
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	dist := metric.NewCounter(metric.Discrete[int]())
+	orig, err := New(nil, dist, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, dist, decodeID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 || loaded.Range(1, 10) != nil {
+		t.Error("empty tree misbehaves after reload")
+	}
+}
+
+func TestLoadRejectsBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewPCG(84, 3))
+	w := testutil.NewVectorWorkload(rng, 60, 4, 1, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	orig, err := New(w.Items, c, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf, encodeID); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	// Any single corrupted payload byte must be caught by the checksum.
+	for _, i := range []int{len(valid) / 2, len(valid) - 10, 20} {
+		data := append([]byte(nil), valid...)
+		data[i] ^= 0x55
+		if _, err := Load(bytes.NewReader(data), c, decodeID); err == nil {
+			t.Errorf("byte %d flipped: Load succeeded", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package vptree
+
+// SearchStats breaks a vp-tree range search down by stage, the
+// counterpart of the mvp-tree's instrumentation. Note the structural
+// difference it exposes: the vp-tree stores no leaf distances, so every
+// leaf candidate costs a real distance computation (Computed ==
+// Candidates always), and every visited internal node costs one
+// vantage-point computation.
+type SearchStats struct {
+	NodesVisited  int
+	LeavesVisited int
+	ShellsPruned  int
+	Candidates    int
+	Computed      int
+	VantagePoints int
+	Results       int
+}
+
+// RangeWithStats is Range plus the per-query breakdown.
+func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	var s SearchStats
+	if r < 0 {
+		return nil, s
+	}
+	var out []T
+	t.rangeNodeStats(t.root, q, r, &out, &s)
+	s.Results = len(out)
+	return out, s
+}
+
+func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
+	if n == nil {
+		return
+	}
+	s.NodesVisited++
+	if n.leaf {
+		s.LeavesVisited++
+		for _, it := range n.items {
+			s.Candidates++
+			s.Computed++
+			if t.dist.Distance(q, it) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	d := t.dist.Distance(q, n.vantage)
+	s.VantagePoints++
+	if d <= r {
+		*out = append(*out, n.vantage)
+	}
+	for g, c := range n.children {
+		lo, hi := shellBounds(n.cutoffs, g)
+		if d+r >= lo && d-r <= hi {
+			t.rangeNodeStats(c, q, r, out, s)
+		} else {
+			s.ShellsPruned++
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package vptree implements the vantage-point tree of Uhlmann [Uhl91]
+// and Yiannilos [Yia93], the structure the paper (§3.3) uses as its main
+// comparison baseline for the mvp-tree.
+//
+// A vp-tree node holds one vantage point chosen from the data. The
+// distances from the vantage point to every other point below the node
+// are computed at construction time, the points are ordered by that
+// distance and split into m groups of equal cardinality ("spherical
+// cuts"), and each group is indexed by a recursively built child. Range
+// search prunes whole subtrees with the triangle inequality: a child
+// whose spherical shell does not intersect the query ball cannot contain
+// an answer.
+package vptree
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// SelectionStrategy picks how vantage points are chosen during
+// construction.
+type SelectionStrategy int
+
+const (
+	// SelectRandom picks a uniformly random point, the default the
+	// paper uses ("the random function used to pick vantage points").
+	SelectRandom SelectionStrategy = iota
+	// SelectBestSpread implements the heuristic of [Yia93]: sample a
+	// few candidate vantage points, estimate for each the spread of
+	// distances to a random subset (second moment about the median),
+	// and keep the candidate with the largest spread.
+	SelectBestSpread
+)
+
+// Options configure construction of a vp-tree.
+type Options struct {
+	// Order is the branching factor m ≥ 2. Each node partitions its
+	// points into Order equal-cardinality spherical shells. The
+	// default is 2, the binary vp-tree.
+	Order int
+	// LeafCapacity is the maximum number of points stored in a leaf
+	// node (a plain bucket scanned exhaustively at query time). The
+	// default is 1. The classic vp-tree keeps partitioning all the way
+	// down, which corresponds to a small leaf capacity.
+	LeafCapacity int
+	// Selection chooses the vantage-point selection strategy.
+	Selection SelectionStrategy
+	// Candidates and SampleSize tune SelectBestSpread: Candidates
+	// vantage candidates are evaluated against SampleSize random
+	// points each. Defaults are 5 and 20. Ignored for SelectRandom.
+	Candidates int
+	SampleSize int
+	// Workers, when greater than 1, spreads construction's distance
+	// computations over that many goroutines; the tree built and the
+	// cost counter are identical to the sequential ones. The metric
+	// must be safe for concurrent calls.
+	Workers int
+	// Seed seeds the random source used for vantage selection, making
+	// construction deterministic.
+	Seed uint64
+}
+
+func (o *Options) setDefaults() {
+	if o.Order == 0 {
+		o.Order = 2
+	}
+	if o.LeafCapacity == 0 {
+		o.LeafCapacity = 1
+	}
+	if o.Candidates == 0 {
+		o.Candidates = 5
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = 20
+	}
+}
+
+func (o *Options) validate() error {
+	if o.Order < 2 {
+		return errors.New("vptree: Order must be at least 2")
+	}
+	if o.LeafCapacity < 1 {
+		return errors.New("vptree: LeafCapacity must be at least 1")
+	}
+	if o.Candidates < 1 || o.SampleSize < 1 {
+		return errors.New("vptree: Candidates and SampleSize must be at least 1")
+	}
+	return nil
+}
+
+// Tree is an m-way vantage-point tree over a fixed item set.
+type Tree[T any] struct {
+	root      *node[T]
+	dist      *metric.Counter[T]
+	size      int
+	order     int
+	workers   int
+	buildCost int64
+}
+
+var _ index.Index[int] = (*Tree[int])(nil)
+
+type node[T any] struct {
+	// Internal node fields. vantage is a real data point.
+	vantage  T
+	cutoffs  []float64 // order-1 ascending boundaries between shells
+	children []*node[T]
+	// Leaf node fields.
+	leaf  bool
+	items []T
+}
+
+// New builds a vp-tree over items using the counted metric dist. The
+// items slice is not retained. Distance computations made during
+// construction are visible on dist and also recorded in BuildCost.
+func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	opts.setDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree[T]{dist: dist, size: len(items), order: opts.Order, workers: opts.Workers}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
+	work := make([]T, len(items))
+	copy(work, items)
+	before := dist.Count()
+	t.root = t.build(work, rng, &opts)
+	t.buildCost = dist.Count() - before
+	return t, nil
+}
+
+// build consumes work (it reorders and slices it freely).
+func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
+	if len(work) == 0 {
+		return nil
+	}
+	if len(work) <= opts.LeafCapacity {
+		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
+		copy(leaf.items, work)
+		return leaf
+	}
+	vi := t.selectVantage(work, rng, opts)
+	work[vi], work[len(work)-1] = work[len(work)-1], work[vi]
+	v := work[len(work)-1]
+	rest := work[:len(work)-1]
+
+	ds := make([]float64, len(rest))
+	t.measure(v, len(rest), func(i int) T { return rest[i] }, ds)
+	ord := make([]int, len(rest))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return ds[ord[a]] < ds[ord[b]] })
+
+	m := opts.Order
+	if m > len(rest) {
+		m = len(rest)
+	}
+	n := &node[T]{vantage: v}
+	if m < 2 {
+		// One remaining point: a single child leaf.
+		n.children = []*node[T]{t.build(rest, rng, opts)}
+		return n
+	}
+	n.cutoffs = make([]float64, m-1)
+	n.children = make([]*node[T], m)
+	groupOf := groupBoundaries(len(rest), m)
+	for g := 0; g < m; g++ {
+		lo, hi := groupOf(g)
+		group := make([]T, hi-lo)
+		for i := lo; i < hi; i++ {
+			group[i-lo] = rest[ord[i]]
+		}
+		if g < m-1 {
+			// Cutoff between the largest distance in this group and
+			// the smallest in the next; every point in group g is
+			// ≤ cutoff[g] and every point in group g+1 is ≥ cutoff[g].
+			n.cutoffs[g] = (ds[ord[hi-1]] + ds[ord[hi]]) / 2
+		}
+		n.children[g] = t.build(group, rng, opts)
+	}
+	return n
+}
+
+// groupBoundaries returns a function mapping group index g ∈ [0,m) to the
+// half-open rank interval [lo, hi) of an equal-cardinality m-way split of
+// n items (sizes differ by at most one).
+func groupBoundaries(n, m int) func(g int) (lo, hi int) {
+	base, extra := n/m, n%m
+	return func(g int) (int, int) {
+		lo := g*base + min(g, extra)
+		hi := lo + base
+		if g < extra {
+			hi++
+		}
+		return lo, hi
+	}
+}
+
+func (t *Tree[T]) selectVantage(work []T, rng *rand.Rand, opts *Options) int {
+	if opts.Selection == SelectRandom || len(work) <= 2 {
+		return rng.IntN(len(work))
+	}
+	// Best-spread heuristic [Yia93]: maximize the second moment of the
+	// distance distribution about its median.
+	best, bestSpread := 0, math.Inf(-1)
+	cands := min(opts.Candidates, len(work))
+	for c := 0; c < cands; c++ {
+		ci := rng.IntN(len(work))
+		sample := min(opts.SampleSize, len(work)-1)
+		ds := make([]float64, 0, sample)
+		for s := 0; s < sample; s++ {
+			si := rng.IntN(len(work))
+			if si == ci {
+				continue
+			}
+			ds = append(ds, t.dist.Distance(work[ci], work[si]))
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		sort.Float64s(ds)
+		median := ds[len(ds)/2]
+		var spread float64
+		for _, d := range ds {
+			dd := d - median
+			spread += dd * dd
+		}
+		spread /= float64(len(ds))
+		if spread > bestSpread {
+			best, bestSpread = ci, spread
+		}
+	}
+	return best
+}
+
+// Len reports the number of indexed items.
+func (t *Tree[T]) Len() int { return t.size }
+
+// Counter returns the counted metric the tree measures distances with.
+func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// BuildCost reports the number of distance computations made during
+// construction (O(n · log_m n) for order m).
+func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+
+// Height reports the height of the tree in edges; a tree holding at most
+// one leaf has height 0.
+func (t *Tree[T]) Height() int { return height(t.root) }
+
+func height[T any](n *node[T]) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	h := 0
+	for _, c := range n.children {
+		if ch := height(c); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// shellBounds returns the closed distance interval covered by child g.
+func shellBounds(cutoffs []float64, g int) (lo, hi float64) {
+	lo, hi = 0, math.Inf(1)
+	if g > 0 {
+		lo = cutoffs[g-1]
+	}
+	if g < len(cutoffs) {
+		hi = cutoffs[g]
+	}
+	return lo, hi
+}
+
+// Range returns every indexed item within distance r of q.
+func (t *Tree[T]) Range(q T, r float64) []T {
+	if r < 0 {
+		return nil
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out)
+	return out
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+	if n == nil {
+		return
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if t.dist.Distance(q, it) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	d := t.dist.Distance(q, n.vantage)
+	if d <= r {
+		*out = append(*out, n.vantage)
+	}
+	for g, c := range n.children {
+		lo, hi := shellBounds(n.cutoffs, g)
+		if d+r >= lo && d-r <= hi {
+			t.rangeNode(c, q, r, out)
+		}
+	}
+}
+
+// KNN returns the k nearest indexed items using best-first traversal:
+// subtrees are visited in order of their triangle-inequality lower bound
+// and search stops when no pending subtree can beat the k-th candidate.
+func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for {
+		n, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break // min-heap: nothing later can be closer
+		}
+		if n.leaf {
+			for _, it := range n.items {
+				best.Push(it, t.dist.Distance(q, it))
+			}
+			continue
+		}
+		d := t.dist.Distance(q, n.vantage)
+		best.Push(n.vantage, d)
+		for g, c := range n.children {
+			if c == nil {
+				continue
+			}
+			lo, hi := shellBounds(n.cutoffs, g)
+			lb := 0.0
+			if d < lo {
+				lb = lo - d
+			} else if d > hi {
+				lb = d - hi
+			}
+			if best.Accepts(lb) {
+				queue.PushNode(c, lb)
+			}
+		}
+	}
+	return best.Sorted()
+}
+
+// parallelThreshold is the minimum batch size worth fanning out to
+// worker goroutines.
+const parallelThreshold = 512
+
+// measure fills out[i] with the distance from item(i) to v, in parallel
+// when Workers > 1 and the batch is large; the counter is settled
+// exactly either way.
+func (t *Tree[T]) measure(v T, n int, item func(int) T, out []float64) {
+	if t.workers <= 1 || n < parallelThreshold {
+		for i := 0; i < n; i++ {
+			out[i] = t.dist.Distance(v, item(i))
+		}
+		return
+	}
+	raw := t.dist.Func()
+	chunk := (n + t.workers - 1) / t.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = raw(v, item(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	t.dist.Add(int64(n))
+}

@@ -1,0 +1,74 @@
+package mvptree
+
+import (
+	"mvptree/internal/metric"
+	"mvptree/internal/pgm"
+)
+
+// Built-in metrics. Each satisfies the metric axioms; see CheckAxioms
+// for validating your own.
+
+// L1 is the Manhattan distance on float64 vectors.
+func L1(a, b []float64) float64 { return metric.L1(a, b) }
+
+// L2 is the Euclidean distance on float64 vectors.
+func L2(a, b []float64) float64 { return metric.L2(a, b) }
+
+// LInf is the Chebyshev (maximum) distance on float64 vectors.
+func LInf(a, b []float64) float64 { return metric.LInf(a, b) }
+
+// Lp returns the Minkowski distance of order p ≥ 1.
+func Lp(p float64) DistanceFunc[[]float64] { return metric.Lp(p) }
+
+// WeightedLp returns a per-axis-weighted Minkowski distance of order
+// p ≥ 1 with positive weights, the weighted variant the paper sketches
+// for emphasizing image regions (§5.1.B).
+func WeightedLp(p float64, w []float64) DistanceFunc[[]float64] { return metric.WeightedLp(p, w) }
+
+// Scaled returns fn with every distance multiplied by a positive factor
+// (the paper's distance normalization).
+func Scaled[T any](fn DistanceFunc[T], factor float64) DistanceFunc[T] {
+	return metric.Scaled(fn, factor)
+}
+
+// EditDistance is the Levenshtein distance on strings; integer-valued,
+// so it also works with BK-trees.
+func EditDistance(a, b string) float64 { return metric.Edit(a, b) }
+
+// HammingDistance counts differing positions of two strings, extended to
+// unequal lengths by the length difference; integer-valued.
+func HammingDistance(a, b string) float64 { return metric.Hamming(a, b) }
+
+// Discrete returns the 0/1 metric on any comparable type.
+func Discrete[T comparable]() DistanceFunc[T] { return metric.Discrete[T]() }
+
+// Image is an 8-bit gray-level image, the paper's second data domain.
+type Image = pgm.Image
+
+// NewImage returns a black image of the given size.
+func NewImage(w, h int) *Image { return pgm.NewImage(w, h) }
+
+// ImageL1 is the pixel-wise L1 distance between gray-level images (the
+// paper treats a W×H image as a W·H-dimensional vector).
+func ImageL1(a, b *Image) float64 { return pgm.L1(a, b) }
+
+// ImageL2 is the pixel-wise Euclidean distance between gray-level
+// images.
+func ImageL2(a, b *Image) float64 { return pgm.L2(a, b) }
+
+// Angular is the angle (radians) between two non-zero vectors — the
+// metric form of cosine similarity. Scale-invariant; panics on zero
+// vectors. A metric on normalized vectors, a pseudometric otherwise.
+func Angular(a, b []float64) float64 { return metric.Angular(a, b) }
+
+// Jaccard is the Jaccard distance between two sets given as sorted,
+// duplicate-free string slices (see NormalizeSet).
+func Jaccard(a, b []string) float64 { return metric.Jaccard(a, b) }
+
+// NormalizeSet sorts and deduplicates a string slice in place into the
+// form Jaccard expects.
+func NormalizeSet(s []string) []string { return metric.NormalizeSet(s) }
+
+// Canberra is the Canberra distance on float64 vectors: the sum of
+// per-dimension relative differences |aᵢ−bᵢ|/(|aᵢ|+|bᵢ|).
+func Canberra(a, b []float64) float64 { return metric.Canberra(a, b) }

@@ -1,0 +1,154 @@
+package mvptree
+
+import (
+	"mvptree/internal/balltree"
+	"mvptree/internal/bktree"
+	"mvptree/internal/ghtree"
+	"mvptree/internal/gnat"
+	"mvptree/internal/index"
+	"mvptree/internal/laesa"
+	"mvptree/internal/linear"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/vptree"
+)
+
+// DistanceFunc computes the distance between two items; it must satisfy
+// the metric axioms (symmetry, identity, positivity, triangle
+// inequality) for correct query results.
+type DistanceFunc[T any] = metric.DistanceFunc[T]
+
+// Counter wraps a DistanceFunc and counts invocations — the paper's cost
+// measure. Every index owns one; read it via the index's Counter method.
+type Counter[T any] = metric.Counter[T]
+
+// NewCounter returns a Counter wrapping fn.
+func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] { return metric.NewCounter(fn) }
+
+// Neighbor is one k-nearest-neighbor result.
+type Neighbor[T any] = index.Neighbor[T]
+
+// Index is the query interface shared by every structure in this
+// library.
+type Index[T any] = index.Index[T]
+
+// CheckAxioms verifies the metric axioms of fn over a sample, with
+// tolerance eps on the triangle inequality. It is O(n³) in the sample
+// size; run it on a small sample before trusting a hand-written metric.
+func CheckAxioms[T any](fn DistanceFunc[T], sample []T, eps float64) error {
+	return metric.CheckAxioms(fn, sample, eps)
+}
+
+// Tree is a multi-vantage-point tree, the primary index of this library.
+type Tree[T any] = mvp.Tree[T]
+
+// Options configure mvp-tree construction: Partitions (m), LeafCapacity
+// (k), PathLength (p) and the vantage-point selection switches.
+type Options = mvp.Options
+
+// TreeStats describes the shape of a built mvp-tree.
+type TreeStats = mvp.Stats
+
+// New builds an mvp-tree over items with a fresh internal Counter.
+func New[T any](items []T, dist DistanceFunc[T], opts Options) (*Tree[T], error) {
+	return mvp.New(items, metric.NewCounter(dist), opts)
+}
+
+// NewWithCounter builds an mvp-tree measuring distances through an
+// existing Counter, so construction and query costs accumulate where the
+// caller wants them.
+func NewWithCounter[T any](items []T, dist *Counter[T], opts Options) (*Tree[T], error) {
+	return mvp.New(items, dist, opts)
+}
+
+// VPTree is a vantage-point tree [Uhl91, Yia93], the paper's baseline.
+type VPTree[T any] = vptree.Tree[T]
+
+// VPOptions configure vp-tree construction: Order (m), LeafCapacity and
+// the vantage-point selection strategy.
+type VPOptions = vptree.Options
+
+// Vantage-point selection strategies for VPOptions.Selection.
+const (
+	SelectRandom     = vptree.SelectRandom
+	SelectBestSpread = vptree.SelectBestSpread
+)
+
+// NewVP builds a vp-tree over items with a fresh internal Counter.
+func NewVP[T any](items []T, dist DistanceFunc[T], opts VPOptions) (*VPTree[T], error) {
+	return vptree.New(items, metric.NewCounter(dist), opts)
+}
+
+// NewVPWithCounter builds a vp-tree through an existing Counter.
+func NewVPWithCounter[T any](items []T, dist *Counter[T], opts VPOptions) (*VPTree[T], error) {
+	return vptree.New(items, dist, opts)
+}
+
+// GHTree is a generalized hyperplane tree [Uhl91].
+type GHTree[T any] = ghtree.Tree[T]
+
+// GHOptions configure gh-tree construction.
+type GHOptions = ghtree.Options
+
+// NewGH builds a gh-tree over items with a fresh internal Counter.
+func NewGH[T any](items []T, dist DistanceFunc[T], opts GHOptions) (*GHTree[T], error) {
+	return ghtree.New(items, metric.NewCounter(dist), opts)
+}
+
+// GNATree is a Geometric Near-neighbor Access Tree [Bri95].
+type GNATree[T any] = gnat.Tree[T]
+
+// GNATOptions configure GNAT construction.
+type GNATOptions = gnat.Options
+
+// NewGNAT builds a GNAT over items with a fresh internal Counter.
+func NewGNAT[T any](items []T, dist DistanceFunc[T], opts GNATOptions) (*GNATree[T], error) {
+	return gnat.New(items, metric.NewCounter(dist), opts)
+}
+
+// BKTree is a Burkhard–Keller tree [BK73] for integer-valued metrics
+// such as edit or Hamming distance. Unlike the other structures it
+// supports incremental Insert.
+type BKTree[T any] = bktree.Tree[T]
+
+// NewBK builds a BK-tree over items with a fresh internal Counter. The
+// metric must return non-negative integers.
+func NewBK[T any](items []T, dist DistanceFunc[T]) (*BKTree[T], error) {
+	return bktree.New(items, metric.NewCounter(dist))
+}
+
+// PivotTable is a pre-computed pivot-distance index in the spirit of
+// [SW90]/LAESA.
+type PivotTable[T any] = laesa.Table[T]
+
+// PivotOptions configure pivot-table construction.
+type PivotOptions = laesa.Options
+
+// NewPivotTable builds a pivot table over items with a fresh internal
+// Counter.
+func NewPivotTable[T any](items []T, dist DistanceFunc[T], opts PivotOptions) (*PivotTable[T], error) {
+	return laesa.New(items, metric.NewCounter(dist), opts)
+}
+
+// LinearScan is the brute-force baseline: every query costs exactly
+// Len() distance computations.
+type LinearScan[T any] = linear.Scan[T]
+
+// NewLinear builds a linear scan over items with a fresh internal
+// Counter.
+func NewLinear[T any](items []T, dist DistanceFunc[T]) *LinearScan[T] {
+	return linear.New(items, metric.NewCounter(dist))
+}
+
+// BallTree is the center/radius multi-way tree of [BK73]'s second
+// method — the ancestor of ball trees and M-trees, reviewed by the
+// paper in §3.2.
+type BallTree[T any] = balltree.Tree[T]
+
+// BallOptions configure ball-tree construction.
+type BallOptions = balltree.Options
+
+// NewBall builds a ball tree over items with a fresh internal Counter.
+func NewBall[T any](items []T, dist DistanceFunc[T], opts BallOptions) (*BallTree[T], error) {
+	return balltree.New(items, metric.NewCounter(dist), opts)
+}

@@ -1,0 +1,82 @@
+package mvptree
+
+import (
+	"io"
+
+	"mvptree/internal/bktree"
+	"mvptree/internal/codec"
+	"mvptree/internal/laesa"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/vptree"
+)
+
+// Persistence: a built tree is written to a stream and reloaded without
+// recomputing any distances — the expensive part of construction on the
+// metric domains this library targets. Items travel through an
+// encoder/decoder pair; built-in pairs cover the paper's three item
+// types. The metric itself is NOT serialized: Load must be given the
+// same distance function the tree was built with, or query results will
+// be silently wrong.
+
+// ItemEncoder serializes one item for persistence.
+type ItemEncoder[T any] = mvp.ItemEncoder[T]
+
+// ItemDecoder deserializes one item.
+type ItemDecoder[T any] = mvp.ItemDecoder[T]
+
+// SaveTree writes an mvp-tree to w.
+func SaveTree[T any](w io.Writer, t *Tree[T], enc ItemEncoder[T]) error {
+	return t.Save(w, enc)
+}
+
+// LoadTree reads an mvp-tree written by SaveTree, measuring future
+// queries through a fresh Counter over dist.
+func LoadTree[T any](r io.Reader, dist DistanceFunc[T], dec ItemDecoder[T]) (*Tree[T], error) {
+	return mvp.Load(r, metric.NewCounter(dist), mvp.ItemDecoder[T](dec))
+}
+
+// SaveVPTree writes a vp-tree to w.
+func SaveVPTree[T any](w io.Writer, t *VPTree[T], enc ItemEncoder[T]) error {
+	return t.Save(w, vptree.ItemEncoder[T](enc))
+}
+
+// LoadVPTree reads a vp-tree written by SaveVPTree.
+func LoadVPTree[T any](r io.Reader, dist DistanceFunc[T], dec ItemDecoder[T]) (*VPTree[T], error) {
+	return vptree.Load(r, metric.NewCounter(dist), vptree.ItemDecoder[T](dec))
+}
+
+// Built-in item codecs for the paper's domains.
+
+// EncodeVector and DecodeVector persist float64 vectors.
+func EncodeVector(v []float64) ([]byte, error) { return codec.EncodeVector(v) }
+func DecodeVector(b []byte) ([]float64, error) { return codec.DecodeVector(b) }
+
+// EncodeString and DecodeString persist strings.
+func EncodeString(s string) ([]byte, error) { return codec.EncodeString(s) }
+func DecodeString(b []byte) (string, error) { return codec.DecodeString(b) }
+
+// EncodeImage and DecodeImage persist gray-level images (as binary PGM).
+func EncodeImage(im *Image) ([]byte, error) { return codec.EncodeImage(im) }
+func DecodeImage(b []byte) (*Image, error)  { return codec.DecodeImage(b) }
+
+// SaveBKTree writes a BK-tree to w.
+func SaveBKTree[T any](w io.Writer, t *BKTree[T], enc ItemEncoder[T]) error {
+	return t.Save(w, bktree.ItemEncoder[T](enc))
+}
+
+// LoadBKTree reads a BK-tree written by SaveBKTree.
+func LoadBKTree[T any](r io.Reader, dist DistanceFunc[T], dec ItemDecoder[T]) (*BKTree[T], error) {
+	return bktree.Load(r, metric.NewCounter(dist), bktree.ItemDecoder[T](dec))
+}
+
+// SavePivotTable writes a pivot table to w. Reloading avoids the
+// pivots × n distance computations of construction.
+func SavePivotTable[T any](w io.Writer, t *PivotTable[T], enc ItemEncoder[T]) error {
+	return t.Save(w, laesa.ItemEncoder[T](enc))
+}
+
+// LoadPivotTable reads a pivot table written by SavePivotTable.
+func LoadPivotTable[T any](r io.Reader, dist DistanceFunc[T], dec ItemDecoder[T]) (*PivotTable[T], error) {
+	return laesa.Load(r, metric.NewCounter(dist), laesa.ItemDecoder[T](dec))
+}
