@@ -50,6 +50,7 @@ func run(out io.Writer, args []string) error {
 		imgDir     = fs.String("imgdir", "", "directory of PGM images to use instead of the synthetic collection")
 		pairs      = fs.Int("pairs", 0, "override sampled pairs for fig4/fig5")
 		dataSeed   = fs.Uint64("dataseed", 0, "override workload generation seed")
+		workers    = fs.Int("workers", 1, "query-evaluation goroutines per run (distance counts are identical for any value)")
 		csv        = fs.Bool("csv", false, "emit tables and histograms as CSV")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -86,6 +87,9 @@ func run(out io.Writer, args []string) error {
 	}
 	if *dataSeed > 0 {
 		cfg.DataSeed = *dataSeed
+	}
+	if *workers > 1 {
+		cfg.QueryWorkers = *workers
 	}
 	if *imgDir != "" {
 		imgs, err := dataset.LoadPGMDir(*imgDir)

@@ -83,3 +83,26 @@ func TestCSVOutput(t *testing.T) {
 		t.Errorf("histogram CSV:\n%s", sb.String())
 	}
 }
+
+// TestWorkersFlagPreservesCounts runs the same seeded experiment with
+// -workers 1 and -workers 8 and requires byte-identical CSV tables:
+// query parallelism must never change the reported distance counts.
+func TestWorkersFlagPreservesCounts(t *testing.T) {
+	runCSV := func(workers string) string {
+		var sb strings.Builder
+		err := run(&sb, []string{
+			"-experiment", "fig8", "-csv", "-quick",
+			"-n", "600", "-queries", "4", "-seeds", "2",
+			"-workers", workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		return sb.String()
+	}
+	seq := runCSV("1")
+	par := runCSV("8")
+	if seq != par {
+		t.Errorf("-workers changed the measured distance counts:\nworkers=1:\n%s\nworkers=8:\n%s", seq, par)
+	}
+}

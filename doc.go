@@ -37,10 +37,29 @@
 //
 // All indexes are static (bulk-built and immutable), matching the
 // paper's setting; rebuild to change contents. The BK-tree, naturally
-// incremental, additionally offers Insert. Indexes are safe for
-// concurrent reads only if distance counting is not inspected
-// concurrently; the Counter is deliberately unsynchronized because it
-// sits on the hot path of every query.
+// incremental, additionally offers Insert, and the dynamic store
+// serializes its updates against in-flight queries internally.
+//
+// # Concurrency
+//
+// Queries are safe to run concurrently: Range, KNN and their stats
+// variants mutate no index state, and the Counter is atomic. Note the
+// Counter is process-wide per index — concurrent queries interleave
+// their increments, so a Count delta brackets the *batch*, not any one
+// query. For per-query attribution under concurrency use
+// RangeWithStats / KNNWithStats, whose SearchStats are computed from
+// local traversal state. BatchRange and BatchKNN run a whole query
+// batch across a worker pool with deterministic results and counts:
+//
+//	results, stats := mvptree.BatchRange(tree, queries, 0.3,
+//		mvptree.BatchOptions{Workers: 8})
+//	// results[i] answers queries[i]; stats.Distances is identical
+//	// for any worker count.
+//
+// Construction (with or without Workers) and BK-tree or dynamic-store
+// mutation must still be externally serialized against queries on the
+// same index, except for the dynamic store's own Insert/Delete, which
+// take the store's internal lock.
 //
 // The internal packages carry the full implementations; this package
 // re-exports the public surface. See DESIGN.md for the system inventory

@@ -8,6 +8,7 @@ package mvptree_test
 import (
 	"bytes"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"mvptree"
@@ -117,5 +118,153 @@ func TestFullLifecycle(t *testing.T) {
 		if got, want := len(store.Range(q, 0.6)), len(modelScan.Range(q, 0.6)); got != want {
 			t.Fatalf("post-churn Range: %d vs %d", got, want)
 		}
+	}
+}
+
+// TestConcurrentQueriesAllStructures is the concurrency smoke test for
+// the public API: every exported index type serves a mixed Range/KNN
+// load from N goroutines sharing one instance, and every concurrent
+// answer must equal the sequential answer. Run under -race (CI does)
+// this also proves the query paths share no mutable state beyond the
+// atomic distance Counter.
+func TestConcurrentQueriesAllStructures(t *testing.T) {
+	rng := rand.New(rand.NewPCG(88, 2))
+	vectors := mvptree.UniformVectors(rng, 1200, 8)
+	vecQueries := mvptree.UniformVectors(rng, 6, 8)
+	words := []string{
+		"metric", "space", "vantage", "point", "tree", "index", "query",
+		"range", "neighbor", "distance", "triangle", "inequality", "shell",
+		"partition", "leaf", "path", "filter", "pivot", "search", "batch",
+	}
+	wordQueries := []string{"metric", "tre", "pint", "queery"}
+
+	type vecCase struct {
+		name  string
+		build func() (mvptree.Index[[]float64], error)
+	}
+	vecCases := []vecCase{
+		{"mvp", func() (mvptree.Index[[]float64], error) {
+			return mvptree.New(vectors, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Seed: 1})
+		}},
+		{"vp", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewVP(vectors, mvptree.L2, mvptree.VPOptions{Order: 3, Seed: 1})
+		}},
+		{"gh", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewGH(vectors, mvptree.L2, mvptree.GHOptions{})
+		}},
+		{"gnat", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewGNAT(vectors, mvptree.L2, mvptree.GNATOptions{})
+		}},
+		{"ball", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewBall(vectors, mvptree.L2, mvptree.BallOptions{})
+		}},
+		{"pivot", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewPivotTable(vectors, mvptree.L2, mvptree.PivotOptions{Pivots: 8, Seed: 1})
+		}},
+		{"general", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewGeneral(vectors, mvptree.L2, mvptree.GeneralOptions{Vantages: 3, Partitions: 2, Seed: 1})
+		}},
+		{"linear", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewLinear(vectors, mvptree.L2), nil
+		}},
+		{"dynamic", func() (mvptree.Index[[]float64], error) {
+			return mvptree.NewDynamic(vectors, mvptree.L2, mvptree.DynamicOptions{
+				Tree: mvptree.Options{Partitions: 2, LeafCapacity: 20, PathLength: 3, Seed: 1},
+			})
+		}},
+	}
+	for _, tc := range vecCases {
+		t.Run(tc.name, func(t *testing.T) {
+			idx, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkConcurrentAgreement(t, idx, vecQueries, 0.6, 5)
+		})
+	}
+	t.Run("bk", func(t *testing.T) {
+		idx, err := mvptree.NewBK(words, mvptree.EditDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkConcurrentAgreement(t, mvptree.Index[string](idx), wordQueries, 2, 3)
+	})
+}
+
+// checkConcurrentAgreement answers each query sequentially first, then
+// fires goroutines repeating the same mixed Range/KNN load concurrently
+// against the shared index and compares every answer.
+func checkConcurrentAgreement[T any](t *testing.T, idx mvptree.Index[T], queries []T, r float64, k int) {
+	t.Helper()
+	wantRange := make([][]T, len(queries))
+	wantKNN := make([][]mvptree.Neighbor[T], len(queries))
+	for i, q := range queries {
+		wantRange[i] = idx.Range(q, r)
+		wantKNN[i] = idx.KNN(q, k)
+	}
+	var wg sync.WaitGroup
+	const goroutines = 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				i := (g + rep) % len(queries)
+				q := queries[i]
+				if got := idx.Range(q, r); len(got) != len(wantRange[i]) {
+					t.Errorf("goroutine %d: Range returned %d items, sequential %d", g, len(got), len(wantRange[i]))
+					return
+				}
+				got := idx.KNN(q, k)
+				if len(got) != len(wantKNN[i]) {
+					t.Errorf("goroutine %d: KNN returned %d items, sequential %d", g, len(got), len(wantKNN[i]))
+					return
+				}
+				for j := range got {
+					if got[j].Dist != wantKNN[i][j].Dist {
+						t.Errorf("goroutine %d: KNN[%d].Dist = %g, sequential %g", g, j, got[j].Dist, wantKNN[i][j].Dist)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBatchExecutorPublicAPI drives the exported BatchRange/BatchKNN
+// wrappers end to end: deterministic results across worker counts and a
+// Counter delta that reconciles with the aggregated SearchStats.
+func TestBatchExecutorPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewPCG(89, 2))
+	vectors := mvptree.UniformVectors(rng, 1500, 8)
+	queries := mvptree.UniformVectors(rng, 12, 8)
+	tree, err := mvptree.New(vectors, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 40, PathLength: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Counter().Reset()
+	seqRes, seqStats := mvptree.BatchRange[[]float64](tree, queries, 0.5, mvptree.BatchOptions{Workers: 1})
+	tree.Counter().Reset()
+	parRes, parStats := mvptree.BatchRange[[]float64](tree, queries, 0.5, mvptree.BatchOptions{Workers: 8})
+	if seqStats.Distances != parStats.Distances {
+		t.Errorf("batch cost %d with 1 worker, %d with 8", seqStats.Distances, parStats.Distances)
+	}
+	if seqStats.Distances == 0 {
+		t.Error("batch made no distance computations")
+	}
+	if parStats.Search != seqStats.Search {
+		t.Errorf("aggregated SearchStats differ across worker counts")
+	}
+	if got := int64(parStats.Search.Computed + parStats.Search.VantagePoints); got != parStats.Distances {
+		t.Errorf("SearchStats account for %d computations, Counter delta %d", got, parStats.Distances)
+	}
+	for i := range queries {
+		if len(seqRes[i]) != len(parRes[i]) {
+			t.Errorf("query %d: %d results sequential, %d parallel", i, len(seqRes[i]), len(parRes[i]))
+		}
+	}
+	if _, stats := mvptree.BatchKNN[[]float64](tree, queries, 5, mvptree.BatchOptions{Workers: 4}); !stats.HasSearch {
+		t.Error("BatchKNN over an mvp-tree should aggregate SearchStats")
 	}
 }

@@ -12,6 +12,10 @@
 // left as a parameter"; this implementation assigns each key to its
 // closest center (centers picked greedily far apart, as in GNAT), which
 // keeps radii small — the quantity the center/radius bound prunes on.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package balltree
 
 import (

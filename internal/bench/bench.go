@@ -18,6 +18,7 @@ import (
 
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/qexec"
 )
 
 // Structure names one index structure and knows how to build it over an
@@ -64,31 +65,56 @@ var DefaultSeeds = []uint64{101, 202, 303, 404}
 
 // RunRange sweeps query radii: for every structure and every seed it
 // builds the index once, then answers every query at every radius,
-// counting distance computations per query.
+// counting distance computations per query. The optional workers
+// argument sets the query-batch parallelism per (structure, seed) run
+// (default 1, i.e. sequential); because each query's cost is
+// independent of its neighbors, the measured distance counts are
+// identical for every worker count.
 func RunRange[T any](items, queries []T, distFn metric.DistanceFunc[T],
-	structures []Structure[T], radii []float64, seeds []uint64) (*Table, error) {
-	return run(items, queries, distFn, structures, radii, seeds, "r",
-		func(idx index.Index[T], q T, r float64) int {
-			return len(idx.Range(q, r))
+	structures []Structure[T], radii []float64, seeds []uint64, workers ...int) (*Table, error) {
+	return run(items, queries, distFn, structures, radii, seeds, optWorkers(workers), "r",
+		func(idx index.Index[T], qs []T, r float64, w int) []int {
+			res, _ := qexec.RunRange(idx, qs, r, qexec.Options{Workers: w})
+			return resultCounts(res)
 		})
 }
 
-// RunKNN sweeps k values for k-nearest-neighbor queries.
+// RunKNN sweeps k values for k-nearest-neighbor queries. The optional
+// workers argument works as in RunRange.
 func RunKNN[T any](items, queries []T, distFn metric.DistanceFunc[T],
-	structures []Structure[T], ks []int, seeds []uint64) (*Table, error) {
+	structures []Structure[T], ks []int, seeds []uint64, workers ...int) (*Table, error) {
 	vals := make([]float64, len(ks))
 	for i, k := range ks {
 		vals[i] = float64(k)
 	}
-	return run(items, queries, distFn, structures, vals, seeds, "k",
-		func(idx index.Index[T], q T, k float64) int {
-			return len(idx.KNN(q, int(k)))
+	return run(items, queries, distFn, structures, vals, seeds, optWorkers(workers), "k",
+		func(idx index.Index[T], qs []T, k float64, w int) []int {
+			res, _ := qexec.RunKNN(idx, qs, int(k), qexec.Options{Workers: w})
+			return resultCounts(res)
 		})
 }
 
+// optWorkers resolves the optional trailing workers argument; zero and
+// negative values mean sequential.
+func optWorkers(workers []int) int {
+	if len(workers) > 0 && workers[0] > 1 {
+		return workers[0]
+	}
+	return 1
+}
+
+// resultCounts reduces per-query result sets to their sizes.
+func resultCounts[R any](res []([]R)) []int {
+	counts := make([]int, len(res))
+	for i, r := range res {
+		counts[i] = len(r)
+	}
+	return counts
+}
+
 func run[T any](items, queries []T, distFn metric.DistanceFunc[T],
-	structures []Structure[T], values []float64, seeds []uint64, label string,
-	query func(idx index.Index[T], q T, v float64) int) (*Table, error) {
+	structures []Structure[T], values []float64, seeds []uint64, workers int, label string,
+	batch func(idx index.Index[T], qs []T, v float64, w int) []int) (*Table, error) {
 
 	if len(structures) == 0 || len(values) == 0 {
 		return nil, errors.New("bench: need at least one structure and one sweep value")
@@ -142,10 +168,14 @@ func run[T any](items, queries []T, distFn metric.DistanceFunc[T],
 			cells := make([]Cell, len(values))
 			for vi, v := range values {
 				cells[vi].BuildCost = buildCost
-				for _, q := range queries {
-					counter.Reset()
-					n := query(idx, q, v)
-					cells[vi].AvgDistComps += float64(counter.Count())
+				// The batch total is measured as one Counter delta: the
+				// counter is atomic and per-query costs are independent,
+				// so the sum equals the sequential per-query sum for any
+				// worker count.
+				counter.Reset()
+				counts := batch(idx, queries, v, workers)
+				cells[vi].AvgDistComps = float64(counter.Count())
+				for _, n := range counts {
 					cells[vi].AvgResults += float64(n)
 				}
 			}

@@ -202,3 +202,49 @@ func TestSeedStdDev(t *testing.T) {
 		t.Errorf("seed stddev %g exceeds the mean %g", vp.SeedStdDev, vp.AvgDistComps)
 	}
 }
+
+// TestWorkersDoNotChangeCounts is the harness-level determinism
+// guarantee behind cmd/mvpbench -workers: evaluating the query batch in
+// parallel must reproduce the sequential distance counts and result
+// sizes exactly — parallelism trades wall-clock time only, never the
+// paper's cost metric.
+func TestWorkersDoNotChangeCounts(t *testing.T) {
+	items, queries := smallWorkload()
+	structures := []Structure[[]float64]{Linear[[]float64](), VPT[[]float64](2), MVPT[[]float64](2, 8, 3)}
+	radii := []float64{0.2, 0.5}
+	seeds := []uint64{1, 2}
+
+	seq, err := RunRange(items, queries, metric.L2, structures, radii, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunRange(items, queries, metric.L2, structures, radii, seeds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range seq.Values {
+		for si := range seq.Structures {
+			a, b := seq.Cells[vi][si], par.Cells[vi][si]
+			if a != b {
+				t.Errorf("%s=%g %s: workers=1 cell %+v, workers=8 cell %+v",
+					seq.Label, seq.Values[vi], seq.Structures[si], a, b)
+			}
+		}
+	}
+
+	seqK, err := RunKNN(items, queries, metric.L2, structures, []int{3, 7}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parK, err := RunKNN(items, queries, metric.L2, structures, []int{3, 7}, seeds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range seqK.Values {
+		for si := range seqK.Structures {
+			if seqK.Cells[vi][si] != parK.Cells[vi][si] {
+				t.Errorf("k=%g %s: parallel KNN cell differs", seqK.Values[vi], seqK.Structures[si])
+			}
+		}
+	}
+}

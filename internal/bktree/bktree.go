@@ -11,6 +11,9 @@
 //
 // Unlike the other structures in this repository, the BK-tree is
 // naturally incremental: Insert is exposed alongside bulk construction.
+//
+// Queries are safe to run concurrently against one tree, but Insert
+// mutates nodes and must be serialized against queries externally.
 package bktree
 
 import (

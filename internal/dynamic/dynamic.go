@@ -19,10 +19,16 @@
 // Internally the store indexes small integer IDs and resolves them to
 // items through its own table, which is what makes tombstoning possible
 // over arbitrary (non-comparable) item types.
+//
+// The store is safe for concurrent use: queries take a read lock and
+// resolve the query item through a private slot, while Insert, Delete
+// and Save take the write lock.
 package dynamic
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
@@ -41,13 +47,23 @@ type Options struct {
 	RebuildFraction float64
 }
 
-// queryID is the reserved ID the distance function resolves to the
-// in-flight query item.
-const queryID = -1
-
 // Store is a dynamic similarity index over a mutable item set.
+//
+// Store is safe for concurrent use: an RWMutex lets any number of
+// queries (Range, KNN, Len, ...) run concurrently with each other while
+// Insert, Delete and Save — which mutate the overflow buffer and
+// tombstones and may trigger a full rebuild — take the write side and
+// run exclusively. Each in-flight query additionally resolves its query
+// item through its own negative slot ID (see resolve), so concurrent
+// readers share no mutable state beyond the atomic distance Counter.
 type Store[T any] struct {
 	opts Options
+
+	// mu guards every field below except dist (whose count is atomic)
+	// and the query-slot machinery (queries, slotSeq), which has its
+	// own synchronization so readers holding only the read lock can
+	// register their query items.
+	mu sync.RWMutex
 
 	items []T    // backing table; IDs index into it
 	alive []bool // tombstones
@@ -58,7 +74,8 @@ type Store[T any] struct {
 	treeDead int            // tombstoned IDs inside the tree
 	buffer   []int          // IDs inserted since the last rebuild
 
-	query    T // resolved by queryID during a search
+	queries  sync.Map     // negative slot ID → in-flight query item (T)
+	slotSeq  atomic.Int64 // allocator for query slots
 	dist     *metric.Counter[int]
 	itemDist metric.DistanceFunc[T]
 	rebuilds int
@@ -91,15 +108,39 @@ func New[T any](items []T, dist metric.DistanceFunc[T], opts Options) (*Store[T]
 	return s, nil
 }
 
+// resolve maps an ID to its item: non-negative IDs index the backing
+// table, negative IDs are per-query slots registered by acquireQuery.
+// Slots let any number of concurrent searches present their (distinct)
+// query items to the shared tree-over-IDs without writing a shared
+// field.
 func (s *Store[T]) resolve(id int) T {
-	if id == queryID {
-		return s.query
+	if id < 0 {
+		v, ok := s.queries.Load(id)
+		if !ok {
+			panic("dynamic: distance requested for released query slot")
+		}
+		return v.(T)
 	}
 	return s.items[id]
 }
 
+// acquireQuery registers q under a fresh negative slot ID for the
+// duration of one search. releaseQuery must be called when the search
+// finishes.
+func (s *Store[T]) acquireQuery(q T) int {
+	slot := int(-s.slotSeq.Add(1)) // -1, -2, -3, ...
+	s.queries.Store(slot, q)
+	return slot
+}
+
+func (s *Store[T]) releaseQuery(slot int) { s.queries.Delete(slot) }
+
 // Len reports the number of live items.
-func (s *Store[T]) Len() int { return s.live }
+func (s *Store[T]) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
 
 // DistanceCount reports the total metric invocations made by the store,
 // including rebuilds.
@@ -107,13 +148,23 @@ func (s *Store[T]) DistanceCount() int64 { return s.dist.Count() }
 
 // Rebuilds reports how many times the underlying tree has been rebuilt
 // (the initial construction counts as one).
-func (s *Store[T]) Rebuilds() int { return s.rebuilds }
+func (s *Store[T]) Rebuilds() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rebuilds
+}
 
 // Buffered reports the current overflow-buffer size (diagnostics).
-func (s *Store[T]) Buffered() int { return len(s.buffer) }
+func (s *Store[T]) Buffered() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.buffer)
+}
 
 // Insert adds one item. Amortized cost: O(log n) distance computations.
 func (s *Store[T]) Insert(item T) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := len(s.items)
 	s.items = append(s.items, item)
 	s.alive = append(s.alive, true)
@@ -126,9 +177,12 @@ func (s *Store[T]) Insert(item T) error {
 // (delete-by-value, the only identity a metric space offers) and
 // reports how many were removed.
 func (s *Store[T]) Delete(item T) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	removed := 0
-	s.query = item
-	for _, id := range s.tree.Range(queryID, 0) {
+	slot := s.acquireQuery(item)
+	defer s.releaseQuery(slot)
+	for _, id := range s.tree.Range(slot, 0) {
 		if s.alive[id] {
 			s.alive[id] = false
 			s.treeDead++
@@ -138,7 +192,7 @@ func (s *Store[T]) Delete(item T) (int, error) {
 	}
 	kept := s.buffer[:0]
 	for _, id := range s.buffer {
-		if s.alive[id] && s.dist.Distance(queryID, id) == 0 {
+		if s.alive[id] && s.dist.Distance(slot, id) == 0 {
 			s.alive[id] = false
 			s.live--
 			removed++
@@ -191,20 +245,25 @@ func (s *Store[T]) rebuild() error {
 	return nil
 }
 
-// Range returns every live item within distance r of q.
+// Range returns every live item within distance r of q. Any number of
+// Range/KNN calls may run concurrently; they block only while an update
+// holds the write lock.
 func (s *Store[T]) Range(q T, r float64) []T {
 	if r < 0 {
 		return nil
 	}
-	s.query = q
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot := s.acquireQuery(q)
+	defer s.releaseQuery(slot)
 	var out []T
-	for _, id := range s.tree.Range(queryID, r) {
+	for _, id := range s.tree.Range(slot, r) {
 		if s.alive[id] {
 			out = append(out, s.items[id])
 		}
 	}
 	for _, id := range s.buffer {
-		if s.alive[id] && s.dist.Distance(queryID, id) <= r {
+		if s.alive[id] && s.dist.Distance(slot, id) <= r {
 			out = append(out, s.items[id])
 		}
 	}
@@ -214,13 +273,19 @@ func (s *Store[T]) Range(q T, r float64) []T {
 // KNN returns the k live items nearest to q in ascending distance
 // order.
 func (s *Store[T]) KNN(q T, k int) []index.Neighbor[T] {
-	if k <= 0 || s.live == 0 {
+	if k <= 0 {
 		return nil
 	}
-	s.query = q
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.live == 0 {
+		return nil
+	}
+	slot := s.acquireQuery(q)
+	defer s.releaseQuery(slot)
 	// The tree may return tombstoned items; ask for enough extras to
 	// guarantee k live ones among the answers.
-	fromTree := s.tree.KNN(queryID, k+s.treeDead)
+	fromTree := s.tree.KNN(slot, k+s.treeDead)
 	best := heapx.NewKBest[T](k)
 	for _, nb := range fromTree {
 		if s.alive[nb.Item] {
@@ -229,7 +294,7 @@ func (s *Store[T]) KNN(q T, k int) []index.Neighbor[T] {
 	}
 	for _, id := range s.buffer {
 		if s.alive[id] {
-			best.Push(s.items[id], s.dist.Distance(queryID, id))
+			best.Push(s.items[id], s.dist.Distance(slot, id))
 		}
 	}
 	return best.Sorted()

@@ -11,15 +11,18 @@ import (
 
 // RangeFarther returns every live item at distance ≥ r from q.
 func (s *Store[T]) RangeFarther(q T, r float64) []T {
-	s.query = q
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot := s.acquireQuery(q)
+	defer s.releaseQuery(slot)
 	var out []T
-	for _, id := range s.tree.RangeFarther(queryID, r) {
+	for _, id := range s.tree.RangeFarther(slot, r) {
 		if s.alive[id] {
 			out = append(out, s.items[id])
 		}
 	}
 	for _, id := range s.buffer {
-		if s.alive[id] && s.dist.Distance(queryID, id) >= r {
+		if s.alive[id] && s.dist.Distance(slot, id) >= r {
 			out = append(out, s.items[id])
 		}
 	}
@@ -29,11 +32,17 @@ func (s *Store[T]) RangeFarther(q T, r float64) []T {
 // KFarthest returns the k live items farthest from q in descending
 // distance order.
 func (s *Store[T]) KFarthest(q T, k int) []index.Neighbor[T] {
-	if k <= 0 || s.live == 0 {
+	if k <= 0 {
 		return nil
 	}
-	s.query = q
-	fromTree := s.tree.KFarthest(queryID, k+s.treeDead)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.live == 0 {
+		return nil
+	}
+	slot := s.acquireQuery(q)
+	defer s.releaseQuery(slot)
+	fromTree := s.tree.KFarthest(slot, k+s.treeDead)
 	best := heapx.NewKLargest[T](k)
 	for _, nb := range fromTree {
 		if s.alive[nb.Item] {
@@ -42,7 +51,7 @@ func (s *Store[T]) KFarthest(q T, k int) []index.Neighbor[T] {
 	}
 	for _, id := range s.buffer {
 		if s.alive[id] {
-			best.Push(s.items[id], s.dist.Distance(queryID, id))
+			best.Push(s.items[id], s.dist.Distance(slot, id))
 		}
 	}
 	return best.Sorted()

@@ -28,7 +28,11 @@ const saveMagic = "MVPDYN1"
 // Save compacts the store and writes it to w. Note the compaction: Save
 // is a mutating operation (equivalent to a rebuild), which is also what
 // makes the saved form simple — pure tree, no buffer, no tombstones.
+// Like Insert and Delete it takes the write lock, excluding queries for
+// its duration.
 func (s *Store[T]) Save(w io.Writer, enc ItemEncoder[T]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.rebuild(); err != nil {
 		return err
 	}

@@ -43,6 +43,13 @@ type Config struct {
 	DataSeed  uint64
 	TreeSeeds []uint64
 
+	// QueryWorkers parallelizes query evaluation within each
+	// (structure, seed) run (cmd/mvpbench -workers). Values <= 1 run
+	// queries sequentially. The worker count never changes the
+	// measured distance counts — each query's cost is independent —
+	// only wall-clock time.
+	QueryWorkers int
+
 	// ImageSet, when non-nil, replaces the synthetic image workload —
 	// the hook for running the image experiments against a real
 	// collection (cmd/mvpbench -imgdir). ImageDim must be set to the
@@ -194,26 +201,26 @@ func Fig7(c Config) *histogram.Histogram {
 // uniform vector dataset for vpt(2), vpt(3), mvpt(3,9), mvpt(3,80).
 func Fig8(c Config) (*bench.Table, error) {
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		VectorStructures(), Fig8Radii, c.TreeSeeds)
+		VectorStructures(), Fig8Radii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // Fig9 regenerates Figure 9: the same four structures on the clustered
 // vector dataset.
 func Fig9(c Config) (*bench.Table, error) {
 	return bench.RunRange(c.ClusteredVectors(), c.VectorQueries(), metric.L2,
-		VectorStructures(), Fig9Radii, c.TreeSeeds)
+		VectorStructures(), Fig9Radii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // Fig10 regenerates Figure 10: image similarity search under L1.
 func Fig10(c Config) (*bench.Table, error) {
 	imgs := c.Images()
 	return bench.RunRange(imgs, c.ImageQuerySet(imgs), c.ImageL1(),
-		ImageStructures(), ImageRadii, c.TreeSeeds)
+		ImageStructures(), ImageRadii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // Fig11 regenerates Figure 11: image similarity search under L2.
 func Fig11(c Config) (*bench.Table, error) {
 	imgs := c.Images()
 	return bench.RunRange(imgs, c.ImageQuerySet(imgs), c.ImageL2(),
-		ImageStructures(), ImageRadii, c.TreeSeeds)
+		ImageStructures(), ImageRadii, c.TreeSeeds, c.QueryWorkers)
 }

@@ -38,7 +38,7 @@ func AblationP(c Config) (*bench.Table, error) {
 		})
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // AblationKValues are the leaf capacities swept by AblationK.
@@ -52,7 +52,7 @@ func AblationK(c Config) (*bench.Table, error) {
 		structures = append(structures, bench.MVPT[[]float64](3, k, 5))
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // AblationSV2 quantifies the farthest-point choice of the second vantage
@@ -63,7 +63,7 @@ func AblationSV2(c Config) (*bench.Table, error) {
 		bench.MVPTRandomSV2[[]float64](3, 80, 5),
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // KNNKs are the neighbor counts swept by KNNStudy.
@@ -80,7 +80,7 @@ func KNNStudy(c Config) (*bench.Table, error) {
 		bench.LAESA[[]float64](32),
 	)
 	return bench.RunKNN(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, KNNKs, c.TreeSeeds)
+		structures, KNNKs, c.TreeSeeds, c.QueryWorkers)
 }
 
 // StructureStudy compares the related structures the paper reviews in
@@ -97,7 +97,7 @@ func StructureStudy(c Config) (*bench.Table, error) {
 		bench.LAESA[[]float64](32),
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // WordRadii are the edit-distance query radii swept by WordStudy.
@@ -115,7 +115,7 @@ func WordStudy(c Config) (*bench.Table, error) {
 		bench.VPT[string](3),
 		bench.MVPT[string](2, 20, 4),
 	}
-	return bench.RunRange(words, queries, metric.Edit, structures, WordRadii, c.TreeSeeds)
+	return bench.RunRange(words, queries, metric.Edit, structures, WordRadii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // VantageStudy sweeps the number of vantage points per node at roughly
@@ -131,7 +131,7 @@ func VantageStudy(c Config) (*bench.Table, error) {
 		bench.MVPT[[]float64](3, 80, 5), // reference implementation of v=2
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
 }
 
 // BuildStudy measures construction cost (distance computations) for
@@ -150,5 +150,5 @@ func BuildStudy(c Config) (*bench.Table, error) {
 	}
 	// A single token radius: only the BuildCost column matters here.
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries()[:1], metric.L2,
-		structures, []float64{0.1}, c.TreeSeeds)
+		structures, []float64{0.1}, c.TreeSeeds, c.QueryWorkers)
 }

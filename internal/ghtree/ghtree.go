@@ -7,6 +7,10 @@
 // rather than a spherical cut). A subtree can be pruned when the query
 // ball cannot cross the hyperplane: if d(q,p1) − d(q,p2) > 2r, no point
 // closer to p1 than to p2 can be within r of q.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package ghtree
 
 import (

@@ -12,6 +12,10 @@
 // on, giving fanout m^v with only v vantage points. As in the mvp-tree,
 // every vantage distance computed during construction is retained for
 // leaf points up to the PATH cap p and reused as a query-time filter.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package gmvp
 
 import (

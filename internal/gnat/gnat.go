@@ -10,6 +10,10 @@
 // and discards any dataset whose range around any split point cannot
 // intersect the query ball, often eliminating datasets without ever
 // touching their split point.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package gnat
 
 import (

@@ -12,6 +12,10 @@
 // them. This makes the filtering power of pre-computed distances — the
 // same mechanism the mvp-tree moves into its leaves — measurable in
 // isolation.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package laesa
 
 import (
@@ -38,7 +42,6 @@ type Table[T any] struct {
 	items     []T
 	pivots    []T
 	table     [][]float64 // table[j][i] = d(pivots[j], items[i])
-	qbuf      []float64   // scratch: query-to-pivot distances
 	dist      *metric.Counter[T]
 	buildCost int64
 }
@@ -89,7 +92,6 @@ func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Table[T], er
 		t.table = append(t.table, row)
 		cur = far
 	}
-	t.qbuf = make([]float64, p)
 	t.buildCost = dist.Count() - before
 	return t, nil
 }
@@ -107,19 +109,23 @@ func (t *Table[T]) Pivots() int { return len(t.pivots) }
 // construction (pivots × n).
 func (t *Table[T]) BuildCost() int64 { return t.buildCost }
 
-// queryPivots fills qbuf with the query's distances to all pivots.
-func (t *Table[T]) queryPivots(q T) {
+// queryPivots returns the query's distances to all pivots. The slice is
+// allocated per query so that concurrent queries never share scratch
+// state.
+func (t *Table[T]) queryPivots(q T) []float64 {
+	qd := make([]float64, len(t.pivots))
 	for j, pv := range t.pivots {
-		t.qbuf[j] = t.dist.Distance(q, pv)
+		qd[j] = t.dist.Distance(q, pv)
 	}
+	return qd
 }
 
-// lowerBound returns max_j |qbuf[j] − table[j][i]|, a lower bound on
+// lowerBound returns max_j |qd[j] − table[j][i]|, a lower bound on
 // d(q, items[i]) by the triangle inequality.
-func (t *Table[T]) lowerBound(i int) float64 {
+func (t *Table[T]) lowerBound(qd []float64, i int) float64 {
 	var lb float64
 	for j := range t.pivots {
-		d := t.qbuf[j] - t.table[j][i]
+		d := qd[j] - t.table[j][i]
 		if d < 0 {
 			d = -d
 		}
@@ -135,10 +141,10 @@ func (t *Table[T]) Range(q T, r float64) []T {
 	if r < 0 || len(t.items) == 0 {
 		return nil
 	}
-	t.queryPivots(q)
+	qd := t.queryPivots(q)
 	var out []T
 	for i, it := range t.items {
-		if t.lowerBound(i) > r {
+		if t.lowerBound(qd, i) > r {
 			continue
 		}
 		if t.dist.Distance(q, it) <= r {
@@ -155,10 +161,10 @@ func (t *Table[T]) KNN(q T, k int) []index.Neighbor[T] {
 	if k <= 0 || len(t.items) == 0 {
 		return nil
 	}
-	t.queryPivots(q)
+	qd := t.queryPivots(q)
 	var queue heapx.NodeQueue[int]
 	for i := range t.items {
-		queue.PushNode(i, t.lowerBound(i))
+		queue.PushNode(i, t.lowerBound(qd, i))
 	}
 	best := heapx.NewKBest[T](k)
 	for {

@@ -113,6 +113,5 @@ func Load[T any](r io.Reader, dist *metric.Counter[T], dec ItemDecoder[T]) (*Tab
 		}
 		t.table[j] = row
 	}
-	t.qbuf = make([]float64, len(t.pivots))
 	return t, nil
 }

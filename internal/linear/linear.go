@@ -2,6 +2,10 @@
 // every indexed item. It is the ground truth the tree structures are
 // validated against and the worst-case baseline in the benchmarks: a
 // range query always costs exactly n distance computations.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package linear
 
 import (

@@ -1,0 +1,60 @@
+package metric
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrentDistance is the regression test for the atomic
+// count: before the fix, concurrent c.count++ increments were lost (and
+// flagged by -race). The final count must equal the exact number of
+// Distance calls made across all goroutines.
+func TestCounterConcurrentDistance(t *testing.T) {
+	c := NewCounter(L2)
+	a, b := []float64{0, 0}, []float64{3, 4}
+	const goroutines = 8
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if d := c.Distance(a, b); d != 5 {
+					t.Errorf("Distance = %g, want 5", d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Count(), int64(goroutines*perG); got != want {
+		t.Fatalf("Count = %d after %d concurrent calls, want %d (lost increments)", got, want, want)
+	}
+}
+
+// TestCounterConcurrentAdd checks that the parallel-construction path
+// (Add) is also safe to mix with Distance across goroutines.
+func TestCounterConcurrentAdd(t *testing.T) {
+	c := NewCounter(L2)
+	a, b := []float64{1}, []float64{2}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(2)
+				c.Distance(a, b)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Count(), int64(4*1000*3); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatalf("Count = %d after Reset", c.Count())
+	}
+}

@@ -15,6 +15,8 @@
 // the metric exclusively through a Counter.
 package metric
 
+import "sync/atomic"
+
 // DistanceFunc computes the distance between two items of type T. It must
 // satisfy the metric axioms documented in the package comment for the
 // index structures built on top of it to return correct results.
@@ -23,12 +25,17 @@ type DistanceFunc[T any] func(a, b T) float64
 // Counter wraps a DistanceFunc and counts invocations. It is the cost
 // meter used by every index structure and benchmark in this repository.
 //
-// Counter is not safe for concurrent use; each index owns its own
-// Counter and searches on one index must not run concurrently when
-// counts are being read.
+// Counter is safe for concurrent use: the count is a single atomic
+// word, so queries sharing one index (and therefore one Counter) may
+// run on any number of goroutines, provided the wrapped DistanceFunc is
+// itself safe for concurrent calls (all built-in metrics are). Note the
+// count is shared across every goroutine using the Counter; to attribute
+// distance computations to one query while others are in flight, use the
+// per-query SearchStats variants (RangeWithStats, KNNWithStats) instead
+// of Count deltas.
 type Counter[T any] struct {
 	fn    DistanceFunc[T]
-	count int64
+	count atomic.Int64
 }
 
 // NewCounter returns a Counter wrapping fn.
@@ -38,20 +45,20 @@ func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] {
 
 // Distance computes fn(a, b) and increments the invocation count.
 func (c *Counter[T]) Distance(a, b T) float64 {
-	c.count++
+	c.count.Add(1)
 	return c.fn(a, b)
 }
 
 // Count reports the number of Distance calls since the last Reset.
-func (c *Counter[T]) Count() int64 { return c.count }
+func (c *Counter[T]) Count() int64 { return c.count.Load() }
 
 // Add records n distance computations performed outside Distance — used
 // by parallel construction, which evaluates the raw function on worker
 // goroutines and settles the count once afterwards.
-func (c *Counter[T]) Add(n int64) { c.count += n }
+func (c *Counter[T]) Add(n int64) { c.count.Add(n) }
 
 // Reset sets the invocation count back to zero.
-func (c *Counter[T]) Reset() { c.count = 0 }
+func (c *Counter[T]) Reset() { c.count.Store(0) }
 
 // Func returns the wrapped distance function, uncounted.
 func (c *Counter[T]) Func() DistanceFunc[T] { return c.fn }

@@ -1,0 +1,109 @@
+package mvp
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+// TestConcurrentQueriesCountExactly shares one tree between concurrent
+// Range and KNN queries and reconciles the shared atomic Counter
+// against the per-query SearchStats: the final count must equal the sum
+// of every query's Computed + VantagePoints delta. Before the Counter
+// became atomic this lost increments (and failed under -race).
+func TestConcurrentQueriesCountExactly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 4))
+	w := testutil.NewVectorWorkload(rng, 3000, 10, 16, metric.L2)
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 3})
+
+	// Sequential reference answers, one per (query, kind).
+	type answer struct {
+		rangeLen int
+		knnDists []float64
+	}
+	want := make([]answer, len(w.Queries))
+	for i, q := range w.Queries {
+		want[i].rangeLen = len(tree.Range(q, 0.6))
+		for _, nb := range tree.KNN(q, 7) {
+			want[i].knnDists = append(want[i].knnDists, nb.Dist)
+		}
+	}
+
+	c.Reset()
+	var statsTotal atomic.Int64
+	var wg sync.WaitGroup
+	const rounds = 4
+	for round := 0; round < rounds; round++ {
+		for i, q := range w.Queries {
+			wg.Add(2)
+			go func(i, round int, q int) {
+				defer wg.Done()
+				out, s := tree.RangeWithStats(q, 0.6)
+				statsTotal.Add(int64(s.Computed + s.VantagePoints))
+				if len(out) != want[i].rangeLen {
+					t.Errorf("concurrent Range(q=%d) returned %d items, sequential %d", q, len(out), want[i].rangeLen)
+				}
+			}(i, round, q)
+			go func(i, round int, q int) {
+				defer wg.Done()
+				nn, s := tree.KNNWithStats(q, 7)
+				statsTotal.Add(int64(s.Computed + s.VantagePoints))
+				if len(nn) != len(want[i].knnDists) {
+					t.Errorf("concurrent KNN(q=%d) returned %d items, sequential %d", q, len(nn), len(want[i].knnDists))
+					return
+				}
+				for j, nb := range nn {
+					if nb.Dist != want[i].knnDists[j] {
+						t.Errorf("concurrent KNN(q=%d)[%d].Dist = %g, sequential %g", q, j, nb.Dist, want[i].knnDists[j])
+						return
+					}
+				}
+			}(i, round, q)
+		}
+	}
+	wg.Wait()
+	if got := c.Count(); got != statsTotal.Load() {
+		t.Fatalf("shared counter says %d distance computations, per-query stats sum to %d", got, statsTotal.Load())
+	}
+}
+
+// TestKNNMatchesKNNWithStats pins the unification of the two kNN
+// implementations: on a seeded workload, KNN and KNNWithStats must
+// return identical neighbors and make identical numbers of distance
+// computations.
+func TestKNNMatchesKNNWithStats(t *testing.T) {
+	rng := rand.New(rand.NewPCG(72, 4))
+	w := testutil.NewVectorWorkload(rng, 2500, 12, 12, metric.L2)
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 11})
+	for _, q := range w.Queries {
+		for _, k := range []int{1, 5, 10} {
+			c.Reset()
+			plain := tree.KNN(q, k)
+			plainCost := c.Count()
+
+			c.Reset()
+			stats, s := tree.KNNWithStats(q, k)
+			statsCost := c.Count()
+
+			if plainCost != statsCost {
+				t.Fatalf("k=%d: KNN made %d distance computations, KNNWithStats %d", k, plainCost, statsCost)
+			}
+			if int64(s.Computed+s.VantagePoints) != statsCost {
+				t.Fatalf("k=%d: stats account for %d computations, counter says %d", k, s.Computed+s.VantagePoints, statsCost)
+			}
+			if len(plain) != len(stats) {
+				t.Fatalf("k=%d: result sizes %d vs %d", k, len(plain), len(stats))
+			}
+			for i := range plain {
+				if plain[i].Item != stats[i].Item || plain[i].Dist != stats[i].Dist {
+					t.Fatalf("k=%d: result[%d] differs: %v/%g vs %v/%g",
+						k, i, plain[i].Item, plain[i].Dist, stats[i].Item, stats[i].Dist)
+				}
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package mvp
 
 import (
-	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 )
 
@@ -13,96 +12,13 @@ import (
 // queries exactly as they do for range queries. (Nearest-neighbor search
 // over vp-tree-style structures follows [Chi94]; the paper lists kNN as
 // a straightforward variation of the near-neighbor query.)
+//
+// KNN delegates to KNNWithStats so there is exactly one traversal
+// implementation; the two are guaranteed to agree in both results and
+// distance computations.
 func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
-	if k <= 0 || t.root == nil {
-		return nil
-	}
-	best := heapx.NewKBest[T](k)
-	type pending struct {
-		n     *node[T]
-		qpath []float64
-	}
-	var queue heapx.NodeQueue[pending]
-	queue.PushNode(pending{t.root, make([]float64, 0, t.p)}, 0)
-	for {
-		pn, bound, ok := queue.PopNode()
-		if !ok {
-			break
-		}
-		if !best.Accepts(bound) {
-			break
-		}
-		n, qpath := pn.n, pn.qpath
-		if n.isLeaf() {
-			t.knnLeaf(n, q, qpath, best)
-			continue
-		}
-		d1 := t.dist.Distance(q, n.sv1)
-		best.Push(n.sv1, d1)
-		d2 := t.dist.Distance(q, n.sv2)
-		best.Push(n.sv2, d2)
-		if len(qpath) < t.p {
-			// Copy before extending: sibling queue entries share the
-			// parent's backing array.
-			ext := make([]float64, len(qpath), t.p)
-			copy(ext, qpath)
-			ext = append(ext, d1)
-			if len(ext) < t.p {
-				ext = append(ext, d2)
-			}
-			qpath = ext
-		}
-		for g, row := range n.children {
-			lo1, hi1 := shellBounds(n.cut1, g)
-			lb1 := intervalGap(d1, lo1, hi1)
-			if !best.Accepts(max(lb1, bound)) {
-				continue
-			}
-			for h, c := range row {
-				if c == nil {
-					continue
-				}
-				lo2, hi2 := shellBounds(n.cut2[g], h)
-				lb := max(bound, lb1, intervalGap(d2, lo2, hi2))
-				if best.Accepts(lb) {
-					queue.PushNode(pending{c, qpath}, lb)
-				}
-			}
-		}
-	}
-	return best.Sorted()
-}
-
-func (t *Tree[T]) knnLeaf(n *node[T], q T, qpath []float64, best *heapx.KBest[T]) {
-	if !n.hasSV1 {
-		return
-	}
-	d1 := t.dist.Distance(q, n.sv1)
-	best.Push(n.sv1, d1)
-	var d2 float64
-	if n.hasSV2 {
-		d2 = t.dist.Distance(q, n.sv2)
-		best.Push(n.sv2, d2)
-	}
-	for i, it := range n.items {
-		// Lower-bound the true distance by every pre-computed
-		// distance before paying for the real computation.
-		lb := abs(d1 - n.d1[i])
-		if n.hasSV2 {
-			if b := abs(d2 - n.d2[i]); b > lb {
-				lb = b
-			}
-		}
-		path := n.paths[i]
-		for l := 0; l < len(path) && l < len(qpath); l++ {
-			if b := abs(qpath[l] - path[l]); b > lb {
-				lb = b
-			}
-		}
-		if best.Accepts(lb) {
-			best.Push(it, t.dist.Distance(q, it))
-		}
-	}
+	out, _ := t.KNNWithStats(q, k)
+	return out
 }
 
 func abs(x float64) float64 {

@@ -21,6 +21,10 @@
 // vantage points (the D1/D2 arrays of the paper), and leaf capacity k is
 // typically made large so that most points live in leaves, delaying the
 // major filtering step to the leaf level where it is cheapest.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package mvp
 
 import (

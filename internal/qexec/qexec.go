@@ -1,0 +1,183 @@
+// Package qexec is a worker-pool batch-query executor over any
+// index.Index. It exists because the indexes in this repository are
+// read-mostly after a static build and — now that the distance Counter
+// is atomic and every query path has been audited free of shared
+// mutable state — a single shared index can legally serve many queries
+// at once. qexec turns that property into throughput: a batch of
+// queries is striped over a configurable number of worker goroutines,
+// each answering its share against the one shared index.
+//
+// Three guarantees make the executor fit the paper's methodology:
+//
+//   - Deterministic results: results[i] always answers queries[i], and
+//     each individual query is answered by the exact same traversal the
+//     sequential path runs, so result sets (and their order within one
+//     query) do not depend on the worker count.
+//
+//   - Deterministic cost: the number of distance computations of a
+//     query does not depend on what other queries run beside it, so the
+//     batch total — measured as an atomic Counter delta — is identical
+//     for every worker count. Parallelism changes wall-clock time only,
+//     never the paper's cost metric.
+//
+//   - Deterministic attribution: queries are striped (worker w answers
+//     queries w, w+W, w+2W, ...), so per-worker SearchStats aggregates
+//     are reproducible run to run, not an artifact of scheduling.
+package qexec
+
+import (
+	"runtime"
+	"sync"
+
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+)
+
+// Options configure a batch run.
+type Options struct {
+	// Workers is the number of goroutines answering queries. Values
+	// <= 0 mean runtime.GOMAXPROCS(0). A worker count of 1 reproduces
+	// the plain sequential loop.
+	Workers int
+}
+
+// WorkerStats is the per-worker slice of a batch: how many queries the
+// worker answered and, when the index exposes the stats query variants
+// (RangeWithStats / KNNWithStats, as the mvp-tree does), the sum of its
+// queries' SearchStats.
+type WorkerStats struct {
+	Queries int
+	Search  mvp.SearchStats
+}
+
+// Stats summarize one batch run.
+type Stats struct {
+	// Queries is the batch size, Workers the worker count actually
+	// used (capped at the batch size).
+	Queries int
+	Workers int
+	// Distances is the Counter delta across the whole batch when the
+	// index exposes its Counter, 0 otherwise. The Counter is shared
+	// and atomic, so this is exact for the batch as a whole; for
+	// per-query attribution use the SearchStats aggregates.
+	Distances int64
+	// HasSearch reports whether the index exposed a stats query
+	// variant; Search and the PerWorker Search fields are only
+	// meaningful when it is true.
+	HasSearch bool
+	// Search is the SearchStats sum over the whole batch.
+	Search mvp.SearchStats
+	// PerWorker is indexed by worker; worker w answered queries
+	// w, w+Workers, w+2·Workers, ...
+	PerWorker []WorkerStats
+}
+
+// counterIndex is satisfied by every tree in this repository; it lets
+// the executor measure the batch's distance-computation total.
+type counterIndex[T any] interface {
+	Counter() *metric.Counter[T]
+}
+
+// rangeStatser and knnStatser are satisfied by indexes offering
+// per-query stats breakdowns with the mvp-tree's SearchStats shape.
+type rangeStatser[T any] interface {
+	RangeWithStats(q T, r float64) ([]T, mvp.SearchStats)
+}
+
+type knnStatser[T any] interface {
+	KNNWithStats(q T, k int) ([]index.Neighbor[T], mvp.SearchStats)
+}
+
+// RunRange answers a range query at radius r for every query point,
+// returning results[i] = idx.Range(queries[i], r) plus batch stats.
+func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) ([][]T, Stats) {
+	if rs, ok := idx.(rangeStatser[T]); ok {
+		return run(idx, queries, opts, true, func(q T) ([]T, mvp.SearchStats) {
+			return rs.RangeWithStats(q, r)
+		})
+	}
+	return run(idx, queries, opts, false, func(q T) ([]T, mvp.SearchStats) {
+		return idx.Range(q, r), mvp.SearchStats{}
+	})
+}
+
+// RunKNN answers a k-nearest-neighbor query for every query point,
+// returning results[i] = idx.KNN(queries[i], k) plus batch stats.
+func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]index.Neighbor[T], Stats) {
+	if ks, ok := idx.(knnStatser[T]); ok {
+		return run(idx, queries, opts, true, func(q T) ([]index.Neighbor[T], mvp.SearchStats) {
+			return ks.KNNWithStats(q, k)
+		})
+	}
+	return run(idx, queries, opts, false, func(q T) ([]index.Neighbor[T], mvp.SearchStats) {
+		return idx.KNN(q, k), mvp.SearchStats{}
+	})
+}
+
+// run stripes the batch over the worker pool. one answers a single
+// query; hasStats reports whether its SearchStats are real.
+func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats bool,
+	one func(q T) (R, mvp.SearchStats)) ([]R, Stats) {
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats := Stats{
+		Queries:   len(queries),
+		Workers:   workers,
+		HasSearch: hasStats,
+		PerWorker: make([]WorkerStats, workers),
+	}
+	var ctr *metric.Counter[T]
+	var before int64
+	if ci, ok := idx.(counterIndex[T]); ok {
+		ctr = ci.Counter()
+		before = ctr.Count()
+	}
+	results := make([]R, len(queries))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &stats.PerWorker[w]
+			for i := w; i < len(queries); i += workers {
+				res, s := one(queries[i])
+				results[i] = res
+				ws.Queries++
+				if hasStats {
+					addSearch(&ws.Search, s)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ctr != nil {
+		stats.Distances = ctr.Count() - before
+	}
+	for _, ws := range stats.PerWorker {
+		addSearch(&stats.Search, ws.Search)
+	}
+	return results, stats
+}
+
+// addSearch accumulates b into a field by field.
+func addSearch(a *mvp.SearchStats, b mvp.SearchStats) {
+	a.NodesVisited += b.NodesVisited
+	a.LeavesVisited += b.LeavesVisited
+	a.ShellsPruned += b.ShellsPruned
+	a.Candidates += b.Candidates
+	a.FilteredByD += b.FilteredByD
+	a.FilteredByPath += b.FilteredByPath
+	a.Computed += b.Computed
+	a.VantagePoints += b.VantagePoints
+	a.Results += b.Results
+}

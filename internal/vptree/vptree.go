@@ -10,6 +10,10 @@
 // search prunes whole subtrees with the triangle inequality: a child
 // whose spherical shell does not intersect the query ball cannot contain
 // an answer.
+//
+// Queries (Range, KNN and their variants) read only immutable state and
+// are safe to run concurrently against one instance; the shared
+// distance counter is atomic.
 package vptree
 
 import (

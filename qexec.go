@@ -1,0 +1,42 @@
+package mvptree
+
+import (
+	"mvptree/internal/mvp"
+	"mvptree/internal/qexec"
+)
+
+// SearchStats is the per-query filtering breakdown reported by the
+// stats query variants (Tree.RangeWithStats, Tree.KNNWithStats) and
+// aggregated by the batch executor. Because the distance Counter is a
+// process-wide atomic shared by every goroutine querying an index,
+// SearchStats — not Counter deltas — is the way to attribute distance
+// computations to an individual query while others are in flight.
+type SearchStats = mvp.SearchStats
+
+// BatchOptions configure the parallel batch-query executor.
+type BatchOptions = qexec.Options
+
+// BatchStats summarize a batch run: total Counter delta, per-worker
+// query counts and aggregated SearchStats.
+type BatchStats = qexec.Stats
+
+// BatchWorkerStats is the per-worker slice of a BatchStats.
+type BatchWorkerStats = qexec.WorkerStats
+
+// BatchRange answers one range query per element of queries against a
+// shared index, striped over opts.Workers goroutines. results[i] is
+// exactly idx.Range(queries[i], r): the answers — and the number of
+// distance computations the batch performs — are identical for every
+// worker count; parallelism changes wall-clock time only. All indexes
+// in this library are safe to share this way (their query paths touch
+// no mutable state beyond the atomic Counter).
+func BatchRange[T any](idx Index[T], queries []T, r float64, opts BatchOptions) ([][]T, BatchStats) {
+	return qexec.RunRange(idx, queries, r, opts)
+}
+
+// BatchKNN answers one k-nearest-neighbor query per element of queries
+// against a shared index, striped over opts.Workers goroutines.
+// results[i] is exactly idx.KNN(queries[i], k).
+func BatchKNN[T any](idx Index[T], queries []T, k int, opts BatchOptions) ([][]Neighbor[T], BatchStats) {
+	return qexec.RunKNN(idx, queries, k, opts)
+}
