@@ -12,6 +12,7 @@ package mvptree_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -237,25 +238,41 @@ func benchVectors(n, dim int) ([][]float64, [][]float64) {
 	return mvptree.UniformVectors(rng, n, dim), mvptree.UniformVectors(rng, 64, dim)
 }
 
+// BenchmarkBuildMVP compares serial and parallel construction of the
+// paper's mvp-tree configuration; the tree built is identical for every
+// worker count, so the sub-benchmarks measure pure wall-clock speedup.
 func BenchmarkBuildMVP(b *testing.B) {
 	items, _ := benchVectors(10000, 20)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := mvptree.New(items, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 80, PathLength: 5}); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mvptree.New(items, mvptree.L2, mvptree.Options{
+					Partitions: 3, LeafCapacity: 80, PathLength: 5,
+					Build: mvptree.BuildOptions{Workers: workers},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
+// BenchmarkBuildVP is BenchmarkBuildMVP for the binary vp-tree, whose
+// leaf-heavy recursion stresses Fork more than Measure.
 func BenchmarkBuildVP(b *testing.B) {
 	items, _ := benchVectors(10000, 20)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := mvptree.NewVP(items, mvptree.L2, mvptree.VPOptions{Order: 2}); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mvptree.NewVP(items, mvptree.L2, mvptree.VPOptions{
+					Order: 2, Build: mvptree.BuildOptions{Workers: workers},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -336,19 +353,6 @@ func BenchmarkImageL1(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mvptree.ImageL1(imgs[i%16], imgs[(i+1)%16])
-	}
-}
-
-func BenchmarkBuildMVPParallel(b *testing.B) {
-	items, _ := benchVectors(10000, 20)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := mvptree.New(items, mvptree.L2, mvptree.Options{
-			Partitions: 3, LeafCapacity: 80, PathLength: 5, Workers: 8,
-		}); err != nil {
-			b.Fatal(err)
-		}
 	}
 }
 

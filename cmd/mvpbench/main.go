@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,19 +40,21 @@ func main() {
 func run(out io.Writer, args []string) error {
 	fs := flag.NewFlagSet("mvpbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment id (see package comment) or 'all'")
-		quick      = fs.Bool("quick", false, "reduced scale: 5,000 vectors, 200 images")
-		n          = fs.Int("n", 0, "override vector dataset size")
-		dim        = fs.Int("dim", 0, "override vector dimensionality")
-		queries    = fs.Int("queries", 0, "override query count per run")
-		seeds      = fs.Int("seeds", 0, "override number of construction seeds")
-		imgCount   = fs.Int("imgcount", 0, "override image dataset size")
-		imgDim     = fs.Int("imgdim", 0, "override image side length")
-		imgDir     = fs.String("imgdir", "", "directory of PGM images to use instead of the synthetic collection")
-		pairs      = fs.Int("pairs", 0, "override sampled pairs for fig4/fig5")
-		dataSeed   = fs.Uint64("dataseed", 0, "override workload generation seed")
-		workers    = fs.Int("workers", 1, "query-evaluation goroutines per run (distance counts are identical for any value)")
-		csv        = fs.Bool("csv", false, "emit tables and histograms as CSV")
+		experiment   = fs.String("experiment", "all", "experiment id (see package comment) or 'all'")
+		quick        = fs.Bool("quick", false, "reduced scale: 5,000 vectors, 200 images")
+		n            = fs.Int("n", 0, "override vector dataset size")
+		dim          = fs.Int("dim", 0, "override vector dimensionality")
+		queries      = fs.Int("queries", 0, "override query count per run")
+		seeds        = fs.Int("seeds", 0, "override number of construction seeds")
+		imgCount     = fs.Int("imgcount", 0, "override image dataset size")
+		imgDim       = fs.Int("imgdim", 0, "override image side length")
+		imgDir       = fs.String("imgdir", "", "directory of PGM images to use instead of the synthetic collection")
+		pairs        = fs.Int("pairs", 0, "override sampled pairs for fig4/fig5")
+		dataSeed     = fs.Uint64("dataseed", 0, "override workload generation seed")
+		workers      = fs.Int("workers", 1, "query-evaluation goroutines per run (distance counts are identical for any value)")
+		buildWorkers = fs.Int("buildworkers", 1, "construction goroutines per index build (the index built, and its distance count, are identical for any value)")
+		buildJSON    = fs.String("buildjson", "", "write the build experiment's per-structure stats as JSON to this file (adds the build experiment if not selected)")
+		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +94,9 @@ func run(out io.Writer, args []string) error {
 	if *workers > 1 {
 		cfg.QueryWorkers = *workers
 	}
+	if *buildWorkers > 1 {
+		cfg.BuildWorkers = *buildWorkers
+	}
 	if *imgDir != "" {
 		imgs, err := dataset.LoadPGMDir(*imgDir)
 		if err != nil {
@@ -108,15 +114,57 @@ func run(out io.Writer, args []string) error {
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
 			"knn", "structures", "words", "build", "approx", "filters"}
 	}
+	if *buildJSON != "" && !containsID(ids, "build") {
+		ids = append(ids, "build")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool) error {
+func containsID(ids []string, want string) bool {
+	for _, id := range ids {
+		if strings.TrimSpace(id) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// buildArtifact is the JSON document -buildjson writes: the per-structure
+// construction stats of the build experiment plus the run configuration
+// needed to interpret them.
+type buildArtifact struct {
+	N            int                 `json:"n"`
+	Dim          int                 `json:"dim"`
+	Seeds        int                 `json:"seeds"`
+	BuildWorkers int                 `json:"build_workers"`
+	Structures   []bench.BuildReport `json:"structures"`
+}
+
+func writeBuildJSON(path string, cfg experiments.Config, tbl *bench.Table) error {
+	bw := cfg.BuildWorkers
+	if bw < 1 {
+		bw = 1
+	}
+	art := buildArtifact{
+		N:            cfg.N,
+		Dim:          cfg.Dim,
+		Seeds:        len(cfg.TreeSeeds),
+		BuildWorkers: bw,
+		Structures:   tbl.BuildReports(),
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -177,6 +225,9 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool) error {
 		tbl, err = experiments.BuildStudy(cfg)
 		if err == nil {
 			_, err = tbl.WriteBuildCosts(out)
+		}
+		if err == nil && buildJSON != "" {
+			err = writeBuildJSON(buildJSON, cfg, tbl)
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)

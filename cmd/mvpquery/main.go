@@ -202,23 +202,23 @@ type counted[T any] interface {
 func buildIndex[T any](items []T, dist mvptree.DistanceFunc[T], id string, v, m, k, p int, seed uint64) (counted[T], error) {
 	switch id {
 	case "mvp":
-		return mvptree.New(items, dist, mvptree.Options{Partitions: m, LeafCapacity: k, PathLength: p, Seed: seed})
+		return mvptree.New(items, dist, mvptree.Options{Partitions: m, LeafCapacity: k, PathLength: p, Build: mvptree.BuildOptions{Seed: seed}})
 	case "gmvp":
 		return mvptree.NewGeneral(items, dist, mvptree.GeneralOptions{
-			Vantages: v, Partitions: m, LeafCapacity: k, PathLength: p, Seed: seed,
+			Vantages: v, Partitions: m, LeafCapacity: k, PathLength: p, Build: mvptree.BuildOptions{Seed: seed},
 		})
 	case "vp":
-		return mvptree.NewVP(items, dist, mvptree.VPOptions{Order: m, Seed: seed})
+		return mvptree.NewVP(items, dist, mvptree.VPOptions{Order: m, Build: mvptree.BuildOptions{Seed: seed}})
 	case "gh":
-		return mvptree.NewGH(items, dist, mvptree.GHOptions{LeafCapacity: k, Seed: seed})
+		return mvptree.NewGH(items, dist, mvptree.GHOptions{LeafCapacity: k, Build: mvptree.BuildOptions{Seed: seed}})
 	case "gnat":
-		return mvptree.NewGNAT(items, dist, mvptree.GNATOptions{LeafCapacity: k, Seed: seed})
+		return mvptree.NewGNAT(items, dist, mvptree.GNATOptions{LeafCapacity: k, Build: mvptree.BuildOptions{Seed: seed}})
 	case "ball":
-		return mvptree.NewBall(items, dist, mvptree.BallOptions{LeafCapacity: k, Seed: seed})
+		return mvptree.NewBall(items, dist, mvptree.BallOptions{LeafCapacity: k, Build: mvptree.BuildOptions{Seed: seed}})
 	case "bk":
 		return mvptree.NewBK(items, dist)
 	case "laesa":
-		return mvptree.NewPivotTable(items, dist, mvptree.PivotOptions{Pivots: p, Seed: seed})
+		return mvptree.NewPivotTable(items, dist, mvptree.PivotOptions{Pivots: p, Build: mvptree.BuildOptions{Seed: seed}})
 	case "linear":
 		return mvptree.NewLinear(items, dist), nil
 	default:

@@ -17,7 +17,7 @@ func ExampleNew() {
 		Partitions:   3,
 		LeafCapacity: 40,
 		PathLength:   5,
-		Seed:         7,
+		Build:        mvptree.BuildOptions{Seed: 7},
 	})
 	if err != nil {
 		panic(err)
@@ -69,7 +69,7 @@ func ExampleCheckAxioms() {
 // Farthest-object queries, the §2 variants.
 func ExampleTree_KFarthest() {
 	points := [][]float64{{0}, {1}, {5}, {9}}
-	tree, err := mvptree.New(points, mvptree.L2, mvptree.Options{LeafCapacity: 2, Seed: 1})
+	tree, err := mvptree.New(points, mvptree.L2, mvptree.Options{LeafCapacity: 2, Build: mvptree.BuildOptions{Seed: 1}})
 	if err != nil {
 		panic(err)
 	}
@@ -86,7 +86,7 @@ func ExampleTree_RangeWithStats() {
 	rng := rand.New(rand.NewPCG(3, 4))
 	vectors := mvptree.UniformVectors(rng, 3000, 16)
 	tree, err := mvptree.New(vectors, mvptree.L2, mvptree.Options{
-		Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 1,
+		Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: mvptree.BuildOptions{Seed: 1},
 	})
 	if err != nil {
 		panic(err)

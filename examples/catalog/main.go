@@ -26,7 +26,7 @@ func main() {
 	// --- Batch job: build and persist. -------------------------------
 	tree, err := mvptree.New(catalog, mvptree.L2, mvptree.Options{
 		Partitions: 3, LeafCapacity: 80, PathLength: 5,
-		Workers: 4, // parallel construction; identical tree
+		Build: mvptree.BuildOptions{Workers: 4}, // parallel construction; identical tree
 	})
 	if err != nil {
 		log.Fatal(err)

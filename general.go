@@ -24,6 +24,11 @@ func NewGeneral[T any](items []T, dist DistanceFunc[T], opts GeneralOptions) (*G
 	return gmvp.New(items, metric.NewCounter(dist), opts)
 }
 
+// NewGeneralWithStats is NewGeneral plus the construction report.
+func NewGeneralWithStats[T any](items []T, dist DistanceFunc[T], opts GeneralOptions) (*GeneralTree[T], BuildStats, error) {
+	return gmvp.NewWithStats(items, metric.NewCounter(dist), opts)
+}
+
 // SaveGeneralTree writes a generalized tree to w in the same
 // CRC-protected envelope as SaveTree.
 func SaveGeneralTree[T any](w io.Writer, t *GeneralTree[T], enc ItemEncoder[T]) error {

@@ -21,7 +21,7 @@ func TestFullLifecycle(t *testing.T) {
 
 	// Stage 1: build the paper's configuration.
 	tree, err := mvptree.New(dataset, mvptree.L2, mvptree.Options{
-		Partitions: 3, LeafCapacity: 40, PathLength: 5, Workers: 2, Seed: 7,
+		Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: mvptree.BuildOptions{Workers: 2, Seed: 7},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -144,10 +144,10 @@ func TestConcurrentQueriesAllStructures(t *testing.T) {
 	}
 	vecCases := []vecCase{
 		{"mvp", func() (mvptree.Index[[]float64], error) {
-			return mvptree.New(vectors, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Seed: 1})
+			return mvptree.New(vectors, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Build: mvptree.BuildOptions{Seed: 1}})
 		}},
 		{"vp", func() (mvptree.Index[[]float64], error) {
-			return mvptree.NewVP(vectors, mvptree.L2, mvptree.VPOptions{Order: 3, Seed: 1})
+			return mvptree.NewVP(vectors, mvptree.L2, mvptree.VPOptions{Order: 3, Build: mvptree.BuildOptions{Seed: 1}})
 		}},
 		{"gh", func() (mvptree.Index[[]float64], error) {
 			return mvptree.NewGH(vectors, mvptree.L2, mvptree.GHOptions{})
@@ -159,17 +159,17 @@ func TestConcurrentQueriesAllStructures(t *testing.T) {
 			return mvptree.NewBall(vectors, mvptree.L2, mvptree.BallOptions{})
 		}},
 		{"pivot", func() (mvptree.Index[[]float64], error) {
-			return mvptree.NewPivotTable(vectors, mvptree.L2, mvptree.PivotOptions{Pivots: 8, Seed: 1})
+			return mvptree.NewPivotTable(vectors, mvptree.L2, mvptree.PivotOptions{Pivots: 8, Build: mvptree.BuildOptions{Seed: 1}})
 		}},
 		{"general", func() (mvptree.Index[[]float64], error) {
-			return mvptree.NewGeneral(vectors, mvptree.L2, mvptree.GeneralOptions{Vantages: 3, Partitions: 2, Seed: 1})
+			return mvptree.NewGeneral(vectors, mvptree.L2, mvptree.GeneralOptions{Vantages: 3, Partitions: 2, Build: mvptree.BuildOptions{Seed: 1}})
 		}},
 		{"linear", func() (mvptree.Index[[]float64], error) {
 			return mvptree.NewLinear(vectors, mvptree.L2), nil
 		}},
 		{"dynamic", func() (mvptree.Index[[]float64], error) {
 			return mvptree.NewDynamic(vectors, mvptree.L2, mvptree.DynamicOptions{
-				Tree: mvptree.Options{Partitions: 2, LeafCapacity: 20, PathLength: 3, Seed: 1},
+				Tree: mvptree.Options{Partitions: 2, LeafCapacity: 20, PathLength: 3, Build: mvptree.BuildOptions{Seed: 1}},
 			})
 		}},
 	}
@@ -239,7 +239,7 @@ func TestBatchExecutorPublicAPI(t *testing.T) {
 	rng := rand.New(rand.NewPCG(89, 2))
 	vectors := mvptree.UniformVectors(rng, 1500, 8)
 	queries := mvptree.UniformVectors(rng, 12, 8)
-	tree, err := mvptree.New(vectors, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 40, PathLength: 4, Seed: 2})
+	tree, err := mvptree.New(vectors, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 40, PathLength: 4, Build: mvptree.BuildOptions{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,30 +20,35 @@ package balltree
 
 import (
 	"errors"
-	"math/rand/v2"
 
+	"mvptree/internal/build"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
 
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
+
 // Options configure construction.
 type Options struct {
+	// Build holds the shared construction knobs (Workers, Seed); the
+	// tree built is identical for every worker count.
+	Build
 	// Fanout is the number of sets each node's keys are partitioned
 	// into. Default 8.
 	Fanout int
 	// LeafCapacity is the maximum bucket size. Default 16.
 	LeafCapacity int
-	// Seed seeds center selection.
-	Seed uint64
 }
 
 // Tree is a center/radius multi-way tree over a fixed item set.
 type Tree[T any] struct {
-	root      *node[T]
-	dist      *metric.Counter[T]
-	size      int
-	buildCost int64
+	root       *node[T]
+	dist       *metric.Counter[T]
+	size       int
+	buildStats build.Stats
 }
 
 var _ index.Index[int] = (*Tree[int])(nil)
@@ -61,32 +66,44 @@ type node[T any] struct {
 
 // New builds a tree over items using the counted metric dist.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
+}
+
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count and depth (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], build.Stats, error) {
 	if opts.Fanout == 0 {
 		opts.Fanout = 8
 	}
 	if opts.LeafCapacity == 0 {
 		opts.LeafCapacity = 16
 	}
+	if err := opts.Build.Validate("balltree"); err != nil {
+		return nil, build.Stats{}, err
+	}
 	if opts.Fanout < 2 {
-		return nil, errors.New("balltree: Fanout must be at least 2")
+		return nil, build.Stats{}, errors.New("balltree: Fanout must be at least 2")
 	}
 	if opts.LeafCapacity < 1 {
-		return nil, errors.New("balltree: LeafCapacity must be at least 1")
+		return nil, build.Stats{}, errors.New("balltree: LeafCapacity must be at least 1")
 	}
 	t := &Tree[T]{dist: dist, size: len(items)}
 	work := make([]T, len(items))
 	copy(work, items)
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x62616c6c))
-	before := dist.Count()
-	t.root = t.build(work, rng, &opts)
-	t.buildCost = dist.Count() - before
-	return t, nil
+	b := build.Start(dist, opts.Build)
+	t.root = t.build(b, work, build.NewRNG(opts.Seed, 0x62616c6c), &opts, 0)
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
 }
 
-func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
+// build consumes work. src is the splittable RNG fixed by this subtree's
+// position, so the tree is identical for every worker count.
+func (t *Tree[T]) build(b *build.Builder[T], work []T, src build.RNG, opts *Options, depth int) *node[T] {
 	if len(work) == 0 {
 		return nil
 	}
+	b.Node(depth)
 	if len(work) <= opts.LeafCapacity || len(work) <= opts.Fanout {
 		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
 		copy(leaf.items, work)
@@ -94,14 +111,15 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
 	}
 	k := opts.Fanout
 	// Greedy far-apart centers: random first, then repeatedly the key
-	// farthest from all chosen centers.
+	// farthest from all chosen centers. Each selection round is one
+	// batched distance pass over all keys (the same computations as the
+	// key-at-a-time loop, so the cost counter is unchanged).
 	centerIdx := make([]int, 0, k)
 	minDist := make([]float64, len(work))
-	first := rng.IntN(len(work))
+	first := src.Rand().IntN(len(work))
 	centerIdx = append(centerIdx, first)
-	for i := range work {
-		minDist[i] = t.dist.Distance(work[i], work[first])
-	}
+	b.Measure(work[first], func(i int) T { return work[i] }, minDist)
+	row := make([]float64, len(work))
 	for len(centerIdx) < k {
 		far := 0
 		for i := range work {
@@ -110,9 +128,10 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
 			}
 		}
 		centerIdx = append(centerIdx, far)
+		b.Measure(work[far], func(i int) T { return work[i] }, row)
 		for i := range work {
-			if d := t.dist.Distance(work[i], work[far]); d < minDist[i] {
-				minDist[i] = d
+			if row[i] < minDist[i] {
+				minDist[i] = row[i]
 			}
 		}
 	}
@@ -122,16 +141,24 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
 		n.centers[j] = work[ci]
 		isCenter[ci] = true
 	}
-	// Assign each remaining key to its closest center and track radii.
-	sets := make([][]T, k)
+	// Assign each remaining key to its closest center and track radii,
+	// batched one center at a time.
+	rest := make([]T, 0, len(work)-k)
 	for i, it := range work {
-		if isCenter[i] {
-			continue
+		if !isCenter[i] {
+			rest = append(rest, it)
 		}
+	}
+	dmat := make([][]float64, k) // dmat[j][i] = d(rest[i], centers[j])
+	for j := 0; j < k; j++ {
+		dmat[j] = make([]float64, len(rest))
+		b.Measure(n.centers[j], func(i int) T { return rest[i] }, dmat[j])
+	}
+	sets := make([][]T, k)
+	for i, it := range rest {
 		bestJ, bestD := 0, 0.0
-		for j := range n.centers {
-			d := t.dist.Distance(it, n.centers[j])
-			if j == 0 || d < bestD {
+		for j := 0; j < k; j++ {
+			if d := dmat[j][i]; j == 0 || d < bestD {
 				bestJ, bestD = j, d
 			}
 		}
@@ -141,9 +168,9 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
 		}
 	}
 	n.children = make([]*node[T], k)
-	for j := range sets {
-		n.children[j] = t.build(sets[j], rng, opts)
-	}
+	b.Fork(k, func(j int) {
+		n.children[j] = t.build(b, sets[j], src.Child(j), opts, depth+1)
+	})
 	return n
 }
 
@@ -154,7 +181,10 @@ func (t *Tree[T]) Len() int { return t.size }
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
 // BuildCost reports construction distance computations.
-func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full construction report.
+func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
 // Range returns every indexed item within distance r of q. A set with
 // center c and radius ρ is skipped when d(q,c) − ρ > r: by the triangle

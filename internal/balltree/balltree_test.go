@@ -12,9 +12,9 @@ func TestRangeMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(131, 1))
 	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
 	for _, opts := range []Options{
-		{Seed: 7},
-		{Fanout: 3, LeafCapacity: 4, Seed: 7},
-		{Fanout: 16, LeafCapacity: 32, Seed: 7},
+		{Build: Build{Seed: 7}},
+		{Fanout: 3, LeafCapacity: 4, Build: Build{Seed: 7}},
+		{Fanout: 16, LeafCapacity: 32, Build: Build{Seed: 7}},
 	} {
 		c := metric.NewCounter(w.Dist)
 		tree, err := New(w.Items, c, opts)
@@ -29,7 +29,7 @@ func TestKNNMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(132, 1))
 	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Fanout: 5, LeafCapacity: 8, Seed: 9})
+	tree, err := New(w.Items, c, Options{Fanout: 5, LeafCapacity: 8, Build: Build{Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestDuplicateHeavyData(t *testing.T) {
 	rng := rand.New(rand.NewPCG(133, 1))
 	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Seed: 3})
+	tree, err := New(w.Items, c, Options{Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestRadiusInvariant(t *testing.T) {
 	rng := rand.New(rand.NewPCG(134, 1))
 	w := testutil.NewVectorWorkload(rng, 600, 6, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Fanout: 4, LeafCapacity: 8, Seed: 5})
+	tree, err := New(w.Items, c, Options{Fanout: 4, LeafCapacity: 8, Build: Build{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestPrunesOnClusteredData(t *testing.T) {
 	rng := rand.New(rand.NewPCG(135, 1))
 	w := testutil.NewClumpedWorkload(rng, 3000, 6, 15, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Fanout: 8, LeafCapacity: 16, Seed: 3})
+	tree, err := New(w.Items, c, Options{Fanout: 8, LeafCapacity: 16, Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,16 +16,18 @@ import (
 	"strings"
 	"sync"
 
+	"mvptree/internal/build"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/qexec"
 )
 
 // Structure names one index structure and knows how to build it over an
-// item set with a given construction seed.
+// item set with the shared construction options (seed and build-worker
+// count); it reports the uniform construction Stats.
 type Structure[T any] struct {
 	Name  string
-	Build func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error)
+	Build func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error)
 }
 
 // Cell is one (sweep value, structure) measurement.
@@ -44,6 +46,11 @@ type Cell struct {
 	// remarks on ("the random function that is used to pick vantage
 	// points has a considerable effect").
 	SeedStdDev float64
+	// BuildWall is the average wall-clock construction time in seconds
+	// across seeds — the quantity build workers trade against (the
+	// distance-computation BuildCost is identical for every worker
+	// count).
+	BuildWall float64
 }
 
 // Table is the result of a sweep: rows are swept values (query radii or
@@ -66,13 +73,16 @@ var DefaultSeeds = []uint64{101, 202, 303, 404}
 // RunRange sweeps query radii: for every structure and every seed it
 // builds the index once, then answers every query at every radius,
 // counting distance computations per query. The optional workers
-// argument sets the query-batch parallelism per (structure, seed) run
-// (default 1, i.e. sequential); because each query's cost is
-// independent of its neighbors, the measured distance counts are
-// identical for every worker count.
+// arguments set the query-batch parallelism and the construction
+// parallelism per (structure, seed) run — workers[0] is the query
+// worker count, workers[1] the build worker count (both default 1,
+// i.e. sequential). Neither changes any measured distance count: each
+// query's cost is independent of its neighbors, and construction is
+// deterministic in the build worker count.
 func RunRange[T any](items, queries []T, distFn metric.DistanceFunc[T],
 	structures []Structure[T], radii []float64, seeds []uint64, workers ...int) (*Table, error) {
-	return run(items, queries, distFn, structures, radii, seeds, optWorkers(workers), "r",
+	qw, bw := optWorkers(workers)
+	return run(items, queries, distFn, structures, radii, seeds, qw, bw, "r",
 		func(idx index.Index[T], qs []T, r float64, w int) []int {
 			res, _ := qexec.RunRange(idx, qs, r, qexec.Options{Workers: w})
 			return resultCounts(res)
@@ -80,27 +90,33 @@ func RunRange[T any](items, queries []T, distFn metric.DistanceFunc[T],
 }
 
 // RunKNN sweeps k values for k-nearest-neighbor queries. The optional
-// workers argument works as in RunRange.
+// workers arguments work as in RunRange.
 func RunKNN[T any](items, queries []T, distFn metric.DistanceFunc[T],
 	structures []Structure[T], ks []int, seeds []uint64, workers ...int) (*Table, error) {
 	vals := make([]float64, len(ks))
 	for i, k := range ks {
 		vals[i] = float64(k)
 	}
-	return run(items, queries, distFn, structures, vals, seeds, optWorkers(workers), "k",
+	qw, bw := optWorkers(workers)
+	return run(items, queries, distFn, structures, vals, seeds, qw, bw, "k",
 		func(idx index.Index[T], qs []T, k float64, w int) []int {
 			res, _ := qexec.RunKNN(idx, qs, int(k), qexec.Options{Workers: w})
 			return resultCounts(res)
 		})
 }
 
-// optWorkers resolves the optional trailing workers argument; zero and
-// negative values mean sequential.
-func optWorkers(workers []int) int {
+// optWorkers resolves the optional trailing worker arguments
+// (query workers, then build workers); zero and negative values mean
+// sequential.
+func optWorkers(workers []int) (query, build int) {
+	query, build = 1, 1
 	if len(workers) > 0 && workers[0] > 1 {
-		return workers[0]
+		query = workers[0]
 	}
-	return 1
+	if len(workers) > 1 && workers[1] > 1 {
+		build = workers[1]
+	}
+	return query, build
 }
 
 // resultCounts reduces per-query result sets to their sizes.
@@ -113,7 +129,7 @@ func resultCounts[R any](res []([]R)) []int {
 }
 
 func run[T any](items, queries []T, distFn metric.DistanceFunc[T],
-	structures []Structure[T], values []float64, seeds []uint64, workers int, label string,
+	structures []Structure[T], values []float64, seeds []uint64, workers, buildWorkers int, label string,
 	batch func(idx index.Index[T], qs []T, v float64, w int) []int) (*Table, error) {
 
 	if len(structures) == 0 || len(values) == 0 {
@@ -159,7 +175,7 @@ func run[T any](items, queries []T, distFn metric.DistanceFunc[T],
 			defer func() { <-sem }()
 			s := structures[j.si]
 			counter := metric.NewCounter(distFn)
-			idx, err := s.Build(items, counter, seeds[j.seedIdx])
+			idx, bstats, err := s.Build(items, counter, build.Options{Workers: buildWorkers, Seed: seeds[j.seedIdx]})
 			if err != nil {
 				errs[ji] = fmt.Errorf("bench: building %s: %w", s.Name, err)
 				return
@@ -168,6 +184,7 @@ func run[T any](items, queries []T, distFn metric.DistanceFunc[T],
 			cells := make([]Cell, len(values))
 			for vi, v := range values {
 				cells[vi].BuildCost = buildCost
+				cells[vi].BuildWall = bstats.Wall.Seconds()
 				// The batch total is measured as one Counter delta: the
 				// counter is atomic and per-query costs are independent,
 				// so the sum equals the sequential per-query sum for any
@@ -195,6 +212,7 @@ func run[T any](items, queries []T, distFn metric.DistanceFunc[T],
 				cell := &t.Cells[vi][si]
 				p := partial[si][seedIdx][vi]
 				cell.BuildCost += p.BuildCost / float64(len(seeds))
+				cell.BuildWall += p.BuildWall / float64(len(seeds))
 				cell.AvgDistComps += p.AvgDistComps / norm
 				cell.AvgResults += p.AvgResults / norm
 			}
@@ -313,8 +331,42 @@ func (t *Table) WriteBuildCosts(w io.Writer) (int64, error) {
 		fmt.Fprintf(&sb, " %14.0f", t.Cells[0][si].BuildCost)
 	}
 	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-10s", "wall_s")
+	for si := range t.Structures {
+		fmt.Fprintf(&sb, " %14.4f", t.Cells[0][si].BuildWall)
+	}
+	sb.WriteByte('\n')
 	n, err := io.WriteString(w, sb.String())
 	return int64(n), err
+}
+
+// BuildReport is the machine-readable form of one structure's
+// construction measurements, averaged over seeds.
+type BuildReport struct {
+	Name       string  `json:"name"`
+	BuildCost  float64 `json:"build_cost"`
+	BuildWallS float64 `json:"build_wall_seconds"`
+	SeedStdDev float64 `json:"seed_std_dev"`
+}
+
+// BuildReports extracts per-structure construction measurements from
+// the table's first row (construction is per-structure, not per sweep
+// value, so any row would do).
+func (t *Table) BuildReports() []BuildReport {
+	if len(t.Cells) == 0 {
+		return nil
+	}
+	reports := make([]BuildReport, len(t.Structures))
+	for si, name := range t.Structures {
+		c := t.Cells[0][si]
+		reports[si] = BuildReport{
+			Name:       name,
+			BuildCost:  c.BuildCost,
+			BuildWallS: c.BuildWall,
+			SeedStdDev: c.SeedStdDev,
+		}
+	}
+	return reports
 }
 
 // WriteCSV prints the table as CSV (header row of structure names, one

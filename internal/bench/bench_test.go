@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"mvptree/internal/build"
 	"mvptree/internal/dataset"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -127,8 +128,8 @@ func TestBuildErrorPropagates(t *testing.T) {
 	items, queries := smallWorkload()
 	failing := Structure[[]float64]{
 		Name: "failing",
-		Build: func(items [][]float64, dist *metric.Counter[[]float64], seed uint64) (index.Index[[]float64], error) {
-			return nil, errors.New("boom")
+		Build: func(items [][]float64, dist *metric.Counter[[]float64], opts build.Options) (index.Index[[]float64], build.Stats, error) {
+			return nil, build.Stats{}, errors.New("boom")
 		},
 	}
 	if _, err := RunRange(items, queries, metric.L2,
@@ -225,6 +226,8 @@ func TestWorkersDoNotChangeCounts(t *testing.T) {
 	for vi := range seq.Values {
 		for si := range seq.Structures {
 			a, b := seq.Cells[vi][si], par.Cells[vi][si]
+			// Wall-clock time is the one field parallelism may change.
+			a.BuildWall, b.BuildWall = 0, 0
 			if a != b {
 				t.Errorf("%s=%g %s: workers=1 cell %+v, workers=8 cell %+v",
 					seq.Label, seq.Values[vi], seq.Structures[si], a, b)
@@ -242,7 +245,9 @@ func TestWorkersDoNotChangeCounts(t *testing.T) {
 	}
 	for vi := range seqK.Values {
 		for si := range seqK.Structures {
-			if seqK.Cells[vi][si] != parK.Cells[vi][si] {
+			a, b := seqK.Cells[vi][si], parK.Cells[vi][si]
+			a.BuildWall, b.BuildWall = 0, 0
+			if a != b {
 				t.Errorf("k=%g %s: parallel KNN cell differs", seqK.Values[vi], seqK.Structures[si])
 			}
 		}

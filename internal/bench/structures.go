@@ -5,6 +5,7 @@ import (
 
 	"mvptree/internal/balltree"
 	"mvptree/internal/bktree"
+	"mvptree/internal/build"
 	"mvptree/internal/ghtree"
 	"mvptree/internal/gmvp"
 	"mvptree/internal/gnat"
@@ -25,8 +26,8 @@ import (
 func VPT[T any](order int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("vpt(%d)", order),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return vptree.New(items, dist, vptree.Options{Order: order, Seed: seed})
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return vptree.NewWithStats(items, dist, vptree.Options{Build: opts, Order: order})
 		},
 	}
 }
@@ -38,8 +39,8 @@ func VPT[T any](order int) Structure[T] {
 func MVPT[T any](m, k, p int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("mvpt(%d,%d)", m, k),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return mvp.New(items, dist, mvp.Options{Partitions: m, LeafCapacity: k, PathLength: p, Seed: seed})
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return mvp.NewWithStats(items, dist, mvp.Options{Build: opts, Partitions: m, LeafCapacity: k, PathLength: p})
 		},
 	}
 }
@@ -50,10 +51,10 @@ func MVPT[T any](m, k, p int) Structure[T] {
 func MVPTRandomSV2[T any](m, k, p int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("mvpt(%d,%d)-rnd2", m, k),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return mvp.New(items, dist, mvp.Options{
-				Partitions: m, LeafCapacity: k, PathLength: p,
-				RandomSecondVantage: true, Seed: seed,
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return mvp.NewWithStats(items, dist, mvp.Options{
+				Build: opts, Partitions: m, LeafCapacity: k, PathLength: p,
+				RandomSecondVantage: true,
 			})
 		},
 	}
@@ -63,8 +64,8 @@ func MVPTRandomSV2[T any](m, k, p int) Structure[T] {
 func GHT[T any](leafCapacity int) Structure[T] {
 	return Structure[T]{
 		Name: "ght",
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return ghtree.New(items, dist, ghtree.Options{LeafCapacity: leafCapacity, Seed: seed})
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return ghtree.NewWithStats(items, dist, ghtree.Options{Build: opts, LeafCapacity: leafCapacity})
 		},
 	}
 }
@@ -73,8 +74,8 @@ func GHT[T any](leafCapacity int) Structure[T] {
 func GNAT[T any](degree int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("gnat(%d)", degree),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return gnat.New(items, dist, gnat.Options{Degree: degree, Seed: seed})
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return gnat.NewWithStats(items, dist, gnat.Options{Build: opts, Degree: degree})
 		},
 	}
 }
@@ -83,8 +84,8 @@ func GNAT[T any](degree int) Structure[T] {
 func LAESA[T any](pivots int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("laesa(%d)", pivots),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return laesa.New(items, dist, laesa.Options{Pivots: pivots, Seed: seed})
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return laesa.NewWithStats(items, dist, laesa.Options{Build: opts, Pivots: pivots})
 		},
 	}
 }
@@ -93,8 +94,8 @@ func LAESA[T any](pivots int) Structure[T] {
 func BKT[T any]() Structure[T] {
 	return Structure[T]{
 		Name: "bkt",
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return bktree.New(items, dist)
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return bktree.NewWithStats(items, dist, bktree.Options{Build: opts})
 		},
 	}
 }
@@ -103,8 +104,8 @@ func BKT[T any]() Structure[T] {
 func Linear[T any]() Structure[T] {
 	return Structure[T]{
 		Name: "linear",
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return linear.New(items, dist), nil
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return linear.New(items, dist), build.Stats{}, nil
 		},
 	}
 }
@@ -114,9 +115,9 @@ func Linear[T any]() Structure[T] {
 func GMVPT[T any](v, m, k, p int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("gmvpt(%d,%d,%d)", v, m, k),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return gmvp.New(items, dist, gmvp.Options{
-				Vantages: v, Partitions: m, LeafCapacity: k, PathLength: p, Seed: seed,
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return gmvp.NewWithStats(items, dist, gmvp.Options{
+				Build: opts, Vantages: v, Partitions: m, LeafCapacity: k, PathLength: p,
 			})
 		},
 	}
@@ -135,12 +136,12 @@ func (a dfsAdapter[T]) KNN(q T, k int) []index.Neighbor[T] {
 func VPTDepthFirst[T any](order int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("vpt(%d)-dfs", order),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			t, err := vptree.New(items, dist, vptree.Options{Order: order, Seed: seed})
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			t, stats, err := vptree.NewWithStats(items, dist, vptree.Options{Build: opts, Order: order})
 			if err != nil {
-				return nil, err
+				return nil, build.Stats{}, err
 			}
-			return dfsAdapter[T]{t}, nil
+			return dfsAdapter[T]{t}, stats, nil
 		},
 	}
 }
@@ -150,8 +151,8 @@ func VPTDepthFirst[T any](order int) Structure[T] {
 func BallTree[T any](fanout int) Structure[T] {
 	return Structure[T]{
 		Name: fmt.Sprintf("ball(%d)", fanout),
-		Build: func(items []T, dist *metric.Counter[T], seed uint64) (index.Index[T], error) {
-			return balltree.New(items, dist, balltree.Options{Fanout: fanout, Seed: seed})
+		Build: func(items []T, dist *metric.Counter[T], opts build.Options) (index.Index[T], build.Stats, error) {
+			return balltree.NewWithStats(items, dist, balltree.Options{Build: opts, Fanout: fanout})
 		},
 	}
 }

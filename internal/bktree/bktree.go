@@ -11,6 +11,10 @@
 //
 // Unlike the other structures in this repository, the BK-tree is
 // naturally incremental: Insert is exposed alongside bulk construction.
+// Bulk construction groups items by their distance to the subtree root
+// in one batched pass per node — the resulting tree, and the number of
+// distance computations, are exactly those of inserting the items in
+// order, but sibling subtrees can be built in parallel.
 //
 // Queries are safe to run concurrently against one tree, but Insert
 // mutates nodes and must be serialized against queries externally.
@@ -20,16 +24,30 @@ import (
 	"errors"
 	"math"
 
+	"mvptree/internal/build"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
 
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
+
+// Options configure bulk construction. The BK-tree has no structural
+// parameters (its shape is fixed by the data and insertion order); only
+// the shared construction knobs apply. Seed is accepted for uniformity
+// but unused — BK-tree construction involves no random choices.
+type Options struct {
+	Build
+}
+
 // Tree is a Burkhard–Keller tree over items under a discrete metric.
 type Tree[T any] struct {
-	root *node[T]
-	dist *metric.Counter[T]
-	size int
+	root       *node[T]
+	dist       *metric.Counter[T]
+	size       int
+	buildStats build.Stats
 }
 
 var _ index.Index[string] = (*Tree[string])(nil)
@@ -39,17 +57,76 @@ type node[T any] struct {
 	children map[int]*node[T]
 }
 
-// New builds a BK-tree by inserting items in order. The metric must
-// return non-negative integer values; New returns an error on the first
-// non-integer distance it computes.
-func New[T any](items []T, dist *metric.Counter[T]) (*Tree[T], error) {
-	t := &Tree[T]{dist: dist}
-	for _, it := range items {
-		if err := t.Insert(it); err != nil {
-			return nil, err
-		}
+// New builds a BK-tree equivalent to inserting items in order. The
+// metric must return non-negative integer values; New returns an error
+// on the first non-integer distance it computes.
+func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
+}
+
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count and depth (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], build.Stats, error) {
+	if err := opts.Build.Validate("bktree"); err != nil {
+		return nil, build.Stats{}, err
 	}
-	return t, nil
+	t := &Tree[T]{dist: dist, size: len(items)}
+	b := build.Start(dist, opts.Build)
+	var err error
+	t.root, err = bulkBuild(b, items, 0)
+	if err != nil {
+		return nil, build.Stats{}, err
+	}
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
+}
+
+// bulkBuild constructs the subtree rooted at items[0] over all of
+// items. Grouping the remaining items by their integer distance to the
+// root, preserving order within each group, reproduces sequential
+// insertion exactly: under ordered insertion every item passing through
+// this node computes precisely its distance to the node's item, the
+// first item of a distance group becomes that child's node item, and
+// the rest descend into it in order.
+func bulkBuild[T any](b *build.Builder[T], items []T, depth int) (*node[T], error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	b.Node(depth)
+	n := &node[T]{item: items[0]}
+	rest := items[1:]
+	if len(rest) == 0 {
+		return n, nil
+	}
+	ds := make([]float64, len(rest))
+	b.Measure(n.item, func(i int) T { return rest[i] }, ds)
+	groups := make(map[int][]T)
+	var keys []int
+	for i, it := range rest {
+		d := ds[i]
+		di := int(d)
+		if float64(di) != d || d < 0 {
+			return nil, errors.New("bktree: metric returned a non-integer distance")
+		}
+		if _, ok := groups[di]; !ok {
+			keys = append(keys, di)
+		}
+		groups[di] = append(groups[di], it)
+	}
+	children := make([]*node[T], len(keys))
+	errs := make([]error, len(keys))
+	b.Fork(len(keys), func(gi int) {
+		children[gi], errs[gi] = bulkBuild(b, groups[keys[gi]], depth+1)
+	})
+	n.children = make(map[int]*node[T], len(keys))
+	for gi, key := range keys {
+		if errs[gi] != nil {
+			return nil, errs[gi]
+		}
+		n.children[key] = children[gi]
+	}
+	return n, nil
 }
 
 // Insert adds one item to the tree.
@@ -98,6 +175,13 @@ func (t *Tree[T]) Len() int { return t.size }
 
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// BuildCost reports the number of distance computations made during
+// bulk construction (zero for a tree grown purely by Insert).
+func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full bulk-construction report.
+func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
 // Range returns every indexed item within distance r of q.
 func (t *Tree[T]) Range(q T, r float64) []T {

@@ -18,7 +18,7 @@ var words = []string{
 
 func TestRangeMatchesLinearScan(t *testing.T) {
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New(words, c)
+	tree, err := New(words, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestRangeMatchesLinearScan(t *testing.T) {
 
 func TestKNNMatchesLinearScan(t *testing.T) {
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New(words, c)
+	tree, err := New(words, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestKNNMatchesLinearScan(t *testing.T) {
 
 func TestDuplicates(t *testing.T) {
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New([]string{"dup", "dup", "dup", "other"}, c)
+	tree, err := New([]string{"dup", "dup", "dup", "other"}, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestDuplicates(t *testing.T) {
 
 func TestNonIntegerMetricRejected(t *testing.T) {
 	c := metric.NewCounter(metric.L2)
-	if _, err := New([][]float64{{0.5}, {1.3}}, c); err == nil {
+	if _, err := New([][]float64{{0.5}, {1.3}}, c, Options{}); err == nil {
 		t.Error("non-integer metric accepted")
 	}
 }
@@ -99,7 +99,7 @@ func TestRandomizedHamming(t *testing.T) {
 		items[i] = string(b)
 	}
 	c := metric.NewCounter(metric.Hamming)
-	tree, err := New(items, c)
+	tree, err := New(items, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestRandomizedHamming(t *testing.T) {
 
 func TestEmptyAndEdgeCases(t *testing.T) {
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New(nil, c)
+	tree, err := New(nil, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestPruningSavesWork(t *testing.T) {
 		items[i] = string(b)
 	}
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New(items, c)
+	tree, err := New(items, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

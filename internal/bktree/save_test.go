@@ -11,7 +11,7 @@ import (
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	c := metric.NewCounter(metric.Edit)
-	orig, err := New(words, c)
+	orig, err := New(words, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 func TestSaveLoadEmpty(t *testing.T) {
 	c := metric.NewCounter(metric.Edit)
-	orig, err := New(nil, c)
+	orig, err := New(nil, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestSaveLoadEmpty(t *testing.T) {
 
 func TestLoadRejectsCorruption(t *testing.T) {
 	c := metric.NewCounter(metric.Edit)
-	orig, err := New(words, c)
+	orig, err := New(words, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

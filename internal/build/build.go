@@ -1,0 +1,228 @@
+// Package build is the shared parallel construction core every index
+// structure in this repository is built through. The paper treats
+// construction cost — distance computations and wall-clock time — as a
+// first-class concern (§4.2 analyses the mvp-tree's O(n·log_{m²} n)
+// build), and surveys of metric indexing describe the vp-tree family,
+// gh-trees, GNATs and ball trees as instances of one pivot-partition
+// template. This package is that template's engine room; the index
+// packages keep only their structure-specific partitioning logic.
+//
+// It provides three primitives:
+//
+//   - Measure, a batch-distance evaluator that spreads the distances
+//     from one vantage point to a set of items over a bounded worker
+//     pool shared across the whole build;
+//
+//   - Fork, subtree-level task spawning for the recursive builders,
+//     paired with a splittable deterministic RNG (see RNG) so that the
+//     tree built with Workers=1 and Workers=N is identical — same
+//     shape, same vantage points, same Save bytes;
+//
+//   - Stats, the uniform construction report (distance computations,
+//     wall time, node count, max depth) returned by every structure's
+//     NewWithStats.
+//
+// Determinism discipline: nothing observable may depend on goroutine
+// scheduling. Measure writes each distance to a caller-fixed slot and
+// settles the shared Counter once per batch, so distances and counter
+// totals are scheduling-independent; Fork gives every subtree its own
+// RNG derived from the parent's by index, so random choices are fixed
+// by tree position, not by execution order.
+package build
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvptree/internal/metric"
+)
+
+// Options are the construction knobs shared by every index package;
+// each package embeds them in its Options.
+type Options struct {
+	// Workers is the number of goroutines construction may use. Values
+	// <= 1 build serially; the tree built is byte-for-byte identical
+	// for every worker count (parallelism trades wall-clock time only).
+	// The metric function must be safe for concurrent calls when
+	// Workers > 1 — all built-in metrics are.
+	Workers int
+	// Seed seeds vantage-point / pivot selection, making construction
+	// deterministic.
+	Seed uint64
+}
+
+// Validate checks the shared options; pkg names the index package for
+// error messages.
+func (o Options) Validate(pkg string) error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%s: Workers must be non-negative, got %d", pkg, o.Workers)
+	}
+	return nil
+}
+
+// WorkerCount normalizes Workers: values <= 1 mean one (serial).
+func (o Options) WorkerCount() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// Stats is the uniform construction report returned by every
+// structure's NewWithStats.
+type Stats struct {
+	// Distances is the number of distance computations construction
+	// made — the paper's build-cost measure. It is identical for every
+	// worker count.
+	Distances int64
+	// Wall is the wall-clock construction time; the quantity Workers
+	// trades against.
+	Wall time.Duration
+	// Nodes counts nodes created (for the pivot table: pivots).
+	Nodes int
+	// MaxDepth is the deepest node level reached; a root-only
+	// structure has MaxDepth 0.
+	MaxDepth int
+	// Workers is the worker count actually used.
+	Workers int
+}
+
+// MeasureThreshold is the minimum batch size Measure fans out to worker
+// goroutines; below it scheduling overhead dominates the metric calls.
+const MeasureThreshold = 256
+
+// Builder is the shared construction context for one index build: the
+// bounded worker pool, the distance counter bracket, and the node/depth
+// tally behind Stats. Create one with Start, thread it through the
+// recursive build, then call Finish for the Stats.
+//
+// Builder methods may be called from any goroutine spawned by Fork.
+type Builder[T any] struct {
+	dist    *metric.Counter[T]
+	raw     metric.DistanceFunc[T]
+	workers int
+	sem     chan struct{} // worker tokens; capacity workers-1
+	start   time.Time
+	before  int64
+	nodes   atomic.Int64
+	depth   atomic.Int64
+}
+
+// Start opens a build context measuring distances through dist.
+func Start[T any](dist *metric.Counter[T], opts Options) *Builder[T] {
+	b := &Builder[T]{
+		dist:    dist,
+		raw:     dist.Func(),
+		workers: opts.WorkerCount(),
+		start:   time.Now(),
+		before:  dist.Count(),
+	}
+	if b.workers > 1 {
+		b.sem = make(chan struct{}, b.workers-1)
+	}
+	return b
+}
+
+// Workers reports the normalized worker count of the build.
+func (b *Builder[T]) Workers() int { return b.workers }
+
+// Measure fills out[i] with the distance from item(i) to the vantage
+// point v for every i in [0, len(out)). With more than one worker and a
+// large enough batch the raw metric runs on pool goroutines and the
+// shared Counter is settled once at the end; otherwise it runs
+// sequentially through the Counter. Either way the resulting distances
+// and the final count are identical.
+func (b *Builder[T]) Measure(v T, item func(int) T, out []float64) {
+	n := len(out)
+	if b.workers <= 1 || n < MeasureThreshold {
+		for i := 0; i < n; i++ {
+			out[i] = b.dist.Distance(item(i), v)
+		}
+		return
+	}
+	chunk := (n + b.workers - 1) / b.workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		if hi == n {
+			// Run the last chunk on this goroutine: it is a worker too.
+			for i := lo; i < hi; i++ {
+				out[i] = b.raw(item(i), v)
+			}
+			break
+		}
+		select {
+		case b.sem <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				for i := lo; i < hi; i++ {
+					out[i] = b.raw(item(i), v)
+				}
+			}(lo, hi)
+		default:
+			// Pool saturated: do the work inline rather than queue.
+			for i := lo; i < hi; i++ {
+				out[i] = b.raw(item(i), v)
+			}
+		}
+	}
+	wg.Wait()
+	b.dist.Add(int64(n))
+}
+
+// Fork runs task(i) for every i in [0, n), spawning pool goroutines
+// when worker tokens are free and running inline otherwise, and returns
+// when all tasks finished. Tasks may themselves call Fork and Measure:
+// token acquisition never blocks (a saturated pool degrades to inline
+// execution), so nested forks cannot deadlock. Tasks must write to
+// disjoint state — typically distinct child slots of one node.
+func (b *Builder[T]) Fork(n int, task func(int)) {
+	if b.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case b.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-b.sem }()
+				task(i)
+			}(i)
+		default:
+			task(i)
+		}
+	}
+	wg.Wait()
+}
+
+// Node records one node created at the given depth (root = 0) for the
+// Stats tally. Safe to call from Fork tasks.
+func (b *Builder[T]) Node(depth int) {
+	b.nodes.Add(1)
+	for {
+		cur := b.depth.Load()
+		if int64(depth) <= cur || b.depth.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// Finish closes the build context and reports its Stats.
+func (b *Builder[T]) Finish() Stats {
+	return Stats{
+		Distances: b.dist.Count() - b.before,
+		Wall:      time.Since(b.start),
+		Nodes:     int(b.nodes.Load()),
+		MaxDepth:  int(b.depth.Load()),
+		Workers:   b.workers,
+	}
+}

@@ -1,0 +1,157 @@
+package build
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mvptree/internal/metric"
+)
+
+func absDiff(a, b float64) float64 { return math.Abs(a - b) }
+
+func TestMeasureMatchesSerialAndSettlesCounter(t *testing.T) {
+	items := make([]float64, 3000)
+	for i := range items {
+		items[i] = float64(i) * 0.5
+	}
+	for _, workers := range []int{0, 1, 4, 16} {
+		ctr := metric.NewCounter(absDiff)
+		b := Start(ctr, Options{Workers: workers})
+		out := make([]float64, len(items))
+		b.Measure(100, func(i int) float64 { return items[i] }, out)
+		for i := range out {
+			if want := absDiff(items[i], 100); out[i] != want {
+				t.Fatalf("workers=%d: out[%d] = %g, want %g", workers, i, out[i], want)
+			}
+		}
+		if got := ctr.Count(); got != int64(len(items)) {
+			t.Errorf("workers=%d: counter = %d, want %d", workers, got, len(items))
+		}
+		s := b.Finish()
+		if s.Distances != int64(len(items)) {
+			t.Errorf("workers=%d: Stats.Distances = %d, want %d", workers, s.Distances, len(items))
+		}
+		if s.Workers != max(workers, 1) {
+			t.Errorf("workers=%d: Stats.Workers = %d", workers, s.Workers)
+		}
+	}
+}
+
+func TestMeasureEmptyAndSmallBatches(t *testing.T) {
+	ctr := metric.NewCounter(absDiff)
+	b := Start(ctr, Options{Workers: 8})
+	b.Measure(1, func(i int) float64 { t.Fatal("item called for empty batch"); return 0 }, nil)
+	out := make([]float64, 3) // below MeasureThreshold: serial path
+	b.Measure(1, func(i int) float64 { return float64(i) }, out)
+	if ctr.Count() != 3 {
+		t.Errorf("counter = %d, want 3", ctr.Count())
+	}
+}
+
+func TestForkRunsEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		ctr := metric.NewCounter(absDiff)
+		b := Start(ctr, Options{Workers: workers})
+		const n = 500
+		ran := make([]atomic.Int32, n)
+		b.Fork(n, func(i int) { ran[i].Add(1) })
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForkNestedDoesNotDeadlock(t *testing.T) {
+	ctr := metric.NewCounter(absDiff)
+	b := Start(ctr, Options{Workers: 4})
+	var total atomic.Int64
+	b.Fork(8, func(i int) {
+		b.Fork(8, func(j int) {
+			b.Fork(4, func(k int) { total.Add(1) })
+		})
+	})
+	if got := total.Load(); got != 8*8*4 {
+		t.Fatalf("nested fork ran %d leaf tasks, want %d", got, 8*8*4)
+	}
+}
+
+func TestForkBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	ctr := metric.NewCounter(absDiff)
+	b := Start(ctr, Options{Workers: workers})
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	b.Fork(64, func(i int) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		for j := 0; j < 1000; j++ {
+			_ = splitmix64(uint64(j))
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, worker bound is %d", p, workers)
+	}
+}
+
+func TestNodeTracksCountAndDepth(t *testing.T) {
+	ctr := metric.NewCounter(absDiff)
+	b := Start(ctr, Options{Workers: 8})
+	b.Fork(100, func(i int) { b.Node(i % 7) })
+	s := b.Finish()
+	if s.Nodes != 100 {
+		t.Errorf("Nodes = %d, want 100", s.Nodes)
+	}
+	if s.MaxDepth != 6 {
+		t.Errorf("MaxDepth = %d, want 6", s.MaxDepth)
+	}
+}
+
+func TestRNGDeterministicSplitting(t *testing.T) {
+	root := NewRNG(42, 0xabc)
+	if NewRNG(42, 0xabc) != root {
+		t.Fatal("NewRNG not deterministic")
+	}
+	if NewRNG(43, 0xabc) == root || NewRNG(42, 0xabd) == root {
+		t.Fatal("seed or salt ignored")
+	}
+	a, b := root.Child(0), root.Child(1)
+	if a == b {
+		t.Fatal("distinct children share a key")
+	}
+	if root.Child(0) != a {
+		t.Fatal("Child not deterministic")
+	}
+	// Identical positions draw identical sequences, independent of any
+	// other RNG's use.
+	r1 := root.Child(3).Rand()
+	_ = root.Child(7).Rand().IntN(1000)
+	r2 := root.Child(3).Rand()
+	for i := 0; i < 100; i++ {
+		if r1.IntN(1<<30) != r2.IntN(1<<30) {
+			t.Fatal("same position produced different draws")
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{Workers: -1}).Validate("pkg"); err == nil {
+		t.Error("negative Workers accepted")
+	}
+	for _, w := range []int{0, 1, 32} {
+		if err := (Options{Workers: w}).Validate("pkg"); err != nil {
+			t.Errorf("Workers=%d rejected: %v", w, err)
+		}
+	}
+	if (Options{}).WorkerCount() != 1 || (Options{Workers: 5}).WorkerCount() != 5 {
+		t.Error("WorkerCount normalization wrong")
+	}
+}

@@ -23,7 +23,7 @@ func TestConcurrentInsertWhileQuerying(t *testing.T) {
 		initial[i] = randVec(rng, dim)
 	}
 	s, err := New(initial, metric.L2, Options{
-		Tree: mvp.Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Seed: 1},
+		Tree: mvp.Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Build: mvp.Build{Seed: 1}},
 		// Small fraction so the writer triggers many rebuilds while
 		// readers are in flight.
 		RebuildFraction: 0.05,

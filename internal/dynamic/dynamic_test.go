@@ -54,7 +54,7 @@ func TestRandomizedOperationsMatchModel(t *testing.T) {
 		m.insert(initial[i])
 	}
 	s, err := New(initial, metric.L2, Options{
-		Tree:            mvp.Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Seed: 1},
+		Tree:            mvp.Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Build: mvp.Build{Seed: 1}},
 		RebuildFraction: 0.2,
 	})
 	if err != nil {

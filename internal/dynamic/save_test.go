@@ -17,7 +17,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		initial[i] = randVec(rng, 6)
 	}
 	s, err := New(initial, metric.L2, Options{
-		Tree: mvp.Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Seed: 9},
+		Tree: mvp.Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Build: mvp.Build{Seed: 9}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +125,7 @@ func TestLoadRejectsCorruption(t *testing.T) {
 
 func TestOptionsSurviveReload(t *testing.T) {
 	s, err := New([][]float64{{1}, {2}, {3}}, metric.L2, Options{
-		Tree:            mvp.Options{Partitions: 4, LeafCapacity: 7, PathLength: 3, Seed: 5},
+		Tree:            mvp.Options{Partitions: 4, LeafCapacity: 7, PathLength: 3, Build: mvp.Build{Seed: 5}},
 		RebuildFraction: 0.5,
 	})
 	if err != nil {

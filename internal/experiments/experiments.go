@@ -50,6 +50,13 @@ type Config struct {
 	// only wall-clock time.
 	QueryWorkers int
 
+	// BuildWorkers parallelizes index construction within each
+	// (structure, seed) run (cmd/mvpbench -buildworkers). Values <= 1
+	// build sequentially. Construction is deterministic in the worker
+	// count: the tree built and its distance-computation cost are
+	// identical, only wall-clock time changes.
+	BuildWorkers int
+
 	// ImageSet, when non-nil, replaces the synthetic image workload —
 	// the hook for running the image experiments against a real
 	// collection (cmd/mvpbench -imgdir). ImageDim must be set to the
@@ -201,26 +208,26 @@ func Fig7(c Config) *histogram.Histogram {
 // uniform vector dataset for vpt(2), vpt(3), mvpt(3,9), mvpt(3,80).
 func Fig8(c Config) (*bench.Table, error) {
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		VectorStructures(), Fig8Radii, c.TreeSeeds, c.QueryWorkers)
+		VectorStructures(), Fig8Radii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // Fig9 regenerates Figure 9: the same four structures on the clustered
 // vector dataset.
 func Fig9(c Config) (*bench.Table, error) {
 	return bench.RunRange(c.ClusteredVectors(), c.VectorQueries(), metric.L2,
-		VectorStructures(), Fig9Radii, c.TreeSeeds, c.QueryWorkers)
+		VectorStructures(), Fig9Radii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // Fig10 regenerates Figure 10: image similarity search under L1.
 func Fig10(c Config) (*bench.Table, error) {
 	imgs := c.Images()
 	return bench.RunRange(imgs, c.ImageQuerySet(imgs), c.ImageL1(),
-		ImageStructures(), ImageRadii, c.TreeSeeds, c.QueryWorkers)
+		ImageStructures(), ImageRadii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // Fig11 regenerates Figure 11: image similarity search under L2.
 func Fig11(c Config) (*bench.Table, error) {
 	imgs := c.Images()
 	return bench.RunRange(imgs, c.ImageQuerySet(imgs), c.ImageL2(),
-		ImageStructures(), ImageRadii, c.TreeSeeds, c.QueryWorkers)
+		ImageStructures(), ImageRadii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mvptree/internal/bench"
+	"mvptree/internal/build"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/mvp"
@@ -26,19 +27,19 @@ func AblationP(c Config) (*bench.Table, error) {
 		p := p
 		structures = append(structures, bench.Structure[[]float64]{
 			Name: fmt.Sprintf("mvpt-p=%d", p),
-			Build: func(items [][]float64, dist *metric.Counter[[]float64], seed uint64) (index.Index[[]float64], error) {
+			Build: func(items [][]float64, dist *metric.Counter[[]float64], opts build.Options) (index.Index[[]float64], build.Stats, error) {
 				pl := p
 				if pl == 0 {
 					pl = -1 // mvp.Options: -1 requests a genuine zero
 				}
-				return mvp.New(items, dist, mvp.Options{
-					Partitions: 3, LeafCapacity: 80, PathLength: pl, Seed: seed,
+				return mvp.NewWithStats(items, dist, mvp.Options{
+					Build: opts, Partitions: 3, LeafCapacity: 80, PathLength: pl,
 				})
 			},
 		})
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // AblationKValues are the leaf capacities swept by AblationK.
@@ -52,7 +53,7 @@ func AblationK(c Config) (*bench.Table, error) {
 		structures = append(structures, bench.MVPT[[]float64](3, k, 5))
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // AblationSV2 quantifies the farthest-point choice of the second vantage
@@ -63,7 +64,7 @@ func AblationSV2(c Config) (*bench.Table, error) {
 		bench.MVPTRandomSV2[[]float64](3, 80, 5),
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // KNNKs are the neighbor counts swept by KNNStudy.
@@ -80,7 +81,7 @@ func KNNStudy(c Config) (*bench.Table, error) {
 		bench.LAESA[[]float64](32),
 	)
 	return bench.RunKNN(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, KNNKs, c.TreeSeeds, c.QueryWorkers)
+		structures, KNNKs, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // StructureStudy compares the related structures the paper reviews in
@@ -97,7 +98,7 @@ func StructureStudy(c Config) (*bench.Table, error) {
 		bench.LAESA[[]float64](32),
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // WordRadii are the edit-distance query radii swept by WordStudy.
@@ -115,7 +116,7 @@ func WordStudy(c Config) (*bench.Table, error) {
 		bench.VPT[string](3),
 		bench.MVPT[string](2, 20, 4),
 	}
-	return bench.RunRange(words, queries, metric.Edit, structures, WordRadii, c.TreeSeeds, c.QueryWorkers)
+	return bench.RunRange(words, queries, metric.Edit, structures, WordRadii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // VantageStudy sweeps the number of vantage points per node at roughly
@@ -131,7 +132,7 @@ func VantageStudy(c Config) (*bench.Table, error) {
 		bench.MVPT[[]float64](3, 80, 5), // reference implementation of v=2
 	}
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries(), metric.L2,
-		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers)
+		structures, Fig8Radii, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }
 
 // BuildStudy measures construction cost (distance computations) for
@@ -150,5 +151,5 @@ func BuildStudy(c Config) (*bench.Table, error) {
 	}
 	// A single token radius: only the BuildCost column matters here.
 	return bench.RunRange(c.UniformVectors(), c.VectorQueries()[:1], metric.L2,
-		structures, []float64{0.1}, c.TreeSeeds, c.QueryWorkers)
+		structures, []float64{0.1}, c.TreeSeeds, c.QueryWorkers, c.BuildWorkers)
 }

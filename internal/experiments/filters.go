@@ -44,7 +44,8 @@ func FilterStudy(c Config) ([]FilterRow, error) {
 	for _, seed := range c.TreeSeeds {
 		counter := metric.NewCounter[[]float64](metric.L2)
 		tree, err := mvp.New(items, counter, mvp.Options{
-			Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: seed,
+			Partitions: 3, LeafCapacity: 80, PathLength: 5,
+			Build: mvp.Build{Seed: seed, Workers: c.BuildWorkers},
 		})
 		if err != nil {
 			return nil, err

@@ -15,28 +15,33 @@ package ghtree
 
 import (
 	"errors"
-	"math/rand/v2"
 
+	"mvptree/internal/build"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
 
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
+
 // Options configure construction of a gh-tree.
 type Options struct {
+	// Build holds the shared construction knobs (Workers, Seed); the
+	// tree built is identical for every worker count.
+	Build
 	// LeafCapacity is the maximum number of points in a leaf bucket.
 	// Default 1.
 	LeafCapacity int
-	// Seed seeds pivot selection.
-	Seed uint64
 }
 
 // Tree is a generalized hyperplane tree over a fixed item set.
 type Tree[T any] struct {
-	root      *node[T]
-	dist      *metric.Counter[T]
-	size      int
-	buildCost int64
+	root       *node[T]
+	dist       *metric.Counter[T]
+	size       int
+	buildStats build.Stats
 }
 
 var _ index.Index[int] = (*Tree[int])(nil)
@@ -51,26 +56,38 @@ type node[T any] struct {
 
 // New builds a gh-tree over items using the counted metric dist.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
+}
+
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count and depth (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], build.Stats, error) {
 	if opts.LeafCapacity == 0 {
 		opts.LeafCapacity = 1
 	}
+	if err := opts.Build.Validate("ghtree"); err != nil {
+		return nil, build.Stats{}, err
+	}
 	if opts.LeafCapacity < 1 {
-		return nil, errors.New("ghtree: LeafCapacity must be at least 1")
+		return nil, build.Stats{}, errors.New("ghtree: LeafCapacity must be at least 1")
 	}
 	t := &Tree[T]{dist: dist, size: len(items)}
 	work := make([]T, len(items))
 	copy(work, items)
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x676874726565))
-	before := dist.Count()
-	t.root = t.build(work, rng, opts.LeafCapacity)
-	t.buildCost = dist.Count() - before
-	return t, nil
+	b := build.Start(dist, opts.Build)
+	t.root = t.build(b, work, build.NewRNG(opts.Seed, 0x676874726565), opts.LeafCapacity, 0)
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
 }
 
-func (t *Tree[T]) build(work []T, rng *rand.Rand, leafCap int) *node[T] {
+// build consumes work. src is the splittable RNG fixed by this subtree's
+// position, so the tree is identical for every worker count.
+func (t *Tree[T]) build(b *build.Builder[T], work []T, src build.RNG, leafCap, depth int) *node[T] {
 	if len(work) == 0 {
 		return nil
 	}
+	b.Node(depth)
 	if len(work) <= leafCap {
 		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
 		copy(leaf.items, work)
@@ -79,7 +96,7 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, leafCap int) *node[T] {
 	n := &node[T]{}
 	// First pivot random; second pivot the farthest point from the
 	// first, which tends to produce well-separated hyperplanes.
-	i1 := rng.IntN(len(work))
+	i1 := src.Rand().IntN(len(work))
 	work[i1], work[len(work)-1] = work[len(work)-1], work[i1]
 	n.p1 = work[len(work)-1]
 	rest := work[:len(work)-1]
@@ -87,9 +104,9 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, leafCap int) *node[T] {
 		return n
 	}
 	d1 := make([]float64, len(rest))
+	b.Measure(n.p1, func(i int) T { return rest[i] }, d1)
 	far := 0
-	for i, it := range rest {
-		d1[i] = t.dist.Distance(n.p1, it)
+	for i := range rest {
 		if d1[i] > d1[far] {
 			far = i
 		}
@@ -100,16 +117,23 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, leafCap int) *node[T] {
 	n.p2, n.hasP2 = rest[last], true
 	rest, d1 = rest[:last], d1[:last]
 
+	d2 := make([]float64, len(rest))
+	b.Measure(n.p2, func(i int) T { return rest[i] }, d2)
 	var left, right []T
 	for i, it := range rest {
-		if d1[i] <= t.dist.Distance(n.p2, it) {
+		if d1[i] <= d2[i] {
 			left = append(left, it)
 		} else {
 			right = append(right, it)
 		}
 	}
-	n.left = t.build(left, rng, leafCap)
-	n.right = t.build(right, rng, leafCap)
+	b.Fork(2, func(side int) {
+		if side == 0 {
+			n.left = t.build(b, left, src.Child(0), leafCap, depth+1)
+		} else {
+			n.right = t.build(b, right, src.Child(1), leafCap, depth+1)
+		}
+	})
 	return n
 }
 
@@ -121,7 +145,10 @@ func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
 // BuildCost reports the number of distance computations made during
 // construction.
-func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full construction report.
+func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
 // Range returns every indexed item within distance r of q.
 func (t *Tree[T]) Range(q T, r float64) []T {

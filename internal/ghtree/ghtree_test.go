@@ -11,7 +11,7 @@ import (
 func TestRangeMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(31, 1))
 	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
-	for _, opts := range []Options{{Seed: 7}, {LeafCapacity: 8, Seed: 7}} {
+	for _, opts := range []Options{{Build: Build{Seed: 7}}, {LeafCapacity: 8, Build: Build{Seed: 7}}} {
 		c := metric.NewCounter(w.Dist)
 		tree, err := New(w.Items, c, opts)
 		if err != nil {
@@ -25,7 +25,7 @@ func TestKNNMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(32, 1))
 	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{LeafCapacity: 4, Seed: 9})
+	tree, err := New(w.Items, c, Options{LeafCapacity: 4, Build: Build{Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestDuplicateHeavyData(t *testing.T) {
 	rng := rand.New(rand.NewPCG(33, 1))
 	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Seed: 3})
+	tree, err := New(w.Items, c, Options{Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

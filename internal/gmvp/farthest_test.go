@@ -30,7 +30,7 @@ func TestKFarthestMatchesLinearScan(t *testing.T) {
 func TestRangeFartherFastPath(t *testing.T) {
 	rng := rand.New(rand.NewPCG(13, 7))
 	w := testutil.NewVectorWorkload(rng, 1500, 8, 1, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Vantages: 2, Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 3})
+	tree, c := buildWorkloadTree(t, w, Options{Vantages: 2, Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 3}})
 	c.Reset()
 	if got := tree.RangeFarther(w.Queries[0], 0); len(got) != 1500 || c.Count() != 0 {
 		t.Errorf("RangeFarther(0): %d items, %d computations", len(got), c.Count())
@@ -66,8 +66,8 @@ func TestShapeAccounting(t *testing.T) {
 func TestHeightShrinksWithFanout(t *testing.T) {
 	rng := rand.New(rand.NewPCG(15, 7))
 	w := testutil.NewVectorWorkload(rng, 3000, 6, 1, metric.L2)
-	small, _ := buildWorkloadTree(t, w, Options{Vantages: 1, Partitions: 2, LeafCapacity: 5, PathLength: 4, Seed: 2})
-	big, _ := buildWorkloadTree(t, w, Options{Vantages: 3, Partitions: 3, LeafCapacity: 5, PathLength: 4, Seed: 2})
+	small, _ := buildWorkloadTree(t, w, Options{Vantages: 1, Partitions: 2, LeafCapacity: 5, PathLength: 4, Build: Build{Seed: 2}})
+	big, _ := buildWorkloadTree(t, w, Options{Vantages: 3, Partitions: 3, LeafCapacity: 5, PathLength: 4, Build: Build{Seed: 2}})
 	if big.Height() >= small.Height() {
 		t.Errorf("fanout 27 height %d ≥ fanout 2 height %d", big.Height(), small.Height())
 	}

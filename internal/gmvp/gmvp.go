@@ -24,13 +24,21 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"mvptree/internal/build"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
 
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
+
 // Options configure construction.
 type Options struct {
+	// Build holds the shared construction knobs (Workers, Seed); the
+	// tree built is identical for every worker count.
+	Build
 	// Vantages is v, the number of vantage points per node; fanout is
 	// Partitions^Vantages. Default 2 (the paper's mvp-tree).
 	Vantages int
@@ -42,8 +50,6 @@ type Options struct {
 	// PathLength is p, the retained ancestor-distance prefix per leaf
 	// point; -1 requests a genuine zero (0 means default). Default 5.
 	PathLength int
-	// Seed seeds vantage-point selection.
-	Seed uint64
 }
 
 func (o *Options) setDefaults() {
@@ -65,6 +71,9 @@ func (o *Options) setDefaults() {
 }
 
 func (o *Options) validate() error {
+	if err := o.Build.Validate("gmvp"); err != nil {
+		return err
+	}
 	if o.Vantages < 1 {
 		return errors.New("gmvp: Vantages must be at least 1")
 	}
@@ -79,12 +88,12 @@ func (o *Options) validate() error {
 
 // Tree is a generalized multi-vantage-point tree.
 type Tree[T any] struct {
-	root      *node[T]
-	dist      *metric.Counter[T]
-	size      int
-	v, m, k   int
-	p         int
-	buildCost int64
+	root       *node[T]
+	dist       *metric.Counter[T]
+	size       int
+	v, m, k    int
+	p          int
+	buildStats build.Stats
 }
 
 var _ index.Index[int] = (*Tree[int])(nil)
@@ -129,9 +138,16 @@ type entry[T any] struct {
 // New builds a generalized mvp-tree over items using the counted metric
 // dist.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
+}
+
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count and depth (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], build.Stats, error) {
 	opts.setDefaults()
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, build.Stats{}, err
 	}
 	t := &Tree[T]{
 		dist: dist,
@@ -145,11 +161,10 @@ func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], err
 	for i, it := range items {
 		entries[i] = entry[T]{item: it}
 	}
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x676d7670))
-	before := dist.Count()
-	t.root = t.build(entries, rng)
-	t.buildCost = dist.Count() - before
-	return t, nil
+	b := build.Start(dist, opts.Build)
+	t.root = t.build(b, entries, build.NewRNG(opts.Seed, 0x676d7670), 0)
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
 }
 
 // Len reports the number of indexed items.
@@ -159,7 +174,10 @@ func (t *Tree[T]) Len() int { return t.size }
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
 // BuildCost reports construction distance computations.
-func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full construction report.
+func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
 // Vantages, Partitions, LeafCapacity and PathLength report the
 // parameters in effect.
@@ -168,15 +186,18 @@ func (t *Tree[T]) Partitions() int   { return t.m }
 func (t *Tree[T]) LeafCapacity() int { return t.k }
 func (t *Tree[T]) PathLength() int   { return t.p }
 
-// build constructs the subtree over entries.
-func (t *Tree[T]) build(entries []entry[T], rng *rand.Rand) *node[T] {
+// build constructs the subtree over entries. src is the splittable RNG
+// fixed by this subtree's position, so the tree is identical for every
+// worker count.
+func (t *Tree[T]) build(b *build.Builder[T], entries []entry[T], src build.RNG, depth int) *node[T] {
 	if len(entries) == 0 {
 		return nil
 	}
+	b.Node(depth)
 	if len(entries) <= t.k+t.v {
-		return t.buildLeaf(entries, rng)
+		return t.buildLeaf(b, entries, src.Rand())
 	}
-	return t.buildInternal(entries, rng)
+	return t.buildInternal(b, entries, src, depth)
 }
 
 // chooseVantages picks up to v vantage points from entries: the first
@@ -184,7 +205,7 @@ func (t *Tree[T]) build(entries []entry[T], rng *rand.Rand) *node[T] {
 // from its predecessor. It returns the vantage items, the per-vantage
 // distance slices over the surviving entries, and the surviving entries
 // themselves (with PATH prefixes extended, capped at p).
-func (t *Tree[T]) chooseVantages(entries []entry[T], rng *rand.Rand, v int) (vantages []T, dists [][]float64, rest []entry[T]) {
+func (t *Tree[T]) chooseVantages(b *build.Builder[T], entries []entry[T], rng *rand.Rand, v int) (vantages []T, dists [][]float64, rest []entry[T]) {
 	rest = entries
 	for j := 0; j < v && len(rest) > 0; j++ {
 		var pick int
@@ -212,8 +233,8 @@ func (t *Tree[T]) chooseVantages(entries []entry[T], rng *rand.Rand, v int) (van
 		rest = rest[:last]
 
 		ds := make([]float64, len(rest))
+		b.Measure(vantage, func(i int) T { return rest[i].item }, ds)
 		for i := range rest {
-			ds[i] = t.dist.Distance(rest[i].item, vantage)
 			if len(rest[i].path) < t.p {
 				rest[i].path = append(rest[i].path, ds[i])
 			}
@@ -223,9 +244,9 @@ func (t *Tree[T]) chooseVantages(entries []entry[T], rng *rand.Rand, v int) (van
 	return vantages, dists, rest
 }
 
-func (t *Tree[T]) buildLeaf(entries []entry[T], rng *rand.Rand) *node[T] {
+func (t *Tree[T]) buildLeaf(b *build.Builder[T], entries []entry[T], rng *rand.Rand) *node[T] {
 	n := &node[T]{}
-	vantages, dists, rest := t.chooseVantages(entries, rng, t.v)
+	vantages, dists, rest := t.chooseVantages(b, entries, rng, t.v)
 	n.vantages = vantages
 	if len(rest) == 0 {
 		return n
@@ -243,22 +264,38 @@ func (t *Tree[T]) buildLeaf(entries []entry[T], rng *rand.Rand) *node[T] {
 	return n
 }
 
-func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand) *node[T] {
+func (t *Tree[T]) buildInternal(b *build.Builder[T], entries []entry[T], src build.RNG, depth int) *node[T] {
 	n := &node[T]{}
-	vantages, dists, rest := t.chooseVantages(entries, rng, t.v)
+	vantages, dists, rest := t.chooseVantages(b, entries, src.Rand(), t.v)
 	n.vantages = vantages
 	ids := make([]int, len(rest))
 	for i := range ids {
 		ids[i] = i
 	}
-	n.top = t.buildSplit(rest, dists, ids, 0, rng)
+	// The cascade partitions without any distance computations; child
+	// subtrees are collected during the walk and then built through the
+	// pool, each with an RNG derived from its cascade position.
+	var tasks []childTask[T]
+	n.top = t.buildSplit(rest, dists, ids, 0, &tasks)
+	b.Fork(len(tasks), func(i int) {
+		ct := tasks[i]
+		ct.sp.children[ct.g] = t.build(b, ct.entries, src.Child(i), depth+1)
+	})
 	return n
+}
+
+// childTask is one child subtree to build: slot (sp, g) gets the tree
+// over entries.
+type childTask[T any] struct {
+	sp      *split[T]
+	g       int
+	entries []entry[T]
 }
 
 // buildSplit partitions the region holding the points rest[ids] by the
 // distance slice dists[level], recursing down the cascade and finally
 // into child subtrees.
-func (t *Tree[T]) buildSplit(rest []entry[T], dists [][]float64, ids []int, level int, rng *rand.Rand) *split[T] {
+func (t *Tree[T]) buildSplit(rest []entry[T], dists [][]float64, ids []int, level int, tasks *[]childTask[T]) *split[T] {
 	ds := dists[level]
 	sort.Slice(ids, func(a, b int) bool { return ds[ids[a]] < ds[ids[b]] })
 	sp := &split[T]{level: level}
@@ -276,14 +313,14 @@ func (t *Tree[T]) buildSplit(rest []entry[T], dists [][]float64, ids []int, leve
 		}
 		region := ids[grp.lo:grp.hi]
 		if !last {
-			sp.subs[g] = t.buildSplit(rest, dists, region, level+1, rng)
+			sp.subs[g] = t.buildSplit(rest, dists, region, level+1, tasks)
 			continue
 		}
 		child := make([]entry[T], len(region))
 		for i, id := range region {
 			child[i] = rest[id]
 		}
-		sp.children[g] = t.build(child, rng)
+		*tasks = append(*tasks, childTask[T]{sp, g, child})
 	}
 	return sp
 }

@@ -19,12 +19,12 @@ func buildWorkloadTree(t *testing.T, w *testutil.Workload, opts Options) (*Tree[
 }
 
 var optionMatrix = []Options{
-	{Vantages: 1, Partitions: 2, LeafCapacity: 1, PathLength: -1, Seed: 7},
-	{Vantages: 1, Partitions: 9, LeafCapacity: 20, PathLength: 5, Seed: 7},
-	{Vantages: 2, Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 7},
-	{Vantages: 3, Partitions: 2, LeafCapacity: 13, PathLength: 6, Seed: 7},
-	{Vantages: 4, Partitions: 2, LeafCapacity: 40, PathLength: 8, Seed: 7},
-	{Vantages: 3, Partitions: 3, LeafCapacity: 30, PathLength: 5, Seed: 7},
+	{Vantages: 1, Partitions: 2, LeafCapacity: 1, PathLength: -1, Build: Build{Seed: 7}},
+	{Vantages: 1, Partitions: 9, LeafCapacity: 20, PathLength: 5, Build: Build{Seed: 7}},
+	{Vantages: 2, Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 7}},
+	{Vantages: 3, Partitions: 2, LeafCapacity: 13, PathLength: 6, Build: Build{Seed: 7}},
+	{Vantages: 4, Partitions: 2, LeafCapacity: 40, PathLength: 8, Build: Build{Seed: 7}},
+	{Vantages: 3, Partitions: 3, LeafCapacity: 30, PathLength: 5, Build: Build{Seed: 7}},
 }
 
 func TestRangeMatchesLinearScan(t *testing.T) {
@@ -115,7 +115,7 @@ func TestMoreVantagesFilterMoreAtFixedFanout(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 6000, 20, 25, metric.L2)
 	cost := func(v, m int) float64 {
 		c := metric.NewCounter(w.Dist)
-		tree, err := New(w.Items, c, Options{Vantages: v, Partitions: m, LeafCapacity: 80, PathLength: 5, Seed: 11})
+		tree, err := New(w.Items, c, Options{Vantages: v, Partitions: m, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 11}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,7 +146,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 300, 6, 4, metric.L2)
 	run := func() []int64 {
 		c := metric.NewCounter(w.Dist)
-		tree, err := New(w.Items, c, Options{Vantages: 3, Partitions: 2, LeafCapacity: 10, PathLength: 5, Seed: 42})
+		tree, err := New(w.Items, c, Options{Vantages: 3, Partitions: 2, LeafCapacity: 10, PathLength: 5, Build: Build{Seed: 42}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +170,7 @@ func TestStringsWorkToo(t *testing.T) {
 	words := []string{"book", "books", "cake", "boo", "boon", "cook", "cape", "cart", "case", "cast",
 		"bake", "lake", "take", "rake", "fake", "face", "fact", "fast", "mast", "most"}
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New(words, c, Options{Vantages: 3, Partitions: 2, LeafCapacity: 4, PathLength: 4, Seed: 6})
+	tree, err := New(words, c, Options{Vantages: 3, Partitions: 2, LeafCapacity: 4, PathLength: 4, Build: Build{Seed: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}

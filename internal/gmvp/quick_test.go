@@ -44,7 +44,7 @@ func TestQuickRandomConfigurations(t *testing.T) {
 		w := testutil.NewVectorWorkload(rng, n, dim, 3, metric.L2)
 		c := metric.NewCounter(w.Dist)
 		tree, err := New(w.Items, c, Options{
-			Vantages: v, Partitions: m, LeafCapacity: k, PathLength: pl, Seed: p.Seed,
+			Vantages: v, Partitions: m, LeafCapacity: k, PathLength: pl, Build: Build{Seed: p.Seed},
 		})
 		if err != nil {
 			t.Logf("New(v=%d m=%d k=%d p=%d): %v", v, m, k, pl, err)

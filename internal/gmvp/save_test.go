@@ -52,7 +52,7 @@ func TestSaveLoadIdenticalQueryCosts(t *testing.T) {
 	rng := rand.New(rand.NewPCG(22, 7))
 	w := testutil.NewVectorWorkload(rng, 400, 6, 6, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	orig, err := New(w.Items, c, Options{Vantages: 3, Partitions: 2, LeafCapacity: 10, PathLength: 5, Seed: 3})
+	orig, err := New(w.Items, c, Options{Vantages: 3, Partitions: 2, LeafCapacity: 10, PathLength: 5, Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	rng := rand.New(rand.NewPCG(23, 7))
 	w := testutil.NewVectorWorkload(rng, 100, 4, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	orig, err := New(w.Items, c, Options{Seed: 1})
+	orig, err := New(w.Items, c, Options{Build: Build{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,5 +1,12 @@
 package gmvp
 
+import "mvptree/internal/index"
+
+// SearchStats is the shared per-query filtering breakdown
+// (index.SearchStats), aliased here so gmvp call sites match the mvp
+// and vptree packages.
+type SearchStats = index.SearchStats
+
 // Stats describes the shape of a built tree.
 type Stats struct {
 	Nodes         int

@@ -18,15 +18,22 @@ package gnat
 
 import (
 	"errors"
-	"math/rand/v2"
 
+	"mvptree/internal/build"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
 
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
+
 // Options configure construction of a GNAT.
 type Options struct {
+	// Build holds the shared construction knobs (Workers, Seed); the
+	// tree built is identical for every worker count.
+	Build
 	// Degree is the number of split points per node, k in [Bri95].
 	// Default 8.
 	Degree int
@@ -47,8 +54,6 @@ type Options struct {
 	// MinDegree and MaxDegree clamp adaptive degrees. Defaults 2 and
 	// 4 × Degree.
 	MinDegree, MaxDegree int
-	// Seed seeds sampling.
-	Seed uint64
 }
 
 func (o *Options) setDefaults() {
@@ -71,10 +76,10 @@ func (o *Options) setDefaults() {
 
 // Tree is a GNAT over a fixed item set.
 type Tree[T any] struct {
-	root      *node[T]
-	dist      *metric.Counter[T]
-	size      int
-	buildCost int64
+	root       *node[T]
+	dist       *metric.Counter[T]
+	size       int
+	buildStats build.Stats
 }
 
 var _ index.Index[int] = (*Tree[int])(nil)
@@ -89,40 +94,52 @@ type node[T any] struct {
 
 // New builds a GNAT over items using the counted metric dist.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
+}
+
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count and depth (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], build.Stats, error) {
 	opts.setDefaults()
+	if err := opts.Build.Validate("gnat"); err != nil {
+		return nil, build.Stats{}, err
+	}
 	if opts.Degree < 2 {
-		return nil, errors.New("gnat: Degree must be at least 2")
+		return nil, build.Stats{}, errors.New("gnat: Degree must be at least 2")
 	}
 	if opts.LeafCapacity < 1 {
-		return nil, errors.New("gnat: LeafCapacity must be at least 1")
+		return nil, build.Stats{}, errors.New("gnat: LeafCapacity must be at least 1")
 	}
 	if opts.CandidateFactor < 1 {
-		return nil, errors.New("gnat: CandidateFactor must be at least 1")
+		return nil, build.Stats{}, errors.New("gnat: CandidateFactor must be at least 1")
 	}
 	if opts.Adaptive && (opts.MinDegree < 2 || opts.MaxDegree < opts.MinDegree) {
-		return nil, errors.New("gnat: adaptive degree bounds must satisfy 2 <= MinDegree <= MaxDegree")
+		return nil, build.Stats{}, errors.New("gnat: adaptive degree bounds must satisfy 2 <= MinDegree <= MaxDegree")
 	}
 	t := &Tree[T]{dist: dist, size: len(items)}
 	work := make([]T, len(items))
 	copy(work, items)
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x676e6174))
-	before := dist.Count()
-	t.root = t.build(work, rng, &opts, opts.Degree)
-	t.buildCost = dist.Count() - before
-	return t, nil
+	b := build.Start(dist, opts.Build)
+	t.root = t.build(b, work, build.NewRNG(opts.Seed, 0x676e6174), &opts, opts.Degree, 0)
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
 }
 
-func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options, degree int) *node[T] {
+// build consumes work. src is the splittable RNG fixed by this subtree's
+// position, so the tree is identical for every worker count.
+func (t *Tree[T]) build(b *build.Builder[T], work []T, src build.RNG, opts *Options, degree, depth int) *node[T] {
 	if len(work) == 0 {
 		return nil
 	}
+	b.Node(depth)
 	if len(work) <= opts.LeafCapacity || len(work) <= degree {
 		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
 		copy(leaf.items, work)
 		return leaf
 	}
 	k := degree
-	splits := t.chooseSplits(work, k, rng, opts.CandidateFactor)
+	splits := t.chooseSplits(b, work, k, src, opts.CandidateFactor)
 	n := &node[T]{splits: make([]T, k)}
 	inSplit := make(map[int]bool, k)
 	for i, wi := range splits {
@@ -130,15 +147,25 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options, degree int) *no
 		inSplit[wi] = true
 	}
 
-	datasets := make([][]T, k)
+	// Assignment pass: distance from every remaining point to every
+	// split point, batched one split point at a time (same computations
+	// as the point-at-a-time loop, so the cost counter is unchanged).
+	rest := make([]T, 0, len(work)-k)
 	for wi, it := range work {
-		if inSplit[wi] {
-			continue
+		if !inSplit[wi] {
+			rest = append(rest, it)
 		}
+	}
+	dmat := make([][]float64, k) // dmat[j][i] = d(rest[i], splits[j])
+	for j := 0; j < k; j++ {
+		dmat[j] = make([]float64, len(rest))
+		b.Measure(n.splits[j], func(i int) T { return rest[i] }, dmat[j])
+	}
+	datasets := make([][]T, k)
+	for i, it := range rest {
 		bestJ, bestD := 0, 0.0
-		for j := range n.splits {
-			d := t.dist.Distance(it, n.splits[j])
-			if j == 0 || d < bestD {
+		for j := 0; j < k; j++ {
+			if d := dmat[j][i]; j == 0 || d < bestD {
 				bestJ, bestD = j, d
 			}
 		}
@@ -150,16 +177,25 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options, degree int) *no
 	// prunes split point j, so the range must cover it. This is the
 	// second pass of distance computations [Bri95] pays for at
 	// construction ("more expensive preprocessing than the vp-tree").
+	// Batched per split point i over [splits..., dataset 0..., 1..., ...].
+	flat := make([]T, 0, len(work))
+	flat = append(flat, n.splits...)
+	for j := range datasets {
+		flat = append(flat, datasets[j]...)
+	}
+	row := make([]float64, len(flat))
 	n.lo = make([][]float64, k)
 	n.hi = make([][]float64, k)
-	for i := range n.lo {
+	for i := 0; i < k; i++ {
+		b.Measure(n.splits[i], func(x int) T { return flat[x] }, row)
 		n.lo[i] = make([]float64, k)
 		n.hi[i] = make([]float64, k)
+		off := k
 		for j := range datasets {
-			lo := t.dist.Distance(n.splits[i], n.splits[j])
+			lo := row[j] // d(split i, split j)
 			hi := lo
-			for _, x := range datasets[j] {
-				d := t.dist.Distance(n.splits[i], x)
+			for x := 0; x < len(datasets[j]); x++ {
+				d := row[off+x]
 				if d < lo {
 					lo = d
 				}
@@ -168,6 +204,7 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options, degree int) *no
 				}
 			}
 			n.lo[i][j], n.hi[i][j] = lo, hi
+			off += len(datasets[j])
 		}
 	}
 
@@ -176,6 +213,7 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options, degree int) *no
 	for j := range datasets {
 		total += len(datasets[j])
 	}
+	childDegs := make([]int, k)
 	for j := range datasets {
 		childDeg := opts.Degree
 		if opts.Adaptive && total > 0 {
@@ -183,22 +221,24 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options, degree int) *no
 			childDeg = int(float64(opts.Degree*k)*float64(len(datasets[j]))/float64(total) + 0.5)
 			childDeg = max(opts.MinDegree, min(opts.MaxDegree, childDeg))
 		}
-		n.children[j] = t.build(datasets[j], rng, opts, childDeg)
+		childDegs[j] = childDeg
 	}
+	b.Fork(k, func(j int) {
+		n.children[j] = t.build(b, datasets[j], src.Child(j), opts, childDegs[j], depth+1)
+	})
 	return n
 }
 
 // chooseSplits returns indices into work of k split points: sample
 // k·factor candidates, keep a greedy max-min-distance subset.
-func (t *Tree[T]) chooseSplits(work []T, k int, rng *rand.Rand, factor int) []int {
+func (t *Tree[T]) chooseSplits(b *build.Builder[T], work []T, k int, src build.RNG, factor int) []int {
 	candN := min(len(work), k*factor)
-	cands := rng.Perm(len(work))[:candN]
+	cands := src.Rand().Perm(len(work))[:candN]
 	chosen := make([]int, 0, k)
 	chosen = append(chosen, cands[0])
 	minDist := make([]float64, candN) // distance to nearest chosen split
-	for i, c := range cands {
-		minDist[i] = t.dist.Distance(work[c], work[chosen[0]])
-	}
+	b.Measure(work[chosen[0]], func(i int) T { return work[cands[i]] }, minDist)
+	row := make([]float64, candN)
 	for len(chosen) < k {
 		best, bestD := -1, -1.0
 		for i, c := range cands {
@@ -213,9 +253,10 @@ func (t *Tree[T]) chooseSplits(work []T, k int, rng *rand.Rand, factor int) []in
 			break
 		}
 		chosen = append(chosen, cands[best])
-		for i, c := range cands {
-			if d := t.dist.Distance(work[c], work[cands[best]]); d < minDist[i] {
-				minDist[i] = d
+		b.Measure(work[cands[best]], func(i int) T { return work[cands[i]] }, row)
+		for i := range cands {
+			if row[i] < minDist[i] {
+				minDist[i] = row[i]
 			}
 		}
 	}
@@ -239,7 +280,10 @@ func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
 // BuildCost reports the number of distance computations made during
 // construction.
-func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full construction report.
+func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
 // Range returns every indexed item within distance r of q, following
 // [Bri95]'s search: split points are consumed one at a time and each

@@ -12,9 +12,9 @@ func TestRangeMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(41, 1))
 	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
 	for _, opts := range []Options{
-		{Seed: 7},
-		{Degree: 4, LeafCapacity: 4, Seed: 7},
-		{Degree: 16, LeafCapacity: 32, Seed: 7},
+		{Build: Build{Seed: 7}},
+		{Degree: 4, LeafCapacity: 4, Build: Build{Seed: 7}},
+		{Degree: 16, LeafCapacity: 32, Build: Build{Seed: 7}},
 	} {
 		c := metric.NewCounter(w.Dist)
 		tree, err := New(w.Items, c, opts)
@@ -29,7 +29,7 @@ func TestKNNMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(42, 1))
 	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Degree: 5, LeafCapacity: 8, Seed: 9})
+	tree, err := New(w.Items, c, Options{Degree: 5, LeafCapacity: 8, Build: Build{Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestDuplicateHeavyData(t *testing.T) {
 	rng := rand.New(rand.NewPCG(43, 1))
 	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Seed: 3})
+	tree, err := New(w.Items, c, Options{Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestBuildIsMoreExpensiveThanSearchStructure(t *testing.T) {
 	rng := rand.New(rand.NewPCG(44, 1))
 	w := testutil.NewVectorWorkload(rng, 1000, 6, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Degree: 8, Seed: 5})
+	tree, err := New(w.Items, c, Options{Degree: 8, Build: Build{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestAdaptiveDegreeCorrectness(t *testing.T) {
 		"clumped": testutil.NewClumpedWorkload(rng, 600, 5, 8, metric.L2),
 	} {
 		c := metric.NewCounter(w.Dist)
-		tree, err := New(w.Items, c, Options{Degree: 6, Adaptive: true, Seed: 5})
+		tree, err := New(w.Items, c, Options{Degree: 6, Adaptive: true, Build: Build{Seed: 5}})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,0 +1,48 @@
+package index
+
+// SearchStats is the per-query filtering breakdown shared by every
+// structure that offers stats query variants (RangeWithStats,
+// KNNWithStats). It is defined once here — the index packages alias it
+// — so the batch executor and the experiment harness can aggregate
+// stats from any structure uniformly.
+//
+// Not every structure populates every field: the vp-tree stores no leaf
+// distances, so FilteredByD and FilteredByPath stay zero there and
+// Computed always equals Candidates; only the mvp-tree family fills the
+// two Filtered counters (the paper's Observation 2 made measurable).
+type SearchStats struct {
+	// NodesVisited and LeavesVisited count tree nodes entered.
+	NodesVisited  int
+	LeavesVisited int
+	// ShellsPruned counts child slots excluded by cutoff tests.
+	ShellsPruned int
+	// Candidates counts leaf data points considered.
+	Candidates int
+	// FilteredByD counts candidates excluded by stored exact distances
+	// to the leaf's own vantage points (the paper's D1/D2 arrays).
+	FilteredByD int
+	// FilteredByPath counts candidates excluded by a retained PATH
+	// distance — the filter only the mvp-tree family has.
+	FilteredByPath int
+	// Computed counts real distance computations against leaf data
+	// points; VantagePoints counts those against vantage points. Their
+	// sum equals the Counter delta for the query.
+	Computed      int
+	VantagePoints int
+	// Results is the answer-set size.
+	Results int
+}
+
+// Add accumulates b into s field by field, for aggregating per-query
+// stats into batch or per-worker totals.
+func (s *SearchStats) Add(b SearchStats) {
+	s.NodesVisited += b.NodesVisited
+	s.LeavesVisited += b.LeavesVisited
+	s.ShellsPruned += b.ShellsPruned
+	s.Candidates += b.Candidates
+	s.FilteredByD += b.FilteredByD
+	s.FilteredByPath += b.FilteredByPath
+	s.Computed += b.Computed
+	s.VantagePoints += b.VantagePoints
+	s.Results += b.Results
+}

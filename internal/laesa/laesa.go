@@ -20,41 +20,59 @@ package laesa
 
 import (
 	"errors"
-	"math/rand/v2"
 
+	"mvptree/internal/build"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
 
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
+
 // Options configure construction of the pivot table.
 type Options struct {
+	// Build holds the shared construction knobs: Workers spreads each
+	// pivot row's distance computations over a bounded pool (the table
+	// built is identical for every worker count), and Seed seeds pivot
+	// selection (maximum-minimum-distance greedy selection from a
+	// random start).
+	Build
 	// Pivots is the number of pivot items, the p of the table.
 	// Default 16 (capped at the number of items).
 	Pivots int
-	// Seed seeds pivot selection (maximum-minimum-distance greedy
-	// selection from a random start).
-	Seed uint64
 }
 
 // Table is a pivot-table index over a fixed item set.
 type Table[T any] struct {
-	items     []T
-	pivots    []T
-	table     [][]float64 // table[j][i] = d(pivots[j], items[i])
-	dist      *metric.Counter[T]
-	buildCost int64
+	items      []T
+	pivots     []T
+	table      [][]float64 // table[j][i] = d(pivots[j], items[i])
+	dist       *metric.Counter[T]
+	buildStats build.Stats
 }
 
 var _ index.Index[int] = (*Table[int])(nil)
 
 // New builds the pivot table over items using the counted metric dist.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Table[T], error) {
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
+}
+
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count (here: pivots) and depth
+// (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Table[T], build.Stats, error) {
 	if opts.Pivots == 0 {
 		opts.Pivots = 16
 	}
+	if err := opts.Build.Validate("laesa"); err != nil {
+		return nil, build.Stats{}, err
+	}
 	if opts.Pivots < 1 {
-		return nil, errors.New("laesa: Pivots must be at least 1")
+		return nil, build.Stats{}, errors.New("laesa: Pivots must be at least 1")
 	}
 	p := min(opts.Pivots, len(items))
 	t := &Table[T]{
@@ -63,25 +81,26 @@ func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Table[T], er
 	}
 	copy(t.items, items)
 	if len(items) == 0 {
-		return t, nil
+		return t, build.Stats{}, nil
 	}
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x6c61657361))
-	before := dist.Count()
+	b := build.Start(dist, opts.Build)
 
 	// Greedy max-min pivot selection: start random, then repeatedly
-	// take the item farthest from all chosen pivots. The first pass of
-	// distances doubles as the first table row.
+	// take the item farthest from all chosen pivots. Each pivot costs
+	// one batched distance pass over all items, which doubles as the
+	// pivot's table row.
 	t.pivots = make([]T, 0, p)
 	t.table = make([][]float64, 0, p)
 	minDist := make([]float64, len(items)) // to nearest chosen pivot
-	cur := rng.IntN(len(items))
+	cur := build.NewRNG(opts.Seed, 0x6c61657361).Rand().IntN(len(items))
 	for j := 0; j < p; j++ {
 		pv := t.items[cur]
 		t.pivots = append(t.pivots, pv)
+		b.Node(j)
 		row := make([]float64, len(items))
+		b.Measure(pv, func(i int) T { return t.items[i] }, row)
 		far, farD := cur, -1.0
 		for i := range t.items {
-			row[i] = dist.Distance(pv, t.items[i])
 			if j == 0 || row[i] < minDist[i] {
 				minDist[i] = row[i]
 			}
@@ -92,8 +111,8 @@ func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Table[T], er
 		t.table = append(t.table, row)
 		cur = far
 	}
-	t.buildCost = dist.Count() - before
-	return t, nil
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
 }
 
 // Len reports the number of indexed items.
@@ -107,7 +126,10 @@ func (t *Table[T]) Pivots() int { return len(t.pivots) }
 
 // BuildCost reports the number of distance computations made during
 // construction (pivots × n).
-func (t *Table[T]) BuildCost() int64 { return t.buildCost }
+func (t *Table[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full construction report.
+func (t *Table[T]) BuildStats() build.Stats { return t.buildStats }
 
 // queryPivots returns the query's distances to all pivots. The slice is
 // allocated per query so that concurrent queries never share scratch

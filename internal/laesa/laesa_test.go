@@ -11,7 +11,7 @@ import (
 func TestRangeMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(61, 1))
 	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
-	for _, opts := range []Options{{Pivots: 1, Seed: 7}, {Pivots: 8, Seed: 7}, {Pivots: 64, Seed: 7}} {
+	for _, opts := range []Options{{Pivots: 1, Build: Build{Seed: 7}}, {Pivots: 8, Build: Build{Seed: 7}}, {Pivots: 64, Build: Build{Seed: 7}}} {
 		c := metric.NewCounter(w.Dist)
 		tbl, err := New(w.Items, c, opts)
 		if err != nil {
@@ -25,7 +25,7 @@ func TestKNNMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(62, 1))
 	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tbl, err := New(w.Items, c, Options{Pivots: 12, Seed: 9})
+	tbl, err := New(w.Items, c, Options{Pivots: 12, Build: Build{Seed: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestDuplicateHeavyData(t *testing.T) {
 	rng := rand.New(rand.NewPCG(63, 1))
 	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tbl, err := New(w.Items, c, Options{Pivots: 10, Seed: 3})
+	tbl, err := New(w.Items, c, Options{Pivots: 10, Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestMorePivotsFilterMore(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 3000, 6, 20, metric.L2)
 	cost := func(p int) int64 {
 		c := metric.NewCounter(w.Dist)
-		tbl, err := New(w.Items, c, Options{Pivots: p, Seed: 5})
+		tbl, err := New(w.Items, c, Options{Pivots: p, Build: Build{Seed: 5}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,7 +14,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewPCG(71, 8))
 	vecs := testutil.RandomVectors(rng, 400, 6)
 	c := metric.NewCounter(metric.L2)
-	orig, err := New(vecs, c, Options{Pivots: 12, Seed: 3})
+	orig, err := New(vecs, c, Options{Pivots: 12, Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	rng := rand.New(rand.NewPCG(72, 8))
 	vecs := testutil.RandomVectors(rng, 50, 3)
 	c := metric.NewCounter(metric.L2)
-	orig, err := New(vecs, c, Options{Pivots: 4, Seed: 1})
+	orig, err := New(vecs, c, Options{Pivots: 4, Build: Build{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,7 @@ import (
 func TestKNNBudgetedUnlimitedIsExact(t *testing.T) {
 	rng := rand.New(rand.NewPCG(111, 9))
 	w := testutil.NewVectorWorkload(rng, 500, 8, 10, metric.L2)
-	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Seed: 7})
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Build: Build{Seed: 7}})
 	for _, q := range w.Queries {
 		for _, k := range []int{1, 5, 20} {
 			got, exact := tree.KNNBudgeted(q, k, 1<<40)
@@ -34,7 +34,7 @@ func TestKNNBudgetedUnlimitedIsExact(t *testing.T) {
 func TestKNNBudgetedRespectsBudget(t *testing.T) {
 	rng := rand.New(rand.NewPCG(112, 9))
 	w := testutil.NewVectorWorkload(rng, 3000, 20, 10, metric.L2) // high-dim: exact kNN ≈ linear
-	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 7})
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 7}})
 	for _, budget := range []int64{10, 100, 1000} {
 		for _, q := range w.Queries {
 			c.Reset()
@@ -52,7 +52,7 @@ func TestKNNBudgetedRespectsBudget(t *testing.T) {
 func TestKNNBudgetedRecallGrowsWithBudget(t *testing.T) {
 	rng := rand.New(rand.NewPCG(113, 9))
 	w := testutil.NewVectorWorkload(rng, 4000, 20, 20, metric.L2)
-	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 7})
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 7}})
 	const k = 10
 	recall := func(budget int64) float64 {
 		hits, total := 0, 0

@@ -1,9 +1,9 @@
 package mvp
 
 import (
-	"math/rand/v2"
 	"sort"
-	"sync"
+
+	"mvptree/internal/build"
 )
 
 // build recursively constructs the subtree over entries, following the
@@ -11,21 +11,26 @@ import (
 // Each entry's path slice accumulates distances to the vantage points of
 // the internal nodes above it, capped at p entries; leaves retain the
 // accumulated paths.
-func (t *Tree[T]) build(entries []entry[T], rng *rand.Rand, opts *Options) *node[T] {
+//
+// src is the splittable RNG fixed by this subtree's position, so the
+// tree is identical for every worker count.
+func (t *Tree[T]) build(b *build.Builder[T], entries []entry[T], src build.RNG, opts *Options, depth int) *node[T] {
 	switch {
 	case len(entries) == 0:
 		return nil
 	case len(entries) <= t.k+2:
-		return t.buildLeaf(entries, rng)
+		return t.buildLeaf(b, entries, src, depth)
 	default:
-		return t.buildInternal(entries, rng, opts)
+		return t.buildInternal(b, entries, src, opts, depth)
 	}
 }
 
 // buildLeaf implements step 2 of the paper's algorithm: pick the first
 // vantage point arbitrarily, the second as the farthest point from the
 // first, and store exact distances D1, D2 for the remaining points.
-func (t *Tree[T]) buildLeaf(entries []entry[T], rng *rand.Rand) *node[T] {
+func (t *Tree[T]) buildLeaf(b *build.Builder[T], entries []entry[T], src build.RNG, depth int) *node[T] {
+	b.Node(depth)
+	rng := src.Rand()
 	n := &node[T]{}
 	// First vantage point: arbitrary (seeded-random, like the paper's
 	// implementation).
@@ -38,7 +43,7 @@ func (t *Tree[T]) buildLeaf(entries []entry[T], rng *rand.Rand) *node[T] {
 	}
 
 	d1 := make([]float64, len(rest))
-	t.measure(n.sv1, len(rest), func(i int) T { return rest[i].item }, d1)
+	b.Measure(n.sv1, func(i int) T { return rest[i].item }, d1)
 	far := 0
 	for i := range rest {
 		if d1[i] > d1[far] {
@@ -63,17 +68,20 @@ func (t *Tree[T]) buildLeaf(entries []entry[T], rng *rand.Rand) *node[T] {
 	n.paths = make([][]float64, len(rest))
 	for i := range rest {
 		n.items[i] = rest[i].item
-		n.d2[i] = t.dist.Distance(rest[i].item, n.sv2)
 		n.paths[i] = rest[i].path
 	}
+	b.Measure(n.sv2, func(i int) T { return n.items[i] }, n.d2)
 	return n
 }
 
 // buildInternal implements step 3 of the paper's algorithm generalized
 // to m partitions per vantage point: the first vantage point splits the
 // set into m equal shells; one second vantage point (from the outermost
-// shell) splits every shell into m more.
-func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand, opts *Options) *node[T] {
+// shell) splits every shell into m more. Child subtrees build through
+// the shared pool via Fork, each with its own position-derived RNG.
+func (t *Tree[T]) buildInternal(b *build.Builder[T], entries []entry[T], src build.RNG, opts *Options, depth int) *node[T] {
+	b.Node(depth)
+	rng := src.Rand()
 	n := &node[T]{}
 	vi := rng.IntN(len(entries))
 	entries[vi], entries[len(entries)-1] = entries[len(entries)-1], entries[vi]
@@ -82,7 +90,7 @@ func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand, opts *Option
 
 	// Distances to sv1; retain in PATH while below the cap.
 	d1 := make([]float64, len(rest))
-	t.measure(n.sv1, len(rest), func(i int) T { return rest[i].item }, d1)
+	b.Measure(n.sv1, func(i int) T { return rest[i].item }, d1)
 	for i := range rest {
 		if len(rest[i].path) < t.p {
 			rest[i].path = append(rest[i].path, d1[i])
@@ -112,7 +120,7 @@ func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand, opts *Option
 	// Distances to sv2 for every remaining point, across all shells.
 	d2 := make([]float64, len(rest))
 	dOrd := make([]float64, len(ord))
-	t.measure(n.sv2, len(ord), func(i int) T { return rest[ord[i]].item }, dOrd)
+	b.Measure(n.sv2, func(i int) T { return rest[ord[i]].item }, dOrd)
 	for k, i := range ord {
 		d2[i] = dOrd[k]
 		if len(rest[i].path) < t.p {
@@ -120,6 +128,16 @@ func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand, opts *Option
 		}
 	}
 
+	// Partition into child entry sets sequentially (cheap: no distance
+	// computations), then recurse through the pool. Each task writes one
+	// distinct child slot and derives its RNG from the child's position.
+	type childTask struct {
+		g, h    int
+		entries []entry[T]
+		rng     build.RNG
+	}
+	var tasks []childTask
+	childIdx := 0
 	n.cut2 = make([][]float64, len(groups))
 	n.children = make([][]*node[T], len(groups))
 	for g, grp := range groups {
@@ -134,7 +152,8 @@ func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand, opts *Option
 			for i := sub.lo; i < sub.hi; i++ {
 				child[i-sub.lo] = rest[shell[i]]
 			}
-			n.children[g][h] = t.build(child, rng, opts)
+			tasks = append(tasks, childTask{g, h, child, src.Child(childIdx)})
+			childIdx++
 		}
 		if len(n.children[g]) == 0 {
 			// An empty shell (possible when sv2 came from a shell of
@@ -143,6 +162,10 @@ func (t *Tree[T]) buildInternal(entries []entry[T], rng *rand.Rand, opts *Option
 			n.children[g] = []*node[T]{nil}
 		}
 	}
+	b.Fork(len(tasks), func(i int) {
+		ct := tasks[i]
+		n.children[ct.g][ct.h] = t.build(b, ct.entries, ct.rng, opts, depth+1)
+	})
 	return n
 }
 
@@ -194,37 +217,4 @@ func splitEqualRanks(d []float64, ord []int, m int) ([]rankRange, []float64) {
 		lo = hi
 	}
 	return groups, cutoffs
-}
-
-// parallelThreshold is the minimum batch size worth fanning out to
-// worker goroutines; below it the scheduling overhead dominates.
-const parallelThreshold = 512
-
-// measure fills out[i] with the distance from item(i) to v for
-// i ∈ [0, n). With Workers > 1 and a large enough batch the raw metric
-// runs on worker goroutines and the counter is settled once at the end;
-// otherwise it runs sequentially through the counter. Either way the
-// resulting distances and the final count are identical.
-func (t *Tree[T]) measure(v T, n int, item func(int) T, out []float64) {
-	if t.workers <= 1 || n < parallelThreshold {
-		for i := 0; i < n; i++ {
-			out[i] = t.dist.Distance(item(i), v)
-		}
-		return
-	}
-	raw := t.dist.Func()
-	chunk := (n + t.workers - 1) / t.workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = raw(item(i), v)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	t.dist.Add(int64(n))
 }

@@ -18,7 +18,7 @@ import (
 func TestConcurrentQueriesCountExactly(t *testing.T) {
 	rng := rand.New(rand.NewPCG(71, 4))
 	w := testutil.NewVectorWorkload(rng, 3000, 10, 16, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 3})
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 3}})
 
 	// Sequential reference answers, one per (query, kind).
 	type answer struct {
@@ -78,7 +78,7 @@ func TestConcurrentQueriesCountExactly(t *testing.T) {
 func TestKNNMatchesKNNWithStats(t *testing.T) {
 	rng := rand.New(rand.NewPCG(72, 4))
 	w := testutil.NewVectorWorkload(rng, 2500, 12, 12, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 11})
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 11}})
 	for _, q := range w.Queries {
 		for _, k := range []int{1, 5, 10} {
 			c.Reset()

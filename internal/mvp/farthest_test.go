@@ -33,7 +33,7 @@ func TestRangeFartherComplement(t *testing.T) {
 	// points at distance r. Check the partition property on a grid.
 	rng := rand.New(rand.NewPCG(33, 2))
 	w := testutil.NewVectorWorkload(rng, 500, 5, 5, metric.L2)
-	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Seed: 9})
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Build: Build{Seed: 9}})
 	for _, q := range w.Queries {
 		for _, r := range []float64{0.2, 0.5, 1.0} {
 			near := tree.Range(q, r)
@@ -73,7 +73,7 @@ func TestRangeFartherUsesFewDistancesAtTinyRadius(t *testing.T) {
 	// collect-all fast path answers with almost no computations.
 	rng := rand.New(rand.NewPCG(34, 2))
 	w := testutil.NewVectorWorkload(rng, 2000, 8, 1, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 3})
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 3}})
 	c.Reset()
 	got := tree.RangeFarther(w.Queries[0], 1e-9)
 	if len(got) != 2000 {

@@ -118,7 +118,7 @@ func TestSecondVantageIsFarthestInLeaf(t *testing.T) {
 	ids := testutil.IDs(len(data))
 	dist := testutil.IDDistance(data, metric.L2)
 	c := metric.NewCounter(dist)
-	tree, err := New(ids, c, Options{Partitions: 2, LeafCapacity: 10, PathLength: 2, Seed: 1})
+	tree, err := New(ids, c, Options{Partitions: 2, LeafCapacity: 10, PathLength: 2, Build: Build{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestInternalSecondVantageFromOutermostShell(t *testing.T) {
 	rng := rand.New(rand.NewPCG(23, 24))
 	w := testutil.NewVectorWorkload(rng, 500, 6, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 5, PathLength: 4, Seed: 2})
+	tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 5, PathLength: 4, Build: Build{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestValidateDetectsWrongMetric(t *testing.T) {
 	rng := rand.New(rand.NewPCG(26, 22))
 	w := testutil.NewVectorWorkload(rng, 200, 6, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Seed: 2})
+	tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 10, PathLength: 4, Build: Build{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

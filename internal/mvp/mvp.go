@@ -30,16 +30,26 @@ package mvp
 import (
 	"errors"
 	"math"
-	"math/rand/v2"
 
+	"mvptree/internal/build"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
+
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
 
 // Options configure construction of an mvp-tree. The three parameters
 // named in the paper (§4.2) are Partitions (m), LeafCapacity (k) and
 // PathLength (p).
 type Options struct {
+	// Build holds the shared construction knobs: Workers spreads
+	// construction's distance computations and subtree builds over a
+	// bounded goroutine pool (the tree built is byte-for-byte identical
+	// for every worker count), and Seed makes vantage-point selection
+	// deterministic.
+	Build
 	// Partitions is m, the number of partitions created by each
 	// vantage point; each node has fanout m². The paper finds m=3 the
 	// sweet spot for its vector workloads. Default 2 (the paper's
@@ -54,7 +64,7 @@ type Options struct {
 	// retained for every leaf point. It cannot exceed the number of
 	// vantage points on a root-to-leaf path; extra slots are simply
 	// never filled. PathLength 0 disables path filtering (useful for
-	// the ablation benchmark). Default 4.
+	// the ablation benchmark); -1 requests a genuine zero. Default 4.
 	PathLength int
 	// RandomSecondVantage, when true, picks the second vantage point
 	// uniformly from the outermost shell instead of taking the point
@@ -62,16 +72,6 @@ type Options struct {
 	// farthest point is the best candidate (§4.2); this switch exists
 	// for the ablation experiment that quantifies the claim.
 	RandomSecondVantage bool
-	// Workers, when greater than 1, spreads the distance computations
-	// of construction over that many goroutines. The tree built is
-	// byte-for-byte identical to the sequential one (vantage-point
-	// selection is unchanged and the cost counter is settled exactly),
-	// so Workers only trades wall-clock time. The metric function must
-	// be safe for concurrent calls — all built-in metrics are.
-	Workers int
-	// Seed seeds vantage-point selection, making construction
-	// deterministic.
-	Seed uint64
 }
 
 func (o *Options) setDefaults() {
@@ -90,6 +90,9 @@ func (o *Options) setDefaults() {
 }
 
 func (o *Options) validate() error {
+	if err := o.Build.Validate("mvp"); err != nil {
+		return err
+	}
 	if o.Partitions < 2 {
 		return errors.New("mvp: Partitions must be at least 2")
 	}
@@ -101,14 +104,13 @@ func (o *Options) validate() error {
 
 // Tree is a multi-vantage-point tree over a fixed item set.
 type Tree[T any] struct {
-	root      *node[T]
-	dist      *metric.Counter[T]
-	size      int
-	m         int
-	k         int
-	p         int
-	workers   int
-	buildCost int64
+	root       *node[T]
+	dist       *metric.Counter[T]
+	size       int
+	m          int
+	k          int
+	p          int
+	buildStats build.Stats
 }
 
 var _ index.Index[int] = (*Tree[int])(nil)
@@ -148,27 +150,32 @@ type entry[T any] struct {
 // items slice is not retained. Construction makes O(n · log_{m²} n)
 // distance computations, visible on dist and recorded in BuildCost.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
+}
+
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count and depth (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], build.Stats, error) {
 	opts.setDefaults()
 	if err := opts.validate(); err != nil {
-		return nil, err
+		return nil, build.Stats{}, err
 	}
 	t := &Tree[T]{
-		dist:    dist,
-		size:    len(items),
-		m:       opts.Partitions,
-		k:       opts.LeafCapacity,
-		p:       opts.PathLength,
-		workers: opts.Workers,
+		dist: dist,
+		size: len(items),
+		m:    opts.Partitions,
+		k:    opts.LeafCapacity,
+		p:    opts.PathLength,
 	}
 	entries := make([]entry[T], len(items))
 	for i, it := range items {
 		entries[i] = entry[T]{item: it}
 	}
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x6d767074726565))
-	before := dist.Count()
-	t.root = t.build(entries, rng, &opts)
-	t.buildCost = dist.Count() - before
-	return t, nil
+	b := build.Start(dist, opts.Build)
+	t.root = t.build(b, entries, build.NewRNG(opts.Seed, 0x6d767074726565), &opts, 0)
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
 }
 
 // Len reports the number of indexed items.
@@ -179,7 +186,11 @@ func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
 // BuildCost reports the number of distance computations made during
 // construction.
-func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full construction report (zero for a tree
+// produced by Load, which computes no distances).
+func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
 // Partitions returns m, LeafCapacity returns k and PathLength returns p
 // as actually used (after defaulting).

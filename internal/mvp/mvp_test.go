@@ -20,13 +20,13 @@ func buildWorkloadTree(t *testing.T, w *testutil.Workload, opts Options) (*Tree[
 }
 
 var optionMatrix = []Options{
-	{Partitions: 2, LeafCapacity: 1, PathLength: -1, Seed: 7},
-	{Partitions: 2, LeafCapacity: 4, PathLength: 2, Seed: 7},
-	{Partitions: 2, LeafCapacity: 16, PathLength: 5, Seed: 7},
-	{Partitions: 3, LeafCapacity: 9, PathLength: 5, Seed: 7},
-	{Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 7},
-	{Partitions: 4, LeafCapacity: 13, PathLength: 8, Seed: 7},
-	{Partitions: 3, LeafCapacity: 13, PathLength: 4, RandomSecondVantage: true, Seed: 7},
+	{Partitions: 2, LeafCapacity: 1, PathLength: -1, Build: Build{Seed: 7}},
+	{Partitions: 2, LeafCapacity: 4, PathLength: 2, Build: Build{Seed: 7}},
+	{Partitions: 2, LeafCapacity: 16, PathLength: 5, Build: Build{Seed: 7}},
+	{Partitions: 3, LeafCapacity: 9, PathLength: 5, Build: Build{Seed: 7}},
+	{Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 7}},
+	{Partitions: 4, LeafCapacity: 13, PathLength: 8, Build: Build{Seed: 7}},
+	{Partitions: 3, LeafCapacity: 13, PathLength: 4, RandomSecondVantage: true, Build: Build{Seed: 7}},
 }
 
 func TestRangeMatchesLinearScan(t *testing.T) {
@@ -138,7 +138,7 @@ func TestAccountingInvariant(t *testing.T) {
 	rng := rand.New(rand.NewPCG(4, 2))
 	for _, n := range []int{0, 1, 2, 3, 50, 333, 1000} {
 		w := testutil.NewVectorWorkload(rng, n, 6, 1, metric.L2)
-		tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 7, PathLength: 5, Seed: 5})
+		tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 7, PathLength: 5, Build: Build{Seed: 5}})
 		s := tree.Shape()
 		if s.VantagePoints+s.LeafItems != n {
 			t.Errorf("n=%d: %d vantage points + %d leaf items != n", n, s.VantagePoints, s.LeafItems)
@@ -155,7 +155,7 @@ func TestVantagePointCountFormula(t *testing.T) {
 	// arbitrary trees: internal nodes always carry exactly two.
 	rng := rand.New(rand.NewPCG(5, 2))
 	w := testutil.NewVectorWorkload(rng, 2000, 8, 1, metric.L2)
-	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 2, LeafCapacity: 10, PathLength: 4, Seed: 9})
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 2, LeafCapacity: 10, PathLength: 4, Build: Build{Seed: 9}})
 	s := tree.Shape()
 	if s.VantagePoints < 2*(s.Nodes-s.Leaves) {
 		t.Errorf("internal nodes missing vantage points: %d VPs for %d internal nodes",
@@ -171,8 +171,8 @@ func TestLargerLeavesMeanFewerVantagePoints(t *testing.T) {
 	// points smaller — the design argument for big leaves.
 	rng := rand.New(rand.NewPCG(6, 2))
 	w := testutil.NewVectorWorkload(rng, 3000, 8, 1, metric.L2)
-	small, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 9, PathLength: 5, Seed: 1})
-	large, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 1})
+	small, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 9, PathLength: 5, Build: Build{Seed: 1}})
+	large, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 1}})
 	sS, sL := small.Shape(), large.Shape()
 	if sL.VantagePoints >= sS.VantagePoints {
 		t.Errorf("k=80 has %d vantage points, k=9 has %d; want fewer",
@@ -188,7 +188,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 300, 6, 5, metric.L2)
 	run := func() []int64 {
 		c := metric.NewCounter(w.Dist)
-		tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 9, PathLength: 5, Seed: 42})
+		tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 9, PathLength: 5, Build: Build{Seed: 42}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +216,7 @@ func TestPathFilteringReducesCost(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 4000, 10, 30, metric.L2)
 	cost := func(p int) int64 {
 		c := metric.NewCounter(w.Dist)
-		tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 40, PathLength: p, Seed: 3})
+		tree, err := New(w.Items, c, Options{Partitions: 3, LeafCapacity: 40, PathLength: p, Build: Build{Seed: 3}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,12 +242,12 @@ func TestMVPBeatsVPOnPaperWorkload(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 4000, 20, 25, metric.L2)
 
 	vc := metric.NewCounter(w.Dist)
-	vt, err := vptree.New(w.Items, vc, vptree.Options{Order: 2, Seed: 4})
+	vt, err := vptree.New(w.Items, vc, vptree.Options{Order: 2, Build: Build{Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	mc := metric.NewCounter(w.Dist)
-	mt, err := New(w.Items, mc, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 4})
+	mt, err := New(w.Items, mc, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestEditDistanceStrings(t *testing.T) {
 	words := []string{"book", "books", "cake", "boo", "boon", "cook", "cape", "cart", "case", "cast",
 		"bake", "lake", "take", "rake", "fake", "face", "fact", "fast", "mast", "most"}
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New(words, c, Options{Partitions: 2, LeafCapacity: 4, PathLength: 2, Seed: 6})
+	tree, err := New(words, c, Options{Partitions: 2, LeafCapacity: 4, PathLength: 2, Build: Build{Seed: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}

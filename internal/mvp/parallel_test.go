@@ -11,8 +11,8 @@ import (
 func TestParallelBuildIdenticalToSequential(t *testing.T) {
 	rng := rand.New(rand.NewPCG(101, 6))
 	w := testutil.NewVectorWorkload(rng, 3000, 10, 10, metric.L2)
-	seq, seqC := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 8})
-	par, parC := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 8, Workers: 8})
+	seq, seqC := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 8}})
+	par, parC := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 8, Workers: 8}})
 
 	if seq.BuildCost() != par.BuildCost() {
 		t.Errorf("build cost differs: sequential %d, parallel %d", seq.BuildCost(), par.BuildCost())
@@ -39,7 +39,7 @@ func TestParallelBuildIdenticalToSequential(t *testing.T) {
 func TestParallelBuildCorrectness(t *testing.T) {
 	rng := rand.New(rand.NewPCG(102, 6))
 	w := testutil.NewVectorWorkload(rng, 1500, 8, 8, metric.L2)
-	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 2, LeafCapacity: 10, PathLength: 4, Seed: 3, Workers: 4})
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 2, LeafCapacity: 10, PathLength: 4, Build: Build{Seed: 3, Workers: 4}})
 	testutil.CheckRange(t, "mvpt-parallel", tree, w, []float64{0, 0.2, 0.6})
 	testutil.CheckKNN(t, "mvpt-parallel", tree, w, []int{1, 5})
 }

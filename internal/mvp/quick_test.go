@@ -49,7 +49,7 @@ func TestQuickRandomConfigurations(t *testing.T) {
 		c := metric.NewCounter(w.Dist)
 		tree, err := New(w.Items, c, Options{
 			Partitions: m, LeafCapacity: k, PathLength: pl,
-			RandomSecondVantage: p.RandomSV2, Seed: p.Seed,
+			RandomSecondVantage: p.RandomSV2, Build: Build{Seed: p.Seed},
 		})
 		if err != nil {
 			t.Logf("New(m=%d k=%d p=%d): %v", m, k, pl, err)

@@ -55,7 +55,7 @@ func TestSaveLoadIdenticalQueryCosts(t *testing.T) {
 	// distance computations per query, not just identical answers.
 	rng := rand.New(rand.NewPCG(72, 3))
 	w := testutil.NewVectorWorkload(rng, 500, 6, 8, metric.L2)
-	orig, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 9, PathLength: 5, Seed: 3})
+	orig, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 9, PathLength: 5, Build: Build{Seed: 3}})
 	var buf bytes.Buffer
 	if err := orig.Save(&buf, encodeID); err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestSaveLoadEmptyAndTiny(t *testing.T) {
 func TestLoadRejectsCorruptStreams(t *testing.T) {
 	rng := rand.New(rand.NewPCG(73, 3))
 	w := testutil.NewVectorWorkload(rng, 100, 4, 1, metric.L2)
-	orig, c := buildWorkloadTree(t, w, Options{Seed: 1})
+	orig, c := buildWorkloadTree(t, w, Options{Build: Build{Seed: 1}})
 	var buf bytes.Buffer
 	if err := orig.Save(&buf, encodeID); err != nil {
 		t.Fatal(err)
@@ -152,7 +152,7 @@ func TestSaveLoadVectorsViaCodec(t *testing.T) {
 	rng := rand.New(rand.NewPCG(74, 3))
 	vecs := testutil.RandomVectors(rng, 300, 6)
 	c := metric.NewCounter(metric.L2)
-	orig, err := New(vecs, c, Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Seed: 2})
+	orig, err := New(vecs, c, Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Build: Build{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

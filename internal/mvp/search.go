@@ -1,32 +1,12 @@
 package mvp
 
+import "mvptree/internal/index"
+
 // SearchStats breaks a range search down into the paper's filtering
 // stages, making Observation 2 (the power of the pre-computed
-// distances) directly measurable per query.
-type SearchStats struct {
-	// NodesVisited and LeavesVisited count tree nodes entered.
-	NodesVisited  int
-	LeavesVisited int
-	// ShellsPruned counts (shell, sub-shell) child slots excluded by
-	// the cutoff tests of search steps 3.2/3.3.
-	ShellsPruned int
-	// Candidates counts leaf data points considered.
-	Candidates int
-	// FilteredByD counts candidates excluded by the leaf's exact
-	// D1/D2 distances (search step 2.2, first half).
-	FilteredByD int
-	// FilteredByPath counts candidates excluded by a retained PATH
-	// distance (step 2.2, second half) — the filter only the mvp-tree
-	// has.
-	FilteredByPath int
-	// Computed counts real distance computations against leaf data
-	// points; VantagePoints counts those against vantage points. Their
-	// sum equals the Counter delta for the query.
-	Computed      int
-	VantagePoints int
-	// Results is the answer-set size.
-	Results int
-}
+// distances) directly measurable per query. It is the shared
+// index.SearchStats; the alias preserves existing call sites.
+type SearchStats = index.SearchStats
 
 // Range returns every indexed item within distance r of q, implementing
 // the paper's similarity-search algorithm (§4.3) generalized to m

@@ -11,7 +11,7 @@ import (
 func TestRangeWithStatsAccounting(t *testing.T) {
 	rng := rand.New(rand.NewPCG(61, 3))
 	w := testutil.NewVectorWorkload(rng, 2000, 10, 10, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 9})
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 9}})
 	for _, q := range w.Queries {
 		for _, r := range []float64{0.1, 0.4, 0.9} {
 			c.Reset()
@@ -40,7 +40,7 @@ func TestPathFilterActuallyFires(t *testing.T) {
 	// nontrivial share of candidates at small radii.
 	rng := rand.New(rand.NewPCG(62, 3))
 	w := testutil.NewVectorWorkload(rng, 4000, 20, 20, metric.L2)
-	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Seed: 5})
+	tree, _ := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 80, PathLength: 5, Build: Build{Seed: 5}})
 	var total SearchStats
 	for _, q := range w.Queries {
 		_, s := tree.RangeWithStats(q, 0.2)
@@ -79,7 +79,7 @@ func TestStatsZeroOnDegenerateQueries(t *testing.T) {
 func TestKNNWithStatsAccounting(t *testing.T) {
 	rng := rand.New(rand.NewPCG(63, 3))
 	w := testutil.NewVectorWorkload(rng, 2000, 10, 10, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Seed: 9})
+	tree, c := buildWorkloadTree(t, w, Options{Partitions: 3, LeafCapacity: 40, PathLength: 5, Build: Build{Seed: 9}})
 	for _, q := range w.Queries {
 		for _, k := range []int{1, 5, 25} {
 			c.Reset()

@@ -31,7 +31,6 @@ import (
 
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
-	"mvptree/internal/mvp"
 )
 
 // Options configure a batch run.
@@ -48,7 +47,7 @@ type Options struct {
 // queries' SearchStats.
 type WorkerStats struct {
 	Queries int
-	Search  mvp.SearchStats
+	Search  index.SearchStats
 }
 
 // Stats summarize one batch run.
@@ -67,7 +66,7 @@ type Stats struct {
 	// meaningful when it is true.
 	HasSearch bool
 	// Search is the SearchStats sum over the whole batch.
-	Search mvp.SearchStats
+	Search index.SearchStats
 	// PerWorker is indexed by worker; worker w answered queries
 	// w, w+Workers, w+2·Workers, ...
 	PerWorker []WorkerStats
@@ -80,25 +79,25 @@ type counterIndex[T any] interface {
 }
 
 // rangeStatser and knnStatser are satisfied by indexes offering
-// per-query stats breakdowns with the mvp-tree's SearchStats shape.
+// per-query stats breakdowns with the shared index.SearchStats shape.
 type rangeStatser[T any] interface {
-	RangeWithStats(q T, r float64) ([]T, mvp.SearchStats)
+	RangeWithStats(q T, r float64) ([]T, index.SearchStats)
 }
 
 type knnStatser[T any] interface {
-	KNNWithStats(q T, k int) ([]index.Neighbor[T], mvp.SearchStats)
+	KNNWithStats(q T, k int) ([]index.Neighbor[T], index.SearchStats)
 }
 
 // RunRange answers a range query at radius r for every query point,
 // returning results[i] = idx.Range(queries[i], r) plus batch stats.
 func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) ([][]T, Stats) {
 	if rs, ok := idx.(rangeStatser[T]); ok {
-		return run(idx, queries, opts, true, func(q T) ([]T, mvp.SearchStats) {
+		return run(idx, queries, opts, true, func(q T) ([]T, index.SearchStats) {
 			return rs.RangeWithStats(q, r)
 		})
 	}
-	return run(idx, queries, opts, false, func(q T) ([]T, mvp.SearchStats) {
-		return idx.Range(q, r), mvp.SearchStats{}
+	return run(idx, queries, opts, false, func(q T) ([]T, index.SearchStats) {
+		return idx.Range(q, r), index.SearchStats{}
 	})
 }
 
@@ -106,19 +105,19 @@ func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) (
 // returning results[i] = idx.KNN(queries[i], k) plus batch stats.
 func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]index.Neighbor[T], Stats) {
 	if ks, ok := idx.(knnStatser[T]); ok {
-		return run(idx, queries, opts, true, func(q T) ([]index.Neighbor[T], mvp.SearchStats) {
+		return run(idx, queries, opts, true, func(q T) ([]index.Neighbor[T], index.SearchStats) {
 			return ks.KNNWithStats(q, k)
 		})
 	}
-	return run(idx, queries, opts, false, func(q T) ([]index.Neighbor[T], mvp.SearchStats) {
-		return idx.KNN(q, k), mvp.SearchStats{}
+	return run(idx, queries, opts, false, func(q T) ([]index.Neighbor[T], index.SearchStats) {
+		return idx.KNN(q, k), index.SearchStats{}
 	})
 }
 
 // run stripes the batch over the worker pool. one answers a single
 // query; hasStats reports whether its SearchStats are real.
 func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats bool,
-	one func(q T) (R, mvp.SearchStats)) ([]R, Stats) {
+	one func(q T) (R, index.SearchStats)) ([]R, Stats) {
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -154,7 +153,7 @@ func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats b
 				results[i] = res
 				ws.Queries++
 				if hasStats {
-					addSearch(&ws.Search, s)
+					ws.Search.Add(s)
 				}
 			}
 		}(w)
@@ -164,20 +163,7 @@ func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats b
 		stats.Distances = ctr.Count() - before
 	}
 	for _, ws := range stats.PerWorker {
-		addSearch(&stats.Search, ws.Search)
+		stats.Search.Add(ws.Search)
 	}
 	return results, stats
-}
-
-// addSearch accumulates b into a field by field.
-func addSearch(a *mvp.SearchStats, b mvp.SearchStats) {
-	a.NodesVisited += b.NodesVisited
-	a.LeavesVisited += b.LeavesVisited
-	a.ShellsPruned += b.ShellsPruned
-	a.Candidates += b.Candidates
-	a.FilteredByD += b.FilteredByD
-	a.FilteredByPath += b.FilteredByPath
-	a.Computed += b.Computed
-	a.VantagePoints += b.VantagePoints
-	a.Results += b.Results
 }

@@ -17,7 +17,7 @@ func testTree(t *testing.T) (*mvp.Tree[[]float64], *metric.Counter[[]float64], [
 	items := dataset.UniformVectors(rng, 2000, 8)
 	queries := dataset.UniformQueries(rng, 25, 8)
 	c := metric.NewCounter(metric.L2)
-	tree, err := mvp.New(items, c, mvp.Options{Partitions: 3, LeafCapacity: 40, PathLength: 4, Seed: 5})
+	tree, err := mvp.New(items, c, mvp.Options{Partitions: 3, LeafCapacity: 40, PathLength: 4, Build: mvp.Build{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestRunRangeOrderingAndStats(t *testing.T) {
 		if ws.Queries != wantQ {
 			t.Errorf("worker %d answered %d queries, want %d", w, ws.Queries, wantQ)
 		}
-		addSearch(&perWorker.Search, ws.Search)
+		perWorker.Search.Add(ws.Search)
 	}
 	if nq != len(queries) {
 		t.Fatalf("workers answered %d queries in total, want %d", nq, len(queries))

@@ -13,8 +13,8 @@ func TestRangeFartherMatchesLinearScan(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 400, 8, 10, metric.L2)
 	radii := []float64{0, 0.3, 0.8, 1.2, 2.0, 10}
 	for _, opts := range []Options{
-		{Order: 2, Seed: 7},
-		{Order: 3, LeafCapacity: 4, Seed: 7},
+		{Order: 2, Build: Build{Seed: 7}},
+		{Order: 3, LeafCapacity: 4, Build: Build{Seed: 7}},
 	} {
 		c := metric.NewCounter(w.Dist)
 		tree, err := New(w.Items, c, opts)
@@ -29,7 +29,7 @@ func TestKFarthestMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(42, 2))
 	w := testutil.NewVectorWorkload(rng, 300, 6, 8, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Order: 3, Seed: 5})
+	tree, err := New(w.Items, c, Options{Order: 3, Build: Build{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestRangeFartherFastPath(t *testing.T) {
 	rng := rand.New(rand.NewPCG(43, 2))
 	w := testutil.NewVectorWorkload(rng, 1000, 8, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Order: 2, Seed: 3})
+	tree, err := New(w.Items, c, Options{Order: 2, Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestFarthestOnClumpedData(t *testing.T) {
 	rng := rand.New(rand.NewPCG(44, 2))
 	w := testutil.NewClumpedWorkload(rng, 400, 5, 6, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	tree, err := New(w.Items, c, Options{Order: 3, Seed: 11})
+	tree, err := New(w.Items, c, Options{Order: 3, Build: Build{Seed: 11}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,8 +25,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewPCG(81, 3))
 	w := testutil.NewVectorWorkload(rng, 600, 8, 8, metric.L2)
 	for _, opts := range []Options{
-		{Order: 2, Seed: 7},
-		{Order: 4, LeafCapacity: 6, Seed: 7},
+		{Order: 2, Build: Build{Seed: 7}},
+		{Order: 4, LeafCapacity: 6, Build: Build{Seed: 7}},
 	} {
 		c := metric.NewCounter(w.Dist)
 		orig, err := New(w.Items, c, opts)
@@ -53,7 +53,7 @@ func TestSaveLoadIdenticalQueryCosts(t *testing.T) {
 	rng := rand.New(rand.NewPCG(82, 3))
 	w := testutil.NewVectorWorkload(rng, 400, 6, 6, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	orig, err := New(w.Items, c, Options{Order: 3, Seed: 3})
+	orig, err := New(w.Items, c, Options{Order: 3, Build: Build{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestLoadRejectsCorruptStreams(t *testing.T) {
 	rng := rand.New(rand.NewPCG(83, 3))
 	w := testutil.NewVectorWorkload(rng, 80, 4, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	orig, err := New(w.Items, c, Options{Seed: 1})
+	orig, err := New(w.Items, c, Options{Build: Build{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestLoadRejectsBitFlips(t *testing.T) {
 	rng := rand.New(rand.NewPCG(84, 3))
 	w := testutil.NewVectorWorkload(rng, 60, 4, 1, metric.L2)
 	c := metric.NewCounter(w.Dist)
-	orig, err := New(w.Items, c, Options{Seed: 2})
+	orig, err := New(w.Items, c, Options{Build: Build{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

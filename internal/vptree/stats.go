@@ -1,20 +1,16 @@
 package vptree
 
+import "mvptree/internal/index"
+
 // SearchStats breaks a vp-tree range search down by stage, the
-// counterpart of the mvp-tree's instrumentation. Note the structural
-// difference it exposes: the vp-tree stores no leaf distances, so every
-// leaf candidate costs a real distance computation (Computed ==
-// Candidates always), and every visited internal node costs one
-// vantage-point computation.
-type SearchStats struct {
-	NodesVisited  int
-	LeavesVisited int
-	ShellsPruned  int
-	Candidates    int
-	Computed      int
-	VantagePoints int
-	Results       int
-}
+// counterpart of the mvp-tree's instrumentation. It is the shared
+// index.SearchStats (the alias preserves existing call sites). Note the
+// structural difference the vp-tree exposes through it: with no stored
+// leaf distances, FilteredByD and FilteredByPath stay zero, every leaf
+// candidate costs a real distance computation (Computed == Candidates
+// always), and every visited internal node costs one vantage-point
+// computation.
+type SearchStats = index.SearchStats
 
 // RangeWithStats is Range plus the per-query breakdown.
 func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {

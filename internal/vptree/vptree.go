@@ -21,12 +21,16 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
-	"sync"
 
+	"mvptree/internal/build"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 )
+
+// Build is the shared construction options (Workers, Seed) every index
+// package embeds; see build.Options.
+type Build = build.Options
 
 // SelectionStrategy picks how vantage points are chosen during
 // construction.
@@ -45,6 +49,11 @@ const (
 
 // Options configure construction of a vp-tree.
 type Options struct {
+	// Build holds the shared construction knobs: Workers spreads
+	// construction's distance computations and subtree builds over a
+	// bounded goroutine pool (the tree built is identical for every
+	// worker count), and Seed makes vantage selection deterministic.
+	Build
 	// Order is the branching factor m ≥ 2. Each node partitions its
 	// points into Order equal-cardinality spherical shells. The
 	// default is 2, the binary vp-tree.
@@ -61,14 +70,6 @@ type Options struct {
 	// points each. Defaults are 5 and 20. Ignored for SelectRandom.
 	Candidates int
 	SampleSize int
-	// Workers, when greater than 1, spreads construction's distance
-	// computations over that many goroutines; the tree built and the
-	// cost counter are identical to the sequential ones. The metric
-	// must be safe for concurrent calls.
-	Workers int
-	// Seed seeds the random source used for vantage selection, making
-	// construction deterministic.
-	Seed uint64
 }
 
 func (o *Options) setDefaults() {
@@ -87,6 +88,9 @@ func (o *Options) setDefaults() {
 }
 
 func (o *Options) validate() error {
+	if err := o.Build.Validate("vptree"); err != nil {
+		return err
+	}
 	if o.Order < 2 {
 		return errors.New("vptree: Order must be at least 2")
 	}
@@ -101,12 +105,11 @@ func (o *Options) validate() error {
 
 // Tree is an m-way vantage-point tree over a fixed item set.
 type Tree[T any] struct {
-	root      *node[T]
-	dist      *metric.Counter[T]
-	size      int
-	order     int
-	workers   int
-	buildCost int64
+	root       *node[T]
+	dist       *metric.Counter[T]
+	size       int
+	order      int
+	buildStats build.Stats
 }
 
 var _ index.Index[int] = (*Tree[int])(nil)
@@ -125,37 +128,47 @@ type node[T any] struct {
 // items slice is not retained. Distance computations made during
 // construction are visible on dist and also recorded in BuildCost.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], error) {
-	opts.setDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
-	t := &Tree[T]{dist: dist, size: len(items), order: opts.Order, workers: opts.Workers}
-	rng := rand.New(rand.NewPCG(opts.Seed, 0x9e3779b97f4a7c15))
-	work := make([]T, len(items))
-	copy(work, items)
-	before := dist.Count()
-	t.root = t.build(work, rng, &opts)
-	t.buildCost = dist.Count() - before
-	return t, nil
+	t, _, err := NewWithStats(items, dist, opts)
+	return t, err
 }
 
-// build consumes work (it reorders and slices it freely).
-func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
+// NewWithStats is New plus the shared construction report: distance
+// computations, wall time, node count and depth (build.Stats).
+func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tree[T], build.Stats, error) {
+	opts.setDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, build.Stats{}, err
+	}
+	t := &Tree[T]{dist: dist, size: len(items), order: opts.Order}
+	work := make([]T, len(items))
+	copy(work, items)
+	b := build.Start(dist, opts.Build)
+	t.root = t.build(b, work, build.NewRNG(opts.Seed, 0x767074726565), &opts, 0)
+	t.buildStats = b.Finish()
+	return t, t.buildStats, nil
+}
+
+// build consumes work (it reorders and slices it freely). src is the
+// splittable RNG fixed by this subtree's position, so the tree is
+// identical for every worker count.
+func (t *Tree[T]) build(b *build.Builder[T], work []T, src build.RNG, opts *Options, depth int) *node[T] {
 	if len(work) == 0 {
 		return nil
 	}
+	b.Node(depth)
 	if len(work) <= opts.LeafCapacity {
 		leaf := &node[T]{leaf: true, items: make([]T, len(work))}
 		copy(leaf.items, work)
 		return leaf
 	}
+	rng := src.Rand()
 	vi := t.selectVantage(work, rng, opts)
 	work[vi], work[len(work)-1] = work[len(work)-1], work[vi]
 	v := work[len(work)-1]
 	rest := work[:len(work)-1]
 
 	ds := make([]float64, len(rest))
-	t.measure(v, len(rest), func(i int) T { return rest[i] }, ds)
+	b.Measure(v, func(i int) T { return rest[i] }, ds)
 	ord := make([]int, len(rest))
 	for i := range ord {
 		ord[i] = i
@@ -169,26 +182,30 @@ func (t *Tree[T]) build(work []T, rng *rand.Rand, opts *Options) *node[T] {
 	n := &node[T]{vantage: v}
 	if m < 2 {
 		// One remaining point: a single child leaf.
-		n.children = []*node[T]{t.build(rest, rng, opts)}
+		n.children = []*node[T]{t.build(b, rest, src.Child(0), opts, depth+1)}
 		return n
 	}
 	n.cutoffs = make([]float64, m-1)
 	n.children = make([]*node[T], m)
 	groupOf := groupBoundaries(len(rest), m)
+	groupsOut := make([][]T, m)
 	for g := 0; g < m; g++ {
 		lo, hi := groupOf(g)
 		group := make([]T, hi-lo)
 		for i := lo; i < hi; i++ {
 			group[i-lo] = rest[ord[i]]
 		}
+		groupsOut[g] = group
 		if g < m-1 {
 			// Cutoff between the largest distance in this group and
 			// the smallest in the next; every point in group g is
 			// ≤ cutoff[g] and every point in group g+1 is ≥ cutoff[g].
 			n.cutoffs[g] = (ds[ord[hi-1]] + ds[ord[hi]]) / 2
 		}
-		n.children[g] = t.build(group, rng, opts)
 	}
+	b.Fork(m, func(g int) {
+		n.children[g] = t.build(b, groupsOut[g], src.Child(g), opts, depth+1)
+	})
 	return n
 }
 
@@ -252,7 +269,11 @@ func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
 // BuildCost reports the number of distance computations made during
 // construction (O(n · log_m n) for order m).
-func (t *Tree[T]) BuildCost() int64 { return t.buildCost }
+func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
+
+// BuildStats reports the full construction report (zero for a tree
+// produced by Load, which computes no distances).
+func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
 // Height reports the height of the tree in edges; a tree holding at most
 // one leaf has height 0.
@@ -360,35 +381,4 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 		}
 	}
 	return best.Sorted()
-}
-
-// parallelThreshold is the minimum batch size worth fanning out to
-// worker goroutines.
-const parallelThreshold = 512
-
-// measure fills out[i] with the distance from item(i) to v, in parallel
-// when Workers > 1 and the batch is large; the counter is settled
-// exactly either way.
-func (t *Tree[T]) measure(v T, n int, item func(int) T, out []float64) {
-	if t.workers <= 1 || n < parallelThreshold {
-		for i := 0; i < n; i++ {
-			out[i] = t.dist.Distance(v, item(i))
-		}
-		return
-	}
-	raw := t.dist.Func()
-	chunk := (n + t.workers - 1) / t.workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = raw(v, item(i))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	t.dist.Add(int64(n))
 }

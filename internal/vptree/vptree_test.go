@@ -24,10 +24,10 @@ func TestRangeMatchesLinearScan(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 400, 8, 12, metric.L2)
 	radii := []float64{0, 0.1, 0.3, 0.6, 1.0, 2.0}
 	for _, opts := range []Options{
-		{Order: 2, Seed: 7},
-		{Order: 3, Seed: 7},
-		{Order: 5, LeafCapacity: 4, Seed: 7},
-		{Order: 2, Selection: SelectBestSpread, Seed: 7},
+		{Order: 2, Build: Build{Seed: 7}},
+		{Order: 3, Build: Build{Seed: 7}},
+		{Order: 5, LeafCapacity: 4, Build: Build{Seed: 7}},
+		{Order: 2, Selection: SelectBestSpread, Build: Build{Seed: 7}},
 	} {
 		tree, _ := buildWorkloadTree(t, w, opts)
 		testutil.CheckRange(t, "vpt", tree, w, radii)
@@ -38,7 +38,7 @@ func TestKNNMatchesLinearScan(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 1))
 	w := testutil.NewVectorWorkload(rng, 300, 6, 10, metric.L2)
 	for _, order := range []int{2, 3, 4} {
-		tree, _ := buildWorkloadTree(t, w, Options{Order: order, Seed: 11})
+		tree, _ := buildWorkloadTree(t, w, Options{Order: order, Build: Build{Seed: 11}})
 		testutil.CheckKNN(t, "vpt", tree, w, []int{1, 2, 5, 17, 300, 1000})
 	}
 }
@@ -47,7 +47,7 @@ func TestDuplicateHeavyData(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 1))
 	w := testutil.NewClumpedWorkload(rng, 500, 5, 8, metric.L2)
 	for _, order := range []int{2, 3} {
-		tree, _ := buildWorkloadTree(t, w, Options{Order: order, Seed: 13})
+		tree, _ := buildWorkloadTree(t, w, Options{Order: order, Build: Build{Seed: 13}})
 		testutil.CheckRange(t, "vpt-clumped", tree, w, []float64{0, 0.01, 0.05, 0.5, 3})
 		testutil.CheckKNN(t, "vpt-clumped", tree, w, []int{1, 3, 10})
 		testutil.CheckContainsAllOnce(t, "vpt-clumped", tree, w, 1e6)
@@ -57,7 +57,7 @@ func TestDuplicateHeavyData(t *testing.T) {
 func TestAllPointsIndexedExactlyOnce(t *testing.T) {
 	rng := rand.New(rand.NewPCG(4, 1))
 	w := testutil.NewVectorWorkload(rng, 257, 4, 1, metric.L1)
-	tree, _ := buildWorkloadTree(t, w, Options{Order: 3, LeafCapacity: 5, Seed: 17})
+	tree, _ := buildWorkloadTree(t, w, Options{Order: 3, LeafCapacity: 5, Build: Build{Seed: 17}})
 	testutil.CheckContainsAllOnce(t, "vpt", tree, w, 1e9)
 }
 
@@ -128,7 +128,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 	w := testutil.NewVectorWorkload(rng, 200, 6, 3, metric.L2)
 	build := func() ([]int64, [][]int) {
 		c := metric.NewCounter(w.Dist)
-		tree, err := New(w.Items, c, Options{Order: 3, Seed: 99})
+		tree, err := New(w.Items, c, Options{Order: 3, Build: Build{Seed: 99}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestConstructionCostIsNLogN(t *testing.T) {
 	n := 2048
 	w := testutil.NewVectorWorkload(rng, n, 8, 1, metric.L2)
 	for _, order := range []int{2, 3} {
-		tree, _ := buildWorkloadTree(t, w, Options{Order: order, Seed: 1})
+		tree, _ := buildWorkloadTree(t, w, Options{Order: order, Build: Build{Seed: 1}})
 		// Each level costs ~n distance computations; height ~ log_m n.
 		// Allow generous slack for uneven splits.
 		logm := math.Log(float64(n)) / math.Log(float64(order))
@@ -175,8 +175,8 @@ func TestConstructionCostIsNLogN(t *testing.T) {
 func TestHigherOrderShrinksHeight(t *testing.T) {
 	rng := rand.New(rand.NewPCG(7, 1))
 	w := testutil.NewVectorWorkload(rng, 1000, 8, 1, metric.L2)
-	t2, _ := buildWorkloadTree(t, w, Options{Order: 2, Seed: 1})
-	t4, _ := buildWorkloadTree(t, w, Options{Order: 4, Seed: 1})
+	t2, _ := buildWorkloadTree(t, w, Options{Order: 2, Build: Build{Seed: 1}})
+	t4, _ := buildWorkloadTree(t, w, Options{Order: 4, Build: Build{Seed: 1}})
 	if t4.Height() >= t2.Height() {
 		t.Errorf("height(order 4) = %d, height(order 2) = %d; want strictly smaller", t4.Height(), t2.Height())
 	}
@@ -189,7 +189,7 @@ func TestHigherOrderShrinksHeight(t *testing.T) {
 func TestSearchBeatsLinearScanOnSmallRadii(t *testing.T) {
 	rng := rand.New(rand.NewPCG(8, 1))
 	w := testutil.NewVectorWorkload(rng, 3000, 4, 20, metric.L2) // low dim: pruning must work
-	tree, c := buildWorkloadTree(t, w, Options{Order: 2, Seed: 3})
+	tree, c := buildWorkloadTree(t, w, Options{Order: 2, Build: Build{Seed: 3}})
 	var total int64
 	for _, q := range w.Queries {
 		c.Reset()
@@ -207,7 +207,7 @@ func TestDiscreteMetricDegenerate(t *testing.T) {
 	// but correctness must hold.
 	items := testutil.IDs(64)
 	c := metric.NewCounter(metric.Discrete[int]())
-	tree, err := New(items, c, Options{Order: 3, Seed: 5})
+	tree, err := New(items, c, Options{Order: 3, Build: Build{Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestDiscreteMetricDegenerate(t *testing.T) {
 func TestEditDistanceStrings(t *testing.T) {
 	words := []string{"book", "books", "cake", "boo", "boon", "cook", "cape", "cart", "case", "cast"}
 	c := metric.NewCounter(metric.Edit)
-	tree, err := New(words, c, Options{Order: 2, Seed: 2})
+	tree, err := New(words, c, Options{Order: 2, Build: Build{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestBestSpreadReducesQueryCost(t *testing.T) {
 	w := testutil.NewClumpedWorkload(rng, 2000, 6, 15, metric.L2)
 	cost := func(sel SelectionStrategy) float64 {
 		c := metric.NewCounter(w.Dist)
-		tree, err := New(w.Items, c, Options{Order: 2, Selection: sel, Seed: 21})
+		tree, err := New(w.Items, c, Options{Order: 2, Selection: sel, Build: Build{Seed: 21}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,8 +275,8 @@ func TestBestSpreadReducesQueryCost(t *testing.T) {
 func TestParallelBuildIdenticalToSequential(t *testing.T) {
 	rng := rand.New(rand.NewPCG(10, 1))
 	w := testutil.NewVectorWorkload(rng, 3000, 8, 8, metric.L2)
-	seq, seqC := buildWorkloadTree(t, w, Options{Order: 3, Seed: 5})
-	par, parC := buildWorkloadTree(t, w, Options{Order: 3, Seed: 5, Workers: 8})
+	seq, seqC := buildWorkloadTree(t, w, Options{Order: 3, Build: Build{Seed: 5}})
+	par, parC := buildWorkloadTree(t, w, Options{Order: 3, Build: Build{Seed: 5, Workers: 8}})
 	if seq.BuildCost() != par.BuildCost() {
 		t.Errorf("build cost differs: %d vs %d", seq.BuildCost(), par.BuildCost())
 	}
@@ -295,7 +295,7 @@ func TestParallelBuildIdenticalToSequential(t *testing.T) {
 func TestKNNDepthFirstMatchesBestFirst(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 1))
 	w := testutil.NewVectorWorkload(rng, 600, 8, 10, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Order: 3, Seed: 13})
+	tree, c := buildWorkloadTree(t, w, Options{Order: 3, Build: Build{Seed: 13}})
 	for _, q := range w.Queries {
 		for _, k := range []int{1, 5, 20, 600} {
 			a := tree.KNN(q, k)
@@ -351,7 +351,7 @@ func TestKNNDepthFirstEdgeCases(t *testing.T) {
 func TestRangeWithStatsAccounting(t *testing.T) {
 	rng := rand.New(rand.NewPCG(12, 1))
 	w := testutil.NewVectorWorkload(rng, 1500, 8, 8, metric.L2)
-	tree, c := buildWorkloadTree(t, w, Options{Order: 3, Seed: 4})
+	tree, c := buildWorkloadTree(t, w, Options{Order: 3, Build: Build{Seed: 4}})
 	for _, q := range w.Queries {
 		for _, r := range []float64{0.1, 0.4} {
 			c.Reset()

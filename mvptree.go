@@ -3,6 +3,7 @@ package mvptree
 import (
 	"mvptree/internal/balltree"
 	"mvptree/internal/bktree"
+	"mvptree/internal/build"
 	"mvptree/internal/ghtree"
 	"mvptree/internal/gnat"
 	"mvptree/internal/index"
@@ -28,6 +29,20 @@ func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] { return metric.NewCounte
 // Neighbor is one k-nearest-neighbor result.
 type Neighbor[T any] = index.Neighbor[T]
 
+// BuildOptions are the construction knobs shared by every structure in
+// this library, embedded (as the field Build) in each structure's
+// Options: Workers spreads construction's distance computations and
+// subtree builds over a bounded goroutine pool — the index built is
+// identical for every worker count — and Seed makes random choices
+// (vantage points, pivots, split points) deterministic.
+type BuildOptions = build.Options
+
+// BuildStats is the uniform construction report returned by every
+// structure's New*WithStats constructor: distance computations (the
+// paper's build-cost measure, identical for every worker count), wall
+// time, node count, maximum depth and the worker count used.
+type BuildStats = build.Stats
+
 // Index is the query interface shared by every structure in this
 // library.
 type Index[T any] = index.Index[T]
@@ -52,6 +67,11 @@ type TreeStats = mvp.Stats
 // New builds an mvp-tree over items with a fresh internal Counter.
 func New[T any](items []T, dist DistanceFunc[T], opts Options) (*Tree[T], error) {
 	return mvp.New(items, metric.NewCounter(dist), opts)
+}
+
+// NewWithStats is New plus the construction report.
+func NewWithStats[T any](items []T, dist DistanceFunc[T], opts Options) (*Tree[T], BuildStats, error) {
+	return mvp.NewWithStats(items, metric.NewCounter(dist), opts)
 }
 
 // NewWithCounter builds an mvp-tree measuring distances through an
@@ -84,6 +104,11 @@ func NewVPWithCounter[T any](items []T, dist *Counter[T], opts VPOptions) (*VPTr
 	return vptree.New(items, dist, opts)
 }
 
+// NewVPWithStats is NewVP plus the construction report.
+func NewVPWithStats[T any](items []T, dist DistanceFunc[T], opts VPOptions) (*VPTree[T], BuildStats, error) {
+	return vptree.NewWithStats(items, metric.NewCounter(dist), opts)
+}
+
 // GHTree is a generalized hyperplane tree [Uhl91].
 type GHTree[T any] = ghtree.Tree[T]
 
@@ -93,6 +118,11 @@ type GHOptions = ghtree.Options
 // NewGH builds a gh-tree over items with a fresh internal Counter.
 func NewGH[T any](items []T, dist DistanceFunc[T], opts GHOptions) (*GHTree[T], error) {
 	return ghtree.New(items, metric.NewCounter(dist), opts)
+}
+
+// NewGHWithStats is NewGH plus the construction report.
+func NewGHWithStats[T any](items []T, dist DistanceFunc[T], opts GHOptions) (*GHTree[T], BuildStats, error) {
+	return ghtree.NewWithStats(items, metric.NewCounter(dist), opts)
 }
 
 // GNATree is a Geometric Near-neighbor Access Tree [Bri95].
@@ -106,15 +136,30 @@ func NewGNAT[T any](items []T, dist DistanceFunc[T], opts GNATOptions) (*GNATree
 	return gnat.New(items, metric.NewCounter(dist), opts)
 }
 
+// NewGNATWithStats is NewGNAT plus the construction report.
+func NewGNATWithStats[T any](items []T, dist DistanceFunc[T], opts GNATOptions) (*GNATree[T], BuildStats, error) {
+	return gnat.NewWithStats(items, metric.NewCounter(dist), opts)
+}
+
 // BKTree is a Burkhard–Keller tree [BK73] for integer-valued metrics
 // such as edit or Hamming distance. Unlike the other structures it
 // supports incremental Insert.
 type BKTree[T any] = bktree.Tree[T]
 
+// BKOptions configure BK-tree bulk construction (only the shared
+// BuildOptions apply; the tree's shape has no tunable parameters).
+type BKOptions = bktree.Options
+
 // NewBK builds a BK-tree over items with a fresh internal Counter. The
 // metric must return non-negative integers.
 func NewBK[T any](items []T, dist DistanceFunc[T]) (*BKTree[T], error) {
-	return bktree.New(items, metric.NewCounter(dist))
+	return bktree.New(items, metric.NewCounter(dist), BKOptions{})
+}
+
+// NewBKWithStats is NewBK with explicit options plus the construction
+// report.
+func NewBKWithStats[T any](items []T, dist DistanceFunc[T], opts BKOptions) (*BKTree[T], BuildStats, error) {
+	return bktree.NewWithStats(items, metric.NewCounter(dist), opts)
 }
 
 // PivotTable is a pre-computed pivot-distance index in the spirit of
@@ -128,6 +173,11 @@ type PivotOptions = laesa.Options
 // Counter.
 func NewPivotTable[T any](items []T, dist DistanceFunc[T], opts PivotOptions) (*PivotTable[T], error) {
 	return laesa.New(items, metric.NewCounter(dist), opts)
+}
+
+// NewPivotTableWithStats is NewPivotTable plus the construction report.
+func NewPivotTableWithStats[T any](items []T, dist DistanceFunc[T], opts PivotOptions) (*PivotTable[T], BuildStats, error) {
+	return laesa.NewWithStats(items, metric.NewCounter(dist), opts)
 }
 
 // LinearScan is the brute-force baseline: every query costs exactly
@@ -151,4 +201,9 @@ type BallOptions = balltree.Options
 // NewBall builds a ball tree over items with a fresh internal Counter.
 func NewBall[T any](items []T, dist DistanceFunc[T], opts BallOptions) (*BallTree[T], error) {
 	return balltree.New(items, metric.NewCounter(dist), opts)
+}
+
+// NewBallWithStats is NewBall plus the construction report.
+func NewBallWithStats[T any](items []T, dist DistanceFunc[T], opts BallOptions) (*BallTree[T], BuildStats, error) {
+	return balltree.NewWithStats(items, metric.NewCounter(dist), opts)
 }
