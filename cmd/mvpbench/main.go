@@ -12,7 +12,13 @@
 //	mvpbench -experiment fig10 -imgdim 256 -imgcount 1151
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 claims
-// ablation-p ablation-k ablation-sv2 ablation-v knn structures words all.
+// ablation-p ablation-k ablation-sv2 ablation-v knn structures words
+// build approx filters telemetry all.
+//
+// -obsjson FILE writes the telemetry experiment's per-structure
+// observer snapshots (latency and distance-count histograms, filter
+// counters) as a JSON artifact; -cpuprofile/-memprofile write pprof
+// profiles of the run.
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,10 +62,39 @@ func run(out io.Writer, args []string) error {
 		workers      = fs.Int("workers", 1, "query-evaluation goroutines per run (distance counts are identical for any value)")
 		buildWorkers = fs.Int("buildworkers", 1, "construction goroutines per index build (the index built, and its distance count, are identical for any value)")
 		buildJSON    = fs.String("buildjson", "", "write the build experiment's per-structure stats as JSON to this file (adds the build experiment if not selected)")
+		obsJSON      = fs.String("obsjson", "", "write the telemetry experiment's per-structure observer snapshots as JSON to this file (adds the telemetry experiment if not selected)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mvpbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mvpbench: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -112,13 +149,16 @@ func run(out io.Writer, args []string) error {
 	if *experiment == "all" {
 		ids = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-			"knn", "structures", "words", "build", "approx", "filters"}
+			"knn", "structures", "words", "build", "approx", "filters", "telemetry"}
 	}
 	if *buildJSON != "" && !containsID(ids, "build") {
 		ids = append(ids, "build")
 	}
+	if *obsJSON != "" && !containsID(ids, "telemetry") {
+		ids = append(ids, "telemetry")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON); err != nil {
 			return err
 		}
 	}
@@ -164,7 +204,15 @@ func writeBuildJSON(path string, cfg experiments.Config, tbl *bench.Table) error
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON string) error {
+func writeObsJSON(path string, rep *experiments.TelemetryReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -229,6 +277,15 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSO
 		if err == nil && buildJSON != "" {
 			err = writeBuildJSON(buildJSON, cfg, tbl)
 		}
+	case "telemetry":
+		var rep *experiments.TelemetryReport
+		rep, err = experiments.TelemetryStudy(cfg)
+		if err == nil {
+			err = experiments.WriteTelemetry(out, rep)
+		}
+		if err == nil && obsJSON != "" {
+			err = writeObsJSON(obsJSON, rep)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -262,6 +319,7 @@ func describe(id string) string {
 		"build":        "extension: construction cost across structures",
 		"approx":       "extension: anytime kNN — recall vs distance-computation budget",
 		"filters":      "extension: leaf-filter breakdown (Observations 1 & 2 measured)",
+		"telemetry":    "extension: per-structure query telemetry (observer snapshots)",
 	}
 	if d, ok := descriptions[id]; ok {
 		return d

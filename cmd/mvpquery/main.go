@@ -15,6 +15,8 @@
 //	mvpquery -loadindex idx.mvpt -index mvp -range 0.3 -query "..."
 //
 // With -query omitted, queries are read one per line from stdin.
+// -stats adds each query's filtering breakdown (nodes visited, shell
+// prunes, leaf filters) to the text output or JSON object.
 package main
 
 import (
@@ -54,6 +56,7 @@ func run(out io.Writer, in io.Reader, args []string) error {
 		maxShow  = fs.Int("show", 10, "maximum results printed per query")
 		saveIdx  = fs.String("saveindex", "", "write the built index (mvp or vp only) to this file")
 		jsonOut  = fs.Bool("json", false, "emit one JSON object per query instead of text")
+		stats    = fs.Bool("stats", false, "report each query's filtering breakdown (nodes, prunes, leaf filters)")
 		loadIdx  = fs.String("loadindex", "", "load the index from this file instead of building from -data")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -96,7 +99,7 @@ func run(out io.Writer, in io.Reader, args []string) error {
 			return err
 		}
 		return serve(out, in, idx, func(s string) (string, error) { return s, nil },
-			func(w string) string { return w }, *queryStr, *rangeR, *knnK, *maxShow, *jsonOut)
+			func(w string) string { return w }, *queryStr, *rangeR, *knnK, *maxShow, *jsonOut, *stats)
 	}
 
 	var dist mvptree.DistanceFunc[[]float64]
@@ -152,7 +155,7 @@ func run(out io.Writer, in io.Reader, args []string) error {
 		}
 		return v, nil
 	}
-	return serve(out, in, idx, parse, vector.Format, *queryStr, *rangeR, *knnK, *maxShow, *jsonOut)
+	return serve(out, in, idx, parse, vector.Format, *queryStr, *rangeR, *knnK, *maxShow, *jsonOut, *stats)
 }
 
 // saveIndex persists a just-built mvp or vp index.
@@ -234,6 +237,8 @@ type queryResult struct {
 	K                    int          `json:"k,omitempty"`
 	Results              []jsonResult `json:"results"`
 	DistanceComputations int64        `json:"distanceComputations"`
+	// Search is the per-query filtering breakdown, present with -stats.
+	Search *mvptree.SearchStats `json:"searchStats,omitempty"`
 }
 
 type jsonResult struct {
@@ -242,11 +247,26 @@ type jsonResult struct {
 }
 
 func serve[T any](out io.Writer, in io.Reader, idx counted[T], parse func(string) (T, error), format func(T) string,
-	queryStr string, r float64, k, maxShow int, jsonOut bool) error {
+	queryStr string, r float64, k, maxShow int, jsonOut, stats bool) error {
+
+	var si mvptree.StatsIndex[T]
+	if stats {
+		var ok bool
+		si, ok = idx.(mvptree.StatsIndex[T])
+		if !ok {
+			return fmt.Errorf("this index does not expose per-query stats")
+		}
+	}
 
 	build := idx.Counter().Count()
 	if !jsonOut {
 		fmt.Fprintf(out, "indexed %d items with %d distance computations\n", idx.Len(), build)
+	}
+
+	printStats := func(s mvptree.SearchStats) {
+		fmt.Fprintf(out, "  stats: nodes=%d leaves=%d shells-pruned=%d candidates=%d filtered-d=%d filtered-path=%d computed=%d vantage=%d\n",
+			s.NodesVisited, s.LeavesVisited, s.ShellsPruned, s.Candidates,
+			s.FilteredByD, s.FilteredByPath, s.Computed, s.VantagePoints)
 	}
 
 	enc := json.NewEncoder(out)
@@ -260,12 +280,28 @@ func serve[T any](out io.Writer, in io.Reader, idx counted[T], parse func(string
 			res := queryResult{Query: strings.TrimSpace(line)}
 			if r >= 0 {
 				res.Kind, res.Radius = "range", r
-				for _, item := range idx.Range(q, r) {
+				var items []T
+				if stats {
+					var s mvptree.SearchStats
+					items, s = si.RangeWithStats(q, r)
+					res.Search = &s
+				} else {
+					items = idx.Range(q, r)
+				}
+				for _, item := range items {
 					res.Results = append(res.Results, jsonResult{format(item), 0})
 				}
 			} else {
 				res.Kind, res.K = "knn", k
-				for _, nb := range idx.KNN(q, k) {
+				var nbs []mvptree.Neighbor[T]
+				if stats {
+					var s mvptree.SearchStats
+					nbs, s = si.KNNWithStats(q, k)
+					res.Search = &s
+				} else {
+					nbs = idx.KNN(q, k)
+				}
+				for _, nb := range nbs {
 					res.Results = append(res.Results, jsonResult{format(nb.Item), nb.Dist})
 				}
 			}
@@ -273,9 +309,18 @@ func serve[T any](out io.Writer, in io.Reader, idx counted[T], parse func(string
 			return enc.Encode(res)
 		}
 		if r >= 0 {
-			results := idx.Range(q, r)
+			var results []T
+			var s mvptree.SearchStats
+			if stats {
+				results, s = si.RangeWithStats(q, r)
+			} else {
+				results = idx.Range(q, r)
+			}
 			cost := idx.Counter().Count() - before
 			fmt.Fprintf(out, "range r=%g: %d results, %d distance computations\n", r, len(results), cost)
+			if stats {
+				printStats(s)
+			}
 			for i, item := range results {
 				if i >= maxShow {
 					fmt.Fprintf(out, "  ... %d more\n", len(results)-maxShow)
@@ -285,9 +330,18 @@ func serve[T any](out io.Writer, in io.Reader, idx counted[T], parse func(string
 			}
 			return nil
 		}
-		results := idx.KNN(q, k)
+		var results []mvptree.Neighbor[T]
+		var s mvptree.SearchStats
+		if stats {
+			results, s = si.KNNWithStats(q, k)
+		} else {
+			results = idx.KNN(q, k)
+		}
 		cost := idx.Counter().Count() - before
 		fmt.Fprintf(out, "knn k=%d: %d distance computations\n", k, cost)
+		if stats {
+			printStats(s)
+		}
 		for i, nb := range results {
 			if i >= maxShow {
 				break

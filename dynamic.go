@@ -18,9 +18,18 @@ type DynamicStore[T any] = dynamic.Store[T]
 // DynamicOptions configure a DynamicStore.
 type DynamicOptions = dynamic.Options
 
-// NewDynamic builds a dynamic store over the initial items.
-func NewDynamic[T any](items []T, dist DistanceFunc[T], opts DynamicOptions) (*DynamicStore[T], error) {
-	return dynamic.New(items, metric.DistanceFunc[T](dist), opts)
+// NewDynamic builds a dynamic store over the initial items. WithObserver
+// and WithTracer attach telemetry; WithCounter is ignored — the store
+// owns an internal counter over its ID space (read it via
+// DistanceCount).
+func NewDynamic[T any](items []T, dist DistanceFunc[T], opts DynamicOptions, ixOpts ...IndexOption[T]) (*DynamicStore[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	s, err := dynamic.New(items, metric.DistanceFunc[T](dist), opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(s)
+	return s, nil
 }
 
 // SaveDynamic compacts the store (a rebuild: tombstones dropped, the

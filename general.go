@@ -19,14 +19,26 @@ type GeneralTree[T any] = gmvp.Tree[T]
 type GeneralOptions = gmvp.Options
 
 // NewGeneral builds a generalized mvp-tree with a fresh internal
-// Counter.
-func NewGeneral[T any](items []T, dist DistanceFunc[T], opts GeneralOptions) (*GeneralTree[T], error) {
-	return gmvp.New(items, metric.NewCounter(dist), opts)
+// Counter unless WithCounter overrides it.
+func NewGeneral[T any](items []T, dist DistanceFunc[T], opts GeneralOptions, ixOpts ...IndexOption[T]) (*GeneralTree[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := gmvp.New(items, cfg.counter, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewGeneralWithStats is NewGeneral plus the construction report.
-func NewGeneralWithStats[T any](items []T, dist DistanceFunc[T], opts GeneralOptions) (*GeneralTree[T], BuildStats, error) {
-	return gmvp.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewGeneralWithStats[T any](items []T, dist DistanceFunc[T], opts GeneralOptions, ixOpts ...IndexOption[T]) (*GeneralTree[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := gmvp.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }
 
 // SaveGeneralTree writes a generalized tree to w in the same

@@ -25,7 +25,15 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
+
+// SearchStats is the shared per-query filtering breakdown
+// (index.SearchStats), aliased here so balltree call sites match the
+// other index packages. Center distances count as VantagePoints and a
+// set skipped by the center/radius bound as one ShellsPruned; with no
+// stored leaf distances, Computed == Candidates.
+type SearchStats = index.SearchStats
 
 // Build is the shared construction options (Workers, Seed) every index
 // package embeds; see build.Options.
@@ -43,15 +51,18 @@ type Options struct {
 	LeafCapacity int
 }
 
-// Tree is a center/radius multi-way tree over a fixed item set.
+// Tree is a center/radius multi-way tree over a fixed item set. The
+// embedded obs.Hooks let callers attach an Observer and/or Tracer; with
+// neither attached the query paths pay only nil checks.
 type Tree[T any] struct {
+	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
 	size       int
 	buildStats build.Stats
 }
 
-var _ index.Index[int] = (*Tree[int])(nil)
+var _ index.StatsIndex[int] = (*Tree[int])(nil)
 
 // node holds, per child set, its center (a real data point, stored in
 // the child), and the set's radius — the maximum distance from the
@@ -180,6 +191,10 @@ func (t *Tree[T]) Len() int { return t.size }
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
+// DistanceCount reports the cumulative distance computations on the
+// tree's counter (build + queries), the paper's cost metric.
+func (t *Tree[T]) DistanceCount() int64 { return t.dist.Count() }
+
 // BuildCost reports construction distance computations.
 func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
 
@@ -191,20 +206,38 @@ func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 // inequality every key x of the set has d(q,x) ≥ d(q,c) − d(c,x) ≥
 // d(q,c) − ρ.
 func (t *Tree[T]) Range(q T, r float64) []T {
-	if r < 0 {
-		return nil
-	}
-	var out []T
-	t.rangeNode(t.root, q, r, &out)
+	out, _ := t.RangeWithStats(q, r)
 	return out
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+// RangeWithStats is Range plus the per-query breakdown. It is the only
+// range traversal implementation — Range delegates here.
+func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 {
+		span.Done(&s)
+		return nil, s
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out, &s)
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
+	s.NodesVisited++
+	t.TraceNode(n.leaf)
 	if n.leaf {
+		s.LeavesVisited++
 		for _, it := range n.items {
+			s.Candidates++
+			s.Computed++
+			t.TraceDistance(1)
 			if t.dist.Distance(q, it) <= r {
 				*out = append(*out, it)
 			}
@@ -213,20 +246,35 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
 	}
 	for j, c := range n.centers {
 		d := t.dist.Distance(q, c)
+		s.VantagePoints++
+		t.TraceDistance(1)
 		if d <= r {
 			*out = append(*out, c)
 		}
 		if d-n.radii[j] <= r {
-			t.rangeNode(n.children[j], q, r, out)
+			t.rangeNode(n.children[j], q, r, out, s)
+		} else if n.children[j] != nil {
+			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
 		}
 	}
 }
 
 // KNN returns the k nearest indexed items by best-first traversal on
-// the lower bound max(0, d(q,c) − ρ).
+// the lower bound max(0, d(q,c) − ρ). It delegates to KNNWithStats
+// (single traversal implementation).
 func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := t.KNNWithStats(q, k)
+	return out
+}
+
+// KNNWithStats is KNN plus the per-query breakdown.
+func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
 	if k <= 0 || t.root == nil {
-		return nil
+		span.Done(&s)
+		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
 	var queue heapx.NodeQueue[*node[T]]
@@ -239,8 +287,14 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 		if !best.Accepts(bound) {
 			break
 		}
+		s.NodesVisited++
+		t.TraceNode(n.leaf)
 		if n.leaf {
+			s.LeavesVisited++
 			for _, it := range n.items {
+				s.Candidates++
+				s.Computed++
+				t.TraceDistance(1)
 				best.Push(it, t.dist.Distance(q, it))
 			}
 			continue
@@ -248,6 +302,8 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 		for j, c := range n.centers {
 			d := t.dist.Distance(q, c)
 			best.Push(c, d)
+			s.VantagePoints++
+			t.TraceDistance(1)
 			if n.children[j] == nil {
 				continue
 			}
@@ -257,8 +313,14 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 			}
 			if best.Accepts(lb) {
 				queue.PushNode(n.children[j], lb)
+			} else {
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
 			}
 		}
 	}
-	return best.Sorted()
+	out := best.Sorted()
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }

@@ -28,7 +28,16 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
+
+// SearchStats is the shared per-query filtering breakdown
+// (index.SearchStats), aliased here so bktree call sites match the
+// other index packages. Every BK-tree node holds one data item whose
+// query distance is always computed, so Candidates == Computed counts
+// visited nodes, VantagePoints stays zero, and ShellsPruned counts
+// children outside the d±r key window.
+type SearchStats = index.SearchStats
 
 // Build is the shared construction options (Workers, Seed) every index
 // package embeds; see build.Options.
@@ -43,14 +52,17 @@ type Options struct {
 }
 
 // Tree is a Burkhard–Keller tree over items under a discrete metric.
+// The embedded obs.Hooks let callers attach an Observer and/or Tracer;
+// with neither attached the query paths pay only nil checks.
 type Tree[T any] struct {
+	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
 	size       int
 	buildStats build.Stats
 }
 
-var _ index.Index[string] = (*Tree[string])(nil)
+var _ index.StatsIndex[string] = (*Tree[string])(nil)
 
 type node[T any] struct {
 	item     T
@@ -176,6 +188,10 @@ func (t *Tree[T]) Len() int { return t.size }
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
+// DistanceCount reports the cumulative distance computations on the
+// tree's counter (build + inserts + queries), the paper's cost metric.
+func (t *Tree[T]) DistanceCount() int64 { return t.dist.Count() }
+
 // BuildCost reports the number of distance computations made during
 // bulk construction (zero for a tree grown purely by Insert).
 func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
@@ -183,39 +199,70 @@ func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
 // BuildStats reports the full bulk-construction report.
 func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
-// Range returns every indexed item within distance r of q.
+// Range returns every indexed item within distance r of q. It delegates
+// to RangeWithStats so there is exactly one traversal implementation.
 func (t *Tree[T]) Range(q T, r float64) []T {
-	if r < 0 || t.root == nil {
-		return nil
-	}
-	var out []T
-	t.rangeNode(t.root, q, r, &out)
+	out, _ := t.RangeWithStats(q, r)
 	return out
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+// RangeWithStats is Range plus the per-query breakdown.
+func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 || t.root == nil {
+		span.Done(&s)
+		return nil, s
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out, &s)
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
+	s.NodesVisited++
+	t.TraceNode(n.children == nil)
+	s.Candidates++
+	s.Computed++
+	t.TraceDistance(1)
 	d := t.dist.Distance(q, n.item)
 	if d <= r {
 		*out = append(*out, n.item)
 	}
 	if n.children == nil {
+		s.LeavesVisited++
 		return
 	}
 	lo := int(math.Ceil(d - r))
 	hi := int(math.Floor(d + r))
 	for key, c := range n.children {
 		if key >= lo && key <= hi {
-			t.rangeNode(c, q, r, out)
+			t.rangeNode(c, q, r, out, s)
+		} else {
+			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
 		}
 	}
 }
 
 // KNN returns the k nearest indexed items by best-first traversal: a
 // child keyed key under a node at distance d from the query has lower
-// bound |d − key|.
+// bound |d − key|. It delegates to KNNWithStats (single traversal
+// implementation).
 func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := t.KNNWithStats(q, k)
+	return out
+}
+
+// KNNWithStats is KNN plus the per-query breakdown.
+func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
 	if k <= 0 || t.root == nil {
-		return nil
+		span.Done(&s)
+		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
 	var queue heapx.NodeQueue[*node[T]]
@@ -228,6 +275,14 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 		if !best.Accepts(bound) {
 			break
 		}
+		s.NodesVisited++
+		t.TraceNode(n.children == nil)
+		if n.children == nil {
+			s.LeavesVisited++
+		}
+		s.Candidates++
+		s.Computed++
+		t.TraceDistance(1)
 		d := t.dist.Distance(q, n.item)
 		best.Push(n.item, d)
 		for key, c := range n.children {
@@ -237,8 +292,14 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 			}
 			if best.Accepts(lb) {
 				queue.PushNode(c, lb)
+			} else {
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
 			}
 		}
 	}
-	return best.Sorted()
+	out := best.Sorted()
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }

@@ -34,7 +34,15 @@ import (
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/mvp"
+	"mvptree/internal/obs"
 )
+
+// SearchStats is the shared per-query filtering breakdown
+// (index.SearchStats), aliased here so dynamic call sites match the
+// other index packages. A store query reports the underlying mvp-tree's
+// breakdown plus the overflow buffer's linear tail: each live buffered
+// item adds one to both Candidates and Computed.
+type SearchStats = index.SearchStats
 
 // Options configure a dynamic store.
 type Options struct {
@@ -57,6 +65,13 @@ type Options struct {
 // item through its own negative slot ID (see resolve), so concurrent
 // readers share no mutable state beyond the atomic distance Counter.
 type Store[T any] struct {
+	// Hooks let callers attach an Observer and/or Tracer; with neither
+	// attached the query paths pay only nil checks. Attach before
+	// serving queries — the hook fields themselves are not guarded by
+	// mu. The hooks span the whole store query (tree plus buffer tail);
+	// the inner tree's own hooks stay unset.
+	obs.Hooks
+
 	opts Options
 
 	// mu guards every field below except dist (whose count is atomic)
@@ -82,7 +97,7 @@ type Store[T any] struct {
 	seq      uint64 // construction seed sequence
 }
 
-var _ index.Index[int] = (*Store[int])(nil) // Store[T] satisfies Index[T]
+var _ index.StatsIndex[int] = (*Store[int])(nil) // Store[T] satisfies StatsIndex[T]
 
 // New builds a dynamic store over the initial items.
 func New[T any](items []T, dist metric.DistanceFunc[T], opts Options) (*Store[T], error) {
@@ -247,45 +262,76 @@ func (s *Store[T]) rebuild() error {
 
 // Range returns every live item within distance r of q. Any number of
 // Range/KNN calls may run concurrently; they block only while an update
-// holds the write lock.
+// holds the write lock. It delegates to RangeWithStats so there is
+// exactly one query implementation.
 func (s *Store[T]) Range(q T, r float64) []T {
+	out, _ := s.RangeWithStats(q, r)
+	return out
+}
+
+// RangeWithStats is Range plus the per-query breakdown: the underlying
+// tree's stats with the overflow buffer's linear tail folded in.
+func (s *Store[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := s.StartQuery(obs.KindRange)
+	var st SearchStats
 	if r < 0 {
-		return nil
+		span.Done(&st)
+		return nil, st
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	slot := s.acquireQuery(q)
 	defer s.releaseQuery(slot)
 	var out []T
-	for _, id := range s.tree.Range(slot, r) {
+	ids, st := s.tree.RangeWithStats(slot, r)
+	for _, id := range ids {
 		if s.alive[id] {
 			out = append(out, s.items[id])
 		}
 	}
 	for _, id := range s.buffer {
-		if s.alive[id] && s.dist.Distance(slot, id) <= r {
+		if !s.alive[id] {
+			continue
+		}
+		st.Candidates++
+		st.Computed++
+		s.TraceDistance(1)
+		if s.dist.Distance(slot, id) <= r {
 			out = append(out, s.items[id])
 		}
 	}
-	return out
+	st.Results = len(out)
+	span.Done(&st)
+	return out, st
 }
 
 // KNN returns the k live items nearest to q in ascending distance
-// order.
+// order. It delegates to KNNWithStats.
 func (s *Store[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := s.KNNWithStats(q, k)
+	return out
+}
+
+// KNNWithStats is KNN plus the per-query breakdown: the underlying
+// tree's stats with the overflow buffer's linear tail folded in.
+func (s *Store[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := s.StartQuery(obs.KindKNN)
+	var st SearchStats
 	if k <= 0 {
-		return nil
+		span.Done(&st)
+		return nil, st
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.live == 0 {
-		return nil
+		span.Done(&st)
+		return nil, st
 	}
 	slot := s.acquireQuery(q)
 	defer s.releaseQuery(slot)
 	// The tree may return tombstoned items; ask for enough extras to
 	// guarantee k live ones among the answers.
-	fromTree := s.tree.KNN(slot, k+s.treeDead)
+	fromTree, st := s.tree.KNNWithStats(slot, k+s.treeDead)
 	best := heapx.NewKBest[T](k)
 	for _, nb := range fromTree {
 		if s.alive[nb.Item] {
@@ -293,9 +339,16 @@ func (s *Store[T]) KNN(q T, k int) []index.Neighbor[T] {
 		}
 	}
 	for _, id := range s.buffer {
-		if s.alive[id] {
-			best.Push(s.items[id], s.dist.Distance(slot, id))
+		if !s.alive[id] {
+			continue
 		}
+		st.Candidates++
+		st.Computed++
+		s.TraceDistance(1)
+		best.Push(s.items[id], s.dist.Distance(slot, id))
 	}
-	return best.Sorted()
+	out := best.Sorted()
+	st.Results = len(out)
+	span.Done(&st)
+	return out, st
 }

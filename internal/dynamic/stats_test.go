@@ -1,0 +1,116 @@
+package dynamic
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/obs"
+)
+
+// newStatsStore builds a store with a mix of tree-resident, buffered and
+// tombstoned items so the stats paths exercise every branch.
+func newStatsStore(t *testing.T) (*Store[[]float64], [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, 11))
+	const dim = 4
+	initial := make([][]float64, 150)
+	for i := range initial {
+		initial[i] = randVec(rng, dim)
+	}
+	s, err := New(initial, metric.L2, Options{
+		Tree:            mvp.Options{Partitions: 2, LeafCapacity: 8, PathLength: 3, Build: mvp.Build{Seed: 3}},
+		RebuildFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer a few inserts (below the rebuild threshold) and tombstone a
+	// few tree-resident items.
+	for i := 0; i < 10; i++ {
+		if err := s.Insert(randVec(rng, dim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Delete(initial[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Buffered() == 0 {
+		t.Fatal("want a non-empty overflow buffer for the stats test")
+	}
+	queries := make([][]float64, 20)
+	for i := range queries {
+		queries[i] = randVec(rng, dim)
+	}
+	return s, queries
+}
+
+// TestWithStatsMatchesPlainQueries checks the delegation contract: the
+// WithStats variants return exactly the plain results, and the reported
+// Computed+VantagePoints equals the counter delta of the query.
+func TestWithStatsMatchesPlainQueries(t *testing.T) {
+	s, queries := newStatsStore(t)
+	for _, q := range queries {
+		before := s.DistanceCount()
+		got, st := s.RangeWithStats(q, 0.4)
+		delta := s.DistanceCount() - before
+		if st.Distances() != delta {
+			t.Fatalf("range: stats report %d distances, counter moved %d", st.Distances(), delta)
+		}
+		if st.Results != len(got) {
+			t.Fatalf("range: Results = %d, got %d items", st.Results, len(got))
+		}
+		plain := s.Range(q, 0.4)
+		if len(plain) != len(got) {
+			t.Fatalf("range: plain returned %d items, WithStats %d", len(plain), len(got))
+		}
+
+		before = s.DistanceCount()
+		nbs, st := s.KNNWithStats(q, 7)
+		delta = s.DistanceCount() - before
+		if st.Distances() != delta {
+			t.Fatalf("knn: stats report %d distances, counter moved %d", st.Distances(), delta)
+		}
+		if st.Results != len(nbs) {
+			t.Fatalf("knn: Results = %d, got %d neighbors", st.Results, len(nbs))
+		}
+		plainN := s.KNN(q, 7)
+		if len(plainN) != len(nbs) {
+			t.Fatalf("knn: plain returned %d, WithStats %d", len(plainN), len(nbs))
+		}
+		for i := range nbs {
+			if plainN[i].Dist != nbs[i].Dist {
+				t.Fatalf("knn: neighbor %d dist mismatch: %v vs %v", i, plainN[i].Dist, nbs[i].Dist)
+			}
+		}
+	}
+}
+
+// TestStoreObserverTotals checks that an attached Observer's snapshot
+// accounts for exactly the distances the store computed while serving
+// queries.
+func TestStoreObserverTotals(t *testing.T) {
+	s, queries := newStatsStore(t)
+	o := obs.NewObserver(4)
+	s.SetObserver(o)
+	before := s.DistanceCount()
+	for _, q := range queries {
+		s.Range(q, 0.4)
+		s.KNN(q, 5)
+	}
+	delta := s.DistanceCount() - before
+	snap := o.Snapshot()
+	if snap.Distances != delta {
+		t.Fatalf("observer saw %d distances, counter moved %d", snap.Distances, delta)
+	}
+	if want := int64(2 * len(queries)); snap.Queries != want {
+		t.Fatalf("observer saw %d queries, want %d", snap.Queries, want)
+	}
+	if snap.Range.Queries != int64(len(queries)) || snap.KNN.Queries != int64(len(queries)) {
+		t.Fatalf("per-kind query counts: range %d knn %d, want %d each",
+			snap.Range.Queries, snap.KNN.Queries, len(queries))
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTelemetryStudyAccounting checks that every structure's snapshot
+// is internally consistent: queries counted, distance totals matching
+// the SearchStats sums, and the linear baseline costing exactly n per
+// range query.
+func TestTelemetryStudyAccounting(t *testing.T) {
+	c := tinyConfig()
+	rep, err := TelemetryStudy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Structures) == 0 {
+		t.Fatal("no structures in telemetry report")
+	}
+	for _, e := range rep.Structures {
+		s := e.Snapshot
+		if s.Queries != int64(2*c.Queries) {
+			t.Fatalf("%s: %d queries observed, want %d", e.Structure, s.Queries, 2*c.Queries)
+		}
+		if got := s.Search.Computed + s.Search.VantagePoints; got != s.Distances {
+			t.Fatalf("%s: SearchStats account for %d distances, snapshot says %d",
+				e.Structure, got, s.Distances)
+		}
+		if s.DistanceHist.N != s.Queries {
+			t.Fatalf("%s: distance histogram has %d entries, want %d",
+				e.Structure, s.DistanceHist.N, s.Queries)
+		}
+		if e.Structure == "linear" {
+			if want := int64(c.N * c.Queries); s.Range.Queries != int64(c.Queries) ||
+				s.Distances < want {
+				t.Fatalf("linear: %d distances over %d range queries, want at least %d",
+					s.Distances, s.Range.Queries, want)
+			}
+		}
+	}
+}
+
+// TestTelemetryReportJSONAndText checks both output forms: the JSON
+// artifact round-trips and the text table has one row per structure.
+func TestTelemetryReportJSONAndText(t *testing.T) {
+	rep, err := TelemetryStudy(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TelemetryReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Structures) != len(rep.Structures) {
+		t.Fatalf("round-trip lost structures: %d -> %d", len(rep.Structures), len(back.Structures))
+	}
+	for i := range rep.Structures {
+		if back.Structures[i].Snapshot.Distances != rep.Structures[i].Snapshot.Distances {
+			t.Fatalf("%s: distance total lost in JSON round-trip", rep.Structures[i].Structure)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTelemetry(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1
+	if want := len(rep.Structures) + 2; lines != want { // config line + header
+		t.Fatalf("text table has %d lines, want %d:\n%s", lines, want, buf.String())
+	}
+}

@@ -20,7 +20,15 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
+
+// SearchStats is the shared per-query filtering breakdown
+// (index.SearchStats), aliased here so ghtree call sites match the
+// other index packages. Pivot distances count as VantagePoints and a
+// skipped subtree as one ShellsPruned; with no stored leaf distances,
+// FilteredByD/FilteredByPath stay zero and Computed == Candidates.
+type SearchStats = index.SearchStats
 
 // Build is the shared construction options (Workers, Seed) every index
 // package embeds; see build.Options.
@@ -36,15 +44,18 @@ type Options struct {
 	LeafCapacity int
 }
 
-// Tree is a generalized hyperplane tree over a fixed item set.
+// Tree is a generalized hyperplane tree over a fixed item set. The
+// embedded obs.Hooks let callers attach an Observer and/or Tracer; with
+// neither attached the query paths pay only nil checks.
 type Tree[T any] struct {
+	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
 	size       int
 	buildStats build.Stats
 }
 
-var _ index.Index[int] = (*Tree[int])(nil)
+var _ index.StatsIndex[int] = (*Tree[int])(nil)
 
 type node[T any] struct {
 	p1, p2      T
@@ -143,6 +154,10 @@ func (t *Tree[T]) Len() int { return t.size }
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
+// DistanceCount reports the cumulative distance computations on the
+// tree's counter (build + queries), the paper's cost metric.
+func (t *Tree[T]) DistanceCount() int64 { return t.dist.Count() }
+
 // BuildCost reports the number of distance computations made during
 // construction.
 func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
@@ -150,22 +165,40 @@ func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
 // BuildStats reports the full construction report.
 func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 
-// Range returns every indexed item within distance r of q.
+// Range returns every indexed item within distance r of q. It delegates
+// to RangeWithStats so there is exactly one traversal implementation.
 func (t *Tree[T]) Range(q T, r float64) []T {
-	if r < 0 {
-		return nil
-	}
-	var out []T
-	t.rangeNode(t.root, q, r, &out)
+	out, _ := t.RangeWithStats(q, r)
 	return out
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+// RangeWithStats is Range plus the per-query breakdown.
+func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 {
+		span.Done(&s)
+		return nil, s
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out, &s)
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
+	s.NodesVisited++
+	t.TraceNode(n.leaf)
 	if n.leaf {
+		s.LeavesVisited++
 		for _, it := range n.items {
+			s.Candidates++
+			s.Computed++
+			t.TraceDistance(1)
 			if t.dist.Distance(q, it) <= r {
 				*out = append(*out, it)
 			}
@@ -173,6 +206,8 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
 		return
 	}
 	d1 := t.dist.Distance(q, n.p1)
+	s.VantagePoints++
+	t.TraceDistance(1)
 	if d1 <= r {
 		*out = append(*out, n.p1)
 	}
@@ -180,6 +215,8 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
 		return
 	}
 	d2 := t.dist.Distance(q, n.p2)
+	s.VantagePoints++
+	t.TraceDistance(1)
 	if d2 <= r {
 		*out = append(*out, n.p2)
 	}
@@ -187,18 +224,34 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
 	// d(x,p1) ≤ d(x,p2); the query ball reaches that side only if
 	// (d1 − d2)/2 ≤ r. Symmetrically for the p2 side.
 	if (d1-d2)/2 <= r {
-		t.rangeNode(n.left, q, r, out)
+		t.rangeNode(n.left, q, r, out, s)
+	} else if n.left != nil {
+		s.ShellsPruned++
+		t.TracePrune(obs.FilterShell, 1)
 	}
 	if (d2-d1)/2 <= r {
-		t.rangeNode(n.right, q, r, out)
+		t.rangeNode(n.right, q, r, out, s)
+	} else if n.right != nil {
+		s.ShellsPruned++
+		t.TracePrune(obs.FilterShell, 1)
 	}
 }
 
 // KNN returns the k nearest indexed items by best-first traversal using
-// the hyperplane lower bound max(0, (dNear − dFar)/2).
+// the hyperplane lower bound max(0, (dNear − dFar)/2). It delegates to
+// KNNWithStats (single traversal implementation).
 func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := t.KNNWithStats(q, k)
+	return out
+}
+
+// KNNWithStats is KNN plus the per-query breakdown.
+func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
 	if k <= 0 || t.root == nil {
-		return nil
+		span.Done(&s)
+		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
 	var queue heapx.NodeQueue[*node[T]]
@@ -211,31 +264,50 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 		if !best.Accepts(bound) {
 			break
 		}
+		s.NodesVisited++
+		t.TraceNode(n.leaf)
 		if n.leaf {
+			s.LeavesVisited++
 			for _, it := range n.items {
+				s.Candidates++
+				s.Computed++
+				t.TraceDistance(1)
 				best.Push(it, t.dist.Distance(q, it))
 			}
 			continue
 		}
 		d1 := t.dist.Distance(q, n.p1)
 		best.Push(n.p1, d1)
+		s.VantagePoints++
+		t.TraceDistance(1)
 		if !n.hasP2 {
 			continue
 		}
 		d2 := t.dist.Distance(q, n.p2)
 		best.Push(n.p2, d2)
+		s.VantagePoints++
+		t.TraceDistance(1)
 		if n.left != nil {
 			lb := max(bound, (d1-d2)/2)
 			if best.Accepts(lb) {
 				queue.PushNode(n.left, lb)
+			} else {
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
 			}
 		}
 		if n.right != nil {
 			lb := max(bound, (d2-d1)/2)
 			if best.Accepts(lb) {
 				queue.PushNode(n.right, lb)
+			} else {
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
 			}
 		}
 	}
-	return best.Sorted()
+	out := best.Sorted()
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }

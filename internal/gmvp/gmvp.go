@@ -28,6 +28,7 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
 
 // Build is the shared construction options (Workers, Seed) every index
@@ -86,8 +87,11 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// Tree is a generalized multi-vantage-point tree.
+// Tree is a generalized multi-vantage-point tree. The embedded
+// obs.Hooks let callers attach an Observer and/or Tracer; with neither
+// attached the query paths pay only nil checks.
 type Tree[T any] struct {
+	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
 	size       int
@@ -96,7 +100,7 @@ type Tree[T any] struct {
 	buildStats build.Stats
 }
 
-var _ index.Index[int] = (*Tree[int])(nil)
+var _ index.StatsIndex[int] = (*Tree[int])(nil)
 
 // node is a leaf or an internal node. Internal nodes hold exactly v
 // vantage points and a cascade of splits; leaves hold up to v vantage
@@ -172,6 +176,10 @@ func (t *Tree[T]) Len() int { return t.size }
 
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// DistanceCount reports the cumulative distance computations on the
+// tree's counter (build + queries), the paper's cost metric.
+func (t *Tree[T]) DistanceCount() int64 { return t.dist.Count() }
 
 // BuildCost reports construction distance computations.
 func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
@@ -362,24 +370,45 @@ func shellBounds(cutoffs []float64, g int) (lo, hi float64) {
 	return lo, hi
 }
 
-// Range returns every indexed item within distance r of q.
+// Range returns every indexed item within distance r of q. It delegates
+// to RangeWithStats so there is exactly one traversal implementation;
+// the two are guaranteed to agree in both results and distance
+// computations.
 func (t *Tree[T]) Range(q T, r float64) []T {
-	if r < 0 || t.root == nil {
-		return nil
-	}
-	var out []T
-	qpath := make([]float64, 0, t.p)
-	t.rangeNode(t.root, q, r, qpath, &out)
+	out, _ := t.RangeWithStats(q, r)
 	return out
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]T) {
+// RangeWithStats is Range plus the per-query filtering breakdown shared
+// with the mvp-tree: FilteredByD counts candidates excluded by a stored
+// leaf-vantage distance, FilteredByPath those additionally excluded by
+// a retained PATH entry.
+func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 || t.root == nil {
+		span.Done(&s)
+		return nil, s
+	}
+	var out []T
+	qpath := make([]float64, 0, t.p)
+	t.rangeNode(t.root, q, r, qpath, &out, &s)
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
+	s.NodesVisited++
+	t.TraceNode(n.isLeaf())
 	dq := make([]float64, len(n.vantages))
 	for j, v := range n.vantages {
 		dq[j] = t.dist.Distance(q, v)
+		s.VantagePoints++
+		t.TraceDistance(1)
 		if dq[j] <= r {
 			*out = append(*out, v)
 		}
@@ -388,48 +417,73 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 		}
 	}
 	if n.isLeaf() {
+		s.LeavesVisited++
 	items:
 		for i, it := range n.items {
+			s.Candidates++
 			for j := range n.dists {
 				if d := n.dists[j][i]; d < dq[j]-r || d > dq[j]+r {
+					s.FilteredByD++
+					t.TracePrune(obs.FilterD, 1)
 					continue items
 				}
 			}
 			path := n.paths[i]
 			for l := 0; l < len(path) && l < len(qpath); l++ {
 				if path[l] < qpath[l]-r || path[l] > qpath[l]+r {
+					s.FilteredByPath++
+					t.TracePrune(obs.FilterPath, 1)
 					continue items
 				}
 			}
+			s.Computed++
+			t.TraceDistance(1)
 			if t.dist.Distance(q, it) <= r {
 				*out = append(*out, it)
 			}
 		}
 		return
 	}
-	t.rangeSplit(n.top, q, r, dq, qpath, out)
+	t.rangeSplit(n.top, q, r, dq, qpath, out, s)
 }
 
-func (t *Tree[T]) rangeSplit(sp *split[T], q T, r float64, dq, qpath []float64, out *[]T) {
+func (t *Tree[T]) rangeSplit(sp *split[T], q T, r float64, dq, qpath []float64, out *[]T, s *SearchStats) {
 	d := dq[sp.level]
 	count := len(sp.cutoffs) + 1
 	for g := 0; g < count; g++ {
 		lo, hi := shellBounds(sp.cutoffs, g)
 		if d+r < lo || d-r > hi {
+			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
 			continue
 		}
 		if sp.subs != nil {
-			t.rangeSplit(sp.subs[g], q, r, dq, qpath, out)
+			t.rangeSplit(sp.subs[g], q, r, dq, qpath, out, s)
 		} else if sp.children[g] != nil {
-			t.rangeNode(sp.children[g], q, r, qpath, out)
+			t.rangeNode(sp.children[g], q, r, qpath, out, s)
 		}
 	}
 }
 
-// KNN returns the k nearest indexed items by best-first traversal.
+// KNN returns the k nearest indexed items by best-first traversal. It
+// delegates to KNNWithStats (single traversal implementation).
 func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := t.KNNWithStats(q, k)
+	return out
+}
+
+// KNNWithStats is KNN plus the per-query filtering breakdown. Leaf
+// attribution mirrors the mvp-tree: the stored leaf-vantage distances
+// get first credit (FilteredByD); a PATH entry gets credit only when it
+// tightens the bound past the acceptance threshold on its own
+// (FilteredByPath). The accept/reject outcome is identical either way —
+// the final bound is the same maximum.
+func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
 	if k <= 0 || t.root == nil {
-		return nil
+		span.Done(&s)
+		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
 	var queue heapx.NodeQueue[knnPending[T]]
@@ -443,9 +497,13 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 			break
 		}
 		n, qpath := pn.n, pn.qpath
+		s.NodesVisited++
+		t.TraceNode(n.isLeaf())
 		dq := make([]float64, len(n.vantages))
 		for j, v := range n.vantages {
 			dq[j] = t.dist.Distance(q, v)
+			s.VantagePoints++
+			t.TraceDistance(1)
 			best.Push(v, dq[j])
 		}
 		if len(qpath) < t.p {
@@ -459,28 +517,44 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 			qpath = ext
 		}
 		if n.isLeaf() {
+			s.LeavesVisited++
 			for i, it := range n.items {
-				lb := 0.0
+				s.Candidates++
+				lbD := 0.0
 				for j := range n.dists {
-					if b := abs(dq[j] - n.dists[j][i]); b > lb {
-						lb = b
+					if b := abs(dq[j] - n.dists[j][i]); b > lbD {
+						lbD = b
 					}
 				}
+				if !best.Accepts(lbD) {
+					s.FilteredByD++
+					t.TracePrune(obs.FilterD, 1)
+					continue
+				}
+				lb := lbD
 				path := n.paths[i]
 				for l := 0; l < len(path) && l < len(qpath); l++ {
 					if b := abs(qpath[l] - path[l]); b > lb {
 						lb = b
 					}
 				}
-				if best.Accepts(lb) {
-					best.Push(it, t.dist.Distance(q, it))
+				if !best.Accepts(lb) {
+					s.FilteredByPath++
+					t.TracePrune(obs.FilterPath, 1)
+					continue
 				}
+				s.Computed++
+				t.TraceDistance(1)
+				best.Push(it, t.dist.Distance(q, it))
 			}
 			continue
 		}
-		t.knnSplit(n.top, dq, qpath, bound, best, &queue)
+		t.knnSplit(n.top, dq, qpath, bound, best, &queue, &s)
 	}
-	return best.Sorted()
+	out := best.Sorted()
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }
 
 // knnPending is one enqueued subtree in the best-first kNN traversal.
@@ -492,7 +566,7 @@ type knnPending[T any] struct {
 // knnSplit walks a cascade accumulating interval-gap lower bounds and
 // enqueues surviving child nodes.
 func (t *Tree[T]) knnSplit(sp *split[T], dq, qpath []float64, bound float64,
-	best *heapx.KBest[T], queue *heapx.NodeQueue[knnPending[T]]) {
+	best *heapx.KBest[T], queue *heapx.NodeQueue[knnPending[T]], s *SearchStats) {
 	d := dq[sp.level]
 	count := len(sp.cutoffs) + 1
 	for g := 0; g < count; g++ {
@@ -509,10 +583,12 @@ func (t *Tree[T]) knnSplit(sp *split[T], dq, qpath []float64, bound float64,
 			}
 		}
 		if !best.Accepts(lb) {
+			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
 			continue
 		}
 		if sp.subs != nil {
-			t.knnSplit(sp.subs[g], dq, qpath, lb, best, queue)
+			t.knnSplit(sp.subs[g], dq, qpath, lb, best, queue, s)
 		} else if sp.children[g] != nil {
 			queue.PushNode(knnPending[T]{sp.children[g], qpath}, lb)
 		}

@@ -23,7 +23,16 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
+
+// SearchStats is the shared per-query filtering breakdown
+// (index.SearchStats), aliased here so gnat call sites match the other
+// index packages. GNAT fills VantagePoints with split-point distances
+// and ShellsPruned with datasets discarded through the stored ranges;
+// having no stored leaf distances, FilteredByD/FilteredByPath stay zero
+// and Computed == Candidates.
+type SearchStats = index.SearchStats
 
 // Build is the shared construction options (Workers, Seed) every index
 // package embeds; see build.Options.
@@ -74,15 +83,18 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Tree is a GNAT over a fixed item set.
+// Tree is a GNAT over a fixed item set. The embedded obs.Hooks let
+// callers attach an Observer and/or Tracer; with neither attached the
+// query paths pay only nil checks.
 type Tree[T any] struct {
+	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
 	size       int
 	buildStats build.Stats
 }
 
-var _ index.Index[int] = (*Tree[int])(nil)
+var _ index.StatsIndex[int] = (*Tree[int])(nil)
 
 type node[T any] struct {
 	splits   []T
@@ -278,6 +290,10 @@ func (t *Tree[T]) Len() int { return t.size }
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
+// DistanceCount reports the cumulative distance computations on the
+// tree's counter (build + queries), the paper's cost metric.
+func (t *Tree[T]) DistanceCount() int64 { return t.dist.Count() }
+
 // BuildCost reports the number of distance computations made during
 // construction.
 func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
@@ -289,20 +305,38 @@ func (t *Tree[T]) BuildStats() build.Stats { return t.buildStats }
 // [Bri95]'s search: split points are consumed one at a time and each
 // distance prunes sibling datasets through the stored ranges.
 func (t *Tree[T]) Range(q T, r float64) []T {
-	if r < 0 {
-		return nil
-	}
-	var out []T
-	t.rangeNode(t.root, q, r, &out)
+	out, _ := t.RangeWithStats(q, r)
 	return out
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
+// RangeWithStats is Range plus the per-query breakdown. It is the only
+// range traversal implementation — Range delegates here.
+func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 {
+		span.Done(&s)
+		return nil, s
+	}
+	var out []T
+	t.rangeNode(t.root, q, r, &out, &s)
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
+}
+
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
+	s.NodesVisited++
+	t.TraceNode(n.leaf)
 	if n.leaf {
+		s.LeavesVisited++
 		for _, it := range n.items {
+			s.Candidates++
+			s.Computed++
+			t.TraceDistance(1)
 			if t.dist.Distance(q, it) <= r {
 				*out = append(*out, it)
 			}
@@ -329,6 +363,8 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
 		}
 		visited[i] = true
 		d := t.dist.Distance(q, n.splits[i])
+		s.VantagePoints++
+		t.TraceDistance(1)
 		if d <= r {
 			*out = append(*out, n.splits[i])
 		}
@@ -338,12 +374,14 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
 			}
 			if d+r < n.lo[i][j] || d-r > n.hi[i][j] {
 				alive[j] = false
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
 			}
 		}
 	}
 	for j := 0; j < k; j++ {
 		if alive[j] {
-			t.rangeNode(n.children[j], q, r, out)
+			t.rangeNode(n.children[j], q, r, out, s)
 		}
 	}
 }
@@ -352,8 +390,18 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
 // lower bound of a child dataset is the tightest interval gap over all
 // split points whose query distance was computed.
 func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := t.KNNWithStats(q, k)
+	return out
+}
+
+// KNNWithStats is KNN plus the per-query breakdown. It is the only
+// best-first kNN traversal implementation — KNN delegates here.
+func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
 	if k <= 0 || t.root == nil {
-		return nil
+		span.Done(&s)
+		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
 	var queue heapx.NodeQueue[*node[T]]
@@ -366,8 +414,14 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 		if !best.Accepts(bound) {
 			break
 		}
+		s.NodesVisited++
+		t.TraceNode(n.leaf)
 		if n.leaf {
+			s.LeavesVisited++
 			for _, it := range n.items {
+				s.Candidates++
+				s.Computed++
+				t.TraceDistance(1)
 				best.Push(it, t.dist.Distance(q, it))
 			}
 			continue
@@ -380,6 +434,8 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 		for i := 0; i < nk; i++ {
 			d := t.dist.Distance(q, n.splits[i])
 			best.Push(n.splits[i], d)
+			s.VantagePoints++
+			t.TraceDistance(1)
 			for j := 0; j < nk; j++ {
 				gap := 0.0
 				switch {
@@ -394,10 +450,19 @@ func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
 			}
 		}
 		for j := 0; j < nk; j++ {
-			if n.children[j] != nil && best.Accepts(lbs[j]) {
+			if n.children[j] == nil {
+				continue
+			}
+			if best.Accepts(lbs[j]) {
 				queue.PushNode(n.children[j], lbs[j])
+			} else {
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
 			}
 		}
 	}
-	return best.Sorted()
+	out := best.Sorted()
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }

@@ -1,0 +1,152 @@
+package histogram
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+)
+
+// Log2Buckets is the number of buckets of a Log2 histogram: bucket 0
+// counts zeros and bucket b (1 ≤ b ≤ 64) counts values v with
+// 2^(b−1) ≤ v < 2^b, so any non-negative int64 maps to exactly one
+// bucket.
+const Log2Buckets = 65
+
+// Log2 is a log₂-bucketed histogram over non-negative int64 values —
+// the shape used by the query-time observability layer for latencies
+// (nanoseconds) and per-query distance counts, where values span many
+// orders of magnitude and constant relative resolution matters more
+// than constant absolute resolution.
+//
+// Log2 is a plain value type: snapshots of concurrent recorders are
+// materialized as Log2 and combined with Merge, which is associative
+// and commutative (it is a field-wise sum plus a max), so shards and
+// per-worker partials can be folded in any grouping without changing
+// the result.
+type Log2 struct {
+	Counts [Log2Buckets]int64
+	N      int64 // number of recorded values
+	Sum    int64 // sum of recorded values
+	Max    int64 // largest recorded value
+}
+
+// Log2Bucket returns the bucket index of v (negative values are clamped
+// to bucket 0; they cannot occur for latencies or counts).
+func Log2Bucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Log2BucketUpper returns the exclusive upper bound of bucket b: the
+// smallest value that does NOT belong to bucket b or below. The last
+// bucket's bound saturates at MaxInt64.
+func Log2BucketUpper(b int) int64 {
+	if b <= 0 {
+		return 1
+	}
+	if b >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1) << b
+}
+
+// Add records one value.
+func (h *Log2) Add(v int64) {
+	h.Counts[Log2Bucket(v)]++
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Merge accumulates o into h. Merge is associative and commutative, so
+// per-shard or per-worker histograms may be folded in any order.
+func (h *Log2) Merge(o Log2) {
+	for b := range h.Counts {
+		h.Counts[b] += o.Counts[b]
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Total reports the number of recorded values.
+func (h *Log2) Total() int64 { return h.N }
+
+// Mean reports the mean of recorded values (0 when empty).
+func (h *Log2) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns an upper bound of the q-quantile (0 ≤ q ≤ 1) at
+// bucket resolution: the exclusive upper bound of the first bucket
+// whose cumulative count reaches q·N, clamped to Max (the bound a
+// recorded value is known not to exceed). It returns 0 when empty.
+func (h *Log2) Quantile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.N)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			upper := Log2BucketUpper(b) - 1
+			if upper > h.Max {
+				upper = h.Max
+			}
+			return upper
+		}
+	}
+	return h.Max
+}
+
+// log2JSON is the sparse wire form of a Log2 histogram: only non-empty
+// buckets, each with its exclusive upper bound.
+type log2JSON struct {
+	N       int64        `json:"n"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	Buckets []log2Bucket `json:"buckets,omitempty"`
+}
+
+type log2Bucket struct {
+	Lt    int64 `json:"lt"` // exclusive upper bound of the bucket
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON emits the histogram sparsely (non-empty buckets only), so
+// telemetry artifacts stay readable.
+func (h Log2) MarshalJSON() ([]byte, error) {
+	out := log2JSON{N: h.N, Sum: h.Sum, Max: h.Max}
+	for b, c := range h.Counts {
+		if c != 0 {
+			out.Buckets = append(out.Buckets, log2Bucket{Lt: Log2BucketUpper(b), Count: c})
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON reads the sparse form written by MarshalJSON.
+func (h *Log2) UnmarshalJSON(data []byte) error {
+	var in log2JSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Log2{N: in.N, Sum: in.Sum, Max: in.Max}
+	for _, b := range in.Buckets {
+		h.Counts[Log2Bucket(b.Lt-1)] += b.Count
+	}
+	return nil
+}

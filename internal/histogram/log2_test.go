@@ -1,0 +1,133 @@
+package histogram
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLog2Bucketing(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {-5, 0},
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := Log2Bucket(c.v); got != c.want {
+			t.Errorf("Log2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// Every value must lie below its bucket's exclusive upper bound
+		// and at or above the previous bucket's.
+		if c.v >= 0 {
+			b := Log2Bucket(c.v)
+			// The top bucket's bound saturates at MaxInt64, where
+			// exclusivity cannot hold.
+			if c.v >= Log2BucketUpper(b) && Log2BucketUpper(b) != math.MaxInt64 {
+				t.Errorf("value %d not below upper bound %d of bucket %d", c.v, Log2BucketUpper(b), b)
+			}
+			if b > 0 && c.v < Log2BucketUpper(b-1) {
+				t.Errorf("value %d below upper bound %d of bucket %d", c.v, Log2BucketUpper(b-1), b-1)
+			}
+		}
+	}
+}
+
+// TestLog2MergeAssociativity checks the property the observability layer
+// leans on: folding per-shard partial histograms in any grouping or
+// order yields the identical aggregate.
+func TestLog2MergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	values := make([]int64, 5000)
+	for i := range values {
+		switch rng.Intn(3) {
+		case 0:
+			values[i] = int64(rng.Intn(10))
+		case 1:
+			values[i] = int64(rng.Intn(100_000))
+		default:
+			values[i] = rng.Int63()
+		}
+	}
+
+	// Reference: a single histogram fed sequentially.
+	var ref Log2
+	for _, v := range values {
+		ref.Add(v)
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		// Split into a random number of shards with random assignment.
+		shards := make([]Log2, 1+rng.Intn(8))
+		for _, v := range values {
+			shards[rng.Intn(len(shards))].Add(v)
+		}
+		// Fold in a random order, alternating between (a·b)·c and a·(b·c)
+		// style groupings by merging into accumulators at random positions.
+		order := rng.Perm(len(shards))
+		accs := make([]Log2, 1+rng.Intn(3))
+		for _, i := range order {
+			accs[rng.Intn(len(accs))].Merge(shards[i])
+		}
+		var got Log2
+		for _, a := range accs {
+			got.Merge(a)
+		}
+		if got != ref {
+			t.Fatalf("trial %d: merged histogram differs from sequential reference\ngot  %+v\nwant %+v", trial, got, ref)
+		}
+	}
+}
+
+func TestLog2Quantile(t *testing.T) {
+	var h Log2
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %d, want 0", h.Quantile(0.5))
+	}
+	for v := int64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	if h.Total() != 1000 {
+		t.Fatalf("Total = %d, want 1000", h.Total())
+	}
+	if got := h.Mean(); got != 500.5 {
+		t.Fatalf("Mean = %v, want 500.5", got)
+	}
+	// Quantile is an upper bound at bucket resolution: it must be ≥ the
+	// exact quantile and ≤ Max.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		exact := int64(math.Ceil(q * 1000))
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d, below exact %d", q, got, exact)
+		}
+		if got > h.Max {
+			t.Errorf("Quantile(%v) = %d, above max %d", q, got, h.Max)
+		}
+	}
+	if got := h.Quantile(1.0); got != 1000 {
+		t.Errorf("Quantile(1.0) = %d, want clamped max 1000", got)
+	}
+}
+
+func TestLog2JSONRoundTrip(t *testing.T) {
+	var h Log2
+	for _, v := range []int64{0, 1, 3, 900, 70_000, 1 << 40} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Log2
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip mismatch\ngot  %+v\nwant %+v", back, h)
+	}
+}

@@ -26,3 +26,29 @@ type Index[T any] interface {
 	// Len reports the number of indexed items.
 	Len() int
 }
+
+// StatsIndex is an Index whose query paths also report per-query cost
+// breakdowns. Every structure in this repository implements it (as does
+// the dynamic store), and the batch executor uses it — instead of
+// package-private assertions — to collect telemetry uniformly.
+//
+// The stats variants answer exactly the same traversal as Range/KNN:
+// results (and their order within one query) are identical, and the
+// returned SearchStats satisfy Computed + VantagePoints == the
+// structure's distance-Counter delta for that query.
+type StatsIndex[T any] interface {
+	Index[T]
+
+	// RangeWithStats is Range plus the query's filtering breakdown.
+	RangeWithStats(q T, r float64) ([]T, SearchStats)
+
+	// KNNWithStats is KNN plus the query's filtering breakdown.
+	KNNWithStats(q T, k int) ([]Neighbor[T], SearchStats)
+
+	// DistanceCount reports the cumulative number of distance
+	// computations the structure has performed (build + queries), the
+	// paper's cost metric. It is the structure's atomic Counter value,
+	// read without a type-parameterized Counter handle so wrappers over
+	// a different item type (the dynamic store) can satisfy it too.
+	DistanceCount() int64
+}

@@ -33,6 +33,13 @@ type SearchStats struct {
 	Results int
 }
 
+// Distances is the query's total distance computations — Computed plus
+// VantagePoints — which equals the structure's Counter delta for the
+// query.
+func (s SearchStats) Distances() int64 {
+	return int64(s.Computed) + int64(s.VantagePoints)
+}
+
 // Add accumulates b into s field by field, for aggregating per-query
 // stats into batch or per-worker totals.
 func (s *SearchStats) Add(b SearchStats) {

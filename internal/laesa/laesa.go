@@ -25,7 +25,16 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
+
+// SearchStats is the shared per-query filtering breakdown
+// (index.SearchStats), aliased here so laesa call sites match the other
+// index packages. The table is flat, so NodesVisited/LeavesVisited/
+// ShellsPruned stay zero; VantagePoints counts the per-query pivot
+// distances, Candidates is the full item count, and FilteredByD counts
+// items the pivot lower bound excluded without a real computation.
+type SearchStats = index.SearchStats
 
 // Build is the shared construction options (Workers, Seed) every index
 // package embeds; see build.Options.
@@ -44,8 +53,11 @@ type Options struct {
 	Pivots int
 }
 
-// Table is a pivot-table index over a fixed item set.
+// Table is a pivot-table index over a fixed item set. The embedded
+// obs.Hooks let callers attach an Observer and/or Tracer; with neither
+// attached the query paths pay only nil checks.
 type Table[T any] struct {
+	obs.Hooks
 	items      []T
 	pivots     []T
 	table      [][]float64 // table[j][i] = d(pivots[j], items[i])
@@ -53,7 +65,7 @@ type Table[T any] struct {
 	buildStats build.Stats
 }
 
-var _ index.Index[int] = (*Table[int])(nil)
+var _ index.StatsIndex[int] = (*Table[int])(nil)
 
 // New builds the pivot table over items using the counted metric dist.
 func New[T any](items []T, dist *metric.Counter[T], opts Options) (*Table[T], error) {
@@ -121,6 +133,10 @@ func (t *Table[T]) Len() int { return len(t.items) }
 // Counter returns the counted metric the table measures distances with.
 func (t *Table[T]) Counter() *metric.Counter[T] { return t.dist }
 
+// DistanceCount reports the cumulative distance computations on the
+// table's counter (build + queries), the paper's cost metric.
+func (t *Table[T]) DistanceCount() int64 { return t.dist.Count() }
+
 // Pivots reports the number of pivots actually used.
 func (t *Table[T]) Pivots() int { return len(t.pivots) }
 
@@ -158,32 +174,65 @@ func (t *Table[T]) lowerBound(qd []float64, i int) float64 {
 	return lb
 }
 
-// Range returns every indexed item within distance r of q.
+// Range returns every indexed item within distance r of q. It delegates
+// to RangeWithStats so there is exactly one scan implementation.
 func (t *Table[T]) Range(q T, r float64) []T {
+	out, _ := t.RangeWithStats(q, r)
+	return out
+}
+
+// RangeWithStats is Range plus the per-query breakdown.
+func (t *Table[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
 	if r < 0 || len(t.items) == 0 {
-		return nil
+		span.Done(&s)
+		return nil, s
 	}
 	qd := t.queryPivots(q)
+	s.VantagePoints = len(qd)
+	t.TraceDistance(len(qd))
 	var out []T
 	for i, it := range t.items {
+		s.Candidates++
 		if t.lowerBound(qd, i) > r {
+			s.FilteredByD++
+			t.TracePrune(obs.FilterD, 1)
 			continue
 		}
+		s.Computed++
+		t.TraceDistance(1)
 		if t.dist.Distance(q, it) <= r {
 			out = append(out, it)
 		}
 	}
-	return out
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }
 
 // KNN returns the k nearest indexed items: candidates are visited in
 // ascending lower-bound order and the scan stops as soon as the next
-// lower bound cannot beat the current k-th distance.
+// lower bound cannot beat the current k-th distance. It delegates to
+// KNNWithStats (single scan implementation).
 func (t *Table[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := t.KNNWithStats(q, k)
+	return out
+}
+
+// KNNWithStats is KNN plus the per-query breakdown. Items never popped
+// (or popped after the bound closed) count as FilteredByD: the pivot
+// lower bound excluded them without a real distance computation.
+func (t *Table[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
 	if k <= 0 || len(t.items) == 0 {
-		return nil
+		span.Done(&s)
+		return nil, s
 	}
 	qd := t.queryPivots(q)
+	s.VantagePoints = len(qd)
+	t.TraceDistance(len(qd))
 	var queue heapx.NodeQueue[int]
 	for i := range t.items {
 		queue.PushNode(i, t.lowerBound(qd, i))
@@ -194,7 +243,17 @@ func (t *Table[T]) KNN(q T, k int) []index.Neighbor[T] {
 		if !ok || !best.Accepts(lb) {
 			break
 		}
+		s.Computed++
+		t.TraceDistance(1)
 		best.Push(t.items[i], t.dist.Distance(q, t.items[i]))
 	}
-	return best.Sorted()
+	s.Candidates = len(t.items)
+	s.FilteredByD = s.Candidates - s.Computed
+	if s.FilteredByD > 0 {
+		t.TracePrune(obs.FilterD, s.FilteredByD)
+	}
+	out := best.Sorted()
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }

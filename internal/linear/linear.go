@@ -12,15 +12,19 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
 
-// Scan is a linear-scan index over a fixed item set.
+// Scan is a linear-scan index over a fixed item set. The embedded
+// obs.Hooks let callers attach an Observer and/or Tracer; with neither
+// attached the query paths pay only nil checks.
 type Scan[T any] struct {
+	obs.Hooks
 	items []T
 	dist  *metric.Counter[T]
 }
 
-var _ index.Index[int] = (*Scan[int])(nil)
+var _ index.StatsIndex[int] = (*Scan[int])(nil)
 
 // New returns a Scan over items measuring distances through dist. The
 // item slice is copied.
@@ -36,26 +40,60 @@ func (s *Scan[T]) Len() int { return len(s.items) }
 // Counter returns the counted metric the scan measures distances with.
 func (s *Scan[T]) Counter() *metric.Counter[T] { return s.dist }
 
+// DistanceCount reports the cumulative distance computations on the
+// scan's counter, the paper's cost metric.
+func (s *Scan[T]) DistanceCount() int64 { return s.dist.Count() }
+
 // Range returns every item within distance r of q, computing exactly
-// Len() distances.
+// Len() distances. It delegates to RangeWithStats.
 func (s *Scan[T]) Range(q T, r float64) []T {
+	out, _ := s.RangeWithStats(q, r)
+	return out
+}
+
+// RangeWithStats is Range plus the trivial breakdown of a scan: every
+// item is a candidate and every candidate is computed.
+func (s *Scan[T]) RangeWithStats(q T, r float64) ([]T, index.SearchStats) {
+	span := s.StartQuery(obs.KindRange)
+	var st index.SearchStats
 	var out []T
 	for _, it := range s.items {
+		st.Candidates++
+		st.Computed++
+		s.TraceDistance(1)
 		if s.dist.Distance(q, it) <= r {
 			out = append(out, it)
 		}
 	}
+	st.Results = len(out)
+	span.Done(&st)
+	return out, st
+}
+
+// KNN returns the k items nearest to q in ascending distance order. It
+// delegates to KNNWithStats.
+func (s *Scan[T]) KNN(q T, k int) []index.Neighbor[T] {
+	out, _ := s.KNNWithStats(q, k)
 	return out
 }
 
-// KNN returns the k items nearest to q in ascending distance order.
-func (s *Scan[T]) KNN(q T, k int) []index.Neighbor[T] {
+// KNNWithStats is KNN plus the trivial breakdown of a scan.
+func (s *Scan[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], index.SearchStats) {
+	span := s.StartQuery(obs.KindKNN)
+	var st index.SearchStats
 	if k <= 0 || len(s.items) == 0 {
-		return nil
+		span.Done(&st)
+		return nil, st
 	}
 	h := heapx.NewKBest[T](k)
 	for _, it := range s.items {
+		st.Candidates++
+		st.Computed++
+		s.TraceDistance(1)
 		h.Push(it, s.dist.Distance(q, it))
 	}
-	return h.Sorted()
+	out := h.Sorted()
+	st.Results = len(out)
+	span.Done(&st)
+	return out, st
 }

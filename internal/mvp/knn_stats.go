@@ -3,6 +3,7 @@ package mvp
 import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
+	"mvptree/internal/obs"
 )
 
 // KNNWithStats is KNN plus the same per-query filtering breakdown that
@@ -10,8 +11,10 @@ import (
 // distances excluded on their own, how many additionally needed a PATH
 // entry, and how many real distance computations remained.
 func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
 	var s SearchStats
 	if k <= 0 || t.root == nil {
+		span.Done(&s)
 		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
@@ -31,6 +34,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		}
 		n, qpath := pn.n, pn.qpath
 		s.NodesVisited++
+		t.TraceNode(n.isLeaf())
 		if n.isLeaf() {
 			s.LeavesVisited++
 			t.knnLeafStats(n, q, qpath, best, &s)
@@ -41,6 +45,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		d2 := t.dist.Distance(q, n.sv2)
 		best.Push(n.sv2, d2)
 		s.VantagePoints += 2
+		t.TraceDistance(2)
 		if len(qpath) < t.p {
 			ext := make([]float64, len(qpath), t.p)
 			copy(ext, qpath)
@@ -55,6 +60,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 			lb1 := intervalGap(d1, lo1, hi1)
 			if !best.Accepts(max(lb1, bound)) {
 				s.ShellsPruned += len(row)
+				t.TracePrune(obs.FilterShell, len(row))
 				continue
 			}
 			for h, c := range row {
@@ -67,12 +73,14 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 					queue.PushNode(pending{c, qpath}, lb)
 				} else {
 					s.ShellsPruned++
+					t.TracePrune(obs.FilterShell, 1)
 				}
 			}
 		}
 	}
 	out := best.Sorted()
 	s.Results = len(out)
+	span.Done(&s)
 	return out, s
 }
 
@@ -83,11 +91,13 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	d1 := t.dist.Distance(q, n.sv1)
 	best.Push(n.sv1, d1)
 	s.VantagePoints++
+	t.TraceDistance(1)
 	var d2 float64
 	if n.hasSV2 {
 		d2 = t.dist.Distance(q, n.sv2)
 		best.Push(n.sv2, d2)
 		s.VantagePoints++
+		t.TraceDistance(1)
 	}
 	for i, it := range n.items {
 		s.Candidates++
@@ -101,6 +111,7 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 		}
 		if !best.Accepts(lbD) {
 			s.FilteredByD++
+			t.TracePrune(obs.FilterD, 1)
 			continue
 		}
 		lb := lbD
@@ -112,9 +123,11 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 		}
 		if !best.Accepts(lb) {
 			s.FilteredByPath++
+			t.TracePrune(obs.FilterPath, 1)
 			continue
 		}
 		s.Computed++
+		t.TraceDistance(1)
 		best.Push(it, t.dist.Distance(q, it))
 	}
 }

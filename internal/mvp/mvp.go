@@ -34,6 +34,7 @@ import (
 	"mvptree/internal/build"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
 
 // Build is the shared construction options (Workers, Seed) every index
@@ -102,8 +103,12 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// Tree is a multi-vantage-point tree over a fixed item set.
+// Tree is a multi-vantage-point tree over a fixed item set. The
+// embedded obs.Hooks let callers attach an Observer and/or Tracer
+// (SetObserver / SetTracer); with neither attached the query paths pay
+// only nil checks.
 type Tree[T any] struct {
+	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
 	size       int
@@ -113,7 +118,7 @@ type Tree[T any] struct {
 	buildStats build.Stats
 }
 
-var _ index.Index[int] = (*Tree[int])(nil)
+var _ index.StatsIndex[int] = (*Tree[int])(nil)
 
 // node is either an internal node (children != nil) or a leaf. Both
 // kinds carry up to two vantage points, which are real data points.
@@ -183,6 +188,10 @@ func (t *Tree[T]) Len() int { return t.size }
 
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
+
+// DistanceCount reports the cumulative distance computations on the
+// tree's counter (build + queries), the paper's cost metric.
+func (t *Tree[T]) DistanceCount() int64 { return t.dist.Count() }
 
 // BuildCost reports the number of distance computations made during
 // construction.

@@ -1,6 +1,9 @@
 package mvp
 
-import "mvptree/internal/index"
+import (
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
 
 // SearchStats breaks a range search down into the paper's filtering
 // stages, making Observation 2 (the power of the pre-computed
@@ -22,14 +25,17 @@ func (t *Tree[T]) Range(q T, r float64) []T {
 // RangeWithStats is Range plus a per-query breakdown of the filtering
 // stages.
 func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
 	var s SearchStats
 	if r < 0 || t.root == nil {
+		span.Done(&s)
 		return nil, s
 	}
 	var out []T
 	qpath := make([]float64, 0, t.p)
 	t.rangeNode(t.root, q, r, qpath, &out, &s)
 	s.Results = len(out)
+	span.Done(&s)
 	return out, s
 }
 
@@ -38,6 +44,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 		return
 	}
 	s.NodesVisited++
+	t.TraceNode(n.isLeaf())
 	if n.isLeaf() {
 		t.rangeLeaf(n, q, r, qpath, out, s)
 		return
@@ -52,6 +59,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 	}
 	d2 := t.dist.Distance(q, n.sv2)
 	s.VantagePoints++
+	t.TraceDistance(2)
 	if d2 <= r {
 		*out = append(*out, n.sv2)
 	}
@@ -68,6 +76,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 		lo1, hi1 := shellBounds(n.cut1, g)
 		if d1+r < lo1 || d1-r > hi1 {
 			s.ShellsPruned += len(row)
+			t.TracePrune(obs.FilterShell, len(row))
 			continue
 		}
 		for h, c := range row {
@@ -77,6 +86,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 			lo2, hi2 := shellBounds(n.cut2[g], h)
 			if d2+r < lo2 || d2-r > hi2 {
 				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
 				continue
 			}
 			t.rangeNode(c, q, r, qpath, out, s)
@@ -95,6 +105,7 @@ func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, qpath []float64, out *[]
 	}
 	d1 := t.dist.Distance(q, n.sv1)
 	s.VantagePoints++
+	t.TraceDistance(1)
 	if d1 <= r {
 		*out = append(*out, n.sv1)
 	}
@@ -102,6 +113,7 @@ func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, qpath []float64, out *[]
 	if n.hasSV2 {
 		d2 = t.dist.Distance(q, n.sv2)
 		s.VantagePoints++
+		t.TraceDistance(1)
 		if d2 <= r {
 			*out = append(*out, n.sv2)
 		}
@@ -113,20 +125,24 @@ items:
 		// inequality; likewise for every retained PATH entry.
 		if n.d1[i] < d1-r || n.d1[i] > d1+r {
 			s.FilteredByD++
+			t.TracePrune(obs.FilterD, 1)
 			continue
 		}
 		if n.d2[i] < d2-r || n.d2[i] > d2+r {
 			s.FilteredByD++
+			t.TracePrune(obs.FilterD, 1)
 			continue
 		}
 		path := n.paths[i]
 		for l := 0; l < len(path) && l < len(qpath); l++ {
 			if path[l] < qpath[l]-r || path[l] > qpath[l]+r {
 				s.FilteredByPath++
+				t.TracePrune(obs.FilterPath, 1)
 				continue items
 			}
 		}
 		s.Computed++
+		t.TraceDistance(1)
 		if t.dist.Distance(q, it) <= r {
 			*out = append(*out, it)
 		}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sync"
+)
+
+// WriteJSON writes an indented JSON rendering of the observer's current
+// Snapshot.
+func (o *Observer) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(o.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the observer's live Snapshot under the given
+// expvar name (served on /debug/vars by net/http's default mux). The
+// snapshot is recomputed on every read. Publishing a name twice rebinds
+// it to the new observer instead of panicking the way expvar.Publish
+// does, so tests and re-initialised services are safe.
+func PublishExpvar(name string, o *Observer) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	f := expvar.Func(func() any { return o.Snapshot() })
+	if v := expvar.Get(name); v != nil {
+		// Already bound: rebind when the existing variable is one of
+		// ours (a *rebindable), otherwise leave the foreign variable
+		// alone rather than panic.
+		if r, ok := v.(*rebindable); ok {
+			r.mu.Lock()
+			r.f = f
+			r.mu.Unlock()
+		}
+		return
+	}
+	expvar.Publish(name, &rebindable{f: f})
+}
+
+// rebindable is an expvar.Var whose underlying Func can be swapped, so
+// PublishExpvar is idempotent per name.
+type rebindable struct {
+	mu sync.Mutex
+	f  expvar.Func
+}
+
+func (r *rebindable) String() string {
+	r.mu.Lock()
+	f := r.f
+	r.mu.Unlock()
+	return f.String()
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"time"
+
+	"mvptree/internal/index"
+)
+
+// Hooks is the embeddable observability attachment point shared by
+// every index structure. The zero value is disarmed: every Trace*
+// method reduces to a nil check and StartQuery returns a Span whose
+// Done is a no-op, so un-instrumented queries pay no allocation and no
+// time.Now call.
+//
+// SetObserver / SetTracer are not synchronized with running queries;
+// attach instruments before serving concurrent traffic (the facade
+// applies them at construction time).
+type Hooks struct {
+	observer *Observer
+	tracer   Tracer
+}
+
+// SetObserver attaches (or with nil, detaches) an aggregating Observer.
+func (h *Hooks) SetObserver(o *Observer) { h.observer = o }
+
+// SetTracer attaches (or with nil, detaches) a per-event Tracer.
+func (h *Hooks) SetTracer(t Tracer) { h.tracer = t }
+
+// Observer returns the attached Observer, nil when disarmed.
+func (h *Hooks) Observer() *Observer { return h.observer }
+
+// Tracer returns the attached Tracer, nil when disarmed.
+func (h *Hooks) Tracer() Tracer { return h.tracer }
+
+// StartQuery opens a Span for one query. When neither instrument is
+// attached the returned Span is inert and its Done a no-op; otherwise
+// the span stamps a start time and fires OnQueryStart.
+func (h *Hooks) StartQuery(kind Kind) Span {
+	if h.observer == nil && h.tracer == nil {
+		return Span{}
+	}
+	if h.tracer != nil {
+		h.tracer.OnQueryStart(kind)
+	}
+	return Span{observer: h.observer, tracer: h.tracer, kind: kind, start: time.Now()}
+}
+
+// TraceNode forwards a node visit to the tracer, if any.
+func (h *Hooks) TraceNode(leaf bool) {
+	if h.tracer != nil {
+		h.tracer.OnNodeVisit(leaf)
+	}
+}
+
+// TracePrune forwards a pruning decision to the tracer, if any.
+func (h *Hooks) TracePrune(f Filter, n int) {
+	if h.tracer != nil {
+		h.tracer.OnFilterPrune(f, n)
+	}
+}
+
+// TraceDistance forwards n distance evaluations to the tracer, if any.
+func (h *Hooks) TraceDistance(n int) {
+	if h.tracer != nil {
+		h.tracer.OnDistance(n)
+	}
+}
+
+// Span is the per-query handle returned by StartQuery. It is a plain
+// value (no allocation); the zero Span is inert.
+type Span struct {
+	observer *Observer
+	tracer   Tracer
+	kind     Kind
+	start    time.Time
+}
+
+// Done closes the span: it records the query into the Observer and
+// fires OnQueryDone on the Tracer. A zero Span returns immediately.
+func (s Span) Done(stats *index.SearchStats) {
+	if s.observer == nil && s.tracer == nil {
+		return
+	}
+	elapsed := time.Since(s.start)
+	if s.observer != nil {
+		s.observer.Observe(s.kind, elapsed, *stats)
+	}
+	if s.tracer != nil {
+		s.tracer.OnQueryDone(s.kind, elapsed, *stats)
+	}
+}

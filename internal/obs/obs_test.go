@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvptree/internal/index"
+)
+
+func TestObserverTotals(t *testing.T) {
+	o := NewObserver(4)
+	if o.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", o.Shards())
+	}
+	for i := 0; i < 10; i++ {
+		o.Observe(KindRange, time.Duration(100+i), index.SearchStats{Computed: 5, VantagePoints: 2, Results: 1})
+	}
+	for i := 0; i < 7; i++ {
+		o.Observe(KindKNN, time.Duration(200+i), index.SearchStats{Computed: 3, VantagePoints: 1})
+	}
+	s := o.Snapshot()
+	if s.Queries != 17 || s.Range.Queries != 10 || s.KNN.Queries != 7 {
+		t.Fatalf("queries = %d/%d/%d, want 17/10/7", s.Queries, s.Range.Queries, s.KNN.Queries)
+	}
+	if want := int64(10*7 + 7*4); s.Distances != want {
+		t.Fatalf("Distances = %d, want %d", s.Distances, want)
+	}
+	if s.Search.Results != 10 {
+		t.Fatalf("Search.Results = %d, want 10", s.Search.Results)
+	}
+	if s.DistanceHist.Total() != 17 {
+		t.Fatalf("DistanceHist.Total = %d, want 17", s.DistanceHist.Total())
+	}
+	if s.Range.LatencyTotal == 0 || s.Range.P50 == 0 {
+		t.Fatalf("range latency not recorded: %+v", s.Range)
+	}
+}
+
+// TestObserverShardingInvariance: totals must not depend on how queries
+// land on shards — round-robin, pinned, or concurrent.
+func TestObserverShardingInvariance(t *testing.T) {
+	const queries = 1000
+	stats := index.SearchStats{Computed: 11, VantagePoints: 3, Candidates: 20}
+
+	build := func(record func(o *Observer, i int)) Snapshot {
+		o := NewObserver(8)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < queries; i += 4 {
+					record(o, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return o.Snapshot()
+	}
+
+	roundRobin := build(func(o *Observer, i int) { o.Observe(KindRange, time.Microsecond, stats) })
+	pinned := build(func(o *Observer, i int) { o.ObserveShard(i%4, KindRange, time.Microsecond, stats) })
+
+	for _, s := range []Snapshot{roundRobin, pinned} {
+		if s.Queries != queries {
+			t.Fatalf("Queries = %d, want %d", s.Queries, queries)
+		}
+		if want := int64(queries * 14); s.Distances != want {
+			t.Fatalf("Distances = %d, want %d", s.Distances, want)
+		}
+		if s.Search.Candidates != queries*20 {
+			t.Fatalf("Candidates = %d, want %d", s.Search.Candidates, queries*20)
+		}
+	}
+	if roundRobin.DistanceHist != pinned.DistanceHist {
+		t.Fatal("distance histograms differ between sharding strategies")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewObserver(1)
+	b := NewObserver(2)
+	all := NewObserver(4)
+	for i := 0; i < 5; i++ {
+		s := index.SearchStats{Computed: i, Results: 1}
+		a.Observe(KindRange, time.Duration(i+1)*time.Microsecond, s)
+		all.Observe(KindRange, time.Duration(i+1)*time.Microsecond, s)
+	}
+	for i := 0; i < 3; i++ {
+		s := index.SearchStats{VantagePoints: i}
+		b.Observe(KindKNN, time.Duration(i+1)*time.Millisecond, s)
+		all.Observe(KindKNN, time.Duration(i+1)*time.Millisecond, s)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if want := all.Snapshot(); merged != want {
+		t.Fatalf("merge mismatch\ngot  %+v\nwant %+v", merged, want)
+	}
+}
+
+func TestHooksNilFastPath(t *testing.T) {
+	var h Hooks
+	allocs := testing.AllocsPerRun(100, func() {
+		span := h.StartQuery(KindRange)
+		h.TraceNode(true)
+		h.TracePrune(FilterD, 3)
+		h.TraceDistance(1)
+		var s index.SearchStats
+		span.Done(&s)
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed hooks allocated %v times per run, want 0", allocs)
+	}
+}
+
+// countingTracer records event counts; safe for single-goroutine use.
+type countingTracer struct {
+	starts, nodes, prunes, distances, dones int
+	pruned                                  map[Filter]int
+	lastStats                               index.SearchStats
+}
+
+func (c *countingTracer) OnQueryStart(Kind)     { c.starts++ }
+func (c *countingTracer) OnNodeVisit(leaf bool) { c.nodes++ }
+func (c *countingTracer) OnFilterPrune(f Filter, n int) {
+	c.prunes++
+	if c.pruned == nil {
+		c.pruned = make(map[Filter]int)
+	}
+	c.pruned[f] += n
+}
+func (c *countingTracer) OnDistance(n int) { c.distances += n }
+func (c *countingTracer) OnQueryDone(k Kind, d time.Duration, s index.SearchStats) {
+	c.dones++
+	c.lastStats = s
+}
+
+func TestHooksTracerEvents(t *testing.T) {
+	var h Hooks
+	tr := &countingTracer{}
+	h.SetTracer(tr)
+	span := h.StartQuery(KindKNN)
+	h.TraceNode(false)
+	h.TraceNode(true)
+	h.TracePrune(FilterShell, 2)
+	h.TracePrune(FilterPath, 5)
+	h.TraceDistance(4)
+	stats := index.SearchStats{Computed: 4, Results: 2}
+	span.Done(&stats)
+
+	if tr.starts != 1 || tr.dones != 1 {
+		t.Fatalf("starts/dones = %d/%d, want 1/1", tr.starts, tr.dones)
+	}
+	if tr.nodes != 2 || tr.distances != 4 {
+		t.Fatalf("nodes/distances = %d/%d, want 2/4", tr.nodes, tr.distances)
+	}
+	if tr.pruned[FilterShell] != 2 || tr.pruned[FilterPath] != 5 {
+		t.Fatalf("pruned = %v", tr.pruned)
+	}
+	if tr.lastStats != stats {
+		t.Fatalf("OnQueryDone stats = %+v, want %+v", tr.lastStats, stats)
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	a, b := &countingTracer{}, &countingTracer{}
+	m := MultiTracer{a, b}
+	m.OnQueryStart(KindRange)
+	m.OnNodeVisit(true)
+	m.OnFilterPrune(FilterD, 1)
+	m.OnDistance(2)
+	m.OnQueryDone(KindRange, time.Second, index.SearchStats{})
+	for _, tr := range []*countingTracer{a, b} {
+		if tr.starts != 1 || tr.nodes != 1 || tr.prunes != 1 || tr.distances != 2 || tr.dones != 1 {
+			t.Fatalf("tracer missed events: %+v", tr)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	o := NewObserver(2)
+	o.Observe(KindRange, time.Millisecond, index.SearchStats{Computed: 9, VantagePoints: 1, Results: 3})
+	var buf strings.Builder
+	if err := o.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Distances != 10 || back.Queries != 1 {
+		t.Fatalf("decoded snapshot %+v", back)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	o := NewObserver(1)
+	o.Observe(KindKNN, time.Millisecond, index.SearchStats{Computed: 2})
+	PublishExpvar("mvptree_obs_test", o)
+	// Publishing again (same or different observer) must not panic and
+	// must rebind to the latest observer.
+	o2 := NewObserver(1)
+	o2.Observe(KindRange, time.Millisecond, index.SearchStats{Computed: 7})
+	PublishExpvar("mvptree_obs_test", o2)
+	v := expvar.Get("mvptree_obs_test")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value not JSON: %v", err)
+	}
+	if snap.Distances != 7 {
+		t.Fatalf("expvar snapshot = %+v, want rebound observer with 7 distances", snap)
+	}
+}
+
+func TestKindFilterStrings(t *testing.T) {
+	if KindRange.String() != "range" || KindKNN.String() != "knn" {
+		t.Fatal("Kind strings")
+	}
+	if FilterShell.String() != "shell" || FilterD.String() != "d_bound" || FilterPath.String() != "path" {
+		t.Fatal("Filter strings")
+	}
+}

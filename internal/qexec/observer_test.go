@@ -1,0 +1,60 @@
+package qexec
+
+import (
+	"reflect"
+	"testing"
+
+	"mvptree/internal/obs"
+)
+
+// TestObserverSnapshotDeterministicAcrossWorkers is the observability
+// contract of the executor: with a fresh Observer per run, every
+// snapshot field except the latency histograms (which reflect real
+// wall-clock timings) is identical for every worker count — the shard
+// merge is exact, not approximate.
+func TestObserverSnapshotDeterministicAcrossWorkers(t *testing.T) {
+	tree, _, queries := testTree(t)
+	const r, k = 0.5, 7
+
+	strip := func(s obs.Snapshot) obs.Snapshot {
+		// Latency varies run to run; zero it so the comparison covers
+		// exactly the deterministic fields.
+		s.Range.Latency = obs.KindSnapshot{}.Latency
+		s.Range.LatencyTotal, s.Range.P50, s.Range.P90, s.Range.P99 = 0, 0, 0, 0
+		s.KNN.Latency = obs.KindSnapshot{}.Latency
+		s.KNN.LatencyTotal, s.KNN.P50, s.KNN.P90, s.KNN.P99 = 0, 0, 0, 0
+		return s
+	}
+
+	var want obs.Snapshot
+	for i, workers := range []int{1, 2, 3, 8} {
+		o := obs.NewObserver(workers)
+		_, rstats := RunRange[[]float64](tree, queries, r, Options{Workers: workers, Observer: o})
+		_, kstats := RunKNN[[]float64](tree, queries, k, Options{Workers: workers, Observer: o})
+		snap := strip(o.Snapshot())
+		if snap.Queries != int64(2*len(queries)) {
+			t.Fatalf("workers=%d: observer saw %d queries, want %d", workers, snap.Queries, 2*len(queries))
+		}
+		if got := rstats.Distances + kstats.Distances; snap.Distances != got {
+			t.Fatalf("workers=%d: observer saw %d distances, executor measured %d",
+				workers, snap.Distances, got)
+		}
+		if i == 0 {
+			want = snap
+			continue
+		}
+		if !reflect.DeepEqual(snap, want) {
+			t.Fatalf("workers=%d: snapshot differs from workers=1:\n got %+v\nwant %+v",
+				workers, snap, want)
+		}
+	}
+}
+
+// TestStatsWallMeasured checks that batch wall time is populated.
+func TestStatsWallMeasured(t *testing.T) {
+	tree, _, queries := testTree(t)
+	_, stats := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 2})
+	if stats.Wall <= 0 {
+		t.Fatalf("batch wall time not measured: %v", stats.Wall)
+	}
+}

@@ -23,14 +23,20 @@
 //   - Deterministic attribution: queries are striped (worker w answers
 //     queries w, w+W, w+2W, ...), so per-worker SearchStats aggregates
 //     are reproducible run to run, not an artifact of scheduling.
+//
+// Indexes are probed for the exported index.StatsIndex surface (every
+// structure in this repository implements it); when present, the
+// executor uses the WithStats query variants and reports per-query
+// filtering breakdowns plus the exact distance-count delta.
 package qexec
 
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"mvptree/internal/index"
-	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
 
 // Options configure a batch run.
@@ -39,12 +45,21 @@ type Options struct {
 	// <= 0 mean runtime.GOMAXPROCS(0). A worker count of 1 reproduces
 	// the plain sequential loop.
 	Workers int
+	// Observer, when non-nil, receives one observation per query:
+	// worker w records into shard w (obs.Observer.ObserveShard), so
+	// recording is contention-free and the merged snapshot's totals are
+	// exact for every worker count. Latency histograms reflect real
+	// timings and therefore vary run to run; every other snapshot field
+	// is deterministic. This is independent of any Observer attached to
+	// the index itself via its obs.Hooks — attach in one place or the
+	// other, not both, unless double counting is intended.
+	Observer *obs.Observer
 }
 
 // WorkerStats is the per-worker slice of a batch: how many queries the
 // worker answered and, when the index exposes the stats query variants
-// (RangeWithStats / KNNWithStats, as the mvp-tree does), the sum of its
-// queries' SearchStats.
+// (index.StatsIndex, as every structure in this repository does), the
+// sum of its queries' SearchStats.
 type WorkerStats struct {
 	Queries int
 	Search  index.SearchStats
@@ -56,13 +71,17 @@ type Stats struct {
 	// used (capped at the batch size).
 	Queries int
 	Workers int
-	// Distances is the Counter delta across the whole batch when the
-	// index exposes its Counter, 0 otherwise. The Counter is shared
-	// and atomic, so this is exact for the batch as a whole; for
-	// per-query attribution use the SearchStats aggregates.
+	// Wall is the wall-clock time of the whole batch, measured around
+	// the worker pool. Unlike Distances it depends on the worker count
+	// and machine load.
+	Wall time.Duration
+	// Distances is the DistanceCount delta across the whole batch when
+	// the index is an index.StatsIndex, 0 otherwise. The underlying
+	// counter is shared and atomic, so this is exact for the batch as a
+	// whole; for per-query attribution use the SearchStats aggregates.
 	Distances int64
-	// HasSearch reports whether the index exposed a stats query
-	// variant; Search and the PerWorker Search fields are only
+	// HasSearch reports whether the index exposed the stats query
+	// variants; Search and the PerWorker Search fields are only
 	// meaningful when it is true.
 	HasSearch bool
 	// Search is the SearchStats sum over the whole batch.
@@ -72,31 +91,15 @@ type Stats struct {
 	PerWorker []WorkerStats
 }
 
-// counterIndex is satisfied by every tree in this repository; it lets
-// the executor measure the batch's distance-computation total.
-type counterIndex[T any] interface {
-	Counter() *metric.Counter[T]
-}
-
-// rangeStatser and knnStatser are satisfied by indexes offering
-// per-query stats breakdowns with the shared index.SearchStats shape.
-type rangeStatser[T any] interface {
-	RangeWithStats(q T, r float64) ([]T, index.SearchStats)
-}
-
-type knnStatser[T any] interface {
-	KNNWithStats(q T, k int) ([]index.Neighbor[T], index.SearchStats)
-}
-
 // RunRange answers a range query at radius r for every query point,
 // returning results[i] = idx.Range(queries[i], r) plus batch stats.
 func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) ([][]T, Stats) {
-	if rs, ok := idx.(rangeStatser[T]); ok {
-		return run(idx, queries, opts, true, func(q T) ([]T, index.SearchStats) {
-			return rs.RangeWithStats(q, r)
+	if si, ok := idx.(index.StatsIndex[T]); ok {
+		return run(si, queries, opts, obs.KindRange, true, func(q T) ([]T, index.SearchStats) {
+			return si.RangeWithStats(q, r)
 		})
 	}
-	return run(idx, queries, opts, false, func(q T) ([]T, index.SearchStats) {
+	return run[T](nil, queries, opts, obs.KindRange, false, func(q T) ([]T, index.SearchStats) {
 		return idx.Range(q, r), index.SearchStats{}
 	})
 }
@@ -104,20 +107,22 @@ func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) (
 // RunKNN answers a k-nearest-neighbor query for every query point,
 // returning results[i] = idx.KNN(queries[i], k) plus batch stats.
 func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]index.Neighbor[T], Stats) {
-	if ks, ok := idx.(knnStatser[T]); ok {
-		return run(idx, queries, opts, true, func(q T) ([]index.Neighbor[T], index.SearchStats) {
-			return ks.KNNWithStats(q, k)
+	if si, ok := idx.(index.StatsIndex[T]); ok {
+		return run(si, queries, opts, obs.KindKNN, true, func(q T) ([]index.Neighbor[T], index.SearchStats) {
+			return si.KNNWithStats(q, k)
 		})
 	}
-	return run(idx, queries, opts, false, func(q T) ([]index.Neighbor[T], index.SearchStats) {
+	return run[T](nil, queries, opts, obs.KindKNN, false, func(q T) ([]index.Neighbor[T], index.SearchStats) {
 		return idx.KNN(q, k), index.SearchStats{}
 	})
 }
 
 // run stripes the batch over the worker pool. one answers a single
-// query; hasStats reports whether its SearchStats are real.
-func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats bool,
-	one func(q T) (R, index.SearchStats)) ([]R, Stats) {
+// query; si is non-nil exactly when the index exposes index.StatsIndex,
+// in which case hasStats is true and the per-query SearchStats are
+// real.
+func run[T any, R any](si index.StatsIndex[T], queries []T, opts Options, kind obs.Kind,
+	hasStats bool, one func(q T) (R, index.SearchStats)) ([]R, Stats) {
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -135,13 +140,13 @@ func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats b
 		HasSearch: hasStats,
 		PerWorker: make([]WorkerStats, workers),
 	}
-	var ctr *metric.Counter[T]
 	var before int64
-	if ci, ok := idx.(counterIndex[T]); ok {
-		ctr = ci.Counter()
-		before = ctr.Count()
+	if si != nil {
+		before = si.DistanceCount()
 	}
+	observer := opts.Observer
 	results := make([]R, len(queries))
+	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -149,7 +154,14 @@ func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats b
 			defer wg.Done()
 			ws := &stats.PerWorker[w]
 			for i := w; i < len(queries); i += workers {
+				var qStart time.Time
+				if observer != nil {
+					qStart = time.Now()
+				}
 				res, s := one(queries[i])
+				if observer != nil {
+					observer.ObserveShard(w, kind, time.Since(qStart), s)
+				}
 				results[i] = res
 				ws.Queries++
 				if hasStats {
@@ -159,8 +171,9 @@ func run[T any, R any](idx index.Index[T], queries []T, opts Options, hasStats b
 		}(w)
 	}
 	wg.Wait()
-	if ctr != nil {
-		stats.Distances = ctr.Count() - before
+	stats.Wall = time.Since(start)
+	if si != nil {
+		stats.Distances = si.DistanceCount() - before
 	}
 	for _, ws := range stats.PerWorker {
 		stats.Search.Add(ws.Search)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mvptree/internal/dataset"
+	"mvptree/internal/index"
 	"mvptree/internal/linear"
 	"mvptree/internal/metric"
 	"mvptree/internal/mvp"
@@ -130,21 +131,33 @@ func TestRunKNNMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestRunRangePlainIndex exercises the fallback path for indexes
-// without stats variants (linear scan): results still deterministic,
-// Distances still measured, HasSearch false.
+// plainIndex hides an index's stats surface so only the bare
+// index.Index methods remain visible to the executor's probe.
+type plainIndex struct{ s *linear.Scan[[]float64] }
+
+func (p plainIndex) Len() int                          { return p.s.Len() }
+func (p plainIndex) Range(q []float64, r float64) [][]float64 { return p.s.Range(q, r) }
+func (p plainIndex) KNN(q []float64, k int) []index.Neighbor[[]float64] {
+	return p.s.KNN(q, k)
+}
+
+// TestRunRangePlainIndex exercises the fallback path for indexes that
+// implement only index.Index: results still deterministic, HasSearch
+// false, Distances unmeasured (the executor reads costs through
+// index.StatsIndex, which every structure in this repository — but not
+// this wrapper — implements).
 func TestRunRangePlainIndex(t *testing.T) {
 	rng := rand.New(rand.NewPCG(34, 7))
 	items := dataset.UniformVectors(rng, 500, 6)
 	queries := dataset.UniformQueries(rng, 10, 6)
 	scan := linear.New(items, metric.NewCounter(metric.L2))
 
-	res, stats := RunRange[[]float64](scan, queries, 0.5, Options{Workers: 4})
+	res, stats := RunRange[[]float64](plainIndex{scan}, queries, 0.5, Options{Workers: 4})
 	if stats.HasSearch {
-		t.Fatal("linear scan has no stats variants but HasSearch is true")
+		t.Fatal("plain index has no stats variants but HasSearch is true")
 	}
-	if want := int64(len(items) * len(queries)); stats.Distances != want {
-		t.Fatalf("linear batch cost %d, want exactly %d", stats.Distances, want)
+	if stats.Distances != 0 {
+		t.Fatalf("plain index cannot report distances, got %d", stats.Distances)
 	}
 	for i, q := range queries {
 		if !reflect.DeepEqual(res[i], scan.Range(q, 0.5)) {

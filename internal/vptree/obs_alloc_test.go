@@ -1,0 +1,44 @@
+package vptree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/obs"
+)
+
+// TestQueryAllocationsUnaffectedByHooks mirrors the mvp-tree test: an
+// armed Observer must not add any allocation per query over the
+// disarmed nil-check fast path.
+func TestQueryAllocationsUnaffectedByHooks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 13))
+	items := make([][]float64, 800)
+	for i := range items {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		items[i] = v
+	}
+	tree, err := New(items, metric.NewCounter(metric.L2), Options{Order: 2, Build: Build{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := items[0]
+
+	disarmedRange := testing.AllocsPerRun(100, func() { tree.RangeWithStats(q, 0.3) })
+	disarmedKNN := testing.AllocsPerRun(100, func() { tree.KNNWithStats(q, 5) })
+
+	tree.SetObserver(obs.NewObserver(1))
+	defer tree.SetObserver(nil)
+	armedRange := testing.AllocsPerRun(100, func() { tree.RangeWithStats(q, 0.3) })
+	armedKNN := testing.AllocsPerRun(100, func() { tree.KNNWithStats(q, 5) })
+
+	if armedRange > disarmedRange {
+		t.Errorf("range: observer added allocations: %.1f armed vs %.1f disarmed", armedRange, disarmedRange)
+	}
+	if armedKNN > disarmedKNN {
+		t.Errorf("knn: observer added allocations: %.1f armed vs %.1f disarmed", armedKNN, disarmedKNN)
+	}
+}

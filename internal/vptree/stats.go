@@ -1,6 +1,10 @@
 package vptree
 
-import "mvptree/internal/index"
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
 
 // SearchStats breaks a vp-tree range search down by stage, the
 // counterpart of the mvp-tree's instrumentation. It is the shared
@@ -12,15 +16,19 @@ import "mvptree/internal/index"
 // computation.
 type SearchStats = index.SearchStats
 
-// RangeWithStats is Range plus the per-query breakdown.
+// RangeWithStats is Range plus the per-query breakdown. It is the only
+// range traversal implementation — Range delegates here.
 func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
+	span := t.StartQuery(obs.KindRange)
 	var s SearchStats
 	if r < 0 {
+		span.Done(&s)
 		return nil, s
 	}
 	var out []T
 	t.rangeNodeStats(t.root, q, r, &out, &s)
 	s.Results = len(out)
+	span.Done(&s)
 	return out, s
 }
 
@@ -29,11 +37,13 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 		return
 	}
 	s.NodesVisited++
+	t.TraceNode(n.leaf)
 	if n.leaf {
 		s.LeavesVisited++
 		for _, it := range n.items {
 			s.Candidates++
 			s.Computed++
+			t.TraceDistance(1)
 			if t.dist.Distance(q, it) <= r {
 				*out = append(*out, it)
 			}
@@ -42,6 +52,7 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 	}
 	d := t.dist.Distance(q, n.vantage)
 	s.VantagePoints++
+	t.TraceDistance(1)
 	if d <= r {
 		*out = append(*out, n.vantage)
 	}
@@ -51,6 +62,68 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 			t.rangeNodeStats(c, q, r, out, s)
 		} else {
 			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
 		}
 	}
+}
+
+// KNNWithStats is KNN plus the per-query breakdown. It is the only
+// best-first kNN traversal implementation — KNN delegates here.
+func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
+	if k <= 0 || t.root == nil {
+		span.Done(&s)
+		return nil, s
+	}
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for {
+		n, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		if !best.Accepts(bound) {
+			break // min-heap: nothing later can be closer
+		}
+		s.NodesVisited++
+		t.TraceNode(n.leaf)
+		if n.leaf {
+			s.LeavesVisited++
+			for _, it := range n.items {
+				s.Candidates++
+				s.Computed++
+				t.TraceDistance(1)
+				best.Push(it, t.dist.Distance(q, it))
+			}
+			continue
+		}
+		d := t.dist.Distance(q, n.vantage)
+		best.Push(n.vantage, d)
+		s.VantagePoints++
+		t.TraceDistance(1)
+		for g, c := range n.children {
+			if c == nil {
+				continue
+			}
+			lo, hi := shellBounds(n.cutoffs, g)
+			lb := 0.0
+			if d < lo {
+				lb = lo - d
+			} else if d > hi {
+				lb = d - hi
+			}
+			if best.Accepts(lb) {
+				queue.PushNode(c, lb)
+			} else {
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
+			}
+		}
+	}
+	out := best.Sorted()
+	s.Results = len(out)
+	span.Done(&s)
+	return out, s
 }

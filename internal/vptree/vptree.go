@@ -23,9 +23,9 @@ import (
 	"sort"
 
 	"mvptree/internal/build"
-	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
+	"mvptree/internal/obs"
 )
 
 // Build is the shared construction options (Workers, Seed) every index
@@ -103,8 +103,11 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// Tree is an m-way vantage-point tree over a fixed item set.
+// Tree is an m-way vantage-point tree over a fixed item set. The
+// embedded obs.Hooks let callers attach an Observer and/or Tracer; with
+// neither attached the query paths pay only nil checks.
 type Tree[T any] struct {
+	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
 	size       int
@@ -112,7 +115,7 @@ type Tree[T any] struct {
 	buildStats build.Stats
 }
 
-var _ index.Index[int] = (*Tree[int])(nil)
+var _ index.StatsIndex[int] = (*Tree[int])(nil)
 
 type node[T any] struct {
 	// Internal node fields. vantage is a real data point.
@@ -267,6 +270,10 @@ func (t *Tree[T]) Len() int { return t.size }
 // Counter returns the counted metric the tree measures distances with.
 func (t *Tree[T]) Counter() *metric.Counter[T] { return t.dist }
 
+// DistanceCount reports the cumulative distance computations on the
+// tree's counter (build + queries), the paper's cost metric.
+func (t *Tree[T]) DistanceCount() int64 { return t.dist.Count() }
+
 // BuildCost reports the number of distance computations made during
 // construction (O(n · log_m n) for order m).
 func (t *Tree[T]) BuildCost() int64 { return t.buildStats.Distances }
@@ -304,81 +311,20 @@ func shellBounds(cutoffs []float64, g int) (lo, hi float64) {
 	return lo, hi
 }
 
-// Range returns every indexed item within distance r of q.
+// Range returns every indexed item within distance r of q. It delegates
+// to RangeWithStats so there is exactly one traversal implementation;
+// the two are guaranteed to agree in both results and distance
+// computations.
 func (t *Tree[T]) Range(q T, r float64) []T {
-	if r < 0 {
-		return nil
-	}
-	var out []T
-	t.rangeNode(t.root, q, r, &out)
+	out, _ := t.RangeWithStats(q, r)
 	return out
-}
-
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T) {
-	if n == nil {
-		return
-	}
-	if n.leaf {
-		for _, it := range n.items {
-			if t.dist.Distance(q, it) <= r {
-				*out = append(*out, it)
-			}
-		}
-		return
-	}
-	d := t.dist.Distance(q, n.vantage)
-	if d <= r {
-		*out = append(*out, n.vantage)
-	}
-	for g, c := range n.children {
-		lo, hi := shellBounds(n.cutoffs, g)
-		if d+r >= lo && d-r <= hi {
-			t.rangeNode(c, q, r, out)
-		}
-	}
 }
 
 // KNN returns the k nearest indexed items using best-first traversal:
 // subtrees are visited in order of their triangle-inequality lower bound
 // and search stops when no pending subtree can beat the k-th candidate.
+// It delegates to KNNWithStats (single traversal implementation).
 func (t *Tree[T]) KNN(q T, k int) []index.Neighbor[T] {
-	if k <= 0 || t.root == nil {
-		return nil
-	}
-	best := heapx.NewKBest[T](k)
-	var queue heapx.NodeQueue[*node[T]]
-	queue.PushNode(t.root, 0)
-	for {
-		n, bound, ok := queue.PopNode()
-		if !ok {
-			break
-		}
-		if !best.Accepts(bound) {
-			break // min-heap: nothing later can be closer
-		}
-		if n.leaf {
-			for _, it := range n.items {
-				best.Push(it, t.dist.Distance(q, it))
-			}
-			continue
-		}
-		d := t.dist.Distance(q, n.vantage)
-		best.Push(n.vantage, d)
-		for g, c := range n.children {
-			if c == nil {
-				continue
-			}
-			lo, hi := shellBounds(n.cutoffs, g)
-			lb := 0.0
-			if d < lo {
-				lb = lo - d
-			} else if d > hi {
-				lb = d - hi
-			}
-			if best.Accepts(lb) {
-				queue.PushNode(c, lb)
-			}
-		}
-	}
-	return best.Sorted()
+	out, _ := t.KNNWithStats(q, k)
+	return out
 }

@@ -64,21 +64,37 @@ type Options = mvp.Options
 // TreeStats describes the shape of a built mvp-tree.
 type TreeStats = mvp.Stats
 
-// New builds an mvp-tree over items with a fresh internal Counter.
-func New[T any](items []T, dist DistanceFunc[T], opts Options) (*Tree[T], error) {
-	return mvp.New(items, metric.NewCounter(dist), opts)
+// New builds an mvp-tree over items. By default it measures distances
+// through a fresh internal Counter; pass WithCounter, WithObserver or
+// WithTracer to share a counter or attach telemetry.
+func New[T any](items []T, dist DistanceFunc[T], opts Options, ixOpts ...IndexOption[T]) (*Tree[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := mvp.New(items, cfg.counter, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewWithStats is New plus the construction report.
-func NewWithStats[T any](items []T, dist DistanceFunc[T], opts Options) (*Tree[T], BuildStats, error) {
-	return mvp.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewWithStats[T any](items []T, dist DistanceFunc[T], opts Options, ixOpts ...IndexOption[T]) (*Tree[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := mvp.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }
 
 // NewWithCounter builds an mvp-tree measuring distances through an
 // existing Counter, so construction and query costs accumulate where the
 // caller wants them.
+//
+// Deprecated: use New with the WithCounter option.
 func NewWithCounter[T any](items []T, dist *Counter[T], opts Options) (*Tree[T], error) {
-	return mvp.New(items, dist, opts)
+	return New[T](items, nil, opts, WithCounter(dist))
 }
 
 // VPTree is a vantage-point tree [Uhl91, Yia93], the paper's baseline.
@@ -94,19 +110,34 @@ const (
 	SelectBestSpread = vptree.SelectBestSpread
 )
 
-// NewVP builds a vp-tree over items with a fresh internal Counter.
-func NewVP[T any](items []T, dist DistanceFunc[T], opts VPOptions) (*VPTree[T], error) {
-	return vptree.New(items, metric.NewCounter(dist), opts)
+// NewVP builds a vp-tree over items with a fresh internal Counter
+// unless WithCounter overrides it.
+func NewVP[T any](items []T, dist DistanceFunc[T], opts VPOptions, ixOpts ...IndexOption[T]) (*VPTree[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := vptree.New(items, cfg.counter, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewVPWithCounter builds a vp-tree through an existing Counter.
+//
+// Deprecated: use NewVP with the WithCounter option.
 func NewVPWithCounter[T any](items []T, dist *Counter[T], opts VPOptions) (*VPTree[T], error) {
-	return vptree.New(items, dist, opts)
+	return NewVP[T](items, nil, opts, WithCounter(dist))
 }
 
 // NewVPWithStats is NewVP plus the construction report.
-func NewVPWithStats[T any](items []T, dist DistanceFunc[T], opts VPOptions) (*VPTree[T], BuildStats, error) {
-	return vptree.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewVPWithStats[T any](items []T, dist DistanceFunc[T], opts VPOptions, ixOpts ...IndexOption[T]) (*VPTree[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := vptree.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }
 
 // GHTree is a generalized hyperplane tree [Uhl91].
@@ -115,14 +146,27 @@ type GHTree[T any] = ghtree.Tree[T]
 // GHOptions configure gh-tree construction.
 type GHOptions = ghtree.Options
 
-// NewGH builds a gh-tree over items with a fresh internal Counter.
-func NewGH[T any](items []T, dist DistanceFunc[T], opts GHOptions) (*GHTree[T], error) {
-	return ghtree.New(items, metric.NewCounter(dist), opts)
+// NewGH builds a gh-tree over items with a fresh internal Counter
+// unless WithCounter overrides it.
+func NewGH[T any](items []T, dist DistanceFunc[T], opts GHOptions, ixOpts ...IndexOption[T]) (*GHTree[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := ghtree.New(items, cfg.counter, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewGHWithStats is NewGH plus the construction report.
-func NewGHWithStats[T any](items []T, dist DistanceFunc[T], opts GHOptions) (*GHTree[T], BuildStats, error) {
-	return ghtree.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewGHWithStats[T any](items []T, dist DistanceFunc[T], opts GHOptions, ixOpts ...IndexOption[T]) (*GHTree[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := ghtree.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }
 
 // GNATree is a Geometric Near-neighbor Access Tree [Bri95].
@@ -131,14 +175,27 @@ type GNATree[T any] = gnat.Tree[T]
 // GNATOptions configure GNAT construction.
 type GNATOptions = gnat.Options
 
-// NewGNAT builds a GNAT over items with a fresh internal Counter.
-func NewGNAT[T any](items []T, dist DistanceFunc[T], opts GNATOptions) (*GNATree[T], error) {
-	return gnat.New(items, metric.NewCounter(dist), opts)
+// NewGNAT builds a GNAT over items with a fresh internal Counter
+// unless WithCounter overrides it.
+func NewGNAT[T any](items []T, dist DistanceFunc[T], opts GNATOptions, ixOpts ...IndexOption[T]) (*GNATree[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := gnat.New(items, cfg.counter, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewGNATWithStats is NewGNAT plus the construction report.
-func NewGNATWithStats[T any](items []T, dist DistanceFunc[T], opts GNATOptions) (*GNATree[T], BuildStats, error) {
-	return gnat.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewGNATWithStats[T any](items []T, dist DistanceFunc[T], opts GNATOptions, ixOpts ...IndexOption[T]) (*GNATree[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := gnat.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }
 
 // BKTree is a Burkhard–Keller tree [BK73] for integer-valued metrics
@@ -150,16 +207,29 @@ type BKTree[T any] = bktree.Tree[T]
 // BuildOptions apply; the tree's shape has no tunable parameters).
 type BKOptions = bktree.Options
 
-// NewBK builds a BK-tree over items with a fresh internal Counter. The
-// metric must return non-negative integers.
-func NewBK[T any](items []T, dist DistanceFunc[T]) (*BKTree[T], error) {
-	return bktree.New(items, metric.NewCounter(dist), BKOptions{})
+// NewBK builds a BK-tree over items with a fresh internal Counter
+// unless WithCounter overrides it. The metric must return non-negative
+// integers.
+func NewBK[T any](items []T, dist DistanceFunc[T], ixOpts ...IndexOption[T]) (*BKTree[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := bktree.New(items, cfg.counter, BKOptions{})
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewBKWithStats is NewBK with explicit options plus the construction
 // report.
-func NewBKWithStats[T any](items []T, dist DistanceFunc[T], opts BKOptions) (*BKTree[T], BuildStats, error) {
-	return bktree.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewBKWithStats[T any](items []T, dist DistanceFunc[T], opts BKOptions, ixOpts ...IndexOption[T]) (*BKTree[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := bktree.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }
 
 // PivotTable is a pre-computed pivot-distance index in the spirit of
@@ -170,14 +240,26 @@ type PivotTable[T any] = laesa.Table[T]
 type PivotOptions = laesa.Options
 
 // NewPivotTable builds a pivot table over items with a fresh internal
-// Counter.
-func NewPivotTable[T any](items []T, dist DistanceFunc[T], opts PivotOptions) (*PivotTable[T], error) {
-	return laesa.New(items, metric.NewCounter(dist), opts)
+// Counter unless WithCounter overrides it.
+func NewPivotTable[T any](items []T, dist DistanceFunc[T], opts PivotOptions, ixOpts ...IndexOption[T]) (*PivotTable[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := laesa.New(items, cfg.counter, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewPivotTableWithStats is NewPivotTable plus the construction report.
-func NewPivotTableWithStats[T any](items []T, dist DistanceFunc[T], opts PivotOptions) (*PivotTable[T], BuildStats, error) {
-	return laesa.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewPivotTableWithStats[T any](items []T, dist DistanceFunc[T], opts PivotOptions, ixOpts ...IndexOption[T]) (*PivotTable[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := laesa.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }
 
 // LinearScan is the brute-force baseline: every query costs exactly
@@ -185,9 +267,12 @@ func NewPivotTableWithStats[T any](items []T, dist DistanceFunc[T], opts PivotOp
 type LinearScan[T any] = linear.Scan[T]
 
 // NewLinear builds a linear scan over items with a fresh internal
-// Counter.
-func NewLinear[T any](items []T, dist DistanceFunc[T]) *LinearScan[T] {
-	return linear.New(items, metric.NewCounter(dist))
+// Counter unless WithCounter overrides it.
+func NewLinear[T any](items []T, dist DistanceFunc[T], ixOpts ...IndexOption[T]) *LinearScan[T] {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	s := linear.New(items, cfg.counter)
+	cfg.install(s)
+	return s
 }
 
 // BallTree is the center/radius multi-way tree of [BK73]'s second
@@ -198,12 +283,25 @@ type BallTree[T any] = balltree.Tree[T]
 // BallOptions configure ball-tree construction.
 type BallOptions = balltree.Options
 
-// NewBall builds a ball tree over items with a fresh internal Counter.
-func NewBall[T any](items []T, dist DistanceFunc[T], opts BallOptions) (*BallTree[T], error) {
-	return balltree.New(items, metric.NewCounter(dist), opts)
+// NewBall builds a ball tree over items with a fresh internal Counter
+// unless WithCounter overrides it.
+func NewBall[T any](items []T, dist DistanceFunc[T], opts BallOptions, ixOpts ...IndexOption[T]) (*BallTree[T], error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, err := balltree.New(items, cfg.counter, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg.install(t)
+	return t, nil
 }
 
 // NewBallWithStats is NewBall plus the construction report.
-func NewBallWithStats[T any](items []T, dist DistanceFunc[T], opts BallOptions) (*BallTree[T], BuildStats, error) {
-	return balltree.NewWithStats(items, metric.NewCounter(dist), opts)
+func NewBallWithStats[T any](items []T, dist DistanceFunc[T], opts BallOptions, ixOpts ...IndexOption[T]) (*BallTree[T], BuildStats, error) {
+	cfg := resolveIndexConfig(dist, ixOpts)
+	t, bs, err := balltree.NewWithStats(items, cfg.counter, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+	cfg.install(t)
+	return t, bs, nil
 }

@@ -1,0 +1,152 @@
+package mvptree
+
+import (
+	"io"
+
+	"mvptree/internal/histogram"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/obs"
+)
+
+// StatsIndex is the instrumented query interface implemented by every
+// structure in this library (and by DynamicStore): the plain Index
+// methods plus the WithStats query variants and the cumulative
+// DistanceCount of the paper's cost metric.
+type StatsIndex[T any] = index.StatsIndex[T]
+
+// Observer aggregates per-query telemetry — latency and distance-count
+// histograms plus SearchStats totals — across concurrent queries
+// without locks: recordings land in sharded atomics and Snapshot merges
+// the shards. Attach one to any index with the WithObserver construction
+// option (or SetObserver on a built index), or hand one to the batch
+// executor via BatchOptions.Observer.
+type Observer = obs.Observer
+
+// NewObserver returns an Observer with the given shard count (values
+// <= 0 mean GOMAXPROCS; the count is rounded up to a power of two).
+// Totals are exact for any shard count; sharding only spreads write
+// contention.
+func NewObserver(shards int) *Observer { return obs.NewObserver(shards) }
+
+// Snapshot is a point-in-time merge of an Observer's shards: query
+// counts, distance totals, SearchStats sums, and log-scaled latency and
+// distance-count histograms with per-kind quantiles. Snapshots merge
+// associatively (Snapshot.Merge), so per-worker or per-structure
+// snapshots can be combined exactly.
+type Snapshot = obs.Snapshot
+
+// KindSnapshot is the per-query-kind (range / knn) slice of a Snapshot.
+type KindSnapshot = obs.KindSnapshot
+
+// SearchTotals is the int64-widened sum of per-query SearchStats inside
+// a Snapshot.
+type SearchTotals = obs.SearchTotals
+
+// LogHistogram is the log₂-bucketed histogram used for latencies and
+// distance counts in snapshots; it merges exactly and marshals to a
+// sparse JSON form.
+type LogHistogram = histogram.Log2
+
+// Tracer receives fine-grained per-query events (query start/done, node
+// visits, filter prunes, distance computations) from any index it is
+// attached to via the WithTracer construction option or SetTracer.
+// Implementations must be safe for concurrent use if the index serves
+// concurrent queries. A nil Tracer (the default) costs only a nil check
+// per event site.
+type Tracer = obs.Tracer
+
+// MultiTracer fans events out to several Tracers in order.
+type MultiTracer = obs.MultiTracer
+
+// QueryKind distinguishes range from k-nearest-neighbor queries in
+// Tracer events and Observer snapshots.
+type QueryKind = obs.Kind
+
+// PruneFilter identifies which filtering mechanism rejected candidates
+// in a Tracer OnFilterPrune event: the shell bounds of an internal
+// node, the vantage-point distance bound (the paper's Lemma 1), or the
+// leaf PATH bound (Lemma 2).
+type PruneFilter = obs.Filter
+
+// Query kinds and prune filters.
+const (
+	KindRange = obs.KindRange
+	KindKNN   = obs.KindKNN
+
+	FilterShell = obs.FilterShell
+	FilterD     = obs.FilterD
+	FilterPath  = obs.FilterPath
+)
+
+// PublishExpvar publishes the observer's Snapshot under name in the
+// process-wide expvar registry (served on /debug/vars by the default
+// HTTP mux). Publishing a second observer under the same name rebinds
+// the variable instead of panicking.
+func PublishExpvar(name string, o *Observer) { obs.PublishExpvar(name, o) }
+
+// WriteSnapshotJSON writes the observer's current Snapshot to w as
+// indented JSON.
+func WriteSnapshotJSON(w io.Writer, o *Observer) error { return o.WriteJSON(w) }
+
+// IndexOption customizes the construction aspects that are generic in
+// the item type and therefore cannot live in the per-structure Options
+// structs: the distance Counter the index measures through, and the
+// observability hooks (Observer, Tracer) its query paths report to.
+type IndexOption[T any] func(*indexConfig[T])
+
+type indexConfig[T any] struct {
+	counter  *metric.Counter[T]
+	observer *obs.Observer
+	tracer   obs.Tracer
+}
+
+// WithCounter makes the index measure distances through an existing
+// Counter instead of a fresh internal one, so construction and query
+// costs accumulate where the caller wants them. DynamicStore ignores
+// this option: it owns an internal counter over its ID space.
+func WithCounter[T any](c *Counter[T]) IndexOption[T] {
+	return func(cfg *indexConfig[T]) { cfg.counter = c }
+}
+
+// WithObserver attaches an Observer to the index at construction; every
+// query the index serves is recorded into it.
+func WithObserver[T any](o *Observer) IndexOption[T] {
+	return func(cfg *indexConfig[T]) { cfg.observer = o }
+}
+
+// WithTracer attaches a Tracer to the index at construction; every
+// query the index serves streams events to it.
+func WithTracer[T any](tr Tracer) IndexOption[T] {
+	return func(cfg *indexConfig[T]) { cfg.tracer = tr }
+}
+
+// resolveIndexConfig applies the options, defaulting the counter to a
+// fresh one over dist.
+func resolveIndexConfig[T any](dist DistanceFunc[T], ixOpts []IndexOption[T]) indexConfig[T] {
+	var cfg indexConfig[T]
+	for _, o := range ixOpts {
+		o(&cfg)
+	}
+	if cfg.counter == nil {
+		cfg.counter = metric.NewCounter(dist)
+	}
+	return cfg
+}
+
+// hooked is the attachment surface every structure gains from its
+// embedded obs.Hooks.
+type hooked interface {
+	SetObserver(*obs.Observer)
+	SetTracer(obs.Tracer)
+}
+
+// install attaches the configured observer and tracer, if any.
+func (cfg indexConfig[T]) install(h hooked) {
+	if cfg.observer != nil {
+		h.SetObserver(cfg.observer)
+	}
+	if cfg.tracer != nil {
+		h.SetTracer(cfg.tracer)
+	}
+}

@@ -13,11 +13,14 @@ import (
 // computations to an individual query while others are in flight.
 type SearchStats = mvp.SearchStats
 
-// BatchOptions configure the parallel batch-query executor.
+// BatchOptions configure the parallel batch-query executor: the worker
+// count and an optional Observer that receives one recording per query
+// (each worker writes its own shard, so snapshot totals are exact for
+// every worker count).
 type BatchOptions = qexec.Options
 
-// BatchStats summarize a batch run: total Counter delta, per-worker
-// query counts and aggregated SearchStats.
+// BatchStats summarize a batch run: total Counter delta, batch wall
+// time, per-worker query counts and aggregated SearchStats.
 type BatchStats = qexec.Stats
 
 // BatchWorkerStats is the per-worker slice of a BatchStats.
