@@ -13,12 +13,13 @@
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 claims
 // ablation-p ablation-k ablation-sv2 ablation-v knn structures words
-// build approx filters telemetry all.
+// build approx filters telemetry querybench all.
 //
 // -obsjson FILE writes the telemetry experiment's per-structure
 // observer snapshots (latency and distance-count histograms, filter
-// counters) as a JSON artifact; -cpuprofile/-memprofile write pprof
-// profiles of the run.
+// counters) as a JSON artifact; -queryjson FILE writes the querybench
+// experiment's per-structure serving costs (ns/op, distances/query,
+// allocs/op); -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -63,6 +64,7 @@ func run(out io.Writer, args []string) error {
 		buildWorkers = fs.Int("buildworkers", 1, "construction goroutines per index build (the index built, and its distance count, are identical for any value)")
 		buildJSON    = fs.String("buildjson", "", "write the build experiment's per-structure stats as JSON to this file (adds the build experiment if not selected)")
 		obsJSON      = fs.String("obsjson", "", "write the telemetry experiment's per-structure observer snapshots as JSON to this file (adds the telemetry experiment if not selected)")
+		queryJSON    = fs.String("queryjson", "", "write the querybench experiment's per-structure serving costs (ns/op, distances/query, allocs/op) as JSON to this file (adds the querybench experiment if not selected)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
@@ -149,7 +151,7 @@ func run(out io.Writer, args []string) error {
 	if *experiment == "all" {
 		ids = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-			"knn", "structures", "words", "build", "approx", "filters", "telemetry"}
+			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench"}
 	}
 	if *buildJSON != "" && !containsID(ids, "build") {
 		ids = append(ids, "build")
@@ -157,8 +159,11 @@ func run(out io.Writer, args []string) error {
 	if *obsJSON != "" && !containsID(ids, "telemetry") {
 		ids = append(ids, "telemetry")
 	}
+	if *queryJSON != "" && !containsID(ids, "querybench") {
+		ids = append(ids, "querybench")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON); err != nil {
 			return err
 		}
 	}
@@ -212,7 +217,15 @@ func writeObsJSON(path string, rep *experiments.TelemetryReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON string) error {
+func writeQueryJSON(path string, rep *experiments.QueryBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -286,6 +299,15 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSO
 		if err == nil && obsJSON != "" {
 			err = writeObsJSON(obsJSON, rep)
 		}
+	case "querybench":
+		var rep *experiments.QueryBenchReport
+		rep, err = experiments.QueryBenchStudy(cfg)
+		if err == nil {
+			err = experiments.WriteQueryBench(out, rep)
+		}
+		if err == nil && queryJSON != "" {
+			err = writeQueryJSON(queryJSON, rep)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -320,6 +342,7 @@ func describe(id string) string {
 		"approx":       "extension: anytime kNN — recall vs distance-computation budget",
 		"filters":      "extension: leaf-filter breakdown (Observations 1 & 2 measured)",
 		"telemetry":    "extension: per-structure query telemetry (observer snapshots)",
+		"querybench":   "extension: serving hot-path cost (ns/op, distances, allocs per query)",
 	}
 	if d, ok := descriptions[id]; ok {
 		return d

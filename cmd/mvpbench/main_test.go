@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,10 +50,59 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestDescribeCoversAllIDs(t *testing.T) {
 	ids := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-		"knn", "structures", "words", "build", "approx", "filters"}
+		"knn", "structures", "words", "build", "approx", "filters",
+		"telemetry", "querybench"}
 	for _, id := range ids {
 		if describe(id) == id {
 			t.Errorf("describe(%q) has no description", id)
+		}
+	}
+}
+
+func TestQueryBenchJSONArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_query.json")
+	var sb strings.Builder
+	// -queryjson alone must add the querybench experiment to the run.
+	err := run(&sb, []string{
+		"-experiment", "fig4", "-quick",
+		"-n", "500", "-queries", "4", "-seeds", "1", "-pairs", "5000",
+		"-queryjson", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "serving hot-path cost") {
+		t.Errorf("-queryjson did not add the querybench experiment:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		N    int `json:"n"`
+		Rows []struct {
+			Structure        string  `json:"structure"`
+			RangeNsPerOp     float64 `json:"range_ns_per_op"`
+			RangeAllocsPerOp float64 `json:"range_allocs_per_op"`
+			KNNDistPerQuery  float64 `json:"knn_dist_per_query"`
+		} `json:"structures"`
+	}
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.N != 500 || len(art.Rows) == 0 {
+		t.Fatalf("artifact shape: n=%d rows=%d", art.N, len(art.Rows))
+	}
+	for _, r := range art.Rows {
+		if r.Structure == "" || r.RangeNsPerOp <= 0 || r.KNNDistPerQuery <= 0 {
+			t.Errorf("implausible row: %+v", r)
+		}
+		// The absolute zero-alloc guarantees are pinned by AllocsPerRun
+		// tests in internal/mvp and internal/vptree; here only require
+		// that mvpt range allocations stay in result-slice territory
+		// rather than per-node-traversal territory.
+		if r.Structure == "mvpt(3,80)" && r.RangeAllocsPerOp > 8 {
+			t.Errorf("mvpt range allocs/op = %v, want near-zero steady-state serving", r.RangeAllocsPerOp)
 		}
 	}
 }

@@ -238,14 +238,18 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 			s.Candidates++
 			s.Computed++
 			t.TraceDistance(1)
-			if t.dist.Distance(q, it) <= r {
+			// Membership only, so the kernel may abandon at r.
+			if t.dist.DistanceUpTo(q, it, r) <= r {
 				*out = append(*out, it)
 			}
 		}
 		return
 	}
 	for j, c := range n.centers {
-		d := t.dist.Distance(q, c)
+		// A center distance is used one-sidedly — membership and the
+		// prune test d−ρ > r — so abandoning past r+ρ forces the same
+		// prune the exact distance would.
+		d := t.dist.DistanceUpTo(q, c, r+n.radii[j])
 		s.VantagePoints++
 		t.TraceDistance(1)
 		if d <= r {
@@ -295,12 +299,15 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 				s.Candidates++
 				s.Computed++
 				t.TraceDistance(1)
-				best.Push(it, t.dist.Distance(q, it))
+				// Push ignores anything ≥ the k-th best: abandon at τ.
+				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
 			}
 			continue
 		}
 		for j, c := range n.centers {
-			d := t.dist.Distance(q, c)
+			// One-sided use (τ in place of r): abandoning past τ+ρ
+			// rejects the center and prunes the child either way.
+			d := t.dist.DistanceUpTo(q, c, best.Threshold()+n.radii[j])
 			best.Push(c, d)
 			s.VantagePoints++
 			t.TraceDistance(1)

@@ -223,15 +223,25 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 
 func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
 	s.NodesVisited++
-	t.TraceNode(n.children == nil)
+	leaf := n.children == nil
+	t.TraceNode(leaf)
 	s.Candidates++
 	s.Computed++
 	t.TraceDistance(1)
-	d := t.dist.Distance(q, n.item)
+	var d float64
+	if leaf {
+		// A leaf's distance only decides membership, so the kernel may
+		// abandon at r. An internal node's distance also positions the
+		// child key window [⌈d−r⌉, ⌊d+r⌋] — a two-sided use an
+		// understated distance would corrupt — so it stays exact.
+		d = t.dist.DistanceUpTo(q, n.item, r)
+	} else {
+		d = t.dist.Distance(q, n.item)
+	}
 	if d <= r {
 		*out = append(*out, n.item)
 	}
-	if n.children == nil {
+	if leaf {
 		s.LeavesVisited++
 		return
 	}
@@ -276,14 +286,22 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 			break
 		}
 		s.NodesVisited++
-		t.TraceNode(n.children == nil)
-		if n.children == nil {
+		leaf := n.children == nil
+		t.TraceNode(leaf)
+		if leaf {
 			s.LeavesVisited++
 		}
 		s.Candidates++
 		s.Computed++
 		t.TraceDistance(1)
-		d := t.dist.Distance(q, n.item)
+		var d float64
+		if leaf {
+			// Membership only ⇒ abandon at τ; internal distances feed
+			// the two-sided |d − key| child bounds and stay exact.
+			d = t.dist.DistanceUpTo(q, n.item, best.Threshold())
+		} else {
+			d = t.dist.Distance(q, n.item)
+		}
 		best.Push(n.item, d)
 		for key, c := range n.children {
 			lb := math.Abs(d - float64(key))

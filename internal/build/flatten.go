@@ -1,0 +1,36 @@
+package build
+
+// FlattenVectors copies the vectors held in each group into one shared
+// contiguous arena and re-slices the groups to point into it, so that a
+// scan over a group reads sequential memory. It is the opt-in leaf
+// vector arena behind the index packages' FlatVectors option.
+//
+// The rewrite is a pure relocation: every slice keeps its length and
+// values (re-sliced with a full capacity cap so appends cannot alias a
+// neighbor), only the backing storage changes. When the item type is
+// not []float64 — FlattenVectors is generic so index packages can call
+// it on []T leaves without knowing T — it reports false and leaves the
+// groups untouched.
+func FlattenVectors[T any](groups [][]T) bool {
+	total := 0
+	vecGroups := make([][][]float64, 0, len(groups))
+	for _, g := range groups {
+		vg, ok := any(g).([][]float64)
+		if !ok {
+			return false
+		}
+		vecGroups = append(vecGroups, vg)
+		for _, v := range vg {
+			total += len(v)
+		}
+	}
+	arena := make([]float64, 0, total)
+	for _, vg := range vecGroups {
+		for i, v := range vg {
+			off := len(arena)
+			arena = append(arena, v...)
+			vg[i] = arena[off:len(arena):len(arena)]
+		}
+	}
+	return true
+}

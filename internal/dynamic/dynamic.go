@@ -296,7 +296,8 @@ func (s *Store[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		st.Candidates++
 		st.Computed++
 		s.TraceDistance(1)
-		if s.dist.Distance(slot, id) <= r {
+		// Membership only, so the kernel may abandon at r.
+		if s.dist.DistanceUpTo(slot, id, r) <= r {
 			out = append(out, s.items[id])
 		}
 	}
@@ -345,7 +346,8 @@ func (s *Store[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		st.Candidates++
 		st.Computed++
 		s.TraceDistance(1)
-		best.Push(s.items[id], s.dist.Distance(slot, id))
+		// Push ignores anything ≥ the current k-th best: abandon at τ.
+		best.Push(s.items[id], s.dist.DistanceUpTo(slot, id, best.Threshold()))
 	}
 	out := best.Sorted()
 	st.Results = len(out)

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"mvptree/internal/bench"
+	"mvptree/internal/build"
+	"mvptree/internal/metric"
+)
+
+// QueryBenchRounds is the number of measured passes over the query
+// batch per structure (after one warm-up pass that fills the scratch
+// pools and caches).
+const QueryBenchRounds = 5
+
+// QueryBenchRow is one structure's hot-path serving cost over the
+// uniform vector workload: wall time, distance computations and heap
+// allocations per query, for one range batch and one kNN batch. The
+// allocation figures are the PR-level regression signal — steady-state
+// range queries should allocate only when they return results, and kNN
+// queries only the result slice.
+type QueryBenchRow struct {
+	Structure string `json:"structure"`
+	BuildCost int64  `json:"build_cost"`
+
+	RangeNsPerOp      float64 `json:"range_ns_per_op"`
+	RangeDistPerQuery float64 `json:"range_dist_per_query"`
+	RangeAllocsPerOp  float64 `json:"range_allocs_per_op"`
+	RangeAvgResults   float64 `json:"range_avg_results"`
+
+	KNNNsPerOp      float64 `json:"knn_ns_per_op"`
+	KNNDistPerQuery float64 `json:"knn_dist_per_query"`
+	KNNAllocsPerOp  float64 `json:"knn_allocs_per_op"`
+}
+
+// QueryBenchReport is the artifact cmd/mvpbench -queryjson writes: the
+// per-structure serving cost of the uniform vector workload plus the
+// run configuration needed to interpret it.
+type QueryBenchReport struct {
+	N       int              `json:"n"`
+	Dim     int              `json:"dim"`
+	Queries int              `json:"queries"`
+	Rounds  int              `json:"rounds"`
+	Radius  float64          `json:"radius"`
+	K       int              `json:"k"`
+	Rows    []QueryBenchRow  `json:"structures"`
+}
+
+// QueryBenchStudy measures the serving hot path per structure: it
+// builds each index once (first construction seed), then answers the
+// query batch QueryBenchRounds times single-threaded, reporting wall
+// time, distance-counter delta and heap-allocation delta per query.
+// Queries run sequentially on one goroutine so the allocation counter
+// attributes every allocation to the measured loop.
+func QueryBenchStudy(c Config) (*QueryBenchReport, error) {
+	items := c.UniformVectors()
+	queries := c.VectorQueries()
+	structures := []bench.Structure[[]float64]{
+		bench.Linear[[]float64](),
+		bench.VPT[[]float64](2),
+		bench.VPT[[]float64](3),
+		bench.MVPT[[]float64](3, 80, 5),
+		bench.GHT[[]float64](8),
+		bench.GNAT[[]float64](8),
+		bench.BallTree[[]float64](8),
+		bench.LAESA[[]float64](32),
+	}
+	rep := &QueryBenchReport{
+		N: c.N, Dim: c.Dim, Queries: len(queries), Rounds: QueryBenchRounds,
+		Radius: TelemetryRadius, K: TelemetryK,
+	}
+	seed := c.TreeSeeds[0]
+	for _, st := range structures {
+		counter := metric.NewCounter[[]float64](metric.L2)
+		idx, bs, err := st.Build(items, counter, build.Options{Seed: seed, Workers: c.BuildWorkers})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", st.Name, err)
+		}
+		row := QueryBenchRow{Structure: st.Name, BuildCost: bs.Distances}
+
+		results := 0
+		for _, q := range queries { // warm-up: fills scratch pools
+			results += len(idx.Range(q, TelemetryRadius))
+			idx.KNN(q, TelemetryK)
+		}
+		row.RangeAvgResults = float64(results) / float64(len(queries))
+
+		ops := int64(QueryBenchRounds * len(queries))
+		rangeNs, rangeAllocs, rangeDist := measureLoop(counter, func() {
+			for _, q := range queries {
+				idx.Range(q, TelemetryRadius)
+			}
+		})
+		row.RangeNsPerOp = float64(rangeNs) / float64(ops)
+		row.RangeAllocsPerOp = float64(rangeAllocs) / float64(ops)
+		row.RangeDistPerQuery = float64(rangeDist) / float64(ops)
+
+		knnNs, knnAllocs, knnDist := measureLoop(counter, func() {
+			for _, q := range queries {
+				idx.KNN(q, TelemetryK)
+			}
+		})
+		row.KNNNsPerOp = float64(knnNs) / float64(ops)
+		row.KNNAllocsPerOp = float64(knnAllocs) / float64(ops)
+		row.KNNDistPerQuery = float64(knnDist) / float64(ops)
+
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// measureLoop runs pass QueryBenchRounds times and returns the elapsed
+// wall time, the heap-allocation count delta and the distance-counter
+// delta across all passes.
+func measureLoop(counter *metric.Counter[[]float64], pass func()) (ns int64, allocs uint64, dist int64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	dist0 := counter.Count()
+	start := time.Now()
+	for r := 0; r < QueryBenchRounds; r++ {
+		pass()
+	}
+	ns = time.Since(start).Nanoseconds()
+	dist = counter.Count() - dist0
+	runtime.ReadMemStats(&after)
+	allocs = after.Mallocs - before.Mallocs
+	return ns, allocs, dist
+}
+
+// WriteQueryBench prints the per-structure serving costs as a table.
+func WriteQueryBench(w io.Writer, rep *QueryBenchReport) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# uniform vectors n=%d dim=%d, %d queries x %d rounds, r=%g k=%d, 1 worker\n",
+		rep.N, rep.Dim, rep.Queries, rep.Rounds, rep.Radius, rep.K)
+	fmt.Fprintf(&sb, "%-12s %14s %12s %12s %14s %12s %12s\n",
+		"structure", "range-ns/op", "range-dist", "range-allocs", "knn-ns/op", "knn-dist", "knn-allocs")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&sb, "%-12s %14.0f %12.1f %12.2f %14.0f %12.1f %12.2f\n",
+			r.Structure,
+			r.RangeNsPerOp, r.RangeDistPerQuery, r.RangeAllocsPerOp,
+			r.KNNNsPerOp, r.KNNDistPerQuery, r.KNNAllocsPerOp)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

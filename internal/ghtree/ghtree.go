@@ -199,7 +199,10 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 			s.Candidates++
 			s.Computed++
 			t.TraceDistance(1)
-			if t.dist.Distance(q, it) <= r {
+			// Membership only, so the kernel may abandon at r. The
+			// pivot distances below stay exact: the hyperplane test
+			// (d1−d2)/2 uses them two-sidedly.
+			if t.dist.DistanceUpTo(q, it, r) <= r {
 				*out = append(*out, it)
 			}
 		}
@@ -272,7 +275,10 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 				s.Candidates++
 				s.Computed++
 				t.TraceDistance(1)
-				best.Push(it, t.dist.Distance(q, it))
+				// Push ignores anything ≥ the k-th best, so the kernel
+				// may abandon at τ; pivot distances stay exact (the
+				// hyperplane bound uses them two-sidedly).
+				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
 			}
 			continue
 		}

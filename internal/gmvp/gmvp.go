@@ -438,7 +438,10 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 			}
 			s.Computed++
 			t.TraceDistance(1)
-			if t.dist.Distance(q, it) <= r {
+			// Membership only, so the kernel may abandon at r; vantage
+			// distances stay exact (they feed qpath and the two-sided
+			// D-filters above).
+			if t.dist.DistanceUpTo(q, it, r) <= r {
 				*out = append(*out, it)
 			}
 		}
@@ -545,7 +548,9 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 				}
 				s.Computed++
 				t.TraceDistance(1)
-				best.Push(it, t.dist.Distance(q, it))
+				// Abandon at τ; vantage distances stay exact (qpath and
+				// two-sided D-filters).
+				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
 			}
 			continue
 		}

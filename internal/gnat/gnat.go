@@ -337,7 +337,10 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 			s.Candidates++
 			s.Computed++
 			t.TraceDistance(1)
-			if t.dist.Distance(q, it) <= r {
+			// Membership only, so the kernel may abandon at r; split
+			// point distances stay exact (the range tables use them
+			// two-sidedly).
+			if t.dist.DistanceUpTo(q, it, r) <= r {
 				*out = append(*out, it)
 			}
 		}
@@ -422,7 +425,9 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 				s.Candidates++
 				s.Computed++
 				t.TraceDistance(1)
-				best.Push(it, t.dist.Distance(q, it))
+				// Abandon at τ; split point distances stay exact (the
+				// range tables use them two-sidedly).
+				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
 			}
 			continue
 		}

@@ -5,7 +5,14 @@
 // traversal.
 package heapx
 
-import "mvptree/internal/index"
+import (
+	"math"
+
+	"mvptree/internal/index"
+)
+
+// inf avoids re-deriving +Inf on the Threshold hot path.
+var inf = math.Inf(1)
 
 // KBest keeps the k smallest-distance neighbors seen so far. It is a
 // max-heap on distance so the current worst candidate is inspectable in
@@ -37,6 +44,35 @@ func (h *KBest[T]) Bound() (worst float64, ok bool) {
 		return 0, false
 	}
 	return h.items[0].Dist, true
+}
+
+// Threshold returns the live pruning threshold τ for early-abandoning
+// distance kernels: the current k-th best distance when the heap is
+// full, +Inf otherwise. Any candidate whose distance provably exceeds
+// Threshold() would be rejected by Push, so an abandoned (understated)
+// distance > τ is safe to offer.
+func (h *KBest[T]) Threshold() float64 {
+	if !h.Full() {
+		return inf
+	}
+	return h.items[0].Dist
+}
+
+// Reset empties the heap and re-arms it for at most k neighbors,
+// retaining the backing array so a pooled KBest can serve queries with
+// varying k without reallocating (the slice grows only when k exceeds
+// every previous capacity). k must be positive or Reset panics.
+func (h *KBest[T]) Reset(k int) {
+	if k <= 0 {
+		panic("heapx: Reset requires k > 0")
+	}
+	h.k = k
+	if cap(h.items) < k {
+		h.items = make([]index.Neighbor[T], 0, k)
+	} else {
+		clear(h.items)
+		h.items = h.items[:0]
+	}
 }
 
 // Accepts reports whether a candidate at distance d would be kept.
@@ -163,6 +199,14 @@ func (q *NodeQueue[N]) PopNode() (n N, bound float64, ok bool) {
 
 // Len reports the number of pending nodes.
 func (q *NodeQueue[N]) Len() int { return len(q.nodes) }
+
+// Reset empties the queue, retaining both backing arrays so a pooled
+// NodeQueue serves subsequent queries without reallocating.
+func (q *NodeQueue[N]) Reset() {
+	clear(q.nodes)
+	q.nodes = q.nodes[:0]
+	q.bounds = q.bounds[:0]
+}
 
 func (q *NodeQueue[N]) swap(i, j int) {
 	q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i]

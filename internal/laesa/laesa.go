@@ -202,7 +202,10 @@ func (t *Table[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		}
 		s.Computed++
 		t.TraceDistance(1)
-		if t.dist.Distance(q, it) <= r {
+		// Survivors only need membership, so the kernel may abandon at
+		// r. Pivot distances (queryPivots) stay exact: the lower bound
+		// uses them two-sidedly.
+		if t.dist.DistanceUpTo(q, it, r) <= r {
 			out = append(out, it)
 		}
 	}
@@ -245,7 +248,9 @@ func (t *Table[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		}
 		s.Computed++
 		t.TraceDistance(1)
-		best.Push(t.items[i], t.dist.Distance(q, t.items[i]))
+		// Push ignores anything ≥ the current k-th best, so the kernel
+		// may abandon at τ (exact while the heap is still filling).
+		best.Push(t.items[i], t.dist.DistanceUpTo(q, t.items[i], best.Threshold()))
 	}
 	s.Candidates = len(t.items)
 	s.FilteredByD = s.Candidates - s.Computed

@@ -61,7 +61,8 @@ func (s *Scan[T]) RangeWithStats(q T, r float64) ([]T, index.SearchStats) {
 		st.Candidates++
 		st.Computed++
 		s.TraceDistance(1)
-		if s.dist.Distance(q, it) <= r {
+		// Membership is all that matters, so the kernel may abandon at r.
+		if s.dist.DistanceUpTo(q, it, r) <= r {
 			out = append(out, it)
 		}
 	}
@@ -90,7 +91,9 @@ func (s *Scan[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], index.SearchSta
 		st.Candidates++
 		st.Computed++
 		s.TraceDistance(1)
-		h.Push(it, s.dist.Distance(q, it))
+		// Push ignores anything ≥ the current k-th best, so the kernel
+		// may abandon at τ (exact while the heap is still filling).
+		h.Push(it, s.dist.DistanceUpTo(q, it, h.Threshold()))
 	}
 	out := h.Sorted()
 	st.Results = len(out)

@@ -46,3 +46,93 @@ func Edit(a, b string) float64 {
 	}
 	return float64(prev[len(b)])
 }
+
+// EditUpTo is the early-abandoning (banded) Levenshtein distance. With
+// halfwidth k = ⌊bound⌋ only DP cells within k of the diagonal can hold
+// a value ≤ k, so the band suffices to decide whether the true distance
+// is within bound; cells outside it act as +∞. When the band result
+// exceeds k it may overestimate the true distance, but then the true
+// distance also exceeds k ≥ nothing more is claimed than "> bound",
+// which is exactly the BoundedDistanceFunc contract.
+func EditUpTo(a, b string, bound float64) float64 {
+	if a == b {
+		return 0
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return float64(len(a))
+	}
+	if bound < 0 {
+		bound = 0
+	}
+	var k int
+	if float64(len(a)+len(b)) <= bound {
+		// The band covers the whole table; the banded DP degenerates to
+		// the full DP, so just run the exact kernel.
+		return Edit(a, b)
+	}
+	k = int(bound)
+	if len(a)-len(b) > k {
+		// At least len(a)-len(b) insertions are unavoidable, and that
+		// alone already exceeds the bound.
+		return float64(len(a) - len(b))
+	}
+	// Banded two-row DP over columns j ∈ [i-k, i+k] clipped to [0, len(b)].
+	// big is the +∞ sentinel for cells outside the band; it is chosen so
+	// additions cannot overflow.
+	const big = 1 << 30
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b) && j <= k; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+			cur[0] = i
+		}
+		hi := i + k
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo > hi {
+			return float64(k + 1)
+		}
+		ca := a[i-1]
+		rowMin := big
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if j == i+k {
+				// prev[j] is outside the band for row i-1.
+			} else if d := prev[j] + 1; d < m {
+				m = d
+			}
+			if j == lo && lo == i-k {
+				// cur[j-1] is outside the band for row i.
+			} else if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > k {
+			// Every in-band cell exceeds k and values are monotone down
+			// the table, so the true distance exceeds the bound.
+			return float64(rowMin)
+		}
+		prev, cur = cur, prev
+	}
+	// A result ≤ k is exact; a result > k may be a band overestimate but
+	// then the true distance is also > k ≥ ⌊bound⌋, i.e. > bound for the
+	// integer-valued edit distance.
+	return float64(prev[len(b)])
+}

@@ -34,13 +34,23 @@ type DistanceFunc[T any] func(a, b T) float64
 // per-query SearchStats variants (RangeWithStats, KNNWithStats) instead
 // of Count deltas.
 type Counter[T any] struct {
-	fn    DistanceFunc[T]
-	count atomic.Int64
+	fn       DistanceFunc[T]
+	bounded  BoundedDistanceFunc[T]
+	fallback BoundedDistanceFunc[T] // fn ignoring the bound; built once
+	count    atomic.Int64
 }
 
-// NewCounter returns a Counter wrapping fn.
+// NewCounter returns a Counter wrapping fn. If fn is a top-level
+// function with a registered early-abandoning counterpart (see
+// RegisterBounded), the Counter picks it up automatically and serves
+// DistanceUpTo through it; otherwise DistanceUpTo falls back to the
+// exact kernel. Use SetBounded to attach a fast path to a closure.
 func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] {
-	return &Counter[T]{fn: fn}
+	c := &Counter[T]{fn: fn, bounded: lookupBounded(fn)}
+	if fn != nil {
+		c.fallback = func(a, b T, _ float64) float64 { return fn(a, b) }
+	}
+	return c
 }
 
 // Distance computes fn(a, b) and increments the invocation count.
@@ -48,6 +58,34 @@ func (c *Counter[T]) Distance(a, b T) float64 {
 	c.count.Add(1)
 	return c.fn(a, b)
 }
+
+// DistanceUpTo computes the distance between a and b with permission to
+// abandon early once the result is known to exceed bound. The return
+// value obeys the BoundedDistanceFunc contract: if it is ≤ bound it is
+// exactly Distance(a, b); if it is > bound then Distance(a, b) would
+// also be > bound (but the value itself may understate it). Each call
+// counts as one distance computation regardless of abandonment, so cost
+// accounting is unchanged by the fast path. When no bounded kernel is
+// attached this is exactly Distance.
+func (c *Counter[T]) DistanceUpTo(a, b T, bound float64) float64 {
+	c.count.Add(1)
+	if c.bounded != nil {
+		return c.bounded(a, b, bound)
+	}
+	return c.fn(a, b)
+}
+
+// SetBounded attaches (or, with nil, detaches) an early-abandoning fast
+// path for the wrapped distance function, overriding whatever NewCounter
+// discovered in the registry. fn must satisfy the BoundedDistanceFunc
+// contract with respect to the wrapped exact kernel. This is the hook
+// for closure-built metrics (Lp, WeightedLp, Scaled), which cannot be
+// registered globally. SetBounded is not synchronized with in-flight
+// queries; attach fast paths before serving.
+func (c *Counter[T]) SetBounded(fn BoundedDistanceFunc[T]) { c.bounded = fn }
+
+// Bounded returns the attached early-abandoning fast path, or nil.
+func (c *Counter[T]) Bounded() BoundedDistanceFunc[T] { return c.bounded }
 
 // Count reports the number of Distance calls since the last Reset.
 func (c *Counter[T]) Count() int64 { return c.count.Load() }
@@ -62,3 +100,16 @@ func (c *Counter[T]) Reset() { c.count.Store(0) }
 
 // Func returns the wrapped distance function, uncounted.
 func (c *Counter[T]) Func() DistanceFunc[T] { return c.fn }
+
+// Kernel returns the uncounted function DistanceUpTo dispatches to: the
+// attached early-abandoning kernel, or a cached wrapper that ignores
+// the bound and computes exactly. Hot loops that measure many distances
+// against thresholds may call it directly and settle the batch with
+// Add(n), paying one atomic update per batch instead of per distance;
+// the final count is identical to calling DistanceUpTo n times.
+func (c *Counter[T]) Kernel() BoundedDistanceFunc[T] {
+	if c.bounded != nil {
+		return c.bounded
+	}
+	return c.fallback
+}

@@ -73,7 +73,7 @@ func (t *Tree[T]) KNNBudgeted(q T, k int, budget int64) (neighbors []index.Neigh
 						lb = b
 					}
 				}
-				path := n.paths[i]
+				path := n.path(i)
 				for l := 0; l < len(path) && l < len(qpath); l++ {
 					if b := abs(qpath[l] - path[l]); b > lb {
 						lb = b

@@ -65,12 +65,19 @@ func (t *Tree[T]) buildLeaf(b *build.Builder[T], entries []entry[T], src build.R
 	n.items = make([]T, len(rest))
 	n.d1 = d1
 	n.d2 = make([]float64, len(rest))
-	n.paths = make([][]float64, len(rest))
+	total := 0
+	for i := range rest {
+		total += len(rest[i].path)
+	}
+	n.pathData = make([]float64, 0, total)
+	n.pathOff = make([]int32, len(rest)+1)
 	for i := range rest {
 		n.items[i] = rest[i].item
-		n.paths[i] = rest[i].path
+		n.pathData = append(n.pathData, rest[i].path...)
+		n.pathOff[i+1] = int32(len(n.pathData))
 	}
 	b.Measure(n.sv2, func(i int) T { return n.items[i] }, n.d2)
+	n.setDerived()
 	return n
 }
 
@@ -162,6 +169,7 @@ func (t *Tree[T]) buildInternal(b *build.Builder[T], entries []entry[T], src bui
 			n.children[g] = []*node[T]{nil}
 		}
 	}
+	n.setDerived()
 	b.Fork(len(tasks), func(i int) {
 		ct := tasks[i]
 		n.children[ct.g][ct.h] = t.build(b, ct.entries, ct.rng, opts, depth+1)

@@ -121,7 +121,7 @@ func (t *Tree[T]) leafBounds(n *node[T], i int, d1, d2 float64, qpath []float64)
 			ub = b
 		}
 	}
-	path := n.paths[i]
+	path := n.path(i)
 	for l := 0; l < len(path) && l < len(qpath); l++ {
 		if b := abs(qpath[l] - path[l]); b > lb {
 			lb = b

@@ -1,0 +1,76 @@
+package mvp
+
+import (
+	"testing"
+
+	"mvptree/internal/metric"
+)
+
+// TestFlatVectorsEquivalence pins the FlatVectors option's contract:
+// copying leaf vectors into a contiguous arena is a pure memory-layout
+// change. Queries over the flat tree and the pointer-layout tree built
+// from the same seed return identical results with identical distance
+// counts and identical per-query stats.
+func TestFlatVectorsEquivalence(t *testing.T) {
+	items := uniformItems(51, 1200, 8)
+	opts := Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Build: Build{Seed: 3}}
+
+	distP := metric.NewCounter(metric.L2)
+	plain, err := New(items, distP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsFlat := opts
+	optsFlat.FlatVectors = true
+	distF := metric.NewCounter(metric.L2)
+	flat, err := New(items, distF, optsFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, f := distP.Count(), distF.Count(); p != f {
+		t.Fatalf("build cost differs: %d plain vs %d flat", p, f)
+	}
+
+	queries := uniformItems(52, 8, 8)
+	for qi, q := range queries {
+		for _, r := range []float64{0.2, 0.6, 1.1} {
+			p0, f0 := distP.Count(), distF.Count()
+			resP, stP := plain.RangeWithStats(q, r)
+			pd := distP.Count() - p0
+			resF, stF := flat.RangeWithStats(q, r)
+			fd := distF.Count() - f0
+			if len(resP) != len(resF) {
+				t.Fatalf("q%d r=%v: %d results plain vs %d flat", qi, r, len(resP), len(resF))
+			}
+			for i := range resP {
+				for j := range resP[i] {
+					if resP[i][j] != resF[i][j] {
+						t.Fatalf("q%d r=%v: result %d differs between layouts", qi, r, i)
+					}
+				}
+			}
+			if stP != stF {
+				t.Errorf("q%d r=%v: stats differ:\nplain %+v\nflat  %+v", qi, r, stP, stF)
+			}
+			if pd != fd {
+				t.Errorf("q%d r=%v: distance count differs: %d plain vs %d flat", qi, r, pd, fd)
+			}
+		}
+		for _, k := range []int{1, 10} {
+			nbP, stP := plain.KNNWithStats(q, k)
+			nbF, stF := flat.KNNWithStats(q, k)
+			if len(nbP) != len(nbF) {
+				t.Fatalf("q%d k=%d: %d neighbors plain vs %d flat", qi, k, len(nbP), len(nbF))
+			}
+			for i := range nbP {
+				if nbP[i].Dist != nbF[i].Dist {
+					t.Errorf("q%d k=%d: neighbor %d dist %v plain vs %v flat", qi, k, i, nbP[i].Dist, nbF[i].Dist)
+					break
+				}
+			}
+			if stP != stF {
+				t.Errorf("q%d k=%d: stats differ:\nplain %+v\nflat  %+v", qi, k, stP, stF)
+			}
+		}
+	}
+}

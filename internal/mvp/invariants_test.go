@@ -29,7 +29,7 @@ func checkNode(t *testing.T, tr *Tree[int], n *node[int], raw metric.DistanceFun
 			if got := raw(it, n.sv2); got != n.d2[i] {
 				t.Fatalf("leaf D2[%d] = %g, recomputed %g", i, n.d2[i], got)
 			}
-			path := n.paths[i]
+			path := n.path(i)
 			if len(path) > tr.p {
 				t.Fatalf("leaf PATH length %d exceeds p = %d", len(path), tr.p)
 			}

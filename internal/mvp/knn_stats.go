@@ -10,6 +10,14 @@ import (
 // RangeWithStats reports: how many leaf candidates the stored D1/D2
 // distances excluded on their own, how many additionally needed a PATH
 // entry, and how many real distance computations remained.
+//
+// The traversal state (node queue, k-best heap, query-PATH arena) is
+// pooled on the tree, and every threshold-only distance computation
+// goes through the metric's early-abandoning fast path with τ — the
+// current k-th best distance, +Inf until the heap fills — in the role
+// the radius plays for Range. Steady state allocates nothing but the
+// result slice, and results, distance counts and stats are identical to
+// the exact-kernel traversal.
 func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 	span := t.StartQuery(obs.KindKNN)
 	var s SearchStats
@@ -17,13 +25,14 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		span.Done(&s)
 		return nil, s
 	}
-	best := heapx.NewKBest[T](k)
-	type pending struct {
-		n     *node[T]
-		qpath []float64
+	sc := t.getScratch()
+	if sc.best == nil {
+		sc.best = heapx.NewKBest[T](k)
+	} else {
+		sc.best.Reset(k)
 	}
-	var queue heapx.NodeQueue[pending]
-	queue.PushNode(pending{t.root, make([]float64, 0, t.p)}, 0)
+	best, queue := sc.best, &sc.queue
+	queue.PushNode(pendingRef[T]{n: t.root}, 0)
 	for {
 		pn, bound, ok := queue.PopNode()
 		if !ok {
@@ -32,28 +41,45 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		if !best.Accepts(bound) {
 			break
 		}
-		n, qpath := pn.n, pn.qpath
+		n := pn.n
 		s.NodesVisited++
 		t.TraceNode(n.isLeaf())
 		if n.isLeaf() {
 			s.LeavesVisited++
-			t.knnLeafStats(n, q, qpath, best, &s)
+			t.knnLeafStats(n, q, sc.arena[pn.off:pn.off+pn.plen], best, &s)
 			continue
 		}
-		d1 := t.dist.Distance(q, n.sv1)
+		// τ is read once per node: the bounds below stay valid as the
+		// heap tightens because τ only ever decreases.
+		tau := best.Threshold()
+		var d1, d2 float64
+		if int(pn.plen) >= t.p {
+			// The query PATH is full, so these distances are only
+			// compared against shell boundaries and τ; abandoning past
+			// τ+cutMax prunes exactly the shells the exact kernel would.
+			d1 = t.dist.DistanceUpTo(q, n.sv1, tau+n.cut1Max)
+			d2 = t.dist.DistanceUpTo(q, n.sv2, tau+n.cut2Max)
+		} else {
+			d1 = t.dist.Distance(q, n.sv1)
+			d2 = t.dist.Distance(q, n.sv2)
+		}
 		best.Push(n.sv1, d1)
-		d2 := t.dist.Distance(q, n.sv2)
 		best.Push(n.sv2, d2)
 		s.VantagePoints += 2
 		t.TraceDistance(2)
-		if len(qpath) < t.p {
-			ext := make([]float64, len(qpath), t.p)
-			copy(ext, qpath)
-			ext = append(ext, d1)
-			if len(ext) < t.p {
-				ext = append(ext, d2)
+		off, plen := pn.off, pn.plen
+		if int(plen) < t.p {
+			// Extend the query PATH in the arena: append the parent
+			// window, then the new exact distances. Children reference
+			// the new window by offset, so arena growth cannot
+			// invalidate them.
+			noff := int32(len(sc.arena))
+			sc.arena = append(sc.arena, sc.arena[off:off+plen]...)
+			sc.arena = append(sc.arena, d1)
+			if int(plen)+1 < t.p {
+				sc.arena = append(sc.arena, d2)
 			}
-			qpath = ext
+			off, plen = noff, int32(len(sc.arena))-noff
 		}
 		for g, row := range n.children {
 			lo1, hi1 := shellBounds(n.cut1, g)
@@ -70,7 +96,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 				lo2, hi2 := shellBounds(n.cut2[g], h)
 				lb := max(bound, lb1, intervalGap(d2, lo2, hi2))
 				if best.Accepts(lb) {
-					queue.PushNode(pending{c, qpath}, lb)
+					queue.PushNode(pendingRef[T]{n: c, off: off, plen: plen}, lb)
 				} else {
 					s.ShellsPruned++
 					t.TracePrune(obs.FilterShell, 1)
@@ -79,6 +105,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		}
 	}
 	out := best.Sorted()
+	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
@@ -88,46 +115,79 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	if !n.hasSV1 {
 		return
 	}
-	d1 := t.dist.Distance(q, n.sv1)
+	// Every leaf distance is threshold-only: vantage points and
+	// surviving candidates all go through the uncounted kernel and the
+	// batch is settled on the counter once at the end.
+	kernel := t.dist.Kernel()
+	// Same bound shape as rangeLeaf with τ in place of r: a vantage
+	// distance certified past τ+maxD rejects the vantage point and
+	// D-filters every item, in both the abandoned and the exact world.
+	d1 := kernel(q, n.sv1, best.Threshold()+n.maxD1)
 	best.Push(n.sv1, d1)
+	vantages := 1
 	s.VantagePoints++
 	t.TraceDistance(1)
 	var d2 float64
 	if n.hasSV2 {
-		d2 = t.dist.Distance(q, n.sv2)
+		d2 = kernel(q, n.sv2, best.Threshold()+n.maxD2)
 		best.Push(n.sv2, d2)
+		vantages = 2
 		s.VantagePoints++
 		t.TraceDistance(1)
 	}
-	for i, it := range n.items {
-		s.Candidates++
+	// Hot candidate loop: slice headers hoisted, stage tallies kept in
+	// locals and reported once per leaf (totals identical, trace event
+	// granularity coarsens — the same batching the shell filter uses).
+	items := n.items
+	d1s := n.d1[:len(items)] // len(d1)==len(items): lets the compiler drop the d1s[i] bounds check
+	d2s := n.d2
+	hasSV2 := n.hasSV2
+	if hasSV2 {
+		d2s = d2s[:len(items)]
+	}
+	var filteredD, filteredPath, computed int
+	for i := range items {
 		// The D1/D2 bound first; a PATH entry only gets credit when it
 		// tightens the bound past the acceptance threshold on its own.
-		lbD := abs(d1 - n.d1[i])
-		if n.hasSV2 {
-			if b := abs(d2 - n.d2[i]); b > lbD {
+		lbD := abs(d1 - d1s[i])
+		if hasSV2 {
+			if b := abs(d2 - d2s[i]); b > lbD {
 				lbD = b
 			}
 		}
 		if !best.Accepts(lbD) {
-			s.FilteredByD++
-			t.TracePrune(obs.FilterD, 1)
+			filteredD++
 			continue
 		}
 		lb := lbD
-		path := n.paths[i]
-		for l := 0; l < len(path) && l < len(qpath); l++ {
-			if b := abs(qpath[l] - path[l]); b > lb {
+		path := n.pathData[n.pathOff[i]:n.pathOff[i+1]]
+		if len(path) > len(qpath) {
+			path = path[:len(qpath)]
+		}
+		for l, pd := range path {
+			if b := abs(qpath[l] - pd); b > lb {
 				lb = b
 			}
 		}
 		if !best.Accepts(lb) {
-			s.FilteredByPath++
-			t.TracePrune(obs.FilterPath, 1)
+			filteredPath++
 			continue
 		}
-		s.Computed++
-		t.TraceDistance(1)
-		best.Push(it, t.dist.Distance(q, it))
+		computed++
+		best.Push(items[i], kernel(q, items[i], best.Threshold()))
+	}
+	t.dist.Add(int64(vantages + computed))
+	s.Candidates += len(items)
+	s.FilteredByD += filteredD
+	s.FilteredByPath += filteredPath
+	s.Computed += computed
+	if filteredD > 0 {
+		t.TracePrune(obs.FilterD, filteredD)
+	}
+	if filteredPath > 0 {
+		t.TracePrune(obs.FilterPath, filteredPath)
+	}
+	if computed > 0 {
+		t.TraceDistance(computed)
 	}
 }

@@ -30,6 +30,7 @@ package mvp
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"mvptree/internal/build"
 	"mvptree/internal/index"
@@ -73,6 +74,12 @@ type Options struct {
 	// farthest point is the best candidate (§4.2); this switch exists
 	// for the ablation experiment that quantifies the claim.
 	RandomSecondVantage bool
+	// FlatVectors, for []float64 items only, copies every leaf's
+	// vectors into one contiguous arena after construction so survivor
+	// distance computations read sequential memory. Results, distance
+	// counts and the serialized form are unaffected; the option is
+	// silently ignored for non-vector item types.
+	FlatVectors bool
 }
 
 func (o *Options) setDefaults() {
@@ -116,6 +123,7 @@ type Tree[T any] struct {
 	k          int
 	p          int
 	buildStats build.Stats
+	scratch    sync.Pool // *queryScratch[T]; see pool.go
 }
 
 var _ index.StatsIndex[int] = (*Tree[int])(nil)
@@ -129,21 +137,71 @@ type node[T any] struct {
 
 	// Internal node: cut1 partitions by distance to sv1 into
 	// len(cut1)+1 shells; cut2[g] partitions shell g by distance to
-	// sv2. children[g][h] indexes shell g, sub-shell h.
+	// sv2. children[g][h] indexes shell g, sub-shell h. cut1Max and
+	// cut2Max cache the largest finite shell boundary per vantage
+	// point: any query-to-vantage distance certified to exceed
+	// radius+cutMax prunes every inner shell and leaves only the
+	// unbounded outermost one, which is what lets the search pass a
+	// finite bound to the distance kernel without changing a single
+	// traversal decision.
 	cut1     []float64
 	cut2     [][]float64
 	children [][]*node[T]
+	cut1Max  float64
+	cut2Max  float64
 
 	// Leaf node: items with exact distances to the leaf vantage
 	// points (the paper's D1, D2 arrays) and the retained PATH
-	// prefix of ancestor vantage distances.
-	items []T
-	d1    []float64
-	d2    []float64
-	paths [][]float64
+	// prefix of ancestor vantage distances. PATHs live in one
+	// contiguous backing array (pathData) addressed by pathOff
+	// (len(items)+1 offsets), so the Observation-2 filter scans
+	// sequential memory instead of chasing a pointer per point.
+	// maxD1/maxD2 cache the largest stored leaf distance, the
+	// abandonment bounds for the leaf's vantage-point kernels.
+	items    []T
+	d1       []float64
+	d2       []float64
+	pathData []float64
+	pathOff  []int32
+	maxD1    float64
+	maxD2    float64
 }
 
 func (n *node[T]) isLeaf() bool { return n.children == nil }
+
+// path returns leaf point i's retained PATH prefix (a view into the
+// leaf's contiguous backing array).
+func (n *node[T]) path(i int) []float64 {
+	return n.pathData[n.pathOff[i]:n.pathOff[i+1]]
+}
+
+// setDerived recomputes the cached filter bounds (maxD1/maxD2 for
+// leaves, cut1Max/cut2Max for internal nodes) from the node's stored
+// distances. Construction and Load both route through it so the two
+// always agree.
+func (n *node[T]) setDerived() {
+	if n.isLeaf() {
+		n.maxD1, n.maxD2 = maxOf(n.d1), maxOf(n.d2)
+		return
+	}
+	n.cut1Max = maxOf(n.cut1)
+	n.cut2Max = 0
+	for _, row := range n.cut2 {
+		if m := maxOf(row); m > n.cut2Max {
+			n.cut2Max = m
+		}
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
 
 // entry carries an item and its accumulating PATH during construction.
 type entry[T any] struct {
@@ -180,7 +238,35 @@ func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tre
 	b := build.Start(dist, opts.Build)
 	t.root = t.build(b, entries, build.NewRNG(opts.Seed, 0x6d767074726565), &opts, 0)
 	t.buildStats = b.Finish()
+	if opts.FlatVectors {
+		t.flattenLeafVectors()
+	}
 	return t, t.buildStats, nil
+}
+
+// flattenLeafVectors rewrites every leaf's item vectors into one
+// contiguous arena (no-op for non-[]float64 item types).
+func (t *Tree[T]) flattenLeafVectors() {
+	var groups [][]T
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		if n.isLeaf() {
+			if len(n.items) > 0 {
+				groups = append(groups, n.items)
+			}
+			return
+		}
+		for _, row := range n.children {
+			for _, c := range row {
+				walk(c)
+			}
+		}
+	}
+	walk(t.root)
+	build.FlattenVectors(groups)
 }
 
 // Len reports the number of indexed items.
@@ -258,9 +344,9 @@ func walkShape[T any](n *node[T], s *Stats) {
 	if n.isLeaf() {
 		s.Leaves++
 		s.LeafItems += len(n.items)
-		for _, p := range n.paths {
-			if len(p) > s.MaxPathLen {
-				s.MaxPathLen = len(p)
+		for i := range n.items {
+			if l := len(n.path(i)); l > s.MaxPathLen {
+				s.MaxPathLen = l
 			}
 		}
 		return

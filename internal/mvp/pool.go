@@ -1,0 +1,64 @@
+package mvp
+
+import "mvptree/internal/heapx"
+
+// queryScratch is the per-query working state Range and KNN borrow from
+// the tree's sync.Pool so steady-state queries allocate nothing but the
+// result slice. Every buffer is reused at its high-water capacity.
+type queryScratch[T any] struct {
+	// qpath is the recursive range search's query-PATH buffer (always
+	// capacity p; the live prefix length is threaded through the
+	// recursion). qlo/qhi hold the precomputed per-level filter windows
+	// qpath[l]±r so the leaf scan compares candidates against ready-made
+	// bounds instead of re-deriving them per item.
+	qpath []float64
+	qlo   []float64
+	qhi   []float64
+	// best and queue drive best-first kNN. best is created lazily
+	// because heapx.NewKBest requires k up front; Reset re-arms it for
+	// each query's k.
+	best  *heapx.KBest[T]
+	queue heapx.NodeQueue[pendingRef[T]]
+	// arena backs the per-node query PATHs of best-first kNN: each
+	// pending node references a stable (offset, length) window instead
+	// of owning a copied slice, which removes the dominant allocation
+	// of the previous implementation.
+	arena []float64
+}
+
+// pendingRef is a queued subtree plus its query PATH as a window into
+// the scratch arena. Offsets stay valid across arena growth, unlike
+// slices into it.
+type pendingRef[T any] struct {
+	n    *node[T]
+	off  int32
+	plen int32
+}
+
+func (t *Tree[T]) getScratch() *queryScratch[T] {
+	var sc *queryScratch[T]
+	if v := t.scratch.Get(); v != nil {
+		sc = v.(*queryScratch[T])
+	} else {
+		sc = &queryScratch[T]{}
+	}
+	// The range recursion writes qpath[plen] directly, so the buffers
+	// are kept at their full length (p entries) up front.
+	if len(sc.qpath) < t.p {
+		sc.qpath = make([]float64, t.p)
+		sc.qlo = make([]float64, t.p)
+		sc.qhi = make([]float64, t.p)
+	}
+	return sc
+}
+
+// putScratch returns sc to the pool. The queue is reset here (not at
+// Get) so pooled scratch never pins tree nodes between queries.
+func (t *Tree[T]) putScratch(sc *queryScratch[T]) {
+	sc.arena = sc.arena[:0]
+	sc.queue.Reset()
+	if sc.best != nil {
+		sc.best.Reset(1) // clears retained neighbors; re-armed per query
+	}
+	t.scratch.Put(sc)
+}

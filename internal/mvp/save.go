@@ -88,7 +88,7 @@ func (t *Tree[T]) saveNode(w *wire.Writer, n *node[T], enc ItemEncoder[T]) error
 			}
 			w.Float(n.d1[i])
 			w.Float(n.d2[i])
-			w.Floats(n.paths[i])
+			w.Floats(n.path(i))
 		}
 		return w.Err()
 	}
@@ -195,16 +195,22 @@ func loadNode[T any](r *wire.Reader, dec ItemDecoder[T], depth int) (*node[T], e
 			n.items = make([]T, count)
 			n.d1 = make([]float64, count)
 			n.d2 = make([]float64, count)
-			n.paths = make([][]float64, count)
+			// PATHs go straight into the contiguous backing array; the
+			// wire format allows each item its own length (offsets, not
+			// a fixed stride), though built trees always store uniform
+			// lengths within a leaf.
+			n.pathOff = make([]int32, count+1)
 			for i := 0; i < count; i++ {
 				if n.items[i], err = item(); err != nil {
 					return nil, err
 				}
 				n.d1[i] = r.Float()
 				n.d2[i] = r.Float()
-				n.paths[i] = r.Floats()
+				n.pathData = append(n.pathData, r.Floats()...)
+				n.pathOff[i+1] = int32(len(n.pathData))
 			}
 		}
+		n.setDerived()
 		return n, r.Err()
 	case tagInternal:
 		n := &node[T]{hasSV1: true, hasSV2: true}
@@ -238,6 +244,7 @@ func loadNode[T any](r *wire.Reader, dec ItemDecoder[T], depth int) (*node[T], e
 				}
 			}
 		}
+		n.setDerived()
 		return n, r.Err()
 	default:
 		return nil, fmt.Errorf("mvp: unknown node tag %d (corrupt stream)", tag)

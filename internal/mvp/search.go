@@ -17,6 +17,15 @@ type SearchStats = index.SearchStats
 // distances to the first p vantage points are recorded in qpath and used
 // at the leaves to filter points through their stored PATH arrays before
 // any real distance computation.
+//
+// Distance computations whose outcome is only ever compared against a
+// threshold go through the metric's early-abandoning fast path when one
+// is attached (metric.Counter.DistanceUpTo): candidate scans abandon at
+// the radius, leaf vantage points at radius+maxD, and internal vantage
+// points — once the query PATH is full, so no abandoned value can leak
+// into it — at radius+cutMax. Every bound is chosen so an abandoned
+// kernel forces exactly the decisions the exact kernel would have made;
+// results, distance counts and per-query stats are identical either way.
 func (t *Tree[T]) Range(q T, r float64) []T {
 	out, _ := t.RangeWithStats(q, r)
 	return out
@@ -32,41 +41,57 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		return nil, s
 	}
 	var out []T
-	qpath := make([]float64, 0, t.p)
-	t.rangeNode(t.root, q, r, qpath, &out, &s)
+	sc := t.getScratch()
+	t.rangeNode(t.root, q, r, 0, sc, &out, &s)
+	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, plen int, sc *queryScratch[T], out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
 	s.NodesVisited++
 	t.TraceNode(n.isLeaf())
 	if n.isLeaf() {
-		t.rangeLeaf(n, q, r, qpath, out, s)
+		t.rangeLeaf(n, q, r, plen, sc, out, s)
 		return
 	}
 
 	// Step 3.1: one distance computation per vantage point serves every
 	// child shell (this is the mvp-tree's first saving over the vp-tree).
-	d1 := t.dist.Distance(q, n.sv1)
-	s.VantagePoints++
+	// While the query PATH is still filling, the distances must be exact
+	// because they are recorded in it; once it is full they are only
+	// compared against shell boundaries ≤ cutMax and the radius, so the
+	// kernel may abandon past r+cutMax without changing any decision.
+	var d1, d2 float64
+	if plen >= t.p {
+		d1 = t.dist.DistanceUpTo(q, n.sv1, r+n.cut1Max)
+		d2 = t.dist.DistanceUpTo(q, n.sv2, r+n.cut2Max)
+	} else {
+		d1 = t.dist.Distance(q, n.sv1)
+		d2 = t.dist.Distance(q, n.sv2)
+	}
+	s.VantagePoints += 2
+	t.TraceDistance(2)
 	if d1 <= r {
 		*out = append(*out, n.sv1)
 	}
-	d2 := t.dist.Distance(q, n.sv2)
-	s.VantagePoints++
-	t.TraceDistance(2)
 	if d2 <= r {
 		*out = append(*out, n.sv2)
 	}
-	if len(qpath) < t.p {
-		qpath = append(qpath, d1)
-		if len(qpath) < t.p {
-			qpath = append(qpath, d2)
+	if plen < t.p {
+		sc.qpath[plen] = d1
+		sc.qlo[plen] = d1 - r
+		sc.qhi[plen] = d1 + r
+		plen++
+		if plen < t.p {
+			sc.qpath[plen] = d2
+			sc.qlo[plen] = d2 - r
+			sc.qhi[plen] = d2 + r
+			plen++
 		}
 	}
 
@@ -89,7 +114,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 				t.TracePrune(obs.FilterShell, 1)
 				continue
 			}
-			t.rangeNode(c, q, r, qpath, out, s)
+			t.rangeNode(c, q, r, plen, sc, out, s)
 		}
 	}
 }
@@ -97,54 +122,100 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 // rangeLeaf implements step 2 of the search algorithm: filter each leaf
 // point through its exact distances to the leaf vantage points (D1, D2)
 // and through its PATH prefix, computing the real distance only for
-// survivors.
-func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, qpath []float64, out *[]T, s *SearchStats) {
+// survivors — and only up to r, since membership is all that matters.
+func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, plen int, sc *queryScratch[T], out *[]T, s *SearchStats) {
 	s.LeavesVisited++
 	if !n.hasSV1 {
 		return
 	}
-	d1 := t.dist.Distance(q, n.sv1)
+	// Every distance in a leaf — the two vantage points and the
+	// surviving candidates — is threshold-only, so all of them go
+	// through the uncounted kernel and the whole batch is settled on the
+	// counter once at the end (totals match per-call accounting).
+	kernel := t.dist.Kernel()
+	// A vantage distance certified to exceed r+maxD guarantees every
+	// stored distance fails the |d−D| ≤ r window, so the kernel may
+	// abandon there: the same points get filtered, just cheaper.
+	d1 := kernel(q, n.sv1, r+n.maxD1)
 	s.VantagePoints++
 	t.TraceDistance(1)
 	if d1 <= r {
 		*out = append(*out, n.sv1)
 	}
+	vantages := 1
 	var d2 float64
 	if n.hasSV2 {
-		d2 = t.dist.Distance(q, n.sv2)
+		d2 = kernel(q, n.sv2, r+n.maxD2)
+		vantages = 2
 		s.VantagePoints++
 		t.TraceDistance(1)
 		if d2 <= r {
 			*out = append(*out, n.sv2)
 		}
 	}
+	// The candidate loop is the hottest code in the tree: hoist the
+	// filter windows and slice headers, keep the stage tallies in
+	// locals, and report stats and trace events once per leaf (the same
+	// batching rangeNode applies to shell pruning — totals are
+	// identical, only the event granularity coarsens).
+	d1lo, d1hi := d1-r, d1+r
+	d2lo, d2hi := d2-r, d2+r
+	items := n.items
+	d1s := n.d1[:len(items)] // len(d1)==len(items): lets the compiler drop the d1s[i] bounds check
+	d2s := n.d2
+	hasSV2 := n.hasSV2
+	if hasSV2 {
+		d2s = d2s[:len(items)]
+	}
+	qlo := sc.qlo[:plen]
+	qhi := sc.qhi[:plen]
+	var filteredD, filteredPath, computed int
 items:
-	for i, it := range n.items {
-		s.Candidates++
+	for i := range items {
 		// |d(Q,SV) − d(Si,SV)| > r ⟹ d(Q,Si) > r by the triangle
-		// inequality; likewise for every retained PATH entry.
-		if n.d1[i] < d1-r || n.d1[i] > d1+r {
-			s.FilteredByD++
-			t.TracePrune(obs.FilterD, 1)
+		// inequality; likewise for every retained PATH entry. The D2
+		// window only applies when the leaf actually has a second
+		// vantage point (a single-vantage leaf stores no D2 distances,
+		// and d2 would be a meaningless zero).
+		if x := d1s[i]; x < d1lo || x > d1hi {
+			filteredD++
 			continue
 		}
-		if n.d2[i] < d2-r || n.d2[i] > d2+r {
-			s.FilteredByD++
-			t.TracePrune(obs.FilterD, 1)
-			continue
+		if hasSV2 {
+			if x := d2s[i]; x < d2lo || x > d2hi {
+				filteredD++
+				continue
+			}
 		}
-		path := n.paths[i]
-		for l := 0; l < len(path) && l < len(qpath); l++ {
-			if path[l] < qpath[l]-r || path[l] > qpath[l]+r {
-				s.FilteredByPath++
-				t.TracePrune(obs.FilterPath, 1)
+		path := n.pathData[n.pathOff[i]:n.pathOff[i+1]]
+		if len(path) > plen {
+			path = path[:plen]
+		}
+		// Ranging over the window slice lets the compiler drop the
+		// path[l] bounds check (len(path) ≤ plen by the clamp above).
+		for l, lo := range qlo[:len(path)] {
+			if pd := path[l]; pd < lo || pd > qhi[l] {
+				filteredPath++
 				continue items
 			}
 		}
-		s.Computed++
-		t.TraceDistance(1)
-		if t.dist.Distance(q, it) <= r {
-			*out = append(*out, it)
+		computed++
+		if kernel(q, items[i], r) <= r {
+			*out = append(*out, items[i])
 		}
+	}
+	t.dist.Add(int64(vantages + computed))
+	s.Candidates += len(items)
+	s.FilteredByD += filteredD
+	s.FilteredByPath += filteredPath
+	s.Computed += computed
+	if filteredD > 0 {
+		t.TracePrune(obs.FilterD, filteredD)
+	}
+	if filteredPath > 0 {
+		t.TracePrune(obs.FilterPath, filteredPath)
+	}
+	if computed > 0 {
+		t.TraceDistance(computed)
 	}
 }

@@ -28,7 +28,7 @@ func (t *Tree[T]) validateNode(n *node[T], ancestors []T) error {
 			if got := t.dist.Distance(it, n.sv2); got != n.d2[i] {
 				return fmt.Errorf("mvp: leaf D2[%d] = %g, metric now yields %g", i, n.d2[i], got)
 			}
-			path := n.paths[i]
+			path := n.path(i)
 			if len(path) > t.p {
 				return fmt.Errorf("mvp: PATH length %d exceeds p = %d", len(path), t.p)
 			}

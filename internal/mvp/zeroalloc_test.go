@@ -1,0 +1,141 @@
+package mvp
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"mvptree/internal/metric"
+)
+
+func uniformItems(seed uint64, n, dim int) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+	items := make([][]float64, n)
+	for i := range items {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		items[i] = v
+	}
+	return items
+}
+
+// TestSteadyStateQueryAllocations pins the PR's zero-alloc serving claim
+// absolutely: once the scratch pool is warm, a range query that returns
+// nothing performs zero heap allocations, and a kNN query performs at
+// most one — the result slice handed to the caller. (AllocsPerRun runs
+// the body once before measuring, which warms the pool.)
+func TestSteadyStateQueryAllocations(t *testing.T) {
+	items := uniformItems(13, 2000, 8)
+	tree, err := New(items, metric.NewCounter(metric.L2),
+		Options{Partitions: 3, LeafCapacity: 40, PathLength: 4, Build: Build{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Far outside [0,1]^8: every point is at distance > 200, so a small
+	// radius returns nothing and the result slice is never allocated.
+	far := []float64{100, 100, 100, 100, 100, 100, 100, 100}
+	near := items[17]
+
+	// Warm the pool and sanity-check the workload shape.
+	if got := tree.Range(far, 0.5); len(got) != 0 {
+		t.Fatalf("far query returned %d results, want 0", len(got))
+	}
+	if got := tree.KNN(near, 10); len(got) != 10 {
+		t.Fatalf("KNN returned %d results, want 10", len(got))
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() { tree.Range(far, 0.5) }); allocs != 0 {
+		t.Errorf("empty-result Range allocated %.1f times per query, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { tree.KNN(near, 10) }); allocs > 1 {
+		t.Errorf("KNN allocated %.1f times per query, want <= 1 (the result slice)", allocs)
+	}
+	// Stats variants share the same pooled traversal.
+	if allocs := testing.AllocsPerRun(200, func() { tree.RangeWithStats(far, 0.5) }); allocs != 0 {
+		t.Errorf("empty-result RangeWithStats allocated %.1f times per query, want 0", allocs)
+	}
+}
+
+// TestSingleVantageLeafFiltering is the regression test for the leaf
+// scan's D2-filter guard: a leaf that stores items but has no second
+// vantage point (possible via Load; the builder always promotes one)
+// must skip the D2 window entirely — d2 is a meaningless zero there and
+// n.d2 is empty — and still answer exactly like a linear scan.
+func TestSingleVantageLeafFiltering(t *testing.T) {
+	pts := uniformItems(29, 24, 6)
+	sv1 := pts[0]
+	rest := pts[1:]
+
+	n := &node[[]float64]{sv1: sv1, hasSV1: true}
+	n.items = rest
+	n.d1 = make([]float64, len(rest))
+	for i, it := range rest {
+		n.d1[i] = metric.L2(sv1, it)
+	}
+	n.pathOff = make([]int32, len(rest)+1) // empty PATHs
+	n.setDerived()
+
+	dist := metric.NewCounter(metric.L2)
+	tree := &Tree[[]float64]{root: n, dist: dist, size: len(pts), m: 2, k: len(rest), p: 0}
+
+	q := pts[5]
+	for _, r := range []float64{0, 0.3, 0.8, 2.5} {
+		var want []float64 // sorted distances of the expected result set
+		for _, it := range pts {
+			if d := metric.L2(q, it); d <= r {
+				want = append(want, d)
+			}
+		}
+		sort.Float64s(want)
+		before := dist.Count()
+		got, s := tree.RangeWithStats(q, r)
+		delta := dist.Count() - before
+
+		gotD := make([]float64, len(got))
+		for i, it := range got {
+			gotD[i] = metric.L2(q, it)
+		}
+		sort.Float64s(gotD)
+		if len(gotD) != len(want) {
+			t.Fatalf("r=%v: got %d results, want %d", r, len(gotD), len(want))
+		}
+		for i := range want {
+			if gotD[i] != want[i] {
+				t.Fatalf("r=%v: result distance %v != expected %v", r, gotD[i], want[i])
+			}
+		}
+		if s.VantagePoints != 1 {
+			t.Errorf("r=%v: VantagePoints = %d, want 1 (no second vantage point)", r, s.VantagePoints)
+		}
+		if s.Candidates != len(rest) {
+			t.Errorf("r=%v: Candidates = %d, want %d", r, s.Candidates, len(rest))
+		}
+		if want := int64(s.VantagePoints + s.Computed); delta != want {
+			t.Errorf("r=%v: counter delta = %d, want VantagePoints+Computed = %d", r, delta, want)
+		}
+	}
+
+	// kNN over the same single-vantage leaf must match brute force too.
+	for _, k := range []int{1, 5, len(pts)} {
+		all := make([]float64, len(pts))
+		for i, it := range pts {
+			all[i] = metric.L2(q, it)
+		}
+		sort.Float64s(all)
+		got, s := tree.KNNWithStats(q, k)
+		if len(got) != min(k, len(pts)) {
+			t.Fatalf("k=%d: got %d neighbors, want %d", k, len(got), min(k, len(pts)))
+		}
+		for i, nb := range got {
+			if nb.Dist != all[i] {
+				t.Fatalf("k=%d: neighbor %d dist %v, want %v", k, i, nb.Dist, all[i])
+			}
+		}
+		if s.VantagePoints != 1 {
+			t.Errorf("k=%d: VantagePoints = %d, want 1", k, s.VantagePoints)
+		}
+	}
+}

@@ -175,6 +175,7 @@ func loadNode[T any](r *wire.Reader, dec ItemDecoder[T], depth int) (*node[T], e
 				return nil, err
 			}
 		}
+		n.setDerived()
 		return n, r.Err()
 	default:
 		return nil, fmt.Errorf("vptree: unknown node tag %d (corrupt stream)", tag)

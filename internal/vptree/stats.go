@@ -16,8 +16,37 @@ import (
 // computation.
 type SearchStats = index.SearchStats
 
+// knnScratch is the pooled best-first traversal state, so steady-state
+// KNN allocates nothing but the result slice.
+type knnScratch[T any] struct {
+	best  *heapx.KBest[T]
+	queue heapx.NodeQueue[*node[T]]
+}
+
+func (t *Tree[T]) getScratch() *knnScratch[T] {
+	if v := t.scratch.Get(); v != nil {
+		return v.(*knnScratch[T])
+	}
+	return &knnScratch[T]{}
+}
+
+func (t *Tree[T]) putScratch(sc *knnScratch[T]) {
+	sc.queue.Reset()
+	if sc.best != nil {
+		sc.best.Reset(1) // clears retained neighbors; re-armed per query
+	}
+	t.scratch.Put(sc)
+}
+
 // RangeWithStats is Range plus the per-query breakdown. It is the only
 // range traversal implementation — Range delegates here.
+//
+// Both distance roles are threshold-only, so both use the metric's
+// early-abandoning fast path when one is attached: leaf candidates only
+// need membership (bound r), and a vantage distance certified past
+// r+cutMax prunes every bounded shell and visits the unbounded
+// outermost one — exactly what the exact distance would do. Results,
+// distance counts and stats are identical with or without the fast path.
 func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 	span := t.StartQuery(obs.KindRange)
 	var s SearchStats
@@ -40,17 +69,23 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 	t.TraceNode(n.leaf)
 	if n.leaf {
 		s.LeavesVisited++
+		// Candidate distances go through the uncounted kernel and the
+		// batch is settled once — the count matches per-call accounting.
+		kernel := t.dist.Kernel()
 		for _, it := range n.items {
-			s.Candidates++
-			s.Computed++
-			t.TraceDistance(1)
-			if t.dist.Distance(q, it) <= r {
+			if kernel(q, it, r) <= r {
 				*out = append(*out, it)
 			}
 		}
+		t.dist.Add(int64(len(n.items)))
+		s.Candidates += len(n.items)
+		s.Computed += len(n.items)
+		if len(n.items) > 0 {
+			t.TraceDistance(len(n.items))
+		}
 		return
 	}
-	d := t.dist.Distance(q, n.vantage)
+	d := t.dist.DistanceUpTo(q, n.vantage, r+n.cutMax)
 	s.VantagePoints++
 	t.TraceDistance(1)
 	if d <= r {
@@ -68,7 +103,10 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 }
 
 // KNNWithStats is KNN plus the per-query breakdown. It is the only
-// best-first kNN traversal implementation — KNN delegates here.
+// best-first kNN traversal implementation — KNN delegates here. The
+// abandonment bounds mirror RangeWithStats with the live k-th best
+// distance τ in place of r (+Inf until the heap fills), and the heap
+// and node queue come from the tree's pool.
 func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 	span := t.StartQuery(obs.KindKNN)
 	var s SearchStats
@@ -76,8 +114,13 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		span.Done(&s)
 		return nil, s
 	}
-	best := heapx.NewKBest[T](k)
-	var queue heapx.NodeQueue[*node[T]]
+	sc := t.getScratch()
+	if sc.best == nil {
+		sc.best = heapx.NewKBest[T](k)
+	} else {
+		sc.best.Reset(k)
+	}
+	best, queue := sc.best, &sc.queue
 	queue.PushNode(t.root, 0)
 	for {
 		n, bound, ok := queue.PopNode()
@@ -91,15 +134,20 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		t.TraceNode(n.leaf)
 		if n.leaf {
 			s.LeavesVisited++
+			// Uncounted kernel + one batched settle, as in the range scan.
+			kernel := t.dist.Kernel()
 			for _, it := range n.items {
-				s.Candidates++
-				s.Computed++
-				t.TraceDistance(1)
-				best.Push(it, t.dist.Distance(q, it))
+				best.Push(it, kernel(q, it, best.Threshold()))
+			}
+			t.dist.Add(int64(len(n.items)))
+			s.Candidates += len(n.items)
+			s.Computed += len(n.items)
+			if len(n.items) > 0 {
+				t.TraceDistance(len(n.items))
 			}
 			continue
 		}
-		d := t.dist.Distance(q, n.vantage)
+		d := t.dist.DistanceUpTo(q, n.vantage, best.Threshold()+n.cutMax)
 		best.Push(n.vantage, d)
 		s.VantagePoints++
 		t.TraceDistance(1)
@@ -123,6 +171,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		}
 	}
 	out := best.Sorted()
+	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s

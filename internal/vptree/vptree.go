@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"mvptree/internal/build"
 	"mvptree/internal/index"
@@ -70,6 +71,12 @@ type Options struct {
 	// points each. Defaults are 5 and 20. Ignored for SelectRandom.
 	Candidates int
 	SampleSize int
+	// FlatVectors, for []float64 items only, copies every leaf's
+	// vectors into one contiguous arena after construction so leaf
+	// scans read sequential memory. Results, distance counts and the
+	// serialized form are unaffected; silently ignored for non-vector
+	// item types.
+	FlatVectors bool
 }
 
 func (o *Options) setDefaults() {
@@ -113,18 +120,36 @@ type Tree[T any] struct {
 	size       int
 	order      int
 	buildStats build.Stats
+	scratch    sync.Pool // *knnScratch[T]; see stats.go
 }
 
 var _ index.StatsIndex[int] = (*Tree[int])(nil)
 
 type node[T any] struct {
-	// Internal node fields. vantage is a real data point.
+	// Internal node fields. vantage is a real data point. cutMax
+	// caches the largest shell boundary: a query-to-vantage distance
+	// certified to exceed radius+cutMax prunes every bounded shell and
+	// visits only the unbounded outermost one, so the search can hand
+	// the distance kernel a finite abandonment bound without changing
+	// any traversal decision.
 	vantage  T
 	cutoffs  []float64 // order-1 ascending boundaries between shells
 	children []*node[T]
+	cutMax   float64
 	// Leaf node fields.
 	leaf  bool
 	items []T
+}
+
+// setDerived recomputes the cached abandonment bound from the stored
+// cutoffs; construction and Load both route through it.
+func (n *node[T]) setDerived() {
+	n.cutMax = 0
+	for _, c := range n.cutoffs {
+		if c > n.cutMax {
+			n.cutMax = c
+		}
+	}
 }
 
 // New builds a vp-tree over items using the counted metric dist. The
@@ -148,7 +173,33 @@ func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tre
 	b := build.Start(dist, opts.Build)
 	t.root = t.build(b, work, build.NewRNG(opts.Seed, 0x767074726565), &opts, 0)
 	t.buildStats = b.Finish()
+	if opts.FlatVectors {
+		t.flattenLeafVectors()
+	}
 	return t, t.buildStats, nil
+}
+
+// flattenLeafVectors rewrites every leaf's item vectors into one
+// contiguous arena (no-op for non-[]float64 item types).
+func (t *Tree[T]) flattenLeafVectors() {
+	var groups [][]T
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			if len(n.items) > 0 {
+				groups = append(groups, n.items)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	build.FlattenVectors(groups)
 }
 
 // build consumes work (it reorders and slices it freely). src is the
@@ -206,6 +257,7 @@ func (t *Tree[T]) build(b *build.Builder[T], work []T, src build.RNG, opts *Opti
 			n.cutoffs[g] = (ds[ord[hi-1]] + ds[ord[hi]]) / 2
 		}
 	}
+	n.setDerived()
 	b.Fork(m, func(g int) {
 		n.children[g] = t.build(b, groupsOut[g], src.Child(g), opts, depth+1)
 	})

@@ -8,6 +8,34 @@ import (
 // Built-in metrics. Each satisfies the metric axioms; see CheckAxioms
 // for validating your own.
 
+// The facade wrappers below are distinct top-level functions from the
+// internal kernels they delegate to, so they carry their own code
+// pointers. Register their bounded (early-abandoning) counterparts so a
+// Counter built over e.g. mvptree.L2 picks up the threshold-aware fast
+// path exactly as one built over metric.L2 would.
+func init() {
+	metric.RegisterBounded(L1, metric.L1UpTo)
+	metric.RegisterBounded(L2, metric.L2UpTo)
+	metric.RegisterBounded(LInf, metric.LInfUpTo)
+	metric.RegisterBounded(Canberra, metric.CanberraUpTo)
+	metric.RegisterBounded(EditDistance, metric.EditUpTo)
+	metric.RegisterBounded(HammingDistance, metric.HammingUpTo)
+}
+
+// BoundedDistanceFunc computes d(a,b) with permission to stop early once
+// the running value exceeds bound; see metric.BoundedDistanceFunc for
+// the exact contract. Indexes probe for one when wrapping a metric in a
+// Counter and use it on query paths where a distance only has to be
+// compared against a threshold.
+type BoundedDistanceFunc[T any] = metric.BoundedDistanceFunc[T]
+
+// RegisterBounded associates a bounded kernel with a top-level distance
+// function so Counters over fn (built afterwards) use it automatically.
+// For closures, use Counter.SetBounded instead.
+func RegisterBounded[T any](fn DistanceFunc[T], bounded BoundedDistanceFunc[T]) {
+	metric.RegisterBounded(fn, bounded)
+}
+
 // L1 is the Manhattan distance on float64 vectors.
 func L1(a, b []float64) float64 { return metric.L1(a, b) }
 
