@@ -1,0 +1,126 @@
+// Command benchguard is the CI benchmark-regression gate: it compares a
+// fresh `mvpbench -queryjson` report against the querybench section of
+// the committed BENCH_query.json baseline and exits nonzero if the
+// mvp-tree's range or kNN serving time regressed by more than the
+// threshold.
+//
+// Both sides are measured with the same querybench methodology
+// (QueryBenchStudy: warm-up pass, then QueryBenchRounds timed passes on
+// one goroutine), so the comparison is apples-to-apples; the go_bench
+// rows in the baseline come from `go test -bench` and are reported for
+// humans, not compared here. Wall-clock benchmarks on shared CI runners
+// are noisy, which is why the default threshold is a generous 20% and
+// why only a regression fails the gate — improvements and noise in the
+// fast direction always pass.
+//
+// Usage:
+//
+//	go run ./cmd/mvpbench -experiment querybench -queryjson fresh.json
+//	go run ./cmd/benchguard -baseline BENCH_query.json -fresh fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mvptree/internal/experiments"
+)
+
+// baselineFile is the committed artifact's shape: the querybench report
+// is nested under "querybench" next to prose and go_bench rows.
+type baselineFile struct {
+	BaselineCommit string                       `json:"baseline_commit"`
+	Querybench     experiments.QueryBenchReport `json:"querybench"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_query.json", "committed baseline artifact (querybench section is compared)")
+	freshPath := flag.String("fresh", "", "fresh report written by mvpbench -queryjson (required)")
+	structure := flag.String("structure", "mvpt(", "structure-name prefix to guard")
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional ns/op regression before failing")
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -fresh is required")
+		os.Exit(2)
+	}
+
+	var base baselineFile
+	if err := readJSON(*baselinePath, &base); err != nil {
+		fatal(err)
+	}
+	var fresh experiments.QueryBenchReport
+	if err := readJSON(*freshPath, &fresh); err != nil {
+		fatal(err)
+	}
+
+	baseRow, err := findRow(base.Querybench.Rows, *structure, *baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	freshRow, err := findRow(fresh.Rows, *structure, *freshPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if base.Querybench.N != fresh.N || base.Querybench.Dim != fresh.Dim ||
+		base.Querybench.Queries != fresh.Queries {
+		fatal(fmt.Errorf("workload mismatch: baseline n=%d dim=%d queries=%d vs fresh n=%d dim=%d queries=%d (rerun mvpbench with the baseline's workload flags)",
+			base.Querybench.N, base.Querybench.Dim, base.Querybench.Queries,
+			fresh.N, fresh.Dim, fresh.Queries))
+	}
+
+	ok := true
+	ok = check("RangeMVP", baseRow.RangeNsPerOp, freshRow.RangeNsPerOp, *threshold) && ok
+	ok = check("KNNMVP", baseRow.KNNNsPerOp, freshRow.KNNNsPerOp, *threshold) && ok
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL (baseline %s, commit %s)\n", *baselinePath, base.BaselineCommit)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// check prints one comparison line and reports whether fresh is within
+// threshold of base. A zero or negative baseline cannot be compared and
+// fails loudly rather than dividing by it.
+func check(name string, base, fresh, threshold float64) bool {
+	if base <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s baseline ns/op is %.1f, cannot compare\n", name, base)
+		return false
+	}
+	delta := (fresh - base) / base
+	status := "ok"
+	if delta > threshold {
+		status = fmt.Sprintf("REGRESSION (> %.0f%%)", threshold*100)
+	}
+	fmt.Printf("%-9s baseline %12.1f ns/op   fresh %12.1f ns/op   %+6.1f%%   %s\n",
+		name, base, fresh, delta*100, status)
+	return delta <= threshold
+}
+
+func findRow(rows []experiments.QueryBenchRow, prefix, path string) (*experiments.QueryBenchRow, error) {
+	for i := range rows {
+		if strings.HasPrefix(rows[i].Structure, prefix) {
+			return &rows[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no querybench row with structure prefix %q", path, prefix)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -13,13 +13,15 @@
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 claims
 // ablation-p ablation-k ablation-sv2 ablation-v knn structures words
-// build approx filters telemetry querybench all.
+// build approx filters telemetry querybench shardbench all.
 //
 // -obsjson FILE writes the telemetry experiment's per-structure
 // observer snapshots (latency and distance-count histograms, filter
 // counters) as a JSON artifact; -queryjson FILE writes the querybench
 // experiment's per-structure serving costs (ns/op, distances/query,
-// allocs/op); -cpuprofile/-memprofile write pprof profiles of the run.
+// allocs/op); -shardjson FILE writes the shardbench experiment's
+// sharded-serving scaling report (-shards and -queryworkers set its
+// sweeps); -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -65,6 +67,9 @@ func run(out io.Writer, args []string) error {
 		buildJSON    = fs.String("buildjson", "", "write the build experiment's per-structure stats as JSON to this file (adds the build experiment if not selected)")
 		obsJSON      = fs.String("obsjson", "", "write the telemetry experiment's per-structure observer snapshots as JSON to this file (adds the telemetry experiment if not selected)")
 		queryJSON    = fs.String("queryjson", "", "write the querybench experiment's per-structure serving costs (ns/op, distances/query, allocs/op) as JSON to this file (adds the querybench experiment if not selected)")
+		shards       = fs.String("shards", "", "comma-separated shard counts for the shardbench experiment (default 1,2,4,8)")
+		queryWorkers = fs.String("queryworkers", "", "comma-separated intra-query fan-out worker counts for the shardbench experiment (default 1,2,4,8)")
+		shardJSON    = fs.String("shardjson", "", "write the shardbench experiment's scaling report as JSON to this file (adds the shardbench experiment if not selected)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
@@ -133,6 +138,20 @@ func run(out io.Writer, args []string) error {
 	if *workers > 1 {
 		cfg.QueryWorkers = *workers
 	}
+	if *shards != "" {
+		list, err := parseIntList(*shards)
+		if err != nil {
+			return fmt.Errorf("-shards: %w", err)
+		}
+		cfg.ShardCounts = list
+	}
+	if *queryWorkers != "" {
+		list, err := parseIntList(*queryWorkers)
+		if err != nil {
+			return fmt.Errorf("-queryworkers: %w", err)
+		}
+		cfg.ShardQueryWorkers = list
+	}
 	if *buildWorkers > 1 {
 		cfg.BuildWorkers = *buildWorkers
 	}
@@ -151,7 +170,7 @@ func run(out io.Writer, args []string) error {
 	if *experiment == "all" {
 		ids = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench"}
+			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench"}
 	}
 	if *buildJSON != "" && !containsID(ids, "build") {
 		ids = append(ids, "build")
@@ -162,12 +181,28 @@ func run(out io.Writer, args []string) error {
 	if *queryJSON != "" && !containsID(ids, "querybench") {
 		ids = append(ids, "querybench")
 	}
+	if *shardJSON != "" && !containsID(ids, "shardbench") {
+		ids = append(ids, "shardbench")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func containsID(ids []string, want string) bool {
@@ -225,7 +260,15 @@ func writeQueryJSON(path string, rep *experiments.QueryBenchReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON string) error {
+func writeShardJSON(path string, rep *experiments.ShardBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -308,6 +351,15 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSO
 		if err == nil && queryJSON != "" {
 			err = writeQueryJSON(queryJSON, rep)
 		}
+	case "shardbench":
+		var rep *experiments.ShardBenchReport
+		rep, err = experiments.ShardBenchStudy(cfg)
+		if err == nil {
+			err = experiments.WriteShardBench(out, rep)
+		}
+		if err == nil && shardJSON != "" {
+			err = writeShardJSON(shardJSON, rep)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -343,6 +395,7 @@ func describe(id string) string {
 		"filters":      "extension: leaf-filter breakdown (Observations 1 & 2 measured)",
 		"telemetry":    "extension: per-structure query telemetry (observer snapshots)",
 		"querybench":   "extension: serving hot-path cost (ns/op, distances, allocs per query)",
+		"shardbench":   "extension: sharded serving scaling (shards × intra-query workers)",
 	}
 	if d, ok := descriptions[id]; ok {
 		return d

@@ -244,9 +244,9 @@ func TestBatchExecutorPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	tree.Counter().Reset()
-	seqRes, seqStats := mvptree.BatchRange[[]float64](tree, queries, 0.5, mvptree.BatchOptions{Workers: 1})
+	seqRes, seqStats, _ := mvptree.BatchRange[[]float64](tree, queries, 0.5, mvptree.BatchOptions{Workers: 1})
 	tree.Counter().Reset()
-	parRes, parStats := mvptree.BatchRange[[]float64](tree, queries, 0.5, mvptree.BatchOptions{Workers: 8})
+	parRes, parStats, _ := mvptree.BatchRange[[]float64](tree, queries, 0.5, mvptree.BatchOptions{Workers: 8})
 	if seqStats.Distances != parStats.Distances {
 		t.Errorf("batch cost %d with 1 worker, %d with 8", seqStats.Distances, parStats.Distances)
 	}
@@ -264,7 +264,7 @@ func TestBatchExecutorPublicAPI(t *testing.T) {
 			t.Errorf("query %d: %d results sequential, %d parallel", i, len(seqRes[i]), len(parRes[i]))
 		}
 	}
-	if _, stats := mvptree.BatchKNN[[]float64](tree, queries, 5, mvptree.BatchOptions{Workers: 4}); !stats.HasSearch {
+	if _, stats, _ := mvptree.BatchKNN[[]float64](tree, queries, 5, mvptree.BatchOptions{Workers: 4}); !stats.HasSearch {
 		t.Error("BatchKNN over an mvp-tree should aggregate SearchStats")
 	}
 }

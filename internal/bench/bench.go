@@ -84,7 +84,7 @@ func RunRange[T any](items, queries []T, distFn metric.DistanceFunc[T],
 	qw, bw := optWorkers(workers)
 	return run(items, queries, distFn, structures, radii, seeds, qw, bw, "r",
 		func(idx index.Index[T], qs []T, r float64, w int) []int {
-			res, _ := qexec.RunRange(idx, qs, r, qexec.Options{Workers: w})
+			res, _, _ := qexec.RunRange(idx, qs, r, qexec.Options{Workers: w})
 			return resultCounts(res)
 		})
 }
@@ -100,7 +100,7 @@ func RunKNN[T any](items, queries []T, distFn metric.DistanceFunc[T],
 	qw, bw := optWorkers(workers)
 	return run(items, queries, distFn, structures, vals, seeds, qw, bw, "k",
 		func(idx index.Index[T], qs []T, k float64, w int) []int {
-			res, _ := qexec.RunKNN(idx, qs, int(k), qexec.Options{Workers: w})
+			res, _, _ := qexec.RunKNN(idx, qs, int(k), qexec.Options{Workers: w})
 			return resultCounts(res)
 		})
 }

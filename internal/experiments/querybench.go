@@ -41,13 +41,13 @@ type QueryBenchRow struct {
 // per-structure serving cost of the uniform vector workload plus the
 // run configuration needed to interpret it.
 type QueryBenchReport struct {
-	N       int              `json:"n"`
-	Dim     int              `json:"dim"`
-	Queries int              `json:"queries"`
-	Rounds  int              `json:"rounds"`
-	Radius  float64          `json:"radius"`
-	K       int              `json:"k"`
-	Rows    []QueryBenchRow  `json:"structures"`
+	N       int             `json:"n"`
+	Dim     int             `json:"dim"`
+	Queries int             `json:"queries"`
+	Rounds  int             `json:"rounds"`
+	Radius  float64         `json:"radius"`
+	K       int             `json:"k"`
+	Rows    []QueryBenchRow `json:"structures"`
 }
 
 // QueryBenchStudy measures the serving hot path per structure: it

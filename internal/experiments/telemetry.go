@@ -25,23 +25,23 @@ var (
 // whole workload: the full Observer snapshot plus the wall time of the
 // two query batches.
 type TelemetryEntry struct {
-	Structure string       `json:"structure"`
-	BuildCost int64        `json:"build_cost"`
+	Structure string        `json:"structure"`
+	BuildCost int64         `json:"build_cost"`
 	RangeWall time.Duration `json:"range_wall_ns"`
 	KNNWall   time.Duration `json:"knn_wall_ns"`
-	Snapshot  obs.Snapshot `json:"snapshot"`
+	Snapshot  obs.Snapshot  `json:"snapshot"`
 }
 
 // TelemetryReport is the artifact cmd/mvpbench -obsjson writes: the
 // per-structure query telemetry of the uniform vector workload, with
 // the run configuration needed to interpret it.
 type TelemetryReport struct {
-	N       int     `json:"n"`
-	Dim     int     `json:"dim"`
-	Queries int     `json:"queries"`
-	Workers int     `json:"workers"`
-	Radius  float64 `json:"radius"`
-	K       int     `json:"k"`
+	N          int              `json:"n"`
+	Dim        int              `json:"dim"`
+	Queries    int              `json:"queries"`
+	Workers    int              `json:"workers"`
+	Radius     float64          `json:"radius"`
+	K          int              `json:"k"`
 	Structures []TelemetryEntry `json:"structures"`
 }
 
@@ -81,8 +81,14 @@ func TelemetryStudy(c Config) (*TelemetryReport, error) {
 		}
 		o := obs.NewObserver(workers)
 		opts := qexec.Options{Workers: workers, Observer: o}
-		_, rstats := qexec.RunRange(idx, queries, TelemetryRadius, opts)
-		_, kstats := qexec.RunKNN(idx, queries, TelemetryK, opts)
+		_, rstats, err := qexec.RunRange(idx, queries, TelemetryRadius, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: range batch: %w", st.Name, err)
+		}
+		_, kstats, err := qexec.RunKNN(idx, queries, TelemetryK, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: knn batch: %w", st.Name, err)
+		}
 		rep.Structures = append(rep.Structures, TelemetryEntry{
 			Structure: st.Name,
 			BuildCost: bs.Distances,

@@ -1,0 +1,67 @@
+package index
+
+// This file defines the two optional capability interfaces behind the
+// sharded/parallel serving layer (internal/shard, qexec): intra-query
+// parallel range traversal and externally-bounded kNN. They are
+// deliberately separate from StatsIndex — structures opt in per
+// capability, and callers probe with a type assertion exactly as they
+// do for StatsIndex.
+
+// ParallelRangeIndex is implemented by structures whose range search
+// can answer a single query with several goroutines: the traversal
+// plans a frontier of independent subtrees sequentially, forks them to
+// a bounded worker pool, and stitches the per-subtree outputs back in
+// traversal order.
+//
+// The contract is strict determinism: for every workers value
+// (including 1) the result slice is byte-identical to Range(q, r) —
+// same items, same order — and the SearchStats (and therefore the
+// distance-computation count) are identical too. Parallelism trades
+// wall-clock time only, never the paper's cost metric.
+type ParallelRangeIndex[T any] interface {
+	StatsIndex[T]
+
+	// RangeParallelWithStats answers one range query using up to
+	// workers goroutines (values <= 1 fall back to the sequential
+	// traversal).
+	RangeParallelWithStats(q T, r float64, workers int) ([]T, SearchStats)
+}
+
+// KNNBound is an external pruning bound threaded through a kNN search:
+// the cross-shard tau of a sharded index, or a carried bound when
+// shards are searched sequentially. The searcher consults
+// min(localTau, Tau()) for every pruning and early-abandonment
+// decision and offers its own tightening k-th-best distance back
+// through Publish, so concurrent (or subsequent) searches over sibling
+// shards prune against the best bound known anywhere.
+//
+// Correctness requirement on implementations: Tau must never return a
+// value smaller than the final k-th-best distance of the *global*
+// query (across all shards). Under that invariant a searcher may
+// discard any candidate certified to exceed Tau() without losing a
+// global result; ties exactly at the global k-th distance may be
+// dropped, which the Index.KNN contract already permits.
+type KNNBound interface {
+	// Tau returns the current external bound (+Inf when none is known
+	// yet). It must be monotonically non-increasing over the lifetime
+	// of one query.
+	Tau() float64
+	// Publish offers a searcher's current local k-th-best distance.
+	// Implementations keep the minimum of everything published.
+	Publish(tau float64)
+}
+
+// BoundedKNNIndex is implemented by structures whose kNN search accepts
+// an external KNNBound. With ext == nil the search is exactly
+// KNNWithStats; with a bound attached the search additionally prunes
+// against ext.Tau() and publishes its own threshold, so results may
+// omit items whose distance is >= the external bound (the sharded
+// caller merges per-shard candidate lists, so nothing in the global
+// top-k is lost).
+type BoundedKNNIndex[T any] interface {
+	StatsIndex[T]
+
+	// KNNWithStatsBound is KNNWithStats with an optional external
+	// pruning bound.
+	KNNWithStatsBound(q T, k int, ext KNNBound) ([]Neighbor[T], SearchStats)
+}

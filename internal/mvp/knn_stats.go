@@ -1,6 +1,8 @@
 package mvp
 
 import (
+	"math"
+
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/obs"
@@ -19,6 +21,23 @@ import (
 // result slice, and results, distance counts and stats are identical to
 // the exact-kernel traversal.
 func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	return t.KNNWithStatsBound(q, k, nil)
+}
+
+// KNNWithStatsBound is KNNWithStats with an optional external pruning
+// bound (index.KNNBound), the hook the sharded index uses to share the
+// shrinking k-th-best distance across shards. With ext == nil the
+// traversal, results, distance counts and stats are exactly those of
+// KNNWithStats. With a bound attached, every pruning and abandonment
+// decision consults τ′ = min(τ_local, ext.Tau()), the search publishes
+// its own tightening threshold back through ext.Publish, and any
+// candidate certified to exceed the external bound is discarded — it
+// cannot belong to the global top-k the caller is assembling (ties
+// exactly at the global k-th distance may be dropped, as the KNN
+// contract permits). Consequently the returned list may be shorter
+// than k; it always contains every indexed item whose distance is
+// strictly below the external bound's final value, k best at most.
+func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Neighbor[T], SearchStats) {
 	span := t.StartQuery(obs.KindKNN)
 	var s SearchStats
 	if k <= 0 || t.root == nil {
@@ -38,7 +57,17 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		if !ok {
 			break
 		}
-		if !best.Accepts(bound) {
+		// τ is read once per node: the bounds below stay valid as the
+		// heap tightens because τ only ever decreases. The external
+		// bound joins here — τ′ = min(τ_local, ext.Tau()) — so a
+		// tighter cross-shard bound prunes exactly like a tighter heap.
+		tau := best.Threshold()
+		if ext != nil {
+			if e := ext.Tau(); e < tau {
+				tau = e
+			}
+		}
+		if bound >= tau {
 			break
 		}
 		n := pn.n
@@ -46,27 +75,41 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		t.TraceNode(n.isLeaf())
 		if n.isLeaf() {
 			s.LeavesVisited++
-			t.knnLeafStats(n, q, sc.arena[pn.off:pn.off+pn.plen], best, &s)
+			t.knnLeafStats(n, q, sc.arena[pn.off:pn.off+pn.plen], best, ext, &s)
 			continue
 		}
-		// τ is read once per node: the bounds below stay valid as the
-		// heap tightens because τ only ever decreases.
-		tau := best.Threshold()
 		var d1, d2 float64
 		if int(pn.plen) >= t.p {
 			// The query PATH is full, so these distances are only
-			// compared against shell boundaries and τ; abandoning past
-			// τ+cutMax prunes exactly the shells the exact kernel would.
+			// compared against shell boundaries and τ′; abandoning past
+			// τ′+cutMax prunes exactly the shells the exact kernel
+			// would.
 			d1 = t.dist.DistanceUpTo(q, n.sv1, tau+n.cut1Max)
 			d2 = t.dist.DistanceUpTo(q, n.sv2, tau+n.cut2Max)
 		} else {
 			d1 = t.dist.Distance(q, n.sv1)
 			d2 = t.dist.Distance(q, n.sv2)
 		}
-		best.Push(n.sv1, d1)
-		best.Push(n.sv2, d2)
+		// A reported distance above the bound it was computed with may
+		// understate the true value, and above the bound it is also
+		// globally discardable (≥ τ_local rejects locally; ≥ ext.Tau()
+		// cannot make the caller's merged top-k), so only in-bound
+		// values enter the heap. With ext == nil this is equivalent to
+		// the unconditional push: an out-of-bound value is ≥ τ_local
+		// and the heap would reject it.
+		if d1 <= tau+n.cut1Max {
+			best.Push(n.sv1, d1)
+		}
+		if d2 <= tau+n.cut2Max {
+			best.Push(n.sv2, d2)
+		}
 		s.VantagePoints += 2
 		t.TraceDistance(2)
+		extTau := math.Inf(1)
+		if ext != nil {
+			ext.Publish(best.Threshold())
+			extTau = ext.Tau()
+		}
 		off, plen := pn.off, pn.plen
 		if int(plen) < t.p {
 			// Extend the query PATH in the arena: append the parent
@@ -84,7 +127,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		for g, row := range n.children {
 			lo1, hi1 := shellBounds(n.cut1, g)
 			lb1 := intervalGap(d1, lo1, hi1)
-			if !best.Accepts(max(lb1, bound)) {
+			if gb := max(lb1, bound); !best.Accepts(gb) || gb >= extTau {
 				s.ShellsPruned += len(row)
 				t.TracePrune(obs.FilterShell, len(row))
 				continue
@@ -95,7 +138,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 				}
 				lo2, hi2 := shellBounds(n.cut2[g], h)
 				lb := max(bound, lb1, intervalGap(d2, lo2, hi2))
-				if best.Accepts(lb) {
+				if best.Accepts(lb) && lb < extTau {
 					queue.PushNode(pendingRef[T]{n: c, off: off, plen: plen}, lb)
 				} else {
 					s.ShellsPruned++
@@ -111,26 +154,36 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 	return out, s
 }
 
-func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBest[T], s *SearchStats) {
+func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBest[T], ext index.KNNBound, s *SearchStats) {
 	if !n.hasSV1 {
 		return
+	}
+	extTau := math.Inf(1)
+	if ext != nil {
+		extTau = ext.Tau()
 	}
 	// Every leaf distance is threshold-only: vantage points and
 	// surviving candidates all go through the uncounted kernel and the
 	// batch is settled on the counter once at the end.
 	kernel := t.dist.Kernel()
-	// Same bound shape as rangeLeaf with τ in place of r: a vantage
-	// distance certified past τ+maxD rejects the vantage point and
+	// Same bound shape as rangeLeaf with τ′ in place of r: a vantage
+	// distance certified past τ′+maxD rejects the vantage point and
 	// D-filters every item, in both the abandoned and the exact world.
-	d1 := kernel(q, n.sv1, best.Threshold()+n.maxD1)
-	best.Push(n.sv1, d1)
+	b1 := min(best.Threshold(), extTau) + n.maxD1
+	d1 := kernel(q, n.sv1, b1)
+	if d1 <= b1 {
+		best.Push(n.sv1, d1)
+	}
 	vantages := 1
 	s.VantagePoints++
 	t.TraceDistance(1)
 	var d2 float64
 	if n.hasSV2 {
-		d2 = kernel(q, n.sv2, best.Threshold()+n.maxD2)
-		best.Push(n.sv2, d2)
+		b2 := min(best.Threshold(), extTau) + n.maxD2
+		d2 = kernel(q, n.sv2, b2)
+		if d2 <= b2 {
+			best.Push(n.sv2, d2)
+		}
 		vantages = 2
 		s.VantagePoints++
 		t.TraceDistance(1)
@@ -155,7 +208,7 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 				lbD = b
 			}
 		}
-		if !best.Accepts(lbD) {
+		if !best.Accepts(lbD) || lbD >= extTau {
 			filteredD++
 			continue
 		}
@@ -169,12 +222,18 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 				lb = b
 			}
 		}
-		if !best.Accepts(lb) {
+		if !best.Accepts(lb) || lb >= extTau {
 			filteredPath++
 			continue
 		}
 		computed++
-		best.Push(items[i], kernel(q, items[i], best.Threshold()))
+		cb := min(best.Threshold(), extTau)
+		if d := kernel(q, items[i], cb); d <= cb {
+			best.Push(items[i], d)
+		}
+	}
+	if ext != nil {
+		ext.Publish(best.Threshold())
 	}
 	t.dist.Add(int64(vantages + computed))
 	s.Candidates += len(items)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
 )
 
 func uniformItems(seed uint64, n, dim int) [][]float64 {
@@ -27,6 +28,9 @@ func uniformItems(seed uint64, n, dim int) [][]float64 {
 // most one — the result slice handed to the caller. (AllocsPerRun runs
 // the body once before measuring, which warms the pool.)
 func TestSteadyStateQueryAllocations(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
 	items := uniformItems(13, 2000, 8)
 	tree, err := New(items, metric.NewCounter(metric.L2),
 		Options{Partitions: 3, LeafCapacity: 40, PathLength: 4, Build: Build{Seed: 7}})

@@ -1,0 +1,148 @@
+package qexec
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/obs"
+	"mvptree/internal/shard"
+)
+
+// slowIndex wraps a StatsIndex, sleeping per query so a short context
+// deadline reliably lands mid-batch.
+type slowIndex struct {
+	index.StatsIndex[[]float64]
+	delay time.Duration
+}
+
+func (s slowIndex) Range(q []float64, r float64) [][]float64 {
+	time.Sleep(s.delay)
+	return nil
+}
+
+func (s slowIndex) RangeWithStats(q []float64, r float64) ([][]float64, index.SearchStats) {
+	time.Sleep(s.delay)
+	return nil, index.SearchStats{}
+}
+
+func TestContextCancelStopsBatch(t *testing.T) {
+	tree, _, queries := testTree(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts: nothing should run
+	res, stats, err := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Answered != 0 {
+		t.Fatalf("Answered = %d, want 0", stats.Answered)
+	}
+	if len(res) != len(queries) {
+		t.Fatalf("results slice length %d, want %d (partially filled)", len(res), len(queries))
+	}
+}
+
+func TestContextTimeoutMidBatch(t *testing.T) {
+	tree, _, queries := testTree(t)
+	slow := slowIndex{StatsIndex: tree, delay: 5 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 12*time.Millisecond)
+	defer cancel()
+	_, stats, err := RunRange[[]float64](slow, queries, 0.5, Options{Workers: 1, Context: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if stats.Answered == 0 || stats.Answered >= stats.Queries {
+		t.Fatalf("Answered = %d of %d, want a partial batch", stats.Answered, stats.Queries)
+	}
+	// Without a deadline the same batch completes with no error.
+	if _, stats, err := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 2, Context: context.Background()}); err != nil || stats.Answered != stats.Queries {
+		t.Fatalf("uncancelled run: err=%v Answered=%d/%d", err, stats.Answered, stats.Queries)
+	}
+}
+
+// Attaching one Observer to both the index hooks and the executor would
+// record every query twice; the executor must refuse the run instead.
+func TestSharedObserverRefused(t *testing.T) {
+	tree, _, queries := testTree(t)
+	o := obs.NewObserver(2)
+	tree.SetObserver(o)
+	defer tree.SetObserver(nil)
+	if _, _, err := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 2, Observer: o}); !errors.Is(err, ErrSharedObserver) {
+		t.Fatalf("range err = %v, want ErrSharedObserver", err)
+	}
+	if _, _, err := RunKNN[[]float64](tree, queries, 5, Options{Workers: 2, Observer: o}); !errors.Is(err, ErrSharedObserver) {
+		t.Fatalf("knn err = %v, want ErrSharedObserver", err)
+	}
+	// A distinct executor observer is fine, and both observers record.
+	o2 := obs.NewObserver(2)
+	if _, _, err := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 2, Observer: o2}); err != nil {
+		t.Fatalf("distinct observer refused: %v", err)
+	}
+	if s := o2.Snapshot(); s.Queries != int64(len(queries)) {
+		t.Fatalf("executor observer saw %d queries, want %d", s.Queries, len(queries))
+	}
+	if s := o.Snapshot(); s.Queries != int64(len(queries)) {
+		t.Fatalf("index observer saw %d queries, want %d", s.Queries, len(queries))
+	}
+}
+
+// QueryWorkers routes range queries through RangeParallelWithStats and
+// sharded KNN through the opportunistic mode; results must match the
+// sequential executor exactly (range) and by distance (KNN).
+func TestQueryWorkersIntraQueryParallelism(t *testing.T) {
+	tree, _, queries := testTree(t)
+	seq, seqStats, err := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parStats, err := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 1, QueryWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("QueryWorkers changed range results")
+	}
+	if parStats.Search != seqStats.Search {
+		t.Fatalf("QueryWorkers changed aggregated stats: %+v vs %+v", parStats.Search, seqStats.Search)
+	}
+
+	// Sharded index: KNN with QueryWorkers > 1 takes the opportunistic
+	// path; neighbor distances must match the deterministic mode.
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	data := make([][]float64, 600)
+	for i := range data {
+		data[i] = []float64{float64(i % 83), float64(i % 47)}
+	}
+	dist := func(a, b int) float64 { return metric.L2(data[a], data[b]) }
+	x, err := shard.New(items, metric.NewCounter(dist), shard.MVP[int](mvp.Options{Partitions: 2, LeafCapacity: 8}), shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qids := []int{500, 511, 547, 580}
+	seqK, _, err := RunKNN[int](x, qids, 7, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parK, _, err := RunKNN[int](x, qids, 7, Options{Workers: 1, QueryWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqK {
+		if len(seqK[i]) != len(parK[i]) {
+			t.Fatalf("knn query %d: %d results, want %d", i, len(parK[i]), len(seqK[i]))
+		}
+		for j := range seqK[i] {
+			if seqK[i][j].Dist != parK[i][j].Dist {
+				t.Fatalf("knn query %d: dist[%d] %g vs %g", i, j, parK[i][j].Dist, seqK[i][j].Dist)
+			}
+		}
+	}
+}

@@ -29,8 +29,8 @@ func TestObserverSnapshotDeterministicAcrossWorkers(t *testing.T) {
 	var want obs.Snapshot
 	for i, workers := range []int{1, 2, 3, 8} {
 		o := obs.NewObserver(workers)
-		_, rstats := RunRange[[]float64](tree, queries, r, Options{Workers: workers, Observer: o})
-		_, kstats := RunKNN[[]float64](tree, queries, k, Options{Workers: workers, Observer: o})
+		_, rstats, _ := RunRange[[]float64](tree, queries, r, Options{Workers: workers, Observer: o})
+		_, kstats, _ := RunKNN[[]float64](tree, queries, k, Options{Workers: workers, Observer: o})
 		snap := strip(o.Snapshot())
 		if snap.Queries != int64(2*len(queries)) {
 			t.Fatalf("workers=%d: observer saw %d queries, want %d", workers, snap.Queries, 2*len(queries))
@@ -53,7 +53,7 @@ func TestObserverSnapshotDeterministicAcrossWorkers(t *testing.T) {
 // TestStatsWallMeasured checks that batch wall time is populated.
 func TestStatsWallMeasured(t *testing.T) {
 	tree, _, queries := testTree(t)
-	_, stats := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 2})
+	_, stats, _ := RunRange[[]float64](tree, queries, 0.5, Options{Workers: 2})
 	if stats.Wall <= 0 {
 		t.Fatalf("batch wall time not measured: %v", stats.Wall)
 	}

@@ -18,7 +18,10 @@
 //     query does not depend on what other queries run beside it, so the
 //     batch total — measured as an atomic Counter delta — is identical
 //     for every worker count. Parallelism changes wall-clock time only,
-//     never the paper's cost metric.
+//     never the paper's cost metric. (One opt-in exception: KNN with
+//     QueryWorkers > 1 over a sharded index uses opportunistic
+//     cross-shard bound sharing, whose count varies with scheduling —
+//     see Options.QueryWorkers.)
 //
 //   - Deterministic attribution: queries are striped (worker w answers
 //     queries w, w+W, w+2W, ...), so per-worker SearchStats aggregates
@@ -31,6 +34,8 @@
 package qexec
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"time"
@@ -39,20 +44,47 @@ import (
 	"mvptree/internal/obs"
 )
 
+// ErrSharedObserver is returned when Options.Observer is the same
+// *obs.Observer already attached to the index's own hooks: each query
+// would then be recorded twice (once by the index's query span, once
+// by the executor), silently doubling every snapshot total. Attach the
+// observer in one place or the other.
+var ErrSharedObserver = errors.New("qexec: Observer is already attached to the index; attach it to the executor or the index, not both")
+
 // Options configure a batch run.
 type Options struct {
 	// Workers is the number of goroutines answering queries. Values
 	// <= 0 mean runtime.GOMAXPROCS(0). A worker count of 1 reproduces
 	// the plain sequential loop.
 	Workers int
+	// QueryWorkers is the intra-query parallelism degree: with a value
+	// > 1, range queries against an index.ParallelRangeIndex are
+	// answered by RangeParallelWithStats with this worker bound, and
+	// KNN queries against an index exposing the sharded
+	// KNNParallelWithStats surface use opportunistic cross-shard bound
+	// sharing at the same bound. Range results, stats and counts stay
+	// exactly those of the sequential traversal (the interface's
+	// determinism contract); parallel KNN keeps the same neighbor
+	// distances but its distance count varies with scheduling. Indexes
+	// without the capability ignore the setting. Use it for
+	// latency-bound serving (few big queries); leave it at 0/1 for
+	// throughput batches, where inter-query parallelism already fills
+	// the machine.
+	QueryWorkers int
+	// Context, when non-nil, is checked between queries: once it is
+	// cancelled, workers stop picking up new queries and the run
+	// returns ctx.Err() with the results slice only partially filled.
+	// In-flight queries finish (traversals are not interruptible
+	// mid-tree); cancellation latency is one query.
+	Context context.Context
 	// Observer, when non-nil, receives one observation per query:
 	// worker w records into shard w (obs.Observer.ObserveShard), so
 	// recording is contention-free and the merged snapshot's totals are
 	// exact for every worker count. Latency histograms reflect real
 	// timings and therefore vary run to run; every other snapshot field
-	// is deterministic. This is independent of any Observer attached to
-	// the index itself via its obs.Hooks — attach in one place or the
-	// other, not both, unless double counting is intended.
+	// is deterministic. It must not also be attached to the index
+	// itself via its obs.Hooks — that would record every query twice,
+	// so the run is refused with ErrSharedObserver.
 	Observer *obs.Observer
 }
 
@@ -89,30 +121,51 @@ type Stats struct {
 	// PerWorker is indexed by worker; worker w answered queries
 	// w, w+Workers, w+2·Workers, ...
 	PerWorker []WorkerStats
+	// Answered counts queries actually run: equal to Queries unless
+	// the Context was cancelled mid-batch.
+	Answered int
+}
+
+// parallelKNNIndex is the sharded opportunistic-KNN surface
+// (shard.Index implements it); probed, like StatsIndex, by interface.
+type parallelKNNIndex[T any] interface {
+	KNNParallelWithStats(q T, k int, workers int) ([]index.Neighbor[T], index.SearchStats)
 }
 
 // RunRange answers a range query at radius r for every query point,
 // returning results[i] = idx.Range(queries[i], r) plus batch stats.
-func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) ([][]T, Stats) {
+func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) ([][]T, Stats, error) {
 	if si, ok := idx.(index.StatsIndex[T]); ok {
-		return run(si, queries, opts, obs.KindRange, true, func(q T) ([]T, index.SearchStats) {
+		one := func(q T) ([]T, index.SearchStats) {
 			return si.RangeWithStats(q, r)
-		})
+		}
+		if pi, ok := idx.(index.ParallelRangeIndex[T]); ok && opts.QueryWorkers > 1 {
+			one = func(q T) ([]T, index.SearchStats) {
+				return pi.RangeParallelWithStats(q, r, opts.QueryWorkers)
+			}
+		}
+		return run(si, idx, queries, opts, obs.KindRange, true, one)
 	}
-	return run[T](nil, queries, opts, obs.KindRange, false, func(q T) ([]T, index.SearchStats) {
+	return run[T](nil, idx, queries, opts, obs.KindRange, false, func(q T) ([]T, index.SearchStats) {
 		return idx.Range(q, r), index.SearchStats{}
 	})
 }
 
 // RunKNN answers a k-nearest-neighbor query for every query point,
 // returning results[i] = idx.KNN(queries[i], k) plus batch stats.
-func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]index.Neighbor[T], Stats) {
+func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]index.Neighbor[T], Stats, error) {
 	if si, ok := idx.(index.StatsIndex[T]); ok {
-		return run(si, queries, opts, obs.KindKNN, true, func(q T) ([]index.Neighbor[T], index.SearchStats) {
+		one := func(q T) ([]index.Neighbor[T], index.SearchStats) {
 			return si.KNNWithStats(q, k)
-		})
+		}
+		if pi, ok := idx.(parallelKNNIndex[T]); ok && opts.QueryWorkers > 1 {
+			one = func(q T) ([]index.Neighbor[T], index.SearchStats) {
+				return pi.KNNParallelWithStats(q, k, opts.QueryWorkers)
+			}
+		}
+		return run(si, idx, queries, opts, obs.KindKNN, true, one)
 	}
-	return run[T](nil, queries, opts, obs.KindKNN, false, func(q T) ([]index.Neighbor[T], index.SearchStats) {
+	return run[T](nil, idx, queries, opts, obs.KindKNN, false, func(q T) ([]index.Neighbor[T], index.SearchStats) {
 		return idx.KNN(q, k), index.SearchStats{}
 	})
 }
@@ -121,9 +174,16 @@ func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]in
 // query; si is non-nil exactly when the index exposes index.StatsIndex,
 // in which case hasStats is true and the per-query SearchStats are
 // real.
-func run[T any, R any](si index.StatsIndex[T], queries []T, opts Options, kind obs.Kind,
-	hasStats bool, one func(q T) (R, index.SearchStats)) ([]R, Stats) {
+func run[T any, R any](si index.StatsIndex[T], idx index.Index[T], queries []T, opts Options,
+	kind obs.Kind, hasStats bool, one func(q T) (R, index.SearchStats)) ([]R, Stats, error) {
 
+	if opts.Observer != nil {
+		// Refuse the double-counting footgun: the same Observer wired
+		// both here and into the index's own query spans.
+		if h, ok := idx.(interface{ Observer() *obs.Observer }); ok && h.Observer() == opts.Observer {
+			return nil, Stats{}, ErrSharedObserver
+		}
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -145,6 +205,7 @@ func run[T any, R any](si index.StatsIndex[T], queries []T, opts Options, kind o
 		before = si.DistanceCount()
 	}
 	observer := opts.Observer
+	ctx := opts.Context
 	results := make([]R, len(queries))
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -154,6 +215,9 @@ func run[T any, R any](si index.StatsIndex[T], queries []T, opts Options, kind o
 			defer wg.Done()
 			ws := &stats.PerWorker[w]
 			for i := w; i < len(queries); i += workers {
+				if ctx != nil && ctx.Err() != nil {
+					return
+				}
 				var qStart time.Time
 				if observer != nil {
 					qStart = time.Now()
@@ -177,6 +241,10 @@ func run[T any, R any](si index.StatsIndex[T], queries []T, opts Options, kind o
 	}
 	for _, ws := range stats.PerWorker {
 		stats.Search.Add(ws.Search)
+		stats.Answered += ws.Queries
 	}
-	return results, stats
+	if ctx != nil && ctx.Err() != nil && stats.Answered < stats.Queries {
+		return results, stats, ctx.Err()
+	}
+	return results, stats, nil
 }

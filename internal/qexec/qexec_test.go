@@ -34,13 +34,13 @@ func TestRunRangeDeterministicAcrossWorkers(t *testing.T) {
 	const r = 0.5
 
 	c.Reset()
-	seqRes, seqStats := RunRange[[]float64](tree, queries, r, Options{Workers: 1})
+	seqRes, seqStats, _ := RunRange[[]float64](tree, queries, r, Options{Workers: 1})
 	if seqStats.Workers != 1 {
 		t.Fatalf("Workers = %d, want 1", seqStats.Workers)
 	}
 	for _, workers := range []int{2, 4, 8, 100} {
 		c.Reset()
-		res, stats := RunRange[[]float64](tree, queries, r, Options{Workers: workers})
+		res, stats, _ := RunRange[[]float64](tree, queries, r, Options{Workers: workers})
 		if stats.Distances != seqStats.Distances {
 			t.Errorf("workers=%d: %d distance computations, sequential made %d", workers, stats.Distances, seqStats.Distances)
 		}
@@ -65,7 +65,7 @@ func TestRunRangeOrderingAndStats(t *testing.T) {
 		want[i] = tree.Range(q, r)
 	}
 	c.Reset()
-	res, stats := RunRange[[]float64](tree, queries, r, Options{Workers: 3})
+	res, stats, _ := RunRange[[]float64](tree, queries, r, Options{Workers: 3})
 	if len(res) != len(queries) {
 		t.Fatalf("%d results for %d queries", len(res), len(queries))
 	}
@@ -112,7 +112,7 @@ func TestRunKNNMatchesSequential(t *testing.T) {
 		}
 	}
 	c.Reset()
-	res, stats := RunKNN[[]float64](tree, queries, k, Options{Workers: 5})
+	res, stats, _ := RunKNN[[]float64](tree, queries, k, Options{Workers: 5})
 	for i := range res {
 		if len(res[i]) != len(want[i]) {
 			t.Fatalf("results[%d] has %d neighbors, want %d", i, len(res[i]), len(want[i]))
@@ -135,7 +135,7 @@ func TestRunKNNMatchesSequential(t *testing.T) {
 // index.Index methods remain visible to the executor's probe.
 type plainIndex struct{ s *linear.Scan[[]float64] }
 
-func (p plainIndex) Len() int                          { return p.s.Len() }
+func (p plainIndex) Len() int                                 { return p.s.Len() }
 func (p plainIndex) Range(q []float64, r float64) [][]float64 { return p.s.Range(q, r) }
 func (p plainIndex) KNN(q []float64, k int) []index.Neighbor[[]float64] {
 	return p.s.KNN(q, k)
@@ -152,7 +152,7 @@ func TestRunRangePlainIndex(t *testing.T) {
 	queries := dataset.UniformQueries(rng, 10, 6)
 	scan := linear.New(items, metric.NewCounter(metric.L2))
 
-	res, stats := RunRange[[]float64](plainIndex{scan}, queries, 0.5, Options{Workers: 4})
+	res, stats, _ := RunRange[[]float64](plainIndex{scan}, queries, 0.5, Options{Workers: 4})
 	if stats.HasSearch {
 		t.Fatal("plain index has no stats variants but HasSearch is true")
 	}
@@ -170,12 +170,12 @@ func TestRunRangePlainIndex(t *testing.T) {
 // panic or mis-size outputs.
 func TestRunEdgeCases(t *testing.T) {
 	tree, _, _ := testTree(t)
-	res, stats := RunRange[[]float64](tree, nil, 0.5, Options{})
+	res, stats, _ := RunRange[[]float64](tree, nil, 0.5, Options{})
 	if len(res) != 0 || stats.Queries != 0 || stats.Workers != 1 {
 		t.Fatalf("empty batch: res=%d stats=%+v", len(res), stats)
 	}
 	one := [][]float64{make([]float64, 8)}
-	res2, stats2 := RunKNN[[]float64](tree, one, 3, Options{Workers: 64})
+	res2, stats2, _ := RunKNN[[]float64](tree, one, 3, Options{Workers: 64})
 	if len(res2) != 1 || stats2.Workers != 1 {
 		t.Fatalf("single query: %d results, %d workers", len(res2), stats2.Workers)
 	}

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+)
+
+// Directory persistence for a sharded index: a JSON manifest naming the
+// layout plus one blob per shard in the backend's own wire format
+// (which carries its own magic, version and integrity checks). The
+// manifest is the source of truth for the shard count and the backend;
+// LoadDir cross-checks both before touching a blob.
+
+// manifestName is the manifest's filename inside the index directory.
+const manifestName = "manifest.json"
+
+// manifestVersion guards the manifest schema itself.
+const manifestVersion = 1
+
+type manifest struct {
+	Version    int    `json:"version"`
+	Backend    string `json:"backend"`
+	Shards     int    `json:"shards"`
+	Assignment string `json:"assignment"`
+	Seed       uint64 `json:"seed"`
+	Sizes      []int  `json:"sizes"`
+}
+
+func shardBlobName(i int) string { return fmt.Sprintf("shard-%04d.bin", i) }
+
+// SaveDir writes the index into dir (created if missing): the manifest
+// plus one blob per shard.
+func (x *Index[T]) SaveDir(dir string, be Backend[T], enc func(T) ([]byte, error)) error {
+	if be.Save == nil {
+		return fmt.Errorf("shard: backend %q cannot save", be.Name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := manifest{
+		Version:    manifestVersion,
+		Backend:    be.Name,
+		Shards:     len(x.shards),
+		Assignment: x.opts.Assignment.String(),
+		Seed:       x.opts.Seed,
+		Sizes:      make([]int, len(x.shards)),
+	}
+	for i, s := range x.shards {
+		m.Sizes[i] = s.Len()
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	for i, s := range x.shards {
+		f, err := os.Create(filepath.Join(dir, shardBlobName(i)))
+		if err != nil {
+			return err
+		}
+		if err := be.Save(s, f, enc); err != nil {
+			f.Close()
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads an index previously written by SaveDir. The backend
+// must match the one named in the manifest.
+func LoadDir[T any](dir string, dist *metric.Counter[T], be Backend[T], dec func([]byte) (T, error)) (*Index[T], error) {
+	if be.Load == nil {
+		return nil, fmt.Errorf("shard: backend %q cannot load", be.Name)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("shard: bad manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Backend != be.Name {
+		return nil, fmt.Errorf("shard: manifest backend %q, loading with %q", m.Backend, be.Name)
+	}
+	if m.Shards <= 0 || m.Shards != len(m.Sizes) {
+		return nil, fmt.Errorf("shard: manifest inconsistent: %d shards, %d sizes", m.Shards, len(m.Sizes))
+	}
+	x := &Index[T]{
+		shards: make([]index.StatsIndex[T], m.Shards),
+		dist:   dist,
+		opts:   Options{Shards: m.Shards, Seed: m.Seed},
+	}
+	if m.Assignment == Balanced.String() {
+		x.opts.Assignment = Balanced
+	}
+	for i := range x.shards {
+		f, err := os.Open(filepath.Join(dir, shardBlobName(i)))
+		if err != nil {
+			return nil, err
+		}
+		s, err := be.Load(f, dist, dec)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if s.Len() != m.Sizes[i] {
+			return nil, fmt.Errorf("shard %d: %d items, manifest says %d", i, s.Len(), m.Sizes[i])
+		}
+		x.shards[i] = s
+		x.size += s.Len()
+	}
+	return x, nil
+}

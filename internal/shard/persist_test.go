@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mvptree/internal/metric"
+	"mvptree/internal/obs"
+	"mvptree/internal/testutil"
+)
+
+func intCodec() (func(int) ([]byte, error), func([]byte) (int, error)) {
+	enc := func(v int) ([]byte, error) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		return b[:], nil
+	}
+	dec := func(b []byte) (int, error) {
+		return int(binary.LittleEndian.Uint64(b)), nil
+	}
+	return enc, dec
+}
+
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 2))
+	w := testutil.NewVectorWorkload(rng, 300, 6, 6, metric.L2)
+	enc, dec := intCodec()
+	for name, mk := range backends() {
+		be := mk()
+		c := metric.NewCounter(w.Dist)
+		x, err := New(w.Items, c, be, Options{Shards: 3, Assignment: Balanced, Workers: 2, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		dir := filepath.Join(t.TempDir(), "idx")
+		if err := x.SaveDir(dir, be, enc); err != nil {
+			t.Fatalf("%s: SaveDir: %v", name, err)
+		}
+		y, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec)
+		if err != nil {
+			t.Fatalf("%s: LoadDir: %v", name, err)
+		}
+		if y.Len() != x.Len() || y.Shards() != x.Shards() {
+			t.Fatalf("%s: loaded Len=%d Shards=%d, want %d/%d", name, y.Len(), y.Shards(), x.Len(), x.Shards())
+		}
+		// Loaded index answers every query byte-identically.
+		for _, q := range w.Queries {
+			a := x.Range(q, 0.7)
+			b := y.Range(q, 0.7)
+			if len(a) != len(b) {
+				t.Fatalf("%s: range sizes %d vs %d", name, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: range result[%d] differs", name, i)
+				}
+			}
+			ka := x.KNN(q, 7)
+			kb := y.KNN(q, 7)
+			for i := range ka {
+				if ka[i].Item != kb[i].Item || ka[i].Dist != kb[i].Dist {
+					t.Fatalf("%s: knn result[%d] differs", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadDirRejectsMismatches(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 2))
+	w := testutil.NewVectorWorkload(rng, 60, 4, 2, metric.L2)
+	enc, dec := intCodec()
+	be := MVP[int](mvpOpts)
+	x, err := New(w.Items, metric.NewCounter(w.Dist), be, Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := x.SaveDir(dir, be, enc); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	// Wrong backend.
+	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), VP[int](vpOpts), dec); err == nil {
+		t.Fatalf("LoadDir accepted mismatched backend")
+	}
+	// Missing blob.
+	if err := os.Remove(filepath.Join(dir, shardBlobName(1))); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
+		t.Fatalf("LoadDir accepted missing shard blob")
+	}
+	// Corrupt manifest.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
+		t.Fatalf("LoadDir accepted corrupt manifest")
+	}
+}
+
+// Per-shard observers see exactly the sub-queries their shard served,
+// and the merged snapshot equals the whole fan-out; the index's own
+// observer sees one span per logical query.
+func TestShardObserverMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 2))
+	w := testutil.NewVectorWorkload(rng, 200, 5, 4, metric.L2)
+	x, err := New(w.Items, metric.NewCounter(w.Dist), MVP[int](mvpOpts), Options{Shards: 3})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	logical := obs.NewObserver(1)
+	x.SetObserver(logical)
+	x.AttachShardObservers(1)
+
+	const nq = 8
+	var wantComputed int64
+	for _, q := range w.Queries[:2] {
+		_, s1 := x.RangeWithStats(q, 0.5)
+		_, s2 := x.KNNWithStats(q, 5)
+		_, s3 := x.RangeParallelWithStats(q, 0.5, 2)
+		_, s4 := x.KNNParallelWithStats(q, 5, 2)
+		wantComputed += s1.Distances() + s2.Distances() + s3.Distances() + s4.Distances()
+	}
+
+	ls := logical.Snapshot()
+	if ls.Queries != nq {
+		t.Fatalf("logical observer saw %d queries, want %d", ls.Queries, nq)
+	}
+	if ls.Distances != wantComputed {
+		t.Fatalf("logical observer distance total %d, want %d", ls.Distances, wantComputed)
+	}
+	snaps, merged := x.ShardSnapshots()
+	if len(snaps) != 3 || merged == nil {
+		t.Fatalf("ShardSnapshots: %d snaps", len(snaps))
+	}
+	// Every logical query fans out to all 3 shards, and every distance
+	// computation happens inside some shard's sub-query.
+	if merged.Queries != nq*3 {
+		t.Fatalf("merged shard observers saw %d sub-queries, want %d", merged.Queries, nq*3)
+	}
+	if merged.Distances != wantComputed {
+		t.Fatalf("merged shard distance total %d, want %d", merged.Distances, wantComputed)
+	}
+	var sum int64
+	for _, sn := range snaps {
+		sum += sn.Queries
+	}
+	if sum != nq*3 {
+		t.Fatalf("per-shard query sum %d, want %d", sum, nq*3)
+	}
+}

@@ -1,0 +1,327 @@
+// Package shard is the partitioned serving layer: one logical index
+// made of S independent per-shard index structures (mvp-trees by
+// default) over a disjoint partition of the item set. Sharding buys
+// three things the single-tree layout cannot offer at once:
+//
+//   - parallel construction with coarser grain than internal/build's
+//     intra-tree forking — shards build concurrently, each with its own
+//     worker budget;
+//
+//   - fan-out query serving: one range query runs over all shards
+//     concurrently, with a deterministic merge (results are exactly the
+//     concatenation of per-shard answers in ascending shard order, at
+//     every worker count);
+//
+//   - cross-shard kNN bound sharing: the shrinking k-th-best distance τ
+//     is shared between per-shard searches through index.KNNBound, so a
+//     tight neighbor found in one shard prunes the others. Two modes
+//     are offered — deterministic sequential tightening (shards in
+//     order, carried bound; reproducible distance counts for the
+//     paper's cost metric) and opportunistic parallel sharing (atomic
+//     bound; wall-clock fastest, counts vary with scheduling) — and
+//     their costs are reported separately.
+//
+// Every shard observes distances through one shared metric.Counter, so
+// DistanceCount stays the paper's single cost ledger for the whole
+// logical index.
+package shard
+
+import (
+	"fmt"
+
+	"mvptree/internal/build"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/obs"
+)
+
+// Assignment selects how items are partitioned across shards. Both
+// strategies are deterministic functions of (items, shards, seed) —
+// independent of worker count — so a sharded build is reproducible.
+type Assignment int
+
+const (
+	// RoundRobin deals items[i] to shard i mod S. With i.i.d. data the
+	// shards are statistically interchangeable, and assignment costs no
+	// distance computations.
+	RoundRobin Assignment = iota
+	// Balanced orders items by distance to a seeded reference pivot and
+	// deals consecutive ranks round-robin, so every shard receives the
+	// same distance profile (near, mid and far items alike). It costs n
+	// distance computations, spread over the build worker pool, and
+	// protects fan-out latency from a shard that happens to collect all
+	// the dense clumps.
+	Balanced
+)
+
+func (a Assignment) String() string {
+	switch a {
+	case RoundRobin:
+		return "roundrobin"
+	case Balanced:
+		return "balanced"
+	default:
+		return fmt.Sprintf("assignment(%d)", int(a))
+	}
+}
+
+// Options configure a sharded build.
+type Options struct {
+	// Shards is the shard count S. The default (<= 0) is 1.
+	Shards int
+	// Assignment selects the partitioning strategy.
+	Assignment Assignment
+	// Workers bounds the goroutines the whole build may use, shared
+	// between concurrent shard builds (each shard build receives an
+	// equal slice of the budget). Values <= 1 build serially. The built
+	// shards are identical at every worker count.
+	Workers int
+	// Seed drives the Balanced pivot choice and is mixed into each
+	// shard's backend seed so sibling shards do not repeat vantage
+	// choices.
+	Seed uint64
+}
+
+func (o Options) shards() int {
+	if o.Shards <= 0 {
+		return 1
+	}
+	return o.Shards
+}
+
+// Index is the partitioned logical index. It implements
+// index.StatsIndex, so everything that serves a single tree — the
+// batch executor, the experiment harness, telemetry — serves a sharded
+// index unchanged.
+//
+// The embedded obs.Hooks observe logical queries (one span per Range /
+// KNN call, carrying the merged cross-shard stats). Per-shard
+// observers, when wanted, are attached with AttachShardObservers and
+// read back with ShardSnapshots.
+type Index[T any] struct {
+	obs.Hooks
+
+	shards []index.StatsIndex[T]
+	dist   *metric.Counter[T]
+	size   int
+	opts   Options
+
+	// shardObs[i] observes shard i's logical sub-queries; nil until
+	// AttachShardObservers.
+	shardObs []*obs.Observer
+}
+
+// BuildStats extends the uniform construction report with the sharded
+// layer's own numbers.
+type BuildStats struct {
+	build.Stats
+	// AssignDistances is the portion of Stats.Distances spent by the
+	// assignment phase (zero for RoundRobin).
+	AssignDistances int64
+	// ShardSizes is the item count per shard.
+	ShardSizes []int
+	// ShardBuilds is each shard's own construction report.
+	ShardBuilds []build.Stats
+}
+
+// New builds a sharded index over items through the backend be.
+func New[T any](items []T, dist *metric.Counter[T], be Backend[T], opts Options) (*Index[T], error) {
+	x, _, err := NewWithStats(items, dist, be, opts)
+	return x, err
+}
+
+// NewWithStats is New plus the construction report.
+func NewWithStats[T any](items []T, dist *metric.Counter[T], be Backend[T], opts Options) (*Index[T], BuildStats, error) {
+	var bs BuildStats
+	if be.New == nil {
+		return nil, bs, fmt.Errorf("shard: backend %q has no constructor", be.Name)
+	}
+	s := opts.shards()
+	if s > len(items) && len(items) > 0 {
+		s = len(items)
+	}
+	b := build.Start(dist, build.Options{Workers: opts.Workers, Seed: opts.Seed})
+	parts, assignCost, err := assign(items, s, dist, b, opts)
+	if err != nil {
+		return nil, bs, err
+	}
+
+	// Build shards concurrently on the same bounded pool the
+	// assignment used; each shard build gets an equal slice of the
+	// worker budget for its own internal parallelism.
+	per := b.Workers() / s
+	if per < 1 {
+		per = 1
+	}
+	shards := make([]index.StatsIndex[T], s)
+	stats := make([]build.Stats, s)
+	errs := make([]error, s)
+	b.Fork(s, func(i int) {
+		shards[i], stats[i], errs[i] = be.New(parts[i], dist, per, opts.Seed+uint64(i)*0x9e3779b97f4a7c15)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, bs, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	bs.Stats = b.Finish()
+	bs.AssignDistances = assignCost
+	bs.ShardBuilds = stats
+	bs.ShardSizes = make([]int, s)
+	total := 0
+	for i, p := range parts {
+		bs.ShardSizes[i] = len(p)
+		total += len(p)
+	}
+	for _, st := range stats {
+		bs.Nodes += st.Nodes
+		if st.MaxDepth > bs.MaxDepth {
+			bs.MaxDepth = st.MaxDepth
+		}
+	}
+	x := &Index[T]{shards: shards, dist: dist, size: total, opts: opts}
+	x.opts.Shards = s
+	return x, bs, nil
+}
+
+// assign partitions items into s buckets and reports the distance
+// computations the strategy spent.
+func assign[T any](items []T, s int, dist *metric.Counter[T], b *build.Builder[T], opts Options) ([][]T, int64, error) {
+	parts := make([][]T, s)
+	if len(items) == 0 {
+		return parts, 0, nil
+	}
+	for i := range parts {
+		parts[i] = make([]T, 0, (len(items)+s-1)/s)
+	}
+	switch opts.Assignment {
+	case RoundRobin:
+		for i, it := range items {
+			parts[i%s] = append(parts[i%s], it)
+		}
+		return parts, 0, nil
+	case Balanced:
+		// Distance-balanced dealing: rank every item by distance to a
+		// seeded pivot (measured on the shared pool, counted once) and
+		// deal ranks round-robin. Ties rank by original position, so
+		// the partition is deterministic.
+		rng := build.NewRNG(opts.Seed, 0x5ca1ab1e).Rand()
+		pivot := items[rng.IntN(len(items))]
+		d := make([]float64, len(items))
+		b.Measure(pivot, func(i int) T { return items[i] }, d)
+		order := make([]int, len(items))
+		for i := range order {
+			order[i] = i
+		}
+		sortByDistanceThenIndex(order, d)
+		for rank, i := range order {
+			parts[rank%s] = append(parts[rank%s], items[i])
+		}
+		return parts, int64(len(items)), nil
+	default:
+		return nil, 0, fmt.Errorf("shard: unknown assignment %d", int(opts.Assignment))
+	}
+}
+
+// sortByDistanceThenIndex sorts order by (d[i], i) ascending: a plain
+// deterministic tie-broken sort, kept dependency-free.
+func sortByDistanceThenIndex(order []int, d []float64) {
+	less := func(a, b int) bool {
+		if d[a] != d[b] {
+			return d[a] < d[b]
+		}
+		return a < b
+	}
+	// order is a permutation of [0,n); quicksort with median-of-three.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			mid := lo + (hi-lo)/2
+			if less(order[mid], order[lo]) {
+				order[mid], order[lo] = order[lo], order[mid]
+			}
+			if less(order[hi-1], order[lo]) {
+				order[hi-1], order[lo] = order[lo], order[hi-1]
+			}
+			if less(order[hi-1], order[mid]) {
+				order[hi-1], order[mid] = order[mid], order[hi-1]
+			}
+			p := order[mid]
+			i, j := lo, hi-1
+			for {
+				for less(order[i], p) {
+					i++
+				}
+				for less(p, order[j]) {
+					j--
+				}
+				if i >= j {
+					break
+				}
+				order[i], order[j] = order[j], order[i]
+				i++
+				j--
+			}
+			if j-lo < hi-j-1 {
+				qs(lo, j+1)
+				lo = j + 1
+			} else {
+				qs(j+1, hi)
+				hi = j + 1
+			}
+		}
+		for i := lo + 1; i < hi; i++ {
+			for j := i; j > lo && less(order[j], order[j-1]); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+	qs(0, len(order))
+}
+
+// Shards reports the shard count.
+func (x *Index[T]) Shards() int { return len(x.shards) }
+
+// Shard returns shard i's underlying index, for inspection and tests.
+func (x *Index[T]) Shard(i int) index.StatsIndex[T] { return x.shards[i] }
+
+// Len reports the total number of indexed items.
+func (x *Index[T]) Len() int { return x.size }
+
+// DistanceCount reports the shared counter: every distance computation
+// made by any shard, build and queries alike.
+func (x *Index[T]) DistanceCount() int64 { return x.dist.Count() }
+
+// AttachShardObservers gives every shard its own obs.Observer (sharded
+// over conc slots, as obs.NewObserver), so per-shard query telemetry
+// can be read back with ShardSnapshots. Logical whole-index queries are
+// observed by the Index's own hooks independently; attaching the same
+// Observer at both levels would double count, which is why this method
+// creates fresh per-shard observers instead of accepting one.
+func (x *Index[T]) AttachShardObservers(conc int) {
+	x.shardObs = make([]*obs.Observer, len(x.shards))
+	for i, s := range x.shards {
+		o := obs.NewObserver(conc)
+		x.shardObs[i] = o
+		if h, ok := s.(interface{ SetObserver(*obs.Observer) }); ok {
+			h.SetObserver(o)
+		}
+	}
+}
+
+// ShardSnapshots returns each shard observer's snapshot plus their
+// merge. It returns nils before AttachShardObservers.
+func (x *Index[T]) ShardSnapshots() ([]obs.Snapshot, *obs.Snapshot) {
+	if x.shardObs == nil {
+		return nil, nil
+	}
+	snaps := make([]obs.Snapshot, len(x.shardObs))
+	var merged obs.Snapshot
+	for i, o := range x.shardObs {
+		snaps[i] = o.Snapshot()
+		merged.Merge(snaps[i])
+	}
+	return snaps, &merged
+}
+
+var _ index.StatsIndex[int] = (*Index[int])(nil)

@@ -1,0 +1,9 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in.
+// Allocation-count assertions (testing.AllocsPerRun) are meaningless
+// under race instrumentation — the runtime allocates shadow state — so
+// zero-alloc tests skip when this is true.
+const RaceEnabled = true

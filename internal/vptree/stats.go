@@ -1,6 +1,8 @@
 package vptree
 
 import (
+	"math"
+
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/obs"
@@ -108,6 +110,19 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 // distance τ in place of r (+Inf until the heap fills), and the heap
 // and node queue come from the tree's pool.
 func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
+	return t.KNNWithStatsBound(q, k, nil)
+}
+
+// KNNWithStatsBound is KNNWithStats with an optional external pruning
+// bound (index.KNNBound), the hook the sharded index uses to share the
+// shrinking k-th-best distance across shards. With ext == nil it is
+// exactly KNNWithStats. With a bound attached, pruning and abandonment
+// consult τ′ = min(τ_local, ext.Tau()), the search publishes its own
+// tightening threshold through ext.Publish, and candidates certified
+// to exceed the external bound are discarded (they cannot make the
+// caller's merged global top-k), so the returned list may be shorter
+// than k.
+func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Neighbor[T], SearchStats) {
 	span := t.StartQuery(obs.KindKNN)
 	var s SearchStats
 	if k <= 0 || t.root == nil {
@@ -127,17 +142,40 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		if !ok {
 			break
 		}
-		if !best.Accepts(bound) {
-			break // min-heap: nothing later can be closer
+		// τ′ = min(local threshold, external bound); the min-heap
+		// guarantees nothing later can beat it.
+		tau := best.Threshold()
+		if ext != nil {
+			if e := ext.Tau(); e < tau {
+				tau = e
+			}
+		}
+		if bound >= tau {
+			break
 		}
 		s.NodesVisited++
 		t.TraceNode(n.leaf)
 		if n.leaf {
 			s.LeavesVisited++
-			// Uncounted kernel + one batched settle, as in the range scan.
+			// Uncounted kernel + one batched settle, as in the range
+			// scan. A reported distance above the bound it was computed
+			// with may understate the true value and is globally
+			// discardable, so only in-bound values enter the heap (with
+			// ext == nil the heap would reject out-of-bound values
+			// anyway).
 			kernel := t.dist.Kernel()
+			extTau := math.Inf(1)
+			if ext != nil {
+				extTau = ext.Tau()
+			}
 			for _, it := range n.items {
-				best.Push(it, kernel(q, it, best.Threshold()))
+				cb := min(best.Threshold(), extTau)
+				if d := kernel(q, it, cb); d <= cb {
+					best.Push(it, d)
+				}
+			}
+			if ext != nil {
+				ext.Publish(best.Threshold())
 			}
 			t.dist.Add(int64(len(n.items)))
 			s.Candidates += len(n.items)
@@ -147,10 +185,18 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 			}
 			continue
 		}
-		d := t.dist.DistanceUpTo(q, n.vantage, best.Threshold()+n.cutMax)
-		best.Push(n.vantage, d)
+		vb := tau + n.cutMax
+		d := t.dist.DistanceUpTo(q, n.vantage, vb)
+		if d <= vb {
+			best.Push(n.vantage, d)
+		}
 		s.VantagePoints++
 		t.TraceDistance(1)
+		extTau := math.Inf(1)
+		if ext != nil {
+			ext.Publish(best.Threshold())
+			extTau = ext.Tau()
+		}
 		for g, c := range n.children {
 			if c == nil {
 				continue
@@ -162,7 +208,7 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 			} else if d > hi {
 				lb = d - hi
 			}
-			if best.Accepts(lb) {
+			if best.Accepts(lb) && lb < extTau {
 				queue.PushNode(c, lb)
 			} else {
 				s.ShellsPruned++

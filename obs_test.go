@@ -59,7 +59,7 @@ func TestWithObserverAccountsAllDistances(t *testing.T) {
 	// executor side, across worker counts.
 	for _, workers := range []int{1, 4} {
 		bo := NewObserver(workers)
-		_, stats := BatchRange(tree, queries, 0.4, BatchOptions{Workers: workers, Observer: bo})
+		_, stats, _ := BatchRange(tree, queries, 0.4, BatchOptions{Workers: workers, Observer: bo})
 		snap := bo.Snapshot()
 		if snap.Distances != stats.Distances {
 			t.Fatalf("workers=%d: observer saw %d distances, batch measured %d",
@@ -93,10 +93,10 @@ type eventCount struct {
 	starts, dones, nodes, prunes, distances int
 }
 
-func (e *eventCount) OnQueryStart(QueryKind)                      { e.starts++ }
-func (e *eventCount) OnNodeVisit(bool)                            { e.nodes++ }
-func (e *eventCount) OnFilterPrune(PruneFilter, int)              { e.prunes++ }
-func (e *eventCount) OnDistance(n int)                            { e.distances += n }
+func (e *eventCount) OnQueryStart(QueryKind)                            { e.starts++ }
+func (e *eventCount) OnNodeVisit(bool)                                  { e.nodes++ }
+func (e *eventCount) OnFilterPrune(PruneFilter, int)                    { e.prunes++ }
+func (e *eventCount) OnDistance(n int)                                  { e.distances += n }
 func (e *eventCount) OnQueryDone(QueryKind, time.Duration, SearchStats) { e.dones++ }
 
 func TestWithTracerFacade(t *testing.T) {

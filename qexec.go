@@ -26,6 +26,13 @@ type BatchStats = qexec.Stats
 // BatchWorkerStats is the per-worker slice of a BatchStats.
 type BatchWorkerStats = qexec.WorkerStats
 
+// ErrSharedObserver is returned by BatchRange/BatchKNN when
+// opts.Observer is the same Observer already attached to the index's
+// own hooks — that wiring would record every query twice (once by the
+// index, once by the executor), silently doubling snapshot totals.
+// Attach the Observer to one side or the other, not both.
+var ErrSharedObserver = qexec.ErrSharedObserver
+
 // BatchRange answers one range query per element of queries against a
 // shared index, striped over opts.Workers goroutines. results[i] is
 // exactly idx.Range(queries[i], r): the answers — and the number of
@@ -33,13 +40,20 @@ type BatchWorkerStats = qexec.WorkerStats
 // worker count; parallelism changes wall-clock time only. All indexes
 // in this library are safe to share this way (their query paths touch
 // no mutable state beyond the atomic Counter).
-func BatchRange[T any](idx Index[T], queries []T, r float64, opts BatchOptions) ([][]T, BatchStats) {
+//
+// The error is non-nil in two cases: opts.Context was cancelled before
+// the batch finished (the results are partially filled and the error is
+// the context's), or opts.Observer is also attached to the index's own
+// hooks (qexec.ErrSharedObserver — that wiring would record every query
+// twice).
+func BatchRange[T any](idx Index[T], queries []T, r float64, opts BatchOptions) ([][]T, BatchStats, error) {
 	return qexec.RunRange(idx, queries, r, opts)
 }
 
 // BatchKNN answers one k-nearest-neighbor query per element of queries
 // against a shared index, striped over opts.Workers goroutines.
-// results[i] is exactly idx.KNN(queries[i], k).
-func BatchKNN[T any](idx Index[T], queries []T, k int, opts BatchOptions) ([][]Neighbor[T], BatchStats) {
+// results[i] is exactly idx.KNN(queries[i], k). Errors as in
+// BatchRange.
+func BatchKNN[T any](idx Index[T], queries []T, k int, opts BatchOptions) ([][]Neighbor[T], BatchStats, error) {
 	return qexec.RunKNN(idx, queries, k, opts)
 }
