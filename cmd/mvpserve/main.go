@@ -1,0 +1,204 @@
+// Command mvpserve is the network serving daemon: a JSON-over-HTTP
+// query server over a sharded mvp-tree index, with bounded admission,
+// micro-batched execution, live telemetry and zero-downtime snapshot
+// reload.
+//
+// Usage:
+//
+//	mvpserve -addr :8080 -n 50000 -dim 20 -shards 4
+//	mvpserve -addr :8080 -dir /var/lib/mvptree/snap -dim 20
+//
+// With -dir pointing at a directory containing a snapshot (written by a
+// previous run or by shard.Index.SaveDir), the index is loaded from
+// disk; otherwise a synthetic uniform-vector index is built at startup
+// and — when -dir is set — saved there, so a later POST /admin/reload
+// (or a fresh process) can pick it up. Reload loads the snapshot beside
+// the serving index and swaps it in atomically: in-flight requests
+// finish on the old index, no request fails.
+//
+// Endpoints:
+//
+//	POST /range        {"query": [...], "r": 0.5}
+//	POST /knn          {"query": [...], "k": 5}
+//	GET  /stats        admission counters + observer snapshot
+//	GET  /healthz      liveness probe
+//	POST /admin/reload swap in the snapshot at -dir
+//	GET  /debug/vars   expvar, including the observer snapshot
+//
+// The process exits cleanly on SIGINT/SIGTERM: the listener stops, in
+// flight requests drain, the batchers shut down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mvptree/internal/codec"
+	"mvptree/internal/dataset"
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/serve"
+	"mvptree/internal/shard"
+)
+
+func main() {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Stdout, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "mvpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func vectorMetric(name string) (metric.DistanceFunc[[]float64], error) {
+	switch name {
+	case "l1":
+		return metric.L1, nil
+	case "l2":
+		return metric.L2, nil
+	case "linf":
+		return metric.LInf, nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q (want l1, l2 or linf)", name)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled. When ready
+// is non-nil it receives the bound listen address once the server
+// accepts connections (the test hook; main passes nil).
+func run(ctx context.Context, out io.Writer, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("mvpserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address")
+		dir        = fs.String("dir", "", "snapshot directory: load the index from it if it holds a manifest, else build and save into it; /admin/reload re-reads it")
+		n          = fs.Int("n", 20000, "synthetic dataset size when building at startup")
+		dim        = fs.Int("dim", 20, "vector dimensionality (must match the snapshot when loading)")
+		dataSeed   = fs.Uint64("dataseed", 1, "synthetic dataset seed")
+		metricName = fs.String("metric", "l2", "vector metric: l1, l2 or linf")
+		shards     = fs.Int("shards", 4, "shard count for a built index")
+		buildW     = fs.Int("buildworkers", 0, "construction goroutines (0 = GOMAXPROCS)")
+		leafCap    = fs.Int("leafcap", 50, "mvp-tree leaf capacity")
+		partitions = fs.Int("partitions", 3, "mvp-tree partitions per vantage point")
+		pathLen    = fs.Int("pathlen", 5, "mvp-tree retained path length")
+		maxBatch   = fs.Int("maxbatch", 32, "max queries per executed batch")
+		maxWait    = fs.Duration("maxwait", 2*time.Millisecond, "batching window")
+		queue      = fs.Int("queue", 256, "per-endpoint admission queue capacity (full queue = 503)")
+		workers    = fs.Int("workers", 0, "executor goroutines per batch (0 = GOMAXPROCS)")
+		retryAfter = fs.Duration("retryafter", time.Second, "Retry-After hint on 503 rejections")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dim <= 0 {
+		return fmt.Errorf("-dim must be positive")
+	}
+	distFn, err := vectorMetric(*metricName)
+	if err != nil {
+		return err
+	}
+	be := shard.MVP[[]float64](mvp.Options{
+		Partitions:   *partitions,
+		LeafCapacity: *leafCap,
+		PathLength:   *pathLen,
+	})
+
+	load := func() (index.StatsIndex[[]float64], error) {
+		x, err := shard.LoadDir(*dir, metric.NewCounter(distFn), be, codec.DecodeVector)
+		if err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+
+	var idx index.StatsIndex[[]float64]
+	switch {
+	case *dir != "" && hasManifest(*dir):
+		start := time.Now()
+		idx, err = load()
+		if err != nil {
+			return fmt.Errorf("loading snapshot from %s: %w", *dir, err)
+		}
+		fmt.Fprintf(out, "mvpserve: loaded %d items from %s in %v\n", idx.Len(), *dir, time.Since(start).Round(time.Millisecond))
+	default:
+		start := time.Now()
+		rng := rand.New(rand.NewPCG(*dataSeed, 0))
+		items := dataset.UniformVectors(rng, *n, *dim)
+		x, bs, err := shard.NewWithStats(items, metric.NewCounter(distFn), be, shard.Options{
+			Shards: *shards, Workers: *buildW, Seed: *dataSeed,
+		})
+		if err != nil {
+			return fmt.Errorf("building index: %w", err)
+		}
+		fmt.Fprintf(out, "mvpserve: built %d items / %d shards in %v (%d distances)\n",
+			x.Len(), x.Shards(), time.Since(start).Round(time.Millisecond), bs.Distances)
+		if *dir != "" {
+			if err := x.SaveDir(*dir, be, codec.EncodeVector); err != nil {
+				return fmt.Errorf("saving snapshot to %s: %w", *dir, err)
+			}
+			fmt.Fprintf(out, "mvpserve: snapshot saved to %s\n", *dir)
+		}
+		idx = x
+	}
+
+	s := serve.New[[]float64](idx, serve.VectorCodec(*dim), serve.Options{
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		Queue:      *queue,
+		Workers:    *workers,
+		RetryAfter: *retryAfter,
+		ExpvarName: "mvpserve",
+	})
+	defer s.Close()
+	if *dir != "" {
+		s.SetReloader(load)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(out, "mvpserve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "mvpserve: shutting down\n")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	s.Close()
+	st := s.Stats()
+	fmt.Fprintf(out, "mvpserve: served %d queries (%d range, %d knn), rejected %d, %d swaps\n",
+		st.Range.Queries+st.KNN.Queries, st.Range.Queries, st.KNN.Queries,
+		st.Range.Rejected+st.KNN.Rejected, st.Swaps)
+	return nil
+}
+
+func hasManifest(dir string) bool {
+	_, err := os.Stat(dir + string(os.PathSeparator) + "manifest.json")
+	return err == nil
+}

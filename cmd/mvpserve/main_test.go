@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a shutdown func that cancels the context and waits for run
+// to return, failing the test on a non-nil error.
+func startDaemon(t *testing.T, args ...string) (string, *bytes.Buffer, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, &out, append([]string{"-addr", "127.0.0.1:0"}, args...), ready) }()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	return base, &out, func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("run returned %v\noutput:\n%s", err, out.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func query(dim int, fill float64) []float64 {
+	q := make([]float64, dim)
+	for i := range q {
+		q[i] = fill
+	}
+	return q
+}
+
+func TestDaemonSmoke(t *testing.T) {
+	const dim = 8
+	base, out, shutdown := startDaemon(t, "-n", "500", "-dim", fmt.Sprint(dim), "-shards", "2")
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: resp=%v err=%v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, body := postJSON(t, base+"/range", map[string]any{"query": query(dim, 0.5), "r": 0.8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range: status %d body %s", resp.StatusCode, body)
+	}
+	var rangeReply struct {
+		Results [][]float64 `json:"results"`
+		Count   int         `json:"count"`
+	}
+	if err := json.Unmarshal(body, &rangeReply); err != nil {
+		t.Fatalf("range reply: %v (%s)", err, body)
+	}
+	if rangeReply.Count != len(rangeReply.Results) {
+		t.Fatalf("range count %d != %d results", rangeReply.Count, len(rangeReply.Results))
+	}
+
+	resp, body = postJSON(t, base+"/knn", map[string]any{"query": query(dim, 0.5), "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn: status %d body %s", resp.StatusCode, body)
+	}
+	var knnReply struct {
+		Neighbors []struct {
+			Dist float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	if err := json.Unmarshal(body, &knnReply); err != nil {
+		t.Fatalf("knn reply: %v (%s)", err, body)
+	}
+	if len(knnReply.Neighbors) != 3 {
+		t.Fatalf("knn returned %d neighbors, want 3", len(knnReply.Neighbors))
+	}
+
+	resp, body = postJSON(t, base+"/range", map[string]any{"query": query(3, 0.5), "r": 0.8})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dim query: status %d body %s", resp.StatusCode, body)
+	}
+
+	sresp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Range struct {
+			Queries int64 `json:"queries"`
+		} `json:"range"`
+		KNN struct {
+			Queries int64 `json:"queries"`
+		} `json:"knn"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Range.Queries != 1 || stats.KNN.Queries != 1 {
+		t.Fatalf("stats: range=%d knn=%d, want 1/1", stats.Range.Queries, stats.KNN.Queries)
+	}
+
+	// No -dir: reload must be a clean 501, not a crash.
+	resp, body = postJSON(t, base+"/admin/reload", nil)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("reload without -dir: status %d body %s", resp.StatusCode, body)
+	}
+
+	shutdown()
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("missing shutdown log:\n%s", out.String())
+	}
+}
+
+func TestDaemonSnapshotRoundTrip(t *testing.T) {
+	const dim = 6
+	dir := t.TempDir()
+
+	// First run builds the synthetic index and saves a snapshot.
+	base, out, shutdown := startDaemon(t, "-n", "400", "-dim", fmt.Sprint(dim), "-shards", "2", "-dir", dir)
+	resp, body := postJSON(t, base+"/admin/reload", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d body %s", resp.StatusCode, body)
+	}
+	var reload struct {
+		Items int   `json:"items"`
+		Swaps int64 `json:"swaps"`
+	}
+	if err := json.Unmarshal(body, &reload); err != nil {
+		t.Fatal(err)
+	}
+	if reload.Items != 400 || reload.Swaps != 1 {
+		t.Fatalf("reload reply: %+v", reload)
+	}
+	shutdown()
+	if !strings.Contains(out.String(), "snapshot saved") {
+		t.Fatalf("first run did not save a snapshot:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+
+	// Second run must load from disk, not rebuild.
+	base, out2, shutdown2 := startDaemon(t, "-dim", fmt.Sprint(dim), "-dir", dir)
+	defer shutdown2()
+	if !strings.Contains(out2.String(), "loaded 400 items") {
+		t.Fatalf("second run did not load the snapshot:\n%s", out2.String())
+	}
+	resp, body = postJSON(t, base+"/range", map[string]any{"query": query(dim, 0.5), "r": 0.8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("range after load: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	err := run(context.Background(), &bytes.Buffer{}, []string{"-metric", "cosine"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown metric") {
+		t.Fatalf("bad metric: err=%v", err)
+	}
+	err = run(context.Background(), &bytes.Buffer{}, []string{"-dim", "0"}, nil)
+	if err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+}

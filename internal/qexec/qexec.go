@@ -75,7 +75,10 @@ type Options struct {
 	// cancelled, workers stop picking up new queries and the run
 	// returns ctx.Err() with the results slice only partially filled.
 	// In-flight queries finish (traversals are not interruptible
-	// mid-tree); cancellation latency is one query.
+	// mid-tree); cancellation latency is one query. With Workers > 1
+	// the filled slots are generally non-contiguous (striping) —
+	// consult Stats.AnsweredMask to tell real answers from never-run
+	// slots.
 	Context context.Context
 	// Observer, when non-nil, receives one observation per query:
 	// worker w records into shard w (obs.Observer.ObserveShard), so
@@ -124,6 +127,16 @@ type Stats struct {
 	// Answered counts queries actually run: equal to Queries unless
 	// the Context was cancelled mid-batch.
 	Answered int
+	// AnsweredMask[i] reports whether results[i] holds a real answer.
+	// It matters after a cancelled run with Workers > 1: workers stripe
+	// the batch, so the filled slots are generally NOT a contiguous
+	// prefix — worker w stops at its own next pickup, leaving holes
+	// wherever slower workers had not reached. A zero-value result slot
+	// (nil slice) is also a legal answer for an empty result set, so
+	// the mask — not a nil check — is the only way to tell "answered
+	// empty" from "never run". Always len(Queries); all true when the
+	// run completed.
+	AnsweredMask []bool
 }
 
 // parallelKNNIndex is the sharded opportunistic-KNN surface
@@ -195,10 +208,11 @@ func run[T any, R any](si index.StatsIndex[T], idx index.Index[T], queries []T, 
 		workers = 1
 	}
 	stats := Stats{
-		Queries:   len(queries),
-		Workers:   workers,
-		HasSearch: hasStats,
-		PerWorker: make([]WorkerStats, workers),
+		Queries:      len(queries),
+		Workers:      workers,
+		HasSearch:    hasStats,
+		PerWorker:    make([]WorkerStats, workers),
+		AnsweredMask: make([]bool, len(queries)),
 	}
 	var before int64
 	if si != nil {
@@ -227,6 +241,7 @@ func run[T any, R any](si index.StatsIndex[T], idx index.Index[T], queries []T, 
 					observer.ObserveShard(w, kind, time.Since(qStart), s)
 				}
 				results[i] = res
+				stats.AnsweredMask[i] = true
 				ws.Queries++
 				if hasStats {
 					ws.Search.Add(s)

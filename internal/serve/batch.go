@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"mvptree/internal/index"
+	"mvptree/internal/qexec"
+)
+
+// Micro-batching admission path. Each endpoint owns one batcher: a
+// bounded queue of pending requests drained by a single collector
+// goroutine that groups what it finds into batches for the qexec
+// worker-pool executor. The design keeps the goroutine budget fixed —
+// one collector per endpoint plus the executor's bounded pool per
+// in-flight batch — no matter how many clients connect:
+//
+//   - Admission is a non-blocking send into the bounded queue. A full
+//     queue rejects immediately (the HTTP layer turns that into
+//     503 + Retry-After), so overload sheds at the door instead of
+//     accumulating goroutines and memory.
+//
+//   - The collector takes the first waiting request, then keeps
+//     collecting until the batch is full or the batching window
+//     expires. Under load, batches fill instantly and the window never
+//     costs latency; when idle, a lone request pays at most the window.
+//
+//   - One executed batch serves many HTTP requests: requests are
+//     grouped by identical parameter (radius or k) and answered by one
+//     qexec.RunRange/RunKNN call over the swap's current index.
+//
+// Cancellation passes through: each request carries its own context,
+// and a batch runs under a context that cancels only when every member
+// request has been cancelled — one impatient client cannot abort its
+// batch-mates. After a cancelled run the executor's AnsweredMask says
+// exactly which slots hold real answers; unanswered members get an
+// error reply instead of a fabricated empty result.
+
+// ErrQueueFull is the admission rejection: the endpoint's bounded queue
+// had no room. The HTTP layer maps it to 503 + Retry-After.
+var ErrQueueFull = errors.New("serve: query queue full")
+
+// ErrShuttingDown rejects requests that raced into the queue while the
+// server was stopping.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// ErrCancelled replies to a request whose batch slot was never answered
+// because every member of the batch had been cancelled.
+var ErrCancelled = errors.New("serve: request cancelled before execution")
+
+// pending is one admitted request waiting for its batch.
+type pending[T, R any] struct {
+	ctx   context.Context
+	query T
+	// param is the batch-grouping key: the radius for range queries,
+	// float64(k) for kNN.
+	param float64
+	// done receives exactly one reply; buffered so the collector never
+	// blocks on a handler that stopped listening.
+	done chan reply[R]
+}
+
+// reply is the batcher's answer to one pending request.
+type reply[R any] struct {
+	result R
+	err    error
+}
+
+// batchStats are the batcher's own counters, read by the stats
+// endpoint. All fields are atomics; reads are approximate snapshots.
+type batchStats struct {
+	admitted  atomic.Int64 // requests accepted into the queue
+	rejected  atomic.Int64 // requests refused: queue full
+	cancelled atomic.Int64 // admitted requests whose slot went unanswered
+	batches   atomic.Int64 // executed batches
+	grouped   atomic.Int64 // executed per-parameter groups
+	queries   atomic.Int64 // queries answered through batches
+}
+
+// batcher is one endpoint's admission queue plus collector.
+type batcher[T, R any] struct {
+	queue chan *pending[T, R]
+	stop  chan struct{}
+	done  chan struct{}
+
+	swap     *Swap[T]
+	maxBatch int
+	maxWait  time.Duration
+	exec     func(idx index.StatsIndex[T], queries []T, param float64, opts qexec.Options) ([]R, qexec.Stats, error)
+	execOpts func() qexec.Options
+
+	stats batchStats
+}
+
+func newBatcher[T, R any](swap *Swap[T], queueCap, maxBatch int, maxWait time.Duration,
+	execOpts func() qexec.Options,
+	exec func(idx index.StatsIndex[T], queries []T, param float64, opts qexec.Options) ([]R, qexec.Stats, error)) *batcher[T, R] {
+	b := &batcher[T, R]{
+		queue:    make(chan *pending[T, R], queueCap),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		swap:     swap,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		exec:     exec,
+		execOpts: execOpts,
+	}
+	go b.loop()
+	return b
+}
+
+// submit admits one request, or rejects it immediately when the queue
+// is full. The returned channel yields exactly one reply.
+func (b *batcher[T, R]) submit(ctx context.Context, query T, param float64) (<-chan reply[R], error) {
+	p := &pending[T, R]{ctx: ctx, query: query, param: param, done: make(chan reply[R], 1)}
+	select {
+	case b.queue <- p:
+		b.stats.admitted.Add(1)
+		return p.done, nil
+	default:
+		b.stats.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// close stops the collector and waits for it: the in-flight batch
+// finishes, then everything still queued is refused.
+func (b *batcher[T, R]) close() {
+	close(b.stop)
+	<-b.done
+}
+
+func (b *batcher[T, R]) loop() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.stop:
+			b.refuseQueued()
+			return
+		case first := <-b.queue:
+			batch := append(make([]*pending[T, R], 0, b.maxBatch), first)
+			timer := time.NewTimer(b.maxWait)
+		collect:
+			for len(batch) < b.maxBatch {
+				select {
+				case p := <-b.queue:
+					batch = append(batch, p)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+			b.execute(batch)
+		}
+	}
+}
+
+// refuseQueued drains whatever raced into the queue after stop and
+// replies ErrShuttingDown.
+func (b *batcher[T, R]) refuseQueued() {
+	for {
+		select {
+		case p := <-b.queue:
+			p.done <- reply[R]{err: ErrShuttingDown}
+		default:
+			return
+		}
+	}
+}
+
+// execute answers one collected batch: members are grouped by
+// parameter (first-seen order) and each group runs as one executor
+// call against the index the swap serves right now.
+func (b *batcher[T, R]) execute(batch []*pending[T, R]) {
+	b.stats.batches.Add(1)
+	idx := b.swap.Load()
+	var order []float64
+	groups := make(map[float64][]*pending[T, R], 1)
+	for _, p := range batch {
+		if _, ok := groups[p.param]; !ok {
+			order = append(order, p.param)
+		}
+		groups[p.param] = append(groups[p.param], p)
+	}
+	for _, param := range order {
+		b.executeGroup(idx, param, groups[param])
+	}
+}
+
+func (b *batcher[T, R]) executeGroup(idx index.StatsIndex[T], param float64, group []*pending[T, R]) {
+	b.stats.grouped.Add(1)
+	queries := make([]T, len(group))
+	for i, p := range group {
+		queries[i] = p.query
+	}
+	ctx, release := mergedContext(group)
+	defer release()
+	opts := b.execOpts()
+	opts.Context = ctx
+	results, stats, err := b.exec(idx, queries, param, opts)
+	for i, p := range group {
+		switch {
+		case i < len(stats.AnsweredMask) && stats.AnsweredMask[i]:
+			b.stats.queries.Add(1)
+			p.done <- reply[R]{result: results[i]}
+		case err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
+			p.done <- reply[R]{err: err}
+		default:
+			b.stats.cancelled.Add(1)
+			p.done <- reply[R]{err: ErrCancelled}
+		}
+	}
+}
+
+// mergedContext returns a context that cancels only when EVERY member
+// request's context has been cancelled — a batch keeps running as long
+// as one member still wants its answer, and a fully abandoned batch
+// stops wasting distance computations (qexec's partial-results
+// contract picks up from there). The release func detaches the
+// watchers; it must be called once the batch is done.
+func mergedContext[T, R any](group []*pending[T, R]) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var remaining atomic.Int64
+	remaining.Store(int64(len(group)))
+	stops := make([]func() bool, len(group))
+	for i, p := range group {
+		stops[i] = context.AfterFunc(p.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}
+
+// queueDepth reports how many admitted requests wait in the queue.
+func (b *batcher[T, R]) queueDepth() int { return len(b.queue) }

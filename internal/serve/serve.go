@@ -1,0 +1,421 @@
+// Package serve is the network serving layer: a stdlib net/http JSON
+// query server over any index.StatsIndex — a single tree or a sharded
+// shard.Index alike — built for sustained concurrent load:
+//
+//   - Bounded admission. Each endpoint owns a fixed-capacity queue;
+//     when it is full the request is rejected immediately with
+//     503 + Retry-After. The server's goroutine budget does not grow
+//     with offered load, and overload degrades into fast rejections
+//     instead of collapse.
+//
+//   - Micro-batching. Queued requests are coalesced (up to MaxBatch,
+//     within MaxWait) and answered through the qexec worker-pool
+//     executor, so concurrent HTTP traffic is served with the same
+//     deterministic batch machinery the experiments use.
+//
+//   - Cancellation passthrough. Every request carries its HTTP
+//     context; a batch is cancelled only when all of its members are,
+//     and the executor's AnsweredMask separates real answers from
+//     abandoned slots.
+//
+//   - Live index swap. The served index sits behind an atomic pointer
+//     (Swap). Reload — from the crash-safe shard snapshot directory —
+//     builds the new index off to the side and publishes it with one
+//     pointer store: in-flight batches finish on the old index, later
+//     batches use the new one, and no request ever fails because of a
+//     swap.
+//
+//   - Telemetry. One obs.Observer records every served query; /stats
+//     returns its snapshot plus the admission counters, and the same
+//     snapshot is published through expvar on /debug/vars.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+	"mvptree/internal/qexec"
+)
+
+// Options tune the serving layer. The zero value serves sensible
+// defaults.
+type Options struct {
+	// MaxBatch bounds how many requests one executed batch may carry.
+	// Default 32.
+	MaxBatch int
+	// MaxWait is the batching window: how long the collector waits to
+	// fill a batch after its first request arrives. Under saturation
+	// batches fill instantly and the window costs nothing; when idle a
+	// lone request pays at most this. Default 2ms.
+	MaxWait time.Duration
+	// Queue is each endpoint's admission-queue capacity; a full queue
+	// rejects with 503. Default 256.
+	Queue int
+	// Workers is the executor worker count per batch. Default
+	// GOMAXPROCS.
+	Workers int
+	// RetryAfter is the hint sent with 503 rejections. Default 1s.
+	RetryAfter time.Duration
+	// ExpvarName, when non-empty, publishes the server's observer
+	// snapshot under this expvar name (readable on /debug/vars).
+	ExpvarName string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Queue <= 0 {
+		o.Queue = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Codec bridges the wire JSON and the index's item type.
+type Codec[T any] struct {
+	// DecodeQuery parses the "query" field of a request. Returning an
+	// error produces a 400; it is also the place to validate shape
+	// (e.g. vector dimensionality) so a malformed query can never
+	// reach the metric.
+	DecodeQuery func(raw json.RawMessage) (T, error)
+	// EncodeItem renders one result item into a JSON-marshalable
+	// value.
+	EncodeItem func(item T) (any, error)
+}
+
+// VectorCodec is the Codec for []float64 items under an enforced
+// dimensionality (dim <= 0 skips the check — only safe when every
+// stored item already has the same length as every query).
+func VectorCodec(dim int) Codec[[]float64] {
+	return Codec[[]float64]{
+		DecodeQuery: func(raw json.RawMessage) ([]float64, error) {
+			var v []float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return nil, fmt.Errorf("query is not a number array: %w", err)
+			}
+			if len(v) == 0 {
+				return nil, errors.New("query vector is empty")
+			}
+			if dim > 0 && len(v) != dim {
+				return nil, fmt.Errorf("query has %d dimensions, index stores %d", len(v), dim)
+			}
+			return v, nil
+		},
+		EncodeItem: func(item []float64) (any, error) { return item, nil },
+	}
+}
+
+// Server is the HTTP serving front end over a swappable index.
+type Server[T any] struct {
+	opts  Options
+	codec Codec[T]
+	swap  *Swap[T]
+	obs   *obs.Observer
+
+	rangeB *batcher[T, []T]
+	knnB   *batcher[T, []index.Neighbor[T]]
+
+	reloadMu sync.Mutex
+	reloader func() (index.StatsIndex[T], error)
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	started   time.Time
+}
+
+// New starts a Server over idx. The collectors run immediately; attach
+// the value returned by Handler to an http.Server and call Close on
+// the way out.
+func New[T any](idx index.StatsIndex[T], codec Codec[T], opts Options) *Server[T] {
+	opts = opts.withDefaults()
+	s := &Server[T]{
+		opts:    opts,
+		codec:   codec,
+		swap:    NewSwap(idx),
+		obs:     obs.NewObserver(0),
+		started: time.Now(),
+	}
+	execOpts := func() qexec.Options {
+		return qexec.Options{Workers: opts.Workers, Observer: s.obs}
+	}
+	s.rangeB = newBatcher(s.swap, opts.Queue, opts.MaxBatch, opts.MaxWait, execOpts,
+		func(idx index.StatsIndex[T], queries []T, param float64, qo qexec.Options) ([][]T, qexec.Stats, error) {
+			return qexec.RunRange[T](idx, queries, param, qo)
+		})
+	s.knnB = newBatcher(s.swap, opts.Queue, opts.MaxBatch, opts.MaxWait, execOpts,
+		func(idx index.StatsIndex[T], queries []T, param float64, qo qexec.Options) ([][]index.Neighbor[T], qexec.Stats, error) {
+			return qexec.RunKNN[T](idx, queries, int(param), qo)
+		})
+	if opts.ExpvarName != "" {
+		obs.PublishExpvar(opts.ExpvarName, s.obs)
+	}
+	return s
+}
+
+// SetReloader installs the snapshot loader behind POST /admin/reload.
+// Without one the endpoint answers 501.
+func (s *Server[T]) SetReloader(fn func() (index.StatsIndex[T], error)) { s.reloader = fn }
+
+// Swap exposes the underlying atomic index holder (for tests and for
+// processes that rebuild in-process instead of reloading from disk).
+func (s *Server[T]) Swap() *Swap[T] { return s.swap }
+
+// Observer returns the server's query observer.
+func (s *Server[T]) Observer() *obs.Observer { return s.obs }
+
+// Close stops the collectors after their in-flight batches finish and
+// refuses everything still queued. Call it after http.Server.Shutdown
+// so handlers have drained first. Idempotent.
+func (s *Server[T]) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.rangeB.close()
+		s.knnB.close()
+	})
+}
+
+// Handler returns the server's routing table:
+//
+//	POST /range        {"query": ..., "r": 0.5}
+//	POST /knn          {"query": ..., "k": 5}
+//	GET  /stats        admission counters + observer snapshot
+//	GET  /healthz      liveness
+//	POST /admin/reload swap in a freshly loaded snapshot
+//	GET  /debug/vars   expvar (includes the observer when ExpvarName set)
+func (s *Server[T]) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("POST /knn", s.handleKNN)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /admin/reload", s.handleReload)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// rangeRequest / knnRequest are the POST bodies.
+type rangeRequest struct {
+	Query json.RawMessage `json:"query"`
+	R     *float64        `json:"r"`
+}
+
+type knnRequest struct {
+	Query json.RawMessage `json:"query"`
+	K     *int            `json:"k"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// overloaded writes the backpressure rejection: 503 plus a Retry-After
+// hint, the contract load generators and clients key off.
+func (s *Server[T]) overloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter + time.Second - 1) / time.Second)))
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ErrQueueFull.Error()})
+}
+
+func (s *Server[T]) handleRange(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		s.overloaded(w)
+		return
+	}
+	var req rangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if req.R == nil || *req.R < 0 {
+		badRequest(w, "missing or negative radius %q", "r")
+		return
+	}
+	q, err := s.codec.DecodeQuery(req.Query)
+	if err != nil {
+		badRequest(w, "bad query: %v", err)
+		return
+	}
+	done, err := s.rangeB.submit(r.Context(), q, *req.R)
+	if err != nil {
+		s.overloaded(w)
+		return
+	}
+	select {
+	case rep := <-done:
+		if rep.err != nil {
+			s.replyError(w, rep.err)
+			return
+		}
+		items := make([]any, len(rep.result))
+		for i, it := range rep.result {
+			if items[i], err = s.codec.EncodeItem(it); err != nil {
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": items, "count": len(items)})
+	case <-r.Context().Done():
+		// Client gone; the buffered reply is dropped on the floor.
+	}
+}
+
+func (s *Server[T]) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		s.overloaded(w)
+		return
+	}
+	var req knnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if req.K == nil || *req.K < 1 {
+		badRequest(w, "missing or non-positive %q", "k")
+		return
+	}
+	q, err := s.codec.DecodeQuery(req.Query)
+	if err != nil {
+		badRequest(w, "bad query: %v", err)
+		return
+	}
+	done, err := s.knnB.submit(r.Context(), q, float64(*req.K))
+	if err != nil {
+		s.overloaded(w)
+		return
+	}
+	select {
+	case rep := <-done:
+		if rep.err != nil {
+			s.replyError(w, rep.err)
+			return
+		}
+		type wireNeighbor struct {
+			Item any     `json:"item"`
+			Dist float64 `json:"dist"`
+		}
+		neighbors := make([]wireNeighbor, len(rep.result))
+		for i, nb := range rep.result {
+			item, err := s.codec.EncodeItem(nb.Item)
+			if err != nil {
+				writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+				return
+			}
+			neighbors[i] = wireNeighbor{Item: item, Dist: nb.Dist}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"neighbors": neighbors, "count": len(neighbors)})
+	case <-r.Context().Done():
+	}
+}
+
+func (s *Server[T]) replyError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		s.overloaded(w)
+	case errors.Is(err, ErrCancelled):
+		// The client that could have read this is gone; 499-style.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// EndpointStats is one endpoint's admission and batching counters.
+type EndpointStats struct {
+	Admitted   int64 `json:"admitted"`
+	Rejected   int64 `json:"rejected"`
+	Cancelled  int64 `json:"cancelled"`
+	Batches    int64 `json:"batches"`
+	Groups     int64 `json:"groups"`
+	Queries    int64 `json:"queries"`
+	QueueDepth int   `json:"queue_depth"`
+}
+
+func endpointStats[T, R any](b *batcher[T, R]) EndpointStats {
+	return EndpointStats{
+		Admitted:   b.stats.admitted.Load(),
+		Rejected:   b.stats.rejected.Load(),
+		Cancelled:  b.stats.cancelled.Load(),
+		Batches:    b.stats.batches.Load(),
+		Groups:     b.stats.grouped.Load(),
+		Queries:    b.stats.queries.Load(),
+		QueueDepth: b.queueDepth(),
+	}
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Items     int           `json:"items"`
+	Swaps     int64         `json:"swaps"`
+	UptimeSec float64       `json:"uptime_sec"`
+	Range     EndpointStats `json:"range"`
+	KNN       EndpointStats `json:"knn"`
+	Obs       obs.Snapshot  `json:"obs"`
+}
+
+// Stats assembles the live serving counters and observer snapshot.
+func (s *Server[T]) Stats() StatsResponse {
+	return StatsResponse{
+		Items:     s.swap.Load().Len(),
+		Swaps:     s.swap.Swaps(),
+		UptimeSec: time.Since(s.started).Seconds(),
+		Range:     endpointStats(s.rangeB),
+		KNN:       endpointStats(s.knnB),
+		Obs:       s.obs.Snapshot(),
+	}
+}
+
+func (s *Server[T]) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server[T]) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "items": s.swap.Load().Len()})
+}
+
+func (s *Server[T]) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.reloader == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "no reloader configured"})
+		return
+	}
+	// Serialize reloads; queries are never blocked — they keep hitting
+	// whatever the swap currently holds.
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	idx, err := s.reloader()
+	if err != nil {
+		// The old index keeps serving; reload failure is not an outage.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("reload failed, still serving previous index: %v", err)})
+		return
+	}
+	s.swap.Store(idx)
+	writeJSON(w, http.StatusOK, map[string]any{"items": idx.Len(), "swaps": s.swap.Swaps()})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -13,13 +14,37 @@ import (
 // Directory persistence for a sharded index: a JSON manifest naming the
 // layout plus one blob per shard in the backend's own wire format
 // (which carries its own magic, version and integrity checks). The
-// manifest is the source of truth for the shard count and the backend;
-// LoadDir cross-checks both before touching a blob.
+// manifest is the source of truth for the shard count, the backend and
+// the blob file names; LoadDir cross-checks all three before touching a
+// blob.
+//
+// Crash safety. A snapshot directory must never be loadable-but-wrong:
+// the manifest's presence implies a complete, consistent snapshot. Two
+// disciplines enforce that:
+//
+//   - Every file — blob and manifest alike — is written to a temp file
+//     in the same directory, fsynced, and renamed into place. A crash
+//     mid-write leaves only a stray temp file, never a torn file under
+//     the real name.
+//
+//   - Blobs are written first and the manifest last, and each save
+//     writes its blobs under fresh generation-numbered names
+//     (shard-0007-g00000003.bin) that cannot collide with the blobs the
+//     live manifest references. The manifest rename is therefore the
+//     atomic commit point: a crash anywhere before it leaves the
+//     previous snapshot fully intact (old manifest → old blobs), and a
+//     crash after it leaves the new snapshot fully written. Stale
+//     blobs from earlier generations are garbage-collected only after
+//     the commit, and a crash during GC merely leaves unreferenced
+//     files behind.
 
 // manifestName is the manifest's filename inside the index directory.
 const manifestName = "manifest.json"
 
-// manifestVersion guards the manifest schema itself.
+// manifestVersion guards the manifest schema itself. Version 1 readers
+// ignore the generation/blob fields added for crash safety, so version
+// stays at 1; manifests written before those fields existed load
+// through the legacy fixed blob names.
 const manifestVersion = 1
 
 type manifest struct {
@@ -29,12 +54,89 @@ type manifest struct {
 	Assignment string `json:"assignment"`
 	Seed       uint64 `json:"seed"`
 	Sizes      []int  `json:"sizes"`
+	// Generation increments on every SaveDir into the same directory;
+	// Blobs names the generation's shard files. Both are absent from
+	// legacy manifests, which used the fixed legacyBlobName layout.
+	Generation uint64   `json:"generation,omitempty"`
+	Blobs      []string `json:"blobs,omitempty"`
 }
 
-func shardBlobName(i int) string { return fmt.Sprintf("shard-%04d.bin", i) }
+// legacyBlobName is the fixed pre-generation blob layout, still
+// accepted by LoadDir for manifests that carry no Blobs list.
+func legacyBlobName(i int) string { return fmt.Sprintf("shard-%04d.bin", i) }
 
-// SaveDir writes the index into dir (created if missing): the manifest
-// plus one blob per shard.
+func blobName(i int, gen uint64) string {
+	return fmt.Sprintf("shard-%04d-g%08d.bin", i, gen)
+}
+
+// writeFileAtomic writes name inside dir through a same-directory temp
+// file, fsyncs it, and renames it into place, so the file either exists
+// complete under its final name or not at all.
+func writeFileAtomic(dir, name string, write func(f *os.File) error) (err error) {
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name))
+}
+
+// syncDir fsyncs the directory itself so renames are durable. Best
+// effort: some filesystems refuse fsync on directories, and the rename
+// ordering alone already guarantees consistency (just not durability of
+// the very last save).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// nextGeneration picks a generation number strictly above anything in
+// the directory: the live manifest's generation and any blob file left
+// by an interrupted save.
+func nextGeneration(dir string) uint64 {
+	var maxGen uint64
+	if raw, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		var m manifest
+		if json.Unmarshal(raw, &m) == nil && m.Generation > maxGen {
+			maxGen = m.Generation
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return maxGen + 1
+	}
+	for _, e := range entries {
+		var i int
+		var g uint64
+		if n, _ := fmt.Sscanf(e.Name(), "shard-%04d-g%08d.bin", &i, &g); n == 2 && g > maxGen {
+			maxGen = g
+		}
+	}
+	return maxGen + 1
+}
+
+// SaveDir writes the index into dir (created if missing): one blob per
+// shard first, the manifest last. The manifest rename is the atomic
+// commit point — a crash anywhere during SaveDir leaves the directory
+// loading exactly the previous snapshot (or failing loudly if there
+// never was one), never a mix.
 func (x *Index[T]) SaveDir(dir string, be Backend[T], enc func(T) ([]byte, error)) error {
 	if be.Save == nil {
 		return fmt.Errorf("shard: backend %q cannot save", be.Name)
@@ -42,6 +144,7 @@ func (x *Index[T]) SaveDir(dir string, be Backend[T], enc func(T) ([]byte, error
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	gen := nextGeneration(dir)
 	m := manifest{
 		Version:    manifestVersion,
 		Backend:    be.Name,
@@ -49,31 +152,63 @@ func (x *Index[T]) SaveDir(dir string, be Backend[T], enc func(T) ([]byte, error
 		Assignment: x.opts.Assignment.String(),
 		Seed:       x.opts.Seed,
 		Sizes:      make([]int, len(x.shards)),
+		Generation: gen,
+		Blobs:      make([]string, len(x.shards)),
 	}
 	for i, s := range x.shards {
 		m.Sizes[i] = s.Len()
+		m.Blobs[i] = blobName(i, gen)
 	}
+	// Blobs first: fresh generation names, so nothing the live manifest
+	// references is touched.
+	for i, s := range x.shards {
+		err := writeFileAtomic(dir, m.Blobs[i], func(f *os.File) error {
+			return be.Save(s, f, enc)
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	syncDir(dir)
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), append(raw, '\n'), 0o644); err != nil {
+	// Manifest last: the commit point.
+	err = writeFileAtomic(dir, manifestName, func(f *os.File) error {
+		_, werr := f.Write(append(raw, '\n'))
+		return werr
+	})
+	if err != nil {
 		return err
 	}
-	for i, s := range x.shards {
-		f, err := os.Create(filepath.Join(dir, shardBlobName(i)))
-		if err != nil {
-			return err
+	syncDir(dir)
+	gcStaleBlobs(dir, m.Blobs)
+	return nil
+}
+
+// gcStaleBlobs removes snapshot files (blobs and temp leftovers) not
+// referenced by the just-committed manifest. Best effort: a failure
+// leaves garbage, never breaks the snapshot.
+func gcStaleBlobs(dir string, keep []string) {
+	live := make(map[string]bool, len(keep)+1)
+	live[manifestName] = true
+	for _, b := range keep {
+		live[b] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if live[name] {
+			continue
 		}
-		if err := be.Save(s, f, enc); err != nil {
-			f.Close()
-			return fmt.Errorf("shard %d: %w", i, err)
-		}
-		if err := f.Close(); err != nil {
-			return err
+		if strings.HasPrefix(name, "shard-") || strings.Contains(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
 		}
 	}
-	return nil
 }
 
 // LoadDir reads an index previously written by SaveDir. The backend
@@ -99,16 +234,28 @@ func LoadDir[T any](dir string, dist *metric.Counter[T], be Backend[T], dec func
 	if m.Shards <= 0 || m.Shards != len(m.Sizes) {
 		return nil, fmt.Errorf("shard: manifest inconsistent: %d shards, %d sizes", m.Shards, len(m.Sizes))
 	}
+	assignment, err := ParseAssignment(m.Assignment)
+	if err != nil {
+		return nil, fmt.Errorf("shard: manifest: %w", err)
+	}
+	blobs := m.Blobs
+	if blobs == nil {
+		// Legacy manifest from before generation-numbered blobs.
+		blobs = make([]string, m.Shards)
+		for i := range blobs {
+			blobs[i] = legacyBlobName(i)
+		}
+	}
+	if len(blobs) != m.Shards {
+		return nil, fmt.Errorf("shard: manifest inconsistent: %d shards, %d blobs", m.Shards, len(blobs))
+	}
 	x := &Index[T]{
 		shards: make([]index.StatsIndex[T], m.Shards),
 		dist:   dist,
-		opts:   Options{Shards: m.Shards, Seed: m.Seed},
-	}
-	if m.Assignment == Balanced.String() {
-		x.opts.Assignment = Balanced
+		opts:   Options{Shards: m.Shards, Seed: m.Seed, Assignment: assignment},
 	}
 	for i := range x.shards {
-		f, err := os.Open(filepath.Join(dir, shardBlobName(i)))
+		f, err := os.Open(filepath.Join(dir, blobs[i]))
 		if err != nil {
 			return nil, err
 		}

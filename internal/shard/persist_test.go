@@ -2,6 +2,8 @@ package shard
 
 import (
 	"encoding/binary"
+	"encoding/json"
+	"fmt"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -87,7 +89,7 @@ func TestLoadDirRejectsMismatches(t *testing.T) {
 		t.Fatalf("LoadDir accepted mismatched backend")
 	}
 	// Missing blob.
-	if err := os.Remove(filepath.Join(dir, shardBlobName(1))); err != nil {
+	if err := os.Remove(filepath.Join(dir, readManifest(t, dir).Blobs[1])); err != nil {
 		t.Fatalf("remove: %v", err)
 	}
 	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
@@ -100,6 +102,373 @@ func TestLoadDirRejectsMismatches(t *testing.T) {
 	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
 		t.Fatalf("LoadDir accepted corrupt manifest")
 	}
+}
+
+// assertSameAnswers asserts y answers every workload query exactly like x.
+func assertSameAnswers(t *testing.T, name string, x, y *Index[int], w *testutil.Workload) {
+	t.Helper()
+	for _, q := range w.Queries {
+		a := x.Range(q, 0.7)
+		b := y.Range(q, 0.7)
+		if len(a) != len(b) {
+			t.Fatalf("%s: range sizes %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: range result[%d] differs", name, i)
+			}
+		}
+		ka := x.KNN(q, 7)
+		kb := y.KNN(q, 7)
+		if len(ka) != len(kb) {
+			t.Fatalf("%s: knn sizes %d vs %d", name, len(ka), len(kb))
+		}
+		for i := range ka {
+			if ka[i].Item != kb[i].Item || ka[i].Dist != kb[i].Dist {
+				t.Fatalf("%s: knn result[%d] differs", name, i)
+			}
+		}
+	}
+}
+
+// readManifest parses the on-disk manifest for white-box assertions.
+func readManifest(t *testing.T, dir string) manifest {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("parse manifest: %v", err)
+	}
+	return m
+}
+
+// A save that dies mid-way — at any point before the final manifest
+// rename — must leave the directory loading exactly the previous
+// snapshot. The kill is injected through the item encoder: enc fails
+// after a budget of calls, aborting SaveDir at every possible depth
+// (before any blob, between blobs, mid-blob). The manifest-written-last
+// discipline plus generation-numbered blob names make every such torn
+// state load as the old snapshot.
+func TestSaveDirTornWriteKeepsOldSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 2))
+	w1 := testutil.NewVectorWorkload(rng, 240, 6, 5, metric.L2)
+	w2 := testutil.NewVectorWorkload(rng, 180, 6, 5, metric.L2)
+	enc, dec := intCodec()
+	be := MVP[int](mvpOpts)
+	v1, err := New(w1.Items, metric.NewCounter(w1.Dist), be, Options{Shards: 3, Seed: 9})
+	if err != nil {
+		t.Fatalf("New v1: %v", err)
+	}
+	v2, err := New(w2.Items, metric.NewCounter(w2.Dist), be, Options{Shards: 3, Seed: 9})
+	if err != nil {
+		t.Fatalf("New v2: %v", err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := v1.SaveDir(dir, be, enc); err != nil {
+		t.Fatalf("SaveDir v1: %v", err)
+	}
+	gen1 := readManifest(t, dir).Generation
+
+	// Kill the v2 save after `budget` successful item encodes, for
+	// every budget until the save finally succeeds.
+	succeeded := false
+	for budget := 0; budget < 10_000; budget += 1 + budget/2 {
+		calls := 0
+		killEnc := func(v int) ([]byte, error) {
+			if calls >= budget {
+				return nil, fmt.Errorf("injected crash after %d encodes", calls)
+			}
+			calls++
+			return enc(v)
+		}
+		err := v2.SaveDir(dir, be, killEnc)
+		if err == nil {
+			succeeded = true
+			break
+		}
+		// Torn state: the old snapshot must load, byte-identically.
+		got, lerr := LoadDir(dir, metric.NewCounter(w1.Dist), be, dec)
+		if lerr != nil {
+			t.Fatalf("budget %d: LoadDir after torn save failed: %v", budget, lerr)
+		}
+		if got.Len() != v1.Len() {
+			t.Fatalf("budget %d: torn dir loaded %d items, want old snapshot's %d", budget, got.Len(), v1.Len())
+		}
+		if g := readManifest(t, dir).Generation; g != gen1 {
+			t.Fatalf("budget %d: manifest generation %d, want untouched %d", budget, g, gen1)
+		}
+		assertSameAnswers(t, fmt.Sprintf("budget-%d", budget), v1, got, w1)
+	}
+	if !succeeded {
+		t.Fatalf("SaveDir v2 never succeeded within the budget sweep")
+	}
+
+	// After the completed save the new snapshot is live...
+	got, err := LoadDir(dir, metric.NewCounter(w2.Dist), be, dec)
+	if err != nil {
+		t.Fatalf("LoadDir after completed save: %v", err)
+	}
+	if got.Len() != v2.Len() {
+		t.Fatalf("loaded %d items, want new snapshot's %d", got.Len(), v2.Len())
+	}
+	assertSameAnswers(t, "committed-v2", v2, got, w2)
+
+	// ...and GC left exactly the manifest plus the live blobs.
+	m := readManifest(t, dir)
+	live := map[string]bool{manifestName: true}
+	for _, b := range m.Blobs {
+		live[b] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !live[e.Name()] {
+			t.Fatalf("stale file %q survived GC", e.Name())
+		}
+	}
+}
+
+// The other torn shape: every new blob written but the manifest rename
+// never reached (crash between the two phases). Simulated by committing
+// v2 into a scratch dir and copying only its blobs — not its manifest —
+// next to v1's live manifest. The old snapshot must still load.
+func TestSaveDirCrashBeforeManifestCommit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(45, 2))
+	w1 := testutil.NewVectorWorkload(rng, 200, 6, 4, metric.L2)
+	w2 := testutil.NewVectorWorkload(rng, 150, 6, 4, metric.L2)
+	enc, dec := intCodec()
+	be := MVP[int](mvpOpts)
+	v1, err := New(w1.Items, metric.NewCounter(w1.Dist), be, Options{Shards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(w2.Items, metric.NewCounter(w2.Dist), be, Options{Shards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	scratch := filepath.Join(t.TempDir(), "scratch")
+	if err := v1.SaveDir(dir, be, enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.SaveDir(scratch, be, enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.SaveDir(scratch, be, enc); err != nil {
+		t.Fatal(err)
+	}
+	// scratch is now at generation 2, matching what a second save into
+	// dir would have produced; copy only the blobs.
+	m2 := readManifest(t, scratch)
+	for _, b := range m2.Blobs {
+		raw, err := os.ReadFile(filepath.Join(scratch, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, b), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadDir(dir, metric.NewCounter(w1.Dist), be, dec)
+	if err != nil {
+		t.Fatalf("LoadDir with uncommitted new blobs: %v", err)
+	}
+	if got.Len() != v1.Len() {
+		t.Fatalf("loaded %d items, want old snapshot's %d", got.Len(), v1.Len())
+	}
+	assertSameAnswers(t, "uncommitted-blobs", v1, got, w1)
+}
+
+// Corruption in a shard blob — truncation, a flipped payload bit, or an
+// insane length prefix — must surface as a load error, never as a
+// quietly different index.
+func TestLoadDirDetectsCorruptBlobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(46, 2))
+	w := testutil.NewVectorWorkload(rng, 200, 5, 2, metric.L2)
+	enc, dec := intCodec()
+	be := MVP[int](mvpOpts)
+	x, err := New(w.Items, metric.NewCounter(w.Dist), be, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := x.SaveDir(dir, be, enc); err != nil {
+		t.Fatal(err)
+	}
+	blob := filepath.Join(dir, readManifest(t, dir).Blobs[0])
+	pristine, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(blob, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sanity: pristine dir loads.
+	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err != nil {
+		t.Fatalf("pristine LoadDir: %v", err)
+	}
+
+	// Truncation: half the blob gone.
+	if err := os.WriteFile(blob, pristine[:len(pristine)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
+		t.Fatalf("LoadDir accepted a truncated blob")
+	}
+	restore()
+
+	// A single flipped bit mid-payload: caught by the blob's checksum.
+	flipped := append([]byte(nil), pristine...)
+	flipped[len(flipped)/2] ^= 0x10
+	if err := os.WriteFile(blob, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
+		t.Fatalf("LoadDir accepted a bit-flipped blob")
+	}
+	restore()
+
+	// An all-ones header turns the leading length prefix into a huge
+	// varint: caught by the wire.MaxBytes bound (or the magic check).
+	smashed := append([]byte(nil), pristine...)
+	for i := 0; i < 12 && i < len(smashed); i++ {
+		smashed[i] = 0xFF
+	}
+	if err := os.WriteFile(blob, smashed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
+		t.Fatalf("LoadDir accepted a blob with a smashed header")
+	}
+	restore()
+
+	// Swapping two blobs of different sizes trips the manifest's
+	// per-shard size cross-check.
+	m := readManifest(t, dir)
+	if m.Sizes[0] != m.Sizes[1] {
+		a := filepath.Join(dir, m.Blobs[0])
+		b := filepath.Join(dir, m.Blobs[1])
+		ra, _ := os.ReadFile(a)
+		rb, _ := os.ReadFile(b)
+		os.WriteFile(a, rb, 0o644)
+		os.WriteFile(b, ra, 0o644)
+		if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
+			t.Fatalf("LoadDir accepted swapped shard blobs of different sizes")
+		}
+	}
+}
+
+// Every Assignment round-trips through its manifest string, and unknown
+// names are rejected instead of silently becoming RoundRobin.
+func TestAssignmentRoundTrip(t *testing.T) {
+	for _, a := range Assignments {
+		got, err := ParseAssignment(a.String())
+		if err != nil {
+			t.Fatalf("ParseAssignment(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Fatalf("ParseAssignment(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+	for _, bad := range []string{"", "round-robin", "BALANCED", "hash", "assignment(7)"} {
+		if _, err := ParseAssignment(bad); err == nil {
+			t.Fatalf("ParseAssignment(%q) accepted an unknown name", bad)
+		}
+	}
+
+	// End to end: each assignment survives SaveDir → LoadDir, and a
+	// manifest naming an unknown assignment refuses to load.
+	rng := rand.New(rand.NewPCG(47, 2))
+	w := testutil.NewVectorWorkload(rng, 90, 4, 2, metric.L2)
+	enc, dec := intCodec()
+	be := MVP[int](mvpOpts)
+	for _, a := range Assignments {
+		x, err := New(w.Items, metric.NewCounter(w.Dist), be, Options{Shards: 2, Assignment: a, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "idx-"+a.String())
+		if err := x.SaveDir(dir, be, enc); err != nil {
+			t.Fatal(err)
+		}
+		y, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y.opts.Assignment != a {
+			t.Fatalf("assignment %v loaded back as %v", a, y.opts.Assignment)
+		}
+
+		raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		m.Assignment = "definitely-not-a-strategy"
+		mangled, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, manifestName), mangled, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec); err == nil {
+			t.Fatalf("LoadDir accepted unknown assignment name")
+		}
+	}
+}
+
+// Manifests written before generation-numbered blobs (no blobs list)
+// still load through the fixed legacy names.
+func TestLoadDirLegacyLayout(t *testing.T) {
+	rng := rand.New(rand.NewPCG(48, 2))
+	w := testutil.NewVectorWorkload(rng, 120, 5, 3, metric.L2)
+	enc, dec := intCodec()
+	be := MVP[int](mvpOpts)
+	x, err := New(w.Items, metric.NewCounter(w.Dist), be, Options{Shards: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := x.SaveDir(dir, be, enc); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the directory into the legacy shape: fixed blob names, a
+	// manifest without generation/blobs fields.
+	m := readManifest(t, dir)
+	for i, b := range m.Blobs {
+		if err := os.Rename(filepath.Join(dir, b), filepath.Join(dir, legacyBlobName(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Blobs = nil
+	m.Generation = 0
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadDir(dir, metric.NewCounter(w.Dist), be, dec)
+	if err != nil {
+		t.Fatalf("LoadDir legacy layout: %v", err)
+	}
+	if y.Len() != x.Len() {
+		t.Fatalf("legacy load: %d items, want %d", y.Len(), x.Len())
+	}
+	assertSameAnswers(t, "legacy", x, y, w)
 }
 
 // Per-shard observers see exactly the sub-queries their shard served,

@@ -65,6 +65,23 @@ func (a Assignment) String() string {
 	}
 }
 
+// Assignments lists every valid Assignment, in declaration order. It is
+// the single source of truth for name parsing and for table tests.
+var Assignments = []Assignment{RoundRobin, Balanced}
+
+// ParseAssignment maps an Assignment's String form back to the value.
+// Unknown names are an error — the persistence manifest goes through
+// this, so a typo or a future strategy name is rejected loudly instead
+// of silently degrading to RoundRobin.
+func ParseAssignment(s string) (Assignment, error) {
+	for _, a := range Assignments {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown assignment %q", s)
+}
+
 // Options configure a sharded build.
 type Options struct {
 	// Shards is the shard count S. The default (<= 0) is 1.
