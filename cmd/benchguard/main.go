@@ -1,22 +1,40 @@
-// Command benchguard is the CI benchmark-regression gate: it compares a
-// fresh `mvpbench -queryjson` report against the querybench section of
-// the committed BENCH_query.json baseline and exits nonzero if the
-// mvp-tree's range or kNN serving time regressed by more than the
-// threshold.
+// Command benchguard is the CI benchmark-regression gate. It has two
+// modes:
 //
-// Both sides are measured with the same querybench methodology
-// (QueryBenchStudy: warm-up pass, then QueryBenchRounds timed passes on
-// one goroutine), so the comparison is apples-to-apples; the go_bench
-// rows in the baseline come from `go test -bench` and are reported for
-// humans, not compared here. Wall-clock benchmarks on shared CI runners
-// are noisy, which is why the default threshold is a generous 20% and
-// why only a regression fails the gate — improvements and noise in the
-// fast direction always pass.
+//   - -mode query (the default) compares a fresh `mvpbench -queryjson`
+//     report against the querybench section of the committed
+//     BENCH_query.json baseline and exits nonzero if the mvp-tree's
+//     range or kNN serving time regressed by more than the threshold.
+//
+//   - -mode cascade compares a fresh `mvpbench -cascadejson` report
+//     against the cascadebench section of the committed
+//     BENCH_cascade.json baseline: for every (structure, workload) row
+//     present in both, the cascade-on per-query distance counts must
+//     not exceed the baseline by more than the threshold. Distance
+//     counts are machine-independent, so unlike the wall-clock query
+//     gate this comparison is essentially exact. The bkt kNN column is
+//     skipped outright (its children live in a Go map, so traversal
+//     order — and how fast τ tightens — varies run to run); bkt's
+//     cascade-on range count can also drift by a few distances (map
+//     order decides which pivots a query registers), which the
+//     generous threshold absorbs. Every other cell is bit-reproducible.
+//
+// Both sides of each gate are measured with the same methodology
+// (QueryBenchStudy / CascadeBenchStudy), so the comparison is
+// apples-to-apples; the go_bench rows in the query baseline come from
+// `go test -bench` and are reported for humans, not compared here.
+// Wall-clock benchmarks on shared CI runners are noisy, which is why
+// the default threshold is a generous 20% and why only a regression
+// fails the gate — improvements and noise in the fast direction always
+// pass.
 //
 // Usage:
 //
 //	go run ./cmd/mvpbench -experiment querybench -queryjson fresh.json
 //	go run ./cmd/benchguard -baseline BENCH_query.json -fresh fresh.json
+//
+//	go run ./cmd/mvpbench -experiment cascadebench -cascadejson fresh.json
+//	go run ./cmd/benchguard -mode cascade -baseline BENCH_cascade.json -fresh fresh.json
 package main
 
 import (
@@ -29,38 +47,60 @@ import (
 	"mvptree/internal/experiments"
 )
 
-// baselineFile is the committed artifact's shape: the querybench report
-// is nested under "querybench" next to prose and go_bench rows.
+// baselineFile is the committed artifact's shape: the report is nested
+// under a mode-named key ("querybench" in BENCH_query.json,
+// "cascadebench" in BENCH_cascade.json) next to prose fields.
 type baselineFile struct {
-	BaselineCommit string                       `json:"baseline_commit"`
-	Querybench     experiments.QueryBenchReport `json:"querybench"`
+	BaselineCommit string                         `json:"baseline_commit"`
+	Querybench     experiments.QueryBenchReport   `json:"querybench"`
+	Cascadebench   experiments.CascadeBenchReport `json:"cascadebench"`
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_query.json", "committed baseline artifact (querybench section is compared)")
-	freshPath := flag.String("fresh", "", "fresh report written by mvpbench -queryjson (required)")
-	structure := flag.String("structure", "mvpt(", "structure-name prefix to guard")
-	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional ns/op regression before failing")
+	mode := flag.String("mode", "query", "gate to run: query (wall-clock serving cost) or cascade (cascade-on distance counts)")
+	baselinePath := flag.String("baseline", "", "committed baseline artifact (default BENCH_query.json or BENCH_cascade.json per mode)")
+	freshPath := flag.String("fresh", "", "fresh report written by mvpbench -queryjson / -cascadejson (required)")
+	structure := flag.String("structure", "mvpt(", "structure-name prefix to guard (query mode)")
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional regression before failing")
 	flag.Parse()
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -fresh is required")
 		os.Exit(2)
 	}
 
+	switch *mode {
+	case "query":
+		if *baselinePath == "" {
+			*baselinePath = "BENCH_query.json"
+		}
+		queryGate(*baselinePath, *freshPath, *structure, *threshold)
+	case "cascade":
+		if *baselinePath == "" {
+			*baselinePath = "BENCH_cascade.json"
+		}
+		cascadeGate(*baselinePath, *freshPath, *threshold)
+	default:
+		fmt.Fprintf(os.Stderr, "benchguard: unknown -mode %q (want query or cascade)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// queryGate compares wall-clock serving cost for one guarded structure.
+func queryGate(baselinePath, freshPath, structure string, threshold float64) {
 	var base baselineFile
-	if err := readJSON(*baselinePath, &base); err != nil {
+	if err := readJSON(baselinePath, &base); err != nil {
 		fatal(err)
 	}
 	var fresh experiments.QueryBenchReport
-	if err := readJSON(*freshPath, &fresh); err != nil {
+	if err := readJSON(freshPath, &fresh); err != nil {
 		fatal(err)
 	}
 
-	baseRow, err := findRow(base.Querybench.Rows, *structure, *baselinePath)
+	baseRow, err := findRow(base.Querybench.Rows, structure, baselinePath)
 	if err != nil {
 		fatal(err)
 	}
-	freshRow, err := findRow(fresh.Rows, *structure, *freshPath)
+	freshRow, err := findRow(fresh.Rows, structure, freshPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,10 +113,60 @@ func main() {
 	}
 
 	ok := true
-	ok = check("RangeMVP", baseRow.RangeNsPerOp, freshRow.RangeNsPerOp, *threshold) && ok
-	ok = check("KNNMVP", baseRow.KNNNsPerOp, freshRow.KNNNsPerOp, *threshold) && ok
+	ok = check("RangeMVP", "ns/op", baseRow.RangeNsPerOp, freshRow.RangeNsPerOp, threshold) && ok
+	ok = check("KNNMVP", "ns/op", baseRow.KNNNsPerOp, freshRow.KNNNsPerOp, threshold) && ok
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchguard: FAIL (baseline %s, commit %s)\n", *baselinePath, base.BaselineCommit)
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL (baseline %s, commit %s)\n", baselinePath, base.BaselineCommit)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// cascadeGate compares cascade-on per-query distance counts for every
+// row shared by the baseline and the fresh report.
+func cascadeGate(baselinePath, freshPath string, threshold float64) {
+	var base baselineFile
+	if err := readJSON(baselinePath, &base); err != nil {
+		fatal(err)
+	}
+	var fresh experiments.CascadeBenchReport
+	if err := readJSON(freshPath, &fresh); err != nil {
+		fatal(err)
+	}
+	b := &base.Cascadebench
+	if b.N != fresh.N || b.Dim != fresh.Dim || b.Queries != fresh.Queries || b.Words != fresh.Words {
+		fatal(fmt.Errorf("workload mismatch: baseline n=%d dim=%d queries=%d words=%d vs fresh n=%d dim=%d queries=%d words=%d (rerun mvpbench with the baseline's workload flags)",
+			b.N, b.Dim, b.Queries, b.Words, fresh.N, fresh.Dim, fresh.Queries, fresh.Words))
+	}
+
+	freshRows := make(map[string]*experiments.CascadeBenchRow, len(fresh.Rows))
+	for i := range fresh.Rows {
+		r := &fresh.Rows[i]
+		freshRows[r.Structure+"/"+r.Workload] = r
+	}
+
+	ok := true
+	compared := 0
+	for i := range b.Rows {
+		br := &b.Rows[i]
+		key := br.Structure + "/" + br.Workload
+		fr, found := freshRows[key]
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: baseline row missing from fresh report\n", key)
+			ok = false
+			continue
+		}
+		compared++
+		ok = check(key+" range", "dist/q", br.RangeDistOn, fr.RangeDistOn, threshold) && ok
+		if br.Structure != "bkt" {
+			ok = check(key+" knn", "dist/q", br.KNNDistOn, fr.KNNDistOn, threshold) && ok
+		}
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("%s: cascadebench section has no rows", baselinePath))
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL (baseline %s, commit %s)\n", baselinePath, base.BaselineCommit)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: PASS")
@@ -85,9 +175,9 @@ func main() {
 // check prints one comparison line and reports whether fresh is within
 // threshold of base. A zero or negative baseline cannot be compared and
 // fails loudly rather than dividing by it.
-func check(name string, base, fresh, threshold float64) bool {
+func check(name, unit string, base, fresh, threshold float64) bool {
 	if base <= 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: %s baseline ns/op is %.1f, cannot compare\n", name, base)
+		fmt.Fprintf(os.Stderr, "benchguard: %s baseline %s is %.1f, cannot compare\n", name, unit, base)
 		return false
 	}
 	delta := (fresh - base) / base
@@ -95,8 +185,8 @@ func check(name string, base, fresh, threshold float64) bool {
 	if delta > threshold {
 		status = fmt.Sprintf("REGRESSION (> %.0f%%)", threshold*100)
 	}
-	fmt.Printf("%-9s baseline %12.1f ns/op   fresh %12.1f ns/op   %+6.1f%%   %s\n",
-		name, base, fresh, delta*100, status)
+	fmt.Printf("%-22s baseline %12.1f %s   fresh %12.1f %s   %+6.1f%%   %s\n",
+		name, base, unit, fresh, unit, delta*100, status)
 	return delta <= threshold
 }
 

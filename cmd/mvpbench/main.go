@@ -13,7 +13,8 @@
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 claims
 // ablation-p ablation-k ablation-sv2 ablation-v knn structures words
-// build approx filters telemetry querybench shardbench all.
+// build approx filters telemetry querybench shardbench cascadebench
+// all.
 //
 // -obsjson FILE writes the telemetry experiment's per-structure
 // observer snapshots (latency and distance-count histograms, filter
@@ -21,7 +22,9 @@
 // experiment's per-structure serving costs (ns/op, distances/query,
 // allocs/op); -shardjson FILE writes the shardbench experiment's
 // sharded-serving scaling report (-shards and -queryworkers set its
-// sweeps); -cpuprofile/-memprofile write pprof profiles of the run.
+// sweeps); -cascadejson FILE writes the cascadebench experiment's
+// cascade-off vs cascade-on distance-count deltas;
+// -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -70,6 +73,7 @@ func run(out io.Writer, args []string) error {
 		shards       = fs.String("shards", "", "comma-separated shard counts for the shardbench experiment (default 1,2,4,8)")
 		queryWorkers = fs.String("queryworkers", "", "comma-separated intra-query fan-out worker counts for the shardbench experiment (default 1,2,4,8)")
 		shardJSON    = fs.String("shardjson", "", "write the shardbench experiment's scaling report as JSON to this file (adds the shardbench experiment if not selected)")
+		cascadeJSON  = fs.String("cascadejson", "", "write the cascadebench experiment's distance-count report as JSON to this file (adds the cascadebench experiment if not selected)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
@@ -170,7 +174,7 @@ func run(out io.Writer, args []string) error {
 	if *experiment == "all" {
 		ids = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench"}
+			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench", "cascadebench"}
 	}
 	if *buildJSON != "" && !containsID(ids, "build") {
 		ids = append(ids, "build")
@@ -184,8 +188,11 @@ func run(out io.Writer, args []string) error {
 	if *shardJSON != "" && !containsID(ids, "shardbench") {
 		ids = append(ids, "shardbench")
 	}
+	if *cascadeJSON != "" && !containsID(ids, "cascadebench") {
+		ids = append(ids, "cascadebench")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON, *cascadeJSON); err != nil {
 			return err
 		}
 	}
@@ -268,7 +275,15 @@ func writeShardJSON(path string, rep *experiments.ShardBenchReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON string) error {
+func writeCascadeJSON(path string, rep *experiments.CascadeBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON, cascadeJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -360,6 +375,15 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSO
 		if err == nil && shardJSON != "" {
 			err = writeShardJSON(shardJSON, rep)
 		}
+	case "cascadebench":
+		var rep *experiments.CascadeBenchReport
+		rep, err = experiments.CascadeBenchStudy(cfg)
+		if err == nil {
+			err = experiments.WriteCascadeBench(out, rep)
+		}
+		if err == nil && cascadeJSON != "" {
+			err = writeCascadeJSON(cascadeJSON, rep)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -396,6 +420,7 @@ func describe(id string) string {
 		"telemetry":    "extension: per-structure query telemetry (observer snapshots)",
 		"querybench":   "extension: serving hot-path cost (ns/op, distances, allocs per query)",
 		"shardbench":   "extension: sharded serving scaling (shards × intra-query workers)",
+		"cascadebench": "extension: cross-query bound cascade, distance counts off vs on",
 	}
 	if d, ok := descriptions[id]; ok {
 		return d

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"mvptree/internal/cascade"
 	"mvptree/internal/codec"
 	"mvptree/internal/dataset"
 	"mvptree/internal/index"
@@ -96,6 +97,8 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		queue      = fs.Int("queue", 256, "per-endpoint admission queue capacity (full queue = 503)")
 		workers    = fs.Int("workers", 0, "executor goroutines per batch (0 = GOMAXPROCS)")
 		retryAfter = fs.Duration("retryafter", time.Second, "Retry-After hint on 503 rejections")
+		casOn      = fs.Bool("cascade", false, "enable the cross-query bound cascade on every shard (identical results, fewer distance computations per query)")
+		casPivots  = fs.Int("cascadepivots", 0, "cascade pivot cap per shard (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,10 +116,18 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		PathLength:   *pathLen,
 	})
 
+	casOpts := cascade.Options{Pivots: *casPivots, Workers: *buildW}
 	load := func() (index.StatsIndex[[]float64], error) {
 		x, err := shard.LoadDir(*dir, metric.NewCounter(distFn), be, codec.DecodeVector)
 		if err != nil {
 			return nil, err
+		}
+		// The cascade is not serialized; rebuild it on every load (and
+		// reload) so a swapped-in index serves with the same filters.
+		if *casOn {
+			if err := x.EnableCascade(casOpts); err != nil {
+				return nil, err
+			}
 		}
 		return x, nil
 	}
@@ -147,6 +158,13 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 				return fmt.Errorf("saving snapshot to %s: %w", *dir, err)
 			}
 			fmt.Fprintf(out, "mvpserve: snapshot saved to %s\n", *dir)
+		}
+		if *casOn {
+			before := x.DistanceCount()
+			if err := x.EnableCascade(casOpts); err != nil {
+				return fmt.Errorf("enabling cascade: %w", err)
+			}
+			fmt.Fprintf(out, "mvpserve: cascade enabled (%d precomputed distances)\n", x.DistanceCount()-before)
 		}
 		idx = x
 	}

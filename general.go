@@ -27,6 +27,9 @@ func NewGeneral[T any](items []T, dist DistanceFunc[T], opts GeneralOptions, ixO
 		return nil, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -38,6 +41,9 @@ func NewGeneralWithStats[T any](items []T, dist DistanceFunc[T], opts GeneralOpt
 		return nil, bs, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
 	return t, bs, nil
 }
 

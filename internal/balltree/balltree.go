@@ -22,6 +22,7 @@ import (
 	"errors"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -58,6 +59,7 @@ type Tree[T any] struct {
 	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
+	cas        *cascade.Filter[T]
 	size       int
 	buildStats build.Stats
 }
@@ -73,6 +75,10 @@ type node[T any] struct {
 	children []*node[T]
 	leaf     bool
 	items    []T
+
+	// Cascade stamps (see cascade.go; all zero until EnableCascade).
+	casC    []int32 // casC[j] stamps centers[j]; nil when no center is a pivot
+	casBase int32
 }
 
 // New builds a tree over items using the counted metric dist.
@@ -220,13 +226,20 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		return nil, s
 	}
 	var out []T
-	t.rangeNode(t.root, q, r, &out, &s)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
+	t.rangeNode(t.root, q, r, cc, &out, &s)
+	if cc != nil {
+		t.cas.Put(cc)
+	}
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
@@ -234,8 +247,17 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 	t.TraceNode(n.leaf)
 	if n.leaf {
 		s.LeavesVisited++
-		for _, it := range n.items {
+		cas, base := t.cas, n.casBase
+		useCas := cc != nil && cc.Registered() > 0
+		filtered := 0
+		for i, it := range n.items {
 			s.Candidates++
+			if useCas {
+				if lb := cas.LowerBound(cc, base+int32(i)); lb > r {
+					filtered++
+					continue
+				}
+			}
 			s.Computed++
 			t.TraceDistance(1)
 			// Membership only, so the kernel may abandon at r.
@@ -243,20 +265,33 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 				*out = append(*out, it)
 			}
 		}
+		if filtered > 0 {
+			s.FilteredByCascade += filtered
+			t.TracePrune(obs.FilterCascade, filtered)
+		}
 		return
 	}
 	for j, c := range n.centers {
 		// A center distance is used one-sidedly — membership and the
 		// prune test d−ρ > r — so abandoning past r+ρ forces the same
-		// prune the exact distance would.
-		d := t.dist.DistanceUpTo(q, c, r+n.radii[j])
+		// prune the exact distance would. When the center is a cascade
+		// pivot the exact distance is computed instead (exact is itself
+		// a valid bounded kernel, so every decision is unchanged) and
+		// shared with the leaf filter.
+		var d float64
+		if cc != nil && n.casC != nil && n.casC[j] != 0 && cc.Wants() {
+			d = t.dist.Distance(q, c)
+			cc.Register(n.casC[j]-1, d)
+		} else {
+			d = t.dist.DistanceUpTo(q, c, r+n.radii[j])
+		}
 		s.VantagePoints++
 		t.TraceDistance(1)
 		if d <= r {
 			*out = append(*out, c)
 		}
 		if d-n.radii[j] <= r {
-			t.rangeNode(n.children[j], q, r, out, s)
+			t.rangeNode(n.children[j], q, r, cc, out, s)
 		} else if n.children[j] != nil {
 			s.ShellsPruned++
 			t.TracePrune(obs.FilterShell, 1)
@@ -281,6 +316,11 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+		defer t.cas.Put(cc)
+	}
 	var queue heapx.NodeQueue[*node[T]]
 	queue.PushNode(t.root, 0)
 	for {
@@ -295,19 +335,43 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		t.TraceNode(n.leaf)
 		if n.leaf {
 			s.LeavesVisited++
-			for _, it := range n.items {
+			cas, base := t.cas, n.casBase
+			useCas := cc != nil && cc.Registered() > 0
+			filtered := 0
+			for i, it := range n.items {
 				s.Candidates++
+				if useCas {
+					// A candidate whose lower bound the heap would
+					// reject cannot change the result set: the bounded
+					// kernel below would return a value ≥ the bound.
+					if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) {
+						filtered++
+						continue
+					}
+				}
 				s.Computed++
 				t.TraceDistance(1)
 				// Push ignores anything ≥ the k-th best: abandon at τ.
 				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
 			}
+			if filtered > 0 {
+				s.FilteredByCascade += filtered
+				t.TracePrune(obs.FilterCascade, filtered)
+			}
 			continue
 		}
 		for j, c := range n.centers {
 			// One-sided use (τ in place of r): abandoning past τ+ρ
-			// rejects the center and prunes the child either way.
-			d := t.dist.DistanceUpTo(q, c, best.Threshold()+n.radii[j])
+			// rejects the center and prunes the child either way. A
+			// stamped center is computed exactly instead (same
+			// decisions, see cascade.go) and shared with the cascade.
+			var d float64
+			if cc != nil && n.casC != nil && n.casC[j] != 0 && cc.Wants() {
+				d = t.dist.Distance(q, c)
+				cc.Register(n.casC[j]-1, d)
+			} else {
+				d = t.dist.DistanceUpTo(q, c, best.Threshold()+n.radii[j])
+			}
 			best.Push(c, d)
 			s.VantagePoints++
 			t.TraceDistance(1)

@@ -1,0 +1,72 @@
+package balltree
+
+import "mvptree/internal/cascade"
+
+// EnableCascade builds the cross-query bound cascade for the tree
+// (internal/cascade): a breadth-first walk collects the first
+// opts.Pivots set centers as cascade pivots (stamping their nodes) and
+// assigns every leaf item a contiguous id, then precomputes the pivot ×
+// item distance rows through the tree's own counter. Afterwards a
+// query evaluating a stamped center computes the exact distance instead
+// of the bounded kernel — exact is itself a valid bounded kernel, so
+// every membership and prune decision (and the distance count) is
+// unchanged — registers it, and skips leaf candidates whose
+// triangle-inequality lower bound over the registered distances already
+// exceeds the query threshold. The center/radius tree's leaf scans have
+// no filter of their own (Computed == Candidates without the cascade),
+// so this is the structure's first stored-distance leaf filter.
+// Results are byte-identical with the cascade on or off; per-query
+// distance counts can only decrease.
+//
+// The precomputation is lazy — nothing is spent unless this is called —
+// and costs Pivots × LeafItems distance computations, reported by
+// Cascade().BuildDistances. A tree too small to hold leaf items (or
+// centers) is left uncascaded silently. EnableCascade is not
+// synchronized with in-flight queries: enable the cascade before
+// serving.
+func (t *Tree[T]) EnableCascade(opts cascade.Options) error {
+	if t.root == nil {
+		return nil
+	}
+	b, err := cascade.NewBuilder[T](opts)
+	if err != nil {
+		return err
+	}
+	queue := []*node[T]{t.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.leaf {
+			n.casBase = b.AddItems(n.items)
+			continue
+		}
+		for j := range n.centers {
+			st := b.AddPivot(n.centers[j])
+			if st == 0 {
+				break // pivot budget exhausted; later centers stay unstamped
+			}
+			if n.casC == nil {
+				n.casC = make([]int32, len(n.centers))
+			}
+			n.casC[j] = st
+		}
+		for _, c := range n.children {
+			if c != nil {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if b.NumPivots() == 0 || b.NumItems() == 0 {
+		return nil
+	}
+	f, err := b.Build(t.dist)
+	if err != nil {
+		return err
+	}
+	t.cas = f
+	return nil
+}
+
+// Cascade returns the tree's cascade filter, nil unless EnableCascade
+// built one.
+func (t *Tree[T]) Cascade() *cascade.Filter[T] { return t.cas }

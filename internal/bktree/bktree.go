@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -58,6 +59,7 @@ type Tree[T any] struct {
 	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
+	cas        *cascade.Filter[T]
 	size       int
 	buildStats build.Stats
 }
@@ -67,6 +69,10 @@ var _ index.StatsIndex[string] = (*Tree[string])(nil)
 type node[T any] struct {
 	item     T
 	children map[int]*node[T]
+
+	// Cascade stamps (see cascade.go; both zero until EnableCascade).
+	cas   int32 // pivot stamp, set on internal nodes
+	casID int32 // item id + 1, set on nodes that were leaves at enable time
 }
 
 // New builds a BK-tree equivalent to inserting items in order. The
@@ -215,41 +221,61 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		return nil, s
 	}
 	var out []T
-	t.rangeNode(t.root, q, r, &out, &s)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
+	t.rangeNode(t.root, q, r, cc, &out, &s)
+	if cc != nil {
+		t.cas.Put(cc)
+	}
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
 	s.NodesVisited++
 	leaf := n.children == nil
 	t.TraceNode(leaf)
 	s.Candidates++
+	if leaf {
+		s.LeavesVisited++
+		// A leaf's distance only decides membership — so the cascade
+		// may skip the computation outright when the registered-pivot
+		// lower bound already exceeds r.
+		if cc != nil && n.casID != 0 && cc.Registered() > 0 {
+			if lb := t.cas.LowerBound(cc, n.casID-1); lb > r {
+				s.FilteredByCascade++
+				t.TracePrune(obs.FilterCascade, 1)
+				return
+			}
+		}
+		s.Computed++
+		t.TraceDistance(1)
+		// Membership only: the kernel may abandon at r.
+		if t.dist.DistanceUpTo(q, n.item, r) <= r {
+			*out = append(*out, n.item)
+		}
+		return
+	}
 	s.Computed++
 	t.TraceDistance(1)
-	var d float64
-	if leaf {
-		// A leaf's distance only decides membership, so the kernel may
-		// abandon at r. An internal node's distance also positions the
-		// child key window [⌈d−r⌉, ⌊d+r⌋] — a two-sided use an
-		// understated distance would corrupt — so it stays exact.
-		d = t.dist.DistanceUpTo(q, n.item, r)
-	} else {
-		d = t.dist.Distance(q, n.item)
+	// An internal node's distance positions the child key window
+	// [⌈d−r⌉, ⌊d+r⌋] — a two-sided use an understated distance would
+	// corrupt — so it stays exact, and the cascade shares it for free.
+	d := t.dist.Distance(q, n.item)
+	if cc != nil && n.cas != 0 && cc.Wants() {
+		cc.Register(n.cas-1, d)
 	}
 	if d <= r {
 		*out = append(*out, n.item)
-	}
-	if leaf {
-		s.LeavesVisited++
-		return
 	}
 	lo := int(math.Ceil(d - r))
 	hi := int(math.Floor(d + r))
 	for key, c := range n.children {
 		if key >= lo && key <= hi {
-			t.rangeNode(c, q, r, out, s)
+			t.rangeNode(c, q, r, cc, out, s)
 		} else {
 			s.ShellsPruned++
 			t.TracePrune(obs.FilterShell, 1)
@@ -275,6 +301,11 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+		defer t.cas.Put(cc)
+	}
 	var queue heapx.NodeQueue[*node[T]]
 	queue.PushNode(t.root, 0)
 	for {
@@ -292,6 +323,16 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 			s.LeavesVisited++
 		}
 		s.Candidates++
+		if leaf && cc != nil && n.casID != 0 && cc.Registered() > 0 {
+			// A leaf with no children contributes only a heap push; a
+			// lower bound the heap would reject proves the push would
+			// be rejected too, so skip the computation outright.
+			if clb := t.cas.LowerBound(cc, n.casID-1); !best.Accepts(clb) {
+				s.FilteredByCascade++
+				t.TracePrune(obs.FilterCascade, 1)
+				continue
+			}
+		}
 		s.Computed++
 		t.TraceDistance(1)
 		var d float64
@@ -301,6 +342,9 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 			d = t.dist.DistanceUpTo(q, n.item, best.Threshold())
 		} else {
 			d = t.dist.Distance(q, n.item)
+			if cc != nil && n.cas != 0 && cc.Wants() {
+				cc.Register(n.cas-1, d) // already exact; free to share
+			}
 		}
 		best.Push(n.item, d)
 		for key, c := range n.children {

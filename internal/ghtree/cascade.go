@@ -1,0 +1,65 @@
+package ghtree
+
+import "mvptree/internal/cascade"
+
+// EnableCascade builds the cross-query bound cascade for the tree
+// (internal/cascade): a breadth-first walk collects the first
+// opts.Pivots hyperplane pivots as cascade pivots (stamping their
+// nodes) and assigns every leaf item a contiguous id, then precomputes
+// the pivot × item distance rows through the tree's own counter.
+// Afterwards every Range/KNN query registers the exact pivot distances
+// it computes anyway and skips leaf candidates whose
+// triangle-inequality lower bound over those registered distances
+// already exceeds the query threshold. The gh-tree's leaf scans have no
+// filter of their own (Computed == Candidates without the cascade), so
+// this is the structure's first stored-distance leaf filter. Results
+// are byte-identical with the cascade on or off; per-query distance
+// counts can only decrease.
+//
+// The precomputation is lazy — nothing is spent unless this is called —
+// and costs Pivots × LeafItems distance computations, reported by
+// Cascade().BuildDistances. A tree too small to hold leaf items (or
+// pivots) is left uncascaded silently. EnableCascade is not
+// synchronized with in-flight queries: enable the cascade before
+// serving.
+func (t *Tree[T]) EnableCascade(opts cascade.Options) error {
+	if t.root == nil {
+		return nil
+	}
+	b, err := cascade.NewBuilder[T](opts)
+	if err != nil {
+		return err
+	}
+	queue := []*node[T]{t.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.leaf {
+			n.casBase = b.AddItems(n.items)
+			continue
+		}
+		n.cas1 = b.AddPivot(n.p1)
+		if n.hasP2 {
+			n.cas2 = b.AddPivot(n.p2)
+		}
+		if n.left != nil {
+			queue = append(queue, n.left)
+		}
+		if n.right != nil {
+			queue = append(queue, n.right)
+		}
+	}
+	if b.NumPivots() == 0 || b.NumItems() == 0 {
+		return nil
+	}
+	f, err := b.Build(t.dist)
+	if err != nil {
+		return err
+	}
+	t.cas = f
+	return nil
+}
+
+// Cascade returns the tree's cascade filter, nil unless EnableCascade
+// built one.
+func (t *Tree[T]) Cascade() *cascade.Filter[T] { return t.cas }

@@ -17,6 +17,7 @@ import (
 	"errors"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -51,6 +52,7 @@ type Tree[T any] struct {
 	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
+	cas        *cascade.Filter[T]
 	size       int
 	buildStats build.Stats
 }
@@ -63,6 +65,10 @@ type node[T any] struct {
 	left, right *node[T] // closer to p1 / closer to p2
 	leaf        bool
 	items       []T
+
+	// Cascade stamps (see cascade.go; all zero until EnableCascade).
+	cas1, cas2 int32
+	casBase    int32
 }
 
 // New builds a gh-tree over items using the counted metric dist.
@@ -181,13 +187,20 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		return nil, s
 	}
 	var out []T
-	t.rangeNode(t.root, q, r, &out, &s)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
+	t.rangeNode(t.root, q, r, cc, &out, &s)
+	if cc != nil {
+		t.cas.Put(cc)
+	}
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
@@ -195,8 +208,17 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 	t.TraceNode(n.leaf)
 	if n.leaf {
 		s.LeavesVisited++
-		for _, it := range n.items {
+		cas, base := t.cas, n.casBase
+		useCas := cc != nil && cc.Registered() > 0
+		filtered := 0
+		for i, it := range n.items {
 			s.Candidates++
+			if useCas {
+				if lb := cas.LowerBound(cc, base+int32(i)); lb > r {
+					filtered++
+					continue
+				}
+			}
 			s.Computed++
 			t.TraceDistance(1)
 			// Membership only, so the kernel may abandon at r. The
@@ -206,9 +228,16 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 				*out = append(*out, it)
 			}
 		}
+		if filtered > 0 {
+			s.FilteredByCascade += filtered
+			t.TracePrune(obs.FilterCascade, filtered)
+		}
 		return
 	}
 	d1 := t.dist.Distance(q, n.p1)
+	if cc != nil && n.cas1 != 0 && cc.Wants() {
+		cc.Register(n.cas1-1, d1) // already exact; free to share
+	}
 	s.VantagePoints++
 	t.TraceDistance(1)
 	if d1 <= r {
@@ -218,6 +247,9 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 		return
 	}
 	d2 := t.dist.Distance(q, n.p2)
+	if cc != nil && n.cas2 != 0 && cc.Wants() {
+		cc.Register(n.cas2-1, d2)
+	}
 	s.VantagePoints++
 	t.TraceDistance(1)
 	if d2 <= r {
@@ -227,13 +259,13 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 	// d(x,p1) ≤ d(x,p2); the query ball reaches that side only if
 	// (d1 − d2)/2 ≤ r. Symmetrically for the p2 side.
 	if (d1-d2)/2 <= r {
-		t.rangeNode(n.left, q, r, out, s)
+		t.rangeNode(n.left, q, r, cc, out, s)
 	} else if n.left != nil {
 		s.ShellsPruned++
 		t.TracePrune(obs.FilterShell, 1)
 	}
 	if (d2-d1)/2 <= r {
-		t.rangeNode(n.right, q, r, out, s)
+		t.rangeNode(n.right, q, r, cc, out, s)
 	} else if n.right != nil {
 		s.ShellsPruned++
 		t.TracePrune(obs.FilterShell, 1)
@@ -257,6 +289,11 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+		defer t.cas.Put(cc)
+	}
 	var queue heapx.NodeQueue[*node[T]]
 	queue.PushNode(t.root, 0)
 	for {
@@ -271,8 +308,20 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		t.TraceNode(n.leaf)
 		if n.leaf {
 			s.LeavesVisited++
-			for _, it := range n.items {
+			cas, base := t.cas, n.casBase
+			useCas := cc != nil && cc.Registered() > 0
+			filtered := 0
+			for i, it := range n.items {
 				s.Candidates++
+				if useCas {
+					// A candidate whose lower bound the heap would
+					// reject cannot change the result set: the bounded
+					// kernel below would return a value ≥ the bound.
+					if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) {
+						filtered++
+						continue
+					}
+				}
 				s.Computed++
 				t.TraceDistance(1)
 				// Push ignores anything ≥ the k-th best, so the kernel
@@ -280,9 +329,16 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 				// hyperplane bound uses them two-sidedly).
 				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
 			}
+			if filtered > 0 {
+				s.FilteredByCascade += filtered
+				t.TracePrune(obs.FilterCascade, filtered)
+			}
 			continue
 		}
 		d1 := t.dist.Distance(q, n.p1)
+		if cc != nil && n.cas1 != 0 && cc.Wants() {
+			cc.Register(n.cas1-1, d1) // already exact; free to share
+		}
 		best.Push(n.p1, d1)
 		s.VantagePoints++
 		t.TraceDistance(1)
@@ -290,6 +346,9 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 			continue
 		}
 		d2 := t.dist.Distance(q, n.p2)
+		if cc != nil && n.cas2 != 0 && cc.Wants() {
+			cc.Register(n.cas2-1, d2)
+		}
 		best.Push(n.p2, d2)
 		s.VantagePoints++
 		t.TraceDistance(1)

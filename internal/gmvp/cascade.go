@@ -1,0 +1,84 @@
+package gmvp
+
+import "mvptree/internal/cascade"
+
+// EnableCascade builds the cross-query bound cascade for the tree
+// (internal/cascade): a breadth-first walk collects the first
+// opts.Pivots vantage points as cascade pivots (stamping their nodes)
+// and assigns every leaf item a contiguous id, then precomputes the
+// pivot × item distance rows through the tree's own counter.
+// Afterwards every Range/KNN query registers the exact vantage
+// distances it computes anyway and skips leaf candidates whose
+// triangle-inequality lower bound over those registered distances
+// already exceeds the query threshold, after the stored D and PATH
+// filters have had their chance. Results are byte-identical with the
+// cascade on or off; per-query distance counts can only decrease.
+//
+// The precomputation is lazy — nothing is spent unless this is called —
+// and costs Pivots × LeafItems distance computations, reported by
+// Cascade().BuildDistances. A tree too small to hold leaf items (or
+// vantage points) is left uncascaded silently. EnableCascade is not
+// synchronized with in-flight queries: enable the cascade before
+// serving. The cascade state is not serialized by Save; re-enable
+// after Load.
+func (t *Tree[T]) EnableCascade(opts cascade.Options) error {
+	if t.root == nil {
+		return nil
+	}
+	b, err := cascade.NewBuilder[T](opts)
+	if err != nil {
+		return err
+	}
+	queue := []*node[T]{t.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for j := range n.vantages {
+			st := b.AddPivot(n.vantages[j])
+			if st == 0 {
+				break // pivot budget exhausted; later vantages stay unstamped
+			}
+			if n.casV == nil {
+				n.casV = make([]int32, len(n.vantages))
+			}
+			n.casV[j] = st
+		}
+		if n.isLeaf() {
+			n.casBase = b.AddItems(n.items)
+			continue
+		}
+		appendSplitChildren(n.top, &queue)
+	}
+	if b.NumPivots() == 0 || b.NumItems() == 0 {
+		return nil
+	}
+	f, err := b.Build(t.dist)
+	if err != nil {
+		return err
+	}
+	t.cas = f
+	return nil
+}
+
+// appendSplitChildren collects the child nodes at the bottom of a
+// cascade of splits, in region order.
+func appendSplitChildren[T any](sp *split[T], queue *[]*node[T]) {
+	if sp == nil {
+		return
+	}
+	if sp.subs != nil {
+		for _, sub := range sp.subs {
+			appendSplitChildren(sub, queue)
+		}
+		return
+	}
+	for _, c := range sp.children {
+		if c != nil {
+			*queue = append(*queue, c)
+		}
+	}
+}
+
+// Cascade returns the tree's cascade filter, nil unless EnableCascade
+// built one.
+func (t *Tree[T]) Cascade() *cascade.Filter[T] { return t.cas }

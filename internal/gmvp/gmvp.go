@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -94,6 +95,7 @@ type Tree[T any] struct {
 	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
+	cas        *cascade.Filter[T]
 	size       int
 	v, m, k    int
 	p          int
@@ -118,6 +120,10 @@ type node[T any] struct {
 	items []T
 	dists [][]float64
 	paths [][]float64
+
+	// Cascade stamps (see cascade.go; all zero until EnableCascade).
+	casV    []int32 // casV[j] stamps vantages[j]; nil when none is a pivot
+	casBase int32
 }
 
 func (n *node[T]) isLeaf() bool { return n.top == nil }
@@ -392,13 +398,20 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 	}
 	var out []T
 	qpath := make([]float64, 0, t.p)
-	t.rangeNode(t.root, q, r, qpath, &out, &s)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
+	t.rangeNode(t.root, q, r, qpath, cc, &out, &s)
+	if cc != nil {
+		t.cas.Put(cc)
+	}
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
@@ -407,6 +420,9 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 	dq := make([]float64, len(n.vantages))
 	for j, v := range n.vantages {
 		dq[j] = t.dist.Distance(q, v)
+		if cc != nil && n.casV != nil && n.casV[j] != 0 && cc.Wants() {
+			cc.Register(n.casV[j]-1, dq[j]) // already exact; free to share
+		}
 		s.VantagePoints++
 		t.TraceDistance(1)
 		if dq[j] <= r {
@@ -418,6 +434,9 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 	}
 	if n.isLeaf() {
 		s.LeavesVisited++
+		cas, base := t.cas, n.casBase
+		useCas := cc != nil && cc.Registered() > 0
+		filtered := 0
 	items:
 		for i, it := range n.items {
 			s.Candidates++
@@ -436,6 +455,14 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 					continue items
 				}
 			}
+			// Last chance to skip the real computation: the cascade's
+			// registered-pivot lower bound.
+			if useCas {
+				if lb := cas.LowerBound(cc, base+int32(i)); lb > r {
+					filtered++
+					continue items
+				}
+			}
 			s.Computed++
 			t.TraceDistance(1)
 			// Membership only, so the kernel may abandon at r; vantage
@@ -445,12 +472,16 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, qpath []float64, out *[]
 				*out = append(*out, it)
 			}
 		}
+		if filtered > 0 {
+			s.FilteredByCascade += filtered
+			t.TracePrune(obs.FilterCascade, filtered)
+		}
 		return
 	}
-	t.rangeSplit(n.top, q, r, dq, qpath, out, s)
+	t.rangeSplit(n.top, q, r, dq, qpath, cc, out, s)
 }
 
-func (t *Tree[T]) rangeSplit(sp *split[T], q T, r float64, dq, qpath []float64, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeSplit(sp *split[T], q T, r float64, dq, qpath []float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
 	d := dq[sp.level]
 	count := len(sp.cutoffs) + 1
 	for g := 0; g < count; g++ {
@@ -461,9 +492,9 @@ func (t *Tree[T]) rangeSplit(sp *split[T], q T, r float64, dq, qpath []float64, 
 			continue
 		}
 		if sp.subs != nil {
-			t.rangeSplit(sp.subs[g], q, r, dq, qpath, out, s)
+			t.rangeSplit(sp.subs[g], q, r, dq, qpath, cc, out, s)
 		} else if sp.children[g] != nil {
-			t.rangeNode(sp.children[g], q, r, qpath, out, s)
+			t.rangeNode(sp.children[g], q, r, qpath, cc, out, s)
 		}
 	}
 }
@@ -489,6 +520,11 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+		defer t.cas.Put(cc)
+	}
 	var queue heapx.NodeQueue[knnPending[T]]
 	queue.PushNode(knnPending[T]{t.root, make([]float64, 0, t.p)}, 0)
 	for {
@@ -505,6 +541,9 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		dq := make([]float64, len(n.vantages))
 		for j, v := range n.vantages {
 			dq[j] = t.dist.Distance(q, v)
+			if cc != nil && n.casV != nil && n.casV[j] != 0 && cc.Wants() {
+				cc.Register(n.casV[j]-1, dq[j]) // already exact; free to share
+			}
 			s.VantagePoints++
 			t.TraceDistance(1)
 			best.Push(v, dq[j])
@@ -521,6 +560,9 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		}
 		if n.isLeaf() {
 			s.LeavesVisited++
+			cas, base := t.cas, n.casBase
+			useCas := cc != nil && cc.Registered() > 0
+			filtered := 0
 			for i, it := range n.items {
 				s.Candidates++
 				lbD := 0.0
@@ -546,11 +588,24 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 					t.TracePrune(obs.FilterPath, 1)
 					continue
 				}
+				// Last chance to skip the real computation: a cascade
+				// lower bound the heap would reject proves the push
+				// below would be rejected too.
+				if useCas {
+					if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) {
+						filtered++
+						continue
+					}
+				}
 				s.Computed++
 				t.TraceDistance(1)
 				// Abandon at τ; vantage distances stay exact (qpath and
 				// two-sided D-filters).
 				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
+			}
+			if filtered > 0 {
+				s.FilteredByCascade += filtered
+				t.TracePrune(obs.FilterCascade, filtered)
 			}
 			continue
 		}

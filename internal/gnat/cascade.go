@@ -1,0 +1,69 @@
+package gnat
+
+import "mvptree/internal/cascade"
+
+// EnableCascade builds the cross-query bound cascade for the tree
+// (internal/cascade): a breadth-first walk collects the first
+// opts.Pivots split points as cascade pivots (stamping their nodes) and
+// assigns every leaf item a contiguous id, then precomputes the pivot ×
+// item distance rows through the tree's own counter. Afterwards every
+// Range/KNN query registers the exact split-point distances it computes
+// anyway and skips leaf candidates whose triangle-inequality lower
+// bound over those registered distances already exceeds the query
+// threshold. GNAT's leaf scans have no filter of their own (Computed ==
+// Candidates without the cascade), so this is the structure's first
+// stored-distance leaf filter. Results are byte-identical with the
+// cascade on or off; per-query distance counts can only decrease.
+//
+// The precomputation is lazy — nothing is spent unless this is called —
+// and costs Pivots × LeafItems distance computations, reported by
+// Cascade().BuildDistances. A tree too small to hold leaf items (or
+// split points) is left uncascaded silently. EnableCascade is not
+// synchronized with in-flight queries: enable the cascade before
+// serving.
+func (t *Tree[T]) EnableCascade(opts cascade.Options) error {
+	if t.root == nil {
+		return nil
+	}
+	b, err := cascade.NewBuilder[T](opts)
+	if err != nil {
+		return err
+	}
+	queue := []*node[T]{t.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.leaf {
+			n.casBase = b.AddItems(n.items)
+			continue
+		}
+		for i := range n.splits {
+			st := b.AddPivot(n.splits[i])
+			if st == 0 {
+				break // pivot budget exhausted; later splits stay unstamped
+			}
+			if n.casS == nil {
+				n.casS = make([]int32, len(n.splits))
+			}
+			n.casS[i] = st
+		}
+		for _, c := range n.children {
+			if c != nil {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if b.NumPivots() == 0 || b.NumItems() == 0 {
+		return nil
+	}
+	f, err := b.Build(t.dist)
+	if err != nil {
+		return err
+	}
+	t.cas = f
+	return nil
+}
+
+// Cascade returns the tree's cascade filter, nil unless EnableCascade
+// built one.
+func (t *Tree[T]) Cascade() *cascade.Filter[T] { return t.cas }

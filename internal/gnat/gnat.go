@@ -20,6 +20,7 @@ import (
 	"errors"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -90,6 +91,7 @@ type Tree[T any] struct {
 	obs.Hooks
 	root       *node[T]
 	dist       *metric.Counter[T]
+	cas        *cascade.Filter[T]
 	size       int
 	buildStats build.Stats
 }
@@ -102,6 +104,10 @@ type node[T any] struct {
 	children []*node[T]
 	leaf     bool
 	items    []T
+
+	// Cascade stamps (see cascade.go; all zero until EnableCascade).
+	casS    []int32 // casS[i] stamps splits[i]; nil when no split is a pivot
+	casBase int32
 }
 
 // New builds a GNAT over items using the counted metric dist.
@@ -319,13 +325,20 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		return nil, s
 	}
 	var out []T
-	t.rangeNode(t.root, q, r, &out, &s)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
+	t.rangeNode(t.root, q, r, cc, &out, &s)
+	if cc != nil {
+		t.cas.Put(cc)
+	}
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
@@ -333,8 +346,17 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 	t.TraceNode(n.leaf)
 	if n.leaf {
 		s.LeavesVisited++
-		for _, it := range n.items {
+		cas, base := t.cas, n.casBase
+		useCas := cc != nil && cc.Registered() > 0
+		filtered := 0
+		for i, it := range n.items {
 			s.Candidates++
+			if useCas {
+				if lb := cas.LowerBound(cc, base+int32(i)); lb > r {
+					filtered++
+					continue
+				}
+			}
 			s.Computed++
 			t.TraceDistance(1)
 			// Membership only, so the kernel may abandon at r; split
@@ -343,6 +365,10 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 			if t.dist.DistanceUpTo(q, it, r) <= r {
 				*out = append(*out, it)
 			}
+		}
+		if filtered > 0 {
+			s.FilteredByCascade += filtered
+			t.TracePrune(obs.FilterCascade, filtered)
 		}
 		return
 	}
@@ -366,6 +392,9 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 		}
 		visited[i] = true
 		d := t.dist.Distance(q, n.splits[i])
+		if cc != nil && n.casS != nil && n.casS[i] != 0 && cc.Wants() {
+			cc.Register(n.casS[i]-1, d) // already exact; free to share
+		}
 		s.VantagePoints++
 		t.TraceDistance(1)
 		if d <= r {
@@ -384,7 +413,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, out *[]T, s *SearchStats
 	}
 	for j := 0; j < k; j++ {
 		if alive[j] {
-			t.rangeNode(n.children[j], q, r, out, s)
+			t.rangeNode(n.children[j], q, r, cc, out, s)
 		}
 	}
 }
@@ -407,6 +436,11 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		return nil, s
 	}
 	best := heapx.NewKBest[T](k)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+		defer t.cas.Put(cc)
+	}
 	var queue heapx.NodeQueue[*node[T]]
 	queue.PushNode(t.root, 0)
 	for {
@@ -421,13 +455,29 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		t.TraceNode(n.leaf)
 		if n.leaf {
 			s.LeavesVisited++
-			for _, it := range n.items {
+			cas, base := t.cas, n.casBase
+			useCas := cc != nil && cc.Registered() > 0
+			filtered := 0
+			for i, it := range n.items {
 				s.Candidates++
+				if useCas {
+					// A candidate whose lower bound the heap would
+					// reject cannot change the result set: the bounded
+					// kernel below would return a value ≥ the bound.
+					if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) {
+						filtered++
+						continue
+					}
+				}
 				s.Computed++
 				t.TraceDistance(1)
 				// Abandon at τ; split point distances stay exact (the
 				// range tables use them two-sidedly).
 				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
+			}
+			if filtered > 0 {
+				s.FilteredByCascade += filtered
+				t.TracePrune(obs.FilterCascade, filtered)
 			}
 			continue
 		}
@@ -438,6 +488,9 @@ func (t *Tree[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		}
 		for i := 0; i < nk; i++ {
 			d := t.dist.Distance(q, n.splits[i])
+			if cc != nil && n.casS != nil && n.casS[i] != 0 && cc.Wants() {
+				cc.Register(n.casS[i]-1, d) // already exact; free to share
+			}
 			best.Push(n.splits[i], d)
 			s.VantagePoints++
 			t.TraceDistance(1)

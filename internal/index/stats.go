@@ -24,6 +24,11 @@ type SearchStats struct {
 	// FilteredByPath counts candidates excluded by a retained PATH
 	// distance — the filter only the mvp-tree family has.
 	FilteredByPath int
+	// FilteredByCascade counts candidates excluded by the cross-query
+	// bound cascade (internal/cascade): the triangle-inequality lower
+	// bound over vantage distances the query registered earlier in its
+	// own traversal. Zero unless the structure has cascading enabled.
+	FilteredByCascade int
 	// Computed counts real distance computations against leaf data
 	// points; VantagePoints counts those against vantage points. Their
 	// sum equals the Counter delta for the query.
@@ -49,6 +54,7 @@ func (s *SearchStats) Add(b SearchStats) {
 	s.Candidates += b.Candidates
 	s.FilteredByD += b.FilteredByD
 	s.FilteredByPath += b.FilteredByPath
+	s.FilteredByCascade += b.FilteredByCascade
 	s.Computed += b.Computed
 	s.VantagePoints += b.VantagePoints
 	s.Results += b.Results

@@ -13,15 +13,24 @@
 // same mechanism the mvp-tree moves into its leaves — measurable in
 // isolation.
 //
+// The pivot machinery itself — the greedy max-min selection, the rows,
+// the per-query registered-distance cache and the lower-bound consult —
+// lives in internal/cascade; this package is the flat-table index built
+// directly on that shared core, which the tree structures consult as a
+// leaf filter via their EnableCascade option.
+//
 // Queries (Range, KNN and their variants) read only immutable state and
 // are safe to run concurrently against one instance; the shared
-// distance counter is atomic.
+// distance counter is atomic. The per-query pivot-distance scratch is
+// pooled on the filter, so steady-state queries allocate only the
+// result set.
 package laesa
 
 import (
 	"errors"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -59,8 +68,7 @@ type Options struct {
 type Table[T any] struct {
 	obs.Hooks
 	items      []T
-	pivots     []T
-	table      [][]float64 // table[j][i] = d(pivots[j], items[i])
+	filter     *cascade.Filter[T] // pivots + rows + pooled query caches
 	dist       *metric.Counter[T]
 	buildStats build.Stats
 }
@@ -97,32 +105,17 @@ func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tab
 	}
 	b := build.Start(dist, opts.Build)
 
-	// Greedy max-min pivot selection: start random, then repeatedly
-	// take the item farthest from all chosen pivots. Each pivot costs
-	// one batched distance pass over all items, which doubles as the
-	// pivot's table row.
-	t.pivots = make([]T, 0, p)
-	t.table = make([][]float64, 0, p)
-	minDist := make([]float64, len(items)) // to nearest chosen pivot
-	cur := build.NewRNG(opts.Seed, 0x6c61657361).Rand().IntN(len(items))
-	for j := 0; j < p; j++ {
-		pv := t.items[cur]
-		t.pivots = append(t.pivots, pv)
-		b.Node(j)
-		row := make([]float64, len(items))
-		b.Measure(pv, func(i int) T { return t.items[i] }, row)
-		far, farD := cur, -1.0
-		for i := range t.items {
-			if j == 0 || row[i] < minDist[i] {
-				minDist[i] = row[i]
-			}
-			if minDist[i] > farD {
-				far, farD = i, minDist[i]
-			}
-		}
-		t.table = append(t.table, row)
-		cur = far
+	// Greedy max-min pivot selection (cascade.GreedySelect): start
+	// random, then repeatedly take the item farthest from all chosen
+	// pivots. Each pivot costs one batched distance pass over all
+	// items, which doubles as the pivot's table row.
+	start := build.NewRNG(opts.Seed, 0x6c61657361).Rand().IntN(len(items))
+	pivots, rows := cascade.GreedySelect(b, t.items, p, start)
+	f, err := cascade.NewFilter(pivots, rows, len(pivots))
+	if err != nil {
+		return nil, build.Stats{}, err
 	}
+	t.filter = f
 	t.buildStats = b.Finish()
 	return t, t.buildStats, nil
 }
@@ -138,7 +131,16 @@ func (t *Table[T]) Counter() *metric.Counter[T] { return t.dist }
 func (t *Table[T]) DistanceCount() int64 { return t.dist.Count() }
 
 // Pivots reports the number of pivots actually used.
-func (t *Table[T]) Pivots() int { return len(t.pivots) }
+func (t *Table[T]) Pivots() int {
+	if t.filter == nil {
+		return 0
+	}
+	return t.filter.Pivots()
+}
+
+// Filter exposes the underlying cascade filter (pivots, rows, pooled
+// caches); nil for an empty table.
+func (t *Table[T]) Filter() *cascade.Filter[T] { return t.filter }
 
 // BuildCost reports the number of distance computations made during
 // construction (pivots × n).
@@ -147,31 +149,15 @@ func (t *Table[T]) BuildCost() int64 { return t.buildStats.Distances }
 // BuildStats reports the full construction report.
 func (t *Table[T]) BuildStats() build.Stats { return t.buildStats }
 
-// queryPivots returns the query's distances to all pivots. The slice is
-// allocated per query so that concurrent queries never share scratch
-// state.
-func (t *Table[T]) queryPivots(q T) []float64 {
-	qd := make([]float64, len(t.pivots))
-	for j, pv := range t.pivots {
-		qd[j] = t.dist.Distance(q, pv)
+// queryPivots fills a pooled cascade.Cache with the query's exact
+// distances to all pivots. The caller must return the cache with
+// t.filter.Put when the scan finishes.
+func (t *Table[T]) queryPivots(q T) *cascade.Cache {
+	c := t.filter.Get()
+	for j := 0; j < t.filter.Pivots(); j++ {
+		c.Register(int32(j), t.dist.Distance(q, t.filter.Pivot(j)))
 	}
-	return qd
-}
-
-// lowerBound returns max_j |qd[j] − table[j][i]|, a lower bound on
-// d(q, items[i]) by the triangle inequality.
-func (t *Table[T]) lowerBound(qd []float64, i int) float64 {
-	var lb float64
-	for j := range t.pivots {
-		d := qd[j] - t.table[j][i]
-		if d < 0 {
-			d = -d
-		}
-		if d > lb {
-			lb = d
-		}
-	}
-	return lb
+	return c
 }
 
 // Range returns every indexed item within distance r of q. It delegates
@@ -189,13 +175,13 @@ func (t *Table[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		span.Done(&s)
 		return nil, s
 	}
-	qd := t.queryPivots(q)
-	s.VantagePoints = len(qd)
-	t.TraceDistance(len(qd))
+	c := t.queryPivots(q)
+	s.VantagePoints = c.Registered()
+	t.TraceDistance(c.Registered())
 	var out []T
 	for i, it := range t.items {
 		s.Candidates++
-		if t.lowerBound(qd, i) > r {
+		if t.filter.LowerBound(c, int32(i)) > r {
 			s.FilteredByD++
 			t.TracePrune(obs.FilterD, 1)
 			continue
@@ -209,6 +195,7 @@ func (t *Table[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 			out = append(out, it)
 		}
 	}
+	t.filter.Put(c)
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
@@ -233,13 +220,14 @@ func (t *Table[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], SearchStats) {
 		span.Done(&s)
 		return nil, s
 	}
-	qd := t.queryPivots(q)
-	s.VantagePoints = len(qd)
-	t.TraceDistance(len(qd))
+	c := t.queryPivots(q)
+	s.VantagePoints = c.Registered()
+	t.TraceDistance(c.Registered())
 	var queue heapx.NodeQueue[int]
 	for i := range t.items {
-		queue.PushNode(i, t.lowerBound(qd, i))
+		queue.PushNode(i, t.filter.LowerBound(c, int32(i)))
 	}
+	t.filter.Put(c)
 	best := heapx.NewKBest[T](k)
 	for {
 		i, lb, ok := queue.PopNode()

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"mvptree/internal/cascade"
 	"mvptree/internal/metric"
 	"mvptree/internal/wire"
 )
@@ -40,11 +41,15 @@ func (t *Table[T]) Save(w io.Writer, enc ItemEncoder[T]) error {
 	if err := writeItems(t.items); err != nil {
 		return err
 	}
-	if err := writeItems(t.pivots); err != nil {
+	pivots := make([]T, t.Pivots())
+	for j := range pivots {
+		pivots[j] = t.filter.Pivot(j)
+	}
+	if err := writeItems(pivots); err != nil {
 		return err
 	}
-	for _, row := range t.table {
-		pw.Floats(row)
+	for j := range pivots {
+		pw.Floats(t.filter.Row(j))
 	}
 	if err := pw.Flush(); err != nil {
 		return err
@@ -96,14 +101,15 @@ func Load[T any](r io.Reader, dist *metric.Counter[T], dec ItemDecoder[T]) (*Tab
 	if t.items, err = readItems(); err != nil {
 		return nil, err
 	}
-	if t.pivots, err = readItems(); err != nil {
+	pivots, err := readItems()
+	if err != nil {
 		return nil, err
 	}
-	if len(t.pivots) > len(t.items) {
-		return nil, fmt.Errorf("laesa: %d pivots for %d items (corrupt stream)", len(t.pivots), len(t.items))
+	if len(pivots) > len(t.items) {
+		return nil, fmt.Errorf("laesa: %d pivots for %d items (corrupt stream)", len(pivots), len(t.items))
 	}
-	t.table = make([][]float64, len(t.pivots))
-	for j := range t.table {
+	rows := make([][]float64, len(pivots))
+	for j := range rows {
 		row := rr.Floats()
 		if err := rr.Err(); err != nil {
 			return nil, err
@@ -111,7 +117,12 @@ func Load[T any](r io.Reader, dist *metric.Counter[T], dec ItemDecoder[T]) (*Tab
 		if len(row) != len(t.items) {
 			return nil, fmt.Errorf("laesa: table row %d has %d entries for %d items", j, len(row), len(t.items))
 		}
-		t.table[j] = row
+		rows[j] = row
+	}
+	if len(pivots) > 0 {
+		if t.filter, err = cascade.NewFilter(pivots, rows, len(pivots)); err != nil {
+			return nil, fmt.Errorf("laesa: %w", err)
+		}
 	}
 	return t, nil
 }

@@ -3,6 +3,7 @@ package mvp
 import (
 	"math"
 
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/obs"
@@ -51,6 +52,10 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		sc.best.Reset(k)
 	}
 	best, queue := sc.best, &sc.queue
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
 	queue.PushNode(pendingRef[T]{n: t.root}, 0)
 	for {
 		pn, bound, ok := queue.PopNode()
@@ -75,20 +80,41 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		t.TraceNode(n.isLeaf())
 		if n.isLeaf() {
 			s.LeavesVisited++
-			t.knnLeafStats(n, q, sc.arena[pn.off:pn.off+pn.plen], best, ext, &s)
+			t.knnLeafStats(n, q, sc.arena[pn.off:pn.off+pn.plen], best, ext, cc, &s)
 			continue
 		}
+		// Stamped cascade pivots are computed exactly while the cache
+		// still wants registrations (an exact value is a valid bounded
+		// result, so every decision below is unchanged).
 		var d1, d2 float64
 		if int(pn.plen) >= t.p {
 			// The query PATH is full, so these distances are only
 			// compared against shell boundaries and τ′; abandoning past
 			// τ′+cutMax prunes exactly the shells the exact kernel
 			// would.
-			d1 = t.dist.DistanceUpTo(q, n.sv1, tau+n.cut1Max)
-			d2 = t.dist.DistanceUpTo(q, n.sv2, tau+n.cut2Max)
+			if cc != nil && n.cas1 != 0 && cc.Wants() {
+				d1 = t.dist.Distance(q, n.sv1)
+				cc.Register(n.cas1-1, d1)
+			} else {
+				d1 = t.dist.DistanceUpTo(q, n.sv1, tau+n.cut1Max)
+			}
+			if cc != nil && n.cas2 != 0 && cc.Wants() {
+				d2 = t.dist.Distance(q, n.sv2)
+				cc.Register(n.cas2-1, d2)
+			} else {
+				d2 = t.dist.DistanceUpTo(q, n.sv2, tau+n.cut2Max)
+			}
 		} else {
 			d1 = t.dist.Distance(q, n.sv1)
 			d2 = t.dist.Distance(q, n.sv2)
+			if cc != nil {
+				if n.cas1 != 0 && cc.Wants() {
+					cc.Register(n.cas1-1, d1)
+				}
+				if n.cas2 != 0 && cc.Wants() {
+					cc.Register(n.cas2-1, d2)
+				}
+			}
 		}
 		// A reported distance above the bound it was computed with may
 		// understate the true value, and above the bound it is also
@@ -148,13 +174,16 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		}
 	}
 	out := best.Sorted()
+	if t.cas != nil {
+		t.cas.Put(cc)
+	}
 	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBest[T], ext index.KNNBound, s *SearchStats) {
+func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBest[T], ext index.KNNBound, cc *cascade.Cache, s *SearchStats) {
 	if !n.hasSV1 {
 		return
 	}
@@ -169,8 +198,16 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	// Same bound shape as rangeLeaf with τ′ in place of r: a vantage
 	// distance certified past τ′+maxD rejects the vantage point and
 	// D-filters every item, in both the abandoned and the exact world.
+	// Stamped cascade pivots are computed exactly (bound +Inf) and
+	// registered; the push decisions below are unchanged.
 	b1 := min(best.Threshold(), extTau) + n.maxD1
-	d1 := kernel(q, n.sv1, b1)
+	var d1 float64
+	if cc != nil && n.cas1 != 0 && cc.Wants() {
+		d1 = kernel(q, n.sv1, math.Inf(1))
+		cc.Register(n.cas1-1, d1)
+	} else {
+		d1 = kernel(q, n.sv1, b1)
+	}
 	if d1 <= b1 {
 		best.Push(n.sv1, d1)
 	}
@@ -180,7 +217,12 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	var d2 float64
 	if n.hasSV2 {
 		b2 := min(best.Threshold(), extTau) + n.maxD2
-		d2 = kernel(q, n.sv2, b2)
+		if cc != nil && n.cas2 != 0 && cc.Wants() {
+			d2 = kernel(q, n.sv2, math.Inf(1))
+			cc.Register(n.cas2-1, d2)
+		} else {
+			d2 = kernel(q, n.sv2, b2)
+		}
 		if d2 <= b2 {
 			best.Push(n.sv2, d2)
 		}
@@ -198,7 +240,9 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	if hasSV2 {
 		d2s = d2s[:len(items)]
 	}
-	var filteredD, filteredPath, computed int
+	cas, base := t.cas, n.casBase
+	useCas := cc != nil && cc.Registered() > 0
+	var filteredD, filteredPath, filteredCascade, computed int
 	for i := range items {
 		// The D1/D2 bound first; a PATH entry only gets credit when it
 		// tightens the bound past the acceptance threshold on its own.
@@ -226,6 +270,17 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 			filteredPath++
 			continue
 		}
+		// Last filter: the cascade lower bound over the vantage
+		// distances this query registered on its way down. A bound the
+		// heap would reject (or one past the external τ) proves the
+		// true distance would be rejected too, so skipping the
+		// computation changes nothing.
+		if useCas {
+			if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) || clb >= extTau {
+				filteredCascade++
+				continue
+			}
+		}
 		computed++
 		cb := min(best.Threshold(), extTau)
 		if d := kernel(q, items[i], cb); d <= cb {
@@ -239,12 +294,16 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	s.Candidates += len(items)
 	s.FilteredByD += filteredD
 	s.FilteredByPath += filteredPath
+	s.FilteredByCascade += filteredCascade
 	s.Computed += computed
 	if filteredD > 0 {
 		t.TracePrune(obs.FilterD, filteredD)
 	}
 	if filteredPath > 0 {
 		t.TracePrune(obs.FilterPath, filteredPath)
+	}
+	if filteredCascade > 0 {
+		t.TracePrune(obs.FilterCascade, filteredCascade)
 	}
 	if computed > 0 {
 		t.TraceDistance(computed)

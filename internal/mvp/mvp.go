@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
@@ -124,6 +125,9 @@ type Tree[T any] struct {
 	p          int
 	buildStats build.Stats
 	scratch    sync.Pool // *queryScratch[T]; see pool.go
+	// cas is the cross-query bound cascade, nil unless EnableCascade
+	// built one; see cascade.go.
+	cas *cascade.Filter[T]
 }
 
 var _ index.StatsIndex[int] = (*Tree[int])(nil)
@@ -165,6 +169,13 @@ type node[T any] struct {
 	pathOff  []int32
 	maxD1    float64
 	maxD2    float64
+
+	// Cascade stamps (see cascade.go; all zero until EnableCascade).
+	// cas1/cas2 mark the node's vantage points as cascade pivots (the
+	// stamp is the pivot index plus one; zero means unstamped) and
+	// casBase is the cascade id of the leaf's first item.
+	cas1, cas2 int32
+	casBase    int32
 }
 
 func (n *node[T]) isLeaf() bool { return n.children == nil }

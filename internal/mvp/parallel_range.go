@@ -78,10 +78,15 @@ func (t *Tree[T]) RangeParallelWithStats(q T, r float64, workers int) ([]T, Sear
 		span.Done(&s)
 		return nil, s
 	}
+	// The parallel traversal never consults the cascade: the per-query
+	// cache is single-owner, and sharing one across workers would make
+	// stats depend on scheduling. Passing nil keeps results and stats
+	// identical at every worker count (the cascade only ever skips work,
+	// never changes answers).
 	sc := t.getScratch()
 	if workers <= 1 {
 		var out []T
-		t.rangeNode(t.root, q, r, 0, sc, &out, &s)
+		t.rangeNode(t.root, q, r, 0, sc, nil, &out, &s)
 		t.putScratch(sc)
 		s.Results = len(out)
 		span.Done(&s)
@@ -117,7 +122,7 @@ func (t *Tree[T]) RangeParallelWithStats(q T, r float64, workers int) ([]T, Sear
 			copy(sc.qpath, plan.path[pn.off:pn.off+pn.plen])
 			copy(sc.qlo, plan.lo[pn.off:pn.off+pn.plen])
 			copy(sc.qhi, plan.hi[pn.off:pn.off+pn.plen])
-			t.rangeNode(pn.n, q, r, int(pn.plen), sc, &outs[i], &stats[i])
+			t.rangeNode(pn.n, q, r, int(pn.plen), sc, nil, &outs[i], &stats[i])
 		}
 	}
 	var wg sync.WaitGroup

@@ -1,6 +1,9 @@
 package mvp
 
 import (
+	"math"
+
+	"mvptree/internal/cascade"
 	"mvptree/internal/index"
 	"mvptree/internal/obs"
 )
@@ -42,21 +45,28 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 	}
 	var out []T
 	sc := t.getScratch()
-	t.rangeNode(t.root, q, r, 0, sc, &out, &s)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
+	t.rangeNode(t.root, q, r, 0, sc, cc, &out, &s)
+	if t.cas != nil {
+		t.cas.Put(cc)
+	}
 	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, plen int, sc *queryScratch[T], out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, plen int, sc *queryScratch[T], cc *cascade.Cache, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
 	s.NodesVisited++
 	t.TraceNode(n.isLeaf())
 	if n.isLeaf() {
-		t.rangeLeaf(n, q, r, plen, sc, out, s)
+		t.rangeLeaf(n, q, r, plen, sc, cc, out, s)
 		return
 	}
 
@@ -66,13 +76,35 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, plen int, sc *queryScrat
 	// because they are recorded in it; once it is full they are only
 	// compared against shell boundaries ≤ cutMax and the radius, so the
 	// kernel may abandon past r+cutMax without changing any decision.
+	// A vantage point stamped as a cascade pivot is computed exactly
+	// while the query's cache still wants registrations — an exact value
+	// is a valid bounded-kernel result, so every decision below is
+	// unchanged — and the distance doubles as a global filter bound.
 	var d1, d2 float64
 	if plen >= t.p {
-		d1 = t.dist.DistanceUpTo(q, n.sv1, r+n.cut1Max)
-		d2 = t.dist.DistanceUpTo(q, n.sv2, r+n.cut2Max)
+		if cc != nil && n.cas1 != 0 && cc.Wants() {
+			d1 = t.dist.Distance(q, n.sv1)
+			cc.Register(n.cas1-1, d1)
+		} else {
+			d1 = t.dist.DistanceUpTo(q, n.sv1, r+n.cut1Max)
+		}
+		if cc != nil && n.cas2 != 0 && cc.Wants() {
+			d2 = t.dist.Distance(q, n.sv2)
+			cc.Register(n.cas2-1, d2)
+		} else {
+			d2 = t.dist.DistanceUpTo(q, n.sv2, r+n.cut2Max)
+		}
 	} else {
 		d1 = t.dist.Distance(q, n.sv1)
 		d2 = t.dist.Distance(q, n.sv2)
+		if cc != nil {
+			if n.cas1 != 0 && cc.Wants() {
+				cc.Register(n.cas1-1, d1)
+			}
+			if n.cas2 != 0 && cc.Wants() {
+				cc.Register(n.cas2-1, d2)
+			}
+		}
 	}
 	s.VantagePoints += 2
 	t.TraceDistance(2)
@@ -114,7 +146,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, plen int, sc *queryScrat
 				t.TracePrune(obs.FilterShell, 1)
 				continue
 			}
-			t.rangeNode(c, q, r, plen, sc, out, s)
+			t.rangeNode(c, q, r, plen, sc, cc, out, s)
 		}
 	}
 }
@@ -123,7 +155,7 @@ func (t *Tree[T]) rangeNode(n *node[T], q T, r float64, plen int, sc *queryScrat
 // point through its exact distances to the leaf vantage points (D1, D2)
 // and through its PATH prefix, computing the real distance only for
 // survivors — and only up to r, since membership is all that matters.
-func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, plen int, sc *queryScratch[T], out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, plen int, sc *queryScratch[T], cc *cascade.Cache, out *[]T, s *SearchStats) {
 	s.LeavesVisited++
 	if !n.hasSV1 {
 		return
@@ -135,8 +167,16 @@ func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, plen int, sc *queryScrat
 	kernel := t.dist.Kernel()
 	// A vantage distance certified to exceed r+maxD guarantees every
 	// stored distance fails the |d−D| ≤ r window, so the kernel may
-	// abandon there: the same points get filtered, just cheaper.
-	d1 := kernel(q, n.sv1, r+n.maxD1)
+	// abandon there: the same points get filtered, just cheaper. A
+	// stamped cascade pivot is computed exactly instead (bound +Inf) and
+	// registered; decisions are unchanged.
+	var d1 float64
+	if cc != nil && n.cas1 != 0 && cc.Wants() {
+		d1 = kernel(q, n.sv1, math.Inf(1))
+		cc.Register(n.cas1-1, d1)
+	} else {
+		d1 = kernel(q, n.sv1, r+n.maxD1)
+	}
 	s.VantagePoints++
 	t.TraceDistance(1)
 	if d1 <= r {
@@ -145,7 +185,12 @@ func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, plen int, sc *queryScrat
 	vantages := 1
 	var d2 float64
 	if n.hasSV2 {
-		d2 = kernel(q, n.sv2, r+n.maxD2)
+		if cc != nil && n.cas2 != 0 && cc.Wants() {
+			d2 = kernel(q, n.sv2, math.Inf(1))
+			cc.Register(n.cas2-1, d2)
+		} else {
+			d2 = kernel(q, n.sv2, r+n.maxD2)
+		}
 		vantages = 2
 		s.VantagePoints++
 		t.TraceDistance(1)
@@ -169,7 +214,9 @@ func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, plen int, sc *queryScrat
 	}
 	qlo := sc.qlo[:plen]
 	qhi := sc.qhi[:plen]
-	var filteredD, filteredPath, computed int
+	cas, base := t.cas, n.casBase
+	useCas := cc != nil && cc.Registered() > 0
+	var filteredD, filteredPath, filteredCascade, computed int
 items:
 	for i := range items {
 		// |d(Q,SV) − d(Si,SV)| > r ⟹ d(Q,Si) > r by the triangle
@@ -199,6 +246,16 @@ items:
 				continue items
 			}
 		}
+		// Last, cheapest-to-skip filter: the cascade lower bound over
+		// the vantage distances this query registered on its way down.
+		// It only ever skips candidates whose true distance provably
+		// exceeds r, so the result set is unchanged.
+		if useCas {
+			if lb := cas.LowerBound(cc, base+int32(i)); lb > r {
+				filteredCascade++
+				continue
+			}
+		}
 		computed++
 		if kernel(q, items[i], r) <= r {
 			*out = append(*out, items[i])
@@ -208,12 +265,16 @@ items:
 	s.Candidates += len(items)
 	s.FilteredByD += filteredD
 	s.FilteredByPath += filteredPath
+	s.FilteredByCascade += filteredCascade
 	s.Computed += computed
 	if filteredD > 0 {
 		t.TracePrune(obs.FilterD, filteredD)
 	}
 	if filteredPath > 0 {
 		t.TracePrune(obs.FilterPath, filteredPath)
+	}
+	if filteredCascade > 0 {
+		t.TracePrune(obs.FilterCascade, filteredCascade)
 	}
 	if computed > 0 {
 		t.TraceDistance(computed)

@@ -71,6 +71,11 @@ const (
 	// FilterPath: a leaf candidate was rejected by its PATH of
 	// ancestor vantage-point distances (Observation 2).
 	FilterPath
+	// FilterCascade: a leaf candidate was rejected by the cross-query
+	// bound cascade — the triangle-inequality lower bound over vantage
+	// distances registered earlier in the same traversal
+	// (internal/cascade).
+	FilterCascade
 )
 
 // String returns the snake-case name used in trace output.
@@ -82,6 +87,8 @@ func (f Filter) String() string {
 		return "d_bound"
 	case FilterPath:
 		return "path"
+	case FilterCascade:
+		return "cascade"
 	}
 	return "unknown"
 }

@@ -73,15 +73,16 @@ func (h *atomicLog2) snapshot() histogram.Log2 {
 
 // atomicSearchStats mirrors index.SearchStats field for field.
 type atomicSearchStats struct {
-	nodesVisited   atomic.Int64
-	leavesVisited  atomic.Int64
-	shellsPruned   atomic.Int64
-	candidates     atomic.Int64
-	filteredByD    atomic.Int64
-	filteredByPath atomic.Int64
-	computed       atomic.Int64
-	vantagePoints  atomic.Int64
-	results        atomic.Int64
+	nodesVisited      atomic.Int64
+	leavesVisited     atomic.Int64
+	shellsPruned      atomic.Int64
+	candidates        atomic.Int64
+	filteredByD       atomic.Int64
+	filteredByPath    atomic.Int64
+	filteredByCascade atomic.Int64
+	computed          atomic.Int64
+	vantagePoints     atomic.Int64
+	results           atomic.Int64
 }
 
 func (s *atomicSearchStats) add(b index.SearchStats) {
@@ -91,6 +92,7 @@ func (s *atomicSearchStats) add(b index.SearchStats) {
 	s.candidates.Add(int64(b.Candidates))
 	s.filteredByD.Add(int64(b.FilteredByD))
 	s.filteredByPath.Add(int64(b.FilteredByPath))
+	s.filteredByCascade.Add(int64(b.FilteredByCascade))
 	s.computed.Add(int64(b.Computed))
 	s.vantagePoints.Add(int64(b.VantagePoints))
 	s.results.Add(int64(b.Results))
@@ -98,15 +100,16 @@ func (s *atomicSearchStats) add(b index.SearchStats) {
 
 func (s *atomicSearchStats) snapshot() SearchTotals {
 	return SearchTotals{
-		NodesVisited:   s.nodesVisited.Load(),
-		LeavesVisited:  s.leavesVisited.Load(),
-		ShellsPruned:   s.shellsPruned.Load(),
-		Candidates:     s.candidates.Load(),
-		FilteredByD:    s.filteredByD.Load(),
-		FilteredByPath: s.filteredByPath.Load(),
-		Computed:       s.computed.Load(),
-		VantagePoints:  s.vantagePoints.Load(),
-		Results:        s.results.Load(),
+		NodesVisited:      s.nodesVisited.Load(),
+		LeavesVisited:     s.leavesVisited.Load(),
+		ShellsPruned:      s.shellsPruned.Load(),
+		Candidates:        s.candidates.Load(),
+		FilteredByD:       s.filteredByD.Load(),
+		FilteredByPath:    s.filteredByPath.Load(),
+		FilteredByCascade: s.filteredByCascade.Load(),
+		Computed:          s.computed.Load(),
+		VantagePoints:     s.vantagePoints.Load(),
+		Results:           s.results.Load(),
 	}
 }
 
@@ -172,15 +175,16 @@ func (o *Observer) Snapshot() Snapshot {
 // int64 so long-running services cannot overflow the per-query int
 // fields.
 type SearchTotals struct {
-	NodesVisited   int64 `json:"nodes_visited"`
-	LeavesVisited  int64 `json:"leaves_visited"`
-	ShellsPruned   int64 `json:"shells_pruned"`
-	Candidates     int64 `json:"candidates"`
-	FilteredByD    int64 `json:"filtered_by_d"`
-	FilteredByPath int64 `json:"filtered_by_path"`
-	Computed       int64 `json:"computed"`
-	VantagePoints  int64 `json:"vantage_points"`
-	Results        int64 `json:"results"`
+	NodesVisited      int64 `json:"nodes_visited"`
+	LeavesVisited     int64 `json:"leaves_visited"`
+	ShellsPruned      int64 `json:"shells_pruned"`
+	Candidates        int64 `json:"candidates"`
+	FilteredByD       int64 `json:"filtered_by_d"`
+	FilteredByPath    int64 `json:"filtered_by_path"`
+	FilteredByCascade int64 `json:"filtered_by_cascade"`
+	Computed          int64 `json:"computed"`
+	VantagePoints     int64 `json:"vantage_points"`
+	Results           int64 `json:"results"`
 }
 
 // Add accumulates b into s.
@@ -191,6 +195,7 @@ func (s *SearchTotals) Add(b SearchTotals) {
 	s.Candidates += b.Candidates
 	s.FilteredByD += b.FilteredByD
 	s.FilteredByPath += b.FilteredByPath
+	s.FilteredByCascade += b.FilteredByCascade
 	s.Computed += b.Computed
 	s.VantagePoints += b.VantagePoints
 	s.Results += b.Results
@@ -204,6 +209,7 @@ func (s *SearchTotals) AddStats(b index.SearchStats) {
 	s.Candidates += int64(b.Candidates)
 	s.FilteredByD += int64(b.FilteredByD)
 	s.FilteredByPath += int64(b.FilteredByPath)
+	s.FilteredByCascade += int64(b.FilteredByCascade)
 	s.Computed += int64(b.Computed)
 	s.VantagePoints += int64(b.VantagePoints)
 	s.Results += int64(b.Results)

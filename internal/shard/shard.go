@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
@@ -308,6 +309,32 @@ func (x *Index[T]) Len() int { return x.size }
 // DistanceCount reports the shared counter: every distance computation
 // made by any shard, build and queries alike.
 func (x *Index[T]) DistanceCount() int64 { return x.dist.Count() }
+
+// EnableCascade builds the cross-query bound cascade (internal/cascade)
+// on every shard: each shard precomputes its own pivot × item distance
+// rows through the shared counter and thereafter reuses query-time
+// vantage distances to skip leaf candidates by the triangle inequality.
+// Results are byte-identical with the cascade on or off and per-query
+// distance counts can only decrease, shard by shard. It errors if the
+// backend's structure does not expose EnableCascade (both built-in
+// backends, mvp and vptree, do). Like the per-structure method, it is
+// not synchronized with in-flight queries — enable before serving —
+// and the cascade is not serialized by SaveDir: re-enable after
+// LoadDir.
+func (x *Index[T]) EnableCascade(opts cascade.Options) error {
+	for i, s := range x.shards {
+		c, ok := s.(interface {
+			EnableCascade(cascade.Options) error
+		})
+		if !ok {
+			return fmt.Errorf("shard %d: backend does not support the bound cascade", i)
+		}
+		if err := c.EnableCascade(opts); err != nil {
+			return fmt.Errorf("shard %d: enable cascade: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // AttachShardObservers gives every shard its own obs.Observer (sharded
 // over conc slots, as obs.NewObserver), so per-shard query telemetry

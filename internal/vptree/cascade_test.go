@@ -1,0 +1,118 @@
+package vptree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/cascade"
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+func cascadeItems(seed uint64, n, dim int) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x51))
+	items := make([][]float64, n)
+	for i := range items {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		items[i] = v
+	}
+	return items
+}
+
+// TestCascadeInvariance checks byte-identical results and
+// never-increasing distance counts with the cascade enabled — the
+// vp-tree is the structure where the cascade matters most, since it has
+// no leaf filter of its own (Computed == Candidates without it).
+func TestCascadeInvariance(t *testing.T) {
+	items := cascadeItems(19, 3000, 12)
+	opts := Options{Order: 3, LeafCapacity: 20, Build: Build{Seed: 7}}
+	off, err := New(items, metric.NewCounter(metric.L2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := New(items, metric.NewCounter(metric.L2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := on.EnableCascade(cascade.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if on.Cascade() == nil {
+		t.Fatal("EnableCascade left the filter nil")
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	var pruned int
+	for qi := 0; qi < 40; qi++ {
+		q := make([]float64, 12)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		for _, r := range []float64{0.3, 0.6, 0.9} {
+			a, sa := off.RangeWithStats(q, r)
+			b, sb := on.RangeWithStats(q, r)
+			if len(a) != len(b) {
+				t.Fatalf("r=%v: %d results off, %d on", r, len(a), len(b))
+			}
+			for i := range a {
+				for j := range a[i] {
+					if a[i][j] != b[i][j] {
+						t.Fatalf("r=%v: result %d differs", r, i)
+					}
+				}
+			}
+			if sb.Distances() > sa.Distances() {
+				t.Fatalf("r=%v: cascade-on used %d distances, off %d", r, sb.Distances(), sa.Distances())
+			}
+			pruned += sb.FilteredByCascade
+		}
+		for _, k := range []int{1, 10, 50} {
+			a, sa := off.KNNWithStats(q, k)
+			b, sb := on.KNNWithStats(q, k)
+			if len(a) != len(b) {
+				t.Fatalf("k=%d: %d results off, %d on", k, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Dist != b[i].Dist {
+					t.Fatalf("k=%d: neighbor %d dist %v off, %v on", k, i, a[i].Dist, b[i].Dist)
+				}
+			}
+			if sb.Distances() > sa.Distances() {
+				t.Fatalf("k=%d: cascade-on used %d distances, off %d", k, sb.Distances(), sa.Distances())
+			}
+			pruned += sb.FilteredByCascade
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("cascade never pruned a candidate across 40 queries")
+	}
+}
+
+// TestCascadeSteadyStateAllocations re-pins the zero-alloc serving
+// guarantee with the cascade enabled.
+func TestCascadeSteadyStateAllocations(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	items := cascadeItems(13, 2000, 8)
+	tree, err := New(items, metric.NewCounter(metric.L2),
+		Options{Order: 3, LeafCapacity: 20, Build: Build{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableCascade(cascade.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	far := []float64{100, 100, 100, 100, 100, 100, 100, 100}
+	near := items[17]
+	tree.Range(far, 0.5)
+	tree.KNN(near, 10)
+	if allocs := testing.AllocsPerRun(200, func() { tree.Range(far, 0.5) }); allocs != 0 {
+		t.Errorf("cascaded empty-result Range allocated %.1f times per query, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { tree.KNN(near, 10) }); allocs > 1 {
+		t.Errorf("cascaded KNN allocated %.1f times per query, want <= 1 (the result slice)", allocs)
+	}
+}

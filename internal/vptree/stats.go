@@ -3,6 +3,7 @@ package vptree
 import (
 	"math"
 
+	"mvptree/internal/cascade"
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/obs"
@@ -57,13 +58,27 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 		return nil, s
 	}
 	var out []T
-	t.rangeNodeStats(t.root, q, r, &out, &s)
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
+	t.rangeNodeCas(t.root, q, r, cc, &out, &s)
+	if t.cas != nil {
+		t.cas.Put(cc)
+	}
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
+// rangeNodeStats is the uncascaded traversal, kept as the entry point
+// for the intra-query parallel search (whose workers cannot share a
+// single-owner cascade cache).
 func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
+	t.rangeNodeCas(n, q, r, nil, out, s)
+}
+
+func (t *Tree[T]) rangeNodeCas(n *node[T], q T, r float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
@@ -73,7 +88,35 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 		s.LeavesVisited++
 		// Candidate distances go through the uncounted kernel and the
 		// batch is settled once — the count matches per-call accounting.
+		// The cascade lower bound is the vp-tree's only leaf filter (it
+		// stores no leaf distances): a candidate whose bound over the
+		// registered vantage distances exceeds r cannot be a result.
 		kernel := t.dist.Kernel()
+		if cc != nil && cc.Registered() > 0 {
+			cas, base := t.cas, n.casBase
+			filtered, computed := 0, 0
+			for i, it := range n.items {
+				if cas.LowerBound(cc, base+int32(i)) > r {
+					filtered++
+					continue
+				}
+				computed++
+				if kernel(q, it, r) <= r {
+					*out = append(*out, it)
+				}
+			}
+			t.dist.Add(int64(computed))
+			s.Candidates += len(n.items)
+			s.Computed += computed
+			s.FilteredByCascade += filtered
+			if filtered > 0 {
+				t.TracePrune(obs.FilterCascade, filtered)
+			}
+			if computed > 0 {
+				t.TraceDistance(computed)
+			}
+			return
+		}
 		for _, it := range n.items {
 			if kernel(q, it, r) <= r {
 				*out = append(*out, it)
@@ -87,7 +130,17 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 		}
 		return
 	}
-	d := t.dist.DistanceUpTo(q, n.vantage, r+n.cutMax)
+	// A vantage point stamped as a cascade pivot is computed exactly
+	// while the cache still wants registrations (an exact value is a
+	// valid bounded-kernel result, so every shell decision is
+	// unchanged) and doubles as a global filter bound.
+	var d float64
+	if cc != nil && n.cas != 0 && cc.Wants() {
+		d = t.dist.Distance(q, n.vantage)
+		cc.Register(n.cas-1, d)
+	} else {
+		d = t.dist.DistanceUpTo(q, n.vantage, r+n.cutMax)
+	}
 	s.VantagePoints++
 	t.TraceDistance(1)
 	if d <= r {
@@ -96,7 +149,7 @@ func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *Search
 	for g, c := range n.children {
 		lo, hi := shellBounds(n.cutoffs, g)
 		if d+r >= lo && d-r <= hi {
-			t.rangeNodeStats(c, q, r, out, s)
+			t.rangeNodeCas(c, q, r, cc, out, s)
 		} else {
 			s.ShellsPruned++
 			t.TracePrune(obs.FilterShell, 1)
@@ -136,6 +189,10 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		sc.best.Reset(k)
 	}
 	best, queue := sc.best, &sc.queue
+	var cc *cascade.Cache
+	if t.cas != nil {
+		cc = t.cas.Get()
+	}
 	queue.PushNode(t.root, 0)
 	for {
 		n, bound, ok := queue.PopNode()
@@ -168,6 +225,38 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 			if ext != nil {
 				extTau = ext.Tau()
 			}
+			// The cascade lower bound filters candidates the heap would
+			// reject anyway: a bound with !Accepts (or past the external
+			// τ) proves the true distance would be rejected too.
+			if cc != nil && cc.Registered() > 0 {
+				cas, base := t.cas, n.casBase
+				filtered, computed := 0, 0
+				for i, it := range n.items {
+					if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) || clb >= extTau {
+						filtered++
+						continue
+					}
+					computed++
+					cb := min(best.Threshold(), extTau)
+					if d := kernel(q, it, cb); d <= cb {
+						best.Push(it, d)
+					}
+				}
+				if ext != nil {
+					ext.Publish(best.Threshold())
+				}
+				t.dist.Add(int64(computed))
+				s.Candidates += len(n.items)
+				s.Computed += computed
+				s.FilteredByCascade += filtered
+				if filtered > 0 {
+					t.TracePrune(obs.FilterCascade, filtered)
+				}
+				if computed > 0 {
+					t.TraceDistance(computed)
+				}
+				continue
+			}
 			for _, it := range n.items {
 				cb := min(best.Threshold(), extTau)
 				if d := kernel(q, it, cb); d <= cb {
@@ -185,8 +274,17 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 			}
 			continue
 		}
+		// Stamped cascade pivots are computed exactly while the cache
+		// wants registrations; the push and shell decisions below are
+		// unchanged (an exact value is a valid bounded result).
 		vb := tau + n.cutMax
-		d := t.dist.DistanceUpTo(q, n.vantage, vb)
+		var d float64
+		if cc != nil && n.cas != 0 && cc.Wants() {
+			d = t.dist.Distance(q, n.vantage)
+			cc.Register(n.cas-1, d)
+		} else {
+			d = t.dist.DistanceUpTo(q, n.vantage, vb)
+		}
 		if d <= vb {
 			best.Push(n.vantage, d)
 		}
@@ -217,6 +315,9 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		}
 	}
 	out := best.Sorted()
+	if t.cas != nil {
+		t.cas.Put(cc)
+	}
 	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"mvptree/internal/build"
+	"mvptree/internal/cascade"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
@@ -121,6 +122,9 @@ type Tree[T any] struct {
 	order      int
 	buildStats build.Stats
 	scratch    sync.Pool // *knnScratch[T]; see stats.go
+	// cas is the cross-query bound cascade, nil unless EnableCascade
+	// built one; see cascade.go.
+	cas *cascade.Filter[T]
 }
 
 var _ index.StatsIndex[int] = (*Tree[int])(nil)
@@ -139,6 +143,13 @@ type node[T any] struct {
 	// Leaf node fields.
 	leaf  bool
 	items []T
+
+	// Cascade stamps (see cascade.go; all zero until EnableCascade).
+	// cas marks the vantage point as a cascade pivot (pivot index plus
+	// one; zero means unstamped), casBase is the cascade id of the
+	// leaf's first item.
+	cas     int32
+	casBase int32
 }
 
 // setDerived recomputes the cached abandonment bound from the stored

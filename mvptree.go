@@ -74,6 +74,9 @@ func New[T any](items []T, dist DistanceFunc[T], opts Options, ixOpts ...IndexOp
 		return nil, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -85,6 +88,9 @@ func NewWithStats[T any](items []T, dist DistanceFunc[T], opts Options, ixOpts .
 		return nil, bs, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
 	return t, bs, nil
 }
 
@@ -119,6 +125,9 @@ func NewVP[T any](items []T, dist DistanceFunc[T], opts VPOptions, ixOpts ...Ind
 		return nil, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -137,6 +146,9 @@ func NewVPWithStats[T any](items []T, dist DistanceFunc[T], opts VPOptions, ixOp
 		return nil, bs, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
 	return t, bs, nil
 }
 
@@ -155,6 +167,9 @@ func NewGH[T any](items []T, dist DistanceFunc[T], opts GHOptions, ixOpts ...Ind
 		return nil, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -166,6 +181,9 @@ func NewGHWithStats[T any](items []T, dist DistanceFunc[T], opts GHOptions, ixOp
 		return nil, bs, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
 	return t, bs, nil
 }
 
@@ -184,6 +202,9 @@ func NewGNAT[T any](items []T, dist DistanceFunc[T], opts GNATOptions, ixOpts ..
 		return nil, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -195,6 +216,9 @@ func NewGNATWithStats[T any](items []T, dist DistanceFunc[T], opts GNATOptions, 
 		return nil, bs, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
 	return t, bs, nil
 }
 
@@ -217,6 +241,9 @@ func NewBK[T any](items []T, dist DistanceFunc[T], ixOpts ...IndexOption[T]) (*B
 		return nil, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -229,6 +256,9 @@ func NewBKWithStats[T any](items []T, dist DistanceFunc[T], opts BKOptions, ixOp
 		return nil, bs, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
 	return t, bs, nil
 }
 
@@ -292,6 +322,9 @@ func NewBall[T any](items []T, dist DistanceFunc[T], opts BallOptions, ixOpts ..
 		return nil, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -303,5 +336,8 @@ func NewBallWithStats[T any](items []T, dist DistanceFunc[T], opts BallOptions, 
 		return nil, bs, err
 	}
 	cfg.install(t)
+	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
 	return t, bs, nil
 }

@@ -1,8 +1,10 @@
 package mvptree
 
 import (
+	"errors"
 	"io"
 
+	"mvptree/internal/cascade"
 	"mvptree/internal/histogram"
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
@@ -65,8 +67,9 @@ type QueryKind = obs.Kind
 
 // PruneFilter identifies which filtering mechanism rejected candidates
 // in a Tracer OnFilterPrune event: the shell bounds of an internal
-// node, the vantage-point distance bound (the paper's Lemma 1), or the
-// leaf PATH bound (Lemma 2).
+// node, the vantage-point distance bound (the paper's Lemma 1), the
+// leaf PATH bound (Lemma 2), or the cross-query bound cascade
+// (WithCascade).
 type PruneFilter = obs.Filter
 
 // Query kinds and prune filters.
@@ -74,9 +77,10 @@ const (
 	KindRange = obs.KindRange
 	KindKNN   = obs.KindKNN
 
-	FilterShell = obs.FilterShell
-	FilterD     = obs.FilterD
-	FilterPath  = obs.FilterPath
+	FilterShell   = obs.FilterShell
+	FilterD       = obs.FilterD
+	FilterPath    = obs.FilterPath
+	FilterCascade = obs.FilterCascade
 )
 
 // PublishExpvar publishes the observer's Snapshot under name in the
@@ -99,7 +103,18 @@ type indexConfig[T any] struct {
 	counter  *metric.Counter[T]
 	observer *obs.Observer
 	tracer   obs.Tracer
+	cascade  *cascade.Options
 }
+
+// CascadeOptions tune the cross-query bound cascade enabled with
+// WithCascade (or a structure's EnableCascade method): Pivots caps how
+// many vantage/split/center points get precomputed distance rows,
+// MaxPerQuery caps how many pivot distances one query registers
+// (DefaultMaxPerQuery = 8 — beyond that the per-candidate max-loop
+// costs more than the extra bound tightness buys), and Workers
+// parallelizes the one-time precomputation. The zero value uses the
+// defaults.
+type CascadeOptions = cascade.Options
 
 // WithCounter makes the index measure distances through an existing
 // Counter instead of a fresh internal one, so construction and query
@@ -119,6 +134,21 @@ func WithObserver[T any](o *Observer) IndexOption[T] {
 // query the index serves streams events to it.
 func WithTracer[T any](tr Tracer) IndexOption[T] {
 	return func(cfg *indexConfig[T]) { cfg.tracer = tr }
+}
+
+// WithCascade enables the cross-query bound cascade on the built index:
+// stored pivot–item distances are precomputed once (costing Pivots ×
+// LeafItems distance computations, on top of construction) and every
+// query thereafter reuses the vantage distances it computes anyway to
+// skip leaf candidates by the triangle inequality, before paying an
+// exact distance. Results are byte-identical with and without the
+// cascade; per-query distance counts can only decrease. Supported by
+// every tree structure (New, NewVP, NewGeneral, NewGNAT, NewGH,
+// NewBall, NewBK); NewPivotTable and NewLinear ignore it — the pivot
+// table is this mechanism in standalone form, and a linear scan has no
+// vantage distances to reuse.
+func WithCascade[T any](opts CascadeOptions) IndexOption[T] {
+	return func(cfg *indexConfig[T]) { cfg.cascade = &opts }
 }
 
 // resolveIndexConfig applies the options, defaulting the counter to a
@@ -149,4 +179,29 @@ func (cfg indexConfig[T]) install(h hooked) {
 	if cfg.tracer != nil {
 		h.SetTracer(cfg.tracer)
 	}
+}
+
+// cascadable is implemented by every structure supporting the
+// cross-query bound cascade.
+type cascadable interface {
+	EnableCascade(cascade.Options) error
+}
+
+// errInternalNotCascadable guards against a constructor wiring
+// enableCascade to a structure that lacks EnableCascade; it indicates a
+// bug in this package, not caller error.
+var errInternalNotCascadable = errors.New("mvptree: internal error: structure does not support WithCascade")
+
+// enableCascade builds the cascade when WithCascade was given. Called
+// by the constructors of cascade-capable structures only; NewPivotTable
+// and NewLinear skip it (see WithCascade).
+func (cfg indexConfig[T]) enableCascade(h any) error {
+	if cfg.cascade == nil {
+		return nil
+	}
+	c, ok := h.(cascadable)
+	if !ok {
+		return errInternalNotCascadable
+	}
+	return c.EnableCascade(*cfg.cascade)
 }
