@@ -19,6 +19,15 @@
 //     order decides which pivots a query registers), which the
 //     generous threshold absorbs. Every other cell is bit-reproducible.
 //
+//   - -mode approx compares a fresh `mvpbench -approxjson` report
+//     against the approxbench section of the committed
+//     BENCH_approx.json baseline: for every (structure, dim, mode,
+//     param) curve point present in both, the fresh recall must not
+//     fall below the baseline recall by more than the threshold
+//     (absolute recall points; default 0.02 = 2 points). Recall is a
+//     deterministic function of the seeds, so any drop means the
+//     approximate traversal itself changed.
+//
 // Both sides of each gate are measured with the same methodology
 // (QueryBenchStudy / CascadeBenchStudy), so the comparison is
 // apples-to-apples; the go_bench rows in the query baseline come from
@@ -35,6 +44,9 @@
 //
 //	go run ./cmd/mvpbench -experiment cascadebench -cascadejson fresh.json
 //	go run ./cmd/benchguard -mode cascade -baseline BENCH_cascade.json -fresh fresh.json
+//
+//	go run ./cmd/mvpbench -experiment approxbench -approxjson fresh.json
+//	go run ./cmd/benchguard -mode approx -baseline BENCH_approx.json -fresh fresh.json
 package main
 
 import (
@@ -49,20 +61,28 @@ import (
 
 // baselineFile is the committed artifact's shape: the report is nested
 // under a mode-named key ("querybench" in BENCH_query.json,
-// "cascadebench" in BENCH_cascade.json) next to prose fields.
+// "cascadebench" in BENCH_cascade.json, "approxbench" in
+// BENCH_approx.json) next to prose fields.
 type baselineFile struct {
 	BaselineCommit string                         `json:"baseline_commit"`
 	Querybench     experiments.QueryBenchReport   `json:"querybench"`
 	Cascadebench   experiments.CascadeBenchReport `json:"cascadebench"`
+	Approxbench    experiments.ApproxBenchReport  `json:"approxbench"`
 }
 
 func main() {
-	mode := flag.String("mode", "query", "gate to run: query (wall-clock serving cost) or cascade (cascade-on distance counts)")
-	baselinePath := flag.String("baseline", "", "committed baseline artifact (default BENCH_query.json or BENCH_cascade.json per mode)")
-	freshPath := flag.String("fresh", "", "fresh report written by mvpbench -queryjson / -cascadejson (required)")
+	mode := flag.String("mode", "query", "gate to run: query (wall-clock serving cost), cascade (cascade-on distance counts) or approx (approximate-query recall)")
+	baselinePath := flag.String("baseline", "", "committed baseline artifact (default BENCH_query.json, BENCH_cascade.json or BENCH_approx.json per mode)")
+	freshPath := flag.String("fresh", "", "fresh report written by mvpbench -queryjson / -cascadejson / -approxjson (required)")
 	structure := flag.String("structure", "mvpt(", "structure-name prefix to guard (query mode)")
-	threshold := flag.Float64("threshold", 0.20, "maximum allowed fractional regression before failing")
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed regression before failing (fractional for query/cascade; absolute recall points for approx, where the default is 0.02)")
 	flag.Parse()
+	thresholdSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "threshold" {
+			thresholdSet = true
+		}
+	})
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -fresh is required")
 		os.Exit(2)
@@ -79,8 +99,20 @@ func main() {
 			*baselinePath = "BENCH_cascade.json"
 		}
 		cascadeGate(*baselinePath, *freshPath, *threshold)
+	case "approx":
+		if *baselinePath == "" {
+			*baselinePath = "BENCH_approx.json"
+		}
+		// The query/cascade gates compare fractional drift; the approx
+		// gate compares recall in absolute points, so it has its own
+		// default.
+		t := *threshold
+		if !thresholdSet {
+			t = 0.02
+		}
+		approxGate(*baselinePath, *freshPath, t)
 	default:
-		fmt.Fprintf(os.Stderr, "benchguard: unknown -mode %q (want query or cascade)\n", *mode)
+		fmt.Fprintf(os.Stderr, "benchguard: unknown -mode %q (want query, cascade or approx)\n", *mode)
 		os.Exit(2)
 	}
 }
@@ -170,6 +202,69 @@ func cascadeGate(baselinePath, freshPath string, threshold float64) {
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: PASS")
+}
+
+// approxGate compares recall at every curve point shared by the
+// baseline and the fresh report. Unlike the other gates the threshold
+// is absolute — recall is in [0, 1], so "no more than `threshold`
+// recall points below baseline" is the natural contract and avoids the
+// divide-by-small-baseline instability a fractional comparison would
+// have at low-recall points.
+func approxGate(baselinePath, freshPath string, threshold float64) {
+	var base baselineFile
+	if err := readJSON(baselinePath, &base); err != nil {
+		fatal(err)
+	}
+	var fresh experiments.ApproxBenchReport
+	if err := readJSON(freshPath, &fresh); err != nil {
+		fatal(err)
+	}
+	b := &base.Approxbench
+	if b.N != fresh.N || b.Queries != fresh.Queries || b.K != fresh.K {
+		fatal(fmt.Errorf("workload mismatch: baseline n=%d queries=%d k=%d vs fresh n=%d queries=%d k=%d (rerun mvpbench with the baseline's workload flags)",
+			b.N, b.Queries, b.K, fresh.N, fresh.Queries, fresh.K))
+	}
+
+	freshRows := make(map[string]*experiments.ApproxBenchRow, len(fresh.Rows))
+	for i := range fresh.Rows {
+		r := &fresh.Rows[i]
+		freshRows[approxKey(r)] = r
+	}
+
+	ok := true
+	compared := 0
+	for i := range b.Rows {
+		br := &b.Rows[i]
+		key := approxKey(br)
+		fr, found := freshRows[key]
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: baseline row missing from fresh report\n", key)
+			ok = false
+			continue
+		}
+		compared++
+		drop := br.Recall - fr.Recall
+		status := "ok"
+		if drop > threshold {
+			status = fmt.Sprintf("RECALL REGRESSION (> %.1f points)", threshold*100)
+			ok = false
+		}
+		fmt.Printf("%-28s baseline recall %6.1f%%   fresh %6.1f%%   %+5.1f pts   %s\n",
+			key, 100*br.Recall, 100*fr.Recall, 100*(fr.Recall-br.Recall), status)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("%s: approxbench section has no rows", baselinePath))
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL (baseline %s, commit %s)\n", baselinePath, base.BaselineCommit)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// approxKey identifies one curve point across reports.
+func approxKey(r *experiments.ApproxBenchRow) string {
+	return fmt.Sprintf("%s/dim=%d/%s/%s=%g", r.Structure, r.Dim, r.Workload, r.Mode, r.Param)
 }
 
 // check prints one comparison line and reports whether fresh is within

@@ -14,7 +14,7 @@
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 claims
 // ablation-p ablation-k ablation-sv2 ablation-v knn structures words
 // build approx filters telemetry querybench shardbench cascadebench
-// all.
+// approxbench all.
 //
 // -obsjson FILE writes the telemetry experiment's per-structure
 // observer snapshots (latency and distance-count histograms, filter
@@ -23,7 +23,8 @@
 // allocs/op); -shardjson FILE writes the shardbench experiment's
 // sharded-serving scaling report (-shards and -queryworkers set its
 // sweeps); -cascadejson FILE writes the cascadebench experiment's
-// cascade-off vs cascade-on distance-count deltas;
+// cascade-off vs cascade-on distance-count deltas; -approxjson FILE
+// writes the approxbench experiment's recall-vs-distance-cost curves;
 // -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
@@ -74,6 +75,7 @@ func run(out io.Writer, args []string) error {
 		queryWorkers = fs.String("queryworkers", "", "comma-separated intra-query fan-out worker counts for the shardbench experiment (default 1,2,4,8)")
 		shardJSON    = fs.String("shardjson", "", "write the shardbench experiment's scaling report as JSON to this file (adds the shardbench experiment if not selected)")
 		cascadeJSON  = fs.String("cascadejson", "", "write the cascadebench experiment's distance-count report as JSON to this file (adds the cascadebench experiment if not selected)")
+		approxJSON   = fs.String("approxjson", "", "write the approxbench experiment's recall-vs-cost report as JSON to this file (adds the approxbench experiment if not selected)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
@@ -174,7 +176,7 @@ func run(out io.Writer, args []string) error {
 	if *experiment == "all" {
 		ids = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench", "cascadebench"}
+			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench", "cascadebench", "approxbench"}
 	}
 	if *buildJSON != "" && !containsID(ids, "build") {
 		ids = append(ids, "build")
@@ -191,8 +193,11 @@ func run(out io.Writer, args []string) error {
 	if *cascadeJSON != "" && !containsID(ids, "cascadebench") {
 		ids = append(ids, "cascadebench")
 	}
+	if *approxJSON != "" && !containsID(ids, "approxbench") {
+		ids = append(ids, "approxbench")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON, *cascadeJSON); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON, *cascadeJSON, *approxJSON); err != nil {
 			return err
 		}
 	}
@@ -283,7 +288,15 @@ func writeCascadeJSON(path string, rep *experiments.CascadeBenchReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON, cascadeJSON string) error {
+func writeApproxJSON(path string, rep *experiments.ApproxBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON, cascadeJSON, approxJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -384,6 +397,15 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSO
 		if err == nil && cascadeJSON != "" {
 			err = writeCascadeJSON(cascadeJSON, rep)
 		}
+	case "approxbench":
+		var rep *experiments.ApproxBenchReport
+		rep, err = experiments.ApproxBenchStudy(cfg)
+		if err == nil {
+			err = experiments.WriteApproxBench(out, rep)
+		}
+		if err == nil && approxJSON != "" {
+			err = writeApproxJSON(approxJSON, rep)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -421,6 +443,7 @@ func describe(id string) string {
 		"querybench":   "extension: serving hot-path cost (ns/op, distances, allocs per query)",
 		"shardbench":   "extension: sharded serving scaling (shards × intra-query workers)",
 		"cascadebench": "extension: cross-query bound cascade, distance counts off vs on",
+		"approxbench":  "extension: approximate & budgeted kNN — recall vs distance cost across dimensions",
 	}
 	if d, ok := descriptions[id]; ok {
 		return d

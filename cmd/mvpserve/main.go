@@ -18,8 +18,8 @@
 //
 // Endpoints:
 //
-//	POST /range        {"query": [...], "r": 0.5}
-//	POST /knn          {"query": [...], "k": 5}
+//	POST /range        {"query": [...], "r": 0.5, "epsilon": 0.2, "budget": 500}
+//	POST /knn          {"query": [...], "k": 5, "epsilon": 0.2, "budget": 500}
 //	GET  /stats        admission counters + observer snapshot
 //	GET  /healthz      liveness probe
 //	POST /admin/reload swap in the snapshot at -dir

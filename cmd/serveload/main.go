@@ -123,6 +123,8 @@ func run(out io.Writer, args []string) error {
 		radius      = fs.Float64("r", 0.4, "range query radius")
 		k           = fs.Int("k", 5, "kNN neighbor count")
 		knnFrac     = fs.Float64("knnfrac", 0.3, "fraction of arrivals issued as kNN queries")
+		epsilon     = fs.Float64("epsilon", 0, "approximation slack ε sent with every query (0 = exact)")
+		budget      = fs.Int64("budget", 0, "per-query distance budget sent with every query (0 = unlimited)")
 		seed        = fs.Uint64("seed", 7, "query-stream seed")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-request timeout")
 		maxInFlight = fs.Int("maxinflight", 4096, "client-side cap on concurrent requests; arrivals beyond it are shed and counted")
@@ -154,11 +156,19 @@ func run(out io.Writer, args []string) error {
 	rangeBodies := make([][]byte, poolSize)
 	knnBodies := make([][]byte, poolSize)
 	for i, q := range pool {
-		rb, err := json.Marshal(map[string]any{"query": q, "r": *radius})
+		rangeBody := map[string]any{"query": q, "r": *radius}
+		knnBody := map[string]any{"query": q, "k": *k}
+		if *epsilon > 0 {
+			rangeBody["epsilon"], knnBody["epsilon"] = *epsilon, *epsilon
+		}
+		if *budget > 0 {
+			rangeBody["budget"], knnBody["budget"] = *budget, *budget
+		}
+		rb, err := json.Marshal(rangeBody)
 		if err != nil {
 			return err
 		}
-		kb, err := json.Marshal(map[string]any{"query": q, "k": *k})
+		kb, err := json.Marshal(knnBody)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,181 @@
+package balltree
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
+
+var _ index.Searcher[int] = (*Tree[int])(nil)
+
+// Search is the unified query entry point (index.Searcher). With
+// zero-valued SearchOptions it runs the exact traversal, byte-identical
+// to RangeWithStats / KNNWithStats (which remain as thin wrappers over
+// the same code paths); Epsilon, Budget or Patience switch to the
+// approximate traversal below. Approximate traversals do not consult
+// the cascade; Workers and Bound are not supported by this structure
+// and are ignored.
+func (t *Tree[T]) Search(req index.Query[T]) index.Result[T] {
+	if req.K > 0 {
+		if !req.Opts.Approximate() {
+			nb, s := t.KNNWithStats(req.Point, req.K)
+			return index.Result[T]{Neighbors: nb, Stats: s}
+		}
+		return t.knnApprox(req.Point, req.K, req.Opts)
+	}
+	if !req.Opts.Approximate() {
+		out, s := t.RangeWithStats(req.Point, req.Radius)
+		return index.Result[T]{Items: out, Stats: s}
+	}
+	return t.rangeApprox(req.Point, req.Radius, req.Opts)
+}
+
+// rangeApprox tests the ball prune d−ρ > rp against the shrunken
+// radius rp = r/(1+ε) while acceptance keeps the full r, and debits
+// the budget before every computation. Every reported item is within
+// r; every item within rp is guaranteed reported.
+func (t *Tree[T]) rangeApprox(q T, r float64, o index.SearchOptions) index.Result[T] {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 {
+		span.Done(&s)
+		return index.Result[T]{Stats: s}
+	}
+	a := index.StartApprox(o)
+	var out []T
+	t.rangeNodeApprox(t.root, q, r, a.Shrink(r), &a, &out, &s)
+	a.Finish(&s)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Items: out, Stats: s}
+}
+
+func (t *Tree[T]) rangeNodeApprox(n *node[T], q T, r, rp float64, a *index.Approx, out *[]T, s *SearchStats) {
+	if n == nil || a.Stop() {
+		return
+	}
+	s.NodesVisited++
+	t.TraceNode(n.leaf)
+	if n.leaf {
+		s.LeavesVisited++
+		computed := 0
+		for _, it := range n.items {
+			if !a.Pay(1) {
+				break
+			}
+			s.Candidates++
+			computed++
+			if t.dist.DistanceUpTo(q, it, r) <= r {
+				*out = append(*out, it)
+			}
+		}
+		s.Computed += computed
+		if computed > 0 {
+			t.TraceDistance(computed)
+		}
+		return
+	}
+	for j, c := range n.centers {
+		if !a.Pay(1) {
+			return
+		}
+		// Exact-path kernel bound (r + ρ): an abandoned value and the
+		// true one land on the same side of the rp prune because
+		// rp ≤ r.
+		d := t.dist.DistanceUpTo(q, c, r+n.radii[j])
+		s.VantagePoints++
+		t.TraceDistance(1)
+		if d <= r {
+			*out = append(*out, c)
+		}
+		if d-n.radii[j] <= rp {
+			t.rangeNodeApprox(n.children[j], q, r, rp, a, out, s)
+			if a.Stop() {
+				return
+			}
+		} else if n.children[j] != nil {
+			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
+		}
+	}
+}
+
+// knnApprox is best-first kNN with the approximation knobs: a child
+// ball is discarded once its lower bound d−ρ reaches τ/(1+ε), the
+// budget is debited before every computation, and patience stops the
+// search after the configured number of consecutive leaves that fail
+// to tighten τ.
+func (t *Tree[T]) knnApprox(q T, k int, o index.SearchOptions) index.Result[T] {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
+	if k <= 0 || t.root == nil {
+		span.Done(&s)
+		return index.Result[T]{Stats: s}
+	}
+	a := index.StartApprox(o)
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[*node[T]]
+	queue.PushNode(t.root, 0)
+	for !a.Stop() {
+		n, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		tau := best.Threshold()
+		if bound >= a.Shrink(tau) {
+			break
+		}
+		s.NodesVisited++
+		t.TraceNode(n.leaf)
+		if n.leaf {
+			s.LeavesVisited++
+			computed := 0
+			for _, it := range n.items {
+				if !a.Pay(1) {
+					break
+				}
+				s.Candidates++
+				computed++
+				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
+			}
+			s.Computed += computed
+			if computed > 0 {
+				t.TraceDistance(computed)
+			}
+			a.LeafDone(best.Threshold() < tau, best.Full())
+			continue
+		}
+		paid := true
+		for j, c := range n.centers {
+			if !a.Pay(1) {
+				paid = false
+				break
+			}
+			d := t.dist.DistanceUpTo(q, c, best.Threshold()+n.radii[j])
+			best.Push(c, d)
+			s.VantagePoints++
+			t.TraceDistance(1)
+			if n.children[j] == nil {
+				continue
+			}
+			lb := d - n.radii[j]
+			if lb < bound {
+				lb = bound
+			}
+			if lb < a.Shrink(best.Threshold()) {
+				queue.PushNode(n.children[j], lb)
+			} else {
+				s.ShellsPruned++
+				t.TracePrune(obs.FilterShell, 1)
+			}
+		}
+		if !paid {
+			break
+		}
+	}
+	out := best.Sorted()
+	a.Finish(&s)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Neighbors: out, Stats: s}
+}

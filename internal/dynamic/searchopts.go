@@ -1,0 +1,143 @@
+package dynamic
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
+
+var _ index.Searcher[int] = (*Store[int])(nil)
+
+// Search is the unified query entry point (index.Searcher). With
+// zero-valued SearchOptions it runs the exact paths, byte-identical to
+// RangeWithStats / KNNWithStats. Approximate requests forward Epsilon,
+// Budget and Patience to the underlying mvp-tree; the overflow
+// buffer's linear tail then spends whatever budget the tree left
+// (ε and patience do not apply to a plain scan — every live buffered
+// item the budget allows is checked exactly). Workers and Bound are
+// not supported by the store and are ignored.
+func (s *Store[T]) Search(req index.Query[T]) index.Result[T] {
+	if req.K > 0 {
+		if !req.Opts.Approximate() {
+			nb, st := s.KNNWithStats(req.Point, req.K)
+			return index.Result[T]{Neighbors: nb, Stats: st}
+		}
+		return s.knnApprox(req.Point, req.K, req.Opts)
+	}
+	if !req.Opts.Approximate() {
+		out, st := s.RangeWithStats(req.Point, req.Radius)
+		return index.Result[T]{Items: out, Stats: st}
+	}
+	return s.rangeApprox(req.Point, req.Radius, req.Opts)
+}
+
+// tailBudget reports how much of the query budget the tree phase left
+// for the buffer tail: -1 for unlimited, never negative otherwise.
+func tailBudget(o index.SearchOptions, treeStats index.SearchStats) int64 {
+	if o.Budget <= 0 {
+		return -1
+	}
+	if rem := o.Budget - treeStats.Distances(); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+func (s *Store[T]) rangeApprox(q T, r float64, o index.SearchOptions) index.Result[T] {
+	span := s.StartQuery(obs.KindRange)
+	var st SearchStats
+	if r < 0 {
+		span.Done(&st)
+		return index.Result[T]{Stats: st}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	slot := s.acquireQuery(q)
+	defer s.releaseQuery(slot)
+	inner := index.Query[int]{Point: slot, Radius: r,
+		Opts: index.SearchOptions{Epsilon: o.Epsilon, Budget: o.Budget}}
+	res := s.tree.Search(inner)
+	st = res.Stats
+	var out []T
+	for _, id := range res.Items {
+		if s.alive[id] {
+			out = append(out, s.items[id])
+		}
+	}
+	remaining := tailBudget(o, st)
+	for _, id := range s.buffer {
+		if !s.alive[id] {
+			continue
+		}
+		if remaining == 0 {
+			st.BudgetExhausted = 1
+			break
+		}
+		if remaining > 0 {
+			remaining--
+		}
+		st.Candidates++
+		st.Computed++
+		s.TraceDistance(1)
+		if s.dist.DistanceUpTo(slot, id, r) <= r {
+			out = append(out, s.items[id])
+		}
+	}
+	if st.BudgetExhausted > 0 || o.Epsilon > 0 {
+		st.Approximated = 1
+	}
+	st.Results = len(out)
+	span.Done(&st)
+	return index.Result[T]{Items: out, Stats: st}
+}
+
+func (s *Store[T]) knnApprox(q T, k int, o index.SearchOptions) index.Result[T] {
+	span := s.StartQuery(obs.KindKNN)
+	var st SearchStats
+	if k <= 0 {
+		span.Done(&st)
+		return index.Result[T]{Stats: st}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.live == 0 {
+		span.Done(&st)
+		return index.Result[T]{Stats: st}
+	}
+	slot := s.acquireQuery(q)
+	defer s.releaseQuery(slot)
+	inner := index.Query[int]{Point: slot, K: k + s.treeDead,
+		Opts: index.SearchOptions{Epsilon: o.Epsilon, Budget: o.Budget, Patience: o.Patience}}
+	res := s.tree.Search(inner)
+	st = res.Stats
+	best := heapx.NewKBest[T](k)
+	for _, nb := range res.Neighbors {
+		if s.alive[nb.Item] {
+			best.Push(s.items[nb.Item], nb.Dist)
+		}
+	}
+	remaining := tailBudget(o, st)
+	for _, id := range s.buffer {
+		if !s.alive[id] {
+			continue
+		}
+		if remaining == 0 {
+			st.BudgetExhausted = 1
+			break
+		}
+		if remaining > 0 {
+			remaining--
+		}
+		st.Candidates++
+		st.Computed++
+		s.TraceDistance(1)
+		best.Push(s.items[id], s.dist.DistanceUpTo(slot, id, best.Threshold()))
+	}
+	if st.BudgetExhausted > 0 || o.Epsilon > 0 {
+		st.Approximated = 1
+	}
+	out := best.Sorted()
+	st.Results = len(out)
+	span.Done(&st)
+	return index.Result[T]{Neighbors: out, Stats: st}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+
+	"mvptree/internal/dataset"
+	"mvptree/internal/index"
+	"mvptree/internal/linear"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/vptree"
+)
+
+// ApproxBenchRow is one point of a recall-versus-distance-count curve:
+// one structure at one dimensionality, queried with one approximation
+// knob setting through the unified Search entry point.
+type ApproxBenchRow struct {
+	Structure string `json:"structure"`
+	Dim       int    `json:"dim"`
+	// Workload is "uniform" or "clustered". Uniform high-dimensional
+	// vectors concentrate distances, so ε-pruning buys little there;
+	// clustered data is where approximation pays.
+	Workload string `json:"workload"`
+	// Mode is "budget" (Param is the per-query cap as a fraction of n)
+	// or "epsilon" (Param is ε).
+	Mode  string  `json:"mode"`
+	Param float64 `json:"param"`
+	// Recall is the fraction of true k-nearest neighbors returned,
+	// averaged over queries (ground truth: linear scan).
+	Recall float64 `json:"recall"`
+	// DistPerQuery is the average distance computations per
+	// approximate query; ExactDistPerQuery the exact traversal's cost
+	// on the same tree and queries.
+	DistPerQuery      float64 `json:"dist_per_query"`
+	ExactDistPerQuery float64 `json:"exact_dist_per_query"`
+	// CostFraction is DistPerQuery / ExactDistPerQuery.
+	CostFraction float64 `json:"cost_fraction"`
+	// ExhaustedFraction is the fraction of queries whose budget ran
+	// out (always 0 in epsilon mode).
+	ExhaustedFraction float64 `json:"exhausted_fraction"`
+}
+
+// ApproxBenchReport is the artifact cmd/mvpbench -approxjson writes
+// (committed as BENCH_approx.json and gated by cmd/benchguard -mode
+// approx). Every number is a deterministic function of the
+// configuration — recall and distance counts, not wall-clock — so the
+// gate is machine-independent.
+type ApproxBenchReport struct {
+	N       int   `json:"n"`
+	Queries int   `json:"queries"`
+	K       int   `json:"k"`
+	Dims    []int `json:"dims"`
+
+	BudgetFractions []float64 `json:"budget_fractions"`
+	Epsilons        []float64 `json:"epsilons"`
+
+	Rows []ApproxBenchRow `json:"rows"`
+}
+
+// ApproxBenchDims are the dimensionalities swept: the paper's dim=20
+// plus the high-dimensional regimes where exact search degenerates
+// toward the linear scan and approximation is the only lever left.
+var ApproxBenchDims = []int{20, 50, 100}
+
+// ApproxBenchBudgetFractions are the per-query distance caps, as
+// fractions of the dataset size.
+var ApproxBenchBudgetFractions = []float64{0.02, 0.05, 0.1, 0.25}
+
+// ApproxBenchEpsilons are the (1+ε) slack settings swept.
+var ApproxBenchEpsilons = []float64{0.2, 0.5, 1.0, 2.0}
+
+// ApproxBenchK is the neighbor count.
+const ApproxBenchK = 10
+
+// approxBenchIndex is what the study needs from a structure: the
+// unified Search entry point plus the exact kNN baseline.
+type approxBenchIndex interface {
+	index.Searcher[[]float64]
+}
+
+// ApproxBenchStudy measures the recall-versus-cost trade of the
+// approximate and budgeted query modes on the structures that answer
+// kNN through pruned traversals (mvp-tree and vp-tree), at each
+// dimensionality in ApproxBenchDims, on uniform and clustered
+// workloads. Per (structure, dim, workload) it measures the exact
+// per-query cost, then sweeps the budget fractions and epsilons
+// through Search, recording recall@k against a linear-scan ground
+// truth and the measured distance counts.
+func ApproxBenchStudy(c Config) (*ApproxBenchReport, error) {
+	rep := &ApproxBenchReport{
+		N: c.N, Queries: c.Queries, K: ApproxBenchK, Dims: ApproxBenchDims,
+		BudgetFractions: ApproxBenchBudgetFractions,
+		Epsilons:        ApproxBenchEpsilons,
+	}
+	for _, dim := range ApproxBenchDims {
+		workloads := []struct {
+			name  string
+			items [][]float64
+		}{
+			{"uniform", dataset.UniformVectors(
+				rand.New(rand.NewPCG(c.DataSeed, uint64(1000+dim))), c.N, dim)},
+			{"clustered", dataset.ClusteredVectors(
+				rand.New(rand.NewPCG(c.DataSeed, uint64(3000+dim))), c.N, dim, c.ClusterSize, c.Epsilon)},
+		}
+		qrng := rand.New(rand.NewPCG(c.DataSeed, uint64(2000+dim)))
+		queries := dataset.UniformQueries(qrng, c.Queries, dim)
+		for _, wl := range workloads {
+			if err := approxBenchWorkload(c, rep, dim, wl.name, wl.items, queries); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// approxBenchWorkload appends every curve point for one (dim, dataset)
+// cell to the report.
+func approxBenchWorkload(c Config, rep *ApproxBenchReport, dim int, workload string,
+	items, queries [][]float64) error {
+	seed := c.TreeSeeds[0]
+	// Ground truth per query, by item identity.
+	truth := linear.New(items, metric.NewCounter[[]float64](metric.L2))
+	want := make([]map[int]bool, len(queries))
+	for i, q := range queries {
+		want[i] = map[int]bool{}
+		for _, nb := range truth.KNN(q, ApproxBenchK) {
+			want[i][vectorKey(nb.Item)] = true
+		}
+	}
+
+	builders := []struct {
+		name  string
+		build func(dist *metric.Counter[[]float64]) (approxBenchIndex, error)
+	}{
+		{"mvpt", func(dist *metric.Counter[[]float64]) (approxBenchIndex, error) {
+			return mvp.New(items, dist, mvp.Options{
+				Partitions: 3, LeafCapacity: 80, PathLength: 5,
+				Build: mvp.Build{Seed: seed, Workers: c.BuildWorkers},
+			})
+		}},
+		{"vpt", func(dist *metric.Counter[[]float64]) (approxBenchIndex, error) {
+			return vptree.New(items, dist, vptree.Options{
+				Order: 2, Build: vptree.Build{Seed: seed, Workers: c.BuildWorkers},
+			})
+		}},
+	}
+	for _, b := range builders {
+		counter := metric.NewCounter[[]float64](metric.L2)
+		tree, err := b.build(counter)
+		if err != nil {
+			return fmt.Errorf("approxbench %s/dim=%d/%s: build: %w", b.name, dim, workload, err)
+		}
+		// Warm-up, then the exact baseline cost.
+		for _, q := range queries {
+			tree.KNNWithStats(q, ApproxBenchK)
+		}
+		before := counter.Count()
+		for _, q := range queries {
+			tree.KNNWithStats(q, ApproxBenchK)
+		}
+		exactPer := float64(counter.Count()-before) / float64(len(queries))
+
+		add := func(row ApproxBenchRow, mode string, param float64) {
+			row.Structure, row.Dim, row.Workload = b.name, dim, workload
+			row.Mode, row.Param = mode, param
+			row.ExactDistPerQuery = exactPer
+			row.CostFraction = row.DistPerQuery / exactPer
+			rep.Rows = append(rep.Rows, row)
+		}
+		for _, f := range ApproxBenchBudgetFractions {
+			opts := index.SearchOptions{Budget: int64(f * float64(c.N))}
+			add(measureApproxRow(tree, counter, queries, want, opts), "budget", f)
+		}
+		for _, eps := range ApproxBenchEpsilons {
+			opts := index.SearchOptions{Epsilon: eps}
+			add(measureApproxRow(tree, counter, queries, want, opts), "epsilon", eps)
+		}
+	}
+	return nil
+}
+
+// measureApproxRow runs every query through Search with opts and
+// averages recall, cost and exhaustion.
+func measureApproxRow(tree approxBenchIndex, counter *metric.Counter[[]float64],
+	queries [][]float64, want []map[int]bool, opts index.SearchOptions) ApproxBenchRow {
+	var row ApproxBenchRow
+	hits, exhausted := 0, 0
+	before := counter.Count()
+	for i, q := range queries {
+		res := tree.Search(index.Query[[]float64]{Point: q, K: ApproxBenchK, Opts: opts})
+		for _, nb := range res.Neighbors {
+			if want[i][vectorKey(nb.Item)] {
+				hits++
+			}
+		}
+		if res.Exhausted() {
+			exhausted++
+		}
+	}
+	nq := float64(len(queries))
+	row.DistPerQuery = float64(counter.Count()-before) / nq
+	row.Recall = float64(hits) / (nq * ApproxBenchK)
+	row.ExhaustedFraction = float64(exhausted) / nq
+	return row
+}
+
+// WriteApproxBench prints the study as one row per curve point.
+func WriteApproxBench(w io.Writer, rep *ApproxBenchReport) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# approximate & budgeted kNN: n=%d k=%d, %d queries, dims %v\n",
+		rep.N, rep.K, rep.Queries, rep.Dims)
+	fmt.Fprintf(&sb, "%-6s %5s %-10s %-8s %8s %8s %12s %12s %8s %10s\n",
+		"struct", "dim", "workload", "mode", "param", "recall", "dist/q", "exact-d/q", "cost", "exhausted")
+	for _, row := range rep.Rows {
+		fmt.Fprintf(&sb, "%-6s %5d %-10s %-8s %8.2f %7.1f%% %12.1f %12.1f %7.2f %9.1f%%\n",
+			row.Structure, row.Dim, row.Workload, row.Mode, row.Param, 100*row.Recall,
+			row.DistPerQuery, row.ExactDistPerQuery, row.CostFraction, 100*row.ExhaustedFraction)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

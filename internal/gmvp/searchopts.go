@@ -1,0 +1,265 @@
+package gmvp
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
+
+var _ index.Searcher[int] = (*Tree[int])(nil)
+
+// Search is the unified query entry point (index.Searcher). With
+// zero-valued SearchOptions it runs the exact traversal, byte-identical
+// to RangeWithStats / KNNWithStats (which remain as thin wrappers over
+// the same code paths); Epsilon, Budget or Patience switch to the
+// approximate traversal below. Approximate traversals do not consult
+// the cascade; Workers and Bound are not supported by this structure
+// and are ignored.
+func (t *Tree[T]) Search(req index.Query[T]) index.Result[T] {
+	if req.K > 0 {
+		if !req.Opts.Approximate() {
+			nb, s := t.KNNWithStats(req.Point, req.K)
+			return index.Result[T]{Neighbors: nb, Stats: s}
+		}
+		return t.knnApprox(req.Point, req.K, req.Opts)
+	}
+	if !req.Opts.Approximate() {
+		out, s := t.RangeWithStats(req.Point, req.Radius)
+		return index.Result[T]{Items: out, Stats: s}
+	}
+	return t.rangeApprox(req.Point, req.Radius, req.Opts)
+}
+
+// rangeApprox prunes splits and filters leaf candidates against the
+// shrunken radius rp = r/(1+ε) while acceptance keeps the full r, and
+// debits the budget before every computation. Every reported item is
+// within r; every item within rp is guaranteed reported.
+func (t *Tree[T]) rangeApprox(q T, r float64, o index.SearchOptions) index.Result[T] {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 || t.root == nil {
+		span.Done(&s)
+		return index.Result[T]{Stats: s}
+	}
+	a := index.StartApprox(o)
+	var out []T
+	t.rangeNodeApprox(t.root, q, r, a.Shrink(r), make([]float64, 0, t.p), &a, &out, &s)
+	a.Finish(&s)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Items: out, Stats: s}
+}
+
+func (t *Tree[T]) rangeNodeApprox(n *node[T], q T, r, rp float64, qpath []float64, a *index.Approx, out *[]T, s *SearchStats) {
+	if n == nil || a.Stop() {
+		return
+	}
+	s.NodesVisited++
+	t.TraceNode(n.isLeaf())
+	dq := make([]float64, len(n.vantages))
+	for j, v := range n.vantages {
+		if !a.Pay(1) {
+			return
+		}
+		dq[j] = t.dist.Distance(q, v)
+		s.VantagePoints++
+		t.TraceDistance(1)
+		if dq[j] <= r {
+			*out = append(*out, v)
+		}
+		if len(qpath) < t.p {
+			qpath = append(qpath, dq[j])
+		}
+	}
+	if n.isLeaf() {
+		s.LeavesVisited++
+	items:
+		for i, it := range n.items {
+			if a.Stop() {
+				break
+			}
+			s.Candidates++
+			for j := range n.dists {
+				if d := n.dists[j][i]; d < dq[j]-rp || d > dq[j]+rp {
+					s.FilteredByD++
+					t.TracePrune(obs.FilterD, 1)
+					continue items
+				}
+			}
+			path := n.paths[i]
+			for l := 0; l < len(path) && l < len(qpath); l++ {
+				if path[l] < qpath[l]-rp || path[l] > qpath[l]+rp {
+					s.FilteredByPath++
+					t.TracePrune(obs.FilterPath, 1)
+					continue items
+				}
+			}
+			if !a.Pay(1) {
+				s.Candidates--
+				break
+			}
+			s.Computed++
+			t.TraceDistance(1)
+			if t.dist.DistanceUpTo(q, it, r) <= r {
+				*out = append(*out, it)
+			}
+		}
+		return
+	}
+	t.rangeSplitApprox(n.top, q, r, rp, dq, qpath, a, out, s)
+}
+
+func (t *Tree[T]) rangeSplitApprox(sp *split[T], q T, r, rp float64, dq, qpath []float64, a *index.Approx, out *[]T, s *SearchStats) {
+	d := dq[sp.level]
+	count := len(sp.cutoffs) + 1
+	for g := 0; g < count; g++ {
+		if a.Stop() {
+			return
+		}
+		lo, hi := shellBounds(sp.cutoffs, g)
+		if d+rp < lo || d-rp > hi {
+			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
+			continue
+		}
+		if sp.subs != nil {
+			t.rangeSplitApprox(sp.subs[g], q, r, rp, dq, qpath, a, out, s)
+		} else if sp.children[g] != nil {
+			t.rangeNodeApprox(sp.children[g], q, r, rp, qpath, a, out, s)
+		}
+	}
+}
+
+// knnApprox is best-first kNN with the approximation knobs: subtrees
+// and leaf candidates are discarded once their lower bound reaches
+// τ/(1+ε), the budget is debited before every computation, and
+// patience stops the search after the configured number of
+// consecutive leaves that fail to tighten τ.
+func (t *Tree[T]) knnApprox(q T, k int, o index.SearchOptions) index.Result[T] {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
+	if k <= 0 || t.root == nil {
+		span.Done(&s)
+		return index.Result[T]{Stats: s}
+	}
+	a := index.StartApprox(o)
+	best := heapx.NewKBest[T](k)
+	var queue heapx.NodeQueue[knnPending[T]]
+	queue.PushNode(knnPending[T]{t.root, make([]float64, 0, t.p)}, 0)
+	for !a.Stop() {
+		pn, bound, ok := queue.PopNode()
+		if !ok {
+			break
+		}
+		tau := best.Threshold()
+		if bound >= a.Shrink(tau) {
+			break
+		}
+		n, qpath := pn.n, pn.qpath
+		s.NodesVisited++
+		t.TraceNode(n.isLeaf())
+		dq := make([]float64, len(n.vantages))
+		paid := true
+		for j, v := range n.vantages {
+			if !a.Pay(1) {
+				paid = false
+				break
+			}
+			dq[j] = t.dist.Distance(q, v)
+			s.VantagePoints++
+			t.TraceDistance(1)
+			best.Push(v, dq[j])
+		}
+		if !paid {
+			break
+		}
+		if len(qpath) < t.p {
+			ext := make([]float64, len(qpath), t.p)
+			copy(ext, qpath)
+			for _, d := range dq {
+				if len(ext) < t.p {
+					ext = append(ext, d)
+				}
+			}
+			qpath = ext
+		}
+		if n.isLeaf() {
+			s.LeavesVisited++
+			for i, it := range n.items {
+				if a.Stop() {
+					break
+				}
+				s.Candidates++
+				lbD := 0.0
+				for j := range n.dists {
+					if b := abs(dq[j] - n.dists[j][i]); b > lbD {
+						lbD = b
+					}
+				}
+				tauA := a.Shrink(best.Threshold())
+				if lbD >= tauA {
+					s.FilteredByD++
+					t.TracePrune(obs.FilterD, 1)
+					continue
+				}
+				lb := lbD
+				path := n.paths[i]
+				for l := 0; l < len(path) && l < len(qpath); l++ {
+					if b := abs(qpath[l] - path[l]); b > lb {
+						lb = b
+					}
+				}
+				if lb >= tauA {
+					s.FilteredByPath++
+					t.TracePrune(obs.FilterPath, 1)
+					continue
+				}
+				if !a.Pay(1) {
+					s.Candidates--
+					break
+				}
+				s.Computed++
+				t.TraceDistance(1)
+				best.Push(it, t.dist.DistanceUpTo(q, it, best.Threshold()))
+			}
+			a.LeafDone(best.Threshold() < tau, best.Full())
+			continue
+		}
+		t.knnSplitApprox(n.top, dq, qpath, bound, best, &a, &queue, &s)
+	}
+	out := best.Sorted()
+	a.Finish(&s)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Neighbors: out, Stats: s}
+}
+
+func (t *Tree[T]) knnSplitApprox(sp *split[T], dq, qpath []float64, bound float64,
+	best *heapx.KBest[T], a *index.Approx, queue *heapx.NodeQueue[knnPending[T]], s *SearchStats) {
+	d := dq[sp.level]
+	count := len(sp.cutoffs) + 1
+	for g := 0; g < count; g++ {
+		lo, hi := shellBounds(sp.cutoffs, g)
+		lb := bound
+		switch {
+		case d < lo:
+			if gap := lo - d; gap > lb {
+				lb = gap
+			}
+		case d > hi:
+			if gap := d - hi; gap > lb {
+				lb = gap
+			}
+		}
+		if lb >= a.Shrink(best.Threshold()) {
+			s.ShellsPruned++
+			t.TracePrune(obs.FilterShell, 1)
+			continue
+		}
+		if sp.subs != nil {
+			t.knnSplitApprox(sp.subs[g], dq, qpath, lb, best, a, queue, s)
+		} else if sp.children[g] != nil {
+			queue.PushNode(knnPending[T]{sp.children[g], qpath}, lb)
+		}
+	}
+}

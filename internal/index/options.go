@@ -1,0 +1,121 @@
+package index
+
+// This file defines the unified query-options API: one request type
+// (Query + SearchOptions) consulted by every structure's single Search
+// entry point, subsuming the per-capability method variants that
+// accreted over earlier revisions (Range/RangeWithStats/ParallelRange/
+// KNNWithStats/KNNWithStatsBound/...). Those variants remain as thin
+// wrappers; new code should construct a Query and call Search.
+//
+// The options cover three approximation axes on top of the exact knobs:
+//
+//   - Epsilon: (1+ε)-approximate search. Range queries prune subtrees
+//     and filter candidates against the shrunken radius r/(1+ε) while
+//     still accepting any computed item within r, so every reported
+//     item is a true answer and every item within r/(1+ε) is
+//     guaranteed reported. kNN queries prune against τ/(1+ε): each
+//     returned neighbor is within (1+ε) of the distance of the true
+//     i-th nearest neighbor.
+//   - Budget: a hard cap on distance computations for the query. The
+//     traversal debits the budget before every computation and stops
+//     (returning the best partial answer) when it cannot pay;
+//     SearchStats.BudgetExhausted records whether that happened.
+//   - Patience: early-terminating kNN. Once k candidates are held,
+//     stop after this many consecutive leaves (or candidates, for
+//     scan-shaped structures) that fail to tighten the k-th-best
+//     distance.
+//
+// A query with all three at their zero values is exact: it runs the
+// same code path as the legacy methods and is byte-identical to them
+// in results, order, and distance counts.
+type SearchOptions struct {
+	// Epsilon is the (1+ε) approximation slack. 0 means exact.
+	// Negative values are treated as 0.
+	Epsilon float64
+
+	// Budget caps the query's distance computations. 0 (or negative)
+	// means unlimited.
+	Budget int64
+
+	// Patience, for kNN queries only: stop after this many consecutive
+	// non-improving leaves once k candidates are held. 0 disables.
+	Patience int
+
+	// Workers requests an intra-query parallel traversal where the
+	// structure supports one (values <= 1 run sequentially). Honored
+	// only on exact range queries — the parallel planner does not
+	// thread approximation state.
+	Workers int
+
+	// Bound is an optional external kNN pruning bound (cross-shard τ
+	// sharing). Honored by structures implementing BoundedKNNIndex on
+	// exact queries; approximate traversals ignore it.
+	Bound KNNBound
+}
+
+// Approximate reports whether any approximation knob is active — i.e.
+// whether the query must run the approximate traversal rather than the
+// exact one.
+func (o SearchOptions) Approximate() bool {
+	return o.Epsilon > 0 || o.Budget > 0 || o.Patience > 0
+}
+
+// Query is one search request against a structure's unified Search
+// entry point: a k-nearest-neighbor query when K > 0, otherwise a
+// range query with the given Radius (a radius of 0 is a valid point
+// query).
+type Query[T any] struct {
+	// Point is the query object.
+	Point T
+	// Radius is the range-query radius; consulted only when K == 0.
+	Radius float64
+	// K requests a k-nearest-neighbor query when > 0.
+	K int
+	// Opts carries the exact/approximate/budget/parallel knobs.
+	Opts SearchOptions
+}
+
+// RangeQuery builds an exact range request; chain option tweaks on the
+// returned value's Opts field.
+func RangeQuery[T any](q T, r float64) Query[T] {
+	return Query[T]{Point: q, Radius: r}
+}
+
+// KNNQuery builds an exact k-nearest-neighbor request.
+func KNNQuery[T any](q T, k int) Query[T] {
+	return Query[T]{Point: q, K: k}
+}
+
+// Result is the answer to one Query: Items for range queries,
+// Neighbors for kNN queries, and always the per-query SearchStats.
+type Result[T any] struct {
+	// Items holds range-query results (K == 0), in the same order the
+	// structure's Range method would return them.
+	Items []T
+	// Neighbors holds kNN results (K > 0), ascending by distance.
+	Neighbors []Neighbor[T]
+	// Stats is the query's filtering breakdown; Stats.Distances()
+	// equals the structure's Counter delta for the query.
+	Stats SearchStats
+}
+
+// Exhausted reports whether the distance budget cut the traversal
+// short, i.e. whether the result is a partial answer.
+func (r Result[T]) Exhausted() bool { return r.Stats.BudgetExhausted > 0 }
+
+// Exact reports whether the answer is certified exact — no ε slack was
+// requested and neither the budget nor kNN patience terminated the
+// traversal early.
+func (r Result[T]) Exact() bool { return r.Stats.Approximated == 0 }
+
+// Searcher is the unified query entry point every structure in this
+// repository implements: one method consulted with the full request,
+// in place of per-capability method variants.
+type Searcher[T any] interface {
+	StatsIndex[T]
+
+	// Search answers req. With zero-valued SearchOptions it is
+	// byte-identical — results, order, and distance counts — to
+	// RangeWithStats / KNNWithStats.
+	Search(req Query[T]) Result[T]
+}

@@ -31,11 +31,21 @@ type SearchStats struct {
 	FilteredByCascade int
 	// Computed counts real distance computations against leaf data
 	// points; VantagePoints counts those against vantage points. Their
-	// sum equals the Counter delta for the query.
+	// sum equals the Counter delta for the query — including on
+	// budget-terminated queries, whose traversals debit the budget
+	// before computing and so never over- or under-count.
 	Computed      int
 	VantagePoints int
 	// Results is the answer-set size.
 	Results int
+	// Approximated is 1 when the query's answer is not certified
+	// exact: ε > 0 was requested, the distance budget ran out, or kNN
+	// patience terminated the search early. Summing over a batch gives
+	// the number of approximate answers.
+	Approximated int
+	// BudgetExhausted is 1 when the distance budget cut the traversal
+	// short, i.e. the answer is partial.
+	BudgetExhausted int
 }
 
 // Distances is the query's total distance computations — Computed plus
@@ -58,4 +68,6 @@ func (s *SearchStats) Add(b SearchStats) {
 	s.Computed += b.Computed
 	s.VantagePoints += b.VantagePoints
 	s.Results += b.Results
+	s.Approximated += b.Approximated
+	s.BudgetExhausted += b.BudgetExhausted
 }

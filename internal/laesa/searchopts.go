@@ -1,0 +1,136 @@
+package laesa
+
+import (
+	"mvptree/internal/cascade"
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
+
+var _ index.Searcher[int] = (*Table[int])(nil)
+
+// Search is the unified query entry point (index.Searcher). With
+// zero-valued SearchOptions it runs the exact scan, byte-identical to
+// RangeWithStats / KNNWithStats (which remain as thin wrappers over
+// the same code paths); Epsilon, Budget or Patience switch to the
+// approximate scan below. Workers and Bound are not supported by this
+// structure and are ignored.
+func (t *Table[T]) Search(req index.Query[T]) index.Result[T] {
+	if req.K > 0 {
+		if !req.Opts.Approximate() {
+			nb, s := t.KNNWithStats(req.Point, req.K)
+			return index.Result[T]{Neighbors: nb, Stats: s}
+		}
+		return t.knnApprox(req.Point, req.K, req.Opts)
+	}
+	if !req.Opts.Approximate() {
+		out, s := t.RangeWithStats(req.Point, req.Radius)
+		return index.Result[T]{Items: out, Stats: s}
+	}
+	return t.rangeApprox(req.Point, req.Radius, req.Opts)
+}
+
+// queryPivotsBudgeted is queryPivots under a budget: it registers
+// pivot distances only while the budget allows. A cache with fewer
+// registered pivots yields looser (but still valid) lower bounds.
+func (t *Table[T]) queryPivotsBudgeted(q T, a *index.Approx) *cascade.Cache {
+	c := t.filter.Get()
+	for j := 0; j < t.filter.Pivots(); j++ {
+		if !a.Pay(1) {
+			break
+		}
+		c.Register(int32(j), t.dist.Distance(q, t.filter.Pivot(j)))
+	}
+	return c
+}
+
+// rangeApprox filters against the shrunken radius rp = r/(1+ε) while
+// acceptance keeps the full r, and debits the budget before every
+// computation (pivot distances included). Every reported item is
+// within r; every item within rp is guaranteed reported.
+func (t *Table[T]) rangeApprox(q T, r float64, o index.SearchOptions) index.Result[T] {
+	span := t.StartQuery(obs.KindRange)
+	var s SearchStats
+	if r < 0 || len(t.items) == 0 {
+		span.Done(&s)
+		return index.Result[T]{Stats: s}
+	}
+	a := index.StartApprox(o)
+	rp := a.Shrink(r)
+	c := t.queryPivotsBudgeted(q, &a)
+	s.VantagePoints = c.Registered()
+	t.TraceDistance(c.Registered())
+	var out []T
+	for i, it := range t.items {
+		if a.Stop() {
+			break
+		}
+		s.Candidates++
+		if t.filter.LowerBound(c, int32(i)) > rp {
+			s.FilteredByD++
+			t.TracePrune(obs.FilterD, 1)
+			continue
+		}
+		if !a.Pay(1) {
+			s.Candidates--
+			break
+		}
+		s.Computed++
+		t.TraceDistance(1)
+		if t.dist.DistanceUpTo(q, it, r) <= r {
+			out = append(out, it)
+		}
+	}
+	t.filter.Put(c)
+	a.Finish(&s)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Items: out, Stats: s}
+}
+
+// knnApprox visits candidates in ascending lower-bound order and stops
+// once the next bound reaches τ/(1+ε), the budget runs out, or
+// patience sees the configured number of consecutive candidates that
+// fail to tighten τ.
+func (t *Table[T]) knnApprox(q T, k int, o index.SearchOptions) index.Result[T] {
+	span := t.StartQuery(obs.KindKNN)
+	var s SearchStats
+	if k <= 0 || len(t.items) == 0 {
+		span.Done(&s)
+		return index.Result[T]{Stats: s}
+	}
+	a := index.StartApprox(o)
+	c := t.queryPivotsBudgeted(q, &a)
+	s.VantagePoints = c.Registered()
+	t.TraceDistance(c.Registered())
+	var queue heapx.NodeQueue[int]
+	for i := range t.items {
+		queue.PushNode(i, t.filter.LowerBound(c, int32(i)))
+	}
+	t.filter.Put(c)
+	best := heapx.NewKBest[T](k)
+	for !a.Stop() {
+		i, lb, ok := queue.PopNode()
+		if !ok || lb >= a.Shrink(best.Threshold()) {
+			break
+		}
+		if !a.Pay(1) {
+			break
+		}
+		tau := best.Threshold()
+		s.Computed++
+		t.TraceDistance(1)
+		best.Push(t.items[i], t.dist.DistanceUpTo(q, t.items[i], tau))
+		a.LeafDone(best.Threshold() < tau, best.Full())
+	}
+	s.Candidates = len(t.items)
+	s.FilteredByD = s.Candidates - s.Computed
+	if s.FilteredByD > 0 {
+		t.TracePrune(obs.FilterD, s.FilteredByD)
+	}
+	out := best.Sorted()
+	a.Finish(&s)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Neighbors: out, Stats: s}
+}

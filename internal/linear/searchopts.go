@@ -1,0 +1,82 @@
+package linear
+
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
+
+var _ index.Searcher[int] = (*Scan[int])(nil)
+
+// Search is the unified query entry point (index.Searcher). With
+// zero-valued SearchOptions it runs the exact scan, byte-identical to
+// RangeWithStats / KNNWithStats. A scan has no pruning, so Epsilon
+// changes nothing here; Budget truncates the scan after the allowed
+// number of computations and Patience stops kNN after the configured
+// number of consecutive non-improving candidates. Workers and Bound
+// are not supported by this structure and are ignored.
+func (s *Scan[T]) Search(req index.Query[T]) index.Result[T] {
+	if req.K > 0 {
+		if !req.Opts.Approximate() {
+			nb, st := s.KNNWithStats(req.Point, req.K)
+			return index.Result[T]{Neighbors: nb, Stats: st}
+		}
+		return s.knnApprox(req.Point, req.K, req.Opts)
+	}
+	if !req.Opts.Approximate() {
+		out, st := s.RangeWithStats(req.Point, req.Radius)
+		return index.Result[T]{Items: out, Stats: st}
+	}
+	return s.rangeApprox(req.Point, req.Radius, req.Opts)
+}
+
+func (s *Scan[T]) rangeApprox(q T, r float64, o index.SearchOptions) index.Result[T] {
+	span := s.StartQuery(obs.KindRange)
+	var st index.SearchStats
+	a := index.StartApprox(o)
+	var out []T
+	if r >= 0 {
+		for _, it := range s.items {
+			if !a.Pay(1) {
+				break
+			}
+			st.Candidates++
+			st.Computed++
+			s.TraceDistance(1)
+			if s.dist.DistanceUpTo(q, it, r) <= r {
+				out = append(out, it)
+			}
+		}
+	}
+	a.Finish(&st)
+	st.Results = len(out)
+	span.Done(&st)
+	return index.Result[T]{Items: out, Stats: st}
+}
+
+func (s *Scan[T]) knnApprox(q T, k int, o index.SearchOptions) index.Result[T] {
+	span := s.StartQuery(obs.KindKNN)
+	var st index.SearchStats
+	if k <= 0 || len(s.items) == 0 {
+		span.Done(&st)
+		return index.Result[T]{Stats: st}
+	}
+	a := index.StartApprox(o)
+	h := heapx.NewKBest[T](k)
+	for _, it := range s.items {
+		if a.Stop() || !a.Pay(1) {
+			break
+		}
+		tau := h.Threshold()
+		st.Candidates++
+		st.Computed++
+		s.TraceDistance(1)
+		h.Push(it, s.dist.DistanceUpTo(q, it, tau))
+		a.LeafDone(h.Threshold() < tau, h.Full())
+	}
+	out := h.Sorted()
+	a.Finish(&st)
+	st.Results = len(out)
+	span.Done(&st)
+	return index.Result[T]{Neighbors: out, Stats: st}
+}

@@ -1,14 +1,10 @@
 package mvp
 
-import (
-	"mvptree/internal/heapx"
-	"mvptree/internal/index"
-)
+import "mvptree/internal/index"
 
 // KNNBudgeted answers a k-nearest-neighbor query under a hard budget of
-// distance computations. It runs the same best-first traversal as KNN
-// but stops expanding once the budget is spent, returning the best k
-// candidates found so far.
+// distance computations, returning the best k candidates found before
+// the budget ran out.
 //
 // With a budget ≥ the cost of an exact search the result is exact (the
 // traversal is identical); with a smaller budget the result is a
@@ -21,105 +17,14 @@ import (
 //
 // The returned exact flag reports whether the traversal completed
 // within budget, i.e. whether the result is provably the true k nearest.
+//
+// Deprecated: KNNBudgeted is the legacy budget entry point; it is a
+// thin wrapper over Search with SearchOptions.Budget set, which also
+// reports the query's SearchStats.
 func (t *Tree[T]) KNNBudgeted(q T, k int, budget int64) (neighbors []index.Neighbor[T], exact bool) {
-	if k <= 0 || t.root == nil {
-		return nil, true
-	}
 	if budget <= 0 {
 		return nil, false
 	}
-	spent := int64(0)
-	pay := func(n int64) bool { // false when the budget is exhausted
-		spent += n
-		return spent <= budget
-	}
-	best := heapx.NewKBest[T](k)
-	type pending struct {
-		n     *node[T]
-		qpath []float64
-	}
-	var queue heapx.NodeQueue[pending]
-	queue.PushNode(pending{t.root, make([]float64, 0, t.p)}, 0)
-	for {
-		pn, bound, ok := queue.PopNode()
-		if !ok {
-			return best.Sorted(), true
-		}
-		if !best.Accepts(bound) {
-			return best.Sorted(), true
-		}
-		n, qpath := pn.n, pn.qpath
-		if n.isLeaf() {
-			if !n.hasSV1 {
-				continue
-			}
-			if !pay(1) {
-				return best.Sorted(), false
-			}
-			d1 := t.dist.Distance(q, n.sv1)
-			best.Push(n.sv1, d1)
-			var d2 float64
-			if n.hasSV2 {
-				if !pay(1) {
-					return best.Sorted(), false
-				}
-				d2 = t.dist.Distance(q, n.sv2)
-				best.Push(n.sv2, d2)
-			}
-			for i, it := range n.items {
-				lb := abs(d1 - n.d1[i])
-				if n.hasSV2 {
-					if b := abs(d2 - n.d2[i]); b > lb {
-						lb = b
-					}
-				}
-				path := n.path(i)
-				for l := 0; l < len(path) && l < len(qpath); l++ {
-					if b := abs(qpath[l] - path[l]); b > lb {
-						lb = b
-					}
-				}
-				if best.Accepts(lb) {
-					if !pay(1) {
-						return best.Sorted(), false
-					}
-					best.Push(it, t.dist.Distance(q, it))
-				}
-			}
-			continue
-		}
-		if !pay(2) {
-			return best.Sorted(), false
-		}
-		d1 := t.dist.Distance(q, n.sv1)
-		best.Push(n.sv1, d1)
-		d2 := t.dist.Distance(q, n.sv2)
-		best.Push(n.sv2, d2)
-		if len(qpath) < t.p {
-			ext := make([]float64, len(qpath), t.p)
-			copy(ext, qpath)
-			ext = append(ext, d1)
-			if len(ext) < t.p {
-				ext = append(ext, d2)
-			}
-			qpath = ext
-		}
-		for g, row := range n.children {
-			lo1, hi1 := shellBounds(n.cut1, g)
-			lb1 := intervalGap(d1, lo1, hi1)
-			if !best.Accepts(max(lb1, bound)) {
-				continue
-			}
-			for h, c := range row {
-				if c == nil {
-					continue
-				}
-				lo2, hi2 := shellBounds(n.cut2[g], h)
-				lb := max(bound, lb1, intervalGap(d2, lo2, hi2))
-				if best.Accepts(lb) {
-					queue.PushNode(pending{c, qpath}, lb)
-				}
-			}
-		}
-	}
+	res := t.Search(index.Query[T]{Point: q, K: k, Opts: index.SearchOptions{Budget: budget}})
+	return res.Neighbors, !res.Exhausted()
 }

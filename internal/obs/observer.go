@@ -83,6 +83,8 @@ type atomicSearchStats struct {
 	computed          atomic.Int64
 	vantagePoints     atomic.Int64
 	results           atomic.Int64
+	approximated      atomic.Int64
+	budgetExhausted   atomic.Int64
 }
 
 func (s *atomicSearchStats) add(b index.SearchStats) {
@@ -96,6 +98,8 @@ func (s *atomicSearchStats) add(b index.SearchStats) {
 	s.computed.Add(int64(b.Computed))
 	s.vantagePoints.Add(int64(b.VantagePoints))
 	s.results.Add(int64(b.Results))
+	s.approximated.Add(int64(b.Approximated))
+	s.budgetExhausted.Add(int64(b.BudgetExhausted))
 }
 
 func (s *atomicSearchStats) snapshot() SearchTotals {
@@ -110,6 +114,8 @@ func (s *atomicSearchStats) snapshot() SearchTotals {
 		Computed:          s.computed.Load(),
 		VantagePoints:     s.vantagePoints.Load(),
 		Results:           s.results.Load(),
+		Approximated:      s.approximated.Load(),
+		BudgetExhausted:   s.budgetExhausted.Load(),
 	}
 }
 
@@ -185,6 +191,11 @@ type SearchTotals struct {
 	Computed          int64 `json:"computed"`
 	VantagePoints     int64 `json:"vantage_points"`
 	Results           int64 `json:"results"`
+	// Approximated counts queries whose answer was not certified
+	// exact; BudgetExhausted counts queries the distance budget cut
+	// short. Both sum per-query 0/1 flags.
+	Approximated    int64 `json:"approximated"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
 }
 
 // Add accumulates b into s.
@@ -199,6 +210,8 @@ func (s *SearchTotals) Add(b SearchTotals) {
 	s.Computed += b.Computed
 	s.VantagePoints += b.VantagePoints
 	s.Results += b.Results
+	s.Approximated += b.Approximated
+	s.BudgetExhausted += b.BudgetExhausted
 }
 
 // AddStats accumulates a per-query index.SearchStats into s.
@@ -213,6 +226,8 @@ func (s *SearchTotals) AddStats(b index.SearchStats) {
 	s.Computed += int64(b.Computed)
 	s.VantagePoints += int64(b.VantagePoints)
 	s.Results += int64(b.Results)
+	s.Approximated += int64(b.Approximated)
+	s.BudgetExhausted += int64(b.BudgetExhausted)
 }
 
 // KindSnapshot is the per-query-kind slice of a Snapshot.

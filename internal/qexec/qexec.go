@@ -89,6 +89,17 @@ type Options struct {
 	// itself via its obs.Hooks — that would record every query twice,
 	// so the run is refused with ErrSharedObserver.
 	Observer *obs.Observer
+	// Search carries the approximation knobs (index.SearchOptions:
+	// Epsilon, Budget, Patience) applied to every query in the batch.
+	// The zero value runs the exact paths — existing behavior,
+	// byte-identical results and counts. When any knob is set and the
+	// index implements index.Searcher, each query routes through the
+	// unified Search entry point; the per-query Budget is each query's
+	// own (not a batch total). Indexes without the Searcher surface
+	// ignore the knobs and answer exactly. Workers/Bound inside this
+	// struct are ignored — use QueryWorkers for intra-query
+	// parallelism.
+	Search index.SearchOptions
 }
 
 // WorkerStats is the per-worker slice of a batch: how many queries the
@@ -137,22 +148,42 @@ type Stats struct {
 	// empty" from "never run". Always len(Queries); all true when the
 	// run completed.
 	AnsweredMask []bool
+	// ExhaustedMask[i] reports whether query i's answer was cut short
+	// by its distance budget (Result.Exhausted). Non-nil only when the
+	// batch ran with approximate Search options over an index
+	// implementing index.Searcher; nil for exact batches.
+	ExhaustedMask []bool
 }
 
-// parallelKNNIndex is the sharded opportunistic-KNN surface
-// (shard.Index implements it); probed, like StatsIndex, by interface.
-type parallelKNNIndex[T any] interface {
-	KNNParallelWithStats(q T, k int, workers int) ([]index.Neighbor[T], index.SearchStats)
+// approxOpts is the per-query option set derived from the batch
+// options: the approximation knobs pass through, intra-query
+// parallelism comes from QueryWorkers.
+func approxOpts(opts Options) index.SearchOptions {
+	return index.SearchOptions{
+		Epsilon:  opts.Search.Epsilon,
+		Budget:   opts.Search.Budget,
+		Patience: opts.Search.Patience,
+		Workers:  opts.QueryWorkers,
+	}
 }
 
 // RunRange answers a range query at radius r for every query point,
 // returning results[i] = idx.Range(queries[i], r) plus batch stats.
+// The index is probed once through index.CapabilitiesOf; the richest
+// surface matching the options answers each query.
 func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) ([][]T, Stats, error) {
-	if si, ok := idx.(index.StatsIndex[T]); ok {
+	caps := index.CapabilitiesOf(idx)
+	if si := caps.Stats; si != nil {
 		one := func(q T) ([]T, index.SearchStats) {
 			return si.RangeWithStats(q, r)
 		}
-		if pi, ok := idx.(index.ParallelRangeIndex[T]); ok && opts.QueryWorkers > 1 {
+		if sr := caps.Search; sr != nil && opts.Search.Approximate() {
+			o := approxOpts(opts)
+			one = func(q T) ([]T, index.SearchStats) {
+				res := sr.Search(index.Query[T]{Point: q, Radius: r, Opts: o})
+				return res.Items, res.Stats
+			}
+		} else if pi := caps.ParallelRange; pi != nil && opts.QueryWorkers > 1 {
 			one = func(q T) ([]T, index.SearchStats) {
 				return pi.RangeParallelWithStats(q, r, opts.QueryWorkers)
 			}
@@ -166,12 +197,21 @@ func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) (
 
 // RunKNN answers a k-nearest-neighbor query for every query point,
 // returning results[i] = idx.KNN(queries[i], k) plus batch stats.
+// The index is probed once through index.CapabilitiesOf; the richest
+// surface matching the options answers each query.
 func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]index.Neighbor[T], Stats, error) {
-	if si, ok := idx.(index.StatsIndex[T]); ok {
+	caps := index.CapabilitiesOf(idx)
+	if si := caps.Stats; si != nil {
 		one := func(q T) ([]index.Neighbor[T], index.SearchStats) {
 			return si.KNNWithStats(q, k)
 		}
-		if pi, ok := idx.(parallelKNNIndex[T]); ok && opts.QueryWorkers > 1 {
+		if sr := caps.Search; sr != nil && opts.Search.Approximate() {
+			o := approxOpts(opts)
+			one = func(q T) ([]index.Neighbor[T], index.SearchStats) {
+				res := sr.Search(index.Query[T]{Point: q, K: k, Opts: o})
+				return res.Neighbors, res.Stats
+			}
+		} else if pi := caps.ParallelKNN; pi != nil && opts.QueryWorkers > 1 {
 			one = func(q T) ([]index.Neighbor[T], index.SearchStats) {
 				return pi.KNNParallelWithStats(q, k, opts.QueryWorkers)
 			}
@@ -214,6 +254,9 @@ func run[T any, R any](si index.StatsIndex[T], idx index.Index[T], queries []T, 
 		PerWorker:    make([]WorkerStats, workers),
 		AnsweredMask: make([]bool, len(queries)),
 	}
+	if hasStats && opts.Search.Approximate() {
+		stats.ExhaustedMask = make([]bool, len(queries))
+	}
 	var before int64
 	if si != nil {
 		before = si.DistanceCount()
@@ -242,6 +285,9 @@ func run[T any, R any](si index.StatsIndex[T], idx index.Index[T], queries []T, 
 				}
 				results[i] = res
 				stats.AnsweredMask[i] = true
+				if stats.ExhaustedMask != nil && s.BudgetExhausted > 0 {
+					stats.ExhaustedMask[i] = true
+				}
 				ws.Queries++
 				if hasStats {
 					ws.Search.Add(s)

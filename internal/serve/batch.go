@@ -50,13 +50,23 @@ var ErrShuttingDown = errors.New("serve: shutting down")
 // because every member of the batch had been cancelled.
 var ErrCancelled = errors.New("serve: request cancelled before execution")
 
+// groupKey identifies requests that may share one executor call: the
+// query parameter (radius or k) plus the approximation knobs. Two
+// requests batch together only when the whole key matches — an exact
+// query is never answered by a budgeted batch or vice versa.
+type groupKey struct {
+	param   float64
+	epsilon float64
+	budget  int64
+}
+
 // pending is one admitted request waiting for its batch.
 type pending[T, R any] struct {
 	ctx   context.Context
 	query T
-	// param is the batch-grouping key: the radius for range queries,
-	// float64(k) for kNN.
-	param float64
+	// key is the batch-grouping key: the radius for range queries,
+	// float64(k) for kNN, plus the request's approximation knobs.
+	key groupKey
 	// done receives exactly one reply; buffered so the collector never
 	// blocks on a handler that stopped listening.
 	done chan reply[R]
@@ -65,7 +75,10 @@ type pending[T, R any] struct {
 // reply is the batcher's answer to one pending request.
 type reply[R any] struct {
 	result R
-	err    error
+	// exhausted reports that the answer was cut short by the request's
+	// distance budget (always false for exact requests).
+	exhausted bool
+	err       error
 }
 
 // batchStats are the batcher's own counters, read by the stats
@@ -113,8 +126,8 @@ func newBatcher[T, R any](swap *Swap[T], queueCap, maxBatch int, maxWait time.Du
 
 // submit admits one request, or rejects it immediately when the queue
 // is full. The returned channel yields exactly one reply.
-func (b *batcher[T, R]) submit(ctx context.Context, query T, param float64) (<-chan reply[R], error) {
-	p := &pending[T, R]{ctx: ctx, query: query, param: param, done: make(chan reply[R], 1)}
+func (b *batcher[T, R]) submit(ctx context.Context, query T, key groupKey) (<-chan reply[R], error) {
+	p := &pending[T, R]{ctx: ctx, query: query, key: key, done: make(chan reply[R], 1)}
 	select {
 	case b.queue <- p:
 		b.stats.admitted.Add(1)
@@ -170,26 +183,26 @@ func (b *batcher[T, R]) refuseQueued() {
 	}
 }
 
-// execute answers one collected batch: members are grouped by
-// parameter (first-seen order) and each group runs as one executor
-// call against the index the swap serves right now.
+// execute answers one collected batch: members are grouped by their
+// full group key (first-seen order) and each group runs as one
+// executor call against the index the swap serves right now.
 func (b *batcher[T, R]) execute(batch []*pending[T, R]) {
 	b.stats.batches.Add(1)
 	idx := b.swap.Load()
-	var order []float64
-	groups := make(map[float64][]*pending[T, R], 1)
+	var order []groupKey
+	groups := make(map[groupKey][]*pending[T, R], 1)
 	for _, p := range batch {
-		if _, ok := groups[p.param]; !ok {
-			order = append(order, p.param)
+		if _, ok := groups[p.key]; !ok {
+			order = append(order, p.key)
 		}
-		groups[p.param] = append(groups[p.param], p)
+		groups[p.key] = append(groups[p.key], p)
 	}
-	for _, param := range order {
-		b.executeGroup(idx, param, groups[param])
+	for _, key := range order {
+		b.executeGroup(idx, key, groups[key])
 	}
 }
 
-func (b *batcher[T, R]) executeGroup(idx index.StatsIndex[T], param float64, group []*pending[T, R]) {
+func (b *batcher[T, R]) executeGroup(idx index.StatsIndex[T], key groupKey, group []*pending[T, R]) {
 	b.stats.grouped.Add(1)
 	queries := make([]T, len(group))
 	for i, p := range group {
@@ -199,12 +212,14 @@ func (b *batcher[T, R]) executeGroup(idx index.StatsIndex[T], param float64, gro
 	defer release()
 	opts := b.execOpts()
 	opts.Context = ctx
-	results, stats, err := b.exec(idx, queries, param, opts)
+	opts.Search = index.SearchOptions{Epsilon: key.epsilon, Budget: key.budget}
+	results, stats, err := b.exec(idx, queries, key.param, opts)
 	for i, p := range group {
 		switch {
 		case i < len(stats.AnsweredMask) && stats.AnsweredMask[i]:
 			b.stats.queries.Add(1)
-			p.done <- reply[R]{result: results[i]}
+			p.done <- reply[R]{result: results[i],
+				exhausted: i < len(stats.ExhaustedMask) && stats.ExhaustedMask[i]}
 		case err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded):
 			p.done <- reply[R]{err: err}
 		default:

@@ -195,8 +195,13 @@ func (s *Server[T]) Close() {
 
 // Handler returns the server's routing table:
 //
-//	POST /range        {"query": ..., "r": 0.5}
-//	POST /knn          {"query": ..., "k": 5}
+//	POST /range        {"query": ..., "r": 0.5, "epsilon": 0.2, "budget": 500}
+//	POST /knn          {"query": ..., "k": 5, "epsilon": 0.2, "budget": 500}
+//
+// epsilon and budget are optional (zero = exact); approximate
+// responses carry "approximate" and "exhausted" flags.
+//
+// Remaining endpoints:
 //	GET  /stats        admission counters + observer snapshot
 //	GET  /healthz      liveness
 //	POST /admin/reload swap in a freshly loaded snapshot
@@ -212,15 +217,23 @@ func (s *Server[T]) Handler() http.Handler {
 	return mux
 }
 
-// rangeRequest / knnRequest are the POST bodies.
+// rangeRequest / knnRequest are the POST bodies. epsilon and budget
+// are the optional approximation knobs (index.SearchOptions): epsilon
+// allows answers within a (1+ε) factor, budget caps the distance
+// computations one query may spend. Both default to zero — exact —
+// and requests batch only with requests carrying the same knobs.
 type rangeRequest struct {
-	Query json.RawMessage `json:"query"`
-	R     *float64        `json:"r"`
+	Query   json.RawMessage `json:"query"`
+	R       *float64        `json:"r"`
+	Epsilon float64         `json:"epsilon"`
+	Budget  int64           `json:"budget"`
 }
 
 type knnRequest struct {
-	Query json.RawMessage `json:"query"`
-	K     *int            `json:"k"`
+	Query   json.RawMessage `json:"query"`
+	K       *int            `json:"k"`
+	Epsilon float64         `json:"epsilon"`
+	Budget  int64           `json:"budget"`
 }
 
 type errorResponse struct {
@@ -259,12 +272,17 @@ func (s *Server[T]) handleRange(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing or negative radius %q", "r")
 		return
 	}
+	if req.Epsilon < 0 || req.Budget < 0 {
+		badRequest(w, "negative %q or %q", "epsilon", "budget")
+		return
+	}
 	q, err := s.codec.DecodeQuery(req.Query)
 	if err != nil {
 		badRequest(w, "bad query: %v", err)
 		return
 	}
-	done, err := s.rangeB.submit(r.Context(), q, *req.R)
+	key := groupKey{param: *req.R, epsilon: req.Epsilon, budget: req.Budget}
+	done, err := s.rangeB.submit(r.Context(), q, key)
 	if err != nil {
 		s.overloaded(w)
 		return
@@ -282,10 +300,24 @@ func (s *Server[T]) handleRange(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": items, "count": len(items)})
+		body := map[string]any{"results": items, "count": len(items)}
+		addApproxFields(body, key, rep.exhausted)
+		writeJSON(w, http.StatusOK, body)
 	case <-r.Context().Done():
 		// Client gone; the buffered reply is dropped on the floor.
 	}
+}
+
+// addApproxFields annotates an approximate request's response:
+// "exhausted" says the budget cut the traversal short, "approximate"
+// that the answer is not certified exact (an ε was in play or the
+// budget ran out). Exact requests keep the original response shape.
+func addApproxFields(body map[string]any, key groupKey, exhausted bool) {
+	if key.epsilon == 0 && key.budget == 0 {
+		return
+	}
+	body["exhausted"] = exhausted
+	body["approximate"] = key.epsilon > 0 || exhausted
 }
 
 func (s *Server[T]) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -302,12 +334,17 @@ func (s *Server[T]) handleKNN(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing or non-positive %q", "k")
 		return
 	}
+	if req.Epsilon < 0 || req.Budget < 0 {
+		badRequest(w, "negative %q or %q", "epsilon", "budget")
+		return
+	}
 	q, err := s.codec.DecodeQuery(req.Query)
 	if err != nil {
 		badRequest(w, "bad query: %v", err)
 		return
 	}
-	done, err := s.knnB.submit(r.Context(), q, float64(*req.K))
+	key := groupKey{param: float64(*req.K), epsilon: req.Epsilon, budget: req.Budget}
+	done, err := s.knnB.submit(r.Context(), q, key)
 	if err != nil {
 		s.overloaded(w)
 		return
@@ -331,7 +368,9 @@ func (s *Server[T]) handleKNN(w http.ResponseWriter, r *http.Request) {
 			}
 			neighbors[i] = wireNeighbor{Item: item, Dist: nb.Dist}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"neighbors": neighbors, "count": len(neighbors)})
+		body := map[string]any{"neighbors": neighbors, "count": len(neighbors)}
+		addApproxFields(body, key, rep.exhausted)
+		writeJSON(w, http.StatusOK, body)
 	case <-r.Context().Done():
 	}
 }

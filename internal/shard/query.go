@@ -118,7 +118,7 @@ func (x *Index[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], index.SearchSt
 	lists := make([][]index.Neighbor[T], len(x.shards))
 	for i, sh := range x.shards {
 		var st index.SearchStats
-		if b, ok := sh.(index.BoundedKNNIndex[T]); ok {
+		if b := index.CapabilitiesOf[T](sh).BoundedKNN; b != nil {
 			lists[i], st = b.KNNWithStatsBound(q, k, bound)
 		} else {
 			lists[i], st = sh.KNNWithStats(q, k)
@@ -153,7 +153,7 @@ func (x *Index[T]) KNNParallelWithStats(q T, k int, workers int) ([]index.Neighb
 	lists := make([][]index.Neighbor[T], len(x.shards))
 	stats := make([]index.SearchStats, len(x.shards))
 	x.fanOut(workers, func(i int) {
-		if b, ok := x.shards[i].(index.BoundedKNNIndex[T]); ok {
+		if b := index.CapabilitiesOf[T](x.shards[i]).BoundedKNN; b != nil {
 			lists[i], stats[i] = b.KNNWithStatsBound(q, k, tau)
 		} else {
 			lists[i], stats[i] = x.shards[i].KNNWithStats(q, k)

@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
+
+var (
+	_ index.Searcher[int]           = (*Index[int])(nil)
+	_ index.ParallelKNNIndex[int]   = (*Index[int])(nil)
+	_ index.CapabilityReporter[int] = (*Index[int])(nil)
+)
+
+// Capabilities publishes the sharded index's capability report
+// directly (index.CapabilityReporter): everything it offers is listed
+// here, and BoundedKNN is deliberately absent — the carried / shared τ
+// machinery is the shard layer's own, and an external bound would
+// race with it.
+func (x *Index[T]) Capabilities() index.Capabilities[T] {
+	return index.Capabilities[T]{
+		Stats:         x,
+		Search:        x,
+		ParallelRange: x,
+		ParallelKNN:   x,
+	}
+}
+
+// Search is the unified query entry point (index.Searcher). With
+// zero-valued SearchOptions it runs the exact fan-out, byte-identical
+// to RangeWithStats / KNNWithStats (Workers > 1 selects the parallel
+// fan-out variants). Approximate requests split the distance budget
+// across the shards — Budget/S each, the remainder dealt to the lowest
+// shard ids — while Epsilon and Patience pass through unchanged, so
+// the logical query never spends more than its budget no matter how
+// many shards it touches. An external Bound is ignored: cross-shard τ
+// sharing is the shard layer's own machinery.
+func (x *Index[T]) Search(req index.Query[T]) index.Result[T] {
+	if req.K > 0 {
+		if !req.Opts.Approximate() {
+			if req.Opts.Workers > 1 {
+				nb, s := x.KNNParallelWithStats(req.Point, req.K, req.Opts.Workers)
+				return index.Result[T]{Neighbors: nb, Stats: s}
+			}
+			nb, s := x.KNNWithStats(req.Point, req.K)
+			return index.Result[T]{Neighbors: nb, Stats: s}
+		}
+		return x.knnApprox(req)
+	}
+	if !req.Opts.Approximate() {
+		out, s := x.RangeParallelWithStats(req.Point, req.Radius, req.Opts.Workers)
+		return index.Result[T]{Items: out, Stats: s}
+	}
+	return x.rangeApprox(req)
+}
+
+// splitBudget deals a logical distance budget across s shards: base
+// share Budget/s, remainder to the lowest shard ids. A zero or
+// negative total means unlimited, reported as all zeroes.
+func splitBudget(total int64, s int) []int64 {
+	per := make([]int64, s)
+	if total <= 0 {
+		return per
+	}
+	base, rem := total/int64(s), total%int64(s)
+	for i := range per {
+		per[i] = base
+		if int64(i) < rem {
+			per[i]++
+		}
+	}
+	return per
+}
+
+// shardApprox runs one shard's slice of an approximate query. Shards
+// whose budget share is zero (more shards than budget) are skipped
+// entirely and reported as exhausted. Backends that do not implement
+// index.Searcher fall back to their exact path — a valid superset —
+// with the budget unenforced for that shard.
+func shardApprox[T any](sh index.StatsIndex[T], req index.Query[T], budget int64, limited bool) index.Result[T] {
+	if limited && budget == 0 {
+		return index.Result[T]{Stats: index.SearchStats{BudgetExhausted: 1, Approximated: 1}}
+	}
+	sub := req
+	sub.Opts = index.SearchOptions{Epsilon: req.Opts.Epsilon, Budget: budget, Patience: req.Opts.Patience}
+	if s := index.CapabilitiesOf[T](sh).Search; s != nil {
+		return s.Search(sub)
+	}
+	if req.K > 0 {
+		nb, st := sh.KNNWithStats(req.Point, req.K)
+		return index.Result[T]{Neighbors: nb, Stats: st}
+	}
+	out, st := sh.RangeWithStats(req.Point, req.Radius)
+	return index.Result[T]{Items: out, Stats: st}
+}
+
+func (x *Index[T]) rangeApprox(req index.Query[T]) index.Result[T] {
+	span := x.StartQuery(obs.KindRange)
+	budgets := splitBudget(req.Opts.Budget, len(x.shards))
+	limited := req.Opts.Budget > 0
+	results := make([]index.Result[T], len(x.shards))
+	x.fanOut(req.Opts.Workers, func(i int) {
+		results[i] = shardApprox(x.shards[i], req, budgets[i], limited)
+	})
+	var s index.SearchStats
+	total := 0
+	for _, r := range results {
+		total += len(r.Items)
+	}
+	var out []T
+	if total > 0 {
+		out = make([]T, 0, total)
+	}
+	for _, r := range results {
+		out = append(out, r.Items...)
+		s.Add(r.Stats)
+	}
+	clampApproxFlags(&s)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Items: out, Stats: s}
+}
+
+func (x *Index[T]) knnApprox(req index.Query[T]) index.Result[T] {
+	span := x.StartQuery(obs.KindKNN)
+	var s index.SearchStats
+	if req.K <= 0 {
+		span.Done(&s)
+		return index.Result[T]{Stats: s}
+	}
+	budgets := splitBudget(req.Opts.Budget, len(x.shards))
+	limited := req.Opts.Budget > 0
+	results := make([]index.Result[T], len(x.shards))
+	x.fanOut(req.Opts.Workers, func(i int) {
+		results[i] = shardApprox(x.shards[i], req, budgets[i], limited)
+	})
+	lists := make([][]index.Neighbor[T], len(x.shards))
+	for i, r := range results {
+		lists[i] = r.Neighbors
+		s.Add(r.Stats)
+	}
+	clampApproxFlags(&s)
+	out := mergeKNN(lists, req.K)
+	s.Results = len(out)
+	span.Done(&s)
+	return index.Result[T]{Neighbors: out, Stats: s}
+}
+
+// clampApproxFlags reduces summed per-shard 0/1 flags back to the
+// logical query's 0/1: any exhausted or approximate slice makes the
+// whole answer so.
+func clampApproxFlags(s *index.SearchStats) {
+	if s.BudgetExhausted > 0 {
+		s.BudgetExhausted = 1
+		s.Approximated = 1
+	}
+	if s.Approximated > 0 {
+		s.Approximated = 1
+	}
+}

@@ -29,6 +29,41 @@ func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] { return metric.NewCounte
 // Neighbor is one k-nearest-neighbor result.
 type Neighbor[T any] = index.Neighbor[T]
 
+// SearchOptions are the per-query knobs of the unified Search entry
+// point every structure implements: Epsilon ((1+ε)-approximation),
+// Budget (distance-computation cap), Patience (early kNN
+// termination), Workers (intra-query parallelism on capable indexes)
+// and Bound (an external kNN pruning bound). The zero value asks for
+// the exact answer.
+type SearchOptions = index.SearchOptions
+
+// Query is one unified search request: a range query when Radius is
+// set and K == 0, a kNN query when K > 0.
+type Query[T any] = index.Query[T]
+
+// Result is a unified search answer: Items for range queries,
+// Neighbors for kNN, plus the query's SearchStats. Exact() reports
+// whether the answer is certified exact; Exhausted() whether the
+// distance budget cut it short.
+type Result[T any] = index.Result[T]
+
+// Searcher is implemented by every structure in this library: the
+// stats surface plus the unified Search entry point.
+type Searcher[T any] = index.Searcher[T]
+
+// Capabilities is the one-call capability report of an index; obtain
+// one with CapabilitiesOf instead of chaining type assertions.
+type Capabilities[T any] = index.Capabilities[T]
+
+// CapabilitiesOf probes idx once for every optional query surface.
+func CapabilitiesOf[T any](idx Index[T]) Capabilities[T] {
+	return index.CapabilitiesOf(idx)
+}
+
+// NewRangeQuery and NewKNNQuery build the common request shapes.
+func NewRangeQuery[T any](q T, r float64) Query[T] { return index.RangeQuery(q, r) }
+func NewKNNQuery[T any](q T, k int) Query[T]       { return index.KNNQuery(q, k) }
+
 // BuildOptions are the construction knobs shared by every structure in
 // this library, embedded (as the field Build) in each structure's
 // Options: Workers spreads construction's distance computations and
@@ -94,15 +129,6 @@ func NewWithStats[T any](items []T, dist DistanceFunc[T], opts Options, ixOpts .
 	return t, bs, nil
 }
 
-// NewWithCounter builds an mvp-tree measuring distances through an
-// existing Counter, so construction and query costs accumulate where the
-// caller wants them.
-//
-// Deprecated: use New with the WithCounter option.
-func NewWithCounter[T any](items []T, dist *Counter[T], opts Options) (*Tree[T], error) {
-	return New[T](items, nil, opts, WithCounter(dist))
-}
-
 // VPTree is a vantage-point tree [Uhl91, Yia93], the paper's baseline.
 type VPTree[T any] = vptree.Tree[T]
 
@@ -129,13 +155,6 @@ func NewVP[T any](items []T, dist DistanceFunc[T], opts VPOptions, ixOpts ...Ind
 		return nil, err
 	}
 	return t, nil
-}
-
-// NewVPWithCounter builds a vp-tree through an existing Counter.
-//
-// Deprecated: use NewVP with the WithCounter option.
-func NewVPWithCounter[T any](items []T, dist *Counter[T], opts VPOptions) (*VPTree[T], error) {
-	return NewVP[T](items, nil, opts, WithCounter(dist))
 }
 
 // NewVPWithStats is NewVP plus the construction report.

@@ -68,10 +68,10 @@ func TestWithObserverAccountsAllDistances(t *testing.T) {
 	}
 }
 
-// TestWithCounterOptionMatchesDeprecatedConstructor checks the folded
-// constructor variants: WithCounter routes construction cost into the
-// shared counter exactly as NewWithCounter did.
-func TestWithCounterOptionMatchesDeprecatedConstructor(t *testing.T) {
+// TestWithCounterOption checks that WithCounter routes construction
+// cost into the caller's shared counter, deterministically: two
+// identical builds over two fresh counters land on the same count.
+func TestWithCounterOption(t *testing.T) {
 	items, _ := obsTestData(400, 5)
 	opts := Options{Partitions: 2, LeafCapacity: 10, PathLength: 2}
 
@@ -80,11 +80,11 @@ func TestWithCounterOptionMatchesDeprecatedConstructor(t *testing.T) {
 		t.Fatal(err)
 	}
 	c2 := NewCounter(L2)
-	if _, err := NewWithCounter(items, c2, opts); err != nil {
+	if _, err := New(items, nil, opts, WithCounter(c2)); err != nil {
 		t.Fatal(err)
 	}
 	if c1.Count() == 0 || c1.Count() != c2.Count() {
-		t.Fatalf("build cost through option %d, through deprecated wrapper %d", c1.Count(), c2.Count())
+		t.Fatalf("build cost through first counter %d, second %d", c1.Count(), c2.Count())
 	}
 }
 

@@ -1,0 +1,337 @@
+package mvptree_test
+
+// Invariance and semantics of the unified Search entry point across
+// every structure: zero-valued SearchOptions must reproduce the exact
+// query paths byte for byte — same results in the same order, same
+// SearchStats, same distance-counter delta — on vector and edit
+// workloads alike, and the approximation knobs must honor their
+// contracts (superset-free ε-range, (1+ε)-bounded kNN, budget
+// accounting that never overspends).
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mvptree"
+)
+
+// vecSearchers builds each vector-capable structure over items. The
+// bool marks structures whose exact traversal order (and therefore
+// kNN distance count) is deterministic; the BK-tree's map-ordered
+// children make it the one order-insensitive case, on the edit
+// workload below.
+func vecSearchers(t *testing.T, items [][]float64) map[string]mvptree.Searcher[[]float64] {
+	t.Helper()
+	out := map[string]mvptree.Searcher[[]float64]{}
+	mustVec := func(name string, idx mvptree.Searcher[[]float64], err error) {
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		out[name] = idx
+	}
+	bo := mvptree.BuildOptions{Seed: 5}
+	tree, err := mvptree.New(items, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Build: bo})
+	mustVec("mvp", tree, err)
+	vp, err := mvptree.NewVP(items, mvptree.L2, mvptree.VPOptions{Order: 3, Build: bo})
+	mustVec("vp", vp, err)
+	gh, err := mvptree.NewGH(items, mvptree.L2, mvptree.GHOptions{Build: bo})
+	mustVec("gh", gh, err)
+	gn, err := mvptree.NewGNAT(items, mvptree.L2, mvptree.GNATOptions{Build: bo})
+	mustVec("gnat", gn, err)
+	ball, err := mvptree.NewBall(items, mvptree.L2, mvptree.BallOptions{Build: bo})
+	mustVec("ball", ball, err)
+	pv, err := mvptree.NewPivotTable(items, mvptree.L2, mvptree.PivotOptions{Pivots: 8, Build: bo})
+	mustVec("pivot", pv, err)
+	gen, err := mvptree.NewGeneral(items, mvptree.L2, mvptree.GeneralOptions{Vantages: 3, Partitions: 2, Build: bo})
+	mustVec("general", gen, err)
+	out["linear"] = mvptree.NewLinear(items, mvptree.L2)
+	dyn, err := mvptree.NewDynamic(items, mvptree.L2, mvptree.DynamicOptions{
+		Tree: mvptree.Options{Partitions: 2, LeafCapacity: 20, PathLength: 3, Build: bo},
+	})
+	mustVec("dynamic", dyn, err)
+	return out
+}
+
+// editSearchers builds each structure over a word set under edit
+// distance — including the BK-tree, which only exists here because it
+// needs an integer-valued metric.
+func editSearchers(t *testing.T, words []string) map[string]mvptree.Searcher[string] {
+	t.Helper()
+	out := map[string]mvptree.Searcher[string]{}
+	must := func(name string, idx mvptree.Searcher[string], err error) {
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		out[name] = idx
+	}
+	bo := mvptree.BuildOptions{Seed: 5}
+	tree, err := mvptree.New(words, mvptree.EditDistance, mvptree.Options{Partitions: 2, LeafCapacity: 10, PathLength: 2, Build: bo})
+	must("mvp", tree, err)
+	vp, err := mvptree.NewVP(words, mvptree.EditDistance, mvptree.VPOptions{Order: 2, Build: bo})
+	must("vp", vp, err)
+	gh, err := mvptree.NewGH(words, mvptree.EditDistance, mvptree.GHOptions{Build: bo})
+	must("gh", gh, err)
+	gn, err := mvptree.NewGNAT(words, mvptree.EditDistance, mvptree.GNATOptions{Build: bo})
+	must("gnat", gn, err)
+	ball, err := mvptree.NewBall(words, mvptree.EditDistance, mvptree.BallOptions{Build: bo})
+	must("ball", ball, err)
+	pv, err := mvptree.NewPivotTable(words, mvptree.EditDistance, mvptree.PivotOptions{Pivots: 6, Build: bo})
+	must("pivot", pv, err)
+	gen, err := mvptree.NewGeneral(words, mvptree.EditDistance, mvptree.GeneralOptions{Vantages: 2, Partitions: 2, Build: bo})
+	must("general", gen, err)
+	out["linear"] = mvptree.NewLinear(words, mvptree.EditDistance)
+	bk, err := mvptree.NewBK(words, mvptree.EditDistance)
+	must("bk", bk, err)
+	return out
+}
+
+// checkZeroOptsIdentical asserts Search with zero options reproduces
+// the exact methods byte for byte. orderInsensitive relaxes the
+// comparison to distance multisets and skips the cost comparison for
+// kNN — the BK-tree's children live in a map, so its traversal order
+// (legal at ties, and what τ sees when) differs run to run.
+func checkZeroOptsIdentical[T any](t *testing.T, name string, idx mvptree.Searcher[T], queries []T, r float64, k int, orderInsensitive bool) {
+	t.Helper()
+	for qi, q := range queries {
+		c0 := idx.DistanceCount()
+		wantItems, wantRS := idx.RangeWithStats(q, r)
+		wantCost := idx.DistanceCount() - c0
+		c0 = idx.DistanceCount()
+		res := idx.Search(mvptree.NewRangeQuery(q, r))
+		gotCost := idx.DistanceCount() - c0
+		if !res.Exact() || res.Exhausted() {
+			t.Errorf("%s q%d: zero-option range Search not reported exact: %+v", name, qi, res.Stats)
+		}
+		if orderInsensitive {
+			if !sameMultiset(wantItems, res.Items) {
+				t.Errorf("%s q%d: range Search item multiset differs", name, qi)
+			}
+		} else {
+			if !reflect.DeepEqual(wantItems, res.Items) {
+				t.Errorf("%s q%d: range Search items differ: %d vs %d", name, qi, len(wantItems), len(res.Items))
+			}
+			if res.Stats != wantRS {
+				t.Errorf("%s q%d: range Search stats differ:\n  exact  %+v\n  search %+v", name, qi, wantRS, res.Stats)
+			}
+			if gotCost != wantCost {
+				t.Errorf("%s q%d: range Search cost %d, exact %d", name, qi, gotCost, wantCost)
+			}
+		}
+		if res.Stats.Distances() != gotCost {
+			t.Errorf("%s q%d: range Stats.Distances()=%d, counter delta %d", name, qi, res.Stats.Distances(), gotCost)
+		}
+
+		c0 = idx.DistanceCount()
+		wantNb, wantKS := idx.KNNWithStats(q, k)
+		wantCost = idx.DistanceCount() - c0
+		c0 = idx.DistanceCount()
+		kres := idx.Search(mvptree.NewKNNQuery(q, k))
+		gotCost = idx.DistanceCount() - c0
+		if !kres.Exact() || kres.Exhausted() {
+			t.Errorf("%s q%d: zero-option kNN Search not reported exact: %+v", name, qi, kres.Stats)
+		}
+		if orderInsensitive {
+			if !sameDists(wantNb, kres.Neighbors) {
+				t.Errorf("%s q%d: kNN Search distance multiset differs", name, qi)
+			}
+		} else {
+			if !reflect.DeepEqual(wantNb, kres.Neighbors) {
+				t.Errorf("%s q%d: kNN Search neighbors differ", name, qi)
+			}
+			if kres.Stats != wantKS {
+				t.Errorf("%s q%d: kNN Search stats differ:\n  exact  %+v\n  search %+v", name, qi, wantKS, kres.Stats)
+			}
+			if gotCost != wantCost {
+				t.Errorf("%s q%d: kNN Search cost %d, exact %d", name, qi, gotCost, wantCost)
+			}
+		}
+		if kres.Stats.Distances() != gotCost {
+			t.Errorf("%s q%d: kNN Stats.Distances()=%d, counter delta %d", name, qi, kres.Stats.Distances(), gotCost)
+		}
+	}
+}
+
+func sameMultiset[T any](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i], kb[i] = fmt.Sprint(a[i]), fmt.Sprint(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	return reflect.DeepEqual(ka, kb)
+}
+
+func sameDists[T any](a, b []mvptree.Neighbor[T]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	da := make([]float64, len(a))
+	db := make([]float64, len(b))
+	for i := range a {
+		da[i], db[i] = a[i].Dist, b[i].Dist
+	}
+	sort.Float64s(da)
+	sort.Float64s(db)
+	return reflect.DeepEqual(da, db)
+}
+
+// TestSearchZeroOptionsByteIdentical is the cross-structure invariance
+// table: ε = 0 and an unset budget must reproduce the exact paths on
+// every structure and workload.
+func TestSearchZeroOptionsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	uniform := mvptree.UniformVectors(rng, 1200, 8)
+	clustered := mvptree.ClusteredVectors(rng, 1200, 8, 60, 0.12)
+	vecQueries := mvptree.UniformVectors(rng, 6, 8)
+	words := mvptree.Words(rng, 600, mvptree.WordOptions{})
+	wordQueries := mvptree.Words(rng, 5, mvptree.WordOptions{})
+
+	for wlName, items := range map[string][][]float64{"uniform": uniform, "clustered": clustered} {
+		for name, idx := range vecSearchers(t, items) {
+			t.Run(wlName+"/"+name, func(t *testing.T) {
+				checkZeroOptsIdentical(t, name, idx, vecQueries, 0.6, 5, false)
+			})
+		}
+	}
+	for name, idx := range editSearchers(t, words) {
+		t.Run("edit/"+name, func(t *testing.T) {
+			checkZeroOptsIdentical(t, name, idx, wordQueries, 2, 3, name == "bk")
+		})
+	}
+	// A huge budget must also reproduce the exact answer (the traversal
+	// completes within it), though the query is still flagged
+	// approximate-capable only if it exhausted — which it cannot here.
+	tree, err := mvptree.New(uniform, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 20, PathLength: 4, Build: mvptree.BuildOptions{Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range vecQueries {
+		want, _ := tree.KNNWithStats(q, 5)
+		req := mvptree.NewKNNQuery(q, 5)
+		req.Opts.Budget = 1 << 40
+		got := tree.Search(req)
+		if got.Exhausted() || !got.Exact() {
+			t.Fatalf("unlimited-budget query flagged approximate: %+v", got.Stats)
+		}
+		if !reflect.DeepEqual(want, got.Neighbors) {
+			t.Fatal("unlimited-budget kNN differs from exact")
+		}
+	}
+}
+
+// TestApproxSemanticsAllStructures checks the three knobs' contracts
+// on every vector structure: ε-range answers sit between the exact
+// answer at r/(1+ε) and the exact answer at r; ε-kNN distances are
+// within (1+ε) of the true ones rank by rank; budgeted queries never
+// spend more than the budget and report exhaustion; and
+// Stats.Distances() equals the counter delta even mid-traversal.
+func TestApproxSemanticsAllStructures(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 9))
+	items := mvptree.ClusteredVectors(rng, 1500, 10, 75, 0.15)
+	queries := mvptree.UniformVectors(rng, 5, 10)
+	const (
+		eps = 0.5
+		r   = 0.7
+		k   = 5
+	)
+	scan := mvptree.NewLinear(items, mvptree.L2)
+
+	for name, idx := range vecSearchers(t, items) {
+		t.Run(name, func(t *testing.T) {
+			for qi, q := range queries {
+				// ε-range: superset of exact at r/(1+ε), subset of exact at r.
+				within := map[string]bool{}
+				for _, it := range scan.Range(q, r) {
+					within[fmt.Sprint(it)] = true
+				}
+				guaranteed := scan.Range(q, r/(1+eps))
+
+				req := mvptree.NewRangeQuery(q, r)
+				req.Opts.Epsilon = eps
+				res := idx.Search(req)
+				if res.Exact() {
+					t.Errorf("q%d: ε>0 answer claimed exact", qi)
+				}
+				got := map[string]bool{}
+				for _, it := range res.Items {
+					key := fmt.Sprint(it)
+					got[key] = true
+					if !within[key] {
+						t.Errorf("q%d: ε-range reported an item farther than r", qi)
+					}
+				}
+				for _, it := range guaranteed {
+					if !got[fmt.Sprint(it)] {
+						t.Errorf("q%d: ε-range missed an item within r/(1+ε)", qi)
+					}
+				}
+
+				// ε-kNN: i-th distance within (1+ε) of the true i-th.
+				trueNb := scan.KNN(q, k)
+				kreq := mvptree.NewKNNQuery(q, k)
+				kreq.Opts.Epsilon = eps
+				kres := idx.Search(kreq)
+				if len(kres.Neighbors) != len(trueNb) {
+					t.Fatalf("q%d: ε-kNN returned %d of %d neighbors", qi, len(kres.Neighbors), len(trueNb))
+				}
+				for i, nb := range kres.Neighbors {
+					if nb.Dist > (1+eps)*trueNb[i].Dist+1e-12 {
+						t.Errorf("q%d: ε-kNN dist[%d]=%g exceeds (1+ε)·%g", qi, i, nb.Dist, trueNb[i].Dist)
+					}
+				}
+
+				// Budget: tiny budget must be respected to the computation
+				// and reported; the stats must reconcile with the counter.
+				const budget = 25
+				breq := mvptree.NewKNNQuery(q, k)
+				breq.Opts.Budget = budget
+				c0 := idx.DistanceCount()
+				bres := idx.Search(breq)
+				delta := idx.DistanceCount() - c0
+				if delta > budget {
+					t.Errorf("q%d: budget %d but %d distances computed", qi, budget, delta)
+				}
+				if bres.Stats.Distances() != delta {
+					t.Errorf("q%d: budget run Stats.Distances()=%d, counter delta %d", qi, bres.Stats.Distances(), delta)
+				}
+				if !bres.Exhausted() {
+					t.Errorf("q%d: %d-distance budget on %d items not reported exhausted", qi, budget, len(items))
+				}
+			}
+		})
+	}
+}
+
+// TestPatienceStopsEarly checks the early-termination knob on the
+// primary tree: a patient-less search visits no fewer candidates and
+// an impatient one still returns k neighbors, flagged approximate.
+func TestPatienceStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 3))
+	items := mvptree.UniformVectors(rng, 3000, 12)
+	q := mvptree.UniformVectors(rng, 1, 12)[0]
+	tree, err := mvptree.New(items, mvptree.L2, mvptree.Options{Partitions: 3, LeafCapacity: 25, PathLength: 4, Build: mvptree.BuildOptions{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := mvptree.NewKNNQuery(q, 5)
+	req.Opts.Patience = 2
+	res := tree.Search(req)
+	if len(res.Neighbors) != 5 {
+		t.Fatalf("patience run returned %d neighbors", len(res.Neighbors))
+	}
+	if res.Exact() {
+		// Patience may legitimately never fire on an easy query, but it
+		// must then have run the full traversal: compare to exact.
+		want, _ := tree.KNNWithStats(q, 5)
+		if !reflect.DeepEqual(want, res.Neighbors) {
+			t.Fatal("patience run flagged exact but differs from the exact answer")
+		}
+	}
+}
