@@ -19,6 +19,15 @@
 //     order decides which pivots a query registers), which the
 //     generous threshold absorbs. Every other cell is bit-reproducible.
 //
+//   - -mode quant asserts, inside one `mvpbench -quantjson` report (a
+//     fresh run or the committed BENCH_quant.json), that the quantized
+//     pre-filter actually pays for itself in its target regime: for at
+//     least one guarded-structure workload at dim ≥ 20 under l2, the
+//     best quantized mode must cut range or kNN ns/op by the threshold
+//     (default 25%) against the mode-off row of the same run. Off and
+//     on rows come from the same process and machine, so the
+//     comparison needs no cross-machine baseline.
+//
 //   - -mode approx compares a fresh `mvpbench -approxjson` report
 //     against the approxbench section of the committed
 //     BENCH_approx.json baseline: for every (structure, dim, mode,
@@ -68,6 +77,7 @@ type baselineFile struct {
 	Querybench     experiments.QueryBenchReport   `json:"querybench"`
 	Cascadebench   experiments.CascadeBenchReport `json:"cascadebench"`
 	Approxbench    experiments.ApproxBenchReport  `json:"approxbench"`
+	Quantbench     experiments.QuantBenchReport   `json:"quantbench"`
 }
 
 func main() {
@@ -83,7 +93,7 @@ func main() {
 			thresholdSet = true
 		}
 	})
-	if *freshPath == "" {
+	if *freshPath == "" && *mode != "quant" {
 		fmt.Fprintln(os.Stderr, "benchguard: -fresh is required")
 		os.Exit(2)
 	}
@@ -111,8 +121,27 @@ func main() {
 			t = 0.02
 		}
 		approxGate(*baselinePath, *freshPath, t)
+	case "quant":
+		// The quant gate is self-contained: it asserts the fresh
+		// report's own off-vs-quantized speedup, so -baseline is the
+		// fallback report to check when -fresh is omitted. Its
+		// threshold default is the required improvement (0.25 = the
+		// best quantized mode must cut ns/op by ≥ 25%), not an
+		// allowed regression.
+		t := *threshold
+		if !thresholdSet {
+			t = 0.25
+		}
+		path := *freshPath
+		if path == "" {
+			path = *baselinePath
+		}
+		if path == "" {
+			path = "BENCH_quant.json"
+		}
+		quantGate(path, *structure, t)
 	default:
-		fmt.Fprintf(os.Stderr, "benchguard: unknown -mode %q (want query, cascade or approx)\n", *mode)
+		fmt.Fprintf(os.Stderr, "benchguard: unknown -mode %q (want query, cascade, approx or quant)\n", *mode)
 		os.Exit(2)
 	}
 }
@@ -257,6 +286,89 @@ func approxGate(baselinePath, freshPath string, threshold float64) {
 	}
 	if !ok {
 		fmt.Fprintf(os.Stderr, "benchguard: FAIL (baseline %s, commit %s)\n", baselinePath, base.BaselineCommit)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// quantGate asserts the quantized pre-filter's win inside one report:
+// for every guarded-structure workload at dim ≥ 20 under l2 — the
+// bandwidth-bound regime the filter targets — the best quantized mode
+// must cut range or kNN ns/op by at least `required` relative to the
+// mode-off row of the same workload. The gate passes if any guarded
+// workload meets the target (the filter is regime-dependent by design:
+// small cache-resident configs legitimately do not improve), and fails
+// if no guarded workload exists or none meets it.
+func quantGate(path, structure string, required float64) {
+	// Accept both the committed artifact (report nested under
+	// "quantbench") and a bare mvpbench -quantjson report.
+	var base baselineFile
+	if err := readJSON(path, &base); err != nil {
+		fatal(err)
+	}
+	rep := base.Quantbench
+	if len(rep.Rows) == 0 {
+		if err := readJSON(path, &rep); err != nil {
+			fatal(err)
+		}
+	}
+	if len(rep.Rows) == 0 {
+		fatal(fmt.Errorf("%s: no quantbench rows", path))
+	}
+
+	type cell struct{ off, bestRange, bestKNN float64 }
+	cells := make(map[string]*cell)
+	type offKey struct{ rangeNs, knnNs float64 }
+	offs := make(map[string]offKey)
+	var keys []string
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		baseName, _, _ := strings.Cut(r.Structure, "+")
+		if !strings.HasPrefix(baseName, structure) || r.Dim < 20 || r.Metric != "l2" {
+			continue
+		}
+		key := fmt.Sprintf("%s/%s/dim=%d", baseName, r.Metric, r.Dim)
+		if r.Mode == "off" {
+			offs[key] = offKey{r.RangeNsPerOp, r.KNNNsPerOp}
+			keys = append(keys, key)
+			continue
+		}
+		c := cells[key]
+		if c == nil {
+			c = &cell{bestRange: r.RangeNsPerOp, bestKNN: r.KNNNsPerOp}
+			cells[key] = c
+			continue
+		}
+		if r.RangeNsPerOp < c.bestRange {
+			c.bestRange = r.RangeNsPerOp
+		}
+		if r.KNNNsPerOp < c.bestKNN {
+			c.bestKNN = r.KNNNsPerOp
+		}
+	}
+	if len(keys) == 0 {
+		fatal(fmt.Errorf("%s: no guarded rows (structure prefix %q, dim >= 20, metric l2)", path, structure))
+	}
+	met := false
+	for _, key := range keys {
+		off, okOff := offs[key]
+		c := cells[key]
+		if !okOff || c == nil || off.rangeNs <= 0 || off.knnNs <= 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: incomplete off/on rows, skipping\n", key)
+			continue
+		}
+		rangeCut := 1 - c.bestRange/off.rangeNs
+		knnCut := 1 - c.bestKNN/off.knnNs
+		status := "below target"
+		if rangeCut >= required || knnCut >= required {
+			status = "MEETS TARGET"
+			met = true
+		}
+		fmt.Printf("%-28s range %9.0f -> %9.0f ns/op (%+5.1f%%)   knn %9.0f -> %9.0f ns/op (%+5.1f%%)   %s\n",
+			key, off.rangeNs, c.bestRange, -100*rangeCut, off.knnNs, c.bestKNN, -100*knnCut, status)
+	}
+	if !met {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — no guarded workload cut range or knn ns/op by >= %.0f%% (%s)\n", required*100, path)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: PASS")

@@ -25,6 +25,8 @@
 // sweeps); -cascadejson FILE writes the cascadebench experiment's
 // cascade-off vs cascade-on distance-count deltas; -approxjson FILE
 // writes the approxbench experiment's recall-vs-distance-cost curves;
+// -quantjson FILE writes the quantbench experiment's quantized
+// pre-filter wall-time and survivor-rate report;
 // -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
@@ -76,6 +78,7 @@ func run(out io.Writer, args []string) error {
 		shardJSON    = fs.String("shardjson", "", "write the shardbench experiment's scaling report as JSON to this file (adds the shardbench experiment if not selected)")
 		cascadeJSON  = fs.String("cascadejson", "", "write the cascadebench experiment's distance-count report as JSON to this file (adds the cascadebench experiment if not selected)")
 		approxJSON   = fs.String("approxjson", "", "write the approxbench experiment's recall-vs-cost report as JSON to this file (adds the approxbench experiment if not selected)")
+		quantJSON    = fs.String("quantjson", "", "write the quantbench experiment's quantized pre-filter wall-time report as JSON to this file (adds the quantbench experiment if not selected)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
@@ -176,7 +179,7 @@ func run(out io.Writer, args []string) error {
 	if *experiment == "all" {
 		ids = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench", "cascadebench", "approxbench"}
+			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench", "cascadebench", "approxbench", "quantbench"}
 	}
 	if *buildJSON != "" && !containsID(ids, "build") {
 		ids = append(ids, "build")
@@ -196,8 +199,11 @@ func run(out io.Writer, args []string) error {
 	if *approxJSON != "" && !containsID(ids, "approxbench") {
 		ids = append(ids, "approxbench")
 	}
+	if *quantJSON != "" && !containsID(ids, "quantbench") {
+		ids = append(ids, "quantbench")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON, *cascadeJSON, *approxJSON); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON, *cascadeJSON, *approxJSON, *quantJSON); err != nil {
 			return err
 		}
 	}
@@ -296,7 +302,15 @@ func writeApproxJSON(path string, rep *experiments.ApproxBenchReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON, cascadeJSON, approxJSON string) error {
+func writeQuantJSON(path string, rep *experiments.QuantBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON, cascadeJSON, approxJSON, quantJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -406,6 +420,15 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSO
 		if err == nil && approxJSON != "" {
 			err = writeApproxJSON(approxJSON, rep)
 		}
+	case "quantbench":
+		var rep *experiments.QuantBenchReport
+		rep, err = experiments.QuantBenchStudy(cfg)
+		if err == nil {
+			err = experiments.WriteQuantBench(out, rep)
+		}
+		if err == nil && quantJSON != "" {
+			err = writeQuantJSON(quantJSON, rep)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -444,6 +467,7 @@ func describe(id string) string {
 		"shardbench":   "extension: sharded serving scaling (shards × intra-query workers)",
 		"cascadebench": "extension: cross-query bound cascade, distance counts off vs on",
 		"approxbench":  "extension: approximate & budgeted kNN — recall vs distance cost across dimensions",
+		"quantbench":   "extension: quantized lower-bound pre-filter — wall time off vs sq8/f32",
 	}
 	if d, ok := descriptions[id]; ok {
 		return d

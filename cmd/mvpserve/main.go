@@ -49,6 +49,7 @@ import (
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/mvp"
+	"mvptree/internal/quant"
 	"mvptree/internal/serve"
 	"mvptree/internal/shard"
 )
@@ -99,12 +100,17 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		retryAfter = fs.Duration("retryafter", time.Second, "Retry-After hint on 503 rejections")
 		casOn      = fs.Bool("cascade", false, "enable the cross-query bound cascade on every shard (identical results, fewer distance computations per query)")
 		casPivots  = fs.Int("cascadepivots", 0, "cascade pivot cap per shard (0 = default)")
+		quantize   = fs.String("quantize", "off", "quantized lower-bound pre-filter on every shard: off, sq8 or f32 (identical results, less leaf-scan memory traffic)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dim <= 0 {
 		return fmt.Errorf("-dim must be positive")
+	}
+	qmode, err := quant.ParseMode(*quantize)
+	if err != nil {
+		return fmt.Errorf("-quantize: %w", err)
 	}
 	distFn, err := vectorMetric(*metricName)
 	if err != nil {
@@ -122,10 +128,16 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		if err != nil {
 			return nil, err
 		}
-		// The cascade is not serialized; rebuild it on every load (and
-		// reload) so a swapped-in index serves with the same filters.
+		// The cascade and quantized arenas are not serialized; rebuild
+		// them on every load (and reload) so a swapped-in index serves
+		// with the same filters.
 		if *casOn {
 			if err := x.EnableCascade(casOpts); err != nil {
+				return nil, err
+			}
+		}
+		if qmode != quant.Off {
+			if err := x.EnableQuantize(qmode); err != nil {
 				return nil, err
 			}
 		}
@@ -165,6 +177,12 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 				return fmt.Errorf("enabling cascade: %w", err)
 			}
 			fmt.Fprintf(out, "mvpserve: cascade enabled (%d precomputed distances)\n", x.DistanceCount()-before)
+		}
+		if qmode != quant.Off {
+			if err := x.EnableQuantize(qmode); err != nil {
+				return fmt.Errorf("enabling quantize: %w", err)
+			}
+			fmt.Fprintf(out, "mvpserve: quantized pre-filter enabled (%s)\n", qmode)
 		}
 		idx = x
 	}

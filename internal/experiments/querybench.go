@@ -117,12 +117,18 @@ func QueryBenchStudy(c Config) (*QueryBenchReport, error) {
 // wall time, the heap-allocation count delta and the distance-counter
 // delta across all passes.
 func measureLoop(counter *metric.Counter[[]float64], pass func()) (ns int64, allocs uint64, dist int64) {
+	return measureN(counter, QueryBenchRounds, pass)
+}
+
+// measureN is measureLoop with an explicit round count, shared with
+// the quantbench study.
+func measureN(counter *metric.Counter[[]float64], rounds int, pass func()) (ns int64, allocs uint64, dist int64) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	dist0 := counter.Count()
 	start := time.Now()
-	for r := 0; r < QueryBenchRounds; r++ {
+	for r := 0; r < rounds; r++ {
 		pass()
 	}
 	ns = time.Since(start).Nanoseconds()

@@ -13,6 +13,7 @@ import (
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
+	"mvptree/internal/quant"
 )
 
 // Scan is a linear-scan index over a fixed item set. The embedded
@@ -22,6 +23,12 @@ type Scan[T any] struct {
 	obs.Hooks
 	items []T
 	dist  *metric.Counter[T]
+
+	// Quantized pre-filter state (EnableQuantize); nil when off.
+	// Exactly one of qcodes/qf32 is non-nil while armed.
+	qset   *quant.Set
+	qcodes []byte
+	qf32   []float32
 }
 
 var _ index.StatsIndex[int] = (*Scan[int])(nil)
@@ -57,15 +64,29 @@ func (s *Scan[T]) RangeWithStats(q T, r float64) ([]T, index.SearchStats) {
 	span := s.StartQuery(obs.KindRange)
 	var st index.SearchStats
 	var out []T
-	for _, it := range s.items {
+	qp := s.prepareQuant(q)
+	qset, qcodes, qf32 := s.qset, s.qcodes, s.qf32
+	filteredQuant := 0
+	for i, it := range s.items {
 		st.Candidates++
 		st.Computed++
 		s.TraceDistance(1)
+		// A certified quantized skip is charged exactly like the
+		// abandoned kernel call it replaces.
+		if qp != nil && qset.PruneAt(qp, qcodes, qf32, i, r) {
+			s.dist.Add(1)
+			filteredQuant++
+			continue
+		}
 		// Membership is all that matters, so the kernel may abandon at r.
 		if s.dist.DistanceUpTo(q, it, r) <= r {
 			out = append(out, it)
 		}
 	}
+	if filteredQuant > 0 {
+		s.TracePrune(obs.FilterQuantized, filteredQuant)
+	}
+	s.releaseQuant(qp, filteredQuant)
 	st.Results = len(out)
 	span.Done(&st)
 	return out, st
@@ -86,15 +107,30 @@ func (s *Scan[T]) KNNWithStats(q T, k int) ([]index.Neighbor[T], index.SearchSta
 		span.Done(&st)
 		return nil, st
 	}
+	qp := s.prepareQuant(q)
+	qset, qcodes, qf32 := s.qset, s.qcodes, s.qf32
+	filteredQuant := 0
 	h := heapx.NewKBest[T](k)
-	for _, it := range s.items {
+	for i, it := range s.items {
 		st.Candidates++
 		st.Computed++
 		s.TraceDistance(1)
+		tau := h.Threshold()
+		// A certified quantized skip is charged exactly like the
+		// abandoned kernel call it replaces.
+		if qp != nil && qset.PruneAt(qp, qcodes, qf32, i, tau) {
+			s.dist.Add(1)
+			filteredQuant++
+			continue
+		}
 		// Push ignores anything ≥ the current k-th best, so the kernel
 		// may abandon at τ (exact while the heap is still filling).
-		h.Push(it, s.dist.DistanceUpTo(q, it, h.Threshold()))
+		h.Push(it, s.dist.DistanceUpTo(q, it, tau))
 	}
+	if filteredQuant > 0 {
+		s.TracePrune(obs.FilterQuantized, filteredQuant)
+	}
+	s.releaseQuant(qp, filteredQuant)
 	out := h.Sorted()
 	st.Results = len(out)
 	span.Done(&st)

@@ -63,8 +63,28 @@ func init() {
 	RegisterBounded[[]float64](L2, L2UpTo)
 	RegisterBounded[[]float64](LInf, LInfUpTo)
 	RegisterBounded[[]float64](Canberra, CanberraUpTo)
+	RegisterBounded[[]float64](Angular, AngularUpTo)
+	// Cosine is exactly L2 on its (unit-vector) domain, so the L2
+	// kernel is its early-abandoning fast path.
+	RegisterBounded[[]float64](Cosine, L2UpTo)
 	RegisterBounded[string](Edit, EditUpTo)
 	RegisterBounded[string](Hamming, HammingUpTo)
+}
+
+// AngularUpTo is the bounded kernel for Angular. The angle admits no
+// sound partial-sum abandonment: the three accumulators (dot product
+// and both squared norms) are not monotone toward the final arccos,
+// and by Cauchy–Schwarz an unseen coordinate tail can always pull the
+// cosine arbitrarily close to 1 (distance toward 0), so no prefix
+// state can certify "final angle > bound". The kernel therefore
+// computes the exact value — trivially satisfying the
+// BoundedDistanceFunc contract — and its registration keeps Counters
+// over Angular on the registered-kernel dispatch path (no per-Counter
+// fallback closure) instead of silently degrading leaf scans to the
+// exact-only path. Workloads that can pre-normalize should prefer
+// Cosine, whose L2 form abandons early and quantizes.
+func AngularUpTo(a, b []float64, _ float64) float64 {
+	return Angular(a, b)
 }
 
 // L1UpTo is the early-abandoning Manhattan distance: the partial sum is

@@ -1,0 +1,91 @@
+package metric
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestCosineAxioms validates the chord metric over a sample of
+// normalized vectors — the domain Cosine is specified on.
+func TestCosineAxioms(t *testing.T) {
+	rng := rand.New(rand.NewPCG(131, 1))
+	sample := make([][]float64, 14)
+	for i := range sample {
+		sample[i] = NormalizeL2(randVec(rng, 6))
+	}
+	if err := CheckAxioms(Cosine, sample, 1e-12); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCosineMatchesAngularRanking pins the reason Cosine exists: on
+// unit vectors it is a monotone function of the angle, so pairwise
+// comparisons — and therefore range/kNN selections — agree with
+// Angular exactly.
+func TestCosineMatchesAngularRanking(t *testing.T) {
+	rng := rand.New(rand.NewPCG(132, 1))
+	vecs := make([][]float64, 30)
+	for i := range vecs {
+		vecs[i] = NormalizeL2(randVec(rng, 5))
+	}
+	q := NormalizeL2(randVec(rng, 5))
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			ca, cb := Cosine(q, vecs[i]), Cosine(q, vecs[j])
+			aa, ab := Angular(q, vecs[i]), Angular(q, vecs[j])
+			if (ca < cb) != (aa < ab) && ca != cb && aa != ab {
+				t.Fatalf("ranking disagrees: Cosine %g vs %g, Angular %g vs %g", ca, cb, aa, ab)
+			}
+		}
+	}
+	// And the closed-form relation 1 − cosθ = Cosine²/2 holds.
+	for _, v := range vecs {
+		var dot float64
+		for k := range q {
+			dot += q[k] * v[k]
+		}
+		c := Cosine(q, v)
+		if got, want := c*c/2, 1-dot; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("chord identity violated: Cosine²/2 = %g, 1−cosθ = %g", got, want)
+		}
+	}
+}
+
+// TestNormalizeL2 pins normalization semantics including the panics.
+func TestNormalizeL2(t *testing.T) {
+	v := NormalizeL2([]float64{3, 4})
+	if !almostEqual(v[0], 0.6, 1e-15) || !almostEqual(v[1], 0.8, 1e-15) {
+		t.Fatalf("NormalizeL2([3 4]) = %v", v)
+	}
+	set := NormalizeL2Set([][]float64{{2, 0}, {0, -5}})
+	if set[0][0] != 1 || set[1][1] != -1 {
+		t.Fatalf("NormalizeL2Set = %v", set)
+	}
+	for _, bad := range [][]float64{{0, 0}, {math.NaN(), 1}, {math.Inf(1), 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormalizeL2(%v) did not panic", bad)
+				}
+			}()
+			NormalizeL2(bad)
+		}()
+	}
+}
+
+// TestAngularUpToIdentity pins that the bounded Angular kernel is the
+// exact kernel bit for bit: the angle admits no partial-sum abandon, so
+// registering it only removes the registry probe miss, never changes a
+// value.
+func TestAngularUpToIdentity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(133, 1))
+	for i := 0; i < 200; i++ {
+		a, b := randVec(rng, 7), randVec(rng, 7)
+		for _, bound := range []float64{0, 0.5, 2, math.Inf(1)} {
+			if got, want := AngularUpTo(a, b, bound), Angular(a, b); got != want {
+				t.Fatalf("AngularUpTo(bound=%g) = %g, Angular = %g", bound, got, want)
+			}
+		}
+	}
+}

@@ -37,6 +37,7 @@ type Counter[T any] struct {
 	fn       DistanceFunc[T]
 	bounded  BoundedDistanceFunc[T]
 	fallback BoundedDistanceFunc[T] // fn ignoring the bound; built once
+	quant    QuantKind
 	count    atomic.Int64
 }
 
@@ -45,8 +46,10 @@ type Counter[T any] struct {
 // RegisterBounded), the Counter picks it up automatically and serves
 // DistanceUpTo through it; otherwise DistanceUpTo falls back to the
 // exact kernel. Use SetBounded to attach a fast path to a closure.
+// The quantized lower-bound shape (RegisterQuantized) is probed the
+// same way and reported by QuantKind.
 func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] {
-	c := &Counter[T]{fn: fn, bounded: lookupBounded(fn)}
+	c := &Counter[T]{fn: fn, bounded: lookupBounded(fn), quant: lookupQuantized(fn)}
 	if fn != nil {
 		c.fallback = func(a, b T, _ float64) float64 { return fn(a, b) }
 	}

@@ -46,6 +46,7 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		return nil, s
 	}
 	sc := t.getScratch()
+	t.prepareQuant(sc, q)
 	if sc.best == nil {
 		sc.best = heapx.NewKBest[T](k)
 	} else {
@@ -80,7 +81,7 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		t.TraceNode(n.isLeaf())
 		if n.isLeaf() {
 			s.LeavesVisited++
-			t.knnLeafStats(n, q, sc.arena[pn.off:pn.off+pn.plen], best, ext, cc, &s)
+			t.knnLeafStats(n, q, sc.arena[pn.off:pn.off+pn.plen], best, ext, cc, sc, &s)
 			continue
 		}
 		// Stamped cascade pivots are computed exactly while the cache
@@ -177,13 +178,14 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 	if t.cas != nil {
 		t.cas.Put(cc)
 	}
+	t.finishQuant(sc)
 	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBest[T], ext index.KNNBound, cc *cascade.Cache, s *SearchStats) {
+func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBest[T], ext index.KNNBound, cc *cascade.Cache, sc *queryScratch[T], s *SearchStats) {
 	if !n.hasSV1 {
 		return
 	}
@@ -242,7 +244,11 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	}
 	cas, base := t.cas, n.casBase
 	useCas := cc != nil && cc.Registered() > 0
-	var filteredD, filteredPath, filteredCascade, computed int
+	// Quantized pre-filter state (quantize.go); a pruned candidate still
+	// joins computed, standing in for an abandoned kernel call.
+	useQuant := sc.quantOn && (n.qcodes != nil || n.qf32 != nil)
+	qset, qprep, qcodes, qf32 := t.qset, &sc.qprep, n.qcodes, n.qf32
+	var filteredD, filteredPath, filteredCascade, filteredQuant, computed int
 	for i := range items {
 		// The D1/D2 bound first; a PATH entry only gets credit when it
 		// tightens the bound past the acceptance threshold on its own.
@@ -283,6 +289,13 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 		}
 		computed++
 		cb := min(best.Threshold(), extTau)
+		// The quantized lower bound certifies d > cb, so the kernel call
+		// would abandon (> cb) and never push; skipping it changes no
+		// heap state, stat or count (computed was charged above).
+		if useQuant && qset.PruneAt(qprep, qcodes, qf32, i, cb) {
+			filteredQuant++
+			continue
+		}
 		if d := kernel(q, items[i], cb); d <= cb {
 			best.Push(items[i], d)
 		}
@@ -296,6 +309,7 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	s.FilteredByPath += filteredPath
 	s.FilteredByCascade += filteredCascade
 	s.Computed += computed
+	sc.quantPruned += filteredQuant
 	if filteredD > 0 {
 		t.TracePrune(obs.FilterD, filteredD)
 	}
@@ -304,6 +318,9 @@ func (t *Tree[T]) knnLeafStats(n *node[T], q T, qpath []float64, best *heapx.KBe
 	}
 	if filteredCascade > 0 {
 		t.TracePrune(obs.FilterCascade, filteredCascade)
+	}
+	if filteredQuant > 0 {
+		t.TracePrune(obs.FilterQuantized, filteredQuant)
 	}
 	if computed > 0 {
 		t.TraceDistance(computed)

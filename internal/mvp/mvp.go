@@ -37,6 +37,7 @@ import (
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
+	"mvptree/internal/quant"
 )
 
 // Build is the shared construction options (Workers, Seed) every index
@@ -81,6 +82,16 @@ type Options struct {
 	// counts and the serialized form are unaffected; the option is
 	// silently ignored for non-vector item types.
 	FlatVectors bool
+	// Quantize, for []float64 items under a metric with a registered
+	// quantized lower-bound shape (metric.RegisterQuantized), builds a
+	// small companion representation of every leaf (internal/quant) that
+	// leaf scans consult before the exact kernel: candidates whose
+	// quantized lower bound certifies d > threshold skip the float64
+	// evaluation. Results, order, SearchStats and counter deltas are
+	// byte-identical on or off; the option is silently ignored when the
+	// items or metric cannot be quantized. Equivalent to calling
+	// EnableQuantize after construction.
+	Quantize quant.Mode
 }
 
 func (o *Options) setDefaults() {
@@ -128,6 +139,9 @@ type Tree[T any] struct {
 	// cas is the cross-query bound cascade, nil unless EnableCascade
 	// built one; see cascade.go.
 	cas *cascade.Filter[T]
+	// qset is the trained quantized pre-filter, nil unless
+	// EnableQuantize built one; see quantize.go.
+	qset *quant.Set
 }
 
 var _ index.StatsIndex[int] = (*Tree[int])(nil)
@@ -176,6 +190,12 @@ type node[T any] struct {
 	// casBase is the cascade id of the leaf's first item.
 	cas1, cas2 int32
 	casBase    int32
+
+	// Quantized companion views of items (exactly one non-nil when the
+	// tree's qset is armed): len(items)·dim entries, item i's block at
+	// i·dim. See quantize.go.
+	qcodes []byte
+	qf32   []float32
 }
 
 func (n *node[T]) isLeaf() bool { return n.children == nil }
@@ -251,6 +271,11 @@ func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tre
 	t.buildStats = b.Finish()
 	if opts.FlatVectors {
 		t.flattenLeafVectors()
+	}
+	if opts.Quantize != quant.Off {
+		if err := t.EnableQuantize(opts.Quantize); err != nil {
+			return nil, build.Stats{}, err
+		}
 	}
 	return t, t.buildStats, nil
 }

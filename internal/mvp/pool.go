@@ -1,6 +1,9 @@
 package mvp
 
-import "mvptree/internal/heapx"
+import (
+	"mvptree/internal/heapx"
+	"mvptree/internal/quant"
+)
 
 // queryScratch is the per-query working state Range and KNN borrow from
 // the tree's sync.Pool so steady-state queries allocate nothing but the
@@ -24,6 +27,12 @@ type queryScratch[T any] struct {
 	// of owning a copied slice, which removes the dominant allocation
 	// of the previous implementation.
 	arena []float64
+	// Quantized pre-filter state, re-armed per query by prepareQuant
+	// (quantOn guards staleness across pool reuse); quantPruned tallies
+	// the query's skipped exact evaluations for the Observer.
+	qprep       quant.Prepared
+	quantOn     bool
+	quantPruned int
 }
 
 // pendingRef is a queued subtree plus its query PATH as a window into
@@ -56,6 +65,8 @@ func (t *Tree[T]) getScratch() *queryScratch[T] {
 // Get) so pooled scratch never pins tree nodes between queries.
 func (t *Tree[T]) putScratch(sc *queryScratch[T]) {
 	sc.arena = sc.arena[:0]
+	sc.quantOn = false
+	sc.qprep.Release()
 	sc.queue.Reset()
 	if sc.best != nil {
 		sc.best.Reset(1) // clears retained neighbors; re-armed per query

@@ -45,6 +45,7 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 	}
 	var out []T
 	sc := t.getScratch()
+	t.prepareQuant(sc, q)
 	var cc *cascade.Cache
 	if t.cas != nil {
 		cc = t.cas.Get()
@@ -53,6 +54,7 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 	if t.cas != nil {
 		t.cas.Put(cc)
 	}
+	t.finishQuant(sc)
 	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)
@@ -216,7 +218,12 @@ func (t *Tree[T]) rangeLeaf(n *node[T], q T, r float64, plen int, sc *queryScrat
 	qhi := sc.qhi[:plen]
 	cas, base := t.cas, n.casBase
 	useCas := cc != nil && cc.Registered() > 0
-	var filteredD, filteredPath, filteredCascade, computed int
+	// Quantized pre-filter state (quantize.go). A pruned candidate is
+	// still counted in computed — the skip stands in for an abandoned
+	// kernel call — so every stat and counter below is unchanged.
+	useQuant := sc.quantOn && (n.qcodes != nil || n.qf32 != nil)
+	qset, qprep, qcodes, qf32 := t.qset, &sc.qprep, n.qcodes, n.qf32
+	var filteredD, filteredPath, filteredCascade, filteredQuant, computed int
 items:
 	for i := range items {
 		// |d(Q,SV) − d(Si,SV)| > r ⟹ d(Q,Si) > r by the triangle
@@ -257,6 +264,14 @@ items:
 			}
 		}
 		computed++
+		// The quantized lower bound certifies d > r from the companion
+		// representation alone; the exact kernel would have returned a
+		// value > r (abandoning), so skipping it changes nothing — the
+		// candidate already joined computed above.
+		if useQuant && qset.PruneAt(qprep, qcodes, qf32, i, r) {
+			filteredQuant++
+			continue
+		}
 		if kernel(q, items[i], r) <= r {
 			*out = append(*out, items[i])
 		}
@@ -267,6 +282,7 @@ items:
 	s.FilteredByPath += filteredPath
 	s.FilteredByCascade += filteredCascade
 	s.Computed += computed
+	sc.quantPruned += filteredQuant
 	if filteredD > 0 {
 		t.TracePrune(obs.FilterD, filteredD)
 	}
@@ -275,6 +291,9 @@ items:
 	}
 	if filteredCascade > 0 {
 		t.TracePrune(obs.FilterCascade, filteredCascade)
+	}
+	if filteredQuant > 0 {
+		t.TracePrune(obs.FilterQuantized, filteredQuant)
 	}
 	if computed > 0 {
 		t.TraceDistance(computed)

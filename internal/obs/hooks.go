@@ -18,6 +18,12 @@ import (
 type Hooks struct {
 	observer *Observer
 	tracer   Tracer
+	// quantRelay receives quantize-prune tallies in addition to the
+	// structure's own observer. Composite indexes (shard.Index) set it
+	// on their backends so per-backend prunes — which bypass
+	// index.SearchStats by design — still reach the composite's
+	// Observer and surface in production /stats.
+	quantRelay *Observer
 }
 
 // SetObserver attaches (or with nil, detaches) an aggregating Observer.
@@ -25,6 +31,11 @@ func (h *Hooks) SetObserver(o *Observer) { h.observer = o }
 
 // SetTracer attaches (or with nil, detaches) a per-event Tracer.
 func (h *Hooks) SetTracer(t Tracer) { h.tracer = t }
+
+// SetQuantObserver attaches (or with nil, detaches) a relay Observer
+// that receives quantize-prune tallies alongside the structure's own
+// observer. Same synchronization caveat as SetObserver.
+func (h *Hooks) SetQuantObserver(o *Observer) { h.quantRelay = o }
 
 // Observer returns the attached Observer, nil when disarmed.
 func (h *Hooks) Observer() *Observer { return h.observer }
@@ -63,6 +74,24 @@ func (h *Hooks) TracePrune(f Filter, n int) {
 func (h *Hooks) TraceDistance(n int) {
 	if h.tracer != nil {
 		h.tracer.OnDistance(n)
+	}
+}
+
+// ObserveQuantPruned records n quantize-pruned candidates (exact
+// evaluations skipped on a lower-bound certificate) into the Observer,
+// if any. Search paths call it once per query with the query's total.
+// The count deliberately bypasses index.SearchStats — the quantized
+// pre-filter leaves every per-query stat byte-identical — so it flows
+// through this dedicated channel into SearchTotals.FilteredByQuantized.
+func (h *Hooks) ObserveQuantPruned(n int) {
+	if n <= 0 {
+		return
+	}
+	if h.observer != nil {
+		h.observer.ObserveQuantPruned(n)
+	}
+	if h.quantRelay != nil && h.quantRelay != h.observer {
+		h.quantRelay.ObserveQuantPruned(n)
 	}
 }
 

@@ -76,6 +76,15 @@ const (
 	// distances registered earlier in the same traversal
 	// (internal/cascade).
 	FilterCascade
+	// FilterQuantized: a leaf candidate's exact float64 evaluation was
+	// skipped because the quantized companion representation's lower
+	// bound certified the distance exceeds the threshold
+	// (internal/quant). Unlike the other filters this does not change
+	// any count in index.SearchStats — a quantize-pruned candidate is
+	// still charged as one computed distance, exactly as an abandoned
+	// DistanceUpTo call would be — so it is surfaced only here and in
+	// SearchTotals.FilteredByQuantized.
+	FilterQuantized
 )
 
 // String returns the snake-case name used in trace output.
@@ -89,6 +98,8 @@ func (f Filter) String() string {
 		return "path"
 	case FilterCascade:
 		return "cascade"
+	case FilterQuantized:
+		return "quantized"
 	}
 	return "unknown"
 }

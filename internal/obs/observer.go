@@ -35,6 +35,10 @@ type shard struct {
 	latency [numKinds]atomicLog2
 	dist    atomicLog2
 	search  atomicSearchStats
+	// quantPruned lives beside — not inside — the SearchStats mirror:
+	// the quantized pre-filter changes no per-query stat, so its count
+	// arrives through ObserveQuantPruned rather than Observe.
+	quantPruned atomic.Int64
 	// pad spaces shards a cache line apart so adjacent shards' hot
 	// counters do not false-share.
 	_ [64]byte
@@ -151,6 +155,13 @@ func (o *Observer) ObserveShard(i int, kind Kind, elapsed time.Duration, stats i
 	o.record(&o.shards[uint64(i)&o.mask], kind, elapsed, stats)
 }
 
+// ObserveQuantPruned records n exact evaluations skipped by the
+// quantized pre-filter. Safe for concurrent use; the count surfaces as
+// Snapshot.Search.FilteredByQuantized.
+func (o *Observer) ObserveQuantPruned(n int) {
+	o.shards[o.cursor.Load()&o.mask].quantPruned.Add(int64(n))
+}
+
 func (o *Observer) record(s *shard, kind Kind, elapsed time.Duration, stats index.SearchStats) {
 	s.queries[kind].Add(1)
 	s.latency[kind].add(int64(elapsed))
@@ -171,7 +182,9 @@ func (o *Observer) Snapshot() Snapshot {
 		snap.Range.Latency.Merge(s.latency[KindRange].snapshot())
 		snap.KNN.Latency.Merge(s.latency[KindKNN].snapshot())
 		snap.DistanceHist.Merge(s.dist.snapshot())
-		snap.Search.Add(s.search.snapshot())
+		st := s.search.snapshot()
+		st.FilteredByQuantized = s.quantPruned.Load()
+		snap.Search.Add(st)
 	}
 	snap.finalize()
 	return snap
@@ -188,7 +201,13 @@ type SearchTotals struct {
 	FilteredByD       int64 `json:"filtered_by_d"`
 	FilteredByPath    int64 `json:"filtered_by_path"`
 	FilteredByCascade int64 `json:"filtered_by_cascade"`
-	Computed          int64 `json:"computed"`
+	// FilteredByQuantized counts exact evaluations skipped by the
+	// quantized pre-filter (internal/quant). It has no SearchStats
+	// counterpart — pruned candidates are still charged to Computed so
+	// every other number is byte-identical with the filter on or off —
+	// and is fed through Observer.ObserveQuantPruned instead of Observe.
+	FilteredByQuantized int64 `json:"filtered_by_quantized"`
+	Computed            int64 `json:"computed"`
 	VantagePoints     int64 `json:"vantage_points"`
 	Results           int64 `json:"results"`
 	// Approximated counts queries whose answer was not certified
@@ -207,6 +226,7 @@ func (s *SearchTotals) Add(b SearchTotals) {
 	s.FilteredByD += b.FilteredByD
 	s.FilteredByPath += b.FilteredByPath
 	s.FilteredByCascade += b.FilteredByCascade
+	s.FilteredByQuantized += b.FilteredByQuantized
 	s.Computed += b.Computed
 	s.VantagePoints += b.VantagePoints
 	s.Results += b.Results
@@ -215,6 +235,8 @@ func (s *SearchTotals) Add(b SearchTotals) {
 }
 
 // AddStats accumulates a per-query index.SearchStats into s.
+// SearchStats has no quantized-prune field (see FilteredByQuantized),
+// so that total is untouched.
 func (s *SearchTotals) AddStats(b index.SearchStats) {
 	s.NodesVisited += int64(b.NodesVisited)
 	s.LeavesVisited += int64(b.LeavesVisited)

@@ -168,7 +168,21 @@ func New[T any](idx index.StatsIndex[T], codec Codec[T], opts Options) *Server[T
 	if opts.ExpvarName != "" {
 		obs.PublishExpvar(opts.ExpvarName, s.obs)
 	}
+	s.attachQuantRelay(idx)
 	return s
+}
+
+// attachQuantRelay registers the server's observer as the index's
+// quantize-prune relay, so pre-filter tallies — flushed on the
+// structure hosting the arenas and deliberately absent from the
+// per-query SearchStats qexec records — still reach /stats and expvar.
+// Must run before idx starts serving (construction, or reload before
+// the swap publishes); indexes without the hook serve unfiltered and
+// are skipped.
+func (s *Server[T]) attachQuantRelay(idx index.StatsIndex[T]) {
+	if h, ok := any(idx).(interface{ SetQuantObserver(*obs.Observer) }); ok {
+		h.SetQuantObserver(s.obs)
+	}
 }
 
 // SetReloader installs the snapshot loader behind POST /admin/reload.
@@ -455,6 +469,7 @@ func (s *Server[T]) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("reload failed, still serving previous index: %v", err)})
 		return
 	}
+	s.attachQuantRelay(idx)
 	s.swap.Store(idx)
 	writeJSON(w, http.StatusOK, map[string]any{"items": idx.Len(), "swaps": s.swap.Swaps()})
 }

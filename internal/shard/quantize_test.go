@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/codec"
+	"mvptree/internal/dataset"
+	"mvptree/internal/metric"
+	"mvptree/internal/mvp"
+	"mvptree/internal/obs"
+	"mvptree/internal/quant"
+)
+
+// TestEnableQuantizeAcrossSaveLoad pins the fan-out and the documented
+// lifecycle: arming the pre-filter changes no result, stat or counter
+// delta on the sharded index, and the arenas — not serialized by
+// SaveDir — are rebuilt by re-enabling on the loaded index, restoring
+// identical behavior.
+func TestEnableQuantizeAcrossSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 0))
+	items := dataset.UniformVectors(rng, 3000, 20)
+	queries := dataset.UniformQueries(rng, 10, 20)
+	be := MVP[[]float64](mvp.Options{Partitions: 3, LeafCapacity: 50, PathLength: 5})
+
+	distP := metric.NewCounter(metric.L2)
+	plain, _, err := NewWithStats(items, distP, be, Options{Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distQ := metric.NewCounter(metric.L2)
+	quantized, _, err := NewWithStats(items, distQ, be, Options{Shards: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quantized.EnableQuantize(quant.SQ8); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := quantized.SaveDir(dir, be, codec.EncodeVector); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir, metric.NewCounter[[]float64](metric.L2), be, codec.DecodeVector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.EnableQuantize(quant.SQ8); err != nil {
+		t.Fatal(err)
+	}
+
+	// The identity checks below hold vacuously if the filter never
+	// armed; the observer assertion after the loop proves it engaged on
+	// both the built and the loaded index (the prune tallies flow from
+	// the backends through the shard-level quant relay).
+	obQ, obL := obs.NewObserver(1), obs.NewObserver(1)
+	quantized.SetObserver(obQ)
+	loaded.SetObserver(obL)
+
+	for qi, q := range queries {
+		p0, q0 := distP.Count(), distQ.Count()
+		resP, sP := plain.RangeWithStats(q, 0.35)
+		resQ, sQ := quantized.RangeWithStats(q, 0.35)
+		resL, sL := loaded.RangeWithStats(q, 0.35)
+		if len(resP) != len(resQ) || len(resP) != len(resL) {
+			t.Fatalf("q%d: result counts differ: %d plain, %d quantized, %d loaded", qi, len(resP), len(resQ), len(resL))
+		}
+		if sP != sQ || sQ != sL {
+			t.Fatalf("q%d: stats differ:\nplain  %+v\nquant  %+v\nloaded %+v", qi, sP, sQ, sL)
+		}
+		if pd, qd := distP.Count()-p0, distQ.Count()-q0; pd != qd {
+			t.Fatalf("q%d: counter delta differs: %d plain vs %d quantized", qi, pd, qd)
+		}
+	}
+	if n := obQ.Snapshot().Search.FilteredByQuantized; n == 0 {
+		t.Fatal("built index: no quantize prunes reached the shard-level observer")
+	}
+	if n := obL.Snapshot().Search.FilteredByQuantized; n == 0 {
+		t.Fatal("loaded index: no quantize prunes reached the shard-level observer")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
+	"mvptree/internal/quant"
 )
 
 // Assignment selects how items are partitioned across shards. Both
@@ -334,6 +335,56 @@ func (x *Index[T]) EnableCascade(opts cascade.Options) error {
 		}
 	}
 	return nil
+}
+
+// EnableQuantize arms the quantized lower-bound pre-filter
+// (internal/quant) on every shard: each shard encodes its own leaf
+// vectors into a companion arena consulted before the exact kernel.
+// Results, stats and counter deltas are byte-identical with the filter
+// on or off, shard by shard; shards whose metric has no quantized
+// shape are left unfiltered silently, exactly as the per-structure
+// method behaves. It errors if the backend's structure does not expose
+// EnableQuantize (both built-in backends, mvp and vptree, do). Not
+// synchronized with in-flight queries — arm before serving — and the
+// arenas are not serialized by SaveDir: re-enable after LoadDir.
+func (x *Index[T]) EnableQuantize(mode quant.Mode) error {
+	for i, s := range x.shards {
+		q, ok := s.(interface {
+			EnableQuantize(quant.Mode) error
+		})
+		if !ok {
+			return fmt.Errorf("shard %d: backend does not support the quantized pre-filter", i)
+		}
+		if err := q.EnableQuantize(mode); err != nil {
+			return fmt.Errorf("shard %d: enable quantize: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SetObserver attaches the Observer to the index's own hooks (logical
+// whole-index queries) and additionally registers it as each backend's
+// quantize-prune relay: quantized pre-filter tallies are flushed on the
+// backend hosting the arenas and deliberately bypass the per-query
+// SearchStats the shard layer merges, so without the relay they would
+// never reach a shard-level Observer (or /stats in production). Only
+// the prune channel is forwarded — backends do not record their own
+// query spans into o, so nothing double counts.
+func (x *Index[T]) SetObserver(o *obs.Observer) {
+	x.Hooks.SetObserver(o)
+	x.SetQuantObserver(o)
+}
+
+// SetQuantObserver fans the quantize-prune relay out to every shard
+// (overriding the promoted Hooks method, whose index-level relay no
+// search path would flush). serve attaches its observer through this
+// hook so sharded daemons report filtered_by_quantized.
+func (x *Index[T]) SetQuantObserver(o *obs.Observer) {
+	for _, s := range x.shards {
+		if h, ok := s.(interface{ SetQuantObserver(*obs.Observer) }); ok {
+			h.SetQuantObserver(o)
+		}
+	}
 }
 
 // AttachShardObservers gives every shard its own obs.Observer (sharded

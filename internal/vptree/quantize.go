@@ -1,0 +1,129 @@
+package vptree
+
+import (
+	"fmt"
+
+	"mvptree/internal/build"
+	"mvptree/internal/metric"
+	"mvptree/internal/quant"
+)
+
+// EnableQuantize builds the quantized pre-filter for the tree: every
+// leaf's item vectors are encoded into a companion arena (SQ8 byte
+// codes or float32 copies, internal/quant) that Range and KNN leaf
+// scans consult before the exact kernel — a candidate whose quantized
+// lower bound certifies its distance exceeds the query threshold skips
+// the float64 evaluation. The skip is charged to the distance counter
+// and to SearchStats.Computed exactly as the abandoned kernel call
+// would have been, so results, order, per-query stats and counter
+// deltas are byte-identical with the filter on or off. Skipped
+// evaluations surface as FilterQuantized trace events and in the
+// Observer's filtered_by_quantized total.
+//
+// The filter applies only to []float64 items under a metric whose
+// kernel registered a quantized lower-bound shape
+// (metric.RegisterQuantized); any other tree, and any dataset
+// quant.Build rejects, is left unfiltered silently. mode Off tears the
+// filter down.
+//
+// EnableQuantize is not synchronized with in-flight queries: arm the
+// filter before serving. The arenas are not serialized by Save;
+// re-enable after Load. Intra-query parallel range (RangeParallel)
+// does not consult the filter.
+func (t *Tree[T]) EnableQuantize(mode quant.Mode) error {
+	if mode == quant.Off {
+		t.disableQuantize()
+		return nil
+	}
+	if mode != quant.SQ8 && mode != quant.F32 {
+		return fmt.Errorf("vptree: unknown quantize mode %v", mode)
+	}
+	if t.root == nil {
+		return nil
+	}
+	kind := t.dist.QuantKind()
+	if kind == metric.QuantNone {
+		return nil
+	}
+	var leaves []*node[T]
+	var groups [][]T
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			if len(n.items) > 0 {
+				leaves = append(leaves, n)
+				groups = append(groups, n.items)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	q, ok := build.QuantizeVectors(groups, kind, mode)
+	if !ok {
+		return nil
+	}
+	t.disableQuantize()
+	for i, n := range leaves {
+		if mode == quant.SQ8 {
+			n.qcodes = q.Codes[i]
+		} else {
+			n.qf32 = q.F32s[i]
+		}
+	}
+	t.qset = q.Set
+	return nil
+}
+
+// disableQuantize drops the filter state so pruning stops immediately.
+func (t *Tree[T]) disableQuantize() {
+	if t.qset == nil {
+		return
+	}
+	t.qset = nil
+	var walk func(n *node[T])
+	walk = func(n *node[T]) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			n.qcodes, n.qf32 = nil, nil
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// Quantized reports the trained pre-filter, nil unless EnableQuantize
+// armed one.
+func (t *Tree[T]) Quantized() *quant.Set { return t.qset }
+
+// prepareQuant arms the scratch's pre-filter state for one query
+// (quant stays off for non-vector queries; T is erased here).
+func (t *Tree[T]) prepareQuant(sc *knnScratch[T], q T) {
+	sc.quantOn = false
+	sc.quantPruned = 0
+	if t.qset == nil {
+		return
+	}
+	qv, ok := any(q).([]float64)
+	if !ok {
+		return
+	}
+	t.qset.Prepare(&sc.qprep, qv)
+	sc.quantOn = true
+}
+
+// finishQuant flushes the query's skipped-evaluation tally to the
+// Observer.
+func (t *Tree[T]) finishQuant(sc *knnScratch[T]) {
+	t.ObserveQuantPruned(sc.quantPruned)
+}

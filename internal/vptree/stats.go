@@ -7,6 +7,7 @@ import (
 	"mvptree/internal/heapx"
 	"mvptree/internal/index"
 	"mvptree/internal/obs"
+	"mvptree/internal/quant"
 )
 
 // SearchStats breaks a vp-tree range search down by stage, the
@@ -20,10 +21,18 @@ import (
 type SearchStats = index.SearchStats
 
 // knnScratch is the pooled best-first traversal state, so steady-state
-// KNN allocates nothing but the result slice.
+// KNN allocates nothing but the result slice. Range queries borrow it
+// too when the quantized pre-filter is armed (its per-query Prepared
+// table lives here).
 type knnScratch[T any] struct {
 	best  *heapx.KBest[T]
 	queue heapx.NodeQueue[*node[T]]
+	// Quantized pre-filter state, re-armed per query by prepareQuant
+	// (quantOn guards staleness across pool reuse); quantPruned tallies
+	// the query's skipped exact evaluations for the Observer.
+	qprep       quant.Prepared
+	quantOn     bool
+	quantPruned int
 }
 
 func (t *Tree[T]) getScratch() *knnScratch[T] {
@@ -34,6 +43,8 @@ func (t *Tree[T]) getScratch() *knnScratch[T] {
 }
 
 func (t *Tree[T]) putScratch(sc *knnScratch[T]) {
+	sc.quantOn = false
+	sc.qprep.Release()
 	sc.queue.Reset()
 	if sc.best != nil {
 		sc.best.Reset(1) // clears retained neighbors; re-armed per query
@@ -62,23 +73,35 @@ func (t *Tree[T]) RangeWithStats(q T, r float64) ([]T, SearchStats) {
 	if t.cas != nil {
 		cc = t.cas.Get()
 	}
-	t.rangeNodeCas(t.root, q, r, cc, &out, &s)
+	// The range traversal only needs scratch for the quantized
+	// pre-filter's per-query state; without it the path stays
+	// scratch-free as before.
+	var sc *knnScratch[T]
+	if t.qset != nil {
+		sc = t.getScratch()
+		t.prepareQuant(sc, q)
+	}
+	t.rangeNodeCas(t.root, q, r, cc, sc, &out, &s)
 	if t.cas != nil {
 		t.cas.Put(cc)
+	}
+	if sc != nil {
+		t.finishQuant(sc)
+		t.putScratch(sc)
 	}
 	s.Results = len(out)
 	span.Done(&s)
 	return out, s
 }
 
-// rangeNodeStats is the uncascaded traversal, kept as the entry point
-// for the intra-query parallel search (whose workers cannot share a
-// single-owner cascade cache).
+// rangeNodeStats is the uncascaded, unquantized traversal, kept as the
+// entry point for the intra-query parallel search (whose workers
+// cannot share a single-owner cascade cache or prepared filter state).
 func (t *Tree[T]) rangeNodeStats(n *node[T], q T, r float64, out *[]T, s *SearchStats) {
-	t.rangeNodeCas(n, q, r, nil, out, s)
+	t.rangeNodeCas(n, q, r, nil, nil, out, s)
 }
 
-func (t *Tree[T]) rangeNodeCas(n *node[T], q T, r float64, cc *cascade.Cache, out *[]T, s *SearchStats) {
+func (t *Tree[T]) rangeNodeCas(n *node[T], q T, r float64, cc *cascade.Cache, sc *knnScratch[T], out *[]T, s *SearchStats) {
 	if n == nil {
 		return
 	}
@@ -92,15 +115,28 @@ func (t *Tree[T]) rangeNodeCas(n *node[T], q T, r float64, cc *cascade.Cache, ou
 		// stores no leaf distances): a candidate whose bound over the
 		// registered vantage distances exceeds r cannot be a result.
 		kernel := t.dist.Kernel()
+		// Quantized pre-filter state (quantize.go): a pruned candidate
+		// still joins computed — the skip stands in for an abandoned
+		// kernel call — so every stat and counter below is unchanged.
+		useQuant := sc != nil && sc.quantOn && (n.qcodes != nil || n.qf32 != nil)
+		var qset *quant.Set
+		var qprep *quant.Prepared
+		if useQuant {
+			qset, qprep = t.qset, &sc.qprep
+		}
 		if cc != nil && cc.Registered() > 0 {
 			cas, base := t.cas, n.casBase
-			filtered, computed := 0, 0
+			filtered, filteredQuant, computed := 0, 0, 0
 			for i, it := range n.items {
 				if cas.LowerBound(cc, base+int32(i)) > r {
 					filtered++
 					continue
 				}
 				computed++
+				if useQuant && qset.PruneAt(qprep, n.qcodes, n.qf32, i, r) {
+					filteredQuant++
+					continue
+				}
 				if kernel(q, it, r) <= r {
 					*out = append(*out, it)
 				}
@@ -109,15 +145,26 @@ func (t *Tree[T]) rangeNodeCas(n *node[T], q T, r float64, cc *cascade.Cache, ou
 			s.Candidates += len(n.items)
 			s.Computed += computed
 			s.FilteredByCascade += filtered
+			if sc != nil {
+				sc.quantPruned += filteredQuant
+			}
 			if filtered > 0 {
 				t.TracePrune(obs.FilterCascade, filtered)
+			}
+			if filteredQuant > 0 {
+				t.TracePrune(obs.FilterQuantized, filteredQuant)
 			}
 			if computed > 0 {
 				t.TraceDistance(computed)
 			}
 			return
 		}
-		for _, it := range n.items {
+		filteredQuant := 0
+		for i, it := range n.items {
+			if useQuant && qset.PruneAt(qprep, n.qcodes, n.qf32, i, r) {
+				filteredQuant++
+				continue
+			}
 			if kernel(q, it, r) <= r {
 				*out = append(*out, it)
 			}
@@ -125,6 +172,12 @@ func (t *Tree[T]) rangeNodeCas(n *node[T], q T, r float64, cc *cascade.Cache, ou
 		t.dist.Add(int64(len(n.items)))
 		s.Candidates += len(n.items)
 		s.Computed += len(n.items)
+		if sc != nil {
+			sc.quantPruned += filteredQuant
+		}
+		if filteredQuant > 0 {
+			t.TracePrune(obs.FilterQuantized, filteredQuant)
+		}
 		if len(n.items) > 0 {
 			t.TraceDistance(len(n.items))
 		}
@@ -149,7 +202,7 @@ func (t *Tree[T]) rangeNodeCas(n *node[T], q T, r float64, cc *cascade.Cache, ou
 	for g, c := range n.children {
 		lo, hi := shellBounds(n.cutoffs, g)
 		if d+r >= lo && d-r <= hi {
-			t.rangeNodeCas(c, q, r, cc, out, s)
+			t.rangeNodeCas(c, q, r, cc, sc, out, s)
 		} else {
 			s.ShellsPruned++
 			t.TracePrune(obs.FilterShell, 1)
@@ -183,6 +236,7 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 		return nil, s
 	}
 	sc := t.getScratch()
+	t.prepareQuant(sc, q)
 	if sc.best == nil {
 		sc.best = heapx.NewKBest[T](k)
 	} else {
@@ -228,9 +282,18 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 			// The cascade lower bound filters candidates the heap would
 			// reject anyway: a bound with !Accepts (or past the external
 			// τ) proves the true distance would be rejected too.
+			// Quantized pre-filter state (quantize.go): a pruned
+			// candidate still joins computed, standing in for an
+			// abandoned kernel call.
+			useQuant := sc.quantOn && (n.qcodes != nil || n.qf32 != nil)
+			var qset *quant.Set
+			var qprep *quant.Prepared
+			if useQuant {
+				qset, qprep = t.qset, &sc.qprep
+			}
 			if cc != nil && cc.Registered() > 0 {
 				cas, base := t.cas, n.casBase
-				filtered, computed := 0, 0
+				filtered, filteredQuant, computed := 0, 0, 0
 				for i, it := range n.items {
 					if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) || clb >= extTau {
 						filtered++
@@ -238,6 +301,10 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 					}
 					computed++
 					cb := min(best.Threshold(), extTau)
+					if useQuant && qset.PruneAt(qprep, n.qcodes, n.qf32, i, cb) {
+						filteredQuant++
+						continue
+					}
 					if d := kernel(q, it, cb); d <= cb {
 						best.Push(it, d)
 					}
@@ -249,16 +316,25 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 				s.Candidates += len(n.items)
 				s.Computed += computed
 				s.FilteredByCascade += filtered
+				sc.quantPruned += filteredQuant
 				if filtered > 0 {
 					t.TracePrune(obs.FilterCascade, filtered)
+				}
+				if filteredQuant > 0 {
+					t.TracePrune(obs.FilterQuantized, filteredQuant)
 				}
 				if computed > 0 {
 					t.TraceDistance(computed)
 				}
 				continue
 			}
-			for _, it := range n.items {
+			filteredQuant := 0
+			for i, it := range n.items {
 				cb := min(best.Threshold(), extTau)
+				if useQuant && qset.PruneAt(qprep, n.qcodes, n.qf32, i, cb) {
+					filteredQuant++
+					continue
+				}
 				if d := kernel(q, it, cb); d <= cb {
 					best.Push(it, d)
 				}
@@ -269,6 +345,10 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 			t.dist.Add(int64(len(n.items)))
 			s.Candidates += len(n.items)
 			s.Computed += len(n.items)
+			sc.quantPruned += filteredQuant
+			if filteredQuant > 0 {
+				t.TracePrune(obs.FilterQuantized, filteredQuant)
+			}
 			if len(n.items) > 0 {
 				t.TraceDistance(len(n.items))
 			}
@@ -318,6 +398,7 @@ func (t *Tree[T]) KNNWithStatsBound(q T, k int, ext index.KNNBound) ([]index.Nei
 	if t.cas != nil {
 		t.cas.Put(cc)
 	}
+	t.finishQuant(sc)
 	t.putScratch(sc)
 	s.Results = len(out)
 	span.Done(&s)

@@ -28,6 +28,7 @@ import (
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
+	"mvptree/internal/quant"
 )
 
 // Build is the shared construction options (Workers, Seed) every index
@@ -78,6 +79,15 @@ type Options struct {
 	// serialized form are unaffected; silently ignored for non-vector
 	// item types.
 	FlatVectors bool
+	// Quantize, for []float64 items under a metric with a registered
+	// quantized lower-bound shape, arms the quantized leaf pre-filter
+	// (internal/quant): candidates whose quantized lower bound
+	// certifies d > threshold skip the exact float64 evaluation.
+	// Results, order, SearchStats and counter deltas are byte-identical
+	// on or off; silently ignored when the items or metric cannot be
+	// quantized. Equivalent to calling EnableQuantize after
+	// construction.
+	Quantize quant.Mode
 }
 
 func (o *Options) setDefaults() {
@@ -125,6 +135,9 @@ type Tree[T any] struct {
 	// cas is the cross-query bound cascade, nil unless EnableCascade
 	// built one; see cascade.go.
 	cas *cascade.Filter[T]
+	// qset is the trained quantized pre-filter, nil unless
+	// EnableQuantize built one; see quantize.go.
+	qset *quant.Set
 }
 
 var _ index.StatsIndex[int] = (*Tree[int])(nil)
@@ -150,6 +163,12 @@ type node[T any] struct {
 	// leaf's first item.
 	cas     int32
 	casBase int32
+
+	// Quantized companion views of items (exactly one non-nil when the
+	// tree's qset is armed): len(items)·dim entries, item i's block at
+	// i·dim. See quantize.go.
+	qcodes []byte
+	qf32   []float32
 }
 
 // setDerived recomputes the cached abandonment bound from the stored
@@ -186,6 +205,11 @@ func NewWithStats[T any](items []T, dist *metric.Counter[T], opts Options) (*Tre
 	t.buildStats = b.Finish()
 	if opts.FlatVectors {
 		t.flattenLeafVectors()
+	}
+	if opts.Quantize != quant.Off {
+		if err := t.EnableQuantize(opts.Quantize); err != nil {
+			return nil, build.Stats{}, err
+		}
 	}
 	return t, t.buildStats, nil
 }

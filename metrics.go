@@ -20,6 +20,15 @@ func init() {
 	metric.RegisterBounded(Canberra, metric.CanberraUpTo)
 	metric.RegisterBounded(EditDistance, metric.EditUpTo)
 	metric.RegisterBounded(HammingDistance, metric.HammingUpTo)
+	metric.RegisterBounded(Angular, metric.AngularUpTo)
+	metric.RegisterBounded(Cosine, metric.L2UpTo)
+
+	// Quantized lower-bound shapes (WithQuantized) for the same
+	// wrappers; Cosine is L2 on the caller's pre-normalized vectors.
+	metric.RegisterQuantized(L1, metric.QuantL1)
+	metric.RegisterQuantized(L2, metric.QuantL2)
+	metric.RegisterQuantized(LInf, metric.QuantLInf)
+	metric.RegisterQuantized(Cosine, metric.QuantL2)
 }
 
 // BoundedDistanceFunc computes d(a,b) with permission to stop early once
@@ -88,6 +97,39 @@ func ImageL2(a, b *Image) float64 { return pgm.L2(a, b) }
 // metric form of cosine similarity. Scale-invariant; panics on zero
 // vectors. A metric on normalized vectors, a pseudometric otherwise.
 func Angular(a, b []float64) float64 { return metric.Angular(a, b) }
+
+// Cosine is the chord metric for cosine similarity: the Euclidean
+// distance between vectors the caller has already normalized to unit
+// length (NormalizeL2 / NormalizeL2Set). On unit vectors it equals
+// √(2·(1−cos θ)) — monotone in the angle, so range and kNN results
+// rank identically to Angular — while remaining a true metric that
+// supports early abandoning and the quantized pre-filter, which
+// Angular's kernel structurally cannot.
+func Cosine(a, b []float64) float64 { return metric.Cosine(a, b) }
+
+// NormalizeL2 scales v to unit Euclidean length in place and returns
+// it (zero and non-finite vectors are returned unchanged), the form
+// Cosine expects.
+func NormalizeL2(v []float64) []float64 { return metric.NormalizeL2(v) }
+
+// NormalizeL2Set normalizes every vector in place and returns the
+// slice.
+func NormalizeL2Set(vs [][]float64) [][]float64 { return metric.NormalizeL2Set(vs) }
+
+// RegisterQuantized declares that exact (a top-level []float64 metric
+// function) admits the quantized lower-bound shape kind, so indexes
+// built over it can arm the WithQuantized pre-filter. The built-in
+// L1/L2/LInf/Cosine are pre-registered.
+func RegisterQuantized(exact DistanceFunc[[]float64], kind metric.QuantKind) {
+	metric.RegisterQuantized(exact, kind)
+}
+
+// Quantized lower-bound shapes for RegisterQuantized.
+const (
+	QuantL1   = metric.QuantL1
+	QuantL2   = metric.QuantL2
+	QuantLInf = metric.QuantLInf
+)
 
 // Jaccard is the Jaccard distance between two sets given as sorted,
 // duplicate-free string slices (see NormalizeSet).

@@ -112,6 +112,9 @@ func New[T any](items []T, dist DistanceFunc[T], opts Options, ixOpts ...IndexOp
 	if err := cfg.enableCascade(t); err != nil {
 		return nil, err
 	}
+	if err := cfg.enableQuantize(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -124,6 +127,9 @@ func NewWithStats[T any](items []T, dist DistanceFunc[T], opts Options, ixOpts .
 	}
 	cfg.install(t)
 	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
+	if err := cfg.enableQuantize(t); err != nil {
 		return nil, bs, err
 	}
 	return t, bs, nil
@@ -154,6 +160,9 @@ func NewVP[T any](items []T, dist DistanceFunc[T], opts VPOptions, ixOpts ...Ind
 	if err := cfg.enableCascade(t); err != nil {
 		return nil, err
 	}
+	if err := cfg.enableQuantize(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -166,6 +175,9 @@ func NewVPWithStats[T any](items []T, dist DistanceFunc[T], opts VPOptions, ixOp
 	}
 	cfg.install(t)
 	if err := cfg.enableCascade(t); err != nil {
+		return nil, bs, err
+	}
+	if err := cfg.enableQuantize(t); err != nil {
 		return nil, bs, err
 	}
 	return t, bs, nil
@@ -316,11 +328,14 @@ func NewPivotTableWithStats[T any](items []T, dist DistanceFunc[T], opts PivotOp
 type LinearScan[T any] = linear.Scan[T]
 
 // NewLinear builds a linear scan over items with a fresh internal
-// Counter unless WithCounter overrides it.
+// Counter unless WithCounter overrides it. WithQuantized is honored
+// (a quantizable dataset never errors here, so the error is dropped);
+// WithCascade is ignored — a scan has no vantage distances to reuse.
 func NewLinear[T any](items []T, dist DistanceFunc[T], ixOpts ...IndexOption[T]) *LinearScan[T] {
 	cfg := resolveIndexConfig(dist, ixOpts)
 	s := linear.New(items, cfg.counter)
 	cfg.install(s)
+	_ = cfg.enableQuantize(s)
 	return s
 }
 

@@ -9,6 +9,7 @@ import (
 	"mvptree/internal/index"
 	"mvptree/internal/metric"
 	"mvptree/internal/obs"
+	"mvptree/internal/quant"
 )
 
 // StatsIndex is the instrumented query interface implemented by every
@@ -68,8 +69,9 @@ type QueryKind = obs.Kind
 // PruneFilter identifies which filtering mechanism rejected candidates
 // in a Tracer OnFilterPrune event: the shell bounds of an internal
 // node, the vantage-point distance bound (the paper's Lemma 1), the
-// leaf PATH bound (Lemma 2), or the cross-query bound cascade
-// (WithCascade).
+// leaf PATH bound (Lemma 2), the cross-query bound cascade
+// (WithCascade), or the quantized lower-bound pre-filter
+// (WithQuantized).
 type PruneFilter = obs.Filter
 
 // Query kinds and prune filters.
@@ -77,10 +79,11 @@ const (
 	KindRange = obs.KindRange
 	KindKNN   = obs.KindKNN
 
-	FilterShell   = obs.FilterShell
-	FilterD       = obs.FilterD
-	FilterPath    = obs.FilterPath
-	FilterCascade = obs.FilterCascade
+	FilterShell     = obs.FilterShell
+	FilterD         = obs.FilterD
+	FilterPath      = obs.FilterPath
+	FilterCascade   = obs.FilterCascade
+	FilterQuantized = obs.FilterQuantized
 )
 
 // PublishExpvar publishes the observer's Snapshot under name in the
@@ -104,6 +107,7 @@ type indexConfig[T any] struct {
 	observer *obs.Observer
 	tracer   obs.Tracer
 	cascade  *cascade.Options
+	quantize quant.Mode
 }
 
 // CascadeOptions tune the cross-query bound cascade enabled with
@@ -149,6 +153,37 @@ func WithTracer[T any](tr Tracer) IndexOption[T] {
 // vantage distances to reuse.
 func WithCascade[T any](opts CascadeOptions) IndexOption[T] {
 	return func(cfg *indexConfig[T]) { cfg.cascade = &opts }
+}
+
+// QuantizeMode selects the companion representation of the quantized
+// lower-bound pre-filter: QuantizeOff, QuantizeSQ8 (one byte per
+// coordinate) or QuantizeF32 (one float32 per coordinate).
+type QuantizeMode = quant.Mode
+
+// Quantize modes for WithQuantized.
+const (
+	QuantizeOff = quant.Off
+	QuantizeSQ8 = quant.SQ8
+	QuantizeF32 = quant.F32
+)
+
+// ParseQuantizeMode maps "off", "sq8" or "f32" to the QuantizeMode.
+func ParseQuantizeMode(s string) (QuantizeMode, error) { return quant.ParseMode(s) }
+
+// WithQuantized arms the quantized lower-bound pre-filter on the built
+// index: item vectors are encoded once into a small companion arena
+// (SQ8 byte codes or float32 copies) that leaf scans consult before
+// the exact float64 kernel, skipping candidates whose quantized lower
+// bound certifies rejection. Results, order, SearchStats and distance
+// counts are byte-identical with the filter on or off — the win is
+// memory bandwidth, which dominates high-dimensional scans. Supported
+// by New, NewVP and NewLinear; the filter arms only for []float64
+// items under a metric with a registered quantized shape
+// (RegisterQuantized) and silently stays off otherwise. Skipped
+// evaluations surface as FilterQuantized trace events and in Snapshot
+// search totals as filtered_by_quantized.
+func WithQuantized[T any](mode QuantizeMode) IndexOption[T] {
+	return func(cfg *indexConfig[T]) { cfg.quantize = mode }
 }
 
 // resolveIndexConfig applies the options, defaulting the counter to a
@@ -204,4 +239,28 @@ func (cfg indexConfig[T]) enableCascade(h any) error {
 		return errInternalNotCascadable
 	}
 	return c.EnableCascade(*cfg.cascade)
+}
+
+// quantizable is implemented by every structure supporting the
+// quantized pre-filter.
+type quantizable interface {
+	EnableQuantize(quant.Mode) error
+}
+
+// errInternalNotQuantizable guards against a constructor wiring
+// enableQuantize to a structure that lacks EnableQuantize; it
+// indicates a bug in this package, not caller error.
+var errInternalNotQuantizable = errors.New("mvptree: internal error: structure does not support WithQuantized")
+
+// enableQuantize arms the pre-filter when WithQuantized was given.
+// Called by the constructors of quantize-capable structures only.
+func (cfg indexConfig[T]) enableQuantize(h any) error {
+	if cfg.quantize == quant.Off {
+		return nil
+	}
+	q, ok := h.(quantizable)
+	if !ok {
+		return errInternalNotQuantizable
+	}
+	return q.EnableQuantize(cfg.quantize)
 }
