@@ -28,6 +28,19 @@
 //     on rows come from the same process and machine, so the
 //     comparison needs no cross-machine baseline.
 //
+//   - -mode batch asserts, inside one `mvpbench -batchjson` report (a
+//     fresh run or the committed BENCH_batch.json), that shared-
+//     traversal batch execution actually pays: on the guarded
+//     structure's range workload (mvpt, l2, 64-query group), the best
+//     batched ns/query must beat the sequential batch-size-1 row of
+//     the same run by at least the threshold (default 0.20 = batched
+//     ≥ 20% faster). Both rows come from the same process and machine,
+//     so the comparison needs no cross-machine baseline. kNN rows are
+//     printed for humans but not gated: best-first frontiers diverge,
+//     so lockstep sharing there is workload-dependent (parity on the
+//     mvp-tree), while the range DFS shares its prefix by
+//     construction.
+//
 //   - -mode approx compares a fresh `mvpbench -approxjson` report
 //     against the approxbench section of the committed
 //     BENCH_approx.json baseline: for every (structure, dim, mode,
@@ -78,10 +91,11 @@ type baselineFile struct {
 	Cascadebench   experiments.CascadeBenchReport `json:"cascadebench"`
 	Approxbench    experiments.ApproxBenchReport  `json:"approxbench"`
 	Quantbench     experiments.QuantBenchReport   `json:"quantbench"`
+	Batchbench     experiments.BatchBenchReport   `json:"batchbench"`
 }
 
 func main() {
-	mode := flag.String("mode", "query", "gate to run: query (wall-clock serving cost), cascade (cascade-on distance counts) or approx (approximate-query recall)")
+	mode := flag.String("mode", "query", "gate to run: query (wall-clock serving cost), cascade (cascade-on distance counts), approx (approximate-query recall), quant (quantized pre-filter win) or batch (shared-traversal batching win)")
 	baselinePath := flag.String("baseline", "", "committed baseline artifact (default BENCH_query.json, BENCH_cascade.json or BENCH_approx.json per mode)")
 	freshPath := flag.String("fresh", "", "fresh report written by mvpbench -queryjson / -cascadejson / -approxjson (required)")
 	structure := flag.String("structure", "mvpt(", "structure-name prefix to guard (query mode)")
@@ -93,7 +107,7 @@ func main() {
 			thresholdSet = true
 		}
 	})
-	if *freshPath == "" && *mode != "quant" {
+	if *freshPath == "" && *mode != "quant" && *mode != "batch" {
 		fmt.Fprintln(os.Stderr, "benchguard: -fresh is required")
 		os.Exit(2)
 	}
@@ -140,8 +154,21 @@ func main() {
 			path = "BENCH_quant.json"
 		}
 		quantGate(path, *structure, t)
+	case "batch":
+		// Like quant, the batch gate is self-contained within one
+		// report; its threshold is the required speedup fraction, not an
+		// allowed regression, and the flag default (0.20) is already the
+		// gate's target.
+		path := *freshPath
+		if path == "" {
+			path = *baselinePath
+		}
+		if path == "" {
+			path = "BENCH_batch.json"
+		}
+		batchGate(path, *structure, *threshold)
 	default:
-		fmt.Fprintf(os.Stderr, "benchguard: unknown -mode %q (want query, cascade, approx or quant)\n", *mode)
+		fmt.Fprintf(os.Stderr, "benchguard: unknown -mode %q (want query, cascade, approx, quant or batch)\n", *mode)
 		os.Exit(2)
 	}
 }
@@ -369,6 +396,85 @@ func quantGate(path, structure string, required float64) {
 	}
 	if !met {
 		fmt.Fprintf(os.Stderr, "benchguard: FAIL — no guarded workload cut range or knn ns/op by >= %.0f%% (%s)\n", required*100, path)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+// batchGate asserts shared-traversal batching's win inside one report:
+// the guarded structure's best batched range ns/query must beat its
+// sequential (batch-size-1) row by at least `required`. kNN rows are
+// reported but not gated — lockstep sharing under diverging best-first
+// frontiers is workload-dependent, and the batch layer's contract there
+// is byte-identity at no required speedup.
+func batchGate(path, structure string, required float64) {
+	// Accept both the committed artifact (report nested under
+	// "batchbench") and a bare mvpbench -batchjson report.
+	var base baselineFile
+	if err := readJSON(path, &base); err != nil {
+		fatal(err)
+	}
+	rep := base.Batchbench
+	if len(rep.Rows) == 0 {
+		if err := readJSON(path, &rep); err != nil {
+			fatal(err)
+		}
+	}
+	if len(rep.Rows) == 0 {
+		fatal(fmt.Errorf("%s: no batchbench rows", path))
+	}
+
+	type cell struct {
+		seq, best float64
+		bestB     int
+	}
+	cells := make(map[string]*cell)
+	var modes []string
+	for i := range rep.Rows {
+		r := &rep.Rows[i]
+		if !strings.HasPrefix(r.Structure, structure) {
+			continue
+		}
+		c := cells[r.Mode]
+		if c == nil {
+			c = &cell{}
+			cells[r.Mode] = c
+			modes = append(modes, r.Mode)
+		}
+		if r.BatchSize == 1 {
+			c.seq = r.NsPerQuery
+		} else if c.best == 0 || r.NsPerQuery < c.best {
+			c.best, c.bestB = r.NsPerQuery, r.BatchSize
+		}
+	}
+	if len(modes) == 0 {
+		fatal(fmt.Errorf("%s: no batchbench rows with structure prefix %q", path, structure))
+	}
+	ok := true
+	for _, mode := range modes {
+		c := cells[mode]
+		if c.seq <= 0 || c.best <= 0 {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: incomplete sequential/batched rows, skipping\n", mode)
+			if mode == "range" {
+				ok = false
+			}
+			continue
+		}
+		speedup := c.seq / c.best
+		status := "reported only"
+		if mode == "range" {
+			if speedup >= 1+required {
+				status = "MEETS TARGET"
+			} else {
+				status = fmt.Sprintf("BELOW TARGET (< %.2fx)", 1+required)
+				ok = false
+			}
+		}
+		fmt.Printf("%-8s seq %10.0f ns/query   best batched %10.0f ns/query (B=%d)   %5.2fx   %s\n",
+			mode, c.seq, c.best, c.bestB, speedup, status)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — batched range execution must be >= %.0f%% faster than sequential (%s)\n", required*100, path)
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: PASS")

@@ -79,6 +79,7 @@ func run(out io.Writer, args []string) error {
 		cascadeJSON  = fs.String("cascadejson", "", "write the cascadebench experiment's distance-count report as JSON to this file (adds the cascadebench experiment if not selected)")
 		approxJSON   = fs.String("approxjson", "", "write the approxbench experiment's recall-vs-cost report as JSON to this file (adds the approxbench experiment if not selected)")
 		quantJSON    = fs.String("quantjson", "", "write the quantbench experiment's quantized pre-filter wall-time report as JSON to this file (adds the quantbench experiment if not selected)")
+		batchJSON    = fs.String("batchjson", "", "write the batchbench experiment's shared-traversal batching report as JSON to this file (adds the batchbench experiment if not selected)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 		csv          = fs.Bool("csv", false, "emit tables and histograms as CSV")
@@ -179,7 +180,7 @@ func run(out io.Writer, args []string) error {
 	if *experiment == "all" {
 		ids = []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
 			"claims", "ablation-p", "ablation-k", "ablation-sv2", "ablation-v",
-			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench", "cascadebench", "approxbench", "quantbench"}
+			"knn", "structures", "words", "build", "approx", "filters", "telemetry", "querybench", "shardbench", "cascadebench", "approxbench", "quantbench", "batchbench"}
 	}
 	if *buildJSON != "" && !containsID(ids, "build") {
 		ids = append(ids, "build")
@@ -202,8 +203,11 @@ func run(out io.Writer, args []string) error {
 	if *quantJSON != "" && !containsID(ids, "quantbench") {
 		ids = append(ids, "quantbench")
 	}
+	if *batchJSON != "" && !containsID(ids, "batchbench") {
+		ids = append(ids, "batchbench")
+	}
 	for _, id := range ids {
-		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON, *cascadeJSON, *approxJSON, *quantJSON); err != nil {
+		if err := runOne(out, strings.TrimSpace(id), cfg, *csv, *buildJSON, *obsJSON, *queryJSON, *shardJSON, *cascadeJSON, *approxJSON, *quantJSON, *batchJSON); err != nil {
 			return err
 		}
 	}
@@ -310,7 +314,15 @@ func writeQuantJSON(path string, rep *experiments.QuantBenchReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON, cascadeJSON, approxJSON, quantJSON string) error {
+func writeBatchJSON(path string, rep *experiments.BatchBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSON, obsJSON, queryJSON, shardJSON, cascadeJSON, approxJSON, quantJSON, batchJSON string) error {
 	start := time.Now()
 	if !csv {
 		fmt.Fprintf(out, "== %s ==\n", describe(id))
@@ -429,6 +441,15 @@ func runOne(out io.Writer, id string, cfg experiments.Config, csv bool, buildJSO
 		if err == nil && quantJSON != "" {
 			err = writeQuantJSON(quantJSON, rep)
 		}
+	case "batchbench":
+		var rep *experiments.BatchBenchReport
+		rep, err = experiments.BatchBenchStudy(cfg)
+		if err == nil {
+			err = experiments.WriteBatchBench(out, rep)
+		}
+		if err == nil && batchJSON != "" {
+			err = writeBatchJSON(batchJSON, rep)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -468,6 +489,7 @@ func describe(id string) string {
 		"cascadebench": "extension: cross-query bound cascade, distance counts off vs on",
 		"approxbench":  "extension: approximate & budgeted kNN — recall vs distance cost across dimensions",
 		"quantbench":   "extension: quantized lower-bound pre-filter — wall time off vs sq8/f32",
+		"batchbench":   "extension: shared-traversal batch execution — wall time per query vs batch size",
 	}
 	if d, ok := descriptions[id]; ok {
 		return d

@@ -94,6 +94,7 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 		partitions = fs.Int("partitions", 3, "mvp-tree partitions per vantage point")
 		pathLen    = fs.Int("pathlen", 5, "mvp-tree retained path length")
 		maxBatch   = fs.Int("maxbatch", 32, "max queries per executed batch")
+		batch      = fs.Int("batch", 0, "shared-traversal batch size (0 = maxbatch, 1 = per-query execution)")
 		maxWait    = fs.Duration("maxwait", 2*time.Millisecond, "batching window")
 		queue      = fs.Int("queue", 256, "per-endpoint admission queue capacity (full queue = 503)")
 		workers    = fs.Int("workers", 0, "executor goroutines per batch (0 = GOMAXPROCS)")
@@ -189,6 +190,7 @@ func run(ctx context.Context, out io.Writer, args []string, ready chan<- string)
 
 	s := serve.New[[]float64](idx, serve.VectorCodec(*dim), serve.Options{
 		MaxBatch:   *maxBatch,
+		Batch:      *batch,
 		MaxWait:    *maxWait,
 		Queue:      *queue,
 		Workers:    *workers,

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"errors"
+	"math/rand/v2"
+
+	"mvptree/internal/histogram"
+	"mvptree/internal/metric"
+)
+
+// DefaultCalibrationPairs is the pairwise sample size CalibrateRadius
+// uses: large enough that the empirical distance CDF is stable at the
+// percent level, small enough to stay negligible next to index
+// construction.
+const DefaultCalibrationPairs = 20000
+
+// CalibrateRadii derives query radii from the dataset's own distance
+// distribution, the §5.1.B recipe for "meaningful tolerance factors":
+// it samples pairwise distances (with replacement, pairs draws) into an
+// internal/histogram, then returns for each target selectivity the
+// distribution quantile at which a range query is expected to return
+// that fraction of the dataset. A radius sweep calibrated this way
+// transfers between workloads — r is no longer an absolute number that
+// means "everything" on one dataset and "nothing" on another.
+//
+// The sampled histogram is returned too, so callers can report the
+// distribution alongside the sweep (as the paper's Figures 4–7 do).
+// Distances are computed directly through fn and deliberately bypass
+// any metric.Counter: calibration is workload analysis, not query
+// cost. Targets must lie in (0, 1]; items needs at least two entries;
+// pairs <= 0 means DefaultCalibrationPairs.
+func CalibrateRadii[T any](rng *rand.Rand, items []T, fn metric.DistanceFunc[T],
+	targets []float64, pairs int) ([]float64, *histogram.Histogram, error) {
+	if len(items) < 2 {
+		return nil, nil, errors.New("bench: calibration needs at least two items")
+	}
+	if len(targets) == 0 {
+		return nil, nil, errors.New("bench: calibration needs at least one target selectivity")
+	}
+	for _, t := range targets {
+		if !(t > 0 && t <= 1) {
+			return nil, nil, errors.New("bench: target selectivity must be in (0, 1]")
+		}
+	}
+	if pairs <= 0 {
+		pairs = DefaultCalibrationPairs
+	}
+
+	// Two passes over one reusable sample: the bucket width has to come
+	// from the data (the histogram is fixed-width from zero), so draw
+	// the distances first and size the buckets off the sample maximum.
+	sample := make([]float64, 0, pairs)
+	maxD := 0.0
+	for k := 0; k < pairs; k++ {
+		i := rng.IntN(len(items))
+		j := rng.IntN(len(items))
+		if i == j {
+			k--
+			continue
+		}
+		d := fn(items[i], items[j])
+		sample = append(sample, d)
+		if d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		// Degenerate dataset (all items coincide): any radius returns
+		// everything, zero is the only honest answer.
+		out := make([]float64, len(targets))
+		return out, histogram.New(1), nil
+	}
+	h := histogram.New(maxD / 512)
+	for _, d := range sample {
+		h.Add(d)
+	}
+	radii := make([]float64, len(targets))
+	for i, t := range targets {
+		radii[i] = h.Quantile(t)
+	}
+	return radii, h, nil
+}
+
+// CalibrateRadius is CalibrateRadii for a single target selectivity.
+func CalibrateRadius[T any](rng *rand.Rand, items []T, fn metric.DistanceFunc[T],
+	target float64, pairs int) (float64, error) {
+	radii, _, err := CalibrateRadii(rng, items, fn, []float64{target}, pairs)
+	if err != nil {
+		return 0, err
+	}
+	return radii[0], nil
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mvptree/internal/dataset"
+	"mvptree/internal/metric"
+)
+
+// TestCalibrateRadiusHitsSelectivity checks the headline property: a
+// range query at the calibrated radius returns roughly the target
+// fraction of the dataset, measured by exhaustive scan over held-out
+// query points.
+func TestCalibrateRadiusHitsSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 1))
+	items := dataset.UniformVectors(rng, 3000, 10)
+	queries := dataset.UniformQueries(rng, 200, 10)
+
+	for _, target := range []float64{0.01, 0.05, 0.2} {
+		r, err := CalibrateRadius(rng, items, metric.L2, target, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= 0 {
+			t.Fatalf("target %g: non-positive radius %g", target, r)
+		}
+		var hits int
+		for _, q := range queries {
+			for _, it := range items {
+				if metric.L2(q, it) <= r {
+					hits++
+				}
+			}
+		}
+		got := float64(hits) / float64(len(queries)*len(items))
+		// Query points are drawn from the same distribution as items, so
+		// the empirical selectivity should track the pairwise quantile;
+		// allow generous slack for bucket resolution and sampling noise.
+		if got < target/3 || got > target*3 {
+			t.Errorf("target %g: calibrated radius %g yields selectivity %g", target, r, got)
+		}
+	}
+}
+
+// TestCalibrateRadiiMonotone pins that larger targets produce larger
+// (or equal) radii and that the shared histogram is populated.
+func TestCalibrateRadiiMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(52, 1))
+	items := dataset.UniformVectors(rng, 1000, 6)
+	targets := []float64{0.001, 0.01, 0.1, 0.5, 1}
+	radii, h, err := CalibrateRadii(rng, items, metric.L2, targets, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != DefaultCalibrationPairs {
+		t.Errorf("histogram recorded %d samples, want %d", h.Total(), DefaultCalibrationPairs)
+	}
+	for i := 1; i < len(radii); i++ {
+		if radii[i] < radii[i-1] {
+			t.Errorf("radii not monotone: %v", radii)
+		}
+	}
+	if radii[len(radii)-1] < h.Max() {
+		t.Errorf("selectivity-1 radius %g below sample max %g", radii[len(radii)-1], h.Max())
+	}
+}
+
+// TestCalibrateRadiusErrors pins the input validation and the
+// degenerate all-coincident dataset.
+func TestCalibrateRadiusErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 1))
+	items := dataset.UniformVectors(rng, 50, 4)
+	if _, err := CalibrateRadius(rng, items[:1], metric.L2, 0.1, 100); err == nil {
+		t.Error("single item: no error")
+	}
+	if _, err := CalibrateRadius(rng, items, metric.L2, 0, 100); err == nil {
+		t.Error("zero selectivity: no error")
+	}
+	if _, err := CalibrateRadius(rng, items, metric.L2, 1.5, 100); err == nil {
+		t.Error("selectivity > 1: no error")
+	}
+	same := [][]float64{{1, 2}, {1, 2}, {1, 2}}
+	r, err := CalibrateRadius(rng, same, metric.L2, 0.5, 100)
+	if err != nil || r != 0 {
+		t.Errorf("coincident items: r=%g err=%v, want 0, nil", r, err)
+	}
+}

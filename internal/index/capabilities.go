@@ -20,6 +20,9 @@ type Capabilities[T any] struct {
 	// ParallelKNN is non-nil when the index can answer one kNN query
 	// with several goroutines.
 	ParallelKNN ParallelKNNIndex[T]
+	// Batch is non-nil when the index can answer a query group with one
+	// shared traversal (SearchBatch).
+	Batch BatchSearcher[T]
 }
 
 // ParallelKNNIndex is implemented by indexes (the sharded index) whose
@@ -56,5 +59,6 @@ func CapabilitiesOf[T any](idx Index[T]) Capabilities[T] {
 	c.ParallelRange, _ = idx.(ParallelRangeIndex[T])
 	c.BoundedKNN, _ = idx.(BoundedKNNIndex[T])
 	c.ParallelKNN, _ = idx.(ParallelKNNIndex[T])
+	c.Batch, _ = idx.(BatchSearcher[T])
 	return c
 }

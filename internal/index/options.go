@@ -119,3 +119,22 @@ type Searcher[T any] interface {
 	// RangeWithStats / KNNWithStats.
 	Search(req Query[T]) Result[T]
 }
+
+// BatchSearcher is implemented by structures that can answer a group of
+// queries with one shared traversal: the tree is descended once per
+// group, each node's vantage distances are computed for all still-active
+// queries with one blocked metric call, and each leaf arena is streamed
+// once for the whole group.
+type BatchSearcher[T any] interface {
+	Searcher[T]
+
+	// SearchBatch answers reqs[i] into results[i]. It panics unless
+	// len(results) == len(reqs). Every results[i] — items, neighbor
+	// order, SearchStats, and the structure's Counter delta — is
+	// byte-identical to what Search(reqs[i]) produces, at every batch
+	// size; batching changes memory traffic, never answers. Queries the
+	// shared traversal cannot batch (approximate modes, intra-query
+	// parallel requests, external kNN bounds) are answered by per-query
+	// Search calls inside the same invocation.
+	SearchBatch(reqs []Query[T], results []Result[T])
+}

@@ -15,7 +15,10 @@
 // the metric exclusively through a Counter.
 package metric
 
-import "sync/atomic"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // DistanceFunc computes the distance between two items of type T. It must
 // satisfy the metric axioms documented in the package comment for the
@@ -37,6 +40,8 @@ type Counter[T any] struct {
 	fn       DistanceFunc[T]
 	bounded  BoundedDistanceFunc[T]
 	fallback BoundedDistanceFunc[T] // fn ignoring the bound; built once
+	block    BlockDistanceFunc[T]
+	blockFB  BlockDistanceFunc[T] // loop over Kernel(); built once
 	quant    QuantKind
 	count    atomic.Int64
 }
@@ -49,9 +54,29 @@ type Counter[T any] struct {
 // The quantized lower-bound shape (RegisterQuantized) is probed the
 // same way and reported by QuantKind.
 func NewCounter[T any](fn DistanceFunc[T]) *Counter[T] {
-	c := &Counter[T]{fn: fn, bounded: lookupBounded(fn), quant: lookupQuantized(fn)}
+	c := &Counter[T]{fn: fn, bounded: lookupBounded(fn), block: lookupBlock(fn), quant: lookupQuantized(fn)}
 	if fn != nil {
 		c.fallback = func(a, b T, _ float64) float64 { return fn(a, b) }
+		// The block fallback loops the one-to-one kernel with the query as
+		// the first argument — the orientation every sequential leaf scan
+		// and vantage evaluation uses — so batched and per-query paths
+		// agree bit-for-bit even for metrics whose float rounding is not
+		// orientation-symmetric. It reads c.bounded at call time, so a
+		// later SetBounded is honoured.
+		c.blockFB = func(p T, qs []T, bounds, out []float64) {
+			checkBlockLens(qs, bounds, out)
+			k := c.Kernel()
+			if bounds == nil {
+				inf := math.Inf(1)
+				for j, q := range qs {
+					out[j] = k(q, p, inf)
+				}
+				return
+			}
+			for j, q := range qs {
+				out[j] = k(q, p, bounds[j])
+			}
+		}
 	}
 	return c
 }
@@ -103,6 +128,51 @@ func (c *Counter[T]) Reset() { c.count.Store(0) }
 
 // Func returns the wrapped distance function, uncounted.
 func (c *Counter[T]) Func() DistanceFunc[T] { return c.fn }
+
+// DistanceBlock computes the distance between p and every query in qs,
+// writing d(p, qs[j]) into out[j] exactly, and counts len(qs) distance
+// computations — the same total as len(qs) Distance calls. When the
+// wrapped function has a blocked kernel (RegisterBlock / SetBlock) the
+// data vector is streamed once against the whole resident block;
+// otherwise a loop over the one-to-one kernel produces identical
+// values.
+func (c *Counter[T]) DistanceBlock(p T, qs []T, out []float64) {
+	c.count.Add(int64(len(qs)))
+	c.BlockKernel()(p, qs, nil, out)
+}
+
+// DistanceBlockUpTo is DistanceBlock with a per-query abandonment
+// threshold: each out[j] obeys the BoundedDistanceFunc contract with
+// respect to bounds[j] (see BlockDistanceFunc). Every query counts as
+// one distance computation regardless of abandonment, so cost
+// accounting matches len(qs) DistanceUpTo calls exactly.
+func (c *Counter[T]) DistanceBlockUpTo(p T, qs []T, bounds, out []float64) {
+	c.count.Add(int64(len(qs)))
+	c.BlockKernel()(p, qs, bounds, out)
+}
+
+// SetBlock attaches (or, with nil, detaches) a blocked one-to-many
+// kernel, overriding whatever NewCounter discovered in the registry.
+// fn must satisfy the BlockDistanceFunc contract with respect to the
+// wrapped exact kernel. This is the hook for closure-built metrics,
+// which cannot be registered globally. Like SetBounded, it is not
+// synchronized with in-flight queries; attach fast paths before
+// serving.
+func (c *Counter[T]) SetBlock(fn BlockDistanceFunc[T]) { c.block = fn }
+
+// Block returns the attached blocked kernel, or nil.
+func (c *Counter[T]) Block() BlockDistanceFunc[T] { return c.block }
+
+// BlockKernel returns the uncounted function DistanceBlock dispatches
+// to: the attached blocked kernel, or a cached wrapper that loops the
+// one-to-one Kernel over the block. Hot loops may call it directly and
+// settle the count with Add(n·B), exactly as with Kernel.
+func (c *Counter[T]) BlockKernel() BlockDistanceFunc[T] {
+	if c.block != nil {
+		return c.block
+	}
+	return c.blockFB
+}
 
 // Kernel returns the uncounted function DistanceUpTo dispatches to: the
 // attached early-abandoning kernel, or a cached wrapper that ignores

@@ -1,0 +1,709 @@
+package mvp
+
+// Shared-traversal batch execution. SearchBatch answers a group of
+// queries by descending the tree once for the whole group: each node's
+// vantage distances are computed for all still-active queries with one
+// blocked metric call (metric.Counter.BlockKernel), per-query prune
+// state lives in pooled struct-of-arrays scratch, and each leaf arena
+// is streamed once for the group. The batched paths replicate the
+// sequential traversals' decisions exactly — every per-query result,
+// order, SearchStats and counter delta is byte-identical to Search at
+// every batch size; batching changes memory traffic, never answers.
+//
+// Why that equivalence holds:
+//
+//   - Exact range is a DFS whose per-node decisions for one query
+//     depend only on (q, r) and the query's own PATH windows, so a
+//     shared DFS with per-query active lists visits, per query, exactly
+//     the sequential node set in the same (g ascending, h ascending)
+//     order, and item-major leaf scans preserve each query's item
+//     order and therefore its append order.
+//   - Exact kNN is best-first with exactly one node fully processed per
+//     pop. Lockstep rounds — each active query pops one node, pops are
+//     grouped by node and processed with blocked kernels — preserve
+//     each query's pop sequence and τ evolution exactly, because no
+//     state is shared between queries.
+//   - The block kernels produce bit-identical values to the one-to-one
+//     bounded kernels for every (query, point, bound) triple (see
+//     metric.BlockDistanceFunc), so no traversal decision can differ.
+//
+// Queries the shared traversal cannot batch — approximate modes
+// (Epsilon/Budget/Patience), intra-query parallel requests (Workers >
+// 1) and external kNN bounds — are answered by per-query Search calls
+// inside the same invocation, which is trivially byte-identical.
+
+import (
+	"math"
+
+	"mvptree/internal/cascade"
+	"mvptree/internal/heapx"
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+	"mvptree/internal/quant"
+)
+
+var _ index.BatchSearcher[int] = (*Tree[int])(nil)
+
+// knnSlot is one query's private best-first state inside a batch: its
+// candidate heap, node queue and query-PATH arena — the same trio
+// queryScratch pools for sequential kNN.
+type knnSlot[T any] struct {
+	best  *heapx.KBest[T]
+	queue heapx.NodeQueue[pendingRef[T]]
+	arena []float64
+}
+
+// knnVisit is one query's pop in a lockstep round: the slot, its
+// query-PATH window, the popped bound, and the τ snapshot read at pop
+// time (sequential reads τ once per node; only the query's own
+// processing can change it before the group is handled).
+type knnVisit struct {
+	slot      int32
+	off, plen int32
+	bound     float64
+	tau       float64
+}
+
+// batchScratch is the pooled working state of one SearchBatch call.
+// Per-slot arrays are indexed by the query's position in reqs; shared
+// gather buffers are valid only across one blocked kernel call; the
+// act/dstack arenas follow stack discipline through the range DFS so
+// steady-state batches allocate nothing once capacities warm.
+type batchScratch[T any] struct {
+	// Shared gather buffers for blocked vantage calls.
+	pts    []T
+	bounds []float64
+	dv1    []float64
+	dv2    []float64
+	vb     []float64
+	// Survivor gather buffers for item-major leaf scans.
+	spts    []T
+	sbounds []float64
+	sdv     []float64
+	sslots  []int32
+
+	// Stack-discipline arenas for the shared range DFS: act holds the
+	// active-query windows of every live recursion level (slot ids, or
+	// positions for the g-shell sublists), dstack the matching per-node
+	// d1‖d2 values.
+	act    []int32
+	dstack []float64
+
+	// Per-slot query state.
+	qs          []T
+	rads        []float64
+	stats       []SearchStats
+	outs        [][]T
+	spans       []obs.Span
+	ccs         []*cascade.Cache
+	qpreps      []quant.Prepared
+	quantOn     []bool
+	quantPruned []int
+	// qpath/qlo/qhi are B×p flat: slot j's windows live at [j·p, (j+1)·p).
+	qpath []float64
+	qlo   []float64
+	qhi   []float64
+
+	// Leaf-local per-slot windows and stage tallies (leaves never
+	// recurse, so one set serves every leaf).
+	wlo1, whi1, wlo2, whi2 []float64
+	fD, fP, fC, fQ, comp   []int
+
+	// Lockstep kNN bookkeeping.
+	knn      []knnSlot[T]
+	rangeLst []int32
+	knnLst   []int32
+	rounds   []int32
+	gMap     map[*node[T]]int32
+	gNodes   []*node[T]
+	gVisits  [][]knnVisit
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growTo(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]float64, n, 2*n)
+	copy(ns, s)
+	return ns
+}
+
+func (t *Tree[T]) getBatchScratch(b int) *batchScratch[T] {
+	var bs *batchScratch[T]
+	if v := t.bscratch.Get(); v != nil {
+		bs = v.(*batchScratch[T])
+	} else {
+		bs = &batchScratch[T]{gMap: make(map[*node[T]]int32)}
+	}
+	bs.reserve(b, t.p)
+	return bs
+}
+
+// reserve sizes every per-slot array for b slots (keeping pooled
+// sub-state alive across growth) and resets the per-call lists.
+func (bs *batchScratch[T]) reserve(b, p int) {
+	if cap(bs.qs) < b {
+		bs.qs = make([]T, b)
+		bs.rads = make([]float64, b)
+		bs.stats = make([]SearchStats, b)
+		bs.outs = make([][]T, b)
+		bs.spans = make([]obs.Span, b)
+		bs.ccs = make([]*cascade.Cache, b)
+		bs.qpreps = make([]quant.Prepared, b)
+		bs.quantOn = make([]bool, b)
+		bs.quantPruned = make([]int, b)
+		bs.wlo1 = make([]float64, b)
+		bs.whi1 = make([]float64, b)
+		bs.wlo2 = make([]float64, b)
+		bs.whi2 = make([]float64, b)
+		bs.fD = make([]int, b)
+		bs.fP = make([]int, b)
+		bs.fC = make([]int, b)
+		bs.fQ = make([]int, b)
+		bs.comp = make([]int, b)
+		knn := make([]knnSlot[T], b)
+		copy(knn, bs.knn)
+		bs.knn = knn
+	} else {
+		n := b
+		bs.qs = bs.qs[:n]
+		bs.rads = bs.rads[:n]
+		bs.stats = bs.stats[:n]
+		bs.outs = bs.outs[:n]
+		bs.spans = bs.spans[:n]
+		bs.ccs = bs.ccs[:n]
+		bs.qpreps = bs.qpreps[:n]
+		bs.quantOn = bs.quantOn[:n]
+		bs.quantPruned = bs.quantPruned[:n]
+		bs.wlo1, bs.whi1 = bs.wlo1[:n], bs.whi1[:n]
+		bs.wlo2, bs.whi2 = bs.wlo2[:n], bs.whi2[:n]
+		bs.fD, bs.fP, bs.fC = bs.fD[:n], bs.fP[:n], bs.fC[:n]
+		bs.fQ, bs.comp = bs.fQ[:n], bs.comp[:n]
+		bs.knn = bs.knn[:n]
+	}
+	if cap(bs.qpath) < b*p {
+		bs.qpath = make([]float64, b*p)
+		bs.qlo = make([]float64, b*p)
+		bs.qhi = make([]float64, b*p)
+	} else {
+		bs.qpath = bs.qpath[:b*p]
+		bs.qlo = bs.qlo[:b*p]
+		bs.qhi = bs.qhi[:b*p]
+	}
+	bs.rangeLst = bs.rangeLst[:0]
+	bs.knnLst = bs.knnLst[:0]
+	bs.rounds = bs.rounds[:0]
+}
+
+// putBatchScratch clears every reference the scratch took from the
+// caller or the tree (query objects, result slices, node pointers) so
+// pooling never pins them, then returns it to the pool.
+func (t *Tree[T]) putBatchScratch(bs *batchScratch[T]) {
+	var zero T
+	for i := range bs.qs {
+		bs.qs[i] = zero
+		bs.outs[i] = nil
+		bs.ccs[i] = nil
+		bs.qpreps[i].Release()
+		bs.quantOn[i] = false
+	}
+	for i := range bs.knn {
+		sl := &bs.knn[i]
+		sl.arena = sl.arena[:0]
+		sl.queue.Reset()
+		if sl.best != nil {
+			sl.best.Reset(1)
+		}
+	}
+	clear(bs.pts)
+	bs.pts = bs.pts[:0]
+	clear(bs.spts)
+	bs.spts = bs.spts[:0]
+	bs.act = bs.act[:0]
+	bs.dstack = bs.dstack[:0]
+	clear(bs.gMap)
+	for i := range bs.gNodes {
+		bs.gNodes[i] = nil
+	}
+	t.bscratch.Put(bs)
+}
+
+// prepareQuantSlot is prepareQuant for one batch slot.
+func (t *Tree[T]) prepareQuantSlot(bs *batchScratch[T], i int, q T) {
+	bs.quantOn[i] = false
+	bs.quantPruned[i] = 0
+	if t.qset == nil {
+		return
+	}
+	qv, ok := any(q).([]float64)
+	if !ok {
+		return
+	}
+	t.qset.Prepare(&bs.qpreps[i], qv)
+	bs.quantOn[i] = true
+}
+
+// SearchBatch answers reqs[i] into results[i] with one shared traversal
+// per query group (index.BatchSearcher). It panics unless len(results)
+// == len(reqs). Exact range queries share one DFS, exact kNN queries
+// run in lockstep rounds, and everything else falls back to per-query
+// Search within the same call; every results[i] is byte-identical to
+// Search(reqs[i]).
+//
+// SearchBatch is safe to call concurrently with itself and with Search;
+// like Search, per-query counter attribution requires the per-Result
+// Stats rather than Counter deltas when calls overlap.
+func (t *Tree[T]) SearchBatch(reqs []index.Query[T], results []index.Result[T]) {
+	if len(reqs) != len(results) {
+		panic("mvp: SearchBatch requires len(results) == len(reqs)")
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 {
+		// A group of one shares nothing; the per-query path is the
+		// reference the batch is pinned against, so delegating is
+		// identical by definition and skips the group scaffolding.
+		results[0] = t.Search(reqs[0])
+		return
+	}
+	bs := t.getBatchScratch(len(reqs))
+	for i := range reqs {
+		req := &reqs[i]
+		if req.K > 0 {
+			if req.Opts.Approximate() || req.Opts.Bound != nil {
+				results[i] = t.Search(*req)
+				continue
+			}
+			bs.spans[i] = t.StartQuery(obs.KindKNN)
+			bs.stats[i] = SearchStats{}
+			if t.root == nil {
+				bs.spans[i].Done(&bs.stats[i])
+				results[i] = index.Result[T]{Stats: bs.stats[i]}
+				continue
+			}
+			bs.qs[i] = req.Point
+			t.prepareQuantSlot(bs, i, req.Point)
+			if t.cas != nil {
+				bs.ccs[i] = t.cas.Get()
+			}
+			sl := &bs.knn[i]
+			if sl.best == nil {
+				sl.best = heapx.NewKBest[T](req.K)
+			} else {
+				sl.best.Reset(req.K)
+			}
+			sl.queue.PushNode(pendingRef[T]{n: t.root}, 0)
+			bs.knnLst = append(bs.knnLst, int32(i))
+			continue
+		}
+		if req.Opts.Approximate() || req.Opts.Workers > 1 {
+			results[i] = t.Search(*req)
+			continue
+		}
+		bs.spans[i] = t.StartQuery(obs.KindRange)
+		bs.stats[i] = SearchStats{}
+		if req.Radius < 0 || t.root == nil {
+			bs.spans[i].Done(&bs.stats[i])
+			results[i] = index.Result[T]{Stats: bs.stats[i]}
+			continue
+		}
+		bs.qs[i] = req.Point
+		bs.rads[i] = req.Radius
+		t.prepareQuantSlot(bs, i, req.Point)
+		if t.cas != nil {
+			bs.ccs[i] = t.cas.Get()
+		}
+		bs.rangeLst = append(bs.rangeLst, int32(i))
+	}
+	if len(bs.rangeLst) > 0 {
+		t.rangeBatchNode(t.root, bs.rangeLst, 0, bs)
+		for _, j := range bs.rangeLst {
+			s := &bs.stats[j]
+			if t.cas != nil {
+				t.cas.Put(bs.ccs[j])
+				bs.ccs[j] = nil
+			}
+			t.ObserveQuantPruned(bs.quantPruned[j])
+			s.Results = len(bs.outs[j])
+			bs.spans[j].Done(s)
+			results[j] = index.Result[T]{Items: bs.outs[j], Stats: *s}
+			bs.outs[j] = nil // the result slice escapes to the caller
+		}
+	}
+	if len(bs.knnLst) > 0 {
+		t.knnBatch(bs)
+		for _, j := range bs.knnLst {
+			sl := &bs.knn[j]
+			out := sl.best.Sorted()
+			s := &bs.stats[j]
+			if t.cas != nil {
+				t.cas.Put(bs.ccs[j])
+				bs.ccs[j] = nil
+			}
+			t.ObserveQuantPruned(bs.quantPruned[j])
+			s.Results = len(out)
+			bs.spans[j].Done(s)
+			results[j] = index.Result[T]{Neighbors: out, Stats: *s}
+		}
+	}
+	t.putBatchScratch(bs)
+}
+
+// rangeBatchNode is rangeNode for a group: act holds the slots whose
+// query balls can still reach n. plen is uniform across the group — it
+// is a function of tree position, not of the query.
+func (t *Tree[T]) rangeBatchNode(n *node[T], act []int32, plen int, bs *batchScratch[T]) {
+	if n == nil || len(act) == 0 {
+		return
+	}
+	leaf := n.isLeaf()
+	for _, j := range act {
+		bs.stats[j].NodesVisited++
+		t.TraceNode(leaf)
+	}
+	if leaf {
+		t.rangeBatchLeaf(n, act, plen, bs)
+		return
+	}
+
+	na := len(act)
+	pts := bs.pts[:0]
+	for _, j := range act {
+		pts = append(pts, bs.qs[j])
+	}
+	bs.pts = pts
+	blk := t.dist.BlockKernel()
+
+	// Per-node d1‖d2 values live on the dstack so sibling recursion
+	// cannot clobber them; the block kernels write into the windows
+	// directly.
+	dBase := len(bs.dstack)
+	bs.dstack = growTo(bs.dstack, dBase+2*na)
+	d1v := bs.dstack[dBase : dBase+na]
+	d2v := bs.dstack[dBase+na : dBase+2*na]
+
+	// The two vantage phases replicate rangeNode exactly, one blocked
+	// call per vantage point: while the query PATH is filling every
+	// distance is exact; afterwards each query abandons past r+cutMax
+	// unless it is a stamped cascade pivot the query's cache still
+	// wants, which is computed exactly (+Inf bound) and registered. d1
+	// registrations land before any d2 Wants() decision, preserving the
+	// per-query registration order (and the cache's per-query limit
+	// cut) of the sequential code.
+	if plen >= t.p {
+		bounds := growF(bs.bounds, na)
+		for i, j := range act {
+			if cc := bs.ccs[j]; cc != nil && n.cas1 != 0 && cc.Wants() {
+				bounds[i] = math.Inf(1)
+			} else {
+				bounds[i] = bs.rads[j] + n.cut1Max
+			}
+		}
+		bs.bounds = bounds
+		blk(n.sv1, pts, bounds, d1v)
+		if n.cas1 != 0 {
+			for i, j := range act {
+				if cc := bs.ccs[j]; cc != nil && cc.Wants() {
+					cc.Register(n.cas1-1, d1v[i])
+				}
+			}
+		}
+		for i, j := range act {
+			if cc := bs.ccs[j]; cc != nil && n.cas2 != 0 && cc.Wants() {
+				bounds[i] = math.Inf(1)
+			} else {
+				bounds[i] = bs.rads[j] + n.cut2Max
+			}
+		}
+		blk(n.sv2, pts, bounds, d2v)
+		if n.cas2 != 0 {
+			for i, j := range act {
+				if cc := bs.ccs[j]; cc != nil && cc.Wants() {
+					cc.Register(n.cas2-1, d2v[i])
+				}
+			}
+		}
+	} else {
+		blk(n.sv1, pts, nil, d1v)
+		blk(n.sv2, pts, nil, d2v)
+		for i, j := range act {
+			cc := bs.ccs[j]
+			if cc == nil {
+				continue
+			}
+			if n.cas1 != 0 && cc.Wants() {
+				cc.Register(n.cas1-1, d1v[i])
+			}
+			if n.cas2 != 0 && cc.Wants() {
+				cc.Register(n.cas2-1, d2v[i])
+			}
+		}
+	}
+	t.dist.Add(int64(2 * na))
+
+	for i, j := range act {
+		s := &bs.stats[j]
+		s.VantagePoints += 2
+		t.TraceDistance(2)
+		r := bs.rads[j]
+		if d1v[i] <= r {
+			bs.outs[j] = append(bs.outs[j], n.sv1)
+		}
+		if d2v[i] <= r {
+			bs.outs[j] = append(bs.outs[j], n.sv2)
+		}
+	}
+	if plen < t.p {
+		for i, j := range act {
+			o := int(j)*t.p + plen
+			r := bs.rads[j]
+			bs.qpath[o] = d1v[i]
+			bs.qlo[o] = d1v[i] - r
+			bs.qhi[o] = d1v[i] + r
+		}
+		plen++
+		if plen < t.p {
+			for i, j := range act {
+				o := int(j)*t.p + plen
+				r := bs.rads[j]
+				bs.qpath[o] = d2v[i]
+				bs.qlo[o] = d2v[i] - r
+				bs.qhi[o] = d2v[i] + r
+			}
+			plen++
+		}
+	}
+
+	// Shell visiting order is g ascending then h ascending — each
+	// query's node visit order is exactly its sequential DFS order. The
+	// g sublist stores positions into act (so d1v/d2v stay addressable);
+	// the recursion windows store slots. Stats mirror rangeNode: a
+	// pruned g shell charges len(row) (nil children included), the
+	// inner loop skips nil children before the d2 window check.
+	for g, row := range n.children {
+		lo1, hi1 := shellBounds(n.cut1, g)
+		gBase := len(bs.act)
+		for i, j := range act {
+			r := bs.rads[j]
+			if d1v[i]+r < lo1 || d1v[i]-r > hi1 {
+				bs.stats[j].ShellsPruned += len(row)
+				t.TracePrune(obs.FilterShell, len(row))
+				continue
+			}
+			bs.act = append(bs.act, int32(i))
+		}
+		gPos := bs.act[gBase:]
+		if len(gPos) > 0 {
+			for h, c := range row {
+				if c == nil {
+					continue
+				}
+				lo2, hi2 := shellBounds(n.cut2[g], h)
+				hBase := len(bs.act)
+				for _, pi := range gPos {
+					j := act[pi]
+					r := bs.rads[j]
+					if d2v[pi]+r < lo2 || d2v[pi]-r > hi2 {
+						bs.stats[j].ShellsPruned++
+						t.TracePrune(obs.FilterShell, 1)
+						continue
+					}
+					bs.act = append(bs.act, j)
+				}
+				hAct := bs.act[hBase:]
+				if len(hAct) > 0 {
+					t.rangeBatchNode(c, hAct, plen, bs)
+				}
+				bs.act = bs.act[:hBase]
+			}
+		}
+		bs.act = bs.act[:gBase]
+	}
+	bs.dstack = bs.dstack[:dBase]
+}
+
+// rangeBatchLeaf is rangeLeaf for a group: the vantage points are
+// evaluated with one blocked call each, then the leaf arena is streamed
+// item-major — every still-interested query filters item i through its
+// D1/D2 windows, PATH prefix, cascade and quantized bounds in the
+// sequential order, and one blocked call evaluates the survivors.
+func (t *Tree[T]) rangeBatchLeaf(n *node[T], act []int32, plen int, bs *batchScratch[T]) {
+	for _, j := range act {
+		bs.stats[j].LeavesVisited++
+	}
+	if !n.hasSV1 {
+		return
+	}
+	blk := t.dist.BlockKernel()
+	na := len(act)
+	pts := bs.pts[:0]
+	for _, j := range act {
+		pts = append(pts, bs.qs[j])
+	}
+	bs.pts = pts
+	bounds := growF(bs.bounds, na)
+	bs.bounds = bounds
+	dv1 := growF(bs.dv1, na)
+	bs.dv1 = dv1
+	dv2 := growF(bs.dv2, na)
+	bs.dv2 = dv2
+
+	for i, j := range act {
+		if cc := bs.ccs[j]; cc != nil && n.cas1 != 0 && cc.Wants() {
+			bounds[i] = math.Inf(1)
+		} else {
+			bounds[i] = bs.rads[j] + n.maxD1
+		}
+	}
+	blk(n.sv1, pts, bounds, dv1)
+	for i, j := range act {
+		d1 := dv1[i]
+		if cc := bs.ccs[j]; cc != nil && n.cas1 != 0 && cc.Wants() {
+			cc.Register(n.cas1-1, d1)
+		}
+		s := &bs.stats[j]
+		s.VantagePoints++
+		t.TraceDistance(1)
+		if d1 <= bs.rads[j] {
+			bs.outs[j] = append(bs.outs[j], n.sv1)
+		}
+	}
+	vantages := 1
+	if n.hasSV2 {
+		for i, j := range act {
+			if cc := bs.ccs[j]; cc != nil && n.cas2 != 0 && cc.Wants() {
+				bounds[i] = math.Inf(1)
+			} else {
+				bounds[i] = bs.rads[j] + n.maxD2
+			}
+		}
+		blk(n.sv2, pts, bounds, dv2)
+		for i, j := range act {
+			d2 := dv2[i]
+			if cc := bs.ccs[j]; cc != nil && n.cas2 != 0 && cc.Wants() {
+				cc.Register(n.cas2-1, d2)
+			}
+			s := &bs.stats[j]
+			s.VantagePoints++
+			t.TraceDistance(1)
+			if d2 <= bs.rads[j] {
+				bs.outs[j] = append(bs.outs[j], n.sv2)
+			}
+		}
+		vantages = 2
+	}
+
+	for i, j := range act {
+		r := bs.rads[j]
+		bs.wlo1[j], bs.whi1[j] = dv1[i]-r, dv1[i]+r
+		bs.wlo2[j], bs.whi2[j] = dv2[i]-r, dv2[i]+r
+		bs.fD[j], bs.fP[j], bs.fC[j], bs.fQ[j], bs.comp[j] = 0, 0, 0, 0, 0
+	}
+
+	items := n.items
+	d1s := n.d1[:len(items)]
+	d2s := n.d2
+	hasSV2 := n.hasSV2
+	if hasSV2 {
+		d2s = d2s[:len(items)]
+	}
+	cas, base := t.cas, n.casBase
+	qset, qcodes, qf32 := t.qset, n.qcodes, n.qf32
+	hasQuant := qcodes != nil || qf32 != nil
+	p := t.p
+	for i := range items {
+		surv := bs.sslots[:0]
+		spts := bs.spts[:0]
+		sbounds := bs.sbounds[:0]
+		for _, j := range act {
+			if x := d1s[i]; x < bs.wlo1[j] || x > bs.whi1[j] {
+				bs.fD[j]++
+				continue
+			}
+			if hasSV2 {
+				if x := d2s[i]; x < bs.wlo2[j] || x > bs.whi2[j] {
+					bs.fD[j]++
+					continue
+				}
+			}
+			path := n.pathData[n.pathOff[i]:n.pathOff[i+1]]
+			if len(path) > plen {
+				path = path[:plen]
+			}
+			qbase := int(j) * p
+			pathOK := true
+			for l, pd := range path {
+				if pd < bs.qlo[qbase+l] || pd > bs.qhi[qbase+l] {
+					bs.fP[j]++
+					pathOK = false
+					break
+				}
+			}
+			if !pathOK {
+				continue
+			}
+			r := bs.rads[j]
+			if cc := bs.ccs[j]; cc != nil && cc.Registered() > 0 {
+				if lb := cas.LowerBound(cc, base+int32(i)); lb > r {
+					bs.fC[j]++
+					continue
+				}
+			}
+			bs.comp[j]++
+			if hasQuant && bs.quantOn[j] && qset.PruneAt(&bs.qpreps[j], qcodes, qf32, i, r) {
+				bs.fQ[j]++
+				continue
+			}
+			surv = append(surv, j)
+			spts = append(spts, bs.qs[j])
+			sbounds = append(sbounds, r)
+		}
+		bs.sslots, bs.spts, bs.sbounds = surv, spts, sbounds
+		if len(surv) > 0 {
+			sdv := growF(bs.sdv, len(surv))
+			bs.sdv = sdv
+			blk(items[i], spts, sbounds, sdv)
+			for k, j := range surv {
+				if sdv[k] <= sbounds[k] {
+					bs.outs[j] = append(bs.outs[j], items[i])
+				}
+			}
+		}
+	}
+
+	total := 0
+	for _, j := range act {
+		total += vantages + bs.comp[j]
+		s := &bs.stats[j]
+		s.Candidates += len(items)
+		s.FilteredByD += bs.fD[j]
+		s.FilteredByPath += bs.fP[j]
+		s.FilteredByCascade += bs.fC[j]
+		s.Computed += bs.comp[j]
+		bs.quantPruned[j] += bs.fQ[j]
+		if bs.fD[j] > 0 {
+			t.TracePrune(obs.FilterD, bs.fD[j])
+		}
+		if bs.fP[j] > 0 {
+			t.TracePrune(obs.FilterPath, bs.fP[j])
+		}
+		if bs.fC[j] > 0 {
+			t.TracePrune(obs.FilterCascade, bs.fC[j])
+		}
+		if bs.fQ[j] > 0 {
+			t.TracePrune(obs.FilterQuantized, bs.fQ[j])
+		}
+		if bs.comp[j] > 0 {
+			t.TraceDistance(bs.comp[j])
+		}
+	}
+	t.dist.Add(int64(total))
+}

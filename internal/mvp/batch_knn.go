@@ -1,0 +1,559 @@
+package mvp
+
+import (
+	"math"
+
+	"mvptree/internal/obs"
+)
+
+// knnBatch runs the exact kNN slots of a batch in lockstep rounds.
+// Each round, every still-active query pops exactly one node from its
+// private queue — the same "process one node fully per pop" step the
+// sequential best-first loop takes — then the round's pops are grouped
+// by node and each group is processed with blocked kernel calls. No
+// state is shared between queries (heap, queue, PATH arena, cascade
+// cache and quantized prep are all per-slot), so each query's pop
+// sequence, τ evolution, pushes and stats are exactly its sequential
+// ones regardless of how rounds interleave the group.
+func (t *Tree[T]) knnBatch(bs *batchScratch[T]) {
+	rounds := append(bs.rounds[:0], bs.knnLst...)
+	bs.rounds = rounds
+	nGroups := 0
+	var vis1 []knnVisit
+	for len(rounds) > 0 {
+		// Lone survivor: with one active query no sharing is possible, so
+		// drain its queue in the sequential loop shape without any round
+		// or grouping bookkeeping. The pop sequence is unchanged — it is
+		// exactly what the rounds would have produced.
+		if len(rounds) == 1 {
+			j := rounds[0]
+			sl := &bs.knn[j]
+			if vis1 == nil {
+				vis1 = make([]knnVisit, 1)
+			}
+			for {
+				pn, bound, ok := sl.queue.PopNode()
+				if !ok {
+					break
+				}
+				tau := sl.best.Threshold()
+				if bound >= tau {
+					break
+				}
+				v := knnVisit{slot: j, off: pn.off, plen: pn.plen, bound: bound, tau: tau}
+				if pn.n.isLeaf() {
+					t.knnBatchLeaf1(pn.n, v, bs)
+				} else {
+					vis1[0] = v
+					t.knnBatchInternal(pn.n, vis1, bs)
+				}
+			}
+			return
+		}
+		w := 0
+		for _, j := range rounds {
+			sl := &bs.knn[j]
+			pn, bound, ok := sl.queue.PopNode()
+			if !ok {
+				continue // queue drained: this query is finished
+			}
+			tau := sl.best.Threshold()
+			if bound >= tau {
+				continue // sequential break: the rest of the queue is dead
+			}
+			rounds[w] = j
+			w++
+			gi, seen := bs.gMap[pn.n]
+			if !seen {
+				gi = int32(nGroups)
+				bs.gMap[pn.n] = gi
+				if nGroups == len(bs.gNodes) {
+					bs.gNodes = append(bs.gNodes, pn.n)
+					bs.gVisits = append(bs.gVisits, nil)
+				} else {
+					bs.gNodes[nGroups] = pn.n
+					bs.gVisits[nGroups] = bs.gVisits[nGroups][:0]
+				}
+				nGroups++
+			}
+			bs.gVisits[gi] = append(bs.gVisits[gi], knnVisit{slot: j, off: pn.off, plen: pn.plen, bound: bound, tau: tau})
+		}
+		rounds = rounds[:w]
+		for gi := 0; gi < nGroups; gi++ {
+			n := bs.gNodes[gi]
+			vis := bs.gVisits[gi]
+			if n.isLeaf() {
+				t.knnBatchLeaf(n, vis, bs)
+			} else {
+				t.knnBatchInternal(n, vis, bs)
+			}
+		}
+		clear(bs.gMap)
+		nGroups = 0
+	}
+}
+
+// knnBatchInternal processes one internal node for every group member,
+// mirroring the internal-node body of KNNWithStatsBound (with no
+// external bound: extTau is +Inf and nothing is published). Vantage
+// bounds use each member's τ snapshot from its pop, exactly as the
+// sequential loop reads τ once per node.
+func (t *Tree[T]) knnBatchInternal(n *node[T], vis []knnVisit, bs *batchScratch[T]) {
+	nv := len(vis)
+	for _, v := range vis {
+		bs.stats[v.slot].NodesVisited++
+		t.TraceNode(false)
+	}
+	pts := bs.pts[:0]
+	for _, v := range vis {
+		pts = append(pts, bs.qs[v.slot])
+	}
+	bs.pts = pts
+	blk := t.dist.BlockKernel()
+	dv1 := growF(bs.dv1, nv)
+	bs.dv1 = dv1
+	dv2 := growF(bs.dv2, nv)
+	bs.dv2 = dv2
+
+	// Singleton groups — the common case once frontiers diverge — use
+	// the direct one-to-one kernel: bit-identical to a one-element
+	// blocked call by the block contract, minus its checks and dispatch.
+	kernel := t.dist.Kernel()
+
+	// plen is a function of tree position, identical for every member.
+	if int(vis[0].plen) >= t.p {
+		bounds := growF(bs.bounds, nv)
+		bs.bounds = bounds
+		for i, v := range vis {
+			if cc := bs.ccs[v.slot]; cc != nil && n.cas1 != 0 && cc.Wants() {
+				bounds[i] = math.Inf(1)
+			} else {
+				bounds[i] = v.tau + n.cut1Max
+			}
+		}
+		if nv == 1 {
+			dv1[0] = kernel(pts[0], n.sv1, bounds[0])
+		} else {
+			blk(n.sv1, pts, bounds, dv1)
+		}
+		if n.cas1 != 0 {
+			for i, v := range vis {
+				if cc := bs.ccs[v.slot]; cc != nil && cc.Wants() {
+					cc.Register(n.cas1-1, dv1[i])
+				}
+			}
+		}
+		for i, v := range vis {
+			if cc := bs.ccs[v.slot]; cc != nil && n.cas2 != 0 && cc.Wants() {
+				bounds[i] = math.Inf(1)
+			} else {
+				bounds[i] = v.tau + n.cut2Max
+			}
+		}
+		if nv == 1 {
+			dv2[0] = kernel(pts[0], n.sv2, bounds[0])
+		} else {
+			blk(n.sv2, pts, bounds, dv2)
+		}
+		if n.cas2 != 0 {
+			for i, v := range vis {
+				if cc := bs.ccs[v.slot]; cc != nil && cc.Wants() {
+					cc.Register(n.cas2-1, dv2[i])
+				}
+			}
+		}
+	} else {
+		if nv == 1 {
+			inf := math.Inf(1)
+			dv1[0] = kernel(pts[0], n.sv1, inf)
+			dv2[0] = kernel(pts[0], n.sv2, inf)
+		} else {
+			blk(n.sv1, pts, nil, dv1)
+			blk(n.sv2, pts, nil, dv2)
+		}
+		for i, v := range vis {
+			cc := bs.ccs[v.slot]
+			if cc == nil {
+				continue
+			}
+			if n.cas1 != 0 && cc.Wants() {
+				cc.Register(n.cas1-1, dv1[i])
+			}
+			if n.cas2 != 0 && cc.Wants() {
+				cc.Register(n.cas2-1, dv2[i])
+			}
+		}
+	}
+	t.dist.Add(int64(2 * nv))
+
+	for i, v := range vis {
+		sl := &bs.knn[v.slot]
+		s := &bs.stats[v.slot]
+		d1, d2 := dv1[i], dv2[i]
+		if d1 <= v.tau+n.cut1Max {
+			sl.best.Push(n.sv1, d1)
+		}
+		if d2 <= v.tau+n.cut2Max {
+			sl.best.Push(n.sv2, d2)
+		}
+		s.VantagePoints += 2
+		t.TraceDistance(2)
+		off, plen := v.off, v.plen
+		if int(plen) < t.p {
+			noff := int32(len(sl.arena))
+			sl.arena = append(sl.arena, sl.arena[off:off+plen]...)
+			sl.arena = append(sl.arena, d1)
+			if int(plen)+1 < t.p {
+				sl.arena = append(sl.arena, d2)
+			}
+			off, plen = noff, int32(len(sl.arena))-noff
+		}
+		for g, row := range n.children {
+			lo1, hi1 := shellBounds(n.cut1, g)
+			lb1 := intervalGap(d1, lo1, hi1)
+			if gb := max(lb1, v.bound); !sl.best.Accepts(gb) {
+				s.ShellsPruned += len(row)
+				t.TracePrune(obs.FilterShell, len(row))
+				continue
+			}
+			for h, c := range row {
+				if c == nil {
+					continue
+				}
+				lo2, hi2 := shellBounds(n.cut2[g], h)
+				lb := max(v.bound, lb1, intervalGap(d2, lo2, hi2))
+				if sl.best.Accepts(lb) {
+					sl.queue.PushNode(pendingRef[T]{n: c, off: off, plen: plen}, lb)
+				} else {
+					s.ShellsPruned++
+					t.TracePrune(obs.FilterShell, 1)
+				}
+			}
+		}
+	}
+}
+
+// knnBatchLeaf processes one leaf for every group member, mirroring
+// knnLeafStats: blocked vantage evaluations (each member's bound read
+// from its own heap at the sequential moment — b2 after that member's
+// sv1 push), then an item-major candidate scan where each member
+// applies its D/PATH/cascade/quantized filters in order and one blocked
+// call evaluates the survivors against each member's current τ.
+func (t *Tree[T]) knnBatchLeaf(n *node[T], vis []knnVisit, bs *batchScratch[T]) {
+	if len(vis) == 1 {
+		t.knnBatchLeaf1(n, vis[0], bs)
+		return
+	}
+	for _, v := range vis {
+		s := &bs.stats[v.slot]
+		s.NodesVisited++
+		t.TraceNode(true)
+		s.LeavesVisited++
+	}
+	if !n.hasSV1 {
+		return
+	}
+	nv := len(vis)
+	blk := t.dist.BlockKernel()
+	pts := bs.pts[:0]
+	for _, v := range vis {
+		pts = append(pts, bs.qs[v.slot])
+	}
+	bs.pts = pts
+	bounds := growF(bs.bounds, nv)
+	bs.bounds = bounds
+	vb := growF(bs.vb, nv)
+	bs.vb = vb
+	dv1 := growF(bs.dv1, nv)
+	bs.dv1 = dv1
+	dv2 := growF(bs.dv2, nv)
+	bs.dv2 = dv2
+
+	for i, v := range vis {
+		b1 := bs.knn[v.slot].best.Threshold() + n.maxD1
+		vb[i] = b1
+		if cc := bs.ccs[v.slot]; cc != nil && n.cas1 != 0 && cc.Wants() {
+			bounds[i] = math.Inf(1)
+		} else {
+			bounds[i] = b1
+		}
+	}
+	blk(n.sv1, pts, bounds, dv1)
+	for i, v := range vis {
+		d1 := dv1[i]
+		if cc := bs.ccs[v.slot]; cc != nil && n.cas1 != 0 && cc.Wants() {
+			cc.Register(n.cas1-1, d1)
+		}
+		if d1 <= vb[i] {
+			bs.knn[v.slot].best.Push(n.sv1, d1)
+		}
+		s := &bs.stats[v.slot]
+		s.VantagePoints++
+		t.TraceDistance(1)
+	}
+	vantages := 1
+	if n.hasSV2 {
+		for i, v := range vis {
+			b2 := bs.knn[v.slot].best.Threshold() + n.maxD2
+			vb[i] = b2
+			if cc := bs.ccs[v.slot]; cc != nil && n.cas2 != 0 && cc.Wants() {
+				bounds[i] = math.Inf(1)
+			} else {
+				bounds[i] = b2
+			}
+		}
+		blk(n.sv2, pts, bounds, dv2)
+		for i, v := range vis {
+			d2 := dv2[i]
+			if cc := bs.ccs[v.slot]; cc != nil && n.cas2 != 0 && cc.Wants() {
+				cc.Register(n.cas2-1, d2)
+			}
+			if d2 <= vb[i] {
+				bs.knn[v.slot].best.Push(n.sv2, d2)
+			}
+			s := &bs.stats[v.slot]
+			s.VantagePoints++
+			t.TraceDistance(1)
+		}
+		vantages = 2
+	}
+
+	for _, v := range vis {
+		j := v.slot
+		bs.fD[j], bs.fP[j], bs.fC[j], bs.fQ[j], bs.comp[j] = 0, 0, 0, 0, 0
+	}
+	items := n.items
+	d1s := n.d1[:len(items)]
+	d2s := n.d2
+	hasSV2 := n.hasSV2
+	if hasSV2 {
+		d2s = d2s[:len(items)]
+	}
+	cas, base := t.cas, n.casBase
+	qset, qcodes, qf32 := t.qset, n.qcodes, n.qf32
+	hasQuant := qcodes != nil || qf32 != nil
+	for i := range items {
+		surv := bs.sslots[:0]
+		spts := bs.spts[:0]
+		sbounds := bs.sbounds[:0]
+		for mi, v := range vis {
+			j := v.slot
+			sl := &bs.knn[j]
+			lbD := abs(dv1[mi] - d1s[i])
+			if hasSV2 {
+				if b := abs(dv2[mi] - d2s[i]); b > lbD {
+					lbD = b
+				}
+			}
+			if !sl.best.Accepts(lbD) {
+				bs.fD[j]++
+				continue
+			}
+			lb := lbD
+			qpath := sl.arena[v.off : v.off+v.plen]
+			path := n.pathData[n.pathOff[i]:n.pathOff[i+1]]
+			if len(path) > len(qpath) {
+				path = path[:len(qpath)]
+			}
+			for l, pd := range path {
+				if b := abs(qpath[l] - pd); b > lb {
+					lb = b
+				}
+			}
+			if !sl.best.Accepts(lb) {
+				bs.fP[j]++
+				continue
+			}
+			if cc := bs.ccs[j]; cc != nil && cc.Registered() > 0 {
+				if clb := cas.LowerBound(cc, base+int32(i)); !sl.best.Accepts(clb) {
+					bs.fC[j]++
+					continue
+				}
+			}
+			bs.comp[j]++
+			cb := sl.best.Threshold()
+			if hasQuant && bs.quantOn[j] && qset.PruneAt(&bs.qpreps[j], qcodes, qf32, i, cb) {
+				bs.fQ[j]++
+				continue
+			}
+			surv = append(surv, j)
+			spts = append(spts, bs.qs[j])
+			sbounds = append(sbounds, cb)
+		}
+		bs.sslots, bs.spts, bs.sbounds = surv, spts, sbounds
+		if len(surv) > 0 {
+			sdv := growF(bs.sdv, len(surv))
+			bs.sdv = sdv
+			blk(items[i], spts, sbounds, sdv)
+			for k, j := range surv {
+				if d := sdv[k]; d <= sbounds[k] {
+					bs.knn[j].best.Push(items[i], d)
+				}
+			}
+		}
+	}
+
+	total := 0
+	for _, v := range vis {
+		j := v.slot
+		total += vantages + bs.comp[j]
+		s := &bs.stats[j]
+		s.Candidates += len(items)
+		s.FilteredByD += bs.fD[j]
+		s.FilteredByPath += bs.fP[j]
+		s.FilteredByCascade += bs.fC[j]
+		s.Computed += bs.comp[j]
+		bs.quantPruned[j] += bs.fQ[j]
+		if bs.fD[j] > 0 {
+			t.TracePrune(obs.FilterD, bs.fD[j])
+		}
+		if bs.fP[j] > 0 {
+			t.TracePrune(obs.FilterPath, bs.fP[j])
+		}
+		if bs.fC[j] > 0 {
+			t.TracePrune(obs.FilterCascade, bs.fC[j])
+		}
+		if bs.fQ[j] > 0 {
+			t.TracePrune(obs.FilterQuantized, bs.fQ[j])
+		}
+		if bs.comp[j] > 0 {
+			t.TraceDistance(bs.comp[j])
+		}
+	}
+	t.dist.Add(int64(total))
+}
+
+// knnBatchLeaf1 is knnBatchLeaf for a singleton group. Once frontiers
+// diverge, most lockstep rounds pop distinct nodes and every group has
+// one member, where the gather/blocked-call scaffolding only costs.
+// This path runs the same vantage evaluations and candidate filters in
+// the same order with the direct one-to-one kernel — bit-identical to
+// one-element blocked calls by the block contract — and settles stats
+// and counts exactly as the group path does.
+func (t *Tree[T]) knnBatchLeaf1(n *node[T], v knnVisit, bs *batchScratch[T]) {
+	j := v.slot
+	s := &bs.stats[j]
+	s.NodesVisited++
+	t.TraceNode(true)
+	s.LeavesVisited++
+	if !n.hasSV1 {
+		return
+	}
+	sl := &bs.knn[j]
+	best := sl.best
+	kernel := t.dist.Kernel()
+	q := bs.qs[j]
+	cc := bs.ccs[j]
+
+	b1 := best.Threshold() + n.maxD1
+	kb1 := b1
+	if cc != nil && n.cas1 != 0 && cc.Wants() {
+		kb1 = math.Inf(1)
+	}
+	d1 := kernel(q, n.sv1, kb1)
+	if cc != nil && n.cas1 != 0 && cc.Wants() {
+		cc.Register(n.cas1-1, d1)
+	}
+	if d1 <= b1 {
+		best.Push(n.sv1, d1)
+	}
+	s.VantagePoints++
+	t.TraceDistance(1)
+	vantages := 1
+	var d2 float64
+	hasSV2 := n.hasSV2
+	if hasSV2 {
+		b2 := best.Threshold() + n.maxD2
+		kb2 := b2
+		if cc != nil && n.cas2 != 0 && cc.Wants() {
+			kb2 = math.Inf(1)
+		}
+		d2 = kernel(q, n.sv2, kb2)
+		if cc != nil && n.cas2 != 0 && cc.Wants() {
+			cc.Register(n.cas2-1, d2)
+		}
+		if d2 <= b2 {
+			best.Push(n.sv2, d2)
+		}
+		s.VantagePoints++
+		t.TraceDistance(1)
+		vantages = 2
+	}
+
+	items := n.items
+	d1s := n.d1[:len(items)]
+	d2s := n.d2
+	if hasSV2 {
+		d2s = d2s[:len(items)]
+	}
+	cas, base := t.cas, n.casBase
+	qset, qcodes, qf32 := t.qset, n.qcodes, n.qf32
+	useQuant := bs.quantOn[j] && (qcodes != nil || qf32 != nil)
+	hasCas := cc != nil && cc.Registered() > 0
+	qpath := sl.arena[v.off : v.off+v.plen]
+	fD, fP, fC, fQ, comp := 0, 0, 0, 0, 0
+	for i, it := range items {
+		lbD := abs(d1 - d1s[i])
+		if hasSV2 {
+			if b := abs(d2 - d2s[i]); b > lbD {
+				lbD = b
+			}
+		}
+		if !best.Accepts(lbD) {
+			fD++
+			continue
+		}
+		lb := lbD
+		path := n.pathData[n.pathOff[i]:n.pathOff[i+1]]
+		if len(path) > len(qpath) {
+			path = path[:len(qpath)]
+		}
+		for l, pd := range path {
+			if b := abs(qpath[l] - pd); b > lb {
+				lb = b
+			}
+		}
+		if !best.Accepts(lb) {
+			fP++
+			continue
+		}
+		if hasCas {
+			if clb := cas.LowerBound(cc, base+int32(i)); !best.Accepts(clb) {
+				fC++
+				continue
+			}
+		}
+		comp++
+		cb := best.Threshold()
+		if useQuant && qset.PruneAt(&bs.qpreps[j], qcodes, qf32, i, cb) {
+			fQ++
+			continue
+		}
+		if d := kernel(q, it, cb); d <= cb {
+			best.Push(it, d)
+		}
+	}
+
+	s.Candidates += len(items)
+	s.FilteredByD += fD
+	s.FilteredByPath += fP
+	s.FilteredByCascade += fC
+	s.Computed += comp
+	bs.quantPruned[j] += fQ
+	if fD > 0 {
+		t.TracePrune(obs.FilterD, fD)
+	}
+	if fP > 0 {
+		t.TracePrune(obs.FilterPath, fP)
+	}
+	if fC > 0 {
+		t.TracePrune(obs.FilterCascade, fC)
+	}
+	if fQ > 0 {
+		t.TracePrune(obs.FilterQuantized, fQ)
+	}
+	if comp > 0 {
+		t.TraceDistance(comp)
+	}
+	t.dist.Add(int64(vantages + comp))
+}

@@ -136,6 +136,7 @@ type Tree[T any] struct {
 	p          int
 	buildStats build.Stats
 	scratch    sync.Pool // *queryScratch[T]; see pool.go
+	bscratch   sync.Pool // *batchScratch[T]; see batch.go
 	// cas is the cross-query bound cascade, nil unless EnableCascade
 	// built one; see cascade.go.
 	cas *cascade.Filter[T]

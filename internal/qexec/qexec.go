@@ -57,6 +57,20 @@ type Options struct {
 	// <= 0 mean runtime.GOMAXPROCS(0). A worker count of 1 reproduces
 	// the plain sequential loop.
 	Workers int
+	// Batch is the shared-traversal micro-batch size. When > 1 and the
+	// index implements index.BatchSearcher, each worker answers its
+	// stripe in groups of up to Batch queries through one SearchBatch
+	// call: the tree is descended once per group with blocked distance
+	// kernels instead of once per query. Results, order, per-query
+	// SearchStats and the batch's Distances delta are byte-identical to
+	// the unbatched run (the BatchSearcher contract); batching changes
+	// memory traffic and wall-clock time only. Two behavioral edges
+	// move from one query to one group: Context cancellation latency,
+	// and the Observer's per-query latency samples (a group's wall time
+	// is amortized equally over its members; every non-latency snapshot
+	// field stays exact). Ignored when the index lacks the surface or
+	// when QueryWorkers > 1 (intra-query parallelism wins).
+	Batch int
 	// QueryWorkers is the intra-query parallelism degree: with a value
 	// > 1, range queries against an index.ParallelRangeIndex are
 	// answered by RangeParallelWithStats with this worker bound, and
@@ -177,6 +191,7 @@ func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) (
 		one := func(q T) ([]T, index.SearchStats) {
 			return si.RangeWithStats(q, r)
 		}
+		var many batchFn[T, []T]
 		if sr := caps.Search; sr != nil && opts.Search.Approximate() {
 			o := approxOpts(opts)
 			one = func(q T) ([]T, index.SearchStats) {
@@ -188,11 +203,19 @@ func RunRange[T any](idx index.Index[T], queries []T, r float64, opts Options) (
 				return pi.RangeParallelWithStats(q, r, opts.QueryWorkers)
 			}
 		}
-		return run(si, idx, queries, opts, obs.KindRange, true, one)
+		if bi := caps.Batch; bi != nil && opts.Batch > 1 && opts.QueryWorkers <= 1 {
+			o := approxOpts(opts)
+			many = func(qs []T) ([][]T, []index.SearchStats) {
+				return runBatch(bi, qs, func(q T) index.Query[T] {
+					return index.Query[T]{Point: q, Radius: r, Opts: o}
+				}, func(res *index.Result[T]) []T { return res.Items })
+			}
+		}
+		return run(si, idx, queries, opts, obs.KindRange, true, one, many)
 	}
-	return run[T](nil, idx, queries, opts, obs.KindRange, false, func(q T) ([]T, index.SearchStats) {
+	return run[T, []T](nil, idx, queries, opts, obs.KindRange, false, func(q T) ([]T, index.SearchStats) {
 		return idx.Range(q, r), index.SearchStats{}
-	})
+	}, nil)
 }
 
 // RunKNN answers a k-nearest-neighbor query for every query point,
@@ -205,6 +228,7 @@ func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]in
 		one := func(q T) ([]index.Neighbor[T], index.SearchStats) {
 			return si.KNNWithStats(q, k)
 		}
+		var many batchFn[T, []index.Neighbor[T]]
 		if sr := caps.Search; sr != nil && opts.Search.Approximate() {
 			o := approxOpts(opts)
 			one = func(q T) ([]index.Neighbor[T], index.SearchStats) {
@@ -216,19 +240,54 @@ func RunKNN[T any](idx index.Index[T], queries []T, k int, opts Options) ([][]in
 				return pi.KNNParallelWithStats(q, k, opts.QueryWorkers)
 			}
 		}
-		return run(si, idx, queries, opts, obs.KindKNN, true, one)
+		if bi := caps.Batch; bi != nil && opts.Batch > 1 && opts.QueryWorkers <= 1 {
+			o := approxOpts(opts)
+			many = func(qs []T) ([][]index.Neighbor[T], []index.SearchStats) {
+				return runBatch(bi, qs, func(q T) index.Query[T] {
+					return index.Query[T]{Point: q, K: k, Opts: o}
+				}, func(res *index.Result[T]) []index.Neighbor[T] { return res.Neighbors })
+			}
+		}
+		return run(si, idx, queries, opts, obs.KindKNN, true, one, many)
 	}
-	return run[T](nil, idx, queries, opts, obs.KindKNN, false, func(q T) ([]index.Neighbor[T], index.SearchStats) {
+	return run[T, []index.Neighbor[T]](nil, idx, queries, opts, obs.KindKNN, false, func(q T) ([]index.Neighbor[T], index.SearchStats) {
 		return idx.KNN(q, k), index.SearchStats{}
-	})
+	}, nil)
+}
+
+// batchFn answers one contiguous query group with a shared traversal,
+// returning the per-query results and SearchStats positionally.
+type batchFn[T any, R any] func(qs []T) ([]R, []index.SearchStats)
+
+// runBatch adapts one index.BatchSearcher call to the executor's
+// (results, stats) shape: mk builds the request for one query point,
+// extract pulls the endpoint's result kind out of the unified Result.
+func runBatch[T any, R any](bi index.BatchSearcher[T], qs []T,
+	mk func(q T) index.Query[T], extract func(res *index.Result[T]) R) ([]R, []index.SearchStats) {
+	reqs := make([]index.Query[T], len(qs))
+	for i, q := range qs {
+		reqs[i] = mk(q)
+	}
+	res := make([]index.Result[T], len(qs))
+	bi.SearchBatch(reqs, res)
+	out := make([]R, len(qs))
+	ss := make([]index.SearchStats, len(qs))
+	for i := range res {
+		out[i] = extract(&res[i])
+		ss[i] = res[i].Stats
+	}
+	return out, ss
 }
 
 // run stripes the batch over the worker pool. one answers a single
 // query; si is non-nil exactly when the index exposes index.StatsIndex,
 // in which case hasStats is true and the per-query SearchStats are
-// real.
+// real. many, when non-nil, answers a whole group with one shared
+// traversal — each worker then walks its stripe in chunks of
+// opts.Batch, with identical per-query answers and attribution.
 func run[T any, R any](si index.StatsIndex[T], idx index.Index[T], queries []T, opts Options,
-	kind obs.Kind, hasStats bool, one func(q T) (R, index.SearchStats)) ([]R, Stats, error) {
+	kind obs.Kind, hasStats bool, one func(q T) (R, index.SearchStats),
+	many batchFn[T, R]) ([]R, Stats, error) {
 
 	if opts.Observer != nil {
 		// Refuse the double-counting footgun: the same Observer wired
@@ -271,6 +330,56 @@ func run[T any, R any](si index.StatsIndex[T], idx index.Index[T], queries []T, 
 		go func(w int) {
 			defer wg.Done()
 			ws := &stats.PerWorker[w]
+			if many != nil {
+				// Chunked stripe: same query-to-worker assignment, same
+				// per-query answers and stats, one shared traversal per
+				// chunk. Cancellation is checked per chunk; a pending,
+				// never-executed chunk stays unanswered (mask false),
+				// exactly like queries the sequential loop never reached.
+				chunk := make([]T, 0, opts.Batch)
+				idxs := make([]int, 0, opts.Batch)
+				flush := func() {
+					if len(chunk) == 0 {
+						return
+					}
+					var cStart time.Time
+					if observer != nil {
+						cStart = time.Now()
+					}
+					res, ss := many(chunk)
+					if observer != nil {
+						per := time.Since(cStart) / time.Duration(len(chunk))
+						for _, s := range ss {
+							observer.ObserveShard(w, kind, per, s)
+						}
+					}
+					for ci, i := range idxs {
+						results[i] = res[ci]
+						stats.AnsweredMask[i] = true
+						if stats.ExhaustedMask != nil && ss[ci].BudgetExhausted > 0 {
+							stats.ExhaustedMask[i] = true
+						}
+						ws.Queries++
+						ws.Search.Add(ss[ci])
+					}
+					chunk = chunk[:0]
+					idxs = idxs[:0]
+				}
+				for i := w; i < len(queries); i += workers {
+					if ctx != nil && ctx.Err() != nil {
+						return
+					}
+					chunk = append(chunk, queries[i])
+					idxs = append(idxs, i)
+					if len(chunk) == opts.Batch {
+						flush()
+					}
+				}
+				if ctx == nil || ctx.Err() == nil {
+					flush()
+				}
+				return
+			}
 			for i := w; i < len(queries); i += workers {
 				if ctx != nil && ctx.Err() != nil {
 					return

@@ -64,6 +64,15 @@ type Options struct {
 	// Workers is the executor worker count per batch. Default
 	// GOMAXPROCS.
 	Workers int
+	// Batch is the shared-traversal micro-batch size handed to the
+	// executor (qexec.Options.Batch): each worker answers its stripe of
+	// a collected batch in groups of up to Batch queries through one
+	// SearchBatch shared traversal when the served index supports it.
+	// Answers are byte-identical to unbatched execution; per-query
+	// latency samples in /stats are amortized over a group. 0 defaults
+	// to MaxBatch (micro-batches execute as one shared traversal); 1
+	// disables batched execution.
+	Batch int
 	// RetryAfter is the hint sent with 503 rejections. Default 1s.
 	RetryAfter time.Duration
 	// ExpvarName, when non-empty, publishes the server's observer
@@ -83,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Batch <= 0 {
+		o.Batch = o.MaxBatch
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
@@ -155,7 +167,7 @@ func New[T any](idx index.StatsIndex[T], codec Codec[T], opts Options) *Server[T
 		started: time.Now(),
 	}
 	execOpts := func() qexec.Options {
-		return qexec.Options{Workers: opts.Workers, Observer: s.obs}
+		return qexec.Options{Workers: opts.Workers, Batch: opts.Batch, Observer: s.obs}
 	}
 	s.rangeB = newBatcher(s.swap, opts.Queue, opts.MaxBatch, opts.MaxWait, execOpts,
 		func(idx index.StatsIndex[T], queries []T, param float64, qo qexec.Options) ([][]T, qexec.Stats, error) {

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"fmt"
+
+	"mvptree/internal/index"
+	"mvptree/internal/obs"
+)
+
+var _ index.BatchSearcher[int] = (*Index[int])(nil)
+
+// SearchBatch answers a query group against the sharded index
+// (index.BatchSearcher), byte-identical to per-query Search calls.
+//
+// Exact single-worker range members are the batched path: the whole
+// group fans out shard by shard, each shard answering it through its
+// own SearchBatch in one shared traversal (per-query Search when the
+// backend lacks the surface), and per-query merges then concatenate
+// shard answers in ascending shard order exactly as Search does.
+//
+// kNN members fall back to per-query Search: the sequential-tightening
+// τ carried across shards is a per-query external bound, which the
+// per-shard batch surface deliberately refuses. Approximate and
+// multi-worker members fall back for the same reason Search routes
+// them specially — their fan-out is already per-query.
+func (x *Index[T]) SearchBatch(reqs []index.Query[T], out []index.Result[T]) {
+	if len(reqs) != len(out) {
+		panic(fmt.Sprintf("shard: SearchBatch called with %d queries and %d result slots", len(reqs), len(out)))
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 {
+		// A group of one shares nothing; the per-query path is the
+		// reference the batch is pinned against, so delegating is
+		// identical by definition and skips the group scaffolding.
+		out[0] = x.Search(reqs[0])
+		return
+	}
+
+	// Classify: exact single-worker range members batch, the rest take
+	// the sequential entry point unchanged.
+	idxs := make([]int, 0, len(reqs))
+	for i, req := range reqs {
+		if req.K <= 0 && !req.Opts.Approximate() && req.Opts.Workers <= 1 && req.Opts.Bound == nil {
+			idxs = append(idxs, i)
+		} else {
+			out[i] = x.Search(req)
+		}
+	}
+	if len(idxs) == 0 {
+		return
+	}
+
+	group := make([]index.Query[T], len(idxs))
+	spans := make([]obs.Span, len(idxs))
+	merged := make([]index.Result[T], len(idxs))
+	for gi, i := range idxs {
+		group[gi] = reqs[i]
+		spans[gi] = x.StartQuery(obs.KindRange)
+	}
+
+	// Shard-major fan-out: each shard sees the whole group once, so a
+	// batch-capable backend amortizes its traversal over the group.
+	sub := make([]index.Result[T], len(group))
+	for _, sh := range x.shards {
+		if b := index.CapabilitiesOf[T](sh).Batch; b != nil {
+			b.SearchBatch(group, sub)
+		} else {
+			for gi, req := range group {
+				items, st := sh.RangeWithStats(req.Point, req.Radius)
+				sub[gi] = index.Result[T]{Items: items, Stats: st}
+			}
+		}
+		for gi := range group {
+			merged[gi].Items = append(merged[gi].Items, sub[gi].Items...)
+			merged[gi].Stats.Add(sub[gi].Stats)
+			sub[gi] = index.Result[T]{}
+		}
+	}
+	for gi, i := range idxs {
+		merged[gi].Stats.Results = len(merged[gi].Items)
+		spans[gi].Done(&merged[gi].Stats)
+		out[i] = merged[gi]
+	}
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"mvptree/internal/index"
+	"mvptree/internal/metric"
+	"mvptree/internal/testutil"
+)
+
+// TestShardedBatchMatchesSequential pins the sharded SearchBatch: for
+// every backend, shard count and batch size, a mixed group of range,
+// kNN, approximate and budgeted queries returns byte-identical results,
+// stats and summed counter deltas compared to per-query Search calls.
+func TestShardedBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 2))
+	w := testutil.NewVectorWorkload(rng, 600, 8, 12, metric.L2)
+	var reqs []index.Query[int]
+	for qi, q := range w.Queries {
+		reqs = append(reqs, index.RangeQuery(q, []float64{0.2, 0.6}[qi%2]))
+		reqs = append(reqs, index.KNNQuery(q, 1+qi%7))
+		switch qi % 3 {
+		case 0:
+			r := index.RangeQuery(q, 0.4)
+			r.Opts.Epsilon = 0.3
+			reqs = append(reqs, r)
+		case 1:
+			r := index.KNNQuery(q, 4)
+			r.Opts.Budget = 120
+			reqs = append(reqs, r)
+		case 2:
+			reqs = append(reqs, index.RangeQuery(q, 0))
+		}
+	}
+
+	for name, mk := range backends() {
+		for _, s := range []int{1, 3, 5} {
+			c := metric.NewCounter(w.Dist)
+			x, err := New(w.Items, c, mk(), Options{Shards: s, Workers: 2, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s S=%d: New: %v", name, s, err)
+			}
+
+			want := make([]index.Result[int], len(reqs))
+			wantDelta := make([]int64, len(reqs))
+			for i, req := range reqs {
+				c0 := c.Count()
+				want[i] = x.Search(req)
+				wantDelta[i] = c.Count() - c0
+			}
+
+			for _, b := range []int{1, 4, 16, 64} {
+				for lo := 0; lo < len(reqs); lo += b {
+					hi := min(lo+b, len(reqs))
+					chunk := reqs[lo:hi]
+					got := make([]index.Result[int], len(chunk))
+					c0 := c.Count()
+					x.SearchBatch(chunk, got)
+					delta := c.Count() - c0
+					var wd int64
+					for i := lo; i < hi; i++ {
+						wd += wantDelta[i]
+					}
+					if delta != wd {
+						t.Errorf("%s S=%d B=%d chunk [%d,%d): counter delta %d, sequential %d",
+							name, s, b, lo, hi, delta, wd)
+					}
+					for i := range chunk {
+						if !reflect.DeepEqual(got[i], want[lo+i]) {
+							t.Fatalf("%s S=%d B=%d query %d: batch result differs\nseq   %+v\nbatch %+v",
+								name, s, b, lo+i, want[lo+i], got[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBatchEdgeCases pins the panic and empty-group contracts.
+func TestShardedBatchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 2))
+	w := testutil.NewVectorWorkload(rng, 30, 4, 2, metric.L2)
+	c := metric.NewCounter(w.Dist)
+	x, err := New(w.Items, c, MVP[int](mvpOpts), Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched lengths did not panic")
+			}
+		}()
+		x.SearchBatch(make([]index.Query[int], 2), make([]index.Result[int], 1))
+	}()
+	x.SearchBatch(nil, nil) // no-op
+}

@@ -20,6 +20,7 @@ func (x *Index[T]) Capabilities() index.Capabilities[T] {
 	return index.Capabilities[T]{
 		Stats:         x,
 		Search:        x,
+		Batch:         x,
 		ParallelRange: x,
 		ParallelKNN:   x,
 	}

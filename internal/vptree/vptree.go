@@ -132,6 +132,7 @@ type Tree[T any] struct {
 	order      int
 	buildStats build.Stats
 	scratch    sync.Pool // *knnScratch[T]; see stats.go
+	bscratch   sync.Pool // *batchScratch[T]; see batch.go
 	// cas is the cross-query bound cascade, nil unless EnableCascade
 	// built one; see cascade.go.
 	cas *cascade.Filter[T]

@@ -51,6 +51,13 @@ type Result[T any] = index.Result[T]
 // stats surface plus the unified Search entry point.
 type Searcher[T any] = index.Searcher[T]
 
+// BatchSearcher is the shared-traversal batch surface: SearchBatch
+// answers a group of queries with one descent per structure, results,
+// stats and distance counts byte-identical to per-query Search calls.
+// The mvp-tree, the vp-tree and the sharded index implement it; probe
+// with CapabilitiesOf (the Batch field) rather than type-asserting.
+type BatchSearcher[T any] = index.BatchSearcher[T]
+
 // Capabilities is the one-call capability report of an index; obtain
 // one with CapabilitiesOf instead of chaining type assertions.
 type Capabilities[T any] = index.Capabilities[T]

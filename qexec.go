@@ -14,9 +14,13 @@ import (
 type SearchStats = mvp.SearchStats
 
 // BatchOptions configure the parallel batch-query executor: the worker
-// count and an optional Observer that receives one recording per query
+// count, an optional Observer that receives one recording per query
 // (each worker writes its own shard, so snapshot totals are exact for
-// every worker count).
+// every worker count), and Batch — the shared-traversal micro-batch
+// size. When the index implements BatchSearcher and Batch > 1, each
+// worker answers its stripe in groups of Batch through one SearchBatch
+// call per group; results, stats and distance counts stay
+// byte-identical to the unbatched run.
 type BatchOptions = qexec.Options
 
 // BatchStats summarize a batch run: total Counter delta, batch wall
